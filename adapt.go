@@ -1,0 +1,90 @@
+package remo
+
+import (
+	"fmt"
+	"time"
+
+	"remo/internal/adapt"
+	"remo/internal/task"
+)
+
+// AdaptScheme names a runtime adaptation policy.
+type AdaptScheme = adapt.Scheme
+
+// Adaptation schemes for runtime task changes.
+const (
+	// AdaptDirectApply applies task changes with minimal topology change
+	// and never re-partitions.
+	AdaptDirectApply = adapt.DirectApply
+	// AdaptRebuild replans from scratch on every change.
+	AdaptRebuild = adapt.Rebuild
+	// AdaptNoThrottle searches merge/split improvements around changed
+	// trees without cost-benefit throttling.
+	AdaptNoThrottle = adapt.NoThrottle
+	// AdaptAdaptive is REMO's scheme: the bounded search plus
+	// cost-benefit throttling.
+	AdaptAdaptive = adapt.Adaptive
+)
+
+// AdaptReport summarizes one adaptation round.
+type AdaptReport struct {
+	// AdaptMessages counts overlay reconfiguration messages.
+	AdaptMessages int
+	// PlanTime is the planning cost of the round.
+	PlanTime time.Duration
+	// CollectedPairs is the coverage of the topology now in force.
+	CollectedPairs int
+	// Operations counts merge/split operations applied.
+	Operations int
+}
+
+// Adaptor maintains a monitoring topology across task-set changes.
+// Create one with NewAdaptor, seed it with SetTasks, then call SetTasks
+// again whenever the task set changes.
+type Adaptor struct {
+	planner *Planner
+	inner   *adapt.Adaptor
+	started bool
+}
+
+// NewAdaptor wraps the planner's configuration in a runtime adaptor
+// using the given scheme.
+func NewAdaptor(p *Planner, scheme adapt.Scheme) *Adaptor {
+	return &Adaptor{
+		planner: p,
+		inner:   adapt.New(scheme, p.corePlanner(), p.sys),
+	}
+}
+
+// SetTasks replaces the task set and adapts the topology. The first call
+// plans from scratch; later calls follow the adaptor's scheme.
+func (a *Adaptor) SetTasks(tasks []Task) (AdaptReport, error) {
+	mgr := task.NewManager(task.WithSystem(a.planner.sys))
+	for _, t := range tasks {
+		if err := mgr.Add(t); err != nil {
+			return AdaptReport{}, fmt.Errorf("remo: %w", err)
+		}
+	}
+	d := mgr.Demand()
+
+	var rep adapt.Report
+	if !a.started {
+		rep = a.inner.Init(d)
+		a.started = true
+	} else {
+		rep = a.inner.Apply(d)
+	}
+	return AdaptReport{
+		AdaptMessages:  rep.AdaptMessages,
+		PlanTime:       rep.PlanTime,
+		CollectedPairs: rep.Stats.Collected,
+		Operations:     rep.Operations,
+	}, nil
+}
+
+// Plan exposes the topology currently in force as a Plan.
+func (a *Adaptor) Plan() *Plan {
+	forest := a.inner.Forest()
+	d := a.inner.Demand()
+	return planFromForest(a.planner, forest, d)
+}

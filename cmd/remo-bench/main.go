@@ -1,0 +1,85 @@
+// Command remo-bench regenerates the paper's evaluation figures as
+// result tables.
+//
+// Usage:
+//
+//	remo-bench -list
+//	remo-bench -fig fig5 [-scale 0.5] [-seed 7] [-rounds 30]
+//	remo-bench -all -scale 0.25
+//
+// Scale 1.0 matches the paper's deployment size (200 nodes, ~200 tasks)
+// and can take a while; smaller scales shrink the sweeps proportionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"remo/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "remo-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("remo-bench", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "", "figure to regenerate (fig2, fig5, ..., fig12)")
+		all    = fs.Bool("all", false, "run every figure")
+		list   = fs.Bool("list", false, "list available figures")
+		scale  = fs.Float64("scale", 0.5, "sweep scale (1.0 = paper scale)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		rounds = fs.Int("rounds", 0, "emulation rounds for deployment figures (0 = default)")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-6s %s\n", e.Name, e.Description)
+		}
+		return nil
+	}
+
+	opts := bench.Options{Scale: *scale, Seed: *seed, Rounds: *rounds}
+	var selected []bench.Experiment
+	switch {
+	case *all:
+		selected = bench.Registry()
+	case *fig != "":
+		e, ok := bench.Lookup(*fig)
+		if !ok {
+			return fmt.Errorf("unknown figure %q (use -list)", *fig)
+		}
+		selected = []bench.Experiment{e}
+	default:
+		return fmt.Errorf("nothing to do: pass -fig <name>, -all or -list")
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("== %s — %s (scale %.2f)\n", e.Name, e.Description, *scale)
+		for _, tbl := range e.Run(opts) {
+			var err error
+			if *csv {
+				err = tbl.FprintCSV(os.Stdout)
+			} else {
+				err = tbl.Fprint(os.Stdout)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		fmt.Printf("-- %s done in %v\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunRequiresSelection(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no selection accepted")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	// fig2 is the only instant figure; it also exercises table output.
+	if err := run([]string{"-fig", "fig2", "-scale", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "fig2", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}

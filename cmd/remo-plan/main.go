@@ -1,0 +1,139 @@
+// Command remo-plan plans a monitoring topology from a JSON problem
+// spec and prints the resulting forest.
+//
+// Usage:
+//
+//	remo-plan -spec problem.json [-tree ADAPTIVE] [-alloc ORDERED] [-edges]
+//	cat problem.json | remo-plan
+//
+// The spec format (see the remo.Spec type):
+//
+//	{
+//	  "centralCapacity": 500,
+//	  "perMessage": 10, "perValue": 1,
+//	  "nodes": [{"id": 1, "capacity": 100, "attrs": [1, 2]}, ...],
+//	  "tasks": [{"name": "cpu", "attrs": [1], "nodes": [1, 2], "replicas": 1}, ...]
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"remo"
+	"remo/internal/alloc"
+	"remo/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "remo-plan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("remo-plan", flag.ContinueOnError)
+	var (
+		specPath   = fs.String("spec", "", "path to the JSON problem spec (default: stdin)")
+		treeScheme = fs.String("tree", string(tree.Adaptive), "tree scheme: ADAPTIVE, STAR, CHAIN, MAX_AVB")
+		allocPlan  = fs.String("alloc", string(alloc.Ordered), "allocation: ORDERED, ON-DEMAND, UNIFORM, PROPORTIONAL")
+		edges      = fs.Bool("edges", false, "print every parent link")
+		missed     = fs.Bool("missed", false, "print missed node-attribute pairs")
+		exportPath = fs.String("export", "", "write the planned topology as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		in = f
+	}
+	spec, err := remo.LoadSpec(in)
+	if err != nil {
+		return err
+	}
+	planner, err := spec.Build(
+		remo.WithTreeScheme(tree.Scheme(*treeScheme)),
+		remo.WithAllocScheme(alloc.Scheme(*allocPlan)),
+	)
+	if err != nil {
+		return err
+	}
+	raw, distinct := planner.DedupStats()
+	fmt.Fprintf(stdout, "tasks: %d, node-attribute pairs: %d raw, %d after dedup\n",
+		len(planner.Tasks()), raw, distinct)
+
+	plan, err := planner.Plan()
+	if err != nil {
+		return err
+	}
+	if err := plan.Describe(stdout); err != nil {
+		return err
+	}
+	if *edges {
+		for _, info := range plan.Trees() {
+			for _, a := range info.Attrs[:1] { // one attr identifies the tree
+				fmt.Fprintf(stdout, "tree %v:\n", info.Attrs)
+				printEdges(stdout, plan, a, info.Root, 1)
+			}
+		}
+	}
+	if *missed {
+		for _, p := range plan.MissedPairs() {
+			fmt.Fprintf(stdout, "missed: %v\n", p)
+		}
+	}
+	if *exportPath != "" {
+		f, err := os.Create(*exportPath)
+		if err != nil {
+			return err
+		}
+		if err := plan.Export(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "exported topology to %s\n", *exportPath)
+	}
+	return nil
+}
+
+// printEdges walks one tree depth-first from the root.
+func printEdges(w io.Writer, plan *remo.Plan, attr remo.AttrID, node remo.NodeID, depth int) {
+	for _, child := range planChildren(plan, attr, node) {
+		fmt.Fprintf(w, "%*s%v -> %v\n", depth*2, "", child, node)
+		printEdges(w, plan, attr, child, depth+1)
+	}
+}
+
+// planChildren recovers children from ParentOf queries over the system's
+// nodes (the public API exposes parent links only).
+func planChildren(plan *remo.Plan, attr remo.AttrID, parent remo.NodeID) []remo.NodeID {
+	var out []remo.NodeID
+	for _, n := range planNodes(plan) {
+		if p, ok := plan.ParentOf(n, attr); ok && p == parent {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func planNodes(plan *remo.Plan) []remo.NodeID {
+	usage := plan.NodeUsage()
+	out := make([]remo.NodeID, 0, len(usage))
+	for n := range usage {
+		out = append(out, n)
+	}
+	return out
+}

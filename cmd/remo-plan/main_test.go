@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSpec = `{
+	"centralCapacity": 500,
+	"perMessage": 10,
+	"perValue": 1,
+	"nodes": [
+		{"id": 1, "capacity": 120},
+		{"id": 2, "capacity": 120},
+		{"id": 3, "capacity": 120}
+	],
+	"tasks": [
+		{"name": "cpu", "attrs": [1], "nodes": [1, 2, 3]},
+		{"name": "mem", "attrs": [2], "nodes": [1, 2]}
+	]
+}`
+
+func TestRunFromStdin(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(testSpec), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"tasks: 2", "5 raw, 5 after dedup", "pairs collected"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFromFileWithEdges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(testSpec), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-spec", path, "-edges", "-missed"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "->") {
+		t.Errorf("no edges printed:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(`{"bogus": true}`), &out); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestRunRejectsMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-spec", "/nonexistent.json"}, nil, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunWithSchemeFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-tree", "STAR"},
+		{"-tree", "CHAIN", "-alloc", "UNIFORM"},
+	} {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(testSpec), &out); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunExportsTopology(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "plan.json")
+	var sb strings.Builder
+	if err := run([]string{"-export", out}, strings.NewReader(testSpec), &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"trees\"") {
+		t.Fatalf("export = %s", data)
+	}
+}

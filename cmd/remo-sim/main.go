@@ -1,0 +1,159 @@
+// Command remo-sim plans and emulates a monitoring deployment end to
+// end: it generates a synthetic system and task set (or loads a spec),
+// plans the topology with a chosen partition scheme, runs the
+// goroutine-per-node emulation, and reports coverage, staleness and
+// percentage error.
+//
+// Usage:
+//
+//	remo-sim -nodes 100 -tasks 50 -rounds 60
+//	remo-sim -scheme singleton -tcp
+//	remo-sim -spec problem.json -rounds 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"remo"
+	"remo/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "remo-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("remo-sim", flag.ContinueOnError)
+	var (
+		specPath = fs.String("spec", "", "JSON problem spec (default: generate synthetically)")
+		nodes    = fs.Int("nodes", 100, "synthetic: number of nodes")
+		attrs    = fs.Int("attrs", 40, "synthetic: attribute pool size")
+		tasks    = fs.Int("tasks", 50, "synthetic: number of tasks")
+		scheme   = fs.String("scheme", "remo", "tree scheme for planning: remo, star, chain")
+		rounds   = fs.Int("rounds", 30, "collection rounds to emulate")
+		seed     = fs.Int64("seed", 1, "random seed")
+		useTCP   = fs.Bool("tcp", false, "run the overlay over loopback TCP")
+		traceN   = fs.Int("trace", 0, "dump up to N emulation events (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	planner, err := buildPlanner(*specPath, *nodes, *attrs, *tasks, *seed, *scheme)
+	if err != nil {
+		return err
+	}
+	plan, err := planner.Plan()
+	if err != nil {
+		return err
+	}
+	if err := plan.Describe(stdout); err != nil {
+		return err
+	}
+
+	var rec *remo.TraceRecorder
+	if *traceN > 0 {
+		rec = remo.NewTraceRecorder(*traceN)
+	}
+	rep, err := plan.Deploy(remo.DeployConfig{
+		Rounds: *rounds,
+		UseTCP: *useTCP,
+		Seed:   uint64(*seed),
+		Trace:  rec,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "emulation: %d rounds over %s\n", rep.Rounds, transportName(*useTCP))
+	fmt.Fprintf(stdout, "  coverage:        %d/%d pairs (%.1f%% of observations)\n",
+		rep.CoveredPairs, rep.DemandedPairs, rep.PercentCollected)
+	fmt.Fprintf(stdout, "  avg %% error:     %.2f%%\n", rep.AvgPercentError)
+	fmt.Fprintf(stdout, "  avg staleness:   %.2f rounds\n", rep.AvgStaleness)
+	fmt.Fprintf(stdout, "  traffic:         %d messages sent, %d dropped, %d values delivered\n",
+		rep.MessagesSent, rep.MessagesDropped, rep.ValuesDelivered)
+	if rec != nil {
+		fmt.Fprintln(stdout, "trace:")
+		if err := rec.Dump(stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func transportName(tcp bool) string {
+	if tcp {
+		return "loopback TCP"
+	}
+	return "in-process transport"
+}
+
+// buildPlanner assembles the planning problem from a spec file or the
+// synthetic generator.
+func buildPlanner(specPath string, nodes, attrs, tasks int, seed int64, scheme string) (*remo.Planner, error) {
+	opt, err := schemeOption(scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		spec, err := remo.LoadSpec(f)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Build(opt)
+	}
+
+	sys, err := workload.System(workload.SystemConfig{
+		Nodes:      nodes,
+		Attrs:      attrs,
+		CapacityLo: 150,
+		CapacityHi: 400,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	planner := remo.NewPlanner(sys, opt)
+	for _, t := range workload.Tasks(sys, workload.TaskConfig{
+		Count:        tasks,
+		AttrsPerTask: 8,
+		NodesPerTask: maxInt(4, nodes/5),
+		Seed:         seed + 1,
+	}) {
+		if err := planner.AddTask(t); err != nil {
+			return nil, err
+		}
+	}
+	return planner, nil
+}
+
+func schemeOption(scheme string) (remo.PlannerOption, error) {
+	switch scheme {
+	case "remo", "adaptive":
+		return remo.WithTreeScheme(remo.TreeAdaptive), nil
+	case "star":
+		return remo.WithTreeScheme(remo.TreeStar), nil
+	case "chain":
+		return remo.WithTreeScheme(remo.TreeChain), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q (remo, star, chain)", scheme)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSynthetic(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "15", "-attrs", "6", "-tasks", "8", "-rounds", "8",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"plan:", "emulation: 8 rounds", "coverage:", "avg % error"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSchemes(t *testing.T) {
+	for _, scheme := range []string{"remo", "star", "chain"} {
+		var out strings.Builder
+		err := run([]string{
+			"-nodes", "12", "-attrs", "4", "-tasks", "5", "-rounds", "5",
+			"-scheme", scheme,
+		}, &out)
+		if err != nil {
+			t.Errorf("%s: %v", scheme, err)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-scheme", "bogus"}, &out); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestRunOverTCP(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "8", "-attrs", "3", "-tasks", "4", "-rounds", "5", "-tcp",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "loopback TCP") {
+		t.Errorf("TCP transport not reported:\n%s", out.String())
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "6", "-attrs", "2", "-tasks", "3", "-rounds", "4", "-trace", "50",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace:") || !strings.Contains(out.String(), "send") {
+		t.Errorf("trace output missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,154 @@
+package remo
+
+import (
+	"fmt"
+
+	"remo/internal/cluster"
+	"remo/internal/trace"
+	"remo/internal/transport"
+)
+
+// Emulation tracing, re-exported for DeployConfig.Trace.
+type (
+	// TraceRecorder retains structured emulation events.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded emulation event.
+	TraceEvent = trace.Event
+	// TraceKind classifies trace events.
+	TraceKind = trace.Kind
+)
+
+// Trace event kinds.
+const (
+	TraceSend     = trace.Send
+	TraceRecvDrop = trace.RecvDrop
+	TraceSendDrop = trace.SendDrop
+	TraceDeliver  = trace.Deliver
+	TraceNodeDead = trace.NodeDead
+)
+
+// NewTraceRecorder returns a recorder retaining up to max events (a
+// sensible default when max <= 0).
+func NewTraceRecorder(max int) *TraceRecorder { return trace.NewRecorder(max) }
+
+// ValueSource produces the attribute values the emulated nodes observe.
+// It must be safe for concurrent use (node goroutines query values in
+// parallel). The zero-config default is a deterministic bursty
+// random-walk generator.
+type ValueSource = cluster.ValueSource
+
+// ValueFunc adapts a function to the ValueSource interface.
+type ValueFunc = cluster.ValueFunc
+
+// DeployConfig parameterizes an emulated deployment of a plan.
+type DeployConfig struct {
+	// Rounds is the number of collection rounds (default 30).
+	Rounds int
+	// Source overrides the ground-truth value generator.
+	Source ValueSource
+	// UseTCP runs the overlay over real loopback TCP connections
+	// instead of the in-process transport.
+	UseTCP bool
+	// EnforceCapacity applies per-round capacity budgets (default true
+	// via Deploy; set DisableCapacity to lift them).
+	DisableCapacity bool
+	// FailAt kills node n at the start of round FailAt[n] (failure
+	// injection).
+	FailAt map[NodeID]int
+	// DropEvery drops every k-th message on the wire (0 disables).
+	DropEvery int
+	// Seed decorrelates the default value generator.
+	Seed uint64
+	// OnValue, when set, receives every value the collector accepts
+	// (alias-resolved). Feed it a Store and/or Processor to retain and
+	// act on collected data:
+	//
+	//	st, pr := remo.NewStore(0), remo.NewProcessor(0)
+	//	cfg.OnValue = func(p remo.Pair, round int, v float64) {
+	//	    st.Observe(p, round, v)
+	//	    pr.Observe(p, round, v)
+	//	}
+	OnValue func(pair Pair, round int, value float64)
+	// Trace, when set, records structured emulation events (sends,
+	// drops, deliveries, failures).
+	Trace *TraceRecorder
+}
+
+// DeployReport summarizes what the central collector observed.
+type DeployReport struct {
+	// Rounds actually run.
+	Rounds int
+	// DemandedPairs and CoveredPairs measure coverage: pairs delivered
+	// at least once.
+	DemandedPairs int
+	CoveredPairs  int
+	// PercentCollected is delivered observations over expected ones.
+	PercentCollected float64
+	// AvgPercentError is the collector's mean relative error against
+	// ground truth (staleness + loss), in percent.
+	AvgPercentError float64
+	// AvgStaleness is the mean view age in rounds.
+	AvgStaleness float64
+	// MessagesSent and MessagesDropped count overlay traffic.
+	MessagesSent    int
+	MessagesDropped int
+	// ValuesDelivered counts attribute values received by the collector.
+	ValuesDelivered int
+	// ErrorSeries is the average percentage error per round — the
+	// warm-up/convergence curve.
+	ErrorSeries []float64
+}
+
+// Deploy emulates the plan: one goroutine per node, periodic update
+// messages flowing up the collection trees, capacity enforced per round,
+// and a central collector measuring coverage and percentage error.
+func (p *Plan) Deploy(cfg DeployConfig) (DeployReport, error) {
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 30
+	}
+	var source ValueSource = cfg.Source
+	if source == nil {
+		source = cluster.BurstyWalk{Seed: cfg.Seed}
+	}
+
+	ccfg := cluster.Config{
+		Sys:             p.sys,
+		Forest:          p.forest(),
+		Demand:          p.internalDemand(),
+		Spec:            p.aggSpec,
+		Source:          source,
+		Rounds:          rounds,
+		Resolve:         p.resolve,
+		EnforceCapacity: !cfg.DisableCapacity,
+		FailAt:          cfg.FailAt,
+		DropEvery:       cfg.DropEvery,
+		Observer:        cfg.OnValue,
+		Trace:           cfg.Trace,
+	}
+	if cfg.UseTCP {
+		tr, err := transport.NewTCP(p.sys.NodeIDs())
+		if err != nil {
+			return DeployReport{}, fmt.Errorf("remo: start TCP transport: %w", err)
+		}
+		defer func() { _ = tr.Close() }()
+		ccfg.Transport = tr
+	}
+
+	res, err := cluster.Run(ccfg)
+	if err != nil {
+		return DeployReport{}, fmt.Errorf("remo: deploy: %w", err)
+	}
+	return DeployReport{
+		Rounds:           res.Rounds,
+		DemandedPairs:    res.DemandedPairs,
+		CoveredPairs:     res.CoveredPairs,
+		PercentCollected: res.PercentCollected,
+		AvgPercentError:  res.AvgPercentError,
+		AvgStaleness:     res.AvgStaleness,
+		MessagesSent:     res.MessagesSent,
+		MessagesDropped:  res.MessagesDropped,
+		ValuesDelivered:  res.ValuesDelivered,
+		ErrorSeries:      res.ErrorSeries,
+	}, nil
+}

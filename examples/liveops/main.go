@@ -1,0 +1,127 @@
+// Liveops runs a live monitoring session end to end: values stream into
+// the collector's repository while standing triggers raise alerts, a
+// task update arrives mid-flight and the topology adapts in place, and
+// finally a relay node dies and the plan is repaired.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"remo"
+)
+
+const (
+	attrCPU     = remo.AttrID(1)
+	attrLatency = remo.AttrID(2)
+	attrErrors  = remo.AttrID(3)
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	nodes := make([]remo.Node, 24)
+	ids := make([]remo.NodeID, len(nodes))
+	for i := range nodes {
+		ids[i] = remo.NodeID(i + 1)
+		nodes[i] = remo.Node{
+			ID:       ids[i],
+			Capacity: 110,
+			Attrs:    []remo.AttrID{attrCPU, attrLatency, attrErrors},
+		}
+	}
+	sys, err := remo.NewSystem(remo.SystemSpec{
+		CentralCapacity: 500,
+		Cost:            remo.CostModel{PerMessage: 10, PerValue: 1},
+		Nodes:           nodes,
+	})
+	if err != nil {
+		return err
+	}
+
+	p := remo.NewPlanner(sys)
+	tasks := []remo.Task{
+		{Name: "fleet-cpu", Attrs: []remo.AttrID{attrCPU}, Nodes: ids},
+	}
+	for _, t := range tasks {
+		p.MustAddTask(t)
+	}
+
+	// Repository + result processor: retain history, alert on hot CPUs.
+	repo := remo.NewStore(64)
+	proc := remo.NewProcessor(256)
+	if err := proc.AddTrigger(remo.Trigger{
+		Name: "cpu-hot", Attr: attrCPU,
+		Cond: remo.TriggerAbove, Threshold: 160, Cooldown: 10,
+	}); err != nil {
+		return err
+	}
+
+	mon, err := p.StartMonitor(remo.MonitorConfig{
+		Scheme: remo.AdaptAdaptive,
+		Seed:   7,
+		OnValue: func(pair remo.Pair, round int, v float64) {
+			repo.Observe(pair, round, v)
+			proc.Observe(pair, round, v)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mon.Close() }()
+
+	if err := mon.Run(20); err != nil {
+		return err
+	}
+	fmt.Printf("phase 1 (cpu only):      %d pairs covered, %d alerts so far\n",
+		mon.Report().CoveredPairs, proc.AlertCount())
+
+	// An operator adds latency + error-rate probes for the frontend
+	// half of the fleet; the topology adapts without restarting.
+	tasks = append(tasks, remo.Task{
+		Name:  "frontend-probes",
+		Attrs: []remo.AttrID{attrLatency, attrErrors},
+		Nodes: ids[:12],
+	})
+	rep, err := mon.SetTasks(tasks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adaptation:              %d rewiring messages, %v planning time\n",
+		rep.AdaptMessages, rep.PlanTime.Round(1e6))
+
+	if err := mon.Run(20); err != nil {
+		return err
+	}
+	final := mon.Report()
+	fmt.Printf("phase 2 (probes added):  %d/%d pairs covered, %.1f%% avg error\n",
+		final.CoveredPairs, final.DemandedPairs, final.AvgPercentError)
+
+	// Inspect the repository: the busiest node's CPU history.
+	if pairs := repo.Pairs(); len(pairs) > 0 {
+		if sum, ok := repo.Summarize(pairs[0]); ok {
+			fmt.Printf("repository:              %v samples for %v (mean %.1f, max %.1f)\n",
+				sum.Count, pairs[0], sum.Mean, sum.Max)
+		}
+	}
+	fmt.Printf("alerts:                  %d total", proc.AlertCount())
+	if alerts := proc.Alerts(); len(alerts) > 0 {
+		fmt.Printf(" (first: %s at %v, value %.1f)",
+			alerts[0].Trigger, alerts[0].Pair, alerts[0].Value)
+	}
+	fmt.Println()
+
+	// A relay node dies: repair the plan over the survivors.
+	victim := mon.Plan().Trees()[0].Root
+	repaired, rrep, err := mon.Plan().Repair([]remo.NodeID{victim})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repair after %v failed:  %d trees rebuilt, %d pairs lost, coverage now %.1f%%\n",
+		victim, rrep.TreesRebuilt, rrep.PairsLost, repaired.PercentCollected())
+	return nil
+}

@@ -1,0 +1,117 @@
+package remo
+
+import (
+	"fmt"
+
+	"remo/internal/freq"
+	"remo/internal/partition"
+	"remo/internal/reliability"
+	"remo/internal/workload"
+)
+
+// RackDistance returns a distance function for System.Distance modeling
+// a racked topology (the §3.3 non-uniform-network extension): nodes are
+// grouped into racks of rackSize by id, same-rack sends cost intra,
+// cross-rack sends cost inter. Sending a message then costs its endpoint
+// cost times the distance factor; planning and validation account for
+// it.
+func RackDistance(rackSize int, intra, inter float64) func(a, b NodeID) float64 {
+	return workload.RackDistance(rackSize, intra, inter)
+}
+
+// ReliabilityAliasBase is where replica alias attribute ids start; real
+// attribute ids must stay below it.
+const ReliabilityAliasBase AttrID = 1 << 20
+
+// AddReliableTask registers a task whose values are delivered
+// redundantly over disjoint paths (the paper's SSDP mode): replicas
+// copies of every value travel in different collection trees. replicas
+// counts total copies and must be >= 2.
+func (p *Planner) AddReliableTask(t Task, replicas int) error {
+	rw, err := reliability.SSDP(t, replicas, p.nextAliasBase(t, replicas))
+	if err != nil {
+		return fmt.Errorf("remo: %w", err)
+	}
+	for _, rt := range rw.Tasks {
+		if err := p.mgr.Add(rt); err != nil {
+			return fmt.Errorf("remo: %w", err)
+		}
+	}
+	if p.aliases == nil {
+		p.aliases = reliability.NewAliasMap()
+	}
+	for _, orig := range t.Attrs {
+		for _, alias := range rw.Aliases.Aliases(orig) {
+			p.aliases.Add(alias, orig)
+		}
+	}
+	if p.cons == nil {
+		p.cons = partition.NewConstraints()
+	}
+	p.cons.Merge(rw.Constraints)
+	return nil
+}
+
+// nextAliasBase reserves a private alias id range for one rewrite.
+func (p *Planner) nextAliasBase(t Task, replicas int) AttrID {
+	if p.aliasNext == 0 {
+		p.aliasNext = ReliabilityAliasBase
+	}
+	base := p.aliasNext
+	p.aliasNext += AttrID(len(t.Attrs)*(replicas-1) + 1)
+	return base
+}
+
+// AddSharedValueTask registers a DSDP (different sources, different
+// paths) task: the same logical value is observable at several nodes
+// (observerGroups[i] lists the observers of the i-th shared value), and
+// replicas copies are collected from distinct observers over distinct
+// trees. replicas must be >= 2 and no larger than the smallest group.
+func (p *Planner) AddSharedValueTask(name string, attr AttrID, observerGroups [][]NodeID, replicas int) error {
+	groups := make(reliability.ObserverGroups, len(observerGroups))
+	for i, g := range observerGroups {
+		groups[i] = append([]NodeID(nil), g...)
+	}
+	rw, err := reliability.DSDP(name, attr, groups, replicas,
+		p.nextAliasBase(Task{Attrs: []AttrID{attr}}, replicas))
+	if err != nil {
+		return fmt.Errorf("remo: %w", err)
+	}
+	for _, rt := range rw.Tasks {
+		if err := p.mgr.Add(rt); err != nil {
+			return fmt.Errorf("remo: %w", err)
+		}
+	}
+	if p.aliases == nil {
+		p.aliases = reliability.NewAliasMap()
+	}
+	for _, alias := range rw.Aliases.Aliases(attr) {
+		p.aliases.Add(alias, attr)
+	}
+	if p.cons == nil {
+		p.cons = partition.NewConstraints()
+	}
+	p.cons.Merge(rw.Constraints)
+	return nil
+}
+
+// SetFrequency declares attribute a's update frequency (updates per
+// collection round; only ratios matter). Slower attributes piggyback on
+// their node's fastest metric, shrinking their payload weight; rates
+// that piggybacking cannot approximate within 10% get their own
+// collection trees.
+func (p *Planner) SetFrequency(a AttrID, f float64) error {
+	if p.freqSpec == nil {
+		p.freqSpec = freq.NewSpec()
+		p.freqSpec.Tolerance = 0.1
+	}
+	if err := p.freqSpec.Set(a, f); err != nil {
+		return fmt.Errorf("remo: %w", err)
+	}
+	return nil
+}
+
+// resolveAttr maps replica aliases back to their original attribute.
+func (p *Planner) resolveAttr(a AttrID) AttrID {
+	return p.aliases.Original(a)
+}

@@ -1,0 +1,3 @@
+module remo
+
+go 1.22

@@ -1,0 +1,196 @@
+// Package adapt implements REMO's runtime topology adaptation (§4):
+// keeping the monitoring topology efficient as monitoring tasks are
+// added, modified and removed, while balancing topology quality against
+// the cost of reconfiguring the overlay.
+//
+// Four schemes are provided, matching the paper's Fig. 9 comparison:
+//
+//   - DIRECT-APPLY (D-A): apply task changes with minimal topology
+//     change — rebuild only the trees whose attribute sets are affected,
+//     never re-partition.
+//   - REBUILD: rerun the full REMO planner from scratch on every change.
+//   - NO-THROTTLE: D-A base topology plus a bounded local search over
+//     merge/split operations involving the reconstructed trees.
+//   - ADAPTIVE: NO-THROTTLE plus cost-benefit throttling — an operation
+//     is applied only when its reconfiguration cost is justified by the
+//     topology-efficiency gain and the trees' update history.
+package adapt
+
+import (
+	"time"
+
+	"remo/internal/core"
+	"remo/internal/model"
+	"remo/internal/plan"
+	"remo/internal/task"
+)
+
+// Scheme names an adaptation policy.
+type Scheme string
+
+// Available schemes.
+const (
+	DirectApply Scheme = "D-A"
+	Rebuild     Scheme = "REBUILD"
+	NoThrottle  Scheme = "NO-THROTTLE"
+	Adaptive    Scheme = "ADAPTIVE"
+)
+
+// Schemes lists the policies in the paper's presentation order.
+func Schemes() []Scheme {
+	return []Scheme{DirectApply, Rebuild, NoThrottle, Adaptive}
+}
+
+// Report summarizes one adaptation round.
+type Report struct {
+	// AdaptMessages is the number of overlay reconfiguration messages
+	// (edges connected or disconnected) this round.
+	AdaptMessages int
+	// PlanTime is the wall-clock planning cost of the round.
+	PlanTime time.Duration
+	// Stats profiles the topology in force after the round.
+	Stats plan.Stats
+	// Operations counts merge/split operations applied by the searching
+	// schemes.
+	Operations int
+}
+
+// Adaptor maintains a monitoring topology across task-set changes.
+type Adaptor struct {
+	scheme  Scheme
+	planner *core.Planner
+	sys     *model.System
+
+	demand    *task.Demand
+	forest    *plan.Forest
+	partition []model.AttrSet
+
+	// epoch is a logical clock advanced once per adaptation round; the
+	// throttling threshold uses it to favor adapting rarely-touched
+	// trees.
+	epoch int
+	// lastAdjusted maps a tree's attribute-set key to the epoch it was
+	// last rebuilt or restructured.
+	lastAdjusted map[string]int
+
+	// maxOps bounds search operations per round for the searching
+	// schemes.
+	maxOps int
+}
+
+// New returns an adaptor using the given policy. The planner supplies
+// the tree builder, allocation policy and aggregation spec shared by all
+// schemes.
+func New(scheme Scheme, planner *core.Planner, sys *model.System) *Adaptor {
+	return &Adaptor{
+		scheme:       scheme,
+		planner:      planner,
+		sys:          sys,
+		demand:       task.NewDemand(),
+		forest:       plan.NewForest(),
+		lastAdjusted: make(map[string]int),
+		maxOps:       32,
+	}
+}
+
+// Scheme returns the adaptor's policy.
+func (a *Adaptor) Scheme() Scheme { return a.scheme }
+
+// Forest returns the topology currently in force.
+func (a *Adaptor) Forest() *plan.Forest { return a.forest }
+
+// Partition returns the attribute partition currently in force.
+func (a *Adaptor) Partition() []model.AttrSet {
+	return append([]model.AttrSet(nil), a.partition...)
+}
+
+// Demand returns the demand currently planned for.
+func (a *Adaptor) Demand() *task.Demand { return a.demand }
+
+// Init plans the initial topology with the full REMO algorithm;
+// subsequent changes go through Apply.
+func (a *Adaptor) Init(d *task.Demand) Report {
+	start := time.Now()
+	res := a.planner.Plan(a.sys, d)
+	msgs := plan.DiffEdges(a.forest, res.Forest)
+	a.demand = d.Clone()
+	a.forest = res.Forest
+	a.partition = res.Partition
+	a.epoch++
+	for _, t := range a.forest.Trees {
+		a.lastAdjusted[t.Attrs.Key()] = a.epoch
+	}
+	return Report{
+		AdaptMessages: msgs,
+		PlanTime:      time.Since(start),
+		Stats:         res.Stats,
+	}
+}
+
+// Apply adapts the topology to a new demand according to the policy.
+func (a *Adaptor) Apply(newDemand *task.Demand) Report {
+	start := time.Now()
+	a.epoch++
+
+	var rep Report
+	switch a.scheme {
+	case Rebuild:
+		res := a.planner.Plan(a.sys, newDemand)
+		rep.AdaptMessages = plan.DiffEdges(a.forest, res.Forest)
+		a.install(newDemand, res.Forest, res.Partition, nil)
+		rep.Stats = res.Stats
+	case DirectApply:
+		forest, sets, _ := a.directApply(newDemand)
+		rep.AdaptMessages = plan.DiffEdges(a.forest, forest)
+		a.install(newDemand, forest, sets, nil)
+		rep.Stats = forest.ComputeStats(newDemand, a.sys, a.planner.Spec())
+	case NoThrottle, Adaptive:
+		forest, sets, rebuilt := a.directApply(newDemand)
+		base := a.forest
+		forest, sets, ops := a.optimize(newDemand, forest, sets, rebuilt, a.scheme == Adaptive)
+		rep.Operations = ops
+		rep.AdaptMessages = plan.DiffEdges(base, forest)
+		touched := make(map[string]struct{}, len(rebuilt))
+		for k := range rebuilt {
+			touched[k] = struct{}{}
+		}
+		a.install(newDemand, forest, sets, touched)
+		rep.Stats = forest.ComputeStats(newDemand, a.sys, a.planner.Spec())
+	default:
+		res := a.planner.Plan(a.sys, newDemand)
+		rep.AdaptMessages = plan.DiffEdges(a.forest, res.Forest)
+		a.install(newDemand, res.Forest, res.Partition, nil)
+		rep.Stats = res.Stats
+	}
+	rep.PlanTime = time.Since(start)
+	return rep
+}
+
+// install commits a new topology. touched lists tree keys whose
+// adjustment timestamps should advance; nil advances every tree (full
+// replans).
+func (a *Adaptor) install(d *task.Demand, forest *plan.Forest, sets []model.AttrSet, touched map[string]struct{}) {
+	a.demand = d.Clone()
+	a.forest = forest
+	a.partition = sets
+
+	present := make(map[string]struct{}, len(forest.Trees))
+	for _, t := range forest.Trees {
+		k := t.Attrs.Key()
+		present[k] = struct{}{}
+		if _, seen := a.lastAdjusted[k]; !seen {
+			a.lastAdjusted[k] = a.epoch
+			continue
+		}
+		if touched == nil {
+			a.lastAdjusted[k] = a.epoch
+		} else if _, hit := touched[k]; hit {
+			a.lastAdjusted[k] = a.epoch
+		}
+	}
+	for k := range a.lastAdjusted {
+		if _, ok := present[k]; !ok {
+			delete(a.lastAdjusted, k)
+		}
+	}
+}

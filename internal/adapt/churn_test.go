@@ -1,0 +1,126 @@
+package adapt
+
+import (
+	"math/rand"
+	"testing"
+
+	"remo/internal/core"
+	"remo/internal/partition"
+	"remo/internal/plan"
+	"remo/internal/task"
+	"remo/internal/workload"
+)
+
+// TestLongChurnInvariants runs every scheme through a long random churn
+// sequence, checking after every round that the topology validates, the
+// partition is a partition, and the reported adaptation cost matches an
+// independently computed forest diff.
+func TestLongChurnInvariants(t *testing.T) {
+	sys, err := workload.System(workload.SystemConfig{
+		Nodes: 25, Attrs: 12, CapacityLo: 60, CapacityHi: 150, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := workload.Tasks(sys, workload.TaskConfig{
+		Count: 20, AttrsPerTask: 4, NodesPerTask: 6, Seed: 22,
+	})
+
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			a := New(scheme, core.NewPlanner(), sys)
+			tasks := initial
+			d, err := workload.Demand(sys, tasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Init(d)
+
+			rng := rand.New(rand.NewSource(23))
+			for round := 0; round < 12; round++ {
+				tasks = workload.Churn(sys, tasks, workload.ChurnConfig{
+					TaskFraction: 0.2,
+					AttrFraction: 0.5,
+					Seed:         rng.Int63(),
+				})
+				// Occasionally add or drop a task entirely.
+				switch round % 4 {
+				case 1:
+					tasks = append(tasks, workload.Tasks(sys, workload.TaskConfig{
+						Count: 1, AttrsPerTask: 3, NodesPerTask: 5,
+						Seed: rng.Int63(), Prefix: taskName(round),
+					})...)
+				case 3:
+					if len(tasks) > 5 {
+						tasks = tasks[:len(tasks)-1]
+					}
+				}
+				nd, err := workload.Demand(sys, tasks)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				before := a.Forest().Clone()
+				rep := a.Apply(nd)
+
+				if err := a.Forest().Validate(nd, sys, nil); err != nil {
+					t.Fatalf("round %d: invalid topology: %v", round, err)
+				}
+				if err := partition.Validate(a.Partition(), nd.Universe()); err != nil {
+					t.Fatalf("round %d: invalid partition: %v", round, err)
+				}
+				if got := plan.DiffEdges(before, a.Forest()); got != rep.AdaptMessages {
+					t.Fatalf("round %d: reported %d adapt messages, diff is %d",
+						round, rep.AdaptMessages, got)
+				}
+				if rep.Stats.Collected < 0 || rep.Stats.Collected > nd.PairCount() {
+					t.Fatalf("round %d: collected %d of %d", round, rep.Stats.Collected, nd.PairCount())
+				}
+			}
+		})
+	}
+}
+
+func taskName(round int) string {
+	return "extra" + string(rune('a'+round%26))
+}
+
+// TestApplyToEmptyAndBack exercises degenerate transitions: all tasks
+// removed, then restored.
+func TestApplyToEmptyAndBack(t *testing.T) {
+	sys, err := workload.System(workload.SystemConfig{
+		Nodes: 10, Attrs: 4, CapacityLo: 80, CapacityHi: 120, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := workload.Tasks(sys, workload.TaskConfig{
+		Count: 5, AttrsPerTask: 2, NodesPerTask: 4, Seed: 32,
+	})
+	for _, scheme := range Schemes() {
+		a := New(scheme, core.NewPlanner(), sys)
+		d, err := workload.Demand(sys, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Init(d)
+
+		empty := task.NewDemand()
+		rep := a.Apply(empty)
+		if rep.Stats.Collected != 0 {
+			t.Fatalf("%s: empty demand collected %d", scheme, rep.Stats.Collected)
+		}
+		if len(a.Forest().Trees) != 0 {
+			t.Fatalf("%s: empty demand left %d trees", scheme, len(a.Forest().Trees))
+		}
+
+		rep = a.Apply(d)
+		if rep.Stats.Collected == 0 {
+			t.Fatalf("%s: restored demand collected nothing", scheme)
+		}
+		if err := a.Forest().Validate(d, sys, nil); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+	}
+}

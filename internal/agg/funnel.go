@@ -1,0 +1,181 @@
+// Package agg implements in-network aggregation support: funnel functions
+// that model how aggregation shrinks message payloads during delivery, and
+// runtime aggregators that combine actual values inside the emulated
+// cluster.
+//
+// A funnel function fnl_i^m(g_m, n_m) returns the number of outgoing
+// values at a node for metric m, given the aggregation type g_m and the
+// number of incoming values n_m (the node's own values plus values
+// received from its children). Holistic collection forwards everything
+// (out = in); SUM collapses any number of partial values into one; TOP-k
+// forwards at most k.
+package agg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the supported aggregation types.
+type Kind int
+
+// Supported aggregation kinds.
+const (
+	// Holistic forwards every individual value (no aggregation).
+	Holistic Kind = iota + 1
+	// Sum collapses incoming values into a single partial sum.
+	Sum
+	// Max collapses incoming values into a single partial maximum.
+	Max
+	// Min collapses incoming values into a single partial minimum.
+	Min
+	// Count collapses incoming values into a single partial count.
+	Count
+	// TopK forwards the k largest values.
+	TopK
+	// Distinct forwards distinct values; its result size is data
+	// dependent, so REMO uses the holistic funnel as an upper bound when
+	// planning (per §6.1 of the paper).
+	Distinct
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Holistic:
+		return "HOLISTIC"
+	case Sum:
+		return "SUM"
+	case Max:
+		return "MAX"
+	case Min:
+		return "MIN"
+	case Count:
+		return "COUNT"
+	case TopK:
+		return "TOPK"
+	case Distinct:
+		return "DISTINCT"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Funnel models the payload reduction of one aggregation type. Inputs and
+// outputs are weighted value counts: the frequency extension scales a
+// value's contribution below 1 when it piggybacks at a reduced rate.
+type Funnel interface {
+	// Out returns the outgoing weighted value count for an incoming
+	// weighted value count.
+	Out(in float64) float64
+	// Kind returns the aggregation type this funnel models.
+	Kind() Kind
+}
+
+// funnelFunc adapts a function to the Funnel interface.
+type funnelFunc struct {
+	kind Kind
+	fn   func(float64) float64
+}
+
+func (f funnelFunc) Out(in float64) float64 { return f.fn(in) }
+func (f funnelFunc) Kind() Kind             { return f.kind }
+
+// NewFunnel returns the funnel for kind. For TopK, k is the result bound;
+// it is ignored for other kinds. Unknown kinds fall back to holistic.
+func NewFunnel(kind Kind, k int) Funnel {
+	switch kind {
+	case Sum, Max, Min, Count:
+		return funnelFunc{kind: kind, fn: func(in float64) float64 {
+			return clamp(in, 1)
+		}}
+	case TopK:
+		bound := float64(k)
+		if k <= 0 {
+			bound = 1
+		}
+		return funnelFunc{kind: kind, fn: func(in float64) float64 {
+			return clamp(in, bound)
+		}}
+	case Holistic, Distinct:
+		return funnelFunc{kind: kind, fn: func(in float64) float64 {
+			if in < 0 {
+				return 0
+			}
+			return in
+		}}
+	default:
+		return funnelFunc{kind: Holistic, fn: func(in float64) float64 {
+			if in < 0 {
+				return 0
+			}
+			return in
+		}}
+	}
+}
+
+func clamp(in, bound float64) float64 {
+	if in <= 0 {
+		return 0
+	}
+	if in > bound {
+		return bound
+	}
+	return in
+}
+
+// Combine applies the aggregation of kind to concrete values at a relay
+// hop, returning the values to forward. k bounds TopK results.
+func Combine(kind Kind, k int, values []float64) []float64 {
+	if len(values) == 0 {
+		return nil
+	}
+	switch kind {
+	case Sum:
+		var s float64
+		for _, v := range values {
+			s += v
+		}
+		return []float64{s}
+	case Max:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return []float64{m}
+	case Min:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return []float64{m}
+	case Count:
+		return []float64{float64(len(values))}
+	case TopK:
+		if k <= 0 {
+			k = 1
+		}
+		cp := append([]float64(nil), values...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+		if len(cp) > k {
+			cp = cp[:k]
+		}
+		return cp
+	case Distinct:
+		seen := make(map[float64]struct{}, len(values))
+		var out []float64
+		for _, v := range values {
+			if _, dup := seen[v]; !dup {
+				seen[v] = struct{}{}
+				out = append(out, v)
+			}
+		}
+		return out
+	default: // Holistic
+		return append([]float64(nil), values...)
+	}
+}

@@ -1,0 +1,139 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFunnelOut(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		k    int
+		in   float64
+		want float64
+	}{
+		{Holistic, 0, 7, 7},
+		{Holistic, 0, 0, 0},
+		{Holistic, 0, -3, 0},
+		{Sum, 0, 7, 1},
+		{Sum, 0, 0.4, 0.4}, // partial-weight values never inflate
+		{Sum, 0, 0, 0},
+		{Max, 0, 12, 1},
+		{Min, 0, 3, 1},
+		{Count, 0, 9, 1},
+		{TopK, 10, 25, 10},
+		{TopK, 10, 4, 4},
+		{TopK, 0, 25, 1}, // k defaults to 1
+		{Distinct, 0, 8, 8},
+	}
+	for _, tt := range tests {
+		f := NewFunnel(tt.kind, tt.k)
+		if got := f.Out(tt.in); got != tt.want {
+			t.Errorf("%v(k=%d).Out(%v) = %v, want %v", tt.kind, tt.k, tt.in, got, tt.want)
+		}
+		if f.Kind() != tt.kind {
+			t.Errorf("Kind() = %v, want %v", f.Kind(), tt.kind)
+		}
+	}
+}
+
+func TestFunnelNeverAmplifies(t *testing.T) {
+	// Property: no funnel emits more than it receives (aggregation only
+	// shrinks payloads), and outputs are never negative.
+	kinds := []Kind{Holistic, Sum, Max, Min, Count, TopK, Distinct}
+	f := func(in float64, kindIdx uint8, k uint8) bool {
+		in = math.Mod(math.Abs(in), 1e6)
+		fn := NewFunnel(kinds[int(kindIdx)%len(kinds)], int(k%16))
+		out := fn.Out(in)
+		return out >= 0 && out <= in+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5}
+	tests := []struct {
+		kind Kind
+		k    int
+		want []float64
+	}{
+		{Sum, 0, []float64{14}},
+		{Max, 0, []float64{5}},
+		{Min, 0, []float64{1}},
+		{Count, 0, []float64{5}},
+		{TopK, 2, []float64{5, 4}},
+		{Distinct, 0, []float64{3, 1, 4, 5}},
+		{Holistic, 0, []float64{3, 1, 4, 1, 5}},
+	}
+	for _, tt := range tests {
+		got := Combine(tt.kind, tt.k, vals)
+		if len(got) != len(tt.want) {
+			t.Errorf("%v: Combine = %v, want %v", tt.kind, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("%v: Combine = %v, want %v", tt.kind, got, tt.want)
+				break
+			}
+		}
+	}
+	if got := Combine(Sum, 0, nil); got != nil {
+		t.Errorf("Combine(empty) = %v, want nil", got)
+	}
+}
+
+func TestCombineDoesNotMutateInput(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	_ = Combine(TopK, 2, vals)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("input mutated: %v", vals)
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	var s *Spec // nil spec: everything holistic
+	if s.KindOf(1) != Holistic {
+		t.Fatal("nil spec kind != Holistic")
+	}
+	if s.Out(1, 5) != 5 {
+		t.Fatal("nil spec funnel not identity")
+	}
+	if s.K(1) != 1 {
+		t.Fatal("nil spec K != 1")
+	}
+}
+
+func TestSpecAssignments(t *testing.T) {
+	s := NewSpec()
+	s.SetKind(1, Sum)
+	s.SetTopK(2, 5)
+	if s.KindOf(1) != Sum || s.KindOf(2) != TopK || s.KindOf(3) != Holistic {
+		t.Fatalf("kinds = %v %v %v", s.KindOf(1), s.KindOf(2), s.KindOf(3))
+	}
+	if s.K(2) != 5 {
+		t.Fatalf("K(2) = %d", s.K(2))
+	}
+	if got := s.Out(2, 9); got != 5 {
+		t.Fatalf("Out(topk attr, 9) = %v, want 5", got)
+	}
+	// Distinct plans with the holistic upper bound.
+	s.SetKind(3, Distinct)
+	if got := s.Out(3, 9); got != 9 {
+		t.Fatalf("Out(distinct attr, 9) = %v, want 9 (upper bound)", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Holistic, Sum, Max, Min, Count, TopK, Distinct} {
+		if k.String() == "" || k.String()[0] == 'K' {
+			t.Errorf("Kind(%d).String() = %q", int(k), k.String())
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}

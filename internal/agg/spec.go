@@ -1,0 +1,67 @@
+package agg
+
+import (
+	"remo/internal/model"
+)
+
+// Spec maps attributes to their aggregation. Attributes without an entry
+// use holistic collection. The zero value (nil-map spec) is valid and
+// means "everything holistic".
+type Spec struct {
+	kinds map[model.AttrID]Kind
+	topK  map[model.AttrID]int
+}
+
+// NewSpec returns an empty specification (all attributes holistic).
+func NewSpec() *Spec {
+	return &Spec{
+		kinds: make(map[model.AttrID]Kind),
+		topK:  make(map[model.AttrID]int),
+	}
+}
+
+// SetKind assigns aggregation kind to attribute a.
+func (s *Spec) SetKind(a model.AttrID, kind Kind) {
+	s.kinds[a] = kind
+}
+
+// SetTopK assigns TOP-k aggregation with the given k to attribute a.
+func (s *Spec) SetTopK(a model.AttrID, k int) {
+	s.kinds[a] = TopK
+	s.topK[a] = k
+}
+
+// KindOf returns the aggregation kind of attribute a (Holistic when
+// unset). A nil Spec is valid and returns Holistic for every attribute.
+func (s *Spec) KindOf(a model.AttrID) Kind {
+	if s == nil {
+		return Holistic
+	}
+	if k, ok := s.kinds[a]; ok {
+		return k
+	}
+	return Holistic
+}
+
+// K returns the TOP-k bound of attribute a (1 when unset).
+func (s *Spec) K(a model.AttrID) int {
+	if s == nil {
+		return 1
+	}
+	if k, ok := s.topK[a]; ok && k > 0 {
+		return k
+	}
+	return 1
+}
+
+// FunnelOf returns the planning funnel for attribute a. The Distinct kind
+// intentionally maps to the holistic funnel: its result size is data
+// dependent, so REMO plans with the conservative upper bound.
+func (s *Spec) FunnelOf(a model.AttrID) Funnel {
+	return NewFunnel(s.KindOf(a), s.K(a))
+}
+
+// Out applies attribute a's funnel to a weighted incoming value count.
+func (s *Spec) Out(a model.AttrID, in float64) float64 {
+	return s.FunnelOf(a).Out(in)
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"remo/internal/core"
+	"remo/internal/metrics"
+)
+
+// Ablations quantifies the planner's design choices that DESIGN.md calls
+// out beyond the paper's own figures: (a) the guided-search evaluation
+// budget (how much quality the candidate ranking buys per evaluation),
+// (b) multi-start (seeding from both extreme partitions), and (c)
+// sideways merge moves (plateau crossing).
+func Ablations(o Options) []*metrics.Table {
+	return []*metrics.Table{
+		ablationBudget(o),
+		ablationSearchFeatures(o),
+	}
+}
+
+// ablationBudget sweeps the per-iteration evaluation budget.
+func ablationBudget(o Options) *metrics.Table {
+	tbl := metrics.NewTable(
+		"Ablation A — guided-search budget (avg over 3 workloads)",
+		"eval_budget", "pct_collected", "evaluations")
+
+	for _, budget := range []int{2, 4, 8, 16, 32, 0} {
+		var pct, evals float64
+		const reps = 3
+		for rep := 0; rep < reps; rep++ {
+			e, err := buildEnv(o, envConfig{seed: o.Seed + int64(130+rep)})
+			if err != nil {
+				panic(err)
+			}
+			p := core.NewPlanner(core.WithEvalBudget(budget))
+			res := p.Plan(e.sys, e.d)
+			pct += pctOf(res, e)
+			evals += float64(res.Evaluations)
+		}
+		x := float64(budget)
+		if budget == 0 {
+			x = -1 // exhaustive marker
+		}
+		mustAdd(tbl, x, pct/reps, evals/reps)
+	}
+	return tbl
+}
+
+// ablationSearchFeatures toggles multi-start and sideways moves.
+func ablationSearchFeatures(o Options) *metrics.Table {
+	tbl := metrics.NewTable(
+		"Ablation B — search features (% collected, avg over 3 workloads)",
+		"workload", "FULL", "NO-MULTISTART", "NO-SIDEWAYS", "NEITHER")
+
+	// Three workload profiles where the features matter differently:
+	// heavy overhead (merging pays), balanced, and heavy payload.
+	profiles := []struct {
+		name  float64 // x value: C/a ratio identifies the profile
+		ratio float64
+	}{
+		{name: 2, ratio: 2},
+		{name: 10, ratio: 10},
+		{name: 50, ratio: 50},
+	}
+	for _, prof := range profiles {
+		variants := []*core.Planner{
+			core.NewPlanner(),
+			core.NewPlanner(core.WithSingleStart()),
+			core.NewPlanner(core.WithNoSideways()),
+			core.NewPlanner(core.WithSingleStart(), core.WithNoSideways()),
+		}
+		cells := make([]float64, len(variants))
+		const reps = 3
+		for rep := 0; rep < reps; rep++ {
+			e, err := buildEnv(o, envConfig{
+				ratio: prof.ratio,
+				seed:  o.Seed + int64(140+rep),
+			})
+			if err != nil {
+				panic(err)
+			}
+			for i, p := range variants {
+				cells[i] += pctOf(p.Plan(e.sys, e.d), e) / reps
+			}
+		}
+		mustAdd(tbl, prof.name, cells...)
+	}
+	return tbl
+}
+
+func pctOf(res core.Result, e env) float64 {
+	return pct(res.Stats.Collected, e.d.PairCount())
+}

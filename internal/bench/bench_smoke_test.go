@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"testing"
+
+	"remo/internal/metrics"
+)
+
+// smoke runs experiments at a small scale; these tests assert the
+// figures' qualitative shape (who wins), not absolute numbers.
+var smoke = Options{Scale: 0.15, Seed: 1, Rounds: 12}
+
+func colMean(t *testing.T, tbl *metrics.Table, name string) float64 {
+	t.Helper()
+	col, ok := tbl.Column(name)
+	if !ok {
+		t.Fatalf("table %q lacks column %q", tbl.Title, name)
+	}
+	return metrics.Mean(col)
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, name := range want {
+		if reg[i].Name != name {
+			t.Fatalf("registry[%d] = %q, want %q", i, reg[i].Name, name)
+		}
+	}
+	if _, ok := Lookup("fig5"); !ok {
+		t.Fatal("Lookup(fig5) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup(nope) succeeded")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tables := Fig2(smoke)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	senders, _ := tables[0].Column("cpu_pct")
+	if len(senders) != 5 {
+		t.Fatalf("sender rows = %d", len(senders))
+	}
+	// Calibration endpoints: ~6% at 16 senders, 68% at 256.
+	if senders[0] < 2 || senders[0] > 10 {
+		t.Errorf("16-sender CPU = %.2f%%, want ~4-6%%", senders[0])
+	}
+	if senders[len(senders)-1] < 60 || senders[len(senders)-1] > 75 {
+		t.Errorf("256-sender CPU = %.2f%%, want ~68%%", senders[len(senders)-1])
+	}
+	values, _ := tables[1].Column("cpu_pct")
+	if values[0] < 0.15 || values[0] > 0.25 {
+		t.Errorf("1-value message = %.3f%%, want ~0.2%%", values[0])
+	}
+	last := values[len(values)-1]
+	if last < 1.0 || last > 1.8 {
+		t.Errorf("256-value message = %.3f%%, want ~1.4%%", last)
+	}
+	// The per-message series grows far faster than the per-value series.
+	if senders[4]/senders[0] < 10 {
+		t.Errorf("sender series not ~linear: %v", senders)
+	}
+	if last/values[0] > 10 {
+		t.Errorf("value series too steep: %v", values)
+	}
+}
+
+func TestFig5RemoDominates(t *testing.T) {
+	for _, tbl := range Fig5(smoke) {
+		remo := colMean(t, tbl, "REMO")
+		sp := colMean(t, tbl, "SINGLETON-SET")
+		op := colMean(t, tbl, "ONE-SET")
+		if remo < sp || remo < op {
+			t.Errorf("%s: REMO %.1f vs SP %.1f / OP %.1f", tbl.Title, remo, sp, op)
+		}
+		if remo > 100 || remo <= 0 {
+			t.Errorf("%s: REMO out of range: %.1f", tbl.Title, remo)
+		}
+	}
+}
+
+func TestFig6RemoDominatesAndOverheadHurtsSP(t *testing.T) {
+	tables := Fig6(smoke)
+	for _, tbl := range tables {
+		remo := colMean(t, tbl, "REMO")
+		if remo < colMean(t, tbl, "SINGLETON-SET") || remo < colMean(t, tbl, "ONE-SET") {
+			t.Errorf("%s: REMO not dominant", tbl.Title)
+		}
+	}
+	// Fig 6c/d: rising C/a must hurt SINGLETON-SET more than ONE-SET.
+	for _, tbl := range tables[2:] {
+		sp, _ := tbl.Column("SINGLETON-SET")
+		op, _ := tbl.Column("ONE-SET")
+		spDrop := sp[0] - sp[len(sp)-1]
+		opDrop := op[0] - op[len(op)-1]
+		if spDrop < opDrop {
+			t.Errorf("%s: SP drop %.1f < OP drop %.1f under rising C/a", tbl.Title, spDrop, opDrop)
+		}
+	}
+}
+
+func TestFig7AdaptiveDominates(t *testing.T) {
+	// ADAPTIVE must clearly beat STAR and CHAIN. MAX_AVB is a strong
+	// heuristic that ADAPTIVE should match: allow a small tolerance —
+	// builder choice perturbs the partition search trajectory, which can
+	// cost a point or two on individual panels.
+	const tolerance = 2.5
+	for _, tbl := range Fig7(smoke) {
+		adaptive := colMean(t, tbl, "ADAPTIVE")
+		for _, other := range []string{"STAR", "CHAIN", "MAX_AVB"} {
+			if adaptive+tolerance < colMean(t, tbl, other) {
+				t.Errorf("%s: ADAPTIVE %.1f < %s %.1f", tbl.Title, adaptive, other, colMean(t, tbl, other))
+			}
+		}
+		if adaptive+tolerance < colMean(t, tbl, "STAR") || adaptive+tolerance < colMean(t, tbl, "CHAIN") {
+			t.Errorf("%s: ADAPTIVE does not dominate the simple schemes", tbl.Title)
+		}
+	}
+}
+
+func TestFig8RemoLowersError(t *testing.T) {
+	for _, tbl := range Fig8(smoke) {
+		remo := colMean(t, tbl, "REMO")
+		sp := colMean(t, tbl, "SINGLETON-SET")
+		op := colMean(t, tbl, "ONE-SET")
+		if remo > sp || remo > op {
+			t.Errorf("%s: REMO error %.1f vs SP %.1f / OP %.1f", tbl.Title, remo, sp, op)
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	tables := Fig9(smoke)
+	cpu := tables[0]
+	// REBUILD must be the most expensive planner, D-A the cheapest.
+	rebuild := colMean(t, cpu, "REBUILD")
+	da := colMean(t, cpu, "D-A")
+	adaptive := colMean(t, cpu, "ADAPTIVE")
+	if rebuild < da {
+		t.Errorf("REBUILD CPU %.2fms < D-A %.2fms", rebuild, da)
+	}
+	if rebuild < adaptive {
+		t.Errorf("REBUILD CPU %.2fms < ADAPTIVE %.2fms", rebuild, adaptive)
+	}
+	// REBUILD generates the most adaptation traffic.
+	share := tables[1]
+	if colMean(t, share, "REBUILD") < colMean(t, share, "ADAPTIVE") {
+		t.Error("REBUILD adaptation share below ADAPTIVE")
+	}
+	if colMean(t, share, "REBUILD") < colMean(t, share, "D-A") {
+		t.Error("REBUILD adaptation share below D-A")
+	}
+	// Collected values: the searching schemes should at least match
+	// D-A (100%).
+	coll := tables[3]
+	if colMean(t, coll, "ADAPTIVE") < 95 {
+		t.Errorf("ADAPTIVE collected %.1f%% of D-A", colMean(t, coll, "ADAPTIVE"))
+	}
+}
+
+func TestFig10OptimizationsFasterNotWorse(t *testing.T) {
+	tables := Fig10(smoke)
+	speed, quality := tables[0], tables[1]
+	both, _ := speed.Column("BOTH")
+	last := both[len(both)-1]
+	if last < 1 {
+		t.Errorf("BOTH speedup %.2fx < 1 at the largest size", last)
+	}
+	basic := colMean(t, quality, "BASIC")
+	optimized := colMean(t, quality, "BOTH")
+	if basic-optimized > 5 {
+		t.Errorf("optimizations cost %.1f%% coverage (want <5%%)", basic-optimized)
+	}
+}
+
+func TestFig11OrderedWins(t *testing.T) {
+	for _, tbl := range Fig11(smoke) {
+		ordered := colMean(t, tbl, "ORDERED")
+		for _, other := range []string{"UNIFORM", "PROPORTIONAL"} {
+			if ordered+1e-9 < colMean(t, tbl, other) {
+				t.Errorf("%s: ORDERED %.1f < %s %.1f", tbl.Title, ordered, other, colMean(t, tbl, other))
+			}
+		}
+	}
+}
+
+func TestAblationsRunAndRank(t *testing.T) {
+	tables := Ablations(smoke)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	// Larger budgets never evaluate fewer candidates.
+	evals, _ := tables[0].Column("evaluations")
+	for i := 1; i < len(evals)-1; i++ { // last row is exhaustive (-1)
+		if evals[i] < evals[i-1]-1e-9 {
+			t.Errorf("evaluations not monotone: %v", evals)
+		}
+	}
+	// The full search is at least as good as the crippled variants on
+	// average.
+	full := colMean(t, tables[1], "FULL")
+	for _, col := range []string{"NO-MULTISTART", "NO-SIDEWAYS", "NEITHER"} {
+		if full+1e-9 < colMean(t, tables[1], col) {
+			t.Errorf("FULL %.2f < %s %.2f", full, col, colMean(t, tables[1], col))
+		}
+	}
+}
+
+func TestFig12ExtensionsHelp(t *testing.T) {
+	tables := Fig12(smoke)
+	a, b := tables[0], tables[1]
+	if colMean(t, a, "AGG-AWARE") < 100 {
+		t.Errorf("AGG-AWARE %.1f%% below basic", colMean(t, a, "AGG-AWARE"))
+	}
+	if colMean(t, a, "BOTH") < colMean(t, a, "BASIC") {
+		t.Errorf("BOTH %.1f%% below basic", colMean(t, a, "BOTH"))
+	}
+	remo2 := colMean(t, b, "REMO-2")
+	for _, other := range []string{"SINGLETON-SET-2", "ONE-SET-2"} {
+		if remo2+1e-9 < colMean(t, b, other) {
+			t.Errorf("REMO-2 %.1f < %s %.1f", remo2, other, colMean(t, b, other))
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"remo/internal/alloc"
+	"remo/internal/metrics"
+	"remo/internal/tree"
+)
+
+// allocColumns are the tree-wise capacity allocation schemes of Fig. 11.
+var allocColumns = []string{"UNIFORM", "PROPORTIONAL", "ON-DEMAND", "ORDERED"}
+
+// allocPoint evaluates all allocation schemes on one environment.
+func allocPoint(e env) []float64 {
+	out := make([]float64, 0, len(allocColumns))
+	for _, s := range alloc.Schemes() {
+		p := plannerWith(tree.Adaptive, s)
+		out = append(out, pctPlanned(p, e))
+	}
+	return out
+}
+
+// Fig11 compares the capacity allocation schemes inside the full
+// planner: (a) sweeping the node count, (b) sweeping the task count.
+// ON-DEMAND and ORDERED should dominate, with ORDERED pulling ahead as
+// tree-size disparity grows (small trees built first are not starved).
+func Fig11(o Options) []*metrics.Table {
+	a := metrics.NewTable("Fig 11a — % collected vs nodes", "nodes", allocColumns...)
+	for _, n := range sweepInts(o, []int{50, 100, 200, 300, 400}, 10) {
+		e, err := buildEnv(o, envConfig{
+			nodes:        n,
+			nodesPerTask: maxInt(4, n/5),
+			seed:         o.Seed + 110,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(a, float64(n), allocPoint(e)...)
+	}
+
+	b := metrics.NewTable("Fig 11b — % collected vs tasks", "tasks", allocColumns...)
+	for _, n := range sweepInts(o, []int{25, 50, 100, 150, 200}, 4) {
+		e, err := buildEnv(o, envConfig{tasks: n, seed: o.Seed + 111})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(b, float64(n), allocPoint(e)...)
+	}
+	return []*metrics.Table{a, b}
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"remo/internal/agg"
+	"remo/internal/core"
+	"remo/internal/freq"
+	"remo/internal/metrics"
+	"remo/internal/model"
+	"remo/internal/partition"
+	"remo/internal/reliability"
+	"remo/internal/task"
+	"remo/internal/workload"
+)
+
+// Fig12 evaluates the extension techniques: (a) aggregation-aware and
+// update-frequency-aware planning, reported as collected values
+// normalized to the basic (oblivious) REMO planner; (b) the SSDP
+// replication mode REMO-2 against SINGLETON-SET-2 and ONE-SET-2.
+func Fig12(o Options) []*metrics.Table {
+	return []*metrics.Table{fig12a(o), fig12b(o)}
+}
+
+// fig12a: tasks request MAX in-network aggregation and half of the
+// attributes update at half frequency. The basic planner ignores both,
+// overestimates message costs, and builds needlessly conservative
+// trees; the aware planner exploits funnels and piggyback weights.
+func fig12a(o Options) *metrics.Table {
+	tbl := metrics.NewTable(
+		"Fig 12a — collected values normalized to basic REMO (%)",
+		"tasks", "BASIC", "AGG-AWARE", "FREQ-AWARE", "BOTH")
+
+	for _, n := range sweepInts(o, []int{40, 80, 140, 200}, 4) {
+		e, err := buildEnv(o, envConfig{
+			tasks: n,
+			// Capacities keep the oblivious baseline at moderate
+			// coverage, as in the paper's setting, so the awareness gain
+			// is not inflated by starvation.
+			capLo: 250, capHi: 600,
+			seed: o.Seed + 120,
+		})
+		if err != nil {
+			panic(err)
+		}
+
+		// MAX aggregation on every attribute.
+		spec := agg.NewSpec()
+		for _, a := range e.d.Universe().Attrs() {
+			spec.SetKind(a, agg.Max)
+		}
+		// Half the attributes update at half rate.
+		fs := freq.NewSpec()
+		for i, a := range e.d.Universe().Attrs() {
+			if i%2 == 0 {
+				if err := fs.Set(a, 0.5); err != nil {
+					panic(err)
+				}
+			}
+		}
+		weighted := fs.Apply(e.d)
+
+		basic := float64(core.NewPlanner().Plan(e.sys, e.d).Stats.Collected)
+		aggAware := float64(core.NewPlanner(core.WithSpec(spec)).Plan(e.sys, e.d).Stats.Collected)
+		freqAware := float64(core.NewPlanner().Plan(e.sys, weighted).Stats.Collected)
+		both := float64(core.NewPlanner(core.WithSpec(spec)).Plan(e.sys, weighted).Stats.Collected)
+
+		if basic == 0 {
+			basic = 1
+		}
+		mustAdd(tbl, float64(n),
+			100,
+			100*aggAware/basic,
+			100*freqAware/basic,
+			100*both/basic,
+		)
+	}
+	return tbl
+}
+
+// fig12b: every task is rewritten for SSDP delivery with replication
+// factor 2; REMO-2 plans under the anti-colocation constraints, while
+// the baselines force singleton or two-set partitions.
+func fig12b(o Options) *metrics.Table {
+	tbl := metrics.NewTable(
+		"Fig 12b — % collected with replication factor 2",
+		"tasks", "REMO-2", "SINGLETON-SET-2", "ONE-SET-2")
+
+	for _, n := range sweepInts(o, []int{20, 40, 80, 120}, 3) {
+		sys, err := workload.System(workload.SystemConfig{
+			Nodes:      o.scaleInt(120, 15),
+			Attrs:      o.scaleInt(50, 8),
+			CapacityLo: 150,
+			CapacityHi: 400,
+			Seed:       o.Seed + 121,
+		})
+		if err != nil {
+			panic(err)
+		}
+		attrPool := o.scaleInt(50, 8)
+		tasks := workload.Tasks(sys, workload.TaskConfig{
+			Count:        n,
+			AttrsPerTask: 6,
+			NodesPerTask: maxInt(4, len(sys.Nodes)/6),
+			Seed:         o.Seed + 122,
+		})
+
+		// SSDP-rewrite every task with a private alias range.
+		var rewrites []reliability.Rewrite
+		mgr := task.NewManager()
+		aliasBase := model.AttrID(attrPool + 1000)
+		for _, t := range tasks {
+			rw, err := reliability.SSDP(t, 2, aliasBase)
+			if err != nil {
+				panic(err)
+			}
+			aliasBase += model.AttrID(len(t.Attrs) + 1)
+			rewrites = append(rewrites, rw)
+			for _, rt := range rw.Tasks {
+				if err := mgr.Add(rt); err != nil {
+					panic(err)
+				}
+			}
+		}
+		cons := reliability.MergeConstraints(rewrites...)
+		d := mgr.Demand()
+		universe := d.Universe()
+
+		remo2 := core.NewPlanner(core.WithConstraints(cons)).Plan(sys, d)
+		sp2 := core.NewPlanner().PlanPartition(sys, d, partition.Singleton(universe))
+		os2 := core.NewPlanner().PlanPartition(sys, d, oneSetTwo(universe, model.AttrID(attrPool)))
+
+		total := d.PairCount()
+		mustAdd(tbl, float64(n),
+			pct(remo2.Stats.Collected, total),
+			pct(sp2.Stats.Collected, total),
+			pct(os2.Stats.Collected, total),
+		)
+	}
+	return tbl
+}
+
+// oneSetTwo partitions the universe into two trees: one for original
+// attributes (ids <= maxOriginal) and one for their replication aliases
+// — the ONE-SET-2 baseline.
+func oneSetTwo(universe model.AttrSet, maxOriginal model.AttrID) []model.AttrSet {
+	var originals, aliases []model.AttrID
+	for _, a := range universe.Attrs() {
+		if a <= maxOriginal {
+			originals = append(originals, a)
+		} else {
+			aliases = append(aliases, a)
+		}
+	}
+	var sets []model.AttrSet
+	if len(originals) > 0 {
+		sets = append(sets, model.NewAttrSet(originals...))
+	}
+	if len(aliases) > 0 {
+		sets = append(sets, model.NewAttrSet(aliases...))
+	}
+	return sets
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"remo/internal/cost"
+	"remo/internal/metrics"
+)
+
+// fig2Model is the cost model calibrated against the paper's BlueGene/P
+// measurements: receiving one single-value message costs 0.2% CPU and
+// one 256-value message 1.4%, so (C + 256a)/(C + a) = 7, i.e. C = 41.5a.
+var fig2Model = cost.Model{PerMessage: 41.5, PerValue: 1}
+
+// Fig2 regenerates the cost-model motivation: root CPU load versus the
+// number of single-value messages received (star fan-in 16..256), and
+// the cost of one message versus the number of values it carries
+// (1..256). The first series grows steeply (per-message overhead paid
+// per sender), the second only mildly (payload cost is cheap) — the
+// asymmetry that motivates cost(msg) = C + a·x.
+func Fig2(o Options) []*metrics.Table {
+	_ = o // the calibration sweep is scale-independent
+
+	// Panel 1: the star root receives one single-value message per
+	// sender per round. Scaled so 256 senders consume 68% CPU, matching
+	// the paper's measurement.
+	senders := metrics.NewTable(
+		"Fig 2 (left) — root CPU% vs number of senders (1 value/message)",
+		"senders", "cpu_pct",
+	)
+	unit := 68.0 / (256 * fig2Model.Message(1))
+	for _, n := range []int{16, 32, 64, 128, 256} {
+		mustAdd(senders, float64(n), float64(n)*fig2Model.Message(1)*unit)
+	}
+
+	// Panel 2: one message carrying x values. Scaled so a single-value
+	// message costs 0.2% CPU; 256 values must land near 1.4%.
+	values := metrics.NewTable(
+		"Fig 2 (right) — cost of one message vs values per message",
+		"values", "cpu_pct",
+	)
+	vUnit := 0.2 / fig2Model.Message(1)
+	for _, x := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		mustAdd(values, float64(x), fig2Model.Message(x)*vUnit)
+	}
+	return []*metrics.Table{senders, values}
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"remo/internal/metrics"
+	"remo/internal/partition"
+)
+
+// partitionColumns are the attribute-set partition schemes compared in
+// Figs. 5 and 6.
+var partitionColumns = []string{"REMO", "SINGLETON-SET", "ONE-SET"}
+
+// partitionPoint evaluates the three partition schemes on one
+// environment and returns their percent-collected values.
+func partitionPoint(e env) []float64 {
+	p := defaultPlanner()
+	universe := e.d.Universe()
+	return []float64{
+		pctPlanned(p, e),
+		pctCollected(p, e, partition.Singleton(universe)),
+		pctCollected(p, e, partition.OneSet(universe)),
+	}
+}
+
+// Fig5 compares partition schemes under varying workload
+// characteristics: (a) attributes per task, (b) nodes per task under a
+// heavy 100-attribute workload, (c) number of small-scale tasks, and
+// (d) number of large-scale tasks. REMO should dominate everywhere;
+// ONE-SET is competitive for small attribute sets, SINGLETON-SET under
+// extreme per-task load.
+func Fig5(o Options) []*metrics.Table {
+	a := metrics.NewTable("Fig 5a — % collected vs attributes per task", "attrs_per_task", partitionColumns...)
+	for _, at := range sweepInts(o, []int{10, 20, 40, 70, 100}, 2) {
+		e, err := buildEnv(o, envConfig{attrsPerTask: at, seed: o.Seed + 50})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(a, float64(at), partitionPoint(e)...)
+	}
+
+	b := metrics.NewTable("Fig 5b — % collected vs nodes per task (attrs/task = 100)", "nodes_per_task", partitionColumns...)
+	for _, nt := range sweepInts(o, []int{20, 40, 80, 120, 160, 200}, 2) {
+		e, err := buildEnv(o, envConfig{
+			attrsPerTask: 100,
+			nodesPerTask: nt,
+			seed:         o.Seed + 51,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(b, float64(nt), partitionPoint(e)...)
+	}
+
+	c := metrics.NewTable("Fig 5c — % collected vs number of small-scale tasks", "tasks", partitionColumns...)
+	for _, n := range sweepInts(o, []int{50, 100, 200, 350, 500}, 5) {
+		e, err := buildEnv(o, envConfig{
+			tasks:        n,
+			attrsPerTask: 3,
+			nodesPerTask: maxInt(2, o.scaleInt(200, 20)/10),
+			seed:         o.Seed + 52,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(c, float64(n), partitionPoint(e)...)
+	}
+
+	d := metrics.NewTable("Fig 5d — % collected vs number of large-scale tasks", "tasks", partitionColumns...)
+	for _, n := range sweepInts(o, []int{10, 20, 40, 70, 100}, 2) {
+		e, err := buildEnv(o, envConfig{
+			tasks:        n,
+			attrsPerTask: 25,
+			nodesPerTask: maxInt(4, o.scaleInt(200, 20)/2),
+			seed:         o.Seed + 53,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(d, float64(n), partitionPoint(e)...)
+	}
+	return []*metrics.Table{a, b, c, d}
+}
+
+// Fig6 compares partition schemes under varying system characteristics:
+// (a) number of nodes with small tasks, (b) with large tasks, and (c,d)
+// the per-message overhead ratio C/a under small and large tasks.
+// Rising C/a hits SINGLETON-SET hardest (one tree, and hence one
+// message, per attribute) while ONE-SET degrades gracefully.
+func Fig6(o Options) []*metrics.Table {
+	nodeSweep := sweepInts(o, []int{50, 100, 200, 300, 400}, 10)
+
+	a := metrics.NewTable("Fig 6a — % collected vs nodes (small tasks)", "nodes", partitionColumns...)
+	for _, n := range nodeSweep {
+		e, err := buildEnv(o, envConfig{
+			nodes:        n,
+			tasks:        o.scaleInt(150, 10),
+			attrsPerTask: 3,
+			nodesPerTask: maxInt(2, n/10),
+			seed:         o.Seed + 60,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(a, float64(n), partitionPoint(e)...)
+	}
+
+	b := metrics.NewTable("Fig 6b — % collected vs nodes (large tasks)", "nodes", partitionColumns...)
+	for _, n := range nodeSweep {
+		e, err := buildEnv(o, envConfig{
+			nodes:        n,
+			tasks:        o.scaleInt(40, 4),
+			attrsPerTask: 25,
+			nodesPerTask: maxInt(4, n/2),
+			seed:         o.Seed + 61,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(b, float64(n), partitionPoint(e)...)
+	}
+
+	ratios := []float64{1, 2, 5, 10, 20, 50}
+	c := metrics.NewTable("Fig 6c — % collected vs C/a ratio (small tasks)", "C_over_a", partitionColumns...)
+	for _, r := range ratios {
+		e, err := buildEnv(o, envConfig{
+			ratio:        r,
+			tasks:        o.scaleInt(150, 10),
+			attrsPerTask: 3,
+			nodesPerTask: maxInt(2, o.scaleInt(200, 20)/10),
+			seed:         o.Seed + 62,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(c, r, partitionPoint(e)...)
+	}
+
+	d := metrics.NewTable("Fig 6d — % collected vs C/a ratio (large tasks)", "C_over_a", partitionColumns...)
+	for _, r := range ratios {
+		e, err := buildEnv(o, envConfig{
+			ratio:        r,
+			tasks:        o.scaleInt(40, 4),
+			attrsPerTask: 25,
+			nodesPerTask: maxInt(4, o.scaleInt(200, 20)/2),
+			seed:         o.Seed + 63,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(d, r, partitionPoint(e)...)
+	}
+	return []*metrics.Table{a, b, c, d}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"remo/internal/alloc"
+	"remo/internal/metrics"
+	"remo/internal/tree"
+)
+
+// treeColumns are the tree construction schemes of Fig. 7.
+var treeColumns = []string{"ADAPTIVE", "STAR", "CHAIN", "MAX_AVB"}
+
+// treePoint evaluates the tree construction schemes on one environment.
+// To isolate tree construction as the variable, the attribute partition
+// is planned once (with the default planner) and every scheme builds
+// trees for that same partition.
+func treePoint(e env) []float64 {
+	sets := defaultPlanner().Plan(e.sys, e.d).Partition
+	out := make([]float64, 0, len(treeColumns))
+	for _, s := range []tree.Scheme{tree.Adaptive, tree.Star, tree.Chain, tree.MaxAvb} {
+		p := plannerWith(s, alloc.Ordered)
+		out = append(out, pctCollected(p, e, sets))
+	}
+	return out
+}
+
+// Fig7 compares the tree construction schemes under varying workload and
+// system characteristics: (a) number of large-scale tasks (workload
+// pressure), (b) attributes per task, (c) number of nodes, and (d) the
+// C/a ratio. ADAPTIVE should dominate; STAR holds up under heavy
+// workloads (minimal relaying), CHAIN only under light ones (its relay
+// cost explodes with message size).
+func Fig7(o Options) []*metrics.Table {
+	a := metrics.NewTable("Fig 7a — % collected vs number of tasks", "tasks", treeColumns...)
+	for _, n := range sweepInts(o, []int{20, 40, 80, 140, 200}, 4) {
+		e, err := buildEnv(o, envConfig{
+			tasks:        n,
+			attrsPerTask: 10,
+			seed:         o.Seed + 70,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(a, float64(n), treePoint(e)...)
+	}
+
+	b := metrics.NewTable("Fig 7b — % collected vs attributes per task", "attrs_per_task", treeColumns...)
+	for _, at := range sweepInts(o, []int{5, 10, 20, 40, 80}, 2) {
+		e, err := buildEnv(o, envConfig{attrsPerTask: at, seed: o.Seed + 71})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(b, float64(at), treePoint(e)...)
+	}
+
+	c := metrics.NewTable("Fig 7c — % collected vs number of nodes", "nodes", treeColumns...)
+	for _, n := range sweepInts(o, []int{50, 100, 200, 300, 400}, 10) {
+		e, err := buildEnv(o, envConfig{
+			nodes:        n,
+			nodesPerTask: maxInt(4, n/5),
+			seed:         o.Seed + 72,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(c, float64(n), treePoint(e)...)
+	}
+
+	d := metrics.NewTable("Fig 7d — % collected vs C/a ratio", "C_over_a", treeColumns...)
+	for _, r := range []float64{1, 2, 5, 10, 20, 50} {
+		e, err := buildEnv(o, envConfig{ratio: r, seed: o.Seed + 73})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(d, r, treePoint(e)...)
+	}
+	return []*metrics.Table{a, b, c, d}
+}

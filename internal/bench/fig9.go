@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"remo/internal/adapt"
+	"remo/internal/core"
+	"remo/internal/metrics"
+	"remo/internal/model"
+	"remo/internal/workload"
+)
+
+// adaptColumns are the adaptation schemes of Fig. 9.
+var adaptColumns = []string{"D-A", "REBUILD", "NO-THROTTLE", "ADAPTIVE"}
+
+// windowRounds is the measurement window: 10 value-update rounds, as in
+// the paper ("task update batches within a time window of 10 value
+// updates").
+const windowRounds = 10
+
+// fig9Run is what one adaptation scheme produced over a churn window.
+type fig9Run struct {
+	cpuMillis float64
+	adaptMsgs float64
+	monMsgs   float64
+	collected float64
+}
+
+// Fig9 reproduces the adaptation comparison: monitoring tasks are
+// mutated in batches of increasing frequency, and the four schemes are
+// measured on (a) planning CPU time, (b) the share of adaptation
+// messages in total traffic, (c) total message cost relative to
+// DIRECT-APPLY, and (d) collected values relative to DIRECT-APPLY.
+func Fig9(o Options) []*metrics.Table {
+	freqs := []int{1, 2, 4, 8, 16, 32}
+
+	a := metrics.NewTable("Fig 9a — planning CPU time (ms) vs task updates per window", "updates", adaptColumns...)
+	b := metrics.NewTable("Fig 9b — adaptation share of total messages (%)", "updates", adaptColumns...)
+	c := metrics.NewTable("Fig 9c — total cost relative to D-A (%)", "updates", adaptColumns...)
+	d := metrics.NewTable("Fig 9d — collected values relative to D-A (%)", "updates", adaptColumns...)
+
+	for _, f := range freqs {
+		runs := make([]fig9Run, len(adaptColumns))
+		for i, scheme := range adapt.Schemes() {
+			runs[i] = fig9Point(o, scheme, f)
+		}
+		base := runs[0] // D-A
+
+		cpu := make([]float64, len(runs))
+		share := make([]float64, len(runs))
+		total := make([]float64, len(runs))
+		coll := make([]float64, len(runs))
+		for i, r := range runs {
+			cpu[i] = r.cpuMillis
+			if r.adaptMsgs+r.monMsgs > 0 {
+				share[i] = 100 * r.adaptMsgs / (r.adaptMsgs + r.monMsgs)
+			}
+			if bt := base.adaptMsgs + base.monMsgs; bt > 0 {
+				total[i] = 100 * (r.adaptMsgs + r.monMsgs) / bt
+			}
+			if base.collected > 0 {
+				coll[i] = 100 * r.collected / base.collected
+			}
+		}
+		mustAdd(a, float64(f), cpu...)
+		mustAdd(b, float64(f), share...)
+		mustAdd(c, float64(f), total...)
+		mustAdd(d, float64(f), coll...)
+	}
+	return []*metrics.Table{a, b, c, d}
+}
+
+// fig9Point runs one scheme through f churn batches in a 10-round
+// window.
+func fig9Point(o Options, scheme adapt.Scheme, f int) fig9Run {
+	sys, tasks := fig9Env(o)
+	d, err := workload.Demand(sys, tasks)
+	if err != nil {
+		panic(err)
+	}
+	ad := adapt.New(scheme, core.NewPlanner(), sys)
+	ad.Init(d)
+
+	var run fig9Run
+	roundsPerBatch := float64(windowRounds) / float64(f)
+	cur := tasks
+	for batch := 0; batch < f; batch++ {
+		// The paper's churn: ~5% of tasks replace half their attributes.
+		cur = workload.Churn(sys, cur, workload.ChurnConfig{
+			TaskFraction: 0.05,
+			AttrFraction: 0.5,
+			Seed:         o.Seed + int64(batch)*101 + 13,
+		})
+		nd, err := workload.Demand(sys, cur)
+		if err != nil {
+			panic(err)
+		}
+		rep := ad.Apply(nd)
+		run.cpuMillis += float64(rep.PlanTime.Microseconds()) / 1000
+		run.adaptMsgs += float64(rep.AdaptMessages)
+		// Monitoring traffic until the next batch: one message per tree
+		// member per round.
+		var members int
+		for _, t := range ad.Forest().Trees {
+			members += t.Size()
+		}
+		run.monMsgs += roundsPerBatch * float64(members)
+		run.collected = float64(rep.Stats.Collected)
+	}
+	return run
+}
+
+// fig9Env builds the churn experiment environment once per point so all
+// schemes see identical inputs.
+func fig9Env(o Options) (*model.System, []model.Task) {
+	sys, err := workload.System(workload.SystemConfig{
+		Nodes:      o.scaleInt(120, 15),
+		Attrs:      o.scaleInt(60, 8),
+		CapacityLo: 150,
+		CapacityHi: 400,
+		Seed:       o.Seed + 90,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tasks := workload.Tasks(sys, workload.TaskConfig{
+		Count:        o.scaleInt(80, 8),
+		AttrsPerTask: 8,
+		NodesPerTask: maxInt(4, len(sys.Nodes)/6),
+		Seed:         o.Seed + 91,
+	})
+	return sys, tasks
+}

@@ -1,0 +1,347 @@
+// Package cluster emulates a REMO deployment: one goroutine per
+// monitoring node, periodic update messages flowing up the planned
+// monitoring trees over a pluggable transport, per-round capacity
+// enforcement, and a central collector measuring coverage, staleness and
+// percentage error against ground truth.
+//
+// The emulation follows the paper's delivery model: each collection
+// round every tree member sends exactly one update message to its parent
+// carrying its locally observed values plus the values it received from
+// its children in the previous round. Values therefore reach the central
+// node after one round per hop — deep trees deliver stale values, which
+// is the latency component of Fig. 8's percentage error. Nodes whose
+// capacity budget cannot cover a message's cost drop it, which is the
+// loss component.
+package cluster
+
+import (
+	"errors"
+	"sort"
+
+	"remo/internal/agg"
+	"remo/internal/model"
+	"remo/internal/plan"
+	"remo/internal/task"
+	"remo/internal/trace"
+	"remo/internal/transport"
+)
+
+// Config describes one emulated deployment.
+type Config struct {
+	// Sys supplies capacities and the cost model.
+	Sys *model.System
+	// Forest is the monitoring topology to deploy.
+	Forest *plan.Forest
+	// Demand is the monitoring workload (defines local values per node).
+	Demand *task.Demand
+	// Spec enables in-network aggregation for selected attributes (nil =
+	// holistic).
+	Spec *agg.Spec
+	// Source produces ground-truth values. Defaults to BurstyWalk{}.
+	Source ValueSource
+	// Transport defaults to an in-process memory transport.
+	Transport transport.Transport
+	// Rounds is the number of collection rounds to run (must be > 0).
+	Rounds int
+	// Resolve maps alias attributes (reliability replicas) to their
+	// originals; nil means identity.
+	Resolve func(model.AttrID) model.AttrID
+	// EnforceCapacity applies per-round capacity budgets; disable to
+	// measure pure latency effects.
+	EnforceCapacity bool
+	// FailAt kills node n at the start of round FailAt[n]: it stops
+	// sending and silently discards received messages from then on.
+	FailAt map[model.NodeID]int
+	// DropEvery drops every k-th message on the wire (0 disables),
+	// modeling lossy links deterministically.
+	DropEvery int
+	// Observer, when set, receives every value the collector accepts
+	// (alias-resolved), in canonical per-round order. It is called from
+	// the coordinator goroutine only.
+	Observer func(pair model.Pair, round int, value float64)
+	// Trace, when set, records structured emulation events.
+	Trace *trace.Recorder
+}
+
+// Result aggregates what the collector observed.
+type Result struct {
+	// Rounds actually run.
+	Rounds int
+	// DemandedPairs is the number of distinct node-attribute pairs to
+	// collect (aliases folded onto their originals).
+	DemandedPairs int
+	// CoveredPairs is how many demanded pairs were delivered at least
+	// once.
+	CoveredPairs int
+	// PercentCollected is delivered (pair, round) observations over
+	// demanded ones, in percent. Piggybacked low-rate pairs count only
+	// the rounds they are due.
+	PercentCollected float64
+	// AvgPercentError is the mean relative error between the collector's
+	// view and ground truth over all demanded pairs and rounds, in
+	// percent. Never-delivered pairs count as 100% error.
+	AvgPercentError float64
+	// AvgStaleness is the mean age (in rounds) of delivered views.
+	AvgStaleness float64
+	// MessagesSent counts update messages accepted by the transport.
+	MessagesSent int
+	// MessagesDropped counts messages lost to capacity, failures or link
+	// drops.
+	MessagesDropped int
+	// ValuesDelivered counts attribute values received by the collector.
+	ValuesDelivered int
+	// ErrorSeries is the average percentage error per round (warm-up
+	// curves, convergence analysis).
+	ErrorSeries []float64
+}
+
+// Errors returned by Run.
+var (
+	ErrNoRounds = errors.New("cluster: Rounds must be positive")
+	ErrNoForest = errors.New("cluster: nil forest or system")
+)
+
+// membership is one node's role in one tree.
+type membership struct {
+	key    string
+	tree   *plan.Tree
+	parent model.NodeID
+	local  []model.AttrID // attrs this node contributes to the tree
+	period map[model.AttrID]int
+}
+
+// nodeState is the per-node runtime state, owned by its goroutine.
+type nodeState struct {
+	id          model.NodeID
+	capacity    float64
+	memberships []membership
+	// relay buffers child values per tree between rounds.
+	relay map[string][]transport.Value
+	// budget is the round's remaining capacity, shared by the receive
+	// and send phases.
+	budget float64
+	sent   int
+	drops  int
+}
+
+// Run executes a fixed-length emulation and returns the collector's
+// measurements. It is a convenience wrapper over Machine for experiments
+// with a static topology.
+func Run(cfg Config) (Result, error) {
+	if cfg.Rounds <= 0 {
+		return Result{}, ErrNoRounds
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer func() { _ = m.Close() }()
+	if err := m.StepN(cfg.Rounds); err != nil {
+		return Result{}, err
+	}
+	return m.Result(), nil
+}
+
+// buildStates prepares per-node runtime state from the plan.
+func buildStates(cfg Config) []*nodeState {
+	byID := make(map[model.NodeID]*nodeState)
+	state := func(n model.NodeID) *nodeState {
+		st, ok := byID[n]
+		if !ok {
+			st = &nodeState{
+				id:       n,
+				capacity: cfg.Sys.Capacity(n),
+				relay:    make(map[string][]transport.Value),
+			}
+			byID[n] = st
+		}
+		return st
+	}
+	for _, t := range cfg.Forest.Trees {
+		key := t.Attrs.Key()
+		for _, n := range t.Members() {
+			parent, _ := t.Parent(n)
+			local := cfg.Demand.LocalAttrs(n, t.Attrs)
+			period := make(map[model.AttrID]int, len(local))
+			for _, a := range local {
+				period[a] = weightPeriod(cfg.Demand.Weight(n, a))
+			}
+			st := state(n)
+			st.memberships = append(st.memberships, membership{
+				key:    key,
+				tree:   t,
+				parent: parent,
+				local:  local,
+				period: period,
+			})
+		}
+	}
+	states := make([]*nodeState, 0, len(byID))
+	for _, st := range byID {
+		sort.Slice(st.memberships, func(i, j int) bool {
+			return st.memberships[i].key < st.memberships[j].key
+		})
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].id < states[j].id })
+	return states
+}
+
+// weightPeriod converts a piggyback weight to a reporting period: weight
+// 1 reports every round, weight 0.5 every second round, etc.
+func weightPeriod(w float64) int {
+	if w >= 1 || w <= 0 {
+		return 1
+	}
+	p := int(1/w + 0.5)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// dead reports whether the node has failed by the given round.
+func (st *nodeState) dead(cfg Config, round int) bool {
+	deadAt, failed := cfg.FailAt[st.id]
+	return failed && round >= deadAt
+}
+
+// receivePhase drains the node's inbox (messages sent last round),
+// charging receive costs against this round's budget; over-budget
+// messages are dropped with their payload.
+func (st *nodeState) receivePhase(cfg Config, tr transport.Transport, round int) {
+	st.budget = st.capacity
+	if st.dead(cfg, round) {
+		// Dead nodes silently discard input.
+		_ = tr.Drain(st.id)
+		if cfg.Trace != nil && cfg.FailAt[st.id] == round {
+			cfg.Trace.Record(trace.Event{Round: round, Kind: trace.NodeDead, Node: st.id})
+		}
+		return
+	}
+	for _, msg := range tr.Drain(st.id) {
+		c := cfg.Sys.Cost.Message(len(msg.Values))
+		if cfg.EnforceCapacity && c > st.budget {
+			st.drops++
+			if cfg.Trace != nil {
+				cfg.Trace.Record(trace.Event{
+					Round: round, Kind: trace.RecvDrop, Node: st.id,
+					Peer: msg.From, TreeKey: msg.TreeKey, Values: len(msg.Values),
+				})
+			}
+			continue
+		}
+		st.budget -= c
+		st.relay[msg.TreeKey] = append(st.relay[msg.TreeKey], msg.Values...)
+	}
+}
+
+// sendPhase emits one message per tree membership carrying fresh local
+// values plus last round's relayed values, within the remaining budget.
+func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
+	if st.dead(cfg, round) {
+		return
+	}
+	for _, m := range st.memberships {
+		values := st.composeMessage(cfg, m, round)
+		st.relay[m.key] = nil
+		c := cfg.Sys.Cost.Message(len(values))
+		if cfg.EnforceCapacity && c > st.budget {
+			st.drops++
+			st.traceDrop(cfg, m, round, len(values))
+			continue
+		}
+		st.budget -= c
+		st.sent++
+		if cfg.DropEvery > 0 && (st.sent+round)%cfg.DropEvery == 0 {
+			st.drops++
+			st.traceDrop(cfg, m, round, len(values))
+			continue
+		}
+		err := tr.Send(transport.Message{
+			TreeKey: m.key,
+			From:    st.id,
+			To:      m.parent,
+			Values:  values,
+		})
+		if err != nil {
+			st.drops++
+			st.traceDrop(cfg, m, round, len(values))
+			continue
+		}
+		if cfg.Trace != nil {
+			cfg.Trace.Record(trace.Event{
+				Round: round, Kind: trace.Send, Node: st.id,
+				Peer: m.parent, TreeKey: m.key, Values: len(values),
+			})
+		}
+	}
+}
+
+// traceDrop records a failed send when tracing is on.
+func (st *nodeState) traceDrop(cfg Config, m membership, round, values int) {
+	if cfg.Trace == nil {
+		return
+	}
+	cfg.Trace.Record(trace.Event{
+		Round: round, Kind: trace.SendDrop, Node: st.id,
+		Peer: m.parent, TreeKey: m.key, Values: values,
+	})
+}
+
+// composeMessage assembles the values a node forwards for one tree this
+// round, applying in-network aggregation funnels.
+func (st *nodeState) composeMessage(cfg Config, m membership, round int) []transport.Value {
+	values := append([]transport.Value(nil), st.relay[m.key]...)
+	for _, a := range m.local {
+		if round%m.period[a] != 0 {
+			continue // piggybacked metric not due this round
+		}
+		values = append(values, transport.Value{
+			Node:  st.id,
+			Attr:  a,
+			Round: round,
+			Value: cfg.Source.Value(st.id, cfg.Resolve(a), round),
+		})
+	}
+	if cfg.Spec == nil {
+		return values
+	}
+	return aggregate(cfg, st.id, values, round)
+}
+
+// aggregate applies per-attribute runtime aggregation to a message's
+// values. Aggregated attributes collapse to a single value attributed to
+// the aggregating node.
+func aggregate(cfg Config, at model.NodeID, values []transport.Value, round int) []transport.Value {
+	byAttr := make(map[model.AttrID][]transport.Value)
+	var order []model.AttrID
+	for _, v := range values {
+		if _, seen := byAttr[v.Attr]; !seen {
+			order = append(order, v.Attr)
+		}
+		byAttr[v.Attr] = append(byAttr[v.Attr], v)
+	}
+	model.SortAttrs(order)
+	out := make([]transport.Value, 0, len(values))
+	for _, a := range order {
+		vs := byAttr[a]
+		kind := cfg.Spec.KindOf(a)
+		if kind == agg.Holistic {
+			out = append(out, vs...)
+			continue
+		}
+		raw := make([]float64, len(vs))
+		oldest := vs[0].Round
+		for i, v := range vs {
+			raw[i] = v.Value
+			if v.Round < oldest {
+				oldest = v.Round
+			}
+		}
+		for _, c := range agg.Combine(kind, cfg.Spec.K(a), raw) {
+			out = append(out, transport.Value{Node: at, Attr: a, Round: oldest, Value: c})
+		}
+	}
+	return out
+}

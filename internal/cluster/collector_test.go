@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"remo/internal/agg"
+	"remo/internal/cost"
+	"remo/internal/model"
+	"remo/internal/plan"
+	"remo/internal/task"
+)
+
+// starEnv builds a 1-attribute star over n nodes with ample capacity.
+func starEnv(t *testing.T, n int) (*model.System, *task.Demand, *plan.Forest) {
+	t.Helper()
+	nodes := make([]model.Node, n)
+	d := task.NewDemand()
+	for i := range nodes {
+		id := model.NodeID(i + 1)
+		nodes[i] = model.Node{ID: id, Capacity: 1e6, Attrs: []model.AttrID{1}}
+		d.Set(id, 1, 1)
+	}
+	sys, err := model.NewSystem(1e6, cost.Default(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := plan.NewTree(model.NewAttrSet(1))
+	for i := range nodes {
+		parent := model.NodeID(1)
+		if i == 0 {
+			parent = model.Central
+		}
+		if err := tr.AddNode(model.NodeID(i+1), parent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := plan.NewForest()
+	f.Add(tr)
+	return sys, d, f
+}
+
+func TestObserverSeesEveryDeliveredValue(t *testing.T) {
+	sys, d, f := starEnv(t, 6)
+	var mu sync.Mutex
+	seen := make(map[model.Pair]int)
+	res, err := Run(Config{
+		Sys: sys, Forest: f, Demand: d, Rounds: 10,
+		Observer: func(p model.Pair, round int, v float64) {
+			mu.Lock()
+			seen[p]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, c := range seen {
+		total += c
+	}
+	if total != res.ValuesDelivered {
+		t.Fatalf("observer saw %d values, collector counted %d", total, res.ValuesDelivered)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("observer saw %d pairs, want 6", len(seen))
+	}
+}
+
+func TestAggregateErrorMeasuresAggregate(t *testing.T) {
+	sys, d, f := starEnv(t, 5)
+	spec := agg.NewSpec()
+	spec.SetKind(1, agg.Max)
+
+	// A constant source: the MAX aggregate is exact once delivered, so
+	// the error must vanish after warm-up.
+	src := ValueFunc(func(n model.NodeID, a model.AttrID, r int) float64 {
+		return float64(n) * 10
+	})
+	res, err := Run(Config{
+		Sys: sys, Forest: f, Demand: d, Rounds: 30, Spec: spec, Source: src,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DemandedPairs != 1 {
+		t.Fatalf("aggregated demanded = %d, want 1", res.DemandedPairs)
+	}
+	if res.CoveredPairs != 1 {
+		t.Fatalf("covered = %d", res.CoveredPairs)
+	}
+	// Only the first rounds (before the first delivery) contribute
+	// error: avg over 30 rounds stays small.
+	if res.AvgPercentError > 15 {
+		t.Fatalf("aggregate error = %.2f%%, want ~warm-up only", res.AvgPercentError)
+	}
+}
+
+func TestCentralCapacityDropsAtCollector(t *testing.T) {
+	sys, d, f := starEnv(t, 6)
+	// The root's message carries 6 values: C + 6a = 16 > 10, so the
+	// collector drops every round.
+	tight := sys.Clone()
+	tight.CentralCapacity = 10
+	res, err := Run(Config{
+		Sys: tight, Forest: f, Demand: d, Rounds: 5, EnforceCapacity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoveredPairs != 0 {
+		t.Fatalf("covered %d pairs through a starved collector", res.CoveredPairs)
+	}
+	if res.MessagesDropped == 0 {
+		t.Fatal("no drops recorded at the collector")
+	}
+	if res.AvgPercentError < 99 {
+		t.Fatalf("error = %.2f%%, want ~100%%", res.AvgPercentError)
+	}
+}
+
+func TestWeightPeriod(t *testing.T) {
+	tests := []struct {
+		w    float64
+		want int
+	}{
+		{1, 1},
+		{0.5, 2},
+		{0.25, 4},
+		{0.34, 3},
+		{0, 1},   // zero weight defends against bad input
+		{1.5, 1}, // overweight clamps to every round
+	}
+	for _, tt := range tests {
+		if got := weightPeriod(tt.w); got != tt.want {
+			t.Errorf("weightPeriod(%v) = %d, want %d", tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestPiggybackSkipsOffRounds(t *testing.T) {
+	sys, _, f := starEnv(t, 3)
+	d := task.NewDemand()
+	for _, id := range sys.NodeIDs() {
+		d.Set(id, 1, 0.25) // report every 4th round
+	}
+	res, err := Run(Config{Sys: sys, Forest: f, Demand: d, Rounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 rounds at period 4 = 5 due observations per pair; values
+	// delivered per pair can be at most that (minus tail latency).
+	maxExpected := 3 * 5
+	if res.ValuesDelivered > maxExpected {
+		t.Fatalf("delivered %d values, want <= %d (piggyback period)", res.ValuesDelivered, maxExpected)
+	}
+	if res.ValuesDelivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestErrorSeriesConverges(t *testing.T) {
+	sys, d, f := starEnv(t, 5)
+	src := ValueFunc(func(n model.NodeID, a model.AttrID, r int) float64 {
+		return 100
+	})
+	res, err := Run(Config{Sys: sys, Forest: f, Demand: d, Rounds: 12, Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ErrorSeries) != 12 {
+		t.Fatalf("series length = %d", len(res.ErrorSeries))
+	}
+	// Round 0: only the root's own value has reached the collector (its
+	// message is absorbed the same round), so 4 of 5 pairs are still
+	// missing -> 80% error.
+	if res.ErrorSeries[0] < 79 || res.ErrorSeries[0] > 81 {
+		t.Fatalf("round-0 error = %v, want ~80", res.ErrorSeries[0])
+	}
+	// With a constant signal the error vanishes once everything arrives.
+	last := res.ErrorSeries[len(res.ErrorSeries)-1]
+	if last > 1 {
+		t.Fatalf("final error = %v, want ~0", last)
+	}
+	// The series never increases for a constant source.
+	for i := 1; i < len(res.ErrorSeries); i++ {
+		if res.ErrorSeries[i] > res.ErrorSeries[i-1]+1e-9 {
+			t.Fatalf("series not monotone: %v", res.ErrorSeries)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"remo/internal/model"
+	"remo/internal/plan"
+	"remo/internal/task"
+	"remo/internal/transport"
+)
+
+// Machine is a steppable emulated deployment: the paper's system in
+// motion. Unlike Run, which executes a fixed number of rounds against a
+// fixed topology, a Machine runs round by round and accepts topology
+// swaps between rounds — the runtime half of REMO's adaptive planning
+// (§4): the planner produces new forests as tasks change, and the
+// machine rewires the overlay while values keep flowing.
+type Machine struct {
+	cfg    Config
+	tr     transport.Transport
+	ownTr  bool
+	states []*nodeState
+	coll   *collector
+	round  int
+	closed bool
+	// extraSent/extraDrops preserve traffic counters of nodes dropped by
+	// a topology swap.
+	extraSent, extraDrops int
+}
+
+// NewMachine validates the configuration and prepares a deployment at
+// round 0. Rounds in cfg is ignored for stepping but bounds the
+// delivered-observation bitmaps; it defaults to a generous horizon.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Sys == nil || cfg.Forest == nil || cfg.Demand == nil {
+		return nil, ErrNoForest
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1 << 16
+	}
+	if cfg.Source == nil {
+		cfg.Source = BurstyWalk{}
+	}
+	if cfg.Resolve == nil {
+		cfg.Resolve = func(a model.AttrID) model.AttrID { return a }
+	}
+	m := &Machine{cfg: cfg, tr: cfg.Transport}
+	if m.tr == nil {
+		m.tr = transport.NewMemory(cfg.Sys.NodeIDs())
+		m.ownTr = true
+	}
+	m.states = buildStates(m.cfg)
+	m.coll = newCollector(m.cfg)
+	return m, nil
+}
+
+// Round returns the next round to execute.
+func (m *Machine) Round() int { return m.round }
+
+// Step executes one collection round.
+func (m *Machine) Step() error {
+	if m.closed {
+		return fmt.Errorf("cluster: machine closed")
+	}
+	round := m.round
+	m.round++
+
+	var wg sync.WaitGroup
+	for _, st := range m.states {
+		wg.Add(1)
+		go func(st *nodeState) {
+			defer wg.Done()
+			st.receivePhase(m.cfg, m.tr, round)
+		}(st)
+	}
+	wg.Wait()
+	for _, st := range m.states {
+		wg.Add(1)
+		go func(st *nodeState) {
+			defer wg.Done()
+			st.sendPhase(m.cfg, m.tr, round)
+		}(st)
+	}
+	wg.Wait()
+	if err := m.tr.Flush(); err != nil {
+		return fmt.Errorf("cluster: round %d: %w", round, err)
+	}
+	m.coll.absorb(m.tr.Drain(model.Central), round)
+	m.coll.score(round)
+	return nil
+}
+
+// StepN executes n rounds.
+func (m *Machine) StepN(n int) error {
+	for i := 0; i < n; i++ {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Install swaps in a new topology and demand between rounds, modeling
+// the overlay reconfiguration the adaptation planner ordered. Nodes
+// keep the relay buffers of trees they remain members of; buffers of
+// reshaped trees are dropped (their in-flight values are lost, which is
+// the transient cost of adaptation). The collector keeps its stale
+// views — exactly what a real collector would do — but re-targets its
+// coverage accounting to the new demand.
+func (m *Machine) Install(forest *plan.Forest, d *task.Demand) {
+	old := make(map[model.NodeID]*nodeState, len(m.states))
+	for _, st := range m.states {
+		old[st.id] = st
+	}
+	m.cfg.Forest = forest
+	m.cfg.Demand = d
+	m.states = buildStates(m.cfg)
+
+	// Preserve traffic counters and surviving relay buffers.
+	for _, st := range m.states {
+		prev, ok := old[st.id]
+		if !ok {
+			continue
+		}
+		st.sent = prev.sent
+		st.drops = prev.drops
+		for _, mb := range st.memberships {
+			if buf, has := prev.relay[mb.key]; has {
+				st.relay[mb.key] = buf
+			}
+		}
+		delete(old, st.id)
+	}
+	for _, gone := range old {
+		m.extraSent += gone.sent
+		m.extraDrops += gone.drops
+	}
+
+	m.coll.retarget(m.cfg)
+}
+
+// Result summarizes everything observed so far.
+func (m *Machine) Result() Result {
+	res := m.coll.result()
+	res.Rounds = m.round
+	res.MessagesSent += m.extraSent
+	res.MessagesDropped += m.extraDrops
+	for _, st := range m.states {
+		res.MessagesSent += st.sent
+		res.MessagesDropped += st.drops
+	}
+	return res
+}
+
+// Close releases the machine's transport (when it owns it).
+func (m *Machine) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if m.ownTr {
+		return m.tr.Close()
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math"
+
+	"remo/internal/model"
+)
+
+// ValueSource produces the ground-truth attribute values the emulated
+// nodes observe. Implementations must be safe for concurrent use: node
+// goroutines query values in parallel.
+type ValueSource interface {
+	// Value returns the value of attribute a observed at node n during
+	// collection round round.
+	Value(n model.NodeID, a model.AttrID, round int) float64
+}
+
+// ValueFunc adapts a function to the ValueSource interface.
+type ValueFunc func(n model.NodeID, a model.AttrID, round int) float64
+
+// Value implements ValueSource.
+func (f ValueFunc) Value(n model.NodeID, a model.AttrID, round int) float64 {
+	return f(n, a, round)
+}
+
+// BurstyWalk is a deterministic, stateless value generator modeling the
+// bursty metric dynamics of stream-processing workloads (§1): each pair
+// has a stable baseline, a smooth periodic drift, and occasional load
+// spikes. Being a pure function of (node, attr, round), it is trivially
+// concurrent-safe and lets the collector compute ground truth for any
+// round without bookkeeping.
+type BurstyWalk struct {
+	// Seed decorrelates experiments.
+	Seed uint64
+	// Amplitude scales the periodic drift relative to the baseline
+	// (default 0.3).
+	Amplitude float64
+	// SpikeFactor scales burst magnitude relative to the baseline
+	// (default 0.5); bursts last spells of spikePeriod rounds.
+	SpikeFactor float64
+}
+
+const spikePeriod = 8
+
+// Value implements ValueSource.
+func (w BurstyWalk) Value(n model.NodeID, a model.AttrID, round int) float64 {
+	amp := w.Amplitude
+	if amp == 0 {
+		amp = 0.3
+	}
+	spike := w.SpikeFactor
+	if spike == 0 {
+		spike = 0.5
+	}
+	base := 50 + float64(mix(w.Seed, uint64(n), uint64(a), 0)%100)
+	phase := float64(mix(w.Seed, uint64(n), uint64(a), 1) % 360)
+	period := 20 + float64(mix(w.Seed, uint64(n), uint64(a), 2)%20)
+	v := base * (1 + amp*math.Sin(2*math.Pi*(float64(round)+phase)/period))
+	// Bursts: roughly one spell in four is spiking for this pair.
+	if mix(w.Seed, uint64(n), uint64(a), uint64(round/spikePeriod))%4 == 0 {
+		v *= 1 + spike
+	}
+	return v
+}
+
+// mix is a splitmix64-style hash combining the inputs.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+	}
+	return h
+}

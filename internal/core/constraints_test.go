@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"remo/internal/partition"
+)
+
+// TestPlanRespectsConstraints fuzzes constrained planning: the output
+// partition must always satisfy the conflict and pin constraints.
+func TestPlanRespectsConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		sys, d := randomEnv(t, rng, 15, 6, 40, 90, 400)
+		attrs := d.Universe().Attrs()
+		if len(attrs) < 4 {
+			continue
+		}
+		cons := partition.NewConstraints()
+		cons.Forbid(attrs[0], attrs[1])
+		cons.Forbid(attrs[1], attrs[2])
+		cons.Pin(attrs[3])
+
+		p := NewPlanner(WithConstraints(cons))
+		res := p.Plan(sys, d)
+		if !cons.AllowPartition(res.Partition) {
+			t.Fatalf("trial %d: partition %v violates constraints", trial, res.Partition)
+		}
+		if err := res.Forest.Validate(d, sys, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := partition.Validate(res.Partition, d.Universe()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestAblationOptionsStillValid checks the ablation knobs produce valid
+// (if weaker) plans.
+func TestAblationOptionsStillValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	sys, d := randomEnv(t, rng, 18, 4, 30, 80, 350)
+
+	full := NewPlanner().Plan(sys, d)
+	for _, p := range []*Planner{
+		NewPlanner(WithSingleStart()),
+		NewPlanner(WithNoSideways()),
+		NewPlanner(WithSingleStart(), WithNoSideways()),
+	} {
+		res := p.Plan(sys, d)
+		if err := res.Forest.Validate(d, sys, nil); err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Collected > full.Stats.Collected {
+			// Crippled searches may tie but must not beat the full one
+			// on the same instance (they explore strict subsets).
+			t.Fatalf("ablated search collected %d > full %d",
+				res.Stats.Collected, full.Stats.Collected)
+		}
+	}
+}

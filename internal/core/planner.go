@@ -1,0 +1,356 @@
+// Package core implements REMO's monitoring topology planner: the
+// resource-aware multi-task optimization framework of §3.
+//
+// The planner is a guided local search over attribute-set partitions.
+// Starting from the singleton-set partition (independently constructed
+// per-attribute trees), each iteration enumerates the partition's
+// neighborhood (one merge or one split away), ranks the candidates by
+// estimated capacity-usage gain, and evaluates only the most promising
+// ones with the expensive resource-aware procedure — constructing
+// capacity-constrained collection trees and counting how many
+// node-attribute pairs they deliver. The first candidate that improves
+// the plan is adopted; the search stops when no evaluated candidate
+// improves it.
+package core
+
+import (
+	"remo/internal/agg"
+	"remo/internal/alloc"
+	"remo/internal/model"
+	"remo/internal/partition"
+	"remo/internal/plan"
+	"remo/internal/task"
+	"remo/internal/tree"
+)
+
+// Config parameterizes a Planner.
+type Config struct {
+	// Builder constructs individual trees (default: ADAPTIVE with the
+	// optimized adjusting procedure).
+	Builder tree.Builder
+	// Alloc divides node capacity among trees (default: ORDERED).
+	Alloc alloc.Sequencer
+	// Spec is the in-network aggregation specification (nil = holistic).
+	Spec *agg.Spec
+	// Constraints restricts which attribute sets may form (nil = none).
+	// Used by the reliability and frequency extensions.
+	Constraints *partition.Constraints
+	// EvalBudget bounds how many ranked candidates are evaluated per
+	// search iteration; 0 evaluates the entire neighborhood (the
+	// unguided ablation). Default 8.
+	EvalBudget int
+	// MaxIters bounds search iterations. Default 128.
+	MaxIters int
+	// SingleStart disables the one-set-seeded second search (ablation).
+	SingleStart bool
+	// NoSideways disables score-neutral merge moves (ablation).
+	NoSideways bool
+}
+
+// Option mutates a Config.
+type Option func(*Config)
+
+// WithBuilder selects the tree construction scheme.
+func WithBuilder(b tree.Builder) Option { return func(c *Config) { c.Builder = b } }
+
+// WithAlloc selects the capacity allocation policy.
+func WithAlloc(a alloc.Sequencer) Option { return func(c *Config) { c.Alloc = a } }
+
+// WithSpec sets the in-network aggregation specification.
+func WithSpec(s *agg.Spec) Option { return func(c *Config) { c.Spec = s } }
+
+// WithConstraints restricts which attribute sets may form.
+func WithConstraints(c *partition.Constraints) Option {
+	return func(cfg *Config) { cfg.Constraints = c }
+}
+
+// WithEvalBudget bounds per-iteration candidate evaluations (0 = all).
+func WithEvalBudget(k int) Option { return func(c *Config) { c.EvalBudget = k } }
+
+// WithMaxIters bounds search iterations.
+func WithMaxIters(n int) Option { return func(c *Config) { c.MaxIters = n } }
+
+// WithSingleStart disables the multi-start search (ablation knob).
+func WithSingleStart() Option { return func(c *Config) { c.SingleStart = true } }
+
+// WithNoSideways disables plateau-crossing merge moves (ablation knob).
+func WithNoSideways() Option { return func(c *Config) { c.NoSideways = true } }
+
+// Planner plans monitoring topologies.
+type Planner struct {
+	cfg Config
+}
+
+// NewPlanner returns a planner with the given options applied over
+// REMO's defaults.
+func NewPlanner(opts ...Option) *Planner {
+	cfg := Config{
+		Builder:    tree.New(tree.Adaptive),
+		Alloc:      alloc.New(alloc.Ordered),
+		EvalBudget: 16,
+		MaxIters:   128,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Builder == nil {
+		cfg.Builder = tree.New(tree.Adaptive)
+	}
+	if cfg.Alloc == nil {
+		cfg.Alloc = alloc.New(alloc.Ordered)
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 128
+	}
+	return &Planner{cfg: cfg}
+}
+
+// Result is a finished plan plus search telemetry.
+type Result struct {
+	// Forest is the planned monitoring topology.
+	Forest *plan.Forest
+	// Stats is the forest's evaluated resource profile.
+	Stats plan.Stats
+	// Partition is the attribute-set partition behind the forest.
+	Partition []model.AttrSet
+	// Iterations is the number of accepted search moves.
+	Iterations int
+	// Evaluations counts resource-aware evaluations performed.
+	Evaluations int
+}
+
+// Plan runs the full REMO planning algorithm for demand d on system sys.
+//
+// The local search runs twice — once from the singleton-set partition
+// (the paper's starting point of independently constructed trees) and
+// once from the one-set partition — and the better plan wins. The two
+// extremes bracket the search space (§3.1), so multi-start guarantees
+// the planner never loses to either baseline scheme even when the
+// guided neighborhood ranking misses a crossing move.
+func (p *Planner) Plan(sys *model.System, d *task.Demand) Result {
+	universe := d.Universe()
+	if universe.Empty() {
+		return p.PlanFrom(sys, d, nil)
+	}
+	if p.cfg.SingleStart {
+		return p.PlanFrom(sys, d, partition.Singleton(universe))
+	}
+	fromSP := p.PlanFrom(sys, d, partition.Singleton(universe))
+	fromOP := p.PlanFrom(sys, d, partition.FirstFitAllowed(universe, p.cfg.Constraints))
+	fromOP.Evaluations += fromSP.Evaluations
+	fromOP.Iterations += fromSP.Iterations
+	if fromSP.Stats.Score().Better(fromOP.Stats.Score()) {
+		fromSP.Evaluations = fromOP.Evaluations
+		fromSP.Iterations = fromOP.Iterations
+		return fromSP
+	}
+	return fromOP
+}
+
+// PlanFrom runs the guided local search starting from the given
+// partition (used by the adaptation planner to resume from the current
+// topology).
+//
+// The search is first-improvement over the ranked candidate list. When
+// no evaluated candidate improves the plan, the search may still take a
+// score-neutral merge ("sideways" move): merging trees strictly shrinks
+// the partition, so sideways merges cannot cycle, and they let the
+// search cross the plateaus that arise when several merges are needed
+// before capacity freed at the collector pays off. The best plan seen is
+// always returned.
+func (p *Planner) PlanFrom(sys *model.System, d *task.Demand, sets []model.AttrSet) Result {
+	cache := newEvalCache(d)
+	res := Result{Partition: sets}
+	res.Forest, res.Stats = p.evaluate(sys, d, sets, cache)
+	res.Evaluations = 1
+
+	cur := res
+	best := res.Stats.Score()
+	sidewaysLeft := len(sets)
+	if p.cfg.NoSideways {
+		sidewaysLeft = 0
+	}
+
+	for iter := 0; iter < p.cfg.MaxIters; iter++ {
+		gctx := p.gainContext(sys, d, cur)
+		gctx.Parts = cache.participantsOf
+		cands := partition.Rank(cur.Partition, gctx)
+		if p.cfg.Constraints != nil {
+			allowed := cands[:0]
+			for _, c := range cands {
+				if p.cfg.Constraints.AllowOp(cur.Partition, c.Op) {
+					allowed = append(allowed, c)
+				}
+			}
+			cands = allowed
+		}
+		if p.cfg.EvalBudget > 0 && len(cands) > p.cfg.EvalBudget {
+			cands = cands[:p.cfg.EvalBudget]
+		}
+
+		improved := false
+		sidewaysTaken := false
+		curScore := cur.Stats.Score()
+		for _, c := range cands {
+			sets := partition.Apply(cur.Partition, c.Op)
+			forest, stats := p.evaluate(sys, d, sets, cache)
+			res.Evaluations++
+			sc := stats.Score()
+			if sc.Better(curScore) {
+				cur = Result{Partition: sets, Forest: forest, Stats: stats}
+				res.Iterations++
+				improved = true
+				break
+			}
+			if !improved && !sidewaysTaken && sidewaysLeft > 0 &&
+				c.Op.Kind == partition.MergeOp && !curScore.Better(sc) {
+				cur = Result{Partition: sets, Forest: forest, Stats: stats}
+				sidewaysTaken = true
+				sidewaysLeft--
+				break
+			}
+		}
+		if cur.Stats.Score().Better(best) {
+			best = cur.Stats.Score()
+			res.Partition, res.Forest, res.Stats = cur.Partition, cur.Forest, cur.Stats
+		}
+		if !improved && !sidewaysTaken {
+			break
+		}
+	}
+	return res
+}
+
+// PlanPartition evaluates a fixed partition without searching — the SP
+// and OP baselines use this.
+func (p *Planner) PlanPartition(sys *model.System, d *task.Demand, sets []model.AttrSet) Result {
+	forest, stats := p.Evaluate(sys, d, sets)
+	return Result{
+		Forest:      forest,
+		Stats:       stats,
+		Partition:   sets,
+		Evaluations: 1,
+	}
+}
+
+// evalCache memoizes per-attribute-set demand lookups across the many
+// candidate evaluations of one search: the guided search changes only
+// one or two sets per move, so participant lists and local weights of
+// the remaining sets recur verbatim.
+type evalCache struct {
+	d            *task.Demand
+	participants map[string][]model.NodeID
+	weights      map[string]map[model.NodeID]float64
+}
+
+func newEvalCache(d *task.Demand) *evalCache {
+	return &evalCache{
+		d:            d,
+		participants: make(map[string][]model.NodeID),
+		weights:      make(map[string]map[model.NodeID]float64),
+	}
+}
+
+func (c *evalCache) participantsOf(set model.AttrSet) []model.NodeID {
+	key := set.Key()
+	if parts, ok := c.participants[key]; ok {
+		return parts
+	}
+	parts := c.d.Participants(set)
+	c.participants[key] = parts
+	return parts
+}
+
+func (c *evalCache) weightsOf(set model.AttrSet) map[model.NodeID]float64 {
+	key := set.Key()
+	if w, ok := c.weights[key]; ok {
+		return w
+	}
+	parts := c.participantsOf(set)
+	w := make(map[model.NodeID]float64, len(parts))
+	for _, n := range parts {
+		w[n] = c.d.LocalWeight(n, set)
+	}
+	c.weights[key] = w
+	return w
+}
+
+// Evaluate performs the resource-aware evaluation of a partition: order
+// the trees per the allocation policy, construct each under its capacity
+// budget, and compute the resulting forest's profile.
+func (p *Planner) Evaluate(sys *model.System, d *task.Demand, sets []model.AttrSet) (*plan.Forest, plan.Stats) {
+	return p.evaluate(sys, d, sets, newEvalCache(d))
+}
+
+func (p *Planner) evaluate(sys *model.System, d *task.Demand, sets []model.AttrSet, cache *evalCache) (*plan.Forest, plan.Stats) {
+	req := alloc.Request{Sys: sys, Demand: d, Sets: sets, Parts: cache.participantsOf}
+	order := p.cfg.Alloc.Order(req)
+
+	built := make([]*plan.Tree, len(sets))
+	used := make(map[model.NodeID]float64)
+	var centralUsed float64
+	for _, k := range order {
+		avail := p.cfg.Alloc.Avail(req, k, used)
+		ctx := tree.Context{
+			Sys:          sys,
+			Demand:       d,
+			Spec:         p.cfg.Spec,
+			Attrs:        sets[k],
+			Nodes:        cache.participantsOf(sets[k]),
+			Avail:        avail,
+			CentralAvail: p.cfg.Alloc.CentralAvail(req, k, centralUsed),
+			LocalWeights: cache.weightsOf(sets[k]),
+		}
+		r := p.cfg.Builder.Build(ctx)
+		built[k] = r.Tree
+		for n, u := range r.Used {
+			used[n] += u
+		}
+		centralUsed += r.CentralUsed
+	}
+
+	forest := plan.NewForest()
+	for _, t := range built {
+		if t != nil && !t.Empty() {
+			forest.Add(t)
+		}
+	}
+	return forest, forest.ComputeStats(d, sys, p.cfg.Spec)
+}
+
+// gainContext assembles the estimator inputs from the last evaluation.
+func (p *Planner) gainContext(sys *model.System, d *task.Demand, res Result) partition.GainContext {
+	missed := make([]int, len(res.Partition))
+	for i, set := range res.Partition {
+		demanded := d.PairCountIn(set)
+		collected := 0
+		for _, t := range res.Forest.Trees {
+			if t.Attrs.Equal(set) {
+				for _, n := range t.Members() {
+					collected += len(d.LocalAttrs(n, set))
+				}
+				break
+			}
+		}
+		missed[i] = demanded - collected
+	}
+	return partition.GainContext{
+		Demand:     d,
+		PerMessage: sys.Cost.PerMessage,
+		PerValue:   sys.Cost.PerValue,
+		Missed:     missed,
+	}
+}
+
+// Spec exposes the planner's aggregation spec (used by deployment).
+func (p *Planner) Spec() *agg.Spec { return p.cfg.Spec }
+
+// Builder exposes the planner's tree builder (used by adaptation).
+func (p *Planner) Builder() tree.Builder { return p.cfg.Builder }
+
+// Alloc exposes the planner's allocation policy (used by adaptation).
+func (p *Planner) Alloc() alloc.Sequencer { return p.cfg.Alloc }
+
+// Constraints exposes the planner's partition constraints (used by
+// adaptation).
+func (p *Planner) Constraints() *partition.Constraints { return p.cfg.Constraints }

@@ -1,0 +1,167 @@
+package cost
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidates(t *testing.T) {
+	tests := []struct {
+		name    string
+		c, a    float64
+		wantErr bool
+	}{
+		{name: "valid", c: 10, a: 1},
+		{name: "zero per-message", c: 0, a: 1, wantErr: true},
+		{name: "zero per-value", c: 10, a: 0, wantErr: true},
+		{name: "negative", c: -1, a: 1, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.c, tt.a)
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("New(%v, %v) error = %v, wantErr %v", tt.c, tt.a, err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrInvalidModel) {
+				t.Fatalf("error %v does not wrap ErrInvalidModel", err)
+			}
+		})
+	}
+}
+
+func TestMessageCost(t *testing.T) {
+	m := Model{PerMessage: 10, PerValue: 2}
+	tests := []struct {
+		values int
+		want   float64
+	}{
+		{values: 0, want: 10},
+		{values: 1, want: 12},
+		{values: 256, want: 522},
+		{values: -5, want: 10}, // negative clamps to empty message
+	}
+	for _, tt := range tests {
+		if got := m.Message(tt.values); got != tt.want {
+			t.Errorf("Message(%d) = %v, want %v", tt.values, got, tt.want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	m := Model{PerMessage: 20, PerValue: 2}
+	if got := m.Ratio(); got != 10 {
+		t.Fatalf("Ratio() = %v, want 10", got)
+	}
+	m2 := m.WithRatio(5)
+	if m2.PerMessage != 10 || m2.PerValue != 2 {
+		t.Fatalf("WithRatio(5) = %+v, want C=10 a=2", m2)
+	}
+}
+
+func TestLedgerChargeRefund(t *testing.T) {
+	l := NewLedger()
+	l.SetBudget(1, 100)
+
+	if err := l.Charge(1, 60); err != nil {
+		t.Fatalf("first charge: %v", err)
+	}
+	if err := l.Charge(1, 50); err == nil {
+		t.Fatal("overcommit charge succeeded, want error")
+	} else {
+		var oe *OverloadError
+		if !errors.As(err, &oe) {
+			t.Fatalf("error %v is not *OverloadError", err)
+		}
+		if oe.Entity != 1 || oe.Requested != 50 {
+			t.Fatalf("OverloadError = %+v", oe)
+		}
+	}
+	if got := l.Used(1); got != 60 {
+		t.Fatalf("failed charge mutated usage: %v", got)
+	}
+	l.Refund(1, 60)
+	if got := l.Used(1); got != 0 {
+		t.Fatalf("after refund Used = %v, want 0", got)
+	}
+}
+
+func TestLedgerForceAndOverloaded(t *testing.T) {
+	l := NewLedger()
+	l.SetBudget(1, 10)
+	l.SetBudget(2, 10)
+	l.Force(1, 15)
+	over := l.Overloaded()
+	if len(over) != 1 || over[0] != 1 {
+		t.Fatalf("Overloaded() = %v, want [1]", over)
+	}
+	if got := l.Available(1); got != -5 {
+		t.Fatalf("Available(1) = %v, want -5", got)
+	}
+}
+
+func TestLedgerCloneIsDeep(t *testing.T) {
+	l := NewLedger()
+	l.SetBudget(1, 10)
+	_ = l.Charge(1, 4)
+	c := l.Clone()
+	_ = c.Charge(1, 4)
+	if l.Used(1) != 4 {
+		t.Fatalf("clone charge leaked into original: %v", l.Used(1))
+	}
+	if c.Used(1) != 8 {
+		t.Fatalf("clone Used = %v, want 8", c.Used(1))
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	l := NewLedger()
+	l.SetBudget(7, 3)
+	_ = l.Charge(7, 2)
+	l.Reset()
+	if l.Used(7) != 0 || l.Budget(7) != 3 {
+		t.Fatalf("Reset lost state: used=%v budget=%v", l.Used(7), l.Budget(7))
+	}
+}
+
+func TestLedgerChargeRefundRoundTrip(t *testing.T) {
+	// Property: any sequence of successful charges followed by matching
+	// refunds restores availability.
+	f := func(amounts []float64) bool {
+		l := NewLedger()
+		l.SetBudget(0, 1e12)
+		var charged []float64
+		for _, a := range amounts {
+			a = math.Mod(math.Abs(a), 1e6)
+			if math.IsNaN(a) {
+				continue
+			}
+			if err := l.Charge(0, a); err == nil {
+				charged = append(charged, a)
+			}
+		}
+		for _, a := range charged {
+			l.Refund(0, a)
+		}
+		return math.Abs(l.Used(0)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalUsedAndEntities(t *testing.T) {
+	l := NewLedger()
+	l.SetBudget(3, 10)
+	l.SetBudget(1, 10)
+	_ = l.Charge(3, 2.5)
+	_ = l.Charge(1, 1.5)
+	if got := l.TotalUsed(); got != 4 {
+		t.Fatalf("TotalUsed = %v, want 4", got)
+	}
+	ents := l.Entities()
+	if len(ents) != 2 || ents[0] != 1 || ents[1] != 3 {
+		t.Fatalf("Entities = %v, want [1 3]", ents)
+	}
+}

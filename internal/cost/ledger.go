@@ -1,0 +1,155 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ledger tracks per-entity capacity usage against per-entity budgets. The
+// planner uses one ledger per candidate plan to account for every node's
+// send and receive costs; the emulated cluster uses a ledger per collection
+// round to enforce capacity at runtime.
+//
+// Ledger is not safe for concurrent use; each goroutine should own its own
+// ledger.
+type Ledger struct {
+	budget map[int]float64
+	used   map[int]float64
+}
+
+// NewLedger returns an empty ledger with no budgets registered.
+func NewLedger() *Ledger {
+	return &Ledger{
+		budget: make(map[int]float64),
+		used:   make(map[int]float64),
+	}
+}
+
+// SetBudget registers (or replaces) the capacity budget of entity id.
+func (l *Ledger) SetBudget(id int, capacity float64) {
+	l.budget[id] = capacity
+}
+
+// Budget returns the registered budget of entity id, or 0 if none.
+func (l *Ledger) Budget(id int) float64 {
+	return l.budget[id]
+}
+
+// Used returns the capacity consumed so far by entity id.
+func (l *Ledger) Used(id int) float64 {
+	return l.used[id]
+}
+
+// Available returns the remaining capacity of entity id. It can be
+// negative if Force was used to overcommit.
+func (l *Ledger) Available(id int) float64 {
+	return l.budget[id] - l.used[id]
+}
+
+// CanCharge reports whether amount more capacity units fit within the
+// budget of entity id.
+func (l *Ledger) CanCharge(id int, amount float64) bool {
+	return l.used[id]+amount <= l.budget[id]+epsilon
+}
+
+// Charge consumes amount capacity units from entity id, failing without
+// side effects if the budget would be exceeded.
+func (l *Ledger) Charge(id int, amount float64) error {
+	if !l.CanCharge(id, amount) {
+		return &OverloadError{
+			Entity:    id,
+			Requested: amount,
+			Used:      l.used[id],
+			Budget:    l.budget[id],
+		}
+	}
+	l.used[id] += amount
+	return nil
+}
+
+// Force consumes amount capacity units from entity id even if that
+// overcommits the budget. Used when mirroring decisions already validated
+// elsewhere.
+func (l *Ledger) Force(id int, amount float64) {
+	l.used[id] += amount
+}
+
+// Refund returns amount capacity units to entity id.
+func (l *Ledger) Refund(id int, amount float64) {
+	l.used[id] -= amount
+	if l.used[id] < 0 && l.used[id] > -epsilon {
+		l.used[id] = 0
+	}
+}
+
+// Reset clears all usage, keeping budgets.
+func (l *Ledger) Reset() {
+	for k := range l.used {
+		delete(l.used, k)
+	}
+}
+
+// TotalUsed returns the sum of usage across all entities.
+func (l *Ledger) TotalUsed() float64 {
+	var sum float64
+	for _, u := range l.used {
+		sum += u
+	}
+	return sum
+}
+
+// Entities returns the ids with a registered budget in ascending order.
+func (l *Ledger) Entities() []int {
+	ids := make([]int, 0, len(l.budget))
+	for id := range l.budget {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Overloaded returns the ids whose usage exceeds their budget (beyond the
+// floating-point tolerance), in ascending order.
+func (l *Ledger) Overloaded() []int {
+	var ids []int
+	for id, u := range l.used {
+		if u > l.budget[id]+epsilon {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Clone returns a deep copy of the ledger.
+func (l *Ledger) Clone() *Ledger {
+	c := &Ledger{
+		budget: make(map[int]float64, len(l.budget)),
+		used:   make(map[int]float64, len(l.used)),
+	}
+	for k, v := range l.budget {
+		c.budget[k] = v
+	}
+	for k, v := range l.used {
+		c.used[k] = v
+	}
+	return c
+}
+
+// epsilon absorbs floating-point accumulation error in capacity
+// comparisons.
+const epsilon = 1e-9
+
+// OverloadError reports a rejected charge.
+type OverloadError struct {
+	Entity    int
+	Requested float64
+	Used      float64
+	Budget    float64
+}
+
+// Error implements the error interface.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("cost: entity %d overloaded: used %.3f + requested %.3f > budget %.3f",
+		e.Entity, e.Used, e.Requested, e.Budget)
+}

@@ -1,0 +1,162 @@
+// Package freq implements heterogeneous update frequency support (§6.3):
+// planning for monitoring tasks whose attributes are collected at
+// different rates.
+//
+// REMO handles mixed rates by piggybacking: a node's slower metrics ride
+// in the update messages of its fastest metric, so the node still sends
+// one message per round but the slower values appear only in a fraction
+// of those messages. Cost-wise, a metric updated at frequency f on a node
+// whose fastest metric updates at f_max contributes weight f/f_max to the
+// node's message payload.
+//
+// Piggybacking can only realize rates that divide the fastest rate
+// evenly; metrics whose requested rate cannot be approximated within
+// tolerance are pinned to their own collection trees, matching the
+// paper's fallback of building individual trees for them.
+package freq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"remo/internal/model"
+	"remo/internal/partition"
+	"remo/internal/task"
+)
+
+// ErrBadFrequency is returned for non-positive frequencies.
+var ErrBadFrequency = errors.New("freq: frequency must be positive")
+
+// Spec assigns update frequencies to attributes. Frequencies are in
+// updates per unit time; only ratios matter. Attributes without an entry
+// use DefaultFreq.
+type Spec struct {
+	// DefaultFreq applies to attributes without an explicit entry.
+	DefaultFreq float64
+	// Tolerance is the maximum relative error between a requested rate
+	// and its best piggyback approximation before the attribute is
+	// pinned to its own tree. Zero means any approximation is accepted.
+	Tolerance float64
+
+	freqs map[model.AttrID]float64
+}
+
+// NewSpec returns a spec where every attribute updates at rate 1 by
+// default.
+func NewSpec() *Spec {
+	return &Spec{
+		DefaultFreq: 1,
+		freqs:       make(map[model.AttrID]float64),
+	}
+}
+
+// Set assigns frequency f to attribute a.
+func (s *Spec) Set(a model.AttrID, f float64) error {
+	if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("%w: %v", ErrBadFrequency, f)
+	}
+	s.freqs[a] = f
+	return nil
+}
+
+// Of returns the frequency of attribute a.
+func (s *Spec) Of(a model.AttrID) float64 {
+	if f, ok := s.freqs[a]; ok {
+		return f
+	}
+	if s.DefaultFreq > 0 {
+		return s.DefaultFreq
+	}
+	return 1
+}
+
+// Weight returns the payload weight of pair (n, a) in demand d: the
+// attribute's frequency divided by the node's fastest demanded
+// frequency.
+func (s *Spec) Weight(d *task.Demand, n model.NodeID, a model.AttrID) float64 {
+	fmax := s.maxFreqOf(d, n)
+	if fmax <= 0 {
+		return 1
+	}
+	return s.Of(a) / fmax
+}
+
+func (s *Spec) maxFreqOf(d *task.Demand, n model.NodeID) float64 {
+	var fmax float64
+	for _, a := range d.AttrsOf(n).Attrs() {
+		if f := s.Of(a); f > fmax {
+			fmax = f
+		}
+	}
+	return fmax
+}
+
+// Apply returns a copy of the demand with piggyback weights: each pair's
+// weight is scaled by freq/freq_max of its node. The input demand's
+// weights are treated as multipliers (normally 1).
+func (s *Spec) Apply(d *task.Demand) *task.Demand {
+	out := task.NewDemand()
+	for _, n := range d.Nodes() {
+		fmax := s.maxFreqOf(d, n)
+		for _, a := range d.AttrsOf(n).Attrs() {
+			w := d.Weight(n, a)
+			if fmax > 0 {
+				w *= s.Of(a) / fmax
+			}
+			out.Set(n, a, w)
+		}
+	}
+	return out
+}
+
+// Unsatisfied returns the attributes whose requested rate cannot be
+// realized by piggybacking within the spec's tolerance anywhere they are
+// demanded: the fastest co-located rate must be an integer multiple of
+// the attribute's rate (a metric at rate 1/22 under a 1/5 leader can only
+// fire every 4th or 5th message, i.e. at 1/20 or 1/25).
+func (s *Spec) Unsatisfied(d *task.Demand) []model.AttrID {
+	bad := make(map[model.AttrID]struct{})
+	for _, n := range d.Nodes() {
+		fmax := s.maxFreqOf(d, n)
+		if fmax <= 0 {
+			continue
+		}
+		for _, a := range d.AttrsOf(n).Attrs() {
+			f := s.Of(a)
+			if f >= fmax {
+				continue
+			}
+			// Best piggyback approximations fire every floor(fmax/f) or
+			// ceil(fmax/f) messages.
+			ratio := fmax / f
+			lo := math.Floor(ratio)
+			hi := math.Ceil(ratio)
+			errLo := math.Abs(fmax/lo-f) / f
+			errHi := math.Abs(fmax/hi-f) / f
+			if math.Min(errLo, errHi) > s.Tolerance {
+				bad[a] = struct{}{}
+			}
+		}
+	}
+	var out []model.AttrID
+	for a := range bad {
+		out = append(out, a)
+	}
+	model.SortAttrs(out)
+	return out
+}
+
+// Constraints returns partition constraints pinning every unsatisfied
+// attribute to its own tree, to be passed to the planner.
+func (s *Spec) Constraints(d *task.Demand) *partition.Constraints {
+	bad := s.Unsatisfied(d)
+	if len(bad) == 0 {
+		return nil
+	}
+	cons := partition.NewConstraints()
+	for _, a := range bad {
+		cons.Pin(a)
+	}
+	return cons
+}

@@ -1,0 +1,158 @@
+package freq
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"remo/internal/model"
+	"remo/internal/task"
+)
+
+func TestSpecSetValidation(t *testing.T) {
+	s := NewSpec()
+	if err := s.Set(1, 0); !errors.Is(err, ErrBadFrequency) {
+		t.Fatalf("Set(0) error = %v", err)
+	}
+	if err := s.Set(1, -1); !errors.Is(err, ErrBadFrequency) {
+		t.Fatalf("Set(-1) error = %v", err)
+	}
+	if err := s.Set(1, math.NaN()); !errors.Is(err, ErrBadFrequency) {
+		t.Fatalf("Set(NaN) error = %v", err)
+	}
+	if err := s.Set(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Of(1) != 2 || s.Of(2) != 1 {
+		t.Fatalf("Of = %v, %v", s.Of(1), s.Of(2))
+	}
+}
+
+func TestApplyPiggybackWeights(t *testing.T) {
+	// Node 1 collects attr 1 at rate 4 and attr 2 at rate 1: attr 2
+	// piggybacks at weight 1/4. Node 2 collects only attr 2, so attr 2
+	// is its fastest metric and keeps weight 1.
+	s := NewSpec()
+	if err := s.Set(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := task.NewDemand()
+	d.Set(1, 1, 1)
+	d.Set(1, 2, 1)
+	d.Set(2, 2, 1)
+
+	w := s.Apply(d)
+	if got := w.Weight(1, 1); got != 1 {
+		t.Fatalf("weight(1,1) = %v, want 1", got)
+	}
+	if got := w.Weight(1, 2); got != 0.25 {
+		t.Fatalf("weight(1,2) = %v, want 0.25", got)
+	}
+	if got := w.Weight(2, 2); got != 1 {
+		t.Fatalf("weight(2,2) = %v, want 1", got)
+	}
+	// Input untouched.
+	if d.Weight(1, 2) != 1 {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestWeightHelper(t *testing.T) {
+	s := NewSpec()
+	if err := s.Set(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	d := task.NewDemand()
+	d.Set(1, 1, 1)
+	d.Set(1, 2, 1)
+	if got := s.Weight(d, 1, 2); got != 0.1 {
+		t.Fatalf("Weight = %v, want 0.1", got)
+	}
+}
+
+func TestUnsatisfiedDetectsNonDivisors(t *testing.T) {
+	// The paper's example: fastest 1/5, requested 1/22. Best piggyback
+	// approximations are 1/20 or 1/25 — ~9-12%% error.
+	s := NewSpec()
+	if err := s.Set(1, 1.0/5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(2, 1.0/22); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(3, 1.0/25); err != nil { // exact divisor
+		t.Fatal(err)
+	}
+	d := task.NewDemand()
+	d.Set(1, 1, 1)
+	d.Set(1, 2, 1)
+	d.Set(1, 3, 1)
+
+	strict := *s
+	strict.Tolerance = 0.05
+	bad := strict.Unsatisfied(d)
+	if len(bad) != 1 || bad[0] != 2 {
+		t.Fatalf("Unsatisfied = %v, want [2]", bad)
+	}
+
+	loose := *s
+	loose.Tolerance = 0.15
+	if got := loose.Unsatisfied(d); len(got) != 0 {
+		t.Fatalf("tolerant Unsatisfied = %v, want none", got)
+	}
+}
+
+func TestConstraintsPinUnsatisfied(t *testing.T) {
+	s := NewSpec()
+	s.Tolerance = 0.05
+	if err := s.Set(1, 1.0/5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(2, 1.0/22); err != nil {
+		t.Fatal(err)
+	}
+	d := task.NewDemand()
+	d.Set(1, 1, 1)
+	d.Set(1, 2, 1)
+
+	cons := s.Constraints(d)
+	if cons == nil {
+		t.Fatal("Constraints = nil, want pin for attr 2")
+	}
+	if !cons.AllowSet(model.NewAttrSet(2)) {
+		t.Fatal("pinned attr rejected as singleton")
+	}
+	if cons.AllowSet(model.NewAttrSet(1, 2)) {
+		t.Fatal("pinned attr allowed to share a set")
+	}
+
+	// All-satisfiable demand yields no constraints.
+	ok := task.NewDemand()
+	ok.Set(1, 1, 1)
+	if got := s.Constraints(ok); got != nil {
+		t.Fatalf("Constraints = %v, want nil", got)
+	}
+}
+
+func TestApplyLowersPlannedCost(t *testing.T) {
+	// Weighted demand should report lower local weight than unweighted.
+	s := NewSpec()
+	if err := s.Set(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := task.NewDemand()
+	d.Set(1, 1, 1)
+	d.Set(1, 2, 1)
+	set := model.NewAttrSet(1, 2)
+	w := s.Apply(d)
+	if w.LocalWeight(1, set) >= d.LocalWeight(1, set) {
+		t.Fatalf("weighted %v >= unweighted %v",
+			w.LocalWeight(1, set), d.LocalWeight(1, set))
+	}
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAddAndColumn(t *testing.T) {
+	tbl := NewTable("Fig X", "nodes", "REMO", "SP", "OP")
+	if err := tbl.Add(50, 90, 60, 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Add(100, 85, 55, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Add(1, 2); err == nil {
+		t.Fatal("mismatched row accepted")
+	}
+	col, ok := tbl.Column("SP")
+	if !ok || len(col) != 2 || col[0] != 60 || col[1] != 55 {
+		t.Fatalf("Column(SP) = %v, %v", col, ok)
+	}
+	if _, ok := tbl.Column("missing"); ok {
+		t.Fatal("missing column found")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := NewTable("Fig 5a", "attrs", "REMO", "SP")
+	_ = tbl.Add(10, 92.5, 60)
+	_ = tbl.Add(200, 71, 55.25)
+	out := tbl.String()
+	if !strings.Contains(out, "# Fig 5a") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "attrs") || !strings.Contains(lines[1], "REMO") {
+		t.Fatalf("bad header: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "92.50") {
+		t.Fatalf("bad formatting: %s", lines[2])
+	}
+	if !strings.Contains(lines[3], "200") || !strings.Contains(lines[3], "55.25") {
+		t.Fatalf("bad row: %s", lines[3])
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 0, 4}); got != 0 {
+		t.Fatalf("GeoMean with zero = %v", got)
+	}
+	got := GeoMean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	got := Ratio([]float64{50, 30, 10}, []float64{100, 60, 0})
+	if got[0] != 50 || got[1] != 50 || got[2] != 0 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if len(Ratio([]float64{1, 2}, []float64{1})) != 1 {
+		t.Fatal("Ratio length mismatch handling broken")
+	}
+}
+
+func TestTableFprintCSV(t *testing.T) {
+	tbl := NewTable("Fig X", "n", "A", "B")
+	_ = tbl.Add(1, 2.5, 3)
+	var b strings.Builder
+	if err := tbl.FprintCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "# Fig X\nn,A,B\n1,2.50,3\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}

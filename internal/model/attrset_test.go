@@ -1,0 +1,170 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAttrSetDedupsAndSorts(t *testing.T) {
+	s := NewAttrSet(3, 1, 2, 3, 1)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	got := s.Attrs()
+	want := []AttrID{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Attrs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAttrSetContains(t *testing.T) {
+	s := NewAttrSet(2, 4, 6, 8)
+	for _, a := range []AttrID{2, 4, 6, 8} {
+		if !s.Contains(a) {
+			t.Errorf("Contains(%v) = false, want true", a)
+		}
+	}
+	for _, a := range []AttrID{1, 3, 5, 7, 9} {
+		if s.Contains(a) {
+			t.Errorf("Contains(%v) = true, want false", a)
+		}
+	}
+}
+
+func TestAttrSetUnion(t *testing.T) {
+	a := NewAttrSet(1, 3, 5)
+	b := NewAttrSet(2, 3, 4)
+	u := a.Union(b)
+	want := NewAttrSet(1, 2, 3, 4, 5)
+	if !u.Equal(want) {
+		t.Fatalf("Union = %v, want %v", u, want)
+	}
+	// Inputs unchanged.
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatal("Union mutated its inputs")
+	}
+}
+
+func TestAttrSetRemove(t *testing.T) {
+	s := NewAttrSet(1, 2, 3)
+	r := s.Remove(2)
+	if !r.Equal(NewAttrSet(1, 3)) {
+		t.Fatalf("Remove(2) = %v", r)
+	}
+	if !s.Remove(9).Equal(s) {
+		t.Fatal("removing an absent attribute changed the set")
+	}
+	if s.Len() != 3 {
+		t.Fatal("Remove mutated the receiver")
+	}
+}
+
+func TestAttrSetIntersect(t *testing.T) {
+	a := NewAttrSet(1, 2, 3, 4)
+	b := NewAttrSet(3, 4, 5)
+	if got := a.Intersect(b); !got.Equal(NewAttrSet(3, 4)) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if !a.IntersectsAny(b) {
+		t.Fatal("IntersectsAny = false, want true")
+	}
+	if a.IntersectsAny(NewAttrSet(9)) {
+		t.Fatal("IntersectsAny(disjoint) = true")
+	}
+}
+
+func TestAttrSetKey(t *testing.T) {
+	if got := NewAttrSet(3, 1, 2).Key(); got != "1,2,3" {
+		t.Fatalf("Key = %q, want 1,2,3", got)
+	}
+	if got := (AttrSet{}).Key(); got != "" {
+		t.Fatalf("empty Key = %q", got)
+	}
+	// Keys are canonical: equal sets share keys regardless of build
+	// order.
+	if NewAttrSet(5, 7).Key() != NewAttrSet(7, 5).Key() {
+		t.Fatal("keys differ for equal sets")
+	}
+}
+
+func TestAttrSetEmptyZeroValue(t *testing.T) {
+	var s AttrSet
+	if !s.Empty() || s.Len() != 0 || s.Contains(1) {
+		t.Fatal("zero-value AttrSet is not empty")
+	}
+	if !s.Union(NewAttrSet(1)).Equal(NewAttrSet(1)) {
+		t.Fatal("union with zero value broken")
+	}
+}
+
+// randSet generates a bounded random attribute set for property tests.
+func randSet(r *rand.Rand) AttrSet {
+	n := r.Intn(8)
+	attrs := make([]AttrID, n)
+	for i := range attrs {
+		attrs[i] = AttrID(r.Intn(12))
+	}
+	return NewAttrSet(attrs...)
+}
+
+func TestAttrSetUnionProperties(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randSet(r))
+			vals[1] = reflect.ValueOf(randSet(r))
+		},
+	}
+	commutative := func(a, b AttrSet) bool {
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("union not commutative: %v", err)
+	}
+	idempotent := func(a, b AttrSet) bool {
+		u := a.Union(b)
+		return u.Union(a).Equal(u)
+	}
+	if err := quick.Check(idempotent, cfg); err != nil {
+		t.Errorf("union not idempotent: %v", err)
+	}
+	containsAll := func(a, b AttrSet) bool {
+		u := a.Union(b)
+		for _, x := range a.Attrs() {
+			if !u.Contains(x) {
+				return false
+			}
+		}
+		for _, x := range b.Attrs() {
+			if !u.Contains(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(containsAll, cfg); err != nil {
+		t.Errorf("union loses members: %v", err)
+	}
+}
+
+func TestAttrSetRemoveThenUnionRestores(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randSet(r))
+		},
+	}
+	f := func(s AttrSet) bool {
+		for _, a := range s.Attrs() {
+			if !s.Remove(a).Union(NewAttrSet(a)).Equal(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package model
+
+import (
+	"errors"
+	"testing"
+
+	"remo/internal/cost"
+)
+
+func TestTaskValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		task    Task
+		wantErr error
+	}{
+		{
+			name: "valid",
+			task: Task{Name: "t", Attrs: []AttrID{1}, Nodes: []NodeID{1}},
+		},
+		{
+			name:    "no name",
+			task:    Task{Attrs: []AttrID{1}, Nodes: []NodeID{1}},
+			wantErr: ErrNamelessTask,
+		},
+		{
+			name:    "no attrs",
+			task:    Task{Name: "t", Nodes: []NodeID{1}},
+			wantErr: ErrEmptyTask,
+		},
+		{
+			name:    "no nodes",
+			task:    Task{Name: "t", Attrs: []AttrID{1}},
+			wantErr: ErrEmptyTask,
+		},
+		{
+			name:    "targets central",
+			task:    Task{Name: "t", Attrs: []AttrID{1}, Nodes: []NodeID{Central}},
+			wantErr: ErrTaskCentral,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.task.Validate()
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTaskPairs(t *testing.T) {
+	task := Task{Name: "t", Attrs: []AttrID{2, 1}, Nodes: []NodeID{3, 1}}
+	pairs := task.Pairs()
+	want := []Pair{{1, 1}, {1, 2}, {3, 1}, {3, 2}}
+	if len(pairs) != len(want) {
+		t.Fatalf("Pairs() = %v, want %v", pairs, want)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("Pairs()[%d] = %v, want %v", i, pairs[i], want[i])
+		}
+	}
+}
+
+func TestTaskCloneIsDeep(t *testing.T) {
+	orig := Task{Name: "t", Attrs: []AttrID{1}, Nodes: []NodeID{1}}
+	c := orig.Clone()
+	c.Attrs[0] = 99
+	c.Nodes[0] = 99
+	if orig.Attrs[0] != 1 || orig.Nodes[0] != 1 {
+		t.Fatal("Clone shares slices with the original")
+	}
+}
+
+func testSystem(t *testing.T, n int, capacity float64) *System {
+	t.Helper()
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: NodeID(i + 1), Capacity: capacity, Attrs: []AttrID{1, 2}}
+	}
+	sys, err := NewSystem(1e9, cost.Default(), nodes)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	good := []Node{{ID: 1, Capacity: 10}}
+	if _, err := NewSystem(100, cost.Default(), good); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+
+	dup := []Node{{ID: 1, Capacity: 10}, {ID: 1, Capacity: 10}}
+	if _, err := NewSystem(100, cost.Default(), dup); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate node error = %v", err)
+	}
+
+	central := []Node{{ID: Central, Capacity: 10}}
+	if _, err := NewSystem(100, cost.Default(), central); !errors.Is(err, ErrCentralInUse) {
+		t.Fatalf("central id error = %v", err)
+	}
+
+	neg := []Node{{ID: 1, Capacity: -1}}
+	if _, err := NewSystem(100, cost.Default(), neg); !errors.Is(err, ErrBadCapacity) {
+		t.Fatalf("negative capacity error = %v", err)
+	}
+
+	if _, err := NewSystem(-1, cost.Default(), good); !errors.Is(err, ErrBadCapacity) {
+		t.Fatalf("negative central capacity error = %v", err)
+	}
+}
+
+func TestSystemLookup(t *testing.T) {
+	sys := testSystem(t, 3, 50)
+	n, ok := sys.Node(2)
+	if !ok || n.ID != 2 {
+		t.Fatalf("Node(2) = %+v, %v", n, ok)
+	}
+	if _, ok := sys.Node(99); ok {
+		t.Fatal("Node(99) found")
+	}
+	if _, ok := sys.Node(Central); ok {
+		t.Fatal("Node(Central) found in monitoring nodes")
+	}
+	if got := sys.Capacity(2); got != 50 {
+		t.Fatalf("Capacity(2) = %v", got)
+	}
+	if got := sys.Capacity(Central); got != 1e9 {
+		t.Fatalf("Capacity(central) = %v", got)
+	}
+	if got := sys.Capacity(99); got != 0 {
+		t.Fatalf("Capacity(unknown) = %v", got)
+	}
+}
+
+func TestSystemCloneIsDeep(t *testing.T) {
+	sys := testSystem(t, 2, 50)
+	c := sys.Clone()
+	c.Nodes[0].Attrs[0] = 99
+	if sys.Nodes[0].Attrs[0] != 1 {
+		t.Fatal("Clone shares attribute slices")
+	}
+}
+
+func TestSystemNodeIDsSorted(t *testing.T) {
+	nodes := []Node{{ID: 5, Capacity: 1}, {ID: 2, Capacity: 1}, {ID: 9, Capacity: 1}}
+	sys, err := NewSystem(10, cost.Default(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sys.NodeIDs()
+	want := []NodeID{2, 5, 9}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("NodeIDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestNodeHasAttr(t *testing.T) {
+	n := Node{ID: 1, Attrs: []AttrID{3, 5}}
+	if !n.HasAttr(3) || n.HasAttr(4) {
+		t.Fatal("HasAttr misbehaved")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if Central.String() != "central" {
+		t.Fatalf("Central.String() = %q", Central.String())
+	}
+	if NodeID(7).String() != "n7" {
+		t.Fatalf("NodeID(7).String() = %q", NodeID(7).String())
+	}
+	if !Central.IsCentral() || NodeID(1).IsCentral() {
+		t.Fatal("IsCentral misbehaved")
+	}
+}

@@ -1,0 +1,179 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"remo/internal/cost"
+)
+
+// Node describes one monitoring node: its capacity budget for processing
+// monitoring messages and the set of attributes observable locally.
+type Node struct {
+	ID NodeID
+	// Capacity is b_i, the resource budget the node may spend per
+	// collection round on sending and receiving monitoring messages.
+	Capacity float64
+	// Attrs lists the attribute types observable at this node. A task may
+	// only request attributes a node actually observes; the task manager
+	// drops pairs for attributes the node does not have.
+	Attrs []AttrID
+}
+
+// HasAttr reports whether attribute a is observable at the node.
+func (n Node) HasAttr(a AttrID) bool {
+	for _, x := range n.Attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the node.
+func (n Node) Clone() Node {
+	return Node{ID: n.ID, Capacity: n.Capacity, Attrs: append([]AttrID(nil), n.Attrs...)}
+}
+
+// System describes the monitored deployment: the monitoring nodes, the
+// central collector's capacity, and the message cost model. REMO targets
+// datacenter-like environments where any two nodes communicate at similar
+// cost, so the system carries no network topology — only per-node
+// capacities matter.
+type System struct {
+	// CentralCapacity is the resource budget of the central data
+	// collector (it pays receive costs for every tree root).
+	CentralCapacity float64
+	// Nodes are the monitoring nodes. IDs must be positive and unique.
+	Nodes []Node
+	// Cost is the message cost model shared by all nodes.
+	Cost cost.Model
+	// Distance optionally models non-uniform communication cost (§3.3:
+	// peer-to-peer overlays, sensor networks): sending a message from a
+	// to b costs Distance(a, b) times its endpoint cost. nil means the
+	// datacenter assumption — every pair communicates at cost factor 1.
+	// Receive cost is always the endpoint cost (forwarding is charged to
+	// the sender's side of the path).
+	Distance func(a, b NodeID) float64
+
+	index map[NodeID]int
+}
+
+// Errors returned by System.Validate.
+var (
+	ErrDuplicateNode = errors.New("model: duplicate node id")
+	ErrCentralInUse  = errors.New("model: node uses the central id")
+	ErrBadCapacity   = errors.New("model: capacity must be non-negative")
+)
+
+// NewSystem builds a validated system.
+func NewSystem(centralCapacity float64, costModel cost.Model, nodes []Node) (*System, error) {
+	s := &System{
+		CentralCapacity: centralCapacity,
+		Nodes:           make([]Node, len(nodes)),
+		Cost:            costModel,
+	}
+	for i, n := range nodes {
+		s.Nodes[i] = n.Clone()
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s.buildIndex()
+	return s, nil
+}
+
+// Validate checks structural validity of the system.
+func (s *System) Validate() error {
+	if err := s.Cost.Validate(); err != nil {
+		return err
+	}
+	if s.CentralCapacity < 0 {
+		return fmt.Errorf("%w: central %v", ErrBadCapacity, s.CentralCapacity)
+	}
+	seen := make(map[NodeID]struct{}, len(s.Nodes))
+	for _, n := range s.Nodes {
+		if n.ID.IsCentral() {
+			return ErrCentralInUse
+		}
+		if _, dup := seen[n.ID]; dup {
+			return fmt.Errorf("%w: %v", ErrDuplicateNode, n.ID)
+		}
+		seen[n.ID] = struct{}{}
+		if n.Capacity < 0 {
+			return fmt.Errorf("%w: %v has %v", ErrBadCapacity, n.ID, n.Capacity)
+		}
+	}
+	return nil
+}
+
+// Node returns the node with the given id, or false if absent or central.
+func (s *System) Node(id NodeID) (Node, bool) {
+	if s.index == nil {
+		s.buildIndex()
+	}
+	i, ok := s.index[id]
+	if !ok {
+		return Node{}, false
+	}
+	return s.Nodes[i], true
+}
+
+// Capacity returns the capacity budget of id, handling the central node.
+func (s *System) Capacity(id NodeID) float64 {
+	if id.IsCentral() {
+		return s.CentralCapacity
+	}
+	n, ok := s.Node(id)
+	if !ok {
+		return 0
+	}
+	return n.Capacity
+}
+
+// Dist returns the communication cost factor from a to b (1 when no
+// Distance function is configured or when it returns a non-positive
+// factor).
+func (s *System) Dist(a, b NodeID) float64 {
+	if s.Distance == nil {
+		return 1
+	}
+	d := s.Distance(a, b)
+	if d <= 0 {
+		return 1
+	}
+	return d
+}
+
+// NodeIDs returns the monitoring node ids in ascending order.
+func (s *System) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(s.Nodes))
+	for _, n := range s.Nodes {
+		ids = append(ids, n.ID)
+	}
+	SortNodes(ids)
+	return ids
+}
+
+// Clone returns a deep copy of the system.
+func (s *System) Clone() *System {
+	nodes := make([]Node, len(s.Nodes))
+	for i, n := range s.Nodes {
+		nodes[i] = n.Clone()
+	}
+	c := &System{
+		CentralCapacity: s.CentralCapacity,
+		Nodes:           nodes,
+		Cost:            s.Cost,
+		Distance:        s.Distance,
+	}
+	c.buildIndex()
+	return c
+}
+
+func (s *System) buildIndex() {
+	s.index = make(map[NodeID]int, len(s.Nodes))
+	for i, n := range s.Nodes {
+		s.index[n.ID] = i
+	}
+}

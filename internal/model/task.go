@@ -1,0 +1,75 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Task is an application state monitoring task t = (A_t, N_t): collect the
+// values of every attribute in Attrs from every node in Nodes, once per
+// collection round. A task is equivalent to the list of node-attribute
+// pairs {(i, j) | i ∈ Nodes, j ∈ Attrs}.
+type Task struct {
+	// Name identifies the task for adaptation bookkeeping. Names must be
+	// unique within a task set.
+	Name string
+	// Attrs is A_t, the attribute types to collect.
+	Attrs []AttrID
+	// Nodes is N_t, the nodes to collect from.
+	Nodes []NodeID
+}
+
+// Errors returned by Task.Validate.
+var (
+	ErrEmptyTask    = errors.New("model: task has no attributes or no nodes")
+	ErrTaskCentral  = errors.New("model: task targets the central node")
+	ErrNamelessTask = errors.New("model: task has no name")
+)
+
+// Validate checks structural validity of the task.
+func (t Task) Validate() error {
+	if t.Name == "" {
+		return ErrNamelessTask
+	}
+	if len(t.Attrs) == 0 || len(t.Nodes) == 0 {
+		return fmt.Errorf("%w: %q", ErrEmptyTask, t.Name)
+	}
+	for _, n := range t.Nodes {
+		if n.IsCentral() {
+			return fmt.Errorf("%w: %q", ErrTaskCentral, t.Name)
+		}
+	}
+	return nil
+}
+
+// Pairs expands the task into its node-attribute pairs, ordered by node
+// then attribute. Duplicate attributes or nodes in the task produce
+// duplicate pairs; the task manager removes duplicates across the whole
+// task set.
+func (t Task) Pairs() []Pair {
+	pairs := make([]Pair, 0, len(t.Attrs)*len(t.Nodes))
+	for _, n := range t.Nodes {
+		for _, a := range t.Attrs {
+			pairs = append(pairs, Pair{Node: n, Attr: a})
+		}
+	}
+	SortPairs(pairs)
+	return pairs
+}
+
+// AttrSet returns the task's attributes as a set.
+func (t Task) AttrSet() AttrSet { return NewAttrSet(t.Attrs...) }
+
+// Clone returns a deep copy of the task.
+func (t Task) Clone() Task {
+	return Task{
+		Name:  t.Name,
+		Attrs: append([]AttrID(nil), t.Attrs...),
+		Nodes: append([]NodeID(nil), t.Nodes...),
+	}
+}
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	return fmt.Sprintf("task %q (%d attrs × %d nodes)", t.Name, len(t.Attrs), len(t.Nodes))
+}

@@ -1,0 +1,186 @@
+package partition
+
+import (
+	"remo/internal/model"
+)
+
+// Constraints restricts which attribute sets a partition may contain.
+// REMO's extensions express their requirements this way: the reliability
+// rewriting (§6.2) forbids an attribute and its replication aliases from
+// sharing a tree (so replicas travel different paths), and the
+// heterogeneous-frequency support (§6.3) pins attributes whose exact rate
+// cannot piggyback to their own singleton trees.
+//
+// The zero value allows everything. Constraints are satisfied by every
+// singleton partition, so the search's starting point is always feasible.
+type Constraints struct {
+	conflicts map[model.AttrID]map[model.AttrID]struct{}
+	pinned    map[model.AttrID]struct{}
+}
+
+// NewConstraints returns an empty constraint set.
+func NewConstraints() *Constraints {
+	return &Constraints{
+		conflicts: make(map[model.AttrID]map[model.AttrID]struct{}),
+		pinned:    make(map[model.AttrID]struct{}),
+	}
+}
+
+// Forbid records that a and b must never share an attribute set.
+func (c *Constraints) Forbid(a, b model.AttrID) {
+	if a == b {
+		return
+	}
+	if c.conflicts[a] == nil {
+		c.conflicts[a] = make(map[model.AttrID]struct{})
+	}
+	if c.conflicts[b] == nil {
+		c.conflicts[b] = make(map[model.AttrID]struct{})
+	}
+	c.conflicts[a][b] = struct{}{}
+	c.conflicts[b][a] = struct{}{}
+}
+
+// Pin records that a must always be alone in its set.
+func (c *Constraints) Pin(a model.AttrID) {
+	c.pinned[a] = struct{}{}
+}
+
+// AllowSet reports whether the attribute set satisfies the constraints.
+// A nil receiver allows everything.
+func (c *Constraints) AllowSet(s model.AttrSet) bool {
+	if c == nil || s.Len() < 2 {
+		return true
+	}
+	attrs := s.Attrs()
+	for _, a := range attrs {
+		if _, pin := c.pinned[a]; pin {
+			return false
+		}
+	}
+	for i, a := range attrs {
+		peers := c.conflicts[a]
+		if peers == nil {
+			continue
+		}
+		for _, b := range attrs[i+1:] {
+			if _, bad := peers[b]; bad {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AllowOp reports whether applying op to sets keeps the partition
+// feasible. Splits are always allowed; merges are allowed when the union
+// satisfies the constraints.
+func (c *Constraints) AllowOp(sets []model.AttrSet, op Op) bool {
+	if c == nil || op.Kind != MergeOp {
+		return true
+	}
+	return c.AllowSet(sets[op.I].Union(sets[op.J]))
+}
+
+// Conflicts enumerates the forbidden pairs in canonical (low, high)
+// order, sorted.
+func (c *Constraints) Conflicts() [][2]model.AttrID {
+	if c == nil {
+		return nil
+	}
+	var out [][2]model.AttrID
+	for a, peers := range c.conflicts {
+		for b := range peers {
+			if a < b {
+				out = append(out, [2]model.AttrID{a, b})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// Pins returns the pinned attributes, ascending.
+func (c *Constraints) Pins() []model.AttrID {
+	if c == nil {
+		return nil
+	}
+	out := make([]model.AttrID, 0, len(c.pinned))
+	for a := range c.pinned {
+		out = append(out, a)
+	}
+	model.SortAttrs(out)
+	return out
+}
+
+// Merge folds other's conflicts and pins into c.
+func (c *Constraints) Merge(other *Constraints) {
+	if other == nil {
+		return
+	}
+	for _, p := range other.Conflicts() {
+		c.Forbid(p[0], p[1])
+	}
+	for _, a := range other.Pins() {
+		c.Pin(a)
+	}
+}
+
+func sortPairs(pairs [][2]model.AttrID) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && less(pairs[j], pairs[j-1]); j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+func less(a, b [2]model.AttrID) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// FirstFitAllowed returns a coarse partition of universe that satisfies
+// the constraints: attributes are placed first-fit into the first bin
+// whose union stays allowed (pinned attributes get their own bins). With
+// nil constraints this is the one-set partition. It serves as the
+// constraint-respecting analog of ONE-SET when seeding the planner's
+// multi-start search.
+func FirstFitAllowed(universe model.AttrSet, c *Constraints) []model.AttrSet {
+	if universe.Empty() {
+		return nil
+	}
+	if c == nil {
+		return OneSet(universe)
+	}
+	var bins []model.AttrSet
+	for _, a := range universe.Attrs() {
+		placed := false
+		single := model.NewAttrSet(a)
+		for i, bin := range bins {
+			if u := bin.Union(single); c.AllowSet(u) {
+				bins[i] = u
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, single)
+		}
+	}
+	return bins
+}
+
+// AllowPartition reports whether every set satisfies the constraints.
+func (c *Constraints) AllowPartition(sets []model.AttrSet) bool {
+	if c == nil {
+		return true
+	}
+	for _, s := range sets {
+		if !c.AllowSet(s) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package partition
+
+import (
+	"testing"
+
+	"remo/internal/model"
+)
+
+func TestConstraintsNilAllowsEverything(t *testing.T) {
+	var c *Constraints
+	if !c.AllowSet(model.NewAttrSet(1, 2, 3)) {
+		t.Fatal("nil constraints rejected a set")
+	}
+	if !c.AllowOp(nil, Op{Kind: MergeOp}) {
+		t.Fatal("nil constraints rejected an op")
+	}
+	if !c.AllowPartition(nil) {
+		t.Fatal("nil constraints rejected a partition")
+	}
+	if c.Conflicts() != nil || c.Pins() != nil {
+		t.Fatal("nil constraints returned contents")
+	}
+}
+
+func TestConstraintsForbid(t *testing.T) {
+	c := NewConstraints()
+	c.Forbid(1, 2)
+	c.Forbid(2, 2) // self-conflicts ignored
+	if c.AllowSet(model.NewAttrSet(1, 2)) {
+		t.Fatal("conflicting pair allowed")
+	}
+	if c.AllowSet(model.NewAttrSet(1, 2, 3)) {
+		t.Fatal("superset of conflicting pair allowed")
+	}
+	if !c.AllowSet(model.NewAttrSet(1, 3)) {
+		t.Fatal("innocent pair rejected")
+	}
+	if !c.AllowSet(model.NewAttrSet(2)) {
+		t.Fatal("singleton rejected")
+	}
+	pairs := c.Conflicts()
+	if len(pairs) != 1 || pairs[0] != [2]model.AttrID{1, 2} {
+		t.Fatalf("Conflicts = %v", pairs)
+	}
+}
+
+func TestConstraintsPin(t *testing.T) {
+	c := NewConstraints()
+	c.Pin(5)
+	if c.AllowSet(model.NewAttrSet(5, 6)) {
+		t.Fatal("pinned attr allowed with company")
+	}
+	if !c.AllowSet(model.NewAttrSet(5)) {
+		t.Fatal("pinned singleton rejected")
+	}
+	if got := c.Pins(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Pins = %v", got)
+	}
+}
+
+func TestConstraintsAllowOp(t *testing.T) {
+	c := NewConstraints()
+	c.Forbid(1, 2)
+	sets := []model.AttrSet{model.NewAttrSet(1), model.NewAttrSet(2), model.NewAttrSet(3)}
+	if c.AllowOp(sets, Op{Kind: MergeOp, I: 0, J: 1}) {
+		t.Fatal("forbidden merge allowed")
+	}
+	if !c.AllowOp(sets, Op{Kind: MergeOp, I: 0, J: 2}) {
+		t.Fatal("legal merge rejected")
+	}
+	if !c.AllowOp(sets, Op{Kind: SplitOp, I: 0, Attr: 1}) {
+		t.Fatal("split rejected")
+	}
+}
+
+func TestConstraintsMerge(t *testing.T) {
+	a := NewConstraints()
+	a.Forbid(1, 2)
+	a.Pin(9)
+	b := NewConstraints()
+	b.Forbid(3, 4)
+
+	b.Merge(a)
+	b.Merge(nil)
+	if b.AllowSet(model.NewAttrSet(1, 2)) || b.AllowSet(model.NewAttrSet(3, 4)) {
+		t.Fatal("merge lost conflicts")
+	}
+	if b.AllowSet(model.NewAttrSet(9, 1)) {
+		t.Fatal("merge lost pins")
+	}
+}
+
+func TestConstraintsAllowPartition(t *testing.T) {
+	c := NewConstraints()
+	c.Forbid(1, 2)
+	ok := []model.AttrSet{model.NewAttrSet(1), model.NewAttrSet(2, 3)}
+	if !c.AllowPartition(ok) {
+		t.Fatal("legal partition rejected")
+	}
+	bad := []model.AttrSet{model.NewAttrSet(1, 2), model.NewAttrSet(3)}
+	if c.AllowPartition(bad) {
+		t.Fatal("illegal partition allowed")
+	}
+}
+
+func TestFirstFitAllowed(t *testing.T) {
+	u := model.NewAttrSet(1, 2, 3, 4)
+	// No constraints: the coarsest allowed partition is one-set.
+	if got := FirstFitAllowed(u, nil); len(got) != 1 || !got[0].Equal(u) {
+		t.Fatalf("FirstFitAllowed(nil) = %v", got)
+	}
+	if got := FirstFitAllowed(model.AttrSet{}, nil); got != nil {
+		t.Fatalf("FirstFitAllowed(empty) = %v", got)
+	}
+	// 1 conflicts with 2: two bins; pins force singletons.
+	c := NewConstraints()
+	c.Forbid(1, 2)
+	got := FirstFitAllowed(u, c)
+	if !c.AllowPartition(got) {
+		t.Fatalf("first-fit violates constraints: %v", got)
+	}
+	if err := Validate(got, u); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("bins = %v, want 2", got)
+	}
+	c.Pin(3)
+	got = FirstFitAllowed(u, c)
+	if !c.AllowPartition(got) {
+		t.Fatalf("pinned first-fit violates constraints: %v", got)
+	}
+	// Attr 3 must be alone.
+	for _, s := range got {
+		if s.Contains(3) && s.Len() != 1 {
+			t.Fatalf("pinned attr shares a bin: %v", got)
+		}
+	}
+}
+
+func TestConflictsSorted(t *testing.T) {
+	c := NewConstraints()
+	c.Forbid(5, 2)
+	c.Forbid(1, 9)
+	c.Forbid(1, 3)
+	pairs := c.Conflicts()
+	want := [][2]model.AttrID{{1, 3}, {1, 9}, {2, 5}}
+	if len(pairs) != len(want) {
+		t.Fatalf("Conflicts = %v", pairs)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("Conflicts = %v, want %v", pairs, want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if got := (Op{Kind: MergeOp, I: 1, J: 2}).String(); got != "merge(1,2)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Op{Kind: SplitOp, I: 0, Attr: 7}).String(); got != "split(0,a7)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,251 @@
+// Package partition implements attribute-set partitioning: the baseline
+// singleton-set (SP) and one-set (OP) schemes, the merge and split
+// operations that define REMO's search neighborhood, and the gain
+// estimation that guides the local search (§3.1 of the paper).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"remo/internal/model"
+	"remo/internal/task"
+)
+
+// Singleton returns the singleton-set partition: one set, and hence one
+// collection tree, per attribute (the PIER approach).
+func Singleton(universe model.AttrSet) []model.AttrSet {
+	attrs := universe.Attrs()
+	sets := make([]model.AttrSet, len(attrs))
+	for i, a := range attrs {
+		sets[i] = model.NewAttrSet(a)
+	}
+	return sets
+}
+
+// OneSet returns the one-set partition: a single tree delivering every
+// attribute.
+func OneSet(universe model.AttrSet) []model.AttrSet {
+	if universe.Empty() {
+		return nil
+	}
+	return []model.AttrSet{universe}
+}
+
+// OpKind distinguishes merge and split operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	// MergeOp replaces sets I and J with their union (A_i ⋈ A_j).
+	MergeOp OpKind = iota + 1
+	// SplitOp removes Attr from set I into a new singleton set
+	// (A_i ▷ α).
+	SplitOp
+)
+
+// Op is one neighborhood move on a partition.
+type Op struct {
+	Kind OpKind
+	// I and J index the partition's sets; J is unused for splits.
+	I, J int
+	// Attr is the attribute split out; unused for merges.
+	Attr model.AttrID
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o.Kind == MergeOp {
+		return fmt.Sprintf("merge(%d,%d)", o.I, o.J)
+	}
+	return fmt.Sprintf("split(%d,%v)", o.I, o.Attr)
+}
+
+// Apply returns the neighboring partition produced by op. The input is
+// not modified. Sets keep stable positions where possible: a merge
+// writes the union at min(I,J) and drops the other; a split shrinks set I
+// in place and appends the new singleton.
+func Apply(sets []model.AttrSet, op Op) []model.AttrSet {
+	out := make([]model.AttrSet, 0, len(sets)+1)
+	switch op.Kind {
+	case MergeOp:
+		lo, hi := op.I, op.J
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for i, s := range sets {
+			switch i {
+			case lo:
+				out = append(out, sets[lo].Union(sets[hi]))
+			case hi:
+				// dropped
+			default:
+				out = append(out, s)
+			}
+		}
+	case SplitOp:
+		for i, s := range sets {
+			if i == op.I {
+				rem := s.Remove(op.Attr)
+				if !rem.Empty() {
+					out = append(out, rem)
+				}
+			} else {
+				out = append(out, s)
+			}
+		}
+		out = append(out, model.NewAttrSet(op.Attr))
+	}
+	return out
+}
+
+// Neighbors enumerates every one-step move from the partition: all set
+// pair merges and all single-attribute splits of non-singleton sets.
+func Neighbors(sets []model.AttrSet) []Op {
+	var ops []Op
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			ops = append(ops, Op{Kind: MergeOp, I: i, J: j})
+		}
+	}
+	for i, s := range sets {
+		if s.Len() < 2 {
+			continue
+		}
+		for _, a := range s.Attrs() {
+			ops = append(ops, Op{Kind: SplitOp, I: i, Attr: a})
+		}
+	}
+	return ops
+}
+
+// Candidate pairs a move with its estimated gain.
+type Candidate struct {
+	Op Op
+	// Gain estimates the total capacity-usage reduction (in cost units)
+	// of applying the move; larger is more promising.
+	Gain float64
+}
+
+// GainContext supplies the state the estimator needs: the demand, the
+// cost model's parameters and, when available, the number of pairs each
+// current tree failed to collect (index-aligned with the partition).
+type GainContext struct {
+	Demand *task.Demand
+	// PerMessage and PerValue are the cost model parameters C and a.
+	PerMessage float64
+	PerValue   float64
+	// Missed[i] is the number of demanded pairs tree i could not collect
+	// in the current plan (nil when unknown).
+	Missed []int
+	// Parts optionally overrides participant lookup (a planner-level
+	// cache); nil falls back to Demand.Participants.
+	Parts func(model.AttrSet) []model.NodeID
+}
+
+// participants resolves a set's participants through the cache when
+// present.
+func (ctx GainContext) participants(set model.AttrSet) []model.NodeID {
+	if ctx.Parts != nil {
+		return ctx.Parts(set)
+	}
+	return ctx.Demand.Participants(set)
+}
+
+// Rank estimates the gain of every neighborhood move and returns the
+// candidates sorted by decreasing gain. This is the guided part of
+// REMO's guided local search: only the most promising candidates are
+// worth the expensive resource-aware evaluation.
+//
+// The estimator follows the paper's rationale (the appendix with the
+// exact formula is not publicly available): a merge saves one message —
+// the per-message overhead C — per node that participates in both trees;
+// a split relieves a tree that misses pairs (each missed pair is
+// evidence of congestion the split can spread over two trees), at the
+// price of an extra message per node left in both resulting trees. The
+// resource-aware evaluation decides acceptance; the estimate only orders
+// candidates.
+func Rank(sets []model.AttrSet, ctx GainContext) []Candidate {
+	parts := make([][]model.NodeID, len(sets))
+	for i, s := range sets {
+		parts[i] = ctx.participants(s)
+	}
+	missed := func(i int) float64 {
+		if ctx.Missed == nil || i >= len(ctx.Missed) {
+			return 0
+		}
+		return float64(ctx.Missed[i])
+	}
+
+	ops := Neighbors(sets)
+	cands := make([]Candidate, 0, len(ops))
+	for _, op := range ops {
+		var gain float64
+		switch op.Kind {
+		case MergeOp:
+			// Each node in both trees sends one message instead of two:
+			// the merge reduces capacity usage by C per overlap node.
+			overlap := float64(countOverlap(parts[op.I], parts[op.J]))
+			gain = ctx.PerMessage * overlap
+		case SplitOp:
+			rest := sets[op.I].Remove(op.Attr)
+			attrNodes := ctx.participants(model.NewAttrSet(op.Attr))
+			restNodes := ctx.participants(rest)
+			overlap := float64(countOverlap(attrNodes, restNodes))
+			gain = ctx.PerValue*missed(op.I) - ctx.PerMessage*overlap
+		}
+		cands = append(cands, Candidate{Op: op, Gain: gain})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].Gain > cands[j].Gain
+	})
+	return cands
+}
+
+// countOverlap counts common ids between two ascending id slices.
+func countOverlap(a, b []model.NodeID) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// Universe returns the union of all sets in the partition.
+func Universe(sets []model.AttrSet) model.AttrSet {
+	var u model.AttrSet
+	for _, s := range sets {
+		u = u.Union(s)
+	}
+	return u
+}
+
+// Validate checks that sets form a partition of universe: non-empty,
+// pairwise disjoint, covering exactly the universe.
+func Validate(sets []model.AttrSet, universe model.AttrSet) error {
+	var union model.AttrSet
+	total := 0
+	for i, s := range sets {
+		if s.Empty() {
+			return fmt.Errorf("partition: set %d is empty", i)
+		}
+		total += s.Len()
+		union = union.Union(s)
+	}
+	if total != union.Len() {
+		return fmt.Errorf("partition: sets overlap (%d attrs in sets, %d distinct)", total, union.Len())
+	}
+	if !union.Equal(universe) {
+		return fmt.Errorf("partition: union %v != universe %v", union, universe)
+	}
+	return nil
+}

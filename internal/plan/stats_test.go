@@ -1,0 +1,223 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"remo/internal/agg"
+	"remo/internal/cost"
+	"remo/internal/model"
+	"remo/internal/task"
+)
+
+// testEnv builds a 3-node system (C=10, a=1) where every node demands
+// attribute 1 with weight 1.
+func testEnv(t *testing.T) (*model.System, *task.Demand) {
+	t.Helper()
+	nodes := []model.Node{
+		{ID: 1, Capacity: 1000, Attrs: []model.AttrID{1}},
+		{ID: 2, Capacity: 1000, Attrs: []model.AttrID{1}},
+		{ID: 3, Capacity: 1000, Attrs: []model.AttrID{1}},
+	}
+	sys, err := model.NewSystem(1000, cost.Model{PerMessage: 10, PerValue: 1}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := task.NewDemand()
+	for _, n := range sys.NodeIDs() {
+		d.Set(n, 1, 1)
+	}
+	return sys, d
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestComputeTreeStatsChain(t *testing.T) {
+	sys, d := testEnv(t)
+	// central <- 1 <- 2 <- 3, each contributing one value.
+	tr := buildChain(t, model.NewAttrSet(1), 1, 2, 3)
+	st := ComputeTreeStats(tr, d, sys, nil)
+
+	// y3=1 u3=11; y2=2 u2=12; y1=3 u1=13.
+	if !almost(st.Out[3], 1) || !almost(st.Out[2], 2) || !almost(st.Out[1], 3) {
+		t.Fatalf("Out = %v", st.Out)
+	}
+	if !almost(st.Send[3], 11) || !almost(st.Send[2], 12) || !almost(st.Send[1], 13) {
+		t.Fatalf("Send = %v", st.Send)
+	}
+	// usage: n3 = 11; n2 = 12+11 = 23; n1 = 13+12 = 25.
+	if !almost(st.Usage[3], 11) || !almost(st.Usage[2], 23) || !almost(st.Usage[1], 25) {
+		t.Fatalf("Usage = %v", st.Usage)
+	}
+	if !almost(st.RootSend, 13) {
+		t.Fatalf("RootSend = %v, want 13", st.RootSend)
+	}
+	if st.LocalPairs != 3 {
+		t.Fatalf("LocalPairs = %d, want 3", st.LocalPairs)
+	}
+	if !almost(st.TotalUsage(), 11+23+25+13) {
+		t.Fatalf("TotalUsage = %v", st.TotalUsage())
+	}
+}
+
+func TestComputeTreeStatsStar(t *testing.T) {
+	sys, d := testEnv(t)
+	tr := NewTree(model.NewAttrSet(1))
+	for i, p := range []model.NodeID{model.Central, 1, 1} {
+		if err := tr.AddNode(model.NodeID(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ComputeTreeStats(tr, d, sys, nil)
+	// Leaves: y=1 u=11 each. Root: y=3 u=13, usage=13+22=35.
+	if !almost(st.Usage[1], 35) {
+		t.Fatalf("root Usage = %v, want 35", st.Usage[1])
+	}
+	if !almost(st.RootSend, 13) {
+		t.Fatalf("RootSend = %v", st.RootSend)
+	}
+}
+
+func TestComputeTreeStatsWithSumFunnel(t *testing.T) {
+	sys, d := testEnv(t)
+	spec := agg.NewSpec()
+	spec.SetKind(1, agg.Sum)
+	tr := buildChain(t, model.NewAttrSet(1), 1, 2, 3)
+	st := ComputeTreeStats(tr, d, sys, spec)
+	// Every node emits a single partial sum: y=1, u=11 everywhere.
+	for _, n := range []model.NodeID{1, 2, 3} {
+		if !almost(st.Out[n], 1) || !almost(st.Send[n], 11) {
+			t.Fatalf("node %v: out=%v send=%v, want 1/11", n, st.Out[n], st.Send[n])
+		}
+	}
+	// usage: n3=11, n2=11+11=22, n1=22.
+	if !almost(st.Usage[2], 22) || !almost(st.Usage[1], 22) {
+		t.Fatalf("Usage = %v", st.Usage)
+	}
+}
+
+func TestComputeTreeStatsEmptyTree(t *testing.T) {
+	sys, d := testEnv(t)
+	st := ComputeTreeStats(NewTree(model.NewAttrSet(1)), d, sys, nil)
+	if st.LocalPairs != 0 || st.RootSend != 0 || st.TotalUsage() != 0 {
+		t.Fatalf("empty tree stats = %+v", st)
+	}
+}
+
+func TestForestStatsAndValidate(t *testing.T) {
+	sys, d := testEnv(t)
+	d.Set(1, 2, 1) // node 1 also reports attr 2
+	f := NewForest()
+	f.Add(buildChain(t, model.NewAttrSet(1), 1, 2, 3))
+	t2 := NewTree(model.NewAttrSet(2))
+	if err := t2.AddNode(1, model.Central); err != nil {
+		t.Fatal(err)
+	}
+	f.Add(t2)
+
+	st := f.ComputeStats(d, sys, nil)
+	if st.Collected != 4 {
+		t.Fatalf("Collected = %d, want 4", st.Collected)
+	}
+	// Node 1 usage: 25 (tree 1) + 11 (tree 2 root send).
+	if !almost(st.Usage[1], 36) {
+		t.Fatalf("Usage[1] = %v, want 36", st.Usage[1])
+	}
+	if !almost(st.CentralUsage, 13+11) {
+		t.Fatalf("CentralUsage = %v, want 24", st.CentralUsage)
+	}
+	if err := f.Validate(d, sys, nil); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestForestValidateRejectsOverlap(t *testing.T) {
+	sys, d := testEnv(t)
+	f := NewForest()
+	f.Add(buildChain(t, model.NewAttrSet(1), 1))
+	f.Add(buildChain(t, model.NewAttrSet(1), 2))
+	if err := f.Validate(d, sys, nil); err == nil {
+		t.Fatal("overlapping attr sets validated")
+	}
+}
+
+func TestForestValidateRejectsOverCapacity(t *testing.T) {
+	nodes := []model.Node{
+		{ID: 1, Capacity: 20, Attrs: []model.AttrID{1}},
+		{ID: 2, Capacity: 20, Attrs: []model.AttrID{1}},
+	}
+	sys, err := model.NewSystem(1000, cost.Model{PerMessage: 10, PerValue: 1}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := task.NewDemand()
+	d.Set(1, 1, 1)
+	d.Set(2, 1, 1)
+	f := NewForest()
+	// Chain 1<-2: node 1 usage = 12+11 = 23 > 20.
+	f.Add(buildChain(t, model.NewAttrSet(1), 1, 2))
+	if err := f.Validate(d, sys, nil); err == nil {
+		t.Fatal("over-capacity forest validated")
+	}
+}
+
+func TestForestValidateRejectsNonParticipant(t *testing.T) {
+	sys, d := testEnv(t)
+	f := NewForest()
+	// Node 3 demands nothing for attr 2.
+	tr := NewTree(model.NewAttrSet(2))
+	if err := tr.AddNode(3, model.Central); err != nil {
+		t.Fatal(err)
+	}
+	f.Add(tr)
+	if err := f.Validate(d, sys, nil); err == nil {
+		t.Fatal("non-participant member validated")
+	}
+}
+
+func TestForestMissedPairs(t *testing.T) {
+	sys, d := testEnv(t)
+	_ = sys
+	f := NewForest()
+	f.Add(buildChain(t, model.NewAttrSet(1), 1, 2)) // node 3 excluded
+	missed := f.MissedPairs(d)
+	if len(missed) != 1 || missed[0] != (model.Pair{Node: 3, Attr: 1}) {
+		t.Fatalf("MissedPairs = %v", missed)
+	}
+	collected := f.CollectedPairs(d)
+	if len(collected) != 2 {
+		t.Fatalf("CollectedPairs = %v", collected)
+	}
+}
+
+func TestForestTreeFor(t *testing.T) {
+	f := NewForest()
+	f.Add(NewTree(model.NewAttrSet(1, 2)))
+	f.Add(NewTree(model.NewAttrSet(3)))
+	if tr := f.TreeFor(2); tr == nil || !tr.Attrs.Contains(2) {
+		t.Fatal("TreeFor(2) wrong")
+	}
+	if tr := f.TreeFor(9); tr != nil {
+		t.Fatal("TreeFor(9) found a tree")
+	}
+}
+
+func TestScoreBetter(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Score
+		want bool
+	}{
+		{"more collected wins", Score{Collected: 5, TotalCost: 100}, Score{Collected: 4, TotalCost: 1}, true},
+		{"fewer collected loses", Score{Collected: 3, TotalCost: 1}, Score{Collected: 4, TotalCost: 1}, false},
+		{"tie cheaper wins", Score{Collected: 4, TotalCost: 50}, Score{Collected: 4, TotalCost: 60}, true},
+		{"identical not better", Score{Collected: 4, TotalCost: 50}, Score{Collected: 4, TotalCost: 50}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Better(tt.b); got != tt.want {
+				t.Fatalf("Better = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,185 @@
+package plan
+
+import (
+	"errors"
+	"testing"
+
+	"remo/internal/model"
+)
+
+func buildChain(t *testing.T, attrs model.AttrSet, ids ...model.NodeID) *Tree {
+	t.Helper()
+	tr := NewTree(attrs)
+	prev := model.Central
+	for _, id := range ids {
+		if err := tr.AddNode(id, prev); err != nil {
+			t.Fatalf("AddNode(%v, %v): %v", id, prev, err)
+		}
+		prev = id
+	}
+	return tr
+}
+
+func TestTreeAddNode(t *testing.T) {
+	tr := NewTree(model.NewAttrSet(1))
+	if err := tr.AddNode(1, model.Central); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root() != 1 || tr.Size() != 1 {
+		t.Fatalf("root=%v size=%d", tr.Root(), tr.Size())
+	}
+	if err := tr.AddNode(2, model.Central); !errors.Is(err, ErrHasRoot) {
+		t.Fatalf("second root error = %v", err)
+	}
+	if err := tr.AddNode(2, 9); !errors.Is(err, ErrParentMissing) {
+		t.Fatalf("missing parent error = %v", err)
+	}
+	if err := tr.AddNode(1, 1); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate error = %v", err)
+	}
+	if err := tr.AddNode(model.Central, 1); !errors.Is(err, ErrCentralMember) {
+		t.Fatalf("central member error = %v", err)
+	}
+	if err := tr.AddNode(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := tr.Parent(2)
+	if !ok || p != 1 {
+		t.Fatalf("Parent(2) = %v, %v", p, ok)
+	}
+}
+
+func TestTreeDepthHeight(t *testing.T) {
+	tr := buildChain(t, model.NewAttrSet(1), 1, 2, 3)
+	if err := tr.AddNode(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Depth(3); got != 3 {
+		t.Fatalf("Depth(3) = %d, want 3", got)
+	}
+	if got := tr.Depth(4); got != 2 {
+		t.Fatalf("Depth(4) = %d, want 2", got)
+	}
+	if got := tr.Height(); got != 3 {
+		t.Fatalf("Height = %d, want 3", got)
+	}
+	if got := tr.Depth(99); got != 0 {
+		t.Fatalf("Depth(absent) = %d, want 0", got)
+	}
+}
+
+func TestTreePostOrder(t *testing.T) {
+	tr := buildChain(t, model.NewAttrSet(1), 1, 2, 3)
+	seen := make(map[model.NodeID]bool)
+	for _, n := range tr.PostOrder() {
+		for _, c := range tr.Children(n) {
+			if !seen[c] {
+				t.Fatalf("post-order visited %v before child %v", n, c)
+			}
+		}
+		seen[n] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("post-order visited %d nodes, want 3", len(seen))
+	}
+}
+
+func TestTreeRemoveSubtree(t *testing.T) {
+	tr := buildChain(t, model.NewAttrSet(1), 1, 2, 3)
+	if err := tr.AddNode(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := tr.RemoveSubtree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 3 { // 2, 3, 4
+		t.Fatalf("removed %v, want 3 nodes", removed)
+	}
+	if tr.Size() != 1 || tr.Contains(2) || tr.Contains(3) || tr.Contains(4) {
+		t.Fatalf("tree after removal: size=%d", tr.Size())
+	}
+	if _, err := tr.RemoveSubtree(2); !errors.Is(err, ErrNodeMissing) {
+		t.Fatalf("double remove error = %v", err)
+	}
+	// Removing the root empties the tree.
+	if _, err := tr.RemoveSubtree(1); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Empty() || tr.Root() != model.Central {
+		t.Fatal("tree not empty after removing root")
+	}
+}
+
+func TestTreeReparent(t *testing.T) {
+	tr := buildChain(t, model.NewAttrSet(1), 1, 2, 3)
+	if err := tr.AddNode(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Reparent(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tr.Parent(4); p != 3 {
+		t.Fatalf("Parent(4) = %v, want 3", p)
+	}
+	// Cannot move a node under its own descendant.
+	if err := tr.Reparent(2, 4); err == nil {
+		t.Fatal("reparent under descendant succeeded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after reparent: %v", err)
+	}
+}
+
+func TestTreePathToRoot(t *testing.T) {
+	tr := buildChain(t, model.NewAttrSet(1), 1, 2, 3)
+	path := tr.PathToRoot(3)
+	if len(path) != 2 || path[0] != 2 || path[1] != 1 {
+		t.Fatalf("PathToRoot(3) = %v, want [2 1]", path)
+	}
+	if got := tr.PathToRoot(1); len(got) != 0 {
+		t.Fatalf("PathToRoot(root) = %v, want empty", got)
+	}
+}
+
+func TestTreeCloneIndependent(t *testing.T) {
+	tr := buildChain(t, model.NewAttrSet(1), 1, 2)
+	c := tr.Clone()
+	if err := c.AddNode(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Contains(3) {
+		t.Fatal("clone mutation leaked")
+	}
+}
+
+func TestTreeEdgesAndDiff(t *testing.T) {
+	a := NewForest()
+	a.Add(buildChain(t, model.NewAttrSet(1), 1, 2, 3))
+
+	b := NewForest()
+	tr := buildChain(t, model.NewAttrSet(1), 1, 2)
+	if err := tr.AddNode(3, 1); err != nil { // 3 moved under 1
+		t.Fatal(err)
+	}
+	b.Add(tr)
+
+	if got := DiffEdges(a, a.Clone()); got != 0 {
+		t.Fatalf("DiffEdges(a, a) = %d", got)
+	}
+	// Edge 3->2 removed, 3->1 added: 2 changes.
+	if got := DiffEdges(a, b); got != 2 {
+		t.Fatalf("DiffEdges = %d, want 2", got)
+	}
+}
+
+func TestTreeValidate(t *testing.T) {
+	tr := buildChain(t, model.NewAttrSet(1), 1, 2)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := NewTree(model.NewAttrSet(1))
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty tree invalid: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package reliability implements REMO's reliability enhancements (§6.2):
+// delivering critical metrics redundantly over disjoint overlay paths by
+// rewriting monitoring tasks, so the planner itself needs no changes.
+//
+// Two modes are supported:
+//
+//   - SSDP (same source, different paths): each replica collects the same
+//     attribute from the same nodes under an alias attribute id, and
+//     partition constraints keep an attribute and its aliases in
+//     different trees, yielding disjoint delivery paths.
+//   - DSDP (different sources, different paths): when several nodes
+//     observe the same value (e.g. hosts sharing a storage device), each
+//     replica collects from a distinct observer set, again in distinct
+//     trees.
+package reliability
+
+import (
+	"errors"
+	"fmt"
+
+	"remo/internal/model"
+	"remo/internal/partition"
+)
+
+// Errors returned by the rewriters.
+var (
+	ErrBadReplicas = errors.New("reliability: replicas must be >= 2")
+	ErrSmallGroups = errors.New("reliability: observer groups cannot supply the requested replicas")
+)
+
+// AliasMap records which alias attribute ids stand for which original
+// attribute, so collectors can fold replica deliveries back together.
+type AliasMap struct {
+	toOriginal map[model.AttrID]model.AttrID
+	aliases    map[model.AttrID][]model.AttrID
+}
+
+// NewAliasMap returns an empty alias map.
+func NewAliasMap() *AliasMap {
+	return &AliasMap{
+		toOriginal: make(map[model.AttrID]model.AttrID),
+		aliases:    make(map[model.AttrID][]model.AttrID),
+	}
+}
+
+// Add registers alias as a stand-in for original.
+func (m *AliasMap) Add(alias, original model.AttrID) {
+	m.toOriginal[alias] = original
+	m.aliases[original] = append(m.aliases[original], alias)
+}
+
+// Original resolves an attribute id to its original: aliases map to their
+// source, every other id maps to itself.
+func (m *AliasMap) Original(a model.AttrID) model.AttrID {
+	if m == nil {
+		return a
+	}
+	if orig, ok := m.toOriginal[a]; ok {
+		return orig
+	}
+	return a
+}
+
+// Aliases returns the aliases registered for original (not including the
+// original itself). The returned slice must not be modified.
+func (m *AliasMap) Aliases(original model.AttrID) []model.AttrID {
+	if m == nil {
+		return nil
+	}
+	return m.aliases[original]
+}
+
+// Len returns the number of registered aliases.
+func (m *AliasMap) Len() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.toOriginal)
+}
+
+// Rewrite is the output of a reliability rewriting: the tasks to submit
+// in place of the original, the alias bookkeeping, and the partition
+// constraints that force replicas onto different paths.
+type Rewrite struct {
+	Tasks       []model.Task
+	Aliases     *AliasMap
+	Constraints *partition.Constraints
+}
+
+// SSDP rewrites task t for same-source-different-paths delivery with the
+// given replication factor (total copies, >= 2). Alias attribute ids are
+// drawn sequentially starting at aliasBase, which must not collide with
+// real attribute ids.
+func SSDP(t model.Task, replicas int, aliasBase model.AttrID) (Rewrite, error) {
+	if replicas < 2 {
+		return Rewrite{}, fmt.Errorf("%w: %d", ErrBadReplicas, replicas)
+	}
+	if err := t.Validate(); err != nil {
+		return Rewrite{}, err
+	}
+
+	rw := Rewrite{
+		Aliases:     NewAliasMap(),
+		Constraints: partition.NewConstraints(),
+	}
+	rw.Tasks = append(rw.Tasks, t.Clone())
+	next := aliasBase
+	aliasSets := make([][]model.AttrID, len(t.Attrs))
+	for i, orig := range t.Attrs {
+		aliasSets[i] = []model.AttrID{orig}
+	}
+	for r := 1; r < replicas; r++ {
+		replica := model.Task{
+			Name:  fmt.Sprintf("%s#ssdp%d", t.Name, r),
+			Nodes: append([]model.NodeID(nil), t.Nodes...),
+		}
+		for i, orig := range t.Attrs {
+			alias := next
+			next++
+			rw.Aliases.Add(alias, orig)
+			replica.Attrs = append(replica.Attrs, alias)
+			aliasSets[i] = append(aliasSets[i], alias)
+		}
+		rw.Tasks = append(rw.Tasks, replica)
+	}
+	// An attribute and all of its aliases must travel distinct trees.
+	for _, group := range aliasSets {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				rw.Constraints.Forbid(group[i], group[j])
+			}
+		}
+	}
+	return rw, nil
+}
+
+// ObserverGroups lists, for one logically shared value, the node groups
+// that each observe it (N(v_1), ..., N(v_n) in the paper's notation).
+type ObserverGroups [][]model.NodeID
+
+// DSDP rewrites a shared-value monitoring request into replicas tasks,
+// each collecting attribute attr from a distinct set of observers (one
+// drawn from each group), delivered over distinct trees. The replication
+// factor is capped by the smallest group size; requesting more returns
+// ErrSmallGroups.
+func DSDP(name string, attr model.AttrID, groups ObserverGroups, replicas int, aliasBase model.AttrID) (Rewrite, error) {
+	if replicas < 2 {
+		return Rewrite{}, fmt.Errorf("%w: %d", ErrBadReplicas, replicas)
+	}
+	if len(groups) == 0 {
+		return Rewrite{}, fmt.Errorf("%w: no observer groups", ErrSmallGroups)
+	}
+	for _, g := range groups {
+		if len(g) < replicas {
+			return Rewrite{}, fmt.Errorf("%w: group size %d < replicas %d",
+				ErrSmallGroups, len(g), replicas)
+		}
+	}
+
+	rw := Rewrite{
+		Aliases:     NewAliasMap(),
+		Constraints: partition.NewConstraints(),
+	}
+	ids := []model.AttrID{attr}
+	next := aliasBase
+	for r := 0; r < replicas; r++ {
+		id := attr
+		if r > 0 {
+			id = next
+			next++
+			rw.Aliases.Add(id, attr)
+			ids = append(ids, id)
+		}
+		task := model.Task{
+			Name:  fmt.Sprintf("%s#dsdp%d", name, r),
+			Attrs: []model.AttrID{id},
+		}
+		// The r-th replica takes the r-th observer of every group, so
+		// replicas read from disjoint node sets.
+		for _, g := range groups {
+			task.Nodes = append(task.Nodes, g[r])
+		}
+		rw.Tasks = append(rw.Tasks, task)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			rw.Constraints.Forbid(ids[i], ids[j])
+		}
+	}
+	return rw, nil
+}
+
+// MergeConstraints folds several rewrites' constraints into one
+// constraint set for the planner.
+func MergeConstraints(rewrites ...Rewrite) *partition.Constraints {
+	out := partition.NewConstraints()
+	for _, rw := range rewrites {
+		out.Merge(rw.Constraints)
+	}
+	return out
+}

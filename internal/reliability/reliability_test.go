@@ -1,0 +1,164 @@
+package reliability
+
+import (
+	"errors"
+	"testing"
+
+	"remo/internal/model"
+)
+
+func TestSSDPRewrite(t *testing.T) {
+	orig := model.Task{Name: "critical", Attrs: []model.AttrID{1, 2}, Nodes: []model.NodeID{1, 2, 3}}
+	rw, err := SSDP(orig, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Tasks) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(rw.Tasks))
+	}
+	replica := rw.Tasks[1]
+	if len(replica.Attrs) != 2 || len(replica.Nodes) != 3 {
+		t.Fatalf("replica = %+v", replica)
+	}
+	// Aliases resolve to their originals.
+	for i, alias := range replica.Attrs {
+		if got := rw.Aliases.Original(alias); got != orig.Attrs[i] {
+			t.Fatalf("Original(%v) = %v, want %v", alias, got, orig.Attrs[i])
+		}
+	}
+	if rw.Aliases.Len() != 2 {
+		t.Fatalf("alias count = %d, want 2", rw.Aliases.Len())
+	}
+	// Original and alias must not share a tree.
+	if rw.Constraints.AllowSet(model.NewAttrSet(1, replica.Attrs[0])) {
+		t.Fatal("alias allowed in the same set as its original")
+	}
+	// Unrelated attrs may share trees (the efficiency win of REMO-k over
+	// SINGLETON-SET-k).
+	if !rw.Constraints.AllowSet(model.NewAttrSet(1, 2)) {
+		t.Fatal("unrelated originals forbidden from sharing a set")
+	}
+	if !rw.Constraints.AllowSet(model.NewAttrSet(replica.Attrs[0], 2)) {
+		t.Fatal("alias of attr 1 forbidden from sharing with attr 2")
+	}
+}
+
+func TestSSDPThreeReplicas(t *testing.T) {
+	orig := model.Task{Name: "t", Attrs: []model.AttrID{1}, Nodes: []model.NodeID{1}}
+	rw, err := SSDP(orig, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Tasks) != 3 {
+		t.Fatalf("tasks = %d, want 3", len(rw.Tasks))
+	}
+	aliases := rw.Aliases.Aliases(1)
+	if len(aliases) != 2 {
+		t.Fatalf("aliases = %v, want 2", aliases)
+	}
+	// All three copies pairwise conflict.
+	ids := append([]model.AttrID{1}, aliases...)
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if rw.Constraints.AllowSet(model.NewAttrSet(ids[i], ids[j])) {
+				t.Fatalf("copies %v and %v may share a set", ids[i], ids[j])
+			}
+		}
+	}
+}
+
+func TestSSDPRejectsBadInput(t *testing.T) {
+	good := model.Task{Name: "t", Attrs: []model.AttrID{1}, Nodes: []model.NodeID{1}}
+	if _, err := SSDP(good, 1, 1000); !errors.Is(err, ErrBadReplicas) {
+		t.Fatalf("replicas=1 error = %v", err)
+	}
+	if _, err := SSDP(model.Task{Name: "t"}, 2, 1000); err == nil {
+		t.Fatal("invalid task accepted")
+	}
+}
+
+func TestDSDPRewrite(t *testing.T) {
+	groups := ObserverGroups{
+		{1, 2, 3}, // observers of value v1
+		{4, 5, 6}, // observers of value v2
+	}
+	rw, err := DSDP("storage", 7, groups, 2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Tasks) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(rw.Tasks))
+	}
+	// Replicas draw disjoint observers.
+	seen := make(map[model.NodeID]int)
+	for _, task := range rw.Tasks {
+		if len(task.Nodes) != 2 {
+			t.Fatalf("task observers = %v, want one per group", task.Nodes)
+		}
+		for _, n := range task.Nodes {
+			seen[n]++
+		}
+	}
+	for n, c := range seen {
+		if c > 1 {
+			t.Fatalf("observer %v reused across replicas", n)
+		}
+	}
+	// First replica keeps the original attribute id; the second uses an
+	// alias conflicting with it.
+	alias := rw.Tasks[1].Attrs[0]
+	if rw.Aliases.Original(alias) != 7 {
+		t.Fatalf("alias original = %v, want 7", rw.Aliases.Original(alias))
+	}
+	if rw.Constraints.AllowSet(model.NewAttrSet(7, alias)) {
+		t.Fatal("replica attrs may share a set")
+	}
+}
+
+func TestDSDPRejectsSmallGroups(t *testing.T) {
+	groups := ObserverGroups{{1}}
+	if _, err := DSDP("x", 1, groups, 2, 100); !errors.Is(err, ErrSmallGroups) {
+		t.Fatalf("error = %v, want ErrSmallGroups", err)
+	}
+	if _, err := DSDP("x", 1, nil, 2, 100); !errors.Is(err, ErrSmallGroups) {
+		t.Fatalf("empty groups error = %v", err)
+	}
+	if _, err := DSDP("x", 1, groups, 1, 100); !errors.Is(err, ErrBadReplicas) {
+		t.Fatalf("replicas=1 error = %v", err)
+	}
+}
+
+func TestAliasMapNilSafe(t *testing.T) {
+	var m *AliasMap
+	if m.Original(5) != 5 {
+		t.Fatal("nil map Original broken")
+	}
+	if m.Aliases(5) != nil || m.Len() != 0 {
+		t.Fatal("nil map accessors broken")
+	}
+}
+
+func TestMergeConstraints(t *testing.T) {
+	t1 := model.Task{Name: "a", Attrs: []model.AttrID{1}, Nodes: []model.NodeID{1}}
+	t2 := model.Task{Name: "b", Attrs: []model.AttrID{2}, Nodes: []model.NodeID{1}}
+	rw1, err := SSDP(t1, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw2, err := SSDP(t2, 2, 1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := MergeConstraints(rw1, rw2)
+	a1 := rw1.Aliases.Aliases(1)[0]
+	a2 := rw2.Aliases.Aliases(2)[0]
+	if merged.AllowSet(model.NewAttrSet(1, a1)) {
+		t.Fatal("merged constraints lost rw1 conflict")
+	}
+	if merged.AllowSet(model.NewAttrSet(2, a2)) {
+		t.Fatal("merged constraints lost rw2 conflict")
+	}
+	if !merged.AllowSet(model.NewAttrSet(1, 2)) {
+		t.Fatal("merged constraints over-restrict")
+	}
+}

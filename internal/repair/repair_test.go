@@ -1,0 +1,197 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"remo/internal/core"
+	"remo/internal/cost"
+	"remo/internal/model"
+	"remo/internal/plan"
+	"remo/internal/task"
+)
+
+// env plans a topology for n nodes over nAttrs attributes.
+func env(t *testing.T, rng *rand.Rand, n, nAttrs int) (*model.System, *task.Demand, *plan.Forest) {
+	t.Helper()
+	attrs := make([]model.AttrID, nAttrs)
+	for i := range attrs {
+		attrs[i] = model.AttrID(i + 1)
+	}
+	nodes := make([]model.Node, n)
+	d := task.NewDemand()
+	for i := range nodes {
+		id := model.NodeID(i + 1)
+		nodes[i] = model.Node{ID: id, Capacity: 60 + rng.Float64()*60, Attrs: attrs}
+		for _, a := range attrs {
+			if rng.Intn(2) == 0 {
+				d.Set(id, a, 1)
+			}
+		}
+		if d.AttrsOf(id).Empty() {
+			d.Set(id, attrs[0], 1)
+		}
+	}
+	sys, err := model.NewSystem(500, cost.Model{PerMessage: 10, PerValue: 1}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.NewPlanner().Plan(sys, d)
+	return sys, d, res.Forest
+}
+
+func TestRepairRemovesFailedNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sys, d, forest := env(t, rng, 20, 3)
+
+	// Fail two placed nodes, including at least one relay if possible.
+	failed := map[model.NodeID]struct{}{}
+	for _, tr := range forest.Trees {
+		members := tr.Members()
+		if len(members) > 1 {
+			failed[members[0]] = struct{}{} // the root: forces a rebuild
+			break
+		}
+	}
+	if len(failed) == 0 {
+		t.Skip("no multi-node tree to break")
+	}
+
+	repaired, rep := Repair(Config{Sys: sys, Demand: d}, forest, failed)
+	for _, tr := range repaired.Trees {
+		for _, n := range tr.Members() {
+			if _, dead := failed[n]; dead {
+				t.Fatalf("failed node %v still placed", n)
+			}
+		}
+	}
+	if rep.TreesRebuilt == 0 || rep.FailedMembers == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.EdgesChanged == 0 {
+		t.Fatal("repair changed nothing")
+	}
+
+	// The repaired forest is valid for the surviving demand.
+	survivors := d.Clone()
+	for n := range failed {
+		for _, a := range survivors.AttrsOf(n).Attrs() {
+			survivors.Remove(n, a)
+		}
+	}
+	if err := repaired.Validate(survivors, sys, nil); err != nil {
+		t.Fatalf("repaired forest invalid: %v", err)
+	}
+}
+
+func TestRepairNoFailuresIsNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sys, d, forest := env(t, rng, 15, 2)
+	repaired, rep := Repair(Config{Sys: sys, Demand: d}, forest, nil)
+	if rep.TreesRebuilt != 0 || rep.EdgesChanged != 0 || rep.PairsLost != 0 {
+		t.Fatalf("no-op repair report = %+v", rep)
+	}
+	if plan.DiffEdges(forest, repaired) != 0 {
+		t.Fatal("no-op repair changed the forest")
+	}
+}
+
+func TestRepairKeepsUnaffectedTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sys, d, forest := env(t, rng, 25, 4)
+	if len(forest.Trees) < 2 {
+		t.Skip("need at least two trees")
+	}
+	// Fail a node placed in exactly one tree.
+	var victim model.NodeID
+	var victimTree string
+outer:
+	for _, tr := range forest.Trees {
+		for _, n := range tr.Members() {
+			count := 0
+			for _, other := range forest.Trees {
+				if other.Contains(n) {
+					count++
+				}
+			}
+			if count == 1 {
+				victim, victimTree = n, tr.Attrs.Key()
+				break outer
+			}
+		}
+	}
+	if victim == 0 {
+		t.Skip("no single-tree node found")
+	}
+	repaired, _ := Repair(Config{Sys: sys, Demand: d}, forest,
+		map[model.NodeID]struct{}{victim: {}})
+
+	// Every other tree survives unchanged (same pointer semantics: same
+	// edges).
+	oldEdges := make(map[string]int)
+	for _, tr := range forest.Trees {
+		oldEdges[tr.Attrs.Key()] = tr.Size()
+	}
+	for _, tr := range repaired.Trees {
+		if tr.Attrs.Key() == victimTree {
+			continue
+		}
+		if got := tr.Size(); got != oldEdges[tr.Attrs.Key()] {
+			t.Fatalf("unaffected tree %v changed size: %d -> %d",
+				tr.Attrs, oldEdges[tr.Attrs.Key()], got)
+		}
+	}
+}
+
+func TestRepairRecoversCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sys, d, forest := env(t, rng, 20, 2)
+
+	// Kill a relay node: its subtree's pairs vanish from the broken
+	// forest but a repair reattaches the survivors.
+	var victim model.NodeID
+	for _, tr := range forest.Trees {
+		for _, n := range tr.Members() {
+			if len(tr.Children(n)) > 0 && n != tr.Root() {
+				victim = n
+				break
+			}
+		}
+	}
+	if victim == 0 {
+		// Fall back to a root with children.
+		for _, tr := range forest.Trees {
+			if len(tr.Children(tr.Root())) > 0 {
+				victim = tr.Root()
+				break
+			}
+		}
+	}
+	if victim == 0 {
+		t.Skip("no relay node found")
+	}
+
+	survivors := d.Clone()
+	for _, a := range survivors.AttrsOf(victim).Attrs() {
+		survivors.Remove(victim, a)
+	}
+
+	repaired, _ := Repair(Config{Sys: sys, Demand: d}, forest,
+		map[model.NodeID]struct{}{victim: {}})
+	repairedStats := repaired.ComputeStats(survivors, sys, nil)
+
+	// Collecting without repair: the victim's subtree is orphaned, so
+	// simulate by dropping the victim's subtree from each tree.
+	broken := forest.Clone()
+	for _, tr := range broken.Trees {
+		if tr.Contains(victim) {
+			_, _ = tr.RemoveSubtree(victim)
+		}
+	}
+	brokenStats := broken.ComputeStats(survivors, sys, nil)
+
+	if repairedStats.Collected < brokenStats.Collected {
+		t.Fatalf("repair lost coverage: %d < %d",
+			repairedStats.Collected, brokenStats.Collected)
+	}
+}

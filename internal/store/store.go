@@ -1,0 +1,193 @@
+// Package store implements the data collector's repository (§2.2 of the
+// paper): it retains collected attribute values as bounded per-pair time
+// series and serves lookups for users and higher-level applications.
+// Its companion, the result processor (processor.go), executes concrete
+// monitoring operations such as threshold triggers.
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"remo/internal/model"
+)
+
+// Sample is one collected observation of a node-attribute pair.
+type Sample struct {
+	// Round is the collection round the value was observed at (the
+	// producer's clock, not the arrival time).
+	Round int
+	// Value is the observed value.
+	Value float64
+}
+
+// Store retains the most recent samples of every collected pair in
+// fixed-size ring buffers. It is safe for concurrent use: the emulated
+// collector appends while readers query.
+type Store struct {
+	mu       sync.RWMutex
+	capacity int
+	series   map[model.Pair]*ring
+}
+
+// DefaultCapacity is the per-series ring size used when none is given.
+const DefaultCapacity = 128
+
+// New returns a store retaining up to capacity samples per pair
+// (DefaultCapacity if capacity <= 0).
+func New(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{
+		capacity: capacity,
+		series:   make(map[model.Pair]*ring),
+	}
+}
+
+// Observe appends a sample for pair p. Out-of-order arrivals (an older
+// round than the newest retained sample) are accepted and kept sorted.
+func (s *Store) Observe(p model.Pair, round int, value float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.series[p]
+	if !ok {
+		r = newRing(s.capacity)
+		s.series[p] = r
+	}
+	r.push(Sample{Round: round, Value: value})
+}
+
+// Latest returns the newest sample of pair p.
+func (s *Store) Latest(p model.Pair) (Sample, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.series[p]
+	if !ok || r.len() == 0 {
+		return Sample{}, false
+	}
+	return r.newest(), true
+}
+
+// Window returns the retained samples of pair p with from <= Round <=
+// to, oldest first.
+func (s *Store) Window(p model.Pair, from, to int) []Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.series[p]
+	if !ok {
+		return nil
+	}
+	var out []Sample
+	for _, smp := range r.ascending() {
+		if smp.Round >= from && smp.Round <= to {
+			out = append(out, smp)
+		}
+	}
+	return out
+}
+
+// Pairs returns every pair with at least one retained sample, sorted.
+func (s *Store) Pairs() []model.Pair {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.Pair, 0, len(s.series))
+	for p, r := range s.series {
+		if r.len() > 0 {
+			out = append(out, p)
+		}
+	}
+	model.SortPairs(out)
+	return out
+}
+
+// Len returns the total number of retained samples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int
+	for _, r := range s.series {
+		n += r.len()
+	}
+	return n
+}
+
+// Summary aggregates a pair's retained samples.
+type Summary struct {
+	Count    int
+	Min, Max float64
+	Mean     float64
+	// First and Last are the oldest and newest retained rounds.
+	First, Last int
+}
+
+// Summarize computes the summary of pair p's retained samples.
+func (s *Store) Summarize(p model.Pair) (Summary, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.series[p]
+	if !ok || r.len() == 0 {
+		return Summary{}, false
+	}
+	samples := r.ascending()
+	sum := Summary{
+		Count: len(samples),
+		Min:   samples[0].Value,
+		Max:   samples[0].Value,
+		First: samples[0].Round,
+		Last:  samples[len(samples)-1].Round,
+	}
+	var total float64
+	for _, smp := range samples {
+		total += smp.Value
+		if smp.Value < sum.Min {
+			sum.Min = smp.Value
+		}
+		if smp.Value > sum.Max {
+			sum.Max = smp.Value
+		}
+	}
+	sum.Mean = total / float64(len(samples))
+	return sum, true
+}
+
+// ring is a fixed-capacity sample buffer kept sorted by round.
+type ring struct {
+	buf []Sample
+	cap int
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]Sample, 0, capacity), cap: capacity}
+}
+
+func (r *ring) len() int { return len(r.buf) }
+
+func (r *ring) push(s Sample) {
+	// Common case: in-order append.
+	if len(r.buf) == 0 || s.Round >= r.buf[len(r.buf)-1].Round {
+		r.buf = append(r.buf, s)
+	} else {
+		// Out-of-order: insert at the sorted position.
+		i := sort.Search(len(r.buf), func(i int) bool {
+			return r.buf[i].Round > s.Round
+		})
+		r.buf = append(r.buf, Sample{})
+		copy(r.buf[i+1:], r.buf[i:])
+		r.buf[i] = s
+	}
+	if len(r.buf) > r.cap {
+		// Drop the oldest; shift in place to respect the backing
+		// array's capacity bound.
+		copy(r.buf, r.buf[len(r.buf)-r.cap:])
+		r.buf = r.buf[:r.cap]
+	}
+}
+
+func (r *ring) newest() Sample { return r.buf[len(r.buf)-1] }
+
+func (r *ring) ascending() []Sample {
+	out := make([]Sample, len(r.buf))
+	copy(out, r.buf)
+	return out
+}

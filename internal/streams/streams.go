@@ -1,0 +1,228 @@
+// Package streams is the stream-processing substrate standing in for
+// IBM System S in the paper's real-system experiments (§7): a dataflow
+// graph of analytic operators placed across monitoring nodes, processing
+// bursty tuple streams. Each node exposes per-operator metrics — input
+// rate, output rate, buffer occupancy and CPU load — matching the
+// paper's YieldMonitor deployment of ~200 processes across 200 nodes
+// with 30-50 monitored attributes per node.
+//
+// The simulation is a deterministic fluid model: per round, an operator
+// drains its backlog up to its service rate; source operators ingest a
+// bursty external stream. All rounds are precomputed, so value lookups
+// are O(1) and safe for the emulation's concurrent node goroutines.
+package streams
+
+import (
+	"errors"
+	"math"
+
+	"remo/internal/model"
+)
+
+// Metric kinds exposed per operator slot. A node hosting k operators
+// observes 4k attributes; attribute ids encode (slot, metric):
+// attr = slot*MetricsPerOp + metric + 1.
+const (
+	// MetricInRate is the operator's tuple arrival rate.
+	MetricInRate = iota
+	// MetricOutRate is the operator's tuple emission rate.
+	MetricOutRate
+	// MetricBuffer is the operator's queued backlog.
+	MetricBuffer
+	// MetricCPU is the operator's utilization (0..1 scaled to 0..100).
+	MetricCPU
+	// MetricsPerOp is the number of metrics each operator exposes.
+	MetricsPerOp
+)
+
+// Operator is one analytic element of the dataflow graph.
+type Operator struct {
+	// Node hosts the operator; Slot is its index among the node's
+	// operators.
+	Node model.NodeID
+	Slot int
+	// ServiceRate is the tuples/round the operator can process.
+	ServiceRate float64
+	// Selectivity is output tuples per processed input tuple.
+	Selectivity float64
+	// Upstream indexes the operators feeding this one (into App.Ops);
+	// empty for source operators.
+	Upstream []int
+}
+
+// App is a simulated streaming application.
+type App struct {
+	Ops []Operator
+
+	rounds  int
+	seed    uint64
+	in      [][]float64 // [round][op]
+	out     [][]float64
+	backlog [][]float64
+	cpu     [][]float64
+	// slotOf maps (node, slot) to the operator index.
+	slotOf map[model.NodeID][]int
+}
+
+// ErrNoNodes is returned when building an app over no nodes.
+var ErrNoNodes = errors.New("streams: no nodes")
+
+// NewPipelineApp builds a YieldMonitor-like application: a processing
+// pipeline threaded through all nodes, opsPerNode operators per node.
+// The first operator of the first node ingests the external (bursty)
+// test-data stream; every other operator consumes its predecessor, and
+// every fourth node starts a parallel branch that rejoins two nodes
+// later, mimicking the split/score/join shape of statistical yield
+// analysis.
+func NewPipelineApp(nodes []model.NodeID, opsPerNode int, seed uint64) (*App, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	if opsPerNode < 1 {
+		opsPerNode = 1
+	}
+	app := &App{seed: seed, slotOf: make(map[model.NodeID][]int, len(nodes))}
+	prev := -1
+	var branchFrom = -1
+	for ni, n := range nodes {
+		slots := make([]int, opsPerNode)
+		for s := 0; s < opsPerNode; s++ {
+			op := Operator{
+				Node:        n,
+				Slot:        s,
+				ServiceRate: 80 + float64(mix64(seed, uint64(ni), uint64(s))%80),
+				Selectivity: 0.6 + float64(mix64(seed, uint64(s), uint64(ni))%40)/100,
+			}
+			idx := len(app.Ops)
+			if prev >= 0 {
+				op.Upstream = append(op.Upstream, prev)
+			}
+			// Rejoin an outstanding branch at node boundaries.
+			if s == 0 && branchFrom >= 0 && ni%4 == 2 {
+				op.Upstream = append(op.Upstream, branchFrom)
+				branchFrom = -1
+			}
+			app.Ops = append(app.Ops, op)
+			slots[s] = idx
+			prev = idx
+		}
+		if ni%4 == 0 && ni > 0 {
+			branchFrom = slots[opsPerNode-1]
+		}
+		app.slotOf[n] = slots
+	}
+	return app, nil
+}
+
+// Simulate precomputes rounds of dataflow dynamics. It must be called
+// before Value; re-simulating with more rounds is allowed.
+func (a *App) Simulate(rounds int) {
+	a.rounds = rounds
+	a.in = grid(rounds, len(a.Ops))
+	a.out = grid(rounds, len(a.Ops))
+	a.backlog = grid(rounds, len(a.Ops))
+	a.cpu = grid(rounds, len(a.Ops))
+
+	for r := 0; r < rounds; r++ {
+		for i, op := range a.Ops {
+			var in float64
+			if len(op.Upstream) == 0 {
+				in = a.sourceRate(i, r)
+			} else {
+				for _, u := range op.Upstream {
+					in += a.out[r][u]
+				}
+			}
+			var carried float64
+			if r > 0 {
+				carried = a.backlog[r-1][i]
+			}
+			processed := math.Min(in+carried, op.ServiceRate)
+			a.in[r][i] = in
+			a.backlog[r][i] = in + carried - processed
+			a.out[r][i] = processed * op.Selectivity
+			a.cpu[r][i] = 100 * processed / op.ServiceRate
+		}
+	}
+}
+
+// sourceRate is the bursty external arrival rate for source operator i.
+func (a *App) sourceRate(i, round int) float64 {
+	base := 60 + float64(mix64(a.seed, uint64(i), 7)%40)
+	period := 16 + float64(mix64(a.seed, uint64(i), 11)%16)
+	v := base * (1 + 0.4*math.Sin(2*math.Pi*float64(round)/period))
+	if mix64(a.seed, uint64(i), uint64(round/6))%5 == 0 {
+		v *= 1.8 // burst spell
+	}
+	return v
+}
+
+// AttrsPerNode returns how many attributes each node exposes.
+func (a *App) AttrsPerNode(n model.NodeID) int {
+	return len(a.slotOf[n]) * MetricsPerOp
+}
+
+// Attrs returns the attribute ids observable at node n (1-based,
+// encoding operator slot and metric kind).
+func (a *App) Attrs(n model.NodeID) []model.AttrID {
+	count := a.AttrsPerNode(n)
+	attrs := make([]model.AttrID, count)
+	for i := range attrs {
+		attrs[i] = model.AttrID(i + 1)
+	}
+	return attrs
+}
+
+// Value implements the cluster.ValueSource interface: it returns the
+// metric encoded by attr at node n for the given round. Rounds beyond
+// the simulated horizon clamp to the last round; unknown nodes or slots
+// return 0.
+func (a *App) Value(n model.NodeID, attr model.AttrID, round int) float64 {
+	if a.rounds == 0 {
+		return 0
+	}
+	if round >= a.rounds {
+		round = a.rounds - 1
+	}
+	if round < 0 {
+		round = 0
+	}
+	id := int(attr) - 1
+	if id < 0 {
+		return 0
+	}
+	slot, metric := id/MetricsPerOp, id%MetricsPerOp
+	slots := a.slotOf[n]
+	if slot >= len(slots) {
+		return 0
+	}
+	op := slots[slot]
+	switch metric {
+	case MetricInRate:
+		return a.in[round][op]
+	case MetricOutRate:
+		return a.out[round][op]
+	case MetricBuffer:
+		return a.backlog[round][op]
+	default:
+		return a.cpu[round][op]
+	}
+}
+
+func grid(rows, cols int) [][]float64 {
+	g := make([][]float64, rows)
+	for i := range g {
+		g[i] = make([]float64, cols)
+	}
+	return g
+}
+
+func mix64(vals ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}

@@ -1,0 +1,167 @@
+package streams
+
+import (
+	"errors"
+	"testing"
+
+	"remo/internal/model"
+)
+
+func nodeIDs(n int) []model.NodeID {
+	ids := make([]model.NodeID, n)
+	for i := range ids {
+		ids[i] = model.NodeID(i + 1)
+	}
+	return ids
+}
+
+func TestNewPipelineAppValidation(t *testing.T) {
+	if _, err := NewPipelineApp(nil, 3, 1); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("error = %v, want ErrNoNodes", err)
+	}
+	app, err := NewPipelineApp(nodeIDs(3), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Ops) != 3 { // opsPerNode clamps to 1
+		t.Fatalf("ops = %d, want 3", len(app.Ops))
+	}
+}
+
+func TestPipelineShape(t *testing.T) {
+	app, err := NewPipelineApp(nodeIDs(10), 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Ops) != 40 {
+		t.Fatalf("ops = %d, want 40", len(app.Ops))
+	}
+	sources := 0
+	for _, op := range app.Ops {
+		if len(op.Upstream) == 0 {
+			sources++
+		}
+		for _, u := range op.Upstream {
+			if u < 0 || u >= len(app.Ops) {
+				t.Fatalf("upstream index %d out of range", u)
+			}
+		}
+	}
+	if sources != 1 {
+		t.Fatalf("sources = %d, want 1", sources)
+	}
+	// The paper's deployment exposes 30-50 attributes per node; 10 ops
+	// per node at 4 metrics each lands mid-range.
+	big, err := NewPipelineApp(nodeIDs(5), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := big.AttrsPerNode(1); got != 40 {
+		t.Fatalf("AttrsPerNode = %d, want 40", got)
+	}
+}
+
+func TestSimulateDynamics(t *testing.T) {
+	app, err := NewPipelineApp(nodeIDs(8), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 60
+	app.Simulate(rounds)
+
+	varies := false
+	var prev float64
+	for r := 0; r < rounds; r++ {
+		for _, n := range nodeIDs(8) {
+			for _, a := range app.Attrs(n) {
+				v := app.Value(n, a, r)
+				if v < 0 {
+					t.Fatalf("negative metric %v at %v round %d: %v", a, n, r, v)
+				}
+			}
+		}
+		v := app.Value(1, model.AttrID(MetricInRate+1), r)
+		if r > 0 && v != prev {
+			varies = true
+		}
+		prev = v
+	}
+	if !varies {
+		t.Fatal("source rate never varies")
+	}
+	// CPU metric is a utilization percentage.
+	for r := 0; r < rounds; r++ {
+		cpu := app.Value(3, model.AttrID(MetricCPU+1), r)
+		if cpu < 0 || cpu > 100 {
+			t.Fatalf("cpu = %v out of [0,100]", cpu)
+		}
+	}
+}
+
+func TestValueClampsAndUnknowns(t *testing.T) {
+	app, err := NewPipelineApp(nodeIDs(2), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Value(1, 1, 5); got != 0 {
+		t.Fatalf("Value before Simulate = %v, want 0", got)
+	}
+	app.Simulate(10)
+	if app.Value(1, 1, 100) != app.Value(1, 1, 9) {
+		t.Fatal("round clamp broken")
+	}
+	if app.Value(1, 1, -5) != app.Value(1, 1, 0) {
+		t.Fatal("negative round clamp broken")
+	}
+	if app.Value(99, 1, 0) != 0 {
+		t.Fatal("unknown node should read 0")
+	}
+	if app.Value(1, 999, 0) != 0 {
+		t.Fatal("unknown slot should read 0")
+	}
+	if app.Value(1, 0, 0) != 0 {
+		t.Fatal("attr 0 should read 0")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	build := func() *App {
+		app, err := NewPipelineApp(nodeIDs(6), 3, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app.Simulate(30)
+		return app
+	}
+	a, b := build(), build()
+	for r := 0; r < 30; r++ {
+		for _, n := range nodeIDs(6) {
+			for _, attr := range a.Attrs(n) {
+				if a.Value(n, attr, r) != b.Value(n, attr, r) {
+					t.Fatalf("nondeterministic at (%v, %v, %d)", n, attr, r)
+				}
+			}
+		}
+	}
+}
+
+func TestBurstsPropagateBacklog(t *testing.T) {
+	app, err := NewPipelineApp(nodeIDs(4), 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Simulate(80)
+	// Somewhere, sometime, a buffer must build up (bursts exceed service
+	// rates by design).
+	for r := 0; r < 80; r++ {
+		for _, n := range nodeIDs(4) {
+			for slot := 0; slot < 3; slot++ {
+				attr := model.AttrID(slot*MetricsPerOp + MetricBuffer + 1)
+				if app.Value(n, attr, r) > 0 {
+					return
+				}
+			}
+		}
+	}
+	t.Fatal("no backlog ever built up under bursty input")
+}

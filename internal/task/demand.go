@@ -1,0 +1,179 @@
+package task
+
+import (
+	"remo/internal/model"
+)
+
+// Demand is the deduplicated monitoring workload: for every node, the set
+// of attributes it must report, each with a weight. A weight of 1 is one
+// full-rate value per collection round; the heterogeneous-update-frequency
+// extension lowers weights of values that piggyback at a fraction of the
+// node's fastest rate (a value updated at half the maximum frequency
+// contributes 0.5 to message payload cost on average).
+type Demand struct {
+	perNode map[model.NodeID]map[model.AttrID]float64
+}
+
+// NewDemand returns an empty demand.
+func NewDemand() *Demand {
+	return &Demand{perNode: make(map[model.NodeID]map[model.AttrID]float64)}
+}
+
+// Set records that node n must report attribute a with the given weight,
+// replacing any previous weight.
+func (d *Demand) Set(n model.NodeID, a model.AttrID, weight float64) {
+	m, ok := d.perNode[n]
+	if !ok {
+		m = make(map[model.AttrID]float64)
+		d.perNode[n] = m
+	}
+	m[a] = weight
+}
+
+// Remove drops the pair (n, a).
+func (d *Demand) Remove(n model.NodeID, a model.AttrID) {
+	if m, ok := d.perNode[n]; ok {
+		delete(m, a)
+		if len(m) == 0 {
+			delete(d.perNode, n)
+		}
+	}
+}
+
+// Weight returns the weight of pair (n, a), or 0 if the pair is not
+// demanded.
+func (d *Demand) Weight(n model.NodeID, a model.AttrID) float64 {
+	return d.perNode[n][a]
+}
+
+// Has reports whether pair (n, a) is demanded.
+func (d *Demand) Has(n model.NodeID, a model.AttrID) bool {
+	_, ok := d.perNode[n][a]
+	return ok
+}
+
+// Nodes returns the ids of all nodes with at least one demanded
+// attribute, ascending.
+func (d *Demand) Nodes() []model.NodeID {
+	ids := make([]model.NodeID, 0, len(d.perNode))
+	for n := range d.perNode {
+		ids = append(ids, n)
+	}
+	model.SortNodes(ids)
+	return ids
+}
+
+// AttrsOf returns the attributes demanded at node n as a set.
+func (d *Demand) AttrsOf(n model.NodeID) model.AttrSet {
+	m := d.perNode[n]
+	attrs := make([]model.AttrID, 0, len(m))
+	for a := range m {
+		attrs = append(attrs, a)
+	}
+	return model.NewAttrSet(attrs...)
+}
+
+// Universe returns the union of demanded attributes across all nodes —
+// the set the partition planner partitions.
+func (d *Demand) Universe() model.AttrSet {
+	var attrs []model.AttrID
+	seen := make(map[model.AttrID]struct{})
+	for _, m := range d.perNode {
+		for a := range m {
+			if _, dup := seen[a]; !dup {
+				seen[a] = struct{}{}
+				attrs = append(attrs, a)
+			}
+		}
+	}
+	return model.NewAttrSet(attrs...)
+}
+
+// Participants returns the nodes demanding at least one attribute of set,
+// ascending — the node set D_k of the monitoring tree for set.
+func (d *Demand) Participants(set model.AttrSet) []model.NodeID {
+	var ids []model.NodeID
+	for n, m := range d.perNode {
+		for a := range m {
+			if set.Contains(a) {
+				ids = append(ids, n)
+				break
+			}
+		}
+	}
+	model.SortNodes(ids)
+	return ids
+}
+
+// LocalAttrs returns the attributes of set demanded at node n, ascending.
+func (d *Demand) LocalAttrs(n model.NodeID, set model.AttrSet) []model.AttrID {
+	m := d.perNode[n]
+	var attrs []model.AttrID
+	for a := range m {
+		if set.Contains(a) {
+			attrs = append(attrs, a)
+		}
+	}
+	model.SortAttrs(attrs)
+	return attrs
+}
+
+// LocalWeight returns the summed weight of node n's demanded attributes
+// restricted to set — x_i of the tree construction problem.
+func (d *Demand) LocalWeight(n model.NodeID, set model.AttrSet) float64 {
+	var sum float64
+	for a, w := range d.perNode[n] {
+		if set.Contains(a) {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// PairCount returns the number of distinct demanded pairs.
+func (d *Demand) PairCount() int {
+	var c int
+	for _, m := range d.perNode {
+		c += len(m)
+	}
+	return c
+}
+
+// PairCountIn returns the number of distinct demanded pairs whose
+// attribute is in set.
+func (d *Demand) PairCountIn(set model.AttrSet) int {
+	var c int
+	for _, m := range d.perNode {
+		for a := range m {
+			if set.Contains(a) {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// Pairs returns all demanded pairs ordered by node then attribute.
+func (d *Demand) Pairs() []model.Pair {
+	pairs := make([]model.Pair, 0, d.PairCount())
+	for n, m := range d.perNode {
+		for a := range m {
+			pairs = append(pairs, model.Pair{Node: n, Attr: a})
+		}
+	}
+	model.SortPairs(pairs)
+	return pairs
+}
+
+// Clone returns a deep copy of the demand.
+func (d *Demand) Clone() *Demand {
+	c := NewDemand()
+	for n, m := range d.perNode {
+		cm := make(map[model.AttrID]float64, len(m))
+		for a, w := range m {
+			cm[a] = w
+		}
+		c.perNode[n] = cm
+	}
+	return c
+}

@@ -1,0 +1,54 @@
+package task
+
+import (
+	"remo/internal/model"
+)
+
+// Change describes the difference between two demands, used by the
+// adaptation planner to determine which monitoring trees are affected by
+// a batch of task updates.
+type Change struct {
+	// Added are pairs demanded by the new task set but not the old one.
+	Added []model.Pair
+	// Removed are pairs demanded by the old task set but not the new one.
+	Removed []model.Pair
+	// AffectedAttrs is the set of attributes with at least one added or
+	// removed pair; trees delivering any of these attributes must be
+	// rebuilt.
+	AffectedAttrs model.AttrSet
+}
+
+// Empty reports whether the change carries no pair additions or removals.
+func (c Change) Empty() bool {
+	return len(c.Added) == 0 && len(c.Removed) == 0
+}
+
+// Diff computes the change from demand old to demand new. Weight-only
+// changes (same pair, different weight) are reported as affected
+// attributes without pair additions or removals.
+func Diff(oldD, newD *Demand) Change {
+	var change Change
+	affected := make(map[model.AttrID]struct{})
+
+	for _, p := range newD.Pairs() {
+		if !oldD.Has(p.Node, p.Attr) {
+			change.Added = append(change.Added, p)
+			affected[p.Attr] = struct{}{}
+		} else if oldD.Weight(p.Node, p.Attr) != newD.Weight(p.Node, p.Attr) {
+			affected[p.Attr] = struct{}{}
+		}
+	}
+	for _, p := range oldD.Pairs() {
+		if !newD.Has(p.Node, p.Attr) {
+			change.Removed = append(change.Removed, p)
+			affected[p.Attr] = struct{}{}
+		}
+	}
+
+	attrs := make([]model.AttrID, 0, len(affected))
+	for a := range affected {
+		attrs = append(attrs, a)
+	}
+	change.AffectedAttrs = model.NewAttrSet(attrs...)
+	return change
+}

@@ -1,0 +1,161 @@
+// Package task implements REMO's task manager: it ingests application
+// state monitoring tasks, expands them into node-attribute pairs,
+// eliminates duplicated pairs across tasks, and tracks task-set changes
+// for the runtime adaptation planner.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"remo/internal/model"
+)
+
+// Errors returned by Manager operations.
+var (
+	ErrDuplicateTask = errors.New("task: duplicate task name")
+	ErrUnknownTask   = errors.New("task: unknown task name")
+)
+
+// Manager holds the current set of monitoring tasks. It deduplicates
+// node-attribute pairs across tasks: if two tasks both collect
+// cpu_utilization from node b, node b reports the value once and the data
+// collector fans it out to both tasks.
+//
+// Manager is not safe for concurrent use.
+type Manager struct {
+	tasks map[string]model.Task
+	// system, when set, filters out pairs whose attribute is not
+	// observable at the node.
+	system *model.System
+	// resolve maps alias attributes (reliability replicas) to the
+	// original attribute for observability checks.
+	resolve func(model.AttrID) model.AttrID
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithSystem makes the manager drop node-attribute pairs whose attribute
+// is not locally observable at the node, mirroring REMO's assumption that
+// attribute values are produced by node-local tools.
+func WithSystem(s *model.System) Option {
+	return func(m *Manager) { m.system = s }
+}
+
+// WithAliasResolver makes observability checks resolve alias attribute
+// ids (reliability replicas) to their original attribute first.
+func WithAliasResolver(resolve func(model.AttrID) model.AttrID) Option {
+	return func(m *Manager) { m.resolve = resolve }
+}
+
+// NewManager returns an empty task manager.
+func NewManager(opts ...Option) *Manager {
+	m := &Manager{tasks: make(map[string]model.Task)}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Add registers a new task. The task name must be unique.
+func (m *Manager) Add(t model.Task) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, exists := m.tasks[t.Name]; exists {
+		return fmt.Errorf("%w: %q", ErrDuplicateTask, t.Name)
+	}
+	m.tasks[t.Name] = t.Clone()
+	return nil
+}
+
+// Update replaces an existing task (task modification in the paper's
+// terms: users frequently change the attribute set of a task while
+// debugging).
+func (m *Manager) Update(t model.Task) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, exists := m.tasks[t.Name]; !exists {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, t.Name)
+	}
+	m.tasks[t.Name] = t.Clone()
+	return nil
+}
+
+// Remove deletes a task by name.
+func (m *Manager) Remove(name string) error {
+	if _, exists := m.tasks[name]; !exists {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, name)
+	}
+	delete(m.tasks, name)
+	return nil
+}
+
+// Len returns the number of registered tasks.
+func (m *Manager) Len() int { return len(m.tasks) }
+
+// Tasks returns the registered tasks ordered by name.
+func (m *Manager) Tasks() []model.Task {
+	names := make([]string, 0, len(m.tasks))
+	for n := range m.tasks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]model.Task, 0, len(names))
+	for _, n := range names {
+		out = append(out, m.tasks[n].Clone())
+	}
+	return out
+}
+
+// Demand deduplicates all registered tasks into a Demand: the set of
+// distinct node-attribute pairs to collect, each with unit weight.
+func (m *Manager) Demand() *Demand {
+	d := NewDemand()
+	for _, t := range m.tasks {
+		for _, n := range t.Nodes {
+			for _, a := range t.Attrs {
+				if !m.observable(n, a) {
+					continue
+				}
+				d.Set(n, a, 1)
+			}
+		}
+	}
+	return d
+}
+
+// DedupStats reports how many raw pairs the task set expands to and how
+// many distinct pairs remain after duplicate elimination.
+func (m *Manager) DedupStats() (raw, distinct int) {
+	d := NewDemand()
+	for _, t := range m.tasks {
+		for _, n := range t.Nodes {
+			for _, a := range t.Attrs {
+				if !m.observable(n, a) {
+					continue
+				}
+				raw++
+				d.Set(n, a, 1)
+			}
+		}
+	}
+	return raw, d.PairCount()
+}
+
+func (m *Manager) observable(n model.NodeID, a model.AttrID) bool {
+	if m.system == nil {
+		return true
+	}
+	node, ok := m.system.Node(n)
+	if !ok {
+		return false
+	}
+	if m.resolve != nil {
+		a = m.resolve(a)
+	}
+	return node.HasAttr(a)
+}

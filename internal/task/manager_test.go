@@ -1,0 +1,183 @@
+package task
+
+import (
+	"errors"
+	"testing"
+
+	"remo/internal/cost"
+	"remo/internal/model"
+)
+
+func TestManagerDeduplicates(t *testing.T) {
+	// The paper's §2.2 example: t1 and t2 both monitor cpu_utilization on
+	// node b; node b must report it only once.
+	const cpu = model.AttrID(1)
+	a, b, c := model.NodeID(1), model.NodeID(2), model.NodeID(3)
+
+	m := NewManager()
+	if err := m.Add(model.Task{Name: "t1", Attrs: []model.AttrID{cpu}, Nodes: []model.NodeID{a, b}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(model.Task{Name: "t2", Attrs: []model.AttrID{cpu}, Nodes: []model.NodeID{b, c}}); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, distinct := m.DedupStats()
+	if raw != 4 || distinct != 3 {
+		t.Fatalf("DedupStats = (%d, %d), want (4, 3)", raw, distinct)
+	}
+	d := m.Demand()
+	if d.PairCount() != 3 {
+		t.Fatalf("PairCount = %d, want 3", d.PairCount())
+	}
+	for _, n := range []model.NodeID{a, b, c} {
+		if d.Weight(n, cpu) != 1 {
+			t.Fatalf("Weight(%v, cpu) = %v, want 1", n, d.Weight(n, cpu))
+		}
+	}
+}
+
+func TestManagerDuplicateName(t *testing.T) {
+	m := NewManager()
+	task := model.Task{Name: "t", Attrs: []model.AttrID{1}, Nodes: []model.NodeID{1}}
+	if err := m.Add(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(task); !errors.Is(err, ErrDuplicateTask) {
+		t.Fatalf("second Add error = %v, want ErrDuplicateTask", err)
+	}
+}
+
+func TestManagerUpdateAndRemove(t *testing.T) {
+	m := NewManager()
+	task := model.Task{Name: "t", Attrs: []model.AttrID{1}, Nodes: []model.NodeID{1}}
+	if err := m.Update(task); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("Update unknown error = %v", err)
+	}
+	if err := m.Add(task); err != nil {
+		t.Fatal(err)
+	}
+	task.Attrs = []model.AttrID{1, 2}
+	if err := m.Update(task); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Demand().PairCount(); got != 2 {
+		t.Fatalf("after update PairCount = %d, want 2", got)
+	}
+	if err := m.Remove("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("t"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("double Remove error = %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestManagerTasksSortedAndCopied(t *testing.T) {
+	m := NewManager()
+	for _, name := range []string{"zz", "aa", "mm"} {
+		if err := m.Add(model.Task{Name: name, Attrs: []model.AttrID{1}, Nodes: []model.NodeID{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tasks := m.Tasks()
+	if tasks[0].Name != "aa" || tasks[1].Name != "mm" || tasks[2].Name != "zz" {
+		t.Fatalf("Tasks order = %v", tasks)
+	}
+	tasks[0].Attrs[0] = 99
+	if m.Demand().Weight(1, 99) != 0 {
+		t.Fatal("returned task shares storage with the manager")
+	}
+}
+
+func TestManagerFiltersUnobservable(t *testing.T) {
+	sys, err := model.NewSystem(100, cost.Default(), []model.Node{
+		{ID: 1, Capacity: 10, Attrs: []model.AttrID{1}},
+		{ID: 2, Capacity: 10, Attrs: []model.AttrID{1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(WithSystem(sys))
+	if err := m.Add(model.Task{Name: "t", Attrs: []model.AttrID{1, 2}, Nodes: []model.NodeID{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Demand()
+	// Node 1 observes only attr 1; node 3 is not in the system at all.
+	if d.PairCount() != 3 {
+		t.Fatalf("PairCount = %d, want 3 (n1a1, n2a1, n2a2)", d.PairCount())
+	}
+	if d.Has(1, 2) || d.Has(3, 1) {
+		t.Fatal("unobservable pairs demanded")
+	}
+}
+
+func TestDemandBasics(t *testing.T) {
+	d := NewDemand()
+	d.Set(1, 1, 1)
+	d.Set(1, 2, 0.5)
+	d.Set(2, 2, 1)
+
+	if got := d.Universe(); !got.Equal(model.NewAttrSet(1, 2)) {
+		t.Fatalf("Universe = %v", got)
+	}
+	set12 := model.NewAttrSet(1, 2)
+	if got := d.LocalWeight(1, set12); got != 1.5 {
+		t.Fatalf("LocalWeight(1) = %v, want 1.5", got)
+	}
+	if got := d.Participants(model.NewAttrSet(2)); len(got) != 2 {
+		t.Fatalf("Participants(a2) = %v", got)
+	}
+	if got := d.PairCountIn(model.NewAttrSet(2)); got != 2 {
+		t.Fatalf("PairCountIn(a2) = %d", got)
+	}
+	d.Remove(1, 2)
+	if d.Has(1, 2) {
+		t.Fatal("Remove left the pair")
+	}
+	d.Remove(1, 1)
+	if nodes := d.Nodes(); len(nodes) != 1 || nodes[0] != 2 {
+		t.Fatalf("Nodes after removals = %v", nodes)
+	}
+}
+
+func TestDemandCloneIsDeep(t *testing.T) {
+	d := NewDemand()
+	d.Set(1, 1, 1)
+	c := d.Clone()
+	c.Set(1, 2, 1)
+	if d.Has(1, 2) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	oldD := NewDemand()
+	oldD.Set(1, 1, 1)
+	oldD.Set(2, 1, 1)
+	oldD.Set(2, 2, 1)
+
+	newD := NewDemand()
+	newD.Set(1, 1, 1)   // unchanged
+	newD.Set(2, 2, 0.5) // weight changed
+	newD.Set(3, 3, 1)   // added
+
+	ch := Diff(oldD, newD)
+	if len(ch.Added) != 1 || ch.Added[0] != (model.Pair{Node: 3, Attr: 3}) {
+		t.Fatalf("Added = %v", ch.Added)
+	}
+	if len(ch.Removed) != 1 || ch.Removed[0] != (model.Pair{Node: 2, Attr: 1}) {
+		t.Fatalf("Removed = %v", ch.Removed)
+	}
+	if !ch.AffectedAttrs.Equal(model.NewAttrSet(1, 2, 3)) {
+		t.Fatalf("AffectedAttrs = %v", ch.AffectedAttrs)
+	}
+	if ch.Empty() {
+		t.Fatal("Empty() = true for a non-empty change")
+	}
+	if !Diff(oldD, oldD.Clone()).Empty() {
+		t.Fatal("Diff(x, x) not empty")
+	}
+}

@@ -1,0 +1,164 @@
+package task
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"remo/internal/model"
+)
+
+// genDemand builds a bounded random demand for property tests.
+func genDemand(r *rand.Rand) *Demand {
+	d := NewDemand()
+	n := r.Intn(30)
+	for i := 0; i < n; i++ {
+		d.Set(
+			model.NodeID(r.Intn(8)+1),
+			model.AttrID(r.Intn(6)+1),
+			math.Round(r.Float64()*100)/100,
+		)
+	}
+	return d
+}
+
+func quickCfg(seed int64) *quick.Config {
+	return &quick.Config{
+		MaxCount: 100,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(genDemand(r))
+			}
+		},
+		Rand: rand.New(rand.NewSource(seed)),
+	}
+}
+
+func TestDemandPairCountMatchesPairs(t *testing.T) {
+	f := func(d *Demand) bool {
+		return d.PairCount() == len(d.Pairs())
+	}
+	if err := quick.Check(f, quickCfg(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandUniverseCoversAllPairs(t *testing.T) {
+	f := func(d *Demand) bool {
+		u := d.Universe()
+		for _, p := range d.Pairs() {
+			if !u.Contains(p.Attr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandParticipantsConsistent(t *testing.T) {
+	// A node is a participant of a set iff it has at least one local
+	// attribute in it, and LocalWeight is positive exactly then (weights
+	// are positive in this generator... zero weights possible, so only
+	// check the containment direction).
+	f := func(d *Demand) bool {
+		u := d.Universe()
+		parts := d.Participants(u)
+		partSet := make(map[model.NodeID]bool, len(parts))
+		for _, n := range parts {
+			partSet[n] = true
+		}
+		for _, n := range d.Nodes() {
+			if !partSet[n] {
+				return false
+			}
+			if len(d.LocalAttrs(n, u)) == 0 {
+				return false
+			}
+		}
+		return len(parts) == len(d.Nodes())
+	}
+	if err := quick.Check(f, quickCfg(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandCloneEqual(t *testing.T) {
+	f := func(d *Demand) bool {
+		c := d.Clone()
+		if c.PairCount() != d.PairCount() {
+			return false
+		}
+		for _, p := range d.Pairs() {
+			if c.Weight(p.Node, p.Attr) != d.Weight(p.Node, p.Attr) {
+				return false
+			}
+		}
+		return Diff(d, c).Empty()
+	}
+	if err := quick.Check(f, quickCfg(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffSymmetry(t *testing.T) {
+	f := func(a, b *Demand) bool {
+		ab := Diff(a, b)
+		ba := Diff(b, a)
+		if len(ab.Added) != len(ba.Removed) || len(ab.Removed) != len(ba.Added) {
+			return false
+		}
+		return ab.AffectedAttrs.Equal(ba.AffectedAttrs)
+	}
+	if err := quick.Check(f, quickCfg(5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffTriangleCoverage(t *testing.T) {
+	// Applying a diff's additions and removals to the old demand yields
+	// a demand with the new demand's pairs.
+	f := func(a, b *Demand) bool {
+		ch := Diff(a, b)
+		c := a.Clone()
+		for _, p := range ch.Removed {
+			c.Remove(p.Node, p.Attr)
+		}
+		for _, p := range ch.Added {
+			c.Set(p.Node, p.Attr, b.Weight(p.Node, p.Attr))
+		}
+		cp, bp := c.Pairs(), b.Pairs()
+		if len(cp) != len(bp) {
+			return false
+		}
+		for i := range cp {
+			if cp[i] != bp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairCountInPartition(t *testing.T) {
+	// Summing PairCountIn over a partition of the universe equals the
+	// total pair count.
+	f := func(d *Demand) bool {
+		u := d.Universe()
+		var sum int
+		for _, a := range u.Attrs() {
+			sum += d.PairCountIn(model.NewAttrSet(a))
+		}
+		return sum == d.PairCount()
+	}
+	if err := quick.Check(f, quickCfg(7)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package trace records structured events from the emulated deployment
+// — sends, drops, deliveries, failures — for debugging monitoring
+// topologies and for the remo-sim -trace output.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"remo/internal/model"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	// Send: a node emitted an update message.
+	Send Kind = iota + 1
+	// RecvDrop: a node dropped an inbound message (capacity).
+	RecvDrop
+	// SendDrop: a node dropped its own update (capacity or link loss).
+	SendDrop
+	// Deliver: the collector accepted a message.
+	Deliver
+	// NodeDead: a node entered its failed state.
+	NodeDead
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case RecvDrop:
+		return "recv-drop"
+	case SendDrop:
+		return "send-drop"
+	case Deliver:
+		return "deliver"
+	case NodeDead:
+		return "node-dead"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Round int
+	Kind  Kind
+	// Node is the acting node (the sender, dropper, or dead node; the
+	// collector for Deliver events).
+	Node model.NodeID
+	// Peer is the other endpoint when applicable (destination of a
+	// send, source of a delivery).
+	Peer model.NodeID
+	// TreeKey identifies the tree the message belonged to.
+	TreeKey string
+	// Values is the message's payload size.
+	Values int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("r%03d %-9s %v->%v tree=%s values=%d",
+		e.Round, e.Kind, e.Node, e.Peer, e.TreeKey, e.Values)
+}
+
+// Recorder retains a bounded number of events. It is safe for
+// concurrent use by the emulation's node goroutines.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	max    int
+	// dropped counts events discarded once the buffer is full.
+	dropped int
+	// filter, when non-zero, retains only events of these kinds.
+	filter map[Kind]struct{}
+}
+
+// NewRecorder returns a recorder retaining up to max events (default
+// 4096 when max <= 0).
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Recorder{max: max}
+}
+
+// Keep restricts recording to the given kinds (all kinds when never
+// called).
+func (r *Recorder) Keep(kinds ...Kind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.filter = make(map[Kind]struct{}, len(kinds))
+	for _, k := range kinds {
+		r.filter[k] = struct{}{}
+	}
+}
+
+// Record appends an event (dropping it when the buffer is full).
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filter != nil {
+		if _, keep := r.filter[e.Kind]; !keep {
+			return
+		}
+	}
+	if len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the retained events ordered by round, then kind, then
+// node (events within one round happen concurrently; the order is
+// canonical, not causal).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.TreeKey < b.TreeKey
+	})
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many events were discarded after the buffer
+// filled.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Counts tallies retained events per kind.
+func (r *Recorder) Counts() map[Kind]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[Kind]int)
+	for _, e := range r.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Dump writes the retained events as text, one per line.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "... %d further events dropped (buffer full)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{Round: 1, Kind: Send, Node: 2, Peer: 1, TreeKey: "1", Values: 3})
+	r.Record(Event{Round: 0, Kind: Deliver, Node: 0, Peer: 1, TreeKey: "1", Values: 5})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	events := r.Events()
+	if events[0].Round != 0 || events[1].Round != 1 {
+		t.Fatalf("events unsorted: %+v", events)
+	}
+	counts := r.Counts()
+	if counts[Send] != 1 || counts[Deliver] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+}
+
+func TestRecorderBufferCap(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Round: i, Kind: Send})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", r.Dropped())
+	}
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "7 further events dropped") {
+		t.Fatalf("Dump = %q", b.String())
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := NewRecorder(16)
+	r.Keep(SendDrop, RecvDrop)
+	r.Record(Event{Kind: Send})
+	r.Record(Event{Kind: SendDrop})
+	r.Record(Event{Kind: RecvDrop})
+	r.Record(Event{Kind: Deliver})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (drops only)", r.Len())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(10000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Round: i, Kind: Send, Node: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", r.Len())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Round: 3, Kind: SendDrop, Node: 4, Peer: 2, TreeKey: "1,2", Values: 7}
+	s := e.String()
+	for _, want := range []string{"r003", "send-drop", "n4", "n2", "tree=1,2", "values=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q lacks %q", s, want)
+		}
+	}
+	for _, k := range []Kind{Send, RecvDrop, SendDrop, Deliver, NodeDead} {
+		if k.String() == "" {
+			t.Errorf("Kind(%d) string empty", int(k))
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"remo/internal/model"
+)
+
+// Wire format (all integers big-endian):
+//
+//	frame   := length(uint32) payload
+//	payload := keyLen(uint16) key from(int32) to(int32) count(uint32) value*
+//	value   := node(int32) attr(int32) round(int32) bits(uint64)
+//
+// A TCP/IP monitoring message carries at least ~78 bytes of protocol
+// headers (§2.3); this compact application framing keeps the per-message
+// overhead visible but small.
+
+// Codec limits, protecting against corrupt frames.
+const (
+	maxFrameSize = 16 << 20
+	maxKeyLen    = 1 << 15
+)
+
+// ErrFrameTooLarge is returned for frames beyond maxFrameSize.
+var ErrFrameTooLarge = errors.New("transport: frame too large")
+
+// EncodedSize returns the payload size of msg in bytes.
+func EncodedSize(msg Message) int {
+	return 2 + len(msg.TreeKey) + 4 + 4 + 4 + len(msg.Values)*20
+}
+
+// Encode serializes msg into a self-delimiting frame.
+func Encode(msg Message) ([]byte, error) {
+	if len(msg.TreeKey) > maxKeyLen {
+		return nil, fmt.Errorf("transport: tree key too long (%d)", len(msg.TreeKey))
+	}
+	size := EncodedSize(msg)
+	if size > maxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+size)
+	binary.BigEndian.PutUint32(buf, uint32(size))
+	off := 4
+	binary.BigEndian.PutUint16(buf[off:], uint16(len(msg.TreeKey)))
+	off += 2
+	copy(buf[off:], msg.TreeKey)
+	off += len(msg.TreeKey)
+	binary.BigEndian.PutUint32(buf[off:], uint32(int32(msg.From)))
+	off += 4
+	binary.BigEndian.PutUint32(buf[off:], uint32(int32(msg.To)))
+	off += 4
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(msg.Values)))
+	off += 4
+	for _, v := range msg.Values {
+		binary.BigEndian.PutUint32(buf[off:], uint32(int32(v.Node)))
+		off += 4
+		binary.BigEndian.PutUint32(buf[off:], uint32(int32(v.Attr)))
+		off += 4
+		binary.BigEndian.PutUint32(buf[off:], uint32(int32(v.Round)))
+		off += 4
+		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(v.Value))
+		off += 8
+	}
+	return buf, nil
+}
+
+// Decode reads one frame from r and deserializes it.
+func Decode(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Message{}, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size > maxFrameSize {
+		return Message{}, ErrFrameTooLarge
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, fmt.Errorf("transport: short frame: %w", err)
+	}
+	return decodePayload(payload)
+}
+
+func decodePayload(p []byte) (Message, error) {
+	var msg Message
+	if len(p) < 2 {
+		return msg, errors.New("transport: truncated key length")
+	}
+	keyLen := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < keyLen+12 {
+		return msg, errors.New("transport: truncated header")
+	}
+	msg.TreeKey = string(p[:keyLen])
+	p = p[keyLen:]
+	msg.From = model.NodeID(int32(binary.BigEndian.Uint32(p)))
+	msg.To = model.NodeID(int32(binary.BigEndian.Uint32(p[4:])))
+	count := int(binary.BigEndian.Uint32(p[8:]))
+	p = p[12:]
+	if len(p) != count*20 {
+		return msg, fmt.Errorf("transport: value section is %d bytes, want %d", len(p), count*20)
+	}
+	if count > 0 {
+		msg.Values = make([]Value, count)
+		for i := 0; i < count; i++ {
+			off := i * 20
+			msg.Values[i] = Value{
+				Node:  model.NodeID(int32(binary.BigEndian.Uint32(p[off:]))),
+				Attr:  model.AttrID(int32(binary.BigEndian.Uint32(p[off+4:]))),
+				Round: int(int32(binary.BigEndian.Uint32(p[off+8:]))),
+				Value: math.Float64frombits(binary.BigEndian.Uint64(p[off+12:])),
+			}
+		}
+	}
+	return msg, nil
+}

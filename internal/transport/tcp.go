@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remo/internal/model"
+)
+
+// TCP is a loopback transport: every node (including the central
+// collector) owns a TCP listener, senders keep one connection per
+// destination, and frames use the binary codec. It exists to validate
+// the emulation against a real network stack; experiments default to the
+// memory transport.
+type TCP struct {
+	mu        sync.Mutex
+	addrs     map[model.NodeID]string
+	listeners map[model.NodeID]net.Listener
+	conns     map[model.NodeID]net.Conn
+	writeMu   map[model.NodeID]*sync.Mutex
+	boxes     map[model.NodeID][]Message
+	closed    bool
+	wg        sync.WaitGroup
+
+	sentCount      atomic.Int64
+	deliveredCount atomic.Int64
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP starts one loopback listener per node (plus the central
+// collector) on ephemeral ports.
+func NewTCP(nodes []model.NodeID) (*TCP, error) {
+	t := &TCP{
+		addrs:     make(map[model.NodeID]string, len(nodes)+1),
+		listeners: make(map[model.NodeID]net.Listener, len(nodes)+1),
+		conns:     make(map[model.NodeID]net.Conn, len(nodes)+1),
+		writeMu:   make(map[model.NodeID]*sync.Mutex, len(nodes)+1),
+		boxes:     make(map[model.NodeID][]Message, len(nodes)+1),
+	}
+	all := append([]model.NodeID{model.Central}, nodes...)
+	for _, n := range all {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = t.Close()
+			return nil, fmt.Errorf("listen for %v: %w", n, err)
+		}
+		t.listeners[n] = ln
+		t.addrs[n] = ln.Addr().String()
+		t.boxes[n] = nil
+		t.writeMu[n] = &sync.Mutex{}
+		t.wg.Add(1)
+		go t.accept(n, ln)
+	}
+	return t, nil
+}
+
+// accept owns one node's listener, spawning a reader per inbound
+// connection.
+func (t *TCP) accept(n model.NodeID, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.read(n, conn)
+	}
+}
+
+// read decodes frames from one connection into the node's mailbox.
+func (t *TCP) read(n model.NodeID, conn net.Conn) {
+	defer t.wg.Done()
+	defer func() { _ = conn.Close() }()
+	for {
+		msg, err := Decode(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection torn down mid-frame during shutdown:
+				// nothing to surface to the experiment.
+				_ = err
+			}
+			return
+		}
+		t.mu.Lock()
+		if !t.closed {
+			t.boxes[n] = append(t.boxes[n], msg)
+		}
+		t.mu.Unlock()
+		t.deliveredCount.Add(1)
+	}
+}
+
+// Send implements Transport.
+func (t *TCP) Send(msg Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	addr, ok := t.addrs[msg.To]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrUnknownDestination, msg.To)
+	}
+	conn := t.conns[msg.To]
+	t.mu.Unlock()
+
+	if conn == nil {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("dial %v: %w", msg.To, err)
+		}
+		t.mu.Lock()
+		if t.conns[msg.To] == nil {
+			t.conns[msg.To] = c
+			conn = c
+		} else {
+			// Another sender won the race; use theirs.
+			conn = t.conns[msg.To]
+			_ = c.Close()
+		}
+		t.mu.Unlock()
+	}
+
+	frame, err := Encode(msg)
+	if err != nil {
+		return err
+	}
+	// Serialize writers per destination without holding the transport
+	// lock: a stalled TCP write must never block Drain.
+	wmu := t.writeMu[msg.To]
+	wmu.Lock()
+	defer wmu.Unlock()
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("write to %v: %w", msg.To, err)
+	}
+	t.sentCount.Add(1)
+	return nil
+}
+
+// Flush implements Transport: it waits until every successfully written
+// frame has been decoded into a mailbox. Loopback delivery is fast, so
+// the poll interval is tight; a generous deadline guards shutdown races.
+func (t *TCP) Flush() error {
+	deadline := time.Now().Add(10 * time.Second)
+	for t.deliveredCount.Load() < t.sentCount.Load() {
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: flush timed out (%d of %d delivered)",
+				t.deliveredCount.Load(), t.sentCount.Load())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// Drain implements Transport.
+func (t *TCP) Drain(n model.NodeID) []Message {
+	t.mu.Lock()
+	msgs := t.boxes[n]
+	t.boxes[n] = nil
+	t.mu.Unlock()
+	sortMessages(msgs)
+	return msgs
+}
+
+// Pending reports whether any mailbox still has undelivered frames —
+// used by tests to wait for in-flight messages.
+func (t *TCP) Pending(n model.NodeID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.boxes[n])
+}
+
+// Close implements Transport: it stops listeners, closes connections and
+// waits for reader goroutines to exit.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, ln := range t.listeners {
+		_ = ln.Close()
+	}
+	for _, c := range t.conns {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,125 @@
+// Package transport moves monitoring update messages between emulated
+// nodes. Two implementations are provided: an in-process memory transport
+// for fast deterministic experiments, and a TCP loopback transport that
+// exercises a real network stack with a length-prefixed binary codec.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"remo/internal/model"
+)
+
+// Value is one attribute observation in flight: attribute Attr observed
+// at node Node during collection round Round.
+type Value struct {
+	Node  model.NodeID
+	Attr  model.AttrID
+	Round int
+	Value float64
+}
+
+// Message is one periodic update: node From forwards Values to its
+// parent To within the tree identified by TreeKey (the tree's
+// attribute-set key).
+type Message struct {
+	TreeKey string
+	From    model.NodeID
+	To      model.NodeID
+	Values  []Value
+}
+
+// Transport delivers messages to per-node mailboxes.
+//
+// Implementations must allow concurrent Send calls and concurrent Drain
+// calls for distinct nodes.
+type Transport interface {
+	// Send enqueues the message for its destination.
+	Send(msg Message) error
+	// Drain atomically removes and returns everything queued for node n,
+	// in canonical order (tree key, then sender).
+	Drain(n model.NodeID) []Message
+	// Flush blocks until every accepted Send has reached its mailbox —
+	// the round barrier for asynchronous transports. Synchronous
+	// transports return immediately.
+	Flush() error
+	// Close releases transport resources. No Send or Drain may follow.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownDestination is returned when sending to a node the transport
+// was not configured with.
+var ErrUnknownDestination = errors.New("transport: unknown destination")
+
+// sortMessages puts drained messages into canonical order so runs are
+// deterministic regardless of goroutine scheduling.
+func sortMessages(msgs []Message) {
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].TreeKey != msgs[j].TreeKey {
+			return msgs[i].TreeKey < msgs[j].TreeKey
+		}
+		return msgs[i].From < msgs[j].From
+	})
+}
+
+// Memory is an in-process transport backed by per-node mailboxes.
+type Memory struct {
+	mu     sync.Mutex
+	boxes  map[model.NodeID][]Message
+	closed bool
+}
+
+var _ Transport = (*Memory)(nil)
+
+// NewMemory returns a memory transport with mailboxes for the given
+// nodes (the central collector is always included).
+func NewMemory(nodes []model.NodeID) *Memory {
+	m := &Memory{boxes: make(map[model.NodeID][]Message, len(nodes)+1)}
+	m.boxes[model.Central] = nil
+	for _, n := range nodes {
+		m.boxes[n] = nil
+	}
+	return m
+}
+
+// Send implements Transport.
+func (m *Memory) Send(msg Message) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if _, ok := m.boxes[msg.To]; !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownDestination, msg.To)
+	}
+	m.boxes[msg.To] = append(m.boxes[msg.To], msg)
+	return nil
+}
+
+// Drain implements Transport.
+func (m *Memory) Drain(n model.NodeID) []Message {
+	m.mu.Lock()
+	msgs := m.boxes[n]
+	m.boxes[n] = nil
+	m.mu.Unlock()
+	sortMessages(msgs)
+	return msgs
+}
+
+// Flush implements Transport; memory delivery is synchronous, so it is
+// a no-op.
+func (m *Memory) Flush() error { return nil }
+
+// Close implements Transport.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"remo/internal/model"
+)
+
+func sampleMessage() Message {
+	return Message{
+		TreeKey: "1,2,3",
+		From:    model.NodeID(4),
+		To:      model.Central,
+		Values: []Value{
+			{Node: 4, Attr: 1, Round: 7, Value: 3.25},
+			{Node: 5, Attr: 2, Round: 6, Value: -17},
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	msg := sampleMessage()
+	frame, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != 4+EncodedSize(msg) {
+		t.Fatalf("frame size %d, want %d", len(frame), 4+EncodedSize(msg))
+	}
+	got, err := Decode(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, msg) {
+		t.Fatalf("round trip: got %+v, want %+v", got, msg)
+	}
+}
+
+func TestCodecEmptyValues(t *testing.T) {
+	msg := Message{TreeKey: "", From: 1, To: 2}
+	frame, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TreeKey != "" || got.From != 1 || got.To != 2 || got.Values != nil {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestCodecRejectsTruncated(t *testing.T) {
+	frame, err := Encode(sampleMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{2, 5, len(frame) - 3} {
+		if _, err := Decode(bytes.NewReader(frame[:cut])); err == nil {
+			t.Errorf("Decode(frame[:%d]) succeeded", cut)
+		}
+	}
+}
+
+func TestCodecRejectsOversizedFrame(t *testing.T) {
+	var hdr [4]byte
+	hdr[0] = 0xFF
+	hdr[1] = 0xFF
+	hdr[2] = 0xFF
+	hdr[3] = 0xFF
+	if _, err := Decode(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame error = %v", err)
+	}
+}
+
+func TestCodecQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		msg := Message{
+			TreeKey: "k",
+			From:    model.NodeID(rng.Intn(1000)),
+			To:      model.NodeID(rng.Intn(1000)),
+		}
+		n := rng.Intn(20)
+		for i := 0; i < n; i++ {
+			msg.Values = append(msg.Values, Value{
+				Node:  model.NodeID(rng.Intn(500)),
+				Attr:  model.AttrID(rng.Intn(100)),
+				Round: rng.Intn(1 << 20),
+				Value: math.Round(rng.NormFloat64()*1e6) / 1e3,
+			})
+		}
+		frame, err := Encode(msg)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(bytes.NewReader(frame))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryTransport(t *testing.T) {
+	m := NewMemory([]model.NodeID{1, 2})
+	defer func() { _ = m.Close() }()
+
+	if err := m.Send(Message{TreeKey: "a", From: 1, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(Message{TreeKey: "a", From: 2, To: model.Central}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(Message{To: 99}); !errors.Is(err, ErrUnknownDestination) {
+		t.Fatalf("unknown destination error = %v", err)
+	}
+
+	got := m.Drain(2)
+	if len(got) != 1 || got[0].From != 1 {
+		t.Fatalf("Drain(2) = %+v", got)
+	}
+	if again := m.Drain(2); len(again) != 0 {
+		t.Fatalf("second Drain = %+v", again)
+	}
+	if central := m.Drain(model.Central); len(central) != 1 {
+		t.Fatalf("Drain(central) = %+v", central)
+	}
+}
+
+func TestMemoryDrainOrderCanonical(t *testing.T) {
+	m := NewMemory([]model.NodeID{1})
+	defer func() { _ = m.Close() }()
+	_ = m.Send(Message{TreeKey: "b", From: 9, To: 1})
+	_ = m.Send(Message{TreeKey: "a", From: 5, To: 1})
+	_ = m.Send(Message{TreeKey: "a", From: 2, To: 1})
+	got := m.Drain(1)
+	if got[0].TreeKey != "a" || got[0].From != 2 || got[2].TreeKey != "b" {
+		t.Fatalf("Drain order = %+v", got)
+	}
+}
+
+func TestMemoryClosed(t *testing.T) {
+	m := NewMemory(nil)
+	_ = m.Close()
+	if err := m.Send(Message{To: model.Central}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close error = %v", err)
+	}
+}
+
+func TestMemoryConcurrentSends(t *testing.T) {
+	m := NewMemory([]model.NodeID{1})
+	defer func() { _ = m.Close() }()
+	var wg sync.WaitGroup
+	const senders, each = 8, 50
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_ = m.Send(Message{TreeKey: "k", From: model.NodeID(s + 2), To: 1})
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := len(m.Drain(1)); got != senders*each {
+		t.Fatalf("drained %d, want %d", got, senders*each)
+	}
+}
+
+func TestTCPTransportDelivers(t *testing.T) {
+	tr, err := NewTCP([]model.NodeID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+
+	msg := sampleMessage()
+	msg.To = 2
+	if err := tr.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := waitDrain(t, tr, 2, 1)
+	if !reflect.DeepEqual(got[0], msg) {
+		t.Fatalf("delivered %+v, want %+v", got[0], msg)
+	}
+}
+
+func TestTCPMultipleMessagesOneConnection(t *testing.T) {
+	tr, err := NewTCP([]model.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := tr.Send(Message{TreeKey: "k", From: model.NodeID(i + 10), To: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := waitDrain(t, tr, 1, n)
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d", len(got), n)
+	}
+}
+
+func TestTCPUnknownDestination(t *testing.T) {
+	tr, err := NewTCP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	if err := tr.Send(Message{To: 42}); !errors.Is(err, ErrUnknownDestination) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	tr, err := NewTCP([]model.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{To: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close error = %v", err)
+	}
+}
+
+// waitDrain polls until n messages are available or the deadline passes.
+func waitDrain(t *testing.T, tr *TCP, node model.NodeID, n int) []Message {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var got []Message
+	for time.Now().Before(deadline) {
+		got = append(got, tr.Drain(node)...)
+		if len(got) >= n {
+			sortMessages(got)
+			return got
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out with %d of %d messages", len(got), n)
+	return nil
+}
+
+func TestMemoryFlushNoOp(t *testing.T) {
+	m := NewMemory(nil)
+	defer func() { _ = m.Close() }()
+	if err := m.Flush(); err != nil {
+		t.Fatalf("Flush = %v", err)
+	}
+}
+
+func TestTCPFlushWaitsForDelivery(t *testing.T) {
+	tr, err := NewTCP([]model.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	for i := 0; i < 25; i++ {
+		if err := tr.Send(Message{TreeKey: "k", From: model.NodeID(i + 2), To: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// After Flush every frame is in the mailbox — no polling needed.
+	if got := tr.Pending(1); got != 25 {
+		t.Fatalf("Pending = %d, want 25", got)
+	}
+	if got := len(tr.Drain(1)); got != 25 {
+		t.Fatalf("Drain = %d, want 25", got)
+	}
+}
+
+func TestTCPFlushAfterCloseErrors(t *testing.T) {
+	tr, err := NewTCP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr.Close()
+	if err := tr.Flush(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after close = %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+package tree
+
+import (
+	"sort"
+
+	"remo/internal/model"
+)
+
+// pickFunc orders candidate parents for the next attachment; the first
+// feasible candidate wins.
+type pickFunc func(s *state) []model.NodeID
+
+// pickLowestHeight prefers parents close to the root (STAR: bushy trees).
+func pickLowestHeight(s *state) []model.NodeID {
+	return s.membersByDepth()
+}
+
+// pickHighestHeight prefers the deepest parents (CHAIN: long trees).
+func pickHighestHeight(s *state) []model.NodeID {
+	members := s.membersByDepth()
+	for i, j := 0, len(members)-1; i < j; i, j = i+1, j-1 {
+		members[i], members[j] = members[j], members[i]
+	}
+	return members
+}
+
+// pickMaxAvailable prefers the parent with the most remaining headroom
+// (the TMON MAX_AVB heuristic).
+func pickMaxAvailable(s *state) []model.NodeID {
+	members := s.tree.Members()
+	keys := make([]memberKey, len(members))
+	for i, n := range members {
+		keys[i] = memberKey{n: n, headroom: s.avail(n) - s.usage[n]}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.headroom != b.headroom {
+			return a.headroom > b.headroom
+		}
+		return a.n < b.n
+	})
+	for i, k := range keys {
+		members[i] = k.n
+	}
+	return members
+}
+
+// simpleBuilder adds nodes in order of decreasing available capacity,
+// attaching each to the first feasible parent in the scheme's preference
+// order. No adjustment is performed once the tree saturates.
+type simpleBuilder struct {
+	scheme Scheme
+	pick   pickFunc
+}
+
+var _ Builder = simpleBuilder{}
+
+// Scheme implements Builder.
+func (b simpleBuilder) Scheme() Scheme { return b.scheme }
+
+// Build implements Builder.
+func (b simpleBuilder) Build(ctx Context) Result {
+	s := newState(ctx)
+	var excluded []model.NodeID
+	for _, n := range orderByAvail(ctx) {
+		if !attachBest(s, n, b.pick) {
+			excluded = append(excluded, n)
+		}
+	}
+	return s.result(excluded)
+}
+
+// orderByAvail returns the participants in decreasing order of available
+// capacity (ties by id), the insertion order shared by all schemes.
+func orderByAvail(ctx Context) []model.NodeID {
+	nodes := append([]model.NodeID(nil), ctx.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool {
+		ai, aj := ctx.Avail[nodes[i]], ctx.Avail[nodes[j]]
+		if ai != aj {
+			return ai > aj
+		}
+		return nodes[i] < nodes[j]
+	})
+	return nodes
+}
+
+// attachBest attaches n to the first feasible parent in pick's order, or
+// as root if the tree is empty.
+func attachBest(s *state, n model.NodeID, pick pickFunc) bool {
+	if s.tree.Empty() {
+		return s.attach(n, model.Central)
+	}
+	for _, p := range pick(s) {
+		if s.attach(n, p) {
+			return true
+		}
+	}
+	return false
+}

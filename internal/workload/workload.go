@@ -1,0 +1,241 @@
+// Package workload generates the synthetic systems, monitoring tasks and
+// task churn used throughout the paper's evaluation (§7): nodes with
+// random capacities and attribute subsets, small-scale and large-scale
+// monitoring tasks drawn uniformly, and incremental task mutations for
+// the adaptation experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"remo/internal/cost"
+	"remo/internal/model"
+	"remo/internal/task"
+)
+
+// SystemConfig parameterizes synthetic system generation.
+type SystemConfig struct {
+	// Nodes is the number of monitoring nodes.
+	Nodes int
+	// Attrs is the size of the attribute pool; every node observes the
+	// full pool (tasks select subsets).
+	Attrs int
+	// CapacityLo and CapacityHi bound per-node capacities (uniform).
+	CapacityLo, CapacityHi float64
+	// CentralCapacity is the collector's budget; zero derives a budget
+	// proportional to the node count.
+	CentralCapacity float64
+	// Cost is the message cost model; zero value uses cost.Default().
+	Cost cost.Model
+	// Seed drives the generator.
+	Seed int64
+}
+
+// System builds a synthetic system from the config.
+func System(cfg SystemConfig) (*model.System, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Cost == (cost.Model{}) {
+		cfg.Cost = cost.Default()
+	}
+	if cfg.CapacityHi < cfg.CapacityLo {
+		cfg.CapacityHi = cfg.CapacityLo
+	}
+	central := cfg.CentralCapacity
+	if central <= 0 {
+		// Enough to receive a few root messages per node's worth of
+		// values without making the collector the only bottleneck.
+		central = float64(cfg.Nodes) * cfg.Cost.Message(4)
+	}
+	attrs := make([]model.AttrID, cfg.Attrs)
+	for i := range attrs {
+		attrs[i] = model.AttrID(i + 1)
+	}
+	nodes := make([]model.Node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = model.Node{
+			ID:       model.NodeID(i + 1),
+			Capacity: cfg.CapacityLo + rng.Float64()*(cfg.CapacityHi-cfg.CapacityLo),
+			Attrs:    attrs,
+		}
+	}
+	return model.NewSystem(central, cfg.Cost, nodes)
+}
+
+// TaskConfig parameterizes task generation: Count tasks, each monitoring
+// AttrsPerTask attributes on NodesPerTask nodes, drawn uniformly from
+// the system's pools.
+type TaskConfig struct {
+	Count        int
+	AttrsPerTask int
+	NodesPerTask int
+	Seed         int64
+	// Prefix names the tasks (default "task").
+	Prefix string
+}
+
+// Tasks draws Count random tasks over the system's nodes and attribute
+// pool with uniform probability, as in §7's synthetic experiments.
+func Tasks(sys *model.System, cfg TaskConfig) []model.Task {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	prefix := cfg.Prefix
+	if prefix == "" {
+		prefix = "task"
+	}
+	nodeIDs := sys.NodeIDs()
+	attrPool := attrPoolOf(sys)
+
+	out := make([]model.Task, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		t := model.Task{
+			Name:  fmt.Sprintf("%s-%d", prefix, i),
+			Attrs: sampleAttrs(rng, attrPool, cfg.AttrsPerTask),
+			Nodes: sampleNodes(rng, nodeIDs, cfg.NodesPerTask),
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// SmallTasks draws small-scale tasks: few attributes from few nodes
+// (§7's "small set of attributes from a small set of nodes").
+func SmallTasks(sys *model.System, count int, seed int64) []model.Task {
+	return Tasks(sys, TaskConfig{
+		Count:        count,
+		AttrsPerTask: 3,
+		NodesPerTask: maxInt(2, len(sys.Nodes)/10),
+		Seed:         seed,
+		Prefix:       "small",
+	})
+}
+
+// LargeTasks draws large-scale tasks involving many nodes and a wider
+// attribute spread.
+func LargeTasks(sys *model.System, count int, seed int64) []model.Task {
+	return Tasks(sys, TaskConfig{
+		Count:        count,
+		AttrsPerTask: maxInt(6, attrCount(sys)/4),
+		NodesPerTask: maxInt(4, len(sys.Nodes)/2),
+		Seed:         seed,
+		Prefix:       "large",
+	})
+}
+
+// Demand expands tasks through a task manager into a deduplicated
+// demand.
+func Demand(sys *model.System, tasks []model.Task) (*task.Demand, error) {
+	m := task.NewManager(task.WithSystem(sys))
+	for _, t := range tasks {
+		if err := m.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return m.Demand(), nil
+}
+
+// ChurnConfig parameterizes task mutation for adaptation experiments:
+// each batch rewrites the attribute sets of a fraction of tasks (the
+// paper mutates 5% of nodes, replacing 50% of their attributes).
+type ChurnConfig struct {
+	// TaskFraction is the fraction of tasks mutated per batch.
+	TaskFraction float64
+	// AttrFraction is the fraction of each mutated task's attributes
+	// replaced.
+	AttrFraction float64
+	Seed         int64
+}
+
+// Churn returns a mutated copy of tasks.
+func Churn(sys *model.System, tasks []model.Task, cfg ChurnConfig) []model.Task {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	attrPool := attrPoolOf(sys)
+	out := make([]model.Task, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.Clone()
+		if rng.Float64() >= cfg.TaskFraction {
+			continue
+		}
+		nReplace := int(float64(len(t.Attrs))*cfg.AttrFraction + 0.5)
+		for j := 0; j < nReplace && j < len(out[i].Attrs); j++ {
+			out[i].Attrs[j] = attrPool[rng.Intn(len(attrPool))]
+		}
+		out[i].Attrs = dedupAttrs(out[i].Attrs)
+	}
+	return out
+}
+
+// RackDistance returns a distance function modeling a racked topology
+// for the §3.3 extension: nodes are grouped into racks of rackSize by
+// id; same-rack communication costs intra, cross-rack costs inter
+// (typically intra=1, inter>1). The central collector sits in rack 0.
+func RackDistance(rackSize int, intra, inter float64) func(a, b model.NodeID) float64 {
+	if rackSize < 1 {
+		rackSize = 1
+	}
+	rack := func(n model.NodeID) int {
+		if n.IsCentral() {
+			return 0
+		}
+		return (int(n) - 1) / rackSize
+	}
+	return func(a, b model.NodeID) float64 {
+		if rack(a) == rack(b) {
+			return intra
+		}
+		return inter
+	}
+}
+
+func attrPoolOf(sys *model.System) []model.AttrID {
+	seen := make(map[model.AttrID]struct{})
+	var pool []model.AttrID
+	for _, n := range sys.Nodes {
+		for _, a := range n.Attrs {
+			if _, dup := seen[a]; !dup {
+				seen[a] = struct{}{}
+				pool = append(pool, a)
+			}
+		}
+	}
+	model.SortAttrs(pool)
+	return pool
+}
+
+func attrCount(sys *model.System) int { return len(attrPoolOf(sys)) }
+
+func sampleAttrs(rng *rand.Rand, pool []model.AttrID, k int) []model.AttrID {
+	if k >= len(pool) {
+		return append([]model.AttrID(nil), pool...)
+	}
+	idx := rng.Perm(len(pool))[:k]
+	out := make([]model.AttrID, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	model.SortAttrs(out)
+	return out
+}
+
+func sampleNodes(rng *rand.Rand, pool []model.NodeID, k int) []model.NodeID {
+	if k >= len(pool) {
+		return append([]model.NodeID(nil), pool...)
+	}
+	idx := rng.Perm(len(pool))[:k]
+	out := make([]model.NodeID, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	model.SortNodes(out)
+	return out
+}
+
+func dedupAttrs(attrs []model.AttrID) []model.AttrID {
+	return model.NewAttrSet(attrs...).Attrs()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

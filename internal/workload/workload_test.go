@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"testing"
+
+	"remo/internal/cost"
+	"remo/internal/model"
+)
+
+func TestSystemGeneration(t *testing.T) {
+	sys, err := System(SystemConfig{
+		Nodes: 50, Attrs: 20, CapacityLo: 30, CapacityHi: 90, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Nodes) != 50 {
+		t.Fatalf("nodes = %d", len(sys.Nodes))
+	}
+	for _, n := range sys.Nodes {
+		if n.Capacity < 30 || n.Capacity > 90 {
+			t.Fatalf("capacity %v out of range", n.Capacity)
+		}
+		if len(n.Attrs) != 20 {
+			t.Fatalf("attrs = %d", len(n.Attrs))
+		}
+	}
+	if sys.CentralCapacity <= 0 {
+		t.Fatal("central capacity not derived")
+	}
+	if sys.Cost != cost.Default() {
+		t.Fatalf("cost = %+v, want default", sys.Cost)
+	}
+}
+
+func TestSystemDeterministic(t *testing.T) {
+	cfg := SystemConfig{Nodes: 10, Attrs: 5, CapacityLo: 10, CapacityHi: 20, Seed: 9}
+	a, err := System(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := System(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Capacity != b.Nodes[i].Capacity {
+			t.Fatal("nondeterministic capacities")
+		}
+	}
+}
+
+func testSys(t *testing.T) *model.System {
+	t.Helper()
+	sys, err := System(SystemConfig{Nodes: 40, Attrs: 30, CapacityLo: 50, CapacityHi: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTasksGeneration(t *testing.T) {
+	sys := testSys(t)
+	tasks := Tasks(sys, TaskConfig{Count: 25, AttrsPerTask: 4, NodesPerTask: 6, Seed: 3})
+	if len(tasks) != 25 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	names := make(map[string]struct{})
+	for _, task := range tasks {
+		if err := task.Validate(); err != nil {
+			t.Fatalf("invalid task: %v", err)
+		}
+		if len(task.Attrs) != 4 || len(task.Nodes) != 6 {
+			t.Fatalf("task shape = %d attrs × %d nodes", len(task.Attrs), len(task.Nodes))
+		}
+		if _, dup := names[task.Name]; dup {
+			t.Fatalf("duplicate name %q", task.Name)
+		}
+		names[task.Name] = struct{}{}
+	}
+}
+
+func TestSmallAndLargeTasks(t *testing.T) {
+	sys := testSys(t)
+	small := SmallTasks(sys, 10, 4)
+	large := LargeTasks(sys, 10, 4)
+	if len(small) != 10 || len(large) != 10 {
+		t.Fatal("wrong counts")
+	}
+	if len(small[0].Nodes) >= len(large[0].Nodes) {
+		t.Fatalf("small tasks span %d nodes, large %d", len(small[0].Nodes), len(large[0].Nodes))
+	}
+	if len(small[0].Attrs) >= len(large[0].Attrs) {
+		t.Fatalf("small tasks have %d attrs, large %d", len(small[0].Attrs), len(large[0].Attrs))
+	}
+}
+
+func TestDemandExpansion(t *testing.T) {
+	sys := testSys(t)
+	tasks := SmallTasks(sys, 5, 7)
+	d, err := Demand(sys, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PairCount() == 0 {
+		t.Fatal("empty demand")
+	}
+	// Every demanded pair comes from some task.
+	for _, p := range d.Pairs() {
+		found := false
+		for _, task := range tasks {
+			for _, n := range task.Nodes {
+				if n != p.Node {
+					continue
+				}
+				for _, a := range task.Attrs {
+					if a == p.Attr {
+						found = true
+					}
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("pair %v not in any task", p)
+		}
+	}
+}
+
+func TestChurnMutatesBounded(t *testing.T) {
+	sys := testSys(t)
+	tasks := Tasks(sys, TaskConfig{Count: 40, AttrsPerTask: 6, NodesPerTask: 5, Seed: 5})
+	mutated := Churn(sys, tasks, ChurnConfig{TaskFraction: 0.25, AttrFraction: 0.5, Seed: 6})
+	if len(mutated) != len(tasks) {
+		t.Fatal("churn changed task count")
+	}
+	changed := 0
+	for i := range tasks {
+		if tasks[i].Name != mutated[i].Name {
+			t.Fatal("churn renamed a task")
+		}
+		if !tasks[i].AttrSet().Equal(mutated[i].AttrSet()) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("churn changed nothing")
+	}
+	if changed > 20 {
+		t.Fatalf("churn changed %d of 40 tasks at fraction 0.25", changed)
+	}
+	// Original tasks untouched.
+	for _, task := range tasks {
+		if err := task.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	sys := testSys(t)
+	tasks := SmallTasks(sys, 10, 1)
+	cfg := ChurnConfig{TaskFraction: 0.5, AttrFraction: 0.5, Seed: 11}
+	a := Churn(sys, tasks, cfg)
+	b := Churn(sys, tasks, cfg)
+	for i := range a {
+		if !a[i].AttrSet().Equal(b[i].AttrSet()) {
+			t.Fatal("nondeterministic churn")
+		}
+	}
+}
+
+func TestRackDistance(t *testing.T) {
+	dist := RackDistance(3, 1, 8)
+	// Nodes 1-3 are rack 0 (with the collector), 4-6 rack 1.
+	if got := dist(1, 2); got != 1 {
+		t.Fatalf("same-rack = %v", got)
+	}
+	if got := dist(1, 4); got != 8 {
+		t.Fatalf("cross-rack = %v", got)
+	}
+	if got := dist(2, model.Central); got != 1 {
+		t.Fatalf("rack0 to central = %v", got)
+	}
+	if got := dist(5, model.Central); got != 8 {
+		t.Fatalf("rack1 to central = %v", got)
+	}
+	// Degenerate rack size clamps to 1.
+	tiny := RackDistance(0, 1, 2)
+	if got := tiny(1, 2); got != 2 {
+		t.Fatalf("rackSize 0: %v", got)
+	}
+}

@@ -1,0 +1,171 @@
+package remo
+
+import (
+	"errors"
+	"fmt"
+
+	"remo/internal/adapt"
+	"remo/internal/cluster"
+	"remo/internal/task"
+	"remo/internal/transport"
+)
+
+// Monitor is a live monitoring session: an emulated deployment that
+// keeps collecting while the task set changes underneath it. Task
+// updates go through the runtime adaptation planner (§4) and the
+// resulting topology is swapped into the running overlay — values keep
+// flowing, stale views persist across the swap, and the adaptation cost
+// is reported per change.
+//
+// Typical use:
+//
+//	mon, _ := p.StartMonitor(remo.MonitorConfig{Scheme: remo.AdaptAdaptive})
+//	defer mon.Close()
+//	mon.Run(20)                       // 20 collection rounds
+//	mon.SetTasks(newTasks)            // adapt the topology in place
+//	mon.Run(20)
+//	fmt.Println(mon.Report().AvgPercentError)
+type Monitor struct {
+	planner *Planner
+	adaptor *adapt.Adaptor
+	machine *cluster.Machine
+	closed  bool
+}
+
+// MonitorConfig parameterizes a live session.
+type MonitorConfig struct {
+	// Scheme selects the adaptation policy (default AdaptAdaptive).
+	Scheme AdaptScheme
+	// Source overrides the ground-truth value generator.
+	Source ValueSource
+	// UseTCP runs the overlay over loopback TCP.
+	UseTCP bool
+	// Seed decorrelates the default value generator.
+	Seed uint64
+	// OnValue receives every collected value (see DeployConfig.OnValue).
+	OnValue func(pair Pair, round int, value float64)
+	// Trace records structured emulation events.
+	Trace *TraceRecorder
+}
+
+// ErrMonitorClosed is returned by operations on a closed Monitor.
+var ErrMonitorClosed = errors.New("remo: monitor closed")
+
+// StartMonitor plans the current task set and boots the live session.
+func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = AdaptAdaptive
+	}
+	ad := adapt.New(scheme, p.corePlanner(), p.sys)
+	ad.Init(p.currentDemand())
+
+	var source ValueSource = cfg.Source
+	if source == nil {
+		source = cluster.BurstyWalk{Seed: cfg.Seed}
+	}
+	ccfg := cluster.Config{
+		Sys:             p.sys,
+		Forest:          ad.Forest(),
+		Demand:          ad.Demand(),
+		Spec:            p.aggSpec,
+		Source:          source,
+		Resolve:         p.resolveAttr,
+		EnforceCapacity: true,
+		Observer:        cfg.OnValue,
+		Trace:           cfg.Trace,
+	}
+	if cfg.UseTCP {
+		tr, err := transport.NewTCP(p.sys.NodeIDs())
+		if err != nil {
+			return nil, fmt.Errorf("remo: start TCP transport: %w", err)
+		}
+		ccfg.Transport = tr
+	}
+	machine, err := cluster.NewMachine(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("remo: start monitor: %w", err)
+	}
+	return &Monitor{planner: p, adaptor: ad, machine: machine}, nil
+}
+
+// currentDemand computes the planner's demand including frequency
+// weighting.
+func (p *Planner) currentDemand() *task.Demand {
+	d := p.mgr.Demand()
+	if p.freqSpec != nil {
+		d = p.freqSpec.Apply(d)
+	}
+	return d
+}
+
+// Run executes n collection rounds.
+func (m *Monitor) Run(n int) error {
+	if m.closed {
+		return ErrMonitorClosed
+	}
+	return m.machine.StepN(n)
+}
+
+// Round returns the next round to execute.
+func (m *Monitor) Round() int { return m.machine.Round() }
+
+// SetTasks replaces the task set, adapts the topology per the session's
+// scheme, and rewires the running overlay.
+func (m *Monitor) SetTasks(tasks []Task) (AdaptReport, error) {
+	if m.closed {
+		return AdaptReport{}, ErrMonitorClosed
+	}
+	mgr := task.NewManager(
+		task.WithSystem(m.planner.sys),
+		task.WithAliasResolver(m.planner.resolveAttr),
+	)
+	for _, t := range tasks {
+		if err := mgr.Add(t); err != nil {
+			return AdaptReport{}, fmt.Errorf("remo: %w", err)
+		}
+	}
+	d := mgr.Demand()
+	if m.planner.freqSpec != nil {
+		d = m.planner.freqSpec.Apply(d)
+	}
+	rep := m.adaptor.Apply(d)
+	m.machine.Install(m.adaptor.Forest(), m.adaptor.Demand())
+	return AdaptReport{
+		AdaptMessages:  rep.AdaptMessages,
+		PlanTime:       rep.PlanTime,
+		CollectedPairs: rep.Stats.Collected,
+		Operations:     rep.Operations,
+	}, nil
+}
+
+// Plan exposes the topology currently in force.
+func (m *Monitor) Plan() *Plan {
+	return planFromForest(m.planner, m.adaptor.Forest(), m.adaptor.Demand())
+}
+
+// Report summarizes everything the collector observed so far.
+func (m *Monitor) Report() DeployReport {
+	res := m.machine.Result()
+	return DeployReport{
+		Rounds:           res.Rounds,
+		DemandedPairs:    res.DemandedPairs,
+		CoveredPairs:     res.CoveredPairs,
+		PercentCollected: res.PercentCollected,
+		AvgPercentError:  res.AvgPercentError,
+		AvgStaleness:     res.AvgStaleness,
+		MessagesSent:     res.MessagesSent,
+		MessagesDropped:  res.MessagesDropped,
+		ValuesDelivered:  res.ValuesDelivered,
+		ErrorSeries:      res.ErrorSeries,
+	}
+}
+
+// Close stops the session and releases its transport.
+func (m *Monitor) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	return m.machine.Close()
+}

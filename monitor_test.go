@@ -1,0 +1,133 @@
+package remo_test
+
+import (
+	"testing"
+
+	"remo"
+)
+
+func TestMonitorLiveAdaptation(t *testing.T) {
+	sys := testSystem(t)
+	p := remo.NewPlanner(sys)
+	ids := allNodes(sys)
+	tasks := []remo.Task{{Name: "cpu", Attrs: []remo.AttrID{1}, Nodes: ids}}
+	for _, task := range tasks {
+		p.MustAddTask(task)
+	}
+
+	// REBUILD replans from scratch, so coverage assertions are exact;
+	// the throttled schemes may defer marginal gains.
+	mon, err := p.StartMonitor(remo.MonitorConfig{Seed: 3, Scheme: remo.AdaptRebuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon.Close() }()
+
+	if err := mon.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	mid := mon.Report()
+	if mid.CoveredPairs != len(ids) {
+		t.Fatalf("covered %d of %d before adaptation", mid.CoveredPairs, len(ids))
+	}
+
+	// Add a second task mid-flight.
+	tasks = append(tasks, remo.Task{Name: "mem", Attrs: []remo.AttrID{2}, Nodes: ids})
+	rep, err := mon.SetTasks(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CollectedPairs != 2*len(ids) {
+		t.Fatalf("adapted plan collects %d, want %d", rep.CollectedPairs, 2*len(ids))
+	}
+	if err := mon.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	final := mon.Report()
+	if final.Rounds != 20 {
+		t.Fatalf("rounds = %d, want 20", final.Rounds)
+	}
+	if final.DemandedPairs != 2*len(ids) {
+		t.Fatalf("demanded = %d, want %d", final.DemandedPairs, 2*len(ids))
+	}
+	if final.CoveredPairs != 2*len(ids) {
+		t.Fatalf("covered %d of %d after adaptation", final.CoveredPairs, final.DemandedPairs)
+	}
+	// The live plan validates.
+	if err := mon.Plan().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Error accounting spans the whole session.
+	if len(final.ErrorSeries) != 20 {
+		t.Fatalf("error series length = %d", len(final.ErrorSeries))
+	}
+}
+
+func TestMonitorTaskRemovalShrinksDemand(t *testing.T) {
+	sys := testSystem(t)
+	p := remo.NewPlanner(sys)
+	ids := allNodes(sys)
+	p.MustAddTask(remo.Task{Name: "a", Attrs: []remo.AttrID{1}, Nodes: ids})
+	p.MustAddTask(remo.Task{Name: "b", Attrs: []remo.AttrID{2}, Nodes: ids})
+
+	mon, err := p.StartMonitor(remo.MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon.Close() }()
+	if err := mon.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.SetTasks([]remo.Task{
+		{Name: "a", Attrs: []remo.AttrID{1}, Nodes: ids},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	rep := mon.Report()
+	if rep.DemandedPairs != len(ids) {
+		t.Fatalf("demanded = %d after removal, want %d", rep.DemandedPairs, len(ids))
+	}
+}
+
+func TestMonitorClosed(t *testing.T) {
+	sys := testSystem(t)
+	p := remo.NewPlanner(sys)
+	p.MustAddTask(remo.Task{Name: "a", Attrs: []remo.AttrID{1}, Nodes: allNodes(sys)})
+	mon, err := p.StartMonitor(remo.MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := mon.Run(1); err == nil {
+		t.Fatal("Run on closed monitor succeeded")
+	}
+	if _, err := mon.SetTasks(nil); err == nil {
+		t.Fatal("SetTasks on closed monitor succeeded")
+	}
+}
+
+func TestMonitorOverTCP(t *testing.T) {
+	sys := testSystem(t)
+	p := remo.NewPlanner(sys)
+	p.MustAddTask(remo.Task{Name: "a", Attrs: []remo.AttrID{1}, Nodes: allNodes(sys)})
+	mon, err := p.StartMonitor(remo.MonitorConfig{UseTCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon.Close() }()
+	if err := mon.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	rep := mon.Report()
+	if rep.MessagesSent == 0 || rep.CoveredPairs == 0 {
+		t.Fatalf("TCP session: %+v", rep)
+	}
+}

@@ -1,0 +1,271 @@
+// Package remo is a resource-aware application state monitoring planner
+// and emulation toolkit, reproducing "REMO: Resource-Aware Application
+// State Monitoring for Large-Scale Distributed Systems" (Meng, Kashyap,
+// Venkatramani, Liu — ICDCS 2009; journal version in IEEE TPDS 2012).
+//
+// Monitoring tasks collect attribute values from sets of nodes. REMO
+// organizes the nodes into a forest of collection trees that maximizes
+// the number of node-attribute pairs delivered to a central collector
+// without exceeding any node's capacity, under the message cost model
+// cost(msg) = C + a·x (a fixed per-message overhead plus a per-value
+// payload cost).
+//
+// Typical use:
+//
+//	sys, _ := remo.NewSystem(remo.SystemSpec{...})
+//	p := remo.NewPlanner(sys)
+//	p.MustAddTask(remo.Task{Name: "cpu", Attrs: []remo.AttrID{1}, Nodes: nodes})
+//	plan, _ := p.Plan()
+//	fmt.Println(plan.PercentCollected())
+//	report, _ := plan.Deploy(remo.DeployConfig{Rounds: 60})
+//
+// The package is a facade over the internal packages; the experiment
+// harness reproducing the paper's figures lives in cmd/remo-bench.
+package remo
+
+import (
+	"fmt"
+
+	"remo/internal/agg"
+	"remo/internal/alloc"
+	"remo/internal/core"
+	"remo/internal/cost"
+	"remo/internal/freq"
+	"remo/internal/model"
+	"remo/internal/partition"
+	"remo/internal/reliability"
+	"remo/internal/task"
+	"remo/internal/tree"
+)
+
+// Core identifier and data types, shared with the planner internals.
+type (
+	// NodeID identifies a node; the central collector is CentralNode.
+	NodeID = model.NodeID
+	// AttrID identifies an attribute type (e.g. "cpu utilization").
+	AttrID = model.AttrID
+	// Pair is a node-attribute pair — the planner's unit of coverage.
+	Pair = model.Pair
+	// Task is a monitoring task t = (A_t, N_t).
+	Task = model.Task
+	// Node describes a monitoring node: capacity and local attributes.
+	Node = model.Node
+	// System describes the monitored deployment.
+	System = model.System
+	// CostModel is the per-message cost model (C and a).
+	CostModel = cost.Model
+)
+
+// CentralNode is the NodeID of the central data collector.
+const CentralNode = model.Central
+
+// Tree construction schemes selectable via WithTreeScheme.
+const (
+	TreeAdaptive = tree.Adaptive
+	TreeStar     = tree.Star
+	TreeChain    = tree.Chain
+	TreeMaxAvb   = tree.MaxAvb
+)
+
+// Capacity allocation schemes selectable via WithAllocScheme.
+const (
+	AllocOrdered      = alloc.Ordered
+	AllocOnDemand     = alloc.OnDemand
+	AllocUniform      = alloc.Uniform
+	AllocProportional = alloc.Proportional
+)
+
+// Aggregation kinds for in-network aggregation.
+const (
+	AggHolistic = agg.Holistic
+	AggSum      = agg.Sum
+	AggMax      = agg.Max
+	AggMin      = agg.Min
+	AggCount    = agg.Count
+	AggTopK     = agg.TopK
+	AggDistinct = agg.Distinct
+)
+
+// SystemSpec declares a monitored system for NewSystem.
+type SystemSpec struct {
+	// CentralCapacity is the collector's per-round budget.
+	CentralCapacity float64 `json:"centralCapacity"`
+	// Cost is the message cost model.
+	Cost CostModel `json:"cost"`
+	// Nodes are the monitoring nodes.
+	Nodes []Node `json:"nodes"`
+}
+
+// NewSystem validates and builds a System.
+func NewSystem(spec SystemSpec) (*System, error) {
+	return model.NewSystem(spec.CentralCapacity, spec.Cost, spec.Nodes)
+}
+
+// Planner plans monitoring topologies for a task set.
+type Planner struct {
+	sys     *System
+	mgr     *task.Manager
+	aggSpec *agg.Spec
+	cons    *partition.Constraints
+	opts    []core.Option
+
+	// Extension state: replica aliases (SSDP reliability) and update
+	// frequencies (piggyback weighting).
+	aliases   *reliability.AliasMap
+	aliasNext AttrID
+	freqSpec  *freq.Spec
+
+	// baseline, when set, bypasses the search with a fixed partition.
+	baseline Baseline
+}
+
+// PlannerOption configures a Planner.
+type PlannerOption func(*Planner)
+
+// WithTreeScheme selects the collection tree construction algorithm
+// (default TreeAdaptive).
+func WithTreeScheme(s tree.Scheme) PlannerOption {
+	return func(p *Planner) { p.opts = append(p.opts, core.WithBuilder(tree.New(s))) }
+}
+
+// WithAllocScheme selects the tree-wise capacity allocation policy
+// (default AllocOrdered).
+func WithAllocScheme(s alloc.Scheme) PlannerOption {
+	return func(p *Planner) { p.opts = append(p.opts, core.WithAlloc(alloc.New(s))) }
+}
+
+// WithAggregation declares in-network aggregation for an attribute: the
+// planner exploits the payload reduction and the emulation aggregates at
+// every hop. k is the bound for AggTopK and ignored otherwise.
+func WithAggregation(a AttrID, kind agg.Kind, k int) PlannerOption {
+	return func(p *Planner) {
+		if kind == agg.TopK {
+			p.aggSpec.SetTopK(a, k)
+			return
+		}
+		p.aggSpec.SetKind(a, kind)
+	}
+}
+
+// WithEvalBudget bounds how many candidate partitions the guided search
+// evaluates per iteration (0 = the whole neighborhood).
+func WithEvalBudget(k int) PlannerOption {
+	return func(p *Planner) { p.opts = append(p.opts, core.WithEvalBudget(k)) }
+}
+
+// Baseline selects a fixed partition scheme instead of REMO's search,
+// for comparisons like the paper's Figs. 5-8.
+type Baseline int
+
+// Baseline partition schemes.
+const (
+	// BaselineNone runs the full REMO search (default).
+	BaselineNone Baseline = iota
+	// BaselineSingletonSet builds one tree per attribute (PIER-style).
+	BaselineSingletonSet
+	// BaselineOneSet builds a single tree delivering every attribute.
+	BaselineOneSet
+)
+
+// WithBaseline makes Plan evaluate the given fixed partition scheme
+// instead of searching.
+func WithBaseline(b Baseline) PlannerOption {
+	return func(p *Planner) { p.baseline = b }
+}
+
+// NewPlanner returns a planner for the system.
+func NewPlanner(sys *System, opts ...PlannerOption) *Planner {
+	p := &Planner{
+		sys:     sys,
+		aggSpec: agg.NewSpec(),
+	}
+	p.mgr = task.NewManager(task.WithSystem(sys), task.WithAliasResolver(p.resolveAttr))
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// AddTask registers a monitoring task. Task names must be unique;
+// node-attribute pairs duplicated across tasks are collected once.
+func (p *Planner) AddTask(t Task) error {
+	return p.mgr.Add(t)
+}
+
+// MustAddTask is AddTask for program initialization, panicking on
+// invalid tasks.
+func (p *Planner) MustAddTask(t Task) {
+	if err := p.mgr.Add(t); err != nil {
+		panic(fmt.Sprintf("remo: %v", err))
+	}
+}
+
+// UpdateTask replaces a registered task.
+func (p *Planner) UpdateTask(t Task) error {
+	return p.mgr.Update(t)
+}
+
+// RemoveTask deletes a registered task by name.
+func (p *Planner) RemoveTask(name string) error {
+	return p.mgr.Remove(name)
+}
+
+// Tasks returns the registered tasks ordered by name.
+func (p *Planner) Tasks() []Task { return p.mgr.Tasks() }
+
+// System returns the planner's system.
+func (p *Planner) System() *System { return p.sys }
+
+// DedupStats reports raw vs distinct node-attribute pairs across the
+// registered tasks (the task manager's duplicate elimination).
+func (p *Planner) DedupStats() (raw, distinct int) { return p.mgr.DedupStats() }
+
+// Plan runs the REMO planning algorithm over the registered tasks,
+// applying any declared update frequencies (piggyback weights) and
+// reliability constraints.
+func (p *Planner) Plan() (*Plan, error) {
+	d := p.mgr.Demand()
+	if p.freqSpec != nil {
+		d = p.freqSpec.Apply(d)
+	}
+	planner := p.corePlanner()
+	var res core.Result
+	switch p.baseline {
+	case BaselineSingletonSet:
+		res = planner.PlanPartition(p.sys, d, partition.Singleton(d.Universe()))
+	case BaselineOneSet:
+		res = planner.PlanPartition(p.sys, d, partition.OneSet(d.Universe()))
+	default:
+		res = planner.Plan(p.sys, d)
+	}
+	pl := &Plan{
+		sys:     p.sys,
+		demand:  d,
+		aggSpec: p.aggSpec,
+		resolve: p.resolveAttr,
+		res:     res,
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, fmt.Errorf("remo: planned topology failed validation: %w", err)
+	}
+	return pl, nil
+}
+
+// corePlanner builds the internal planner with this facade's options
+// (shared with the adaptation wrapper).
+func (p *Planner) corePlanner() *core.Planner {
+	opts := append([]core.Option{core.WithSpec(p.aggSpec)}, p.opts...)
+	cons := p.cons
+	if p.freqSpec != nil {
+		if fc := p.freqSpec.Constraints(p.mgr.Demand()); fc != nil {
+			merged := partition.NewConstraints()
+			merged.Merge(cons)
+			merged.Merge(fc)
+			cons = merged
+		}
+	}
+	if cons != nil {
+		opts = append(opts, core.WithConstraints(cons))
+	}
+	return core.NewPlanner(opts...)
+}

@@ -1,0 +1,84 @@
+package remo
+
+import (
+	"fmt"
+
+	"remo/internal/model"
+	"remo/internal/repair"
+	"remo/internal/tree"
+)
+
+// RepairReport summarizes a topology repair after node failures.
+type RepairReport struct {
+	// FailedMembers is how many placed nodes were lost.
+	FailedMembers int
+	// TreesRebuilt is how many collection trees were reconstructed.
+	TreesRebuilt int
+	// PairsLost counts pairs observable only at failed nodes.
+	PairsLost int
+	// EdgesChanged is the overlay reconfiguration cost in messages.
+	EdgesChanged int
+}
+
+// Repair reconstructs the plan after the given nodes fail: affected
+// trees are rebuilt over the survivors, unaffected trees stay in place.
+// The receiver is unchanged; the repaired topology is returned as a new
+// Plan (pairs observed only at failed nodes are gone for good).
+func (p *Plan) Repair(failed []NodeID) (*Plan, RepairReport, error) {
+	dead := make(map[model.NodeID]struct{}, len(failed))
+	for _, n := range failed {
+		dead[n] = struct{}{}
+	}
+	newForest, rep := repair.Repair(repair.Config{
+		Sys:     p.sys,
+		Demand:  p.demand,
+		Spec:    p.aggSpec,
+		Builder: tree.New(tree.Adaptive),
+	}, p.res.Forest, dead)
+
+	// The repaired plan's demand excludes the failed nodes' pairs.
+	d := p.demand.Clone()
+	for n := range dead {
+		for _, a := range d.AttrsOf(n).Attrs() {
+			d.Remove(n, a)
+		}
+	}
+	repaired := &Plan{
+		sys:     survivorSystem(p.sys, dead),
+		demand:  d,
+		aggSpec: p.aggSpec,
+		resolve: p.resolve,
+		res:     p.res,
+	}
+	repaired.res.Forest = newForest
+	repaired.res.Stats = newForest.ComputeStats(d, repaired.sys, p.aggSpec)
+	repaired.res.Partition = newForest.Partition()
+	if err := repaired.Validate(); err != nil {
+		return nil, RepairReport{}, fmt.Errorf("remo: repaired topology invalid: %w", err)
+	}
+	return repaired, RepairReport{
+		FailedMembers: rep.FailedMembers,
+		TreesRebuilt:  rep.TreesRebuilt,
+		PairsLost:     rep.PairsLost,
+		EdgesChanged:  rep.EdgesChanged,
+	}, nil
+}
+
+// survivorSystem removes failed nodes from the system description.
+func survivorSystem(sys *System, dead map[model.NodeID]struct{}) *System {
+	if len(dead) == 0 {
+		return sys
+	}
+	survivors := make([]Node, 0, len(sys.Nodes))
+	for _, n := range sys.Nodes {
+		if _, gone := dead[n.ID]; !gone {
+			survivors = append(survivors, n.Clone())
+		}
+	}
+	out, err := model.NewSystem(sys.CentralCapacity, sys.Cost, survivors)
+	if err != nil {
+		// The source system was valid; removal cannot invalidate it.
+		return sys
+	}
+	return out
+}

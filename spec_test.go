@@ -1,0 +1,97 @@
+package remo_test
+
+import (
+	"strings"
+	"testing"
+
+	"remo"
+)
+
+func TestSpecNodesInheritTaskAttrs(t *testing.T) {
+	const doc = `{
+		"centralCapacity": 300,
+		"perMessage": 10, "perValue": 1,
+		"nodes": [{"id": 1, "capacity": 80}, {"id": 2, "capacity": 80}],
+		"tasks": [{"name": "t", "attrs": [3, 7], "nodes": [1, 2]}]
+	}`
+	spec, err := remo.LoadSpec(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both nodes observe both referenced attributes.
+	if plan.DemandedPairs() != 4 {
+		t.Fatalf("demanded = %d, want 4", plan.DemandedPairs())
+	}
+}
+
+func TestSpecReplicatedTask(t *testing.T) {
+	const doc = `{
+		"centralCapacity": 400,
+		"perMessage": 10, "perValue": 1,
+		"nodes": [
+			{"id": 1, "capacity": 100}, {"id": 2, "capacity": 100},
+			{"id": 3, "capacity": 100}, {"id": 4, "capacity": 100}
+		],
+		"tasks": [{"name": "crit", "attrs": [1], "nodes": [1, 2, 3, 4], "replicas": 2}]
+	}`
+	spec, err := remo.LoadSpec(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Trees()) < 2 {
+		t.Fatalf("replicated spec produced %d trees, want >= 2", len(plan.Trees()))
+	}
+}
+
+func TestSpecBuildErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{
+			name: "duplicate node",
+			doc: `{"centralCapacity": 10, "perMessage": 1, "perValue": 1,
+				"nodes": [{"id": 1, "capacity": 5}, {"id": 1, "capacity": 5}],
+				"tasks": [{"name": "t", "attrs": [1], "nodes": [1]}]}`,
+		},
+		{
+			name: "bad cost model",
+			doc: `{"centralCapacity": 10, "perMessage": 0, "perValue": 0,
+				"nodes": [{"id": 1, "capacity": 5}],
+				"tasks": [{"name": "t", "attrs": [1], "nodes": [1]}]}`,
+		},
+		{
+			name: "nameless task",
+			doc: `{"centralCapacity": 10, "perMessage": 1, "perValue": 1,
+				"nodes": [{"id": 1, "capacity": 5}],
+				"tasks": [{"attrs": [1], "nodes": [1]}]}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := remo.LoadSpec(strings.NewReader(tc.doc))
+			if err != nil {
+				return // rejected at decode: also fine
+			}
+			if _, err := spec.Build(); err == nil {
+				t.Fatalf("bad spec accepted")
+			}
+		})
+	}
+}
