@@ -14,8 +14,10 @@ import (
 	"remo/internal/bench"
 	"remo/internal/cluster"
 	"remo/internal/core"
+	"remo/internal/cost"
 	"remo/internal/metrics"
 	"remo/internal/model"
+	"remo/internal/task"
 	"remo/internal/transport"
 	"remo/internal/workload"
 )
@@ -136,6 +138,55 @@ func BenchmarkPlannerPlan(b *testing.B) {
 		if _, err := p.Plan(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// fig6aEnv is the largest Fig. 6a point (400 nodes, 150 small tasks):
+// the acceptance workload for the parallel-planner speedup comparison.
+func fig6aEnv(b *testing.B) (*model.System, *task.Demand) {
+	b.Helper()
+	sys, err := workload.System(workload.SystemConfig{
+		Nodes:           400,
+		Attrs:           100,
+		CapacityLo:      150,
+		CapacityHi:      400,
+		CentralCapacity: 4800,
+		Cost:            cost.Model{PerMessage: 10, PerValue: 1},
+		Seed:            9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := workload.Tasks(sys, workload.TaskConfig{
+		Count: 150, AttrsPerTask: 3, NodesPerTask: 40, Seed: 16,
+	})
+	d, err := workload.Demand(sys, tasks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, d
+}
+
+// BenchmarkPlannerSequential times the pre-parallel planner (one
+// worker, tree-build memo off) on the Fig. 6a acceptance workload.
+func BenchmarkPlannerSequential(b *testing.B) {
+	sys, d := fig6aEnv(b)
+	p := core.NewPlanner(core.WithWorkers(1), core.WithoutTreeCache())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Plan(sys, d)
+	}
+}
+
+// BenchmarkPlannerParallel times the default planner (GOMAXPROCS
+// workers, tree-build memo on) on the same workload; compare against
+// BenchmarkPlannerSequential for the speedup factor.
+func BenchmarkPlannerParallel(b *testing.B) {
+	sys, d := fig6aEnv(b)
+	p := core.NewPlanner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Plan(sys, d)
 	}
 }
 

@@ -12,12 +12,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"remo/internal/bench"
+	"remo/internal/metrics"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func run(args []string) error {
 		seed   = fs.Int64("seed", 1, "random seed")
 		rounds = fs.Int("rounds", 0, "emulation rounds for deployment figures (0 = default)")
 		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		asJSON = fs.Bool("json", false, "emit one JSON document instead of aligned tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +65,33 @@ func run(args []string) error {
 		selected = []bench.Experiment{e}
 	default:
 		return fmt.Errorf("nothing to do: pass -fig <name>, -all or -list")
+	}
+
+	if *asJSON {
+		type runDoc struct {
+			Name        string           `json:"name"`
+			Description string           `json:"description"`
+			Scale       float64          `json:"scale"`
+			Seed        int64            `json:"seed"`
+			ElapsedMS   int64            `json:"elapsed_ms"`
+			Tables      []*metrics.Table `json:"tables"`
+		}
+		docs := make([]runDoc, 0, len(selected))
+		for _, e := range selected {
+			start := time.Now()
+			tables := e.Run(opts)
+			docs = append(docs, runDoc{
+				Name:        e.Name,
+				Description: e.Description,
+				Scale:       *scale,
+				Seed:        *seed,
+				ElapsedMS:   time.Since(start).Milliseconds(),
+				Tables:      tables,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(docs)
 	}
 
 	for _, e := range selected {

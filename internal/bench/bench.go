@@ -82,6 +82,7 @@ func Registry() []Experiment {
 		{Name: "fig11", Description: "tree-wise capacity allocation schemes (% collected)", Run: Fig11},
 		{Name: "fig12", Description: "extensions: aggregation/frequency awareness and replication", Run: Fig12},
 		{Name: "ablations", Description: "ablations of the planner's search design choices", Run: Ablations},
+		{Name: "planner", Description: "planner wall-clock: sequential vs parallel search (Fig 5a/6a sweeps)", Run: PlannerPerf},
 	}
 }
 

@@ -20,7 +20,7 @@ func colMean(t *testing.T, tbl *metrics.Table, name string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations"}
+	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -225,6 +225,31 @@ func TestFig12ExtensionsHelp(t *testing.T) {
 	for _, other := range []string{"SINGLETON-SET-2", "ONE-SET-2"} {
 		if remo2+1e-9 < colMean(t, b, other) {
 			t.Errorf("REMO-2 %.1f < %s %.1f", remo2, other, colMean(t, b, other))
+		}
+	}
+}
+
+func TestPlannerPerfShape(t *testing.T) {
+	tables := PlannerPerf(smoke)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tbl := range tables {
+		seq, _ := tbl.Column("SEQ_MS")
+		par, _ := tbl.Column("PAR_MS")
+		if len(seq) == 0 || len(par) == 0 {
+			t.Fatalf("%s: empty series", tbl.Title)
+		}
+		for i := range seq {
+			if seq[i] <= 0 || par[i] <= 0 {
+				t.Errorf("%s: non-positive wall-clock at row %d", tbl.Title, i)
+			}
+		}
+		// plannerPoint panics if the two planners ever return different
+		// scores, so reaching here also proves determinism on the sweep.
+		reuse, _ := tbl.Column("TREE_REUSE_PCT")
+		if metrics.Mean(reuse) <= 0 {
+			t.Errorf("%s: tree memo never hit", tbl.Title)
 		}
 	}
 }

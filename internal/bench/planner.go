@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"remo/internal/core"
+	"remo/internal/metrics"
+)
+
+// plannerColumns are the series of the planner wall-clock experiment:
+// the sequential baseline (one worker, tree-build memo off — the
+// pre-parallel planner), the parallel planner (GOMAXPROCS workers,
+// memo on), the resulting speedup factor, and the fraction of tree
+// constructions the memo avoided.
+var plannerColumns = []string{"SEQ_MS", "PAR_MS", "SPEEDUP", "TREE_REUSE_PCT"}
+
+// plannerPoint times both planner configurations on one environment.
+// The two must produce identical plans — the parallel search adopts
+// the same moves — so the point also cross-checks determinism and
+// panics loudly if the plans ever diverge.
+func plannerPoint(e env) []float64 {
+	seq := core.NewPlanner(core.WithWorkers(1), core.WithoutTreeCache())
+	par := core.NewPlanner()
+
+	t0 := time.Now()
+	rs := seq.Plan(e.sys, e.d)
+	seqMS := float64(time.Since(t0).Microseconds()) / 1000
+
+	t0 = time.Now()
+	rp := par.Plan(e.sys, e.d)
+	parMS := float64(time.Since(t0).Microseconds()) / 1000
+
+	if rs.Stats.Score() != rp.Stats.Score() {
+		panic(fmt.Sprintf("bench: parallel planner diverged: %+v vs %+v",
+			rs.Stats.Score(), rp.Stats.Score()))
+	}
+	speedup := 0.0
+	if parMS > 0 {
+		speedup = seqMS / parMS
+	}
+	reusePct := 0.0
+	if total := rp.TreeBuilds + rp.TreeReuses; total > 0 {
+		reusePct = 100 * float64(rp.TreeReuses) / float64(total)
+	}
+	return []float64{seqMS, parMS, speedup, reusePct}
+}
+
+// PlannerPerf measures planner wall-clock, sequential vs parallel, on
+// the Fig. 5a workload sweep (attributes per task) and the Fig. 6a
+// system sweep (node count, small tasks). This is the perf trajectory
+// for the planner hot path: related monitoring work treats placement
+// latency as a first-class cost, and these series are what future
+// optimizations are judged against (BENCH_planner.json records a run).
+func PlannerPerf(o Options) []*metrics.Table {
+	a := metrics.NewTable("Planner wall-clock — Fig 5a sweep (attrs per task)", "attrs_per_task", plannerColumns...)
+	for _, at := range sweepInts(o, []int{10, 20, 40, 70, 100}, 2) {
+		e, err := buildEnv(o, envConfig{attrsPerTask: at, seed: o.Seed + 50})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(a, float64(at), plannerPoint(e)...)
+	}
+
+	b := metrics.NewTable("Planner wall-clock — Fig 6a sweep (nodes, small tasks)", "nodes", plannerColumns...)
+	for _, n := range sweepInts(o, []int{50, 100, 200, 300, 400}, 10) {
+		e, err := buildEnv(o, envConfig{
+			nodes:        n,
+			tasks:        o.scaleInt(150, 10),
+			attrsPerTask: 3,
+			nodesPerTask: maxInt(2, n/10),
+			seed:         o.Seed + 60,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(b, float64(n), plannerPoint(e)...)
+	}
+	return []*metrics.Table{a, b}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"remo/internal/model"
+	"remo/internal/plan"
+	"remo/internal/task"
+	"remo/internal/tree"
+)
+
+// evalCache memoizes work shared across the many candidate evaluations
+// of one search. The guided search changes only one or two sets per
+// move, so three kinds of state recur verbatim between evaluations:
+//
+//   - participant lists of unchanged attribute sets,
+//   - local-weight maps of unchanged attribute sets,
+//   - whole constructed trees, whenever a set's participants AND its
+//     capacity budget are unchanged (the common case under ORDERED
+//     allocation: trees built before the first changed set see the
+//     exact same avail map and are bit-identical rebuilds).
+//
+// The cache is shared by the concurrent candidate evaluators of one
+// search, so every map is guarded: participants/weights by mu, the
+// tree memo by treeMu. Cached trees are never aliased by callers — a
+// clone is stored on insert and a clone is handed out on every hit —
+// so a forest returned to (and possibly mutated by) adaptation or
+// repair code cannot corrupt the memo.
+type evalCache struct {
+	d *task.Demand
+
+	mu           sync.RWMutex
+	participants map[string][]model.NodeID
+	weights      map[string]map[model.NodeID]float64
+
+	treeMu sync.RWMutex
+	trees  map[treeKey]*cachedBuild
+
+	// builds and reuses count tree constructions vs memo hits (search
+	// telemetry, surfaced as Result.TreeBuilds / Result.TreeReuses).
+	builds, reuses atomic.Int64
+}
+
+func newEvalCache(d *task.Demand) *evalCache {
+	return &evalCache{
+		d:            d,
+		participants: make(map[string][]model.NodeID),
+		weights:      make(map[string]map[model.NodeID]float64),
+		trees:        make(map[treeKey]*cachedBuild),
+	}
+}
+
+func (c *evalCache) participantsOf(set model.AttrSet) []model.NodeID {
+	key := set.Key()
+	c.mu.RLock()
+	parts, ok := c.participants[key]
+	c.mu.RUnlock()
+	if ok {
+		return parts
+	}
+	parts = c.d.Participants(set)
+	c.mu.Lock()
+	if prev, ok := c.participants[key]; ok {
+		parts = prev // keep the first insert so callers share one slice
+	} else {
+		c.participants[key] = parts
+	}
+	c.mu.Unlock()
+	return parts
+}
+
+func (c *evalCache) weightsOf(set model.AttrSet) map[model.NodeID]float64 {
+	key := set.Key()
+	c.mu.RLock()
+	w, ok := c.weights[key]
+	c.mu.RUnlock()
+	if ok {
+		return w
+	}
+	parts := c.participantsOf(set)
+	w = make(map[model.NodeID]float64, len(parts))
+	for _, n := range parts {
+		w[n] = c.d.LocalWeight(n, set)
+	}
+	c.mu.Lock()
+	if prev, ok := c.weights[key]; ok {
+		w = prev
+	} else {
+		c.weights[key] = w
+	}
+	c.mu.Unlock()
+	return w
+}
+
+// treeKey identifies one tree-construction problem: the attribute set
+// plus a fingerprint of the per-participant capacity budgets and the
+// collector budget. Everything else a builder sees (system, demand,
+// spec, builder options) is fixed for the cache's lifetime.
+type treeKey struct {
+	attrs string
+	hash  uint64
+}
+
+// cachedBuild is one memoized construction result. tree is a private
+// clone; used and centralUsed are the build's capacity charges, read
+// (never written) by evaluate.
+type cachedBuild struct {
+	tree        *plan.Tree
+	used        map[model.NodeID]float64
+	centralUsed float64
+}
+
+// FNV-1a constants for the budget fingerprint.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// quantBudget quantizes a capacity budget to 1e-9 cost units, folding
+// float noise far below every tolerance the planner uses (builders use
+// capEps, validation 1e-6) without ever conflating genuinely different
+// budgets.
+func quantBudget(v float64) uint64 {
+	return uint64(int64(math.Round(v * 1e9)))
+}
+
+// buildTreeKey fingerprints a construction problem. nodes must be the
+// set's participants in their canonical (ascending) order so the hash
+// is deterministic.
+func buildTreeKey(attrs model.AttrSet, nodes []model.NodeID, avail map[model.NodeID]float64, centralAvail float64) treeKey {
+	h := uint64(fnvOffset64)
+	h = fnvMix(h, uint64(len(nodes)))
+	for _, n := range nodes {
+		h = fnvMix(h, uint64(n))
+		h = fnvMix(h, quantBudget(avail[n]))
+	}
+	h = fnvMix(h, quantBudget(centralAvail))
+	return treeKey{attrs: attrs.Key(), hash: h}
+}
+
+// lookupTree returns the memoized build for key, if any.
+func (c *evalCache) lookupTree(key treeKey) (*cachedBuild, bool) {
+	c.treeMu.RLock()
+	cb, ok := c.trees[key]
+	c.treeMu.RUnlock()
+	if ok {
+		c.reuses.Add(1)
+	}
+	return cb, ok
+}
+
+// storeTree memoizes a build result under key. The tree is cloned on
+// insert (copy-on-insert) so the caller's tree — which joins a forest
+// the planner hands to callers — never aliases cache state.
+func (c *evalCache) storeTree(key treeKey, r tree.Result) {
+	c.builds.Add(1)
+	cb := &cachedBuild{used: r.Used, centralUsed: r.CentralUsed}
+	if r.Tree != nil {
+		cb.tree = r.Tree.Clone()
+	}
+	c.treeMu.Lock()
+	if _, dup := c.trees[key]; !dup {
+		c.trees[key] = cb
+	}
+	c.treeMu.Unlock()
+}

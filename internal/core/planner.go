@@ -8,12 +8,22 @@
 // estimated capacity-usage gain, and evaluates only the most promising
 // ones with the expensive resource-aware procedure — constructing
 // capacity-constrained collection trees and counting how many
-// node-attribute pairs they deliver. The first candidate that improves
-// the plan is adopted; the search stops when no evaluated candidate
-// improves it.
+// node-attribute pairs they deliver. The best-ranked candidate that
+// improves the plan is adopted; the search stops when no evaluated
+// candidate improves it.
+//
+// Evaluations are independent, so each iteration's ranked candidates
+// are evaluated concurrently on a bounded worker pool and the two
+// search starts (singleton-seeded and one-set-seeded) run in parallel.
+// The adopted move is still the best-ranked acceptable candidate —
+// exactly the move the sequential first-improvement scan would take —
+// so plans are identical at any worker count.
 package core
 
 import (
+	"runtime"
+	"sync"
+
 	"remo/internal/agg"
 	"remo/internal/alloc"
 	"remo/internal/model"
@@ -41,6 +51,15 @@ type Config struct {
 	EvalBudget int
 	// MaxIters bounds search iterations. Default 128.
 	MaxIters int
+	// Workers bounds the concurrent candidate evaluators and enables
+	// the parallel multi-start: 0 (the default) uses GOMAXPROCS, 1
+	// forces the fully sequential search. Any value yields the same
+	// plan; only wall-clock and the Evaluations count (a parallel
+	// iteration launches its whole candidate batch) differ.
+	Workers int
+	// NoTreeCache disables the cross-evaluation tree-build memo
+	// (ablation knob; also the pre-memo baseline for benchmarks).
+	NoTreeCache bool
 	// SingleStart disables the one-set-seeded second search (ablation).
 	SingleStart bool
 	// NoSideways disables score-neutral merge moves (ablation).
@@ -69,6 +88,14 @@ func WithEvalBudget(k int) Option { return func(c *Config) { c.EvalBudget = k } 
 
 // WithMaxIters bounds search iterations.
 func WithMaxIters(n int) Option { return func(c *Config) { c.MaxIters = n } }
+
+// WithWorkers pins the evaluation worker count (0 = GOMAXPROCS,
+// 1 = sequential). Plans are identical at any setting.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithoutTreeCache disables the cross-evaluation tree-build memo
+// (ablation knob).
+func WithoutTreeCache() Option { return func(c *Config) { c.NoTreeCache = true } }
 
 // WithSingleStart disables the multi-start search (ablation knob).
 func WithSingleStart() Option { return func(c *Config) { c.SingleStart = true } }
@@ -105,6 +132,14 @@ func NewPlanner(opts ...Option) *Planner {
 	return &Planner{cfg: cfg}
 }
 
+// workers resolves the configured worker count.
+func (p *Planner) workers() int {
+	if p.cfg.Workers > 0 {
+		return p.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Result is a finished plan plus search telemetry.
 type Result struct {
 	// Forest is the planned monitoring topology.
@@ -115,8 +150,16 @@ type Result struct {
 	Partition []model.AttrSet
 	// Iterations is the number of accepted search moves.
 	Iterations int
-	// Evaluations counts resource-aware evaluations performed.
+	// Evaluations counts resource-aware evaluations launched. A
+	// parallel iteration evaluates its whole candidate batch, so this
+	// may exceed the sequential count (which stops at the adopted
+	// candidate); the chosen moves — and hence the plan — are the same.
 	Evaluations int
+	// TreeBuilds and TreeReuses count collection-tree constructions
+	// performed vs avoided by the cross-evaluation tree-build memo.
+	TreeBuilds int
+	// TreeReuses counts memo hits (see TreeBuilds).
+	TreeReuses int
 }
 
 // Plan runs the full REMO planning algorithm for demand d on system sys.
@@ -126,7 +169,9 @@ type Result struct {
 // once from the one-set partition — and the better plan wins. The two
 // extremes bracket the search space (§3.1), so multi-start guarantees
 // the planner never loses to either baseline scheme even when the
-// guided neighborhood ranking misses a crossing move.
+// guided neighborhood ranking misses a crossing move. With more than
+// one worker the two starts run in parallel goroutines (each with its
+// own evaluation cache), which changes nothing about either search.
 func (p *Planner) Plan(sys *model.System, d *task.Demand) Result {
 	universe := d.Universe()
 	if universe.Empty() {
@@ -135,16 +180,43 @@ func (p *Planner) Plan(sys *model.System, d *task.Demand) Result {
 	if p.cfg.SingleStart {
 		return p.PlanFrom(sys, d, partition.Singleton(universe))
 	}
-	fromSP := p.PlanFrom(sys, d, partition.Singleton(universe))
-	fromOP := p.PlanFrom(sys, d, partition.FirstFitAllowed(universe, p.cfg.Constraints))
+	var fromSP, fromOP Result
+	if p.workers() > 1 {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			fromSP = p.PlanFrom(sys, d, partition.Singleton(universe))
+		}()
+		go func() {
+			defer wg.Done()
+			fromOP = p.PlanFrom(sys, d, partition.FirstFitAllowed(universe, p.cfg.Constraints))
+		}()
+		wg.Wait()
+	} else {
+		fromSP = p.PlanFrom(sys, d, partition.Singleton(universe))
+		fromOP = p.PlanFrom(sys, d, partition.FirstFitAllowed(universe, p.cfg.Constraints))
+	}
 	fromOP.Evaluations += fromSP.Evaluations
 	fromOP.Iterations += fromSP.Iterations
+	fromOP.TreeBuilds += fromSP.TreeBuilds
+	fromOP.TreeReuses += fromSP.TreeReuses
 	if fromSP.Stats.Score().Better(fromOP.Stats.Score()) {
 		fromSP.Evaluations = fromOP.Evaluations
 		fromSP.Iterations = fromOP.Iterations
+		fromSP.TreeBuilds = fromOP.TreeBuilds
+		fromSP.TreeReuses = fromOP.TreeReuses
 		return fromSP
 	}
 	return fromOP
+}
+
+// candEval is one candidate's evaluation outcome, filled by the worker
+// pool slot that owns the candidate's rank position.
+type candEval struct {
+	sets   []model.AttrSet
+	forest *plan.Forest
+	stats  plan.Stats
 }
 
 // PlanFrom runs the guided local search starting from the given
@@ -158,6 +230,12 @@ func (p *Planner) Plan(sys *model.System, d *task.Demand) Result {
 // search cross the plateaus that arise when several merges are needed
 // before capacity freed at the collector pays off. The best plan seen is
 // always returned.
+//
+// With more than one worker each iteration evaluates its whole ranked
+// candidate batch concurrently, then scans the results in rank order
+// with the exact acceptance logic of the sequential loop — so the
+// adopted move, and therefore the final plan, is identical to the
+// sequential search's.
 func (p *Planner) PlanFrom(sys *model.System, d *task.Demand, sets []model.AttrSet) Result {
 	cache := newEvalCache(d)
 	res := Result{Partition: sets}
@@ -170,6 +248,7 @@ func (p *Planner) PlanFrom(sys *model.System, d *task.Demand, sets []model.AttrS
 	if p.cfg.NoSideways {
 		sidewaysLeft = 0
 	}
+	workers := p.workers()
 
 	for iter := 0; iter < p.cfg.MaxIters; iter++ {
 		gctx := p.gainContext(sys, d, cur)
@@ -191,23 +270,50 @@ func (p *Planner) PlanFrom(sys *model.System, d *task.Demand, sets []model.AttrS
 		improved := false
 		sidewaysTaken := false
 		curScore := cur.Stats.Score()
-		for _, c := range cands {
-			sets := partition.Apply(cur.Partition, c.Op)
-			forest, stats := p.evaluate(sys, d, sets, cache)
-			res.Evaluations++
-			sc := stats.Score()
+
+		adopt := func(c partition.Candidate, e candEval) (accepted bool) {
+			sc := e.stats.Score()
 			if sc.Better(curScore) {
-				cur = Result{Partition: sets, Forest: forest, Stats: stats}
+				cur = Result{Partition: e.sets, Forest: e.forest, Stats: e.stats}
 				res.Iterations++
 				improved = true
-				break
+				return true
 			}
-			if !improved && !sidewaysTaken && sidewaysLeft > 0 &&
+			if !sidewaysTaken && sidewaysLeft > 0 &&
 				c.Op.Kind == partition.MergeOp && !curScore.Better(sc) {
-				cur = Result{Partition: sets, Forest: forest, Stats: stats}
+				cur = Result{Partition: e.sets, Forest: e.forest, Stats: e.stats}
 				sidewaysTaken = true
 				sidewaysLeft--
-				break
+				return true
+			}
+			return false
+		}
+
+		if workers > 1 && len(cands) > 1 {
+			// Evaluate the whole batch concurrently, then scan results in
+			// rank order: the first acceptable candidate is the same one
+			// the lazy sequential scan would have stopped at.
+			outs := make([]candEval, len(cands))
+			base := cur.Partition
+			runIndexed(workers, len(cands), func(i int) {
+				sets := partition.Apply(base, cands[i].Op)
+				forest, stats := p.evaluate(sys, d, sets, cache)
+				outs[i] = candEval{sets: sets, forest: forest, stats: stats}
+			})
+			res.Evaluations += len(cands)
+			for i, c := range cands {
+				if adopt(c, outs[i]) {
+					break
+				}
+			}
+		} else {
+			for _, c := range cands {
+				sets := partition.Apply(cur.Partition, c.Op)
+				forest, stats := p.evaluate(sys, d, sets, cache)
+				res.Evaluations++
+				if adopt(c, candEval{sets: sets, forest: forest, stats: stats}) {
+					break
+				}
 			}
 		}
 		if cur.Stats.Score().Better(best) {
@@ -218,6 +324,8 @@ func (p *Planner) PlanFrom(sys *model.System, d *task.Demand, sets []model.AttrS
 			break
 		}
 	}
+	res.TreeBuilds = int(cache.builds.Load())
+	res.TreeReuses = int(cache.reuses.Load())
 	return res
 }
 
@@ -231,48 +339,6 @@ func (p *Planner) PlanPartition(sys *model.System, d *task.Demand, sets []model.
 		Partition:   sets,
 		Evaluations: 1,
 	}
-}
-
-// evalCache memoizes per-attribute-set demand lookups across the many
-// candidate evaluations of one search: the guided search changes only
-// one or two sets per move, so participant lists and local weights of
-// the remaining sets recur verbatim.
-type evalCache struct {
-	d            *task.Demand
-	participants map[string][]model.NodeID
-	weights      map[string]map[model.NodeID]float64
-}
-
-func newEvalCache(d *task.Demand) *evalCache {
-	return &evalCache{
-		d:            d,
-		participants: make(map[string][]model.NodeID),
-		weights:      make(map[string]map[model.NodeID]float64),
-	}
-}
-
-func (c *evalCache) participantsOf(set model.AttrSet) []model.NodeID {
-	key := set.Key()
-	if parts, ok := c.participants[key]; ok {
-		return parts
-	}
-	parts := c.d.Participants(set)
-	c.participants[key] = parts
-	return parts
-}
-
-func (c *evalCache) weightsOf(set model.AttrSet) map[model.NodeID]float64 {
-	key := set.Key()
-	if w, ok := c.weights[key]; ok {
-		return w
-	}
-	parts := c.participantsOf(set)
-	w := make(map[model.NodeID]float64, len(parts))
-	for _, n := range parts {
-		w[n] = c.d.LocalWeight(n, set)
-	}
-	c.weights[key] = w
-	return w
 }
 
 // Evaluate performs the resource-aware evaluation of a partition: order
@@ -291,22 +357,44 @@ func (p *Planner) evaluate(sys *model.System, d *task.Demand, sets []model.AttrS
 	var centralUsed float64
 	for _, k := range order {
 		avail := p.cfg.Alloc.Avail(req, k, used)
-		ctx := tree.Context{
+		centralAvail := p.cfg.Alloc.CentralAvail(req, k, centralUsed)
+		nodes := cache.participantsOf(sets[k])
+
+		var key treeKey
+		memo := !p.cfg.NoTreeCache
+		if memo {
+			key = buildTreeKey(sets[k], nodes, avail, centralAvail)
+			if cb, ok := cache.lookupTree(key); ok {
+				if cb.tree != nil {
+					built[k] = cb.tree.Clone()
+				}
+				for n, u := range cb.used {
+					used[n] += u
+				}
+				centralUsed += cb.centralUsed
+				continue
+			}
+		}
+		r := p.cfg.Builder.Build(tree.Context{
 			Sys:          sys,
 			Demand:       d,
 			Spec:         p.cfg.Spec,
 			Attrs:        sets[k],
-			Nodes:        cache.participantsOf(sets[k]),
+			Nodes:        nodes,
 			Avail:        avail,
-			CentralAvail: p.cfg.Alloc.CentralAvail(req, k, centralUsed),
+			CentralAvail: centralAvail,
 			LocalWeights: cache.weightsOf(sets[k]),
-		}
-		r := p.cfg.Builder.Build(ctx)
+		})
 		built[k] = r.Tree
 		for n, u := range r.Used {
 			used[n] += u
 		}
 		centralUsed += r.CentralUsed
+		if memo {
+			cache.storeTree(key, r)
+		} else {
+			cache.builds.Add(1)
+		}
 	}
 
 	forest := plan.NewForest()
@@ -319,17 +407,21 @@ func (p *Planner) evaluate(sys *model.System, d *task.Demand, sets []model.AttrS
 }
 
 // gainContext assembles the estimator inputs from the last evaluation.
+// Trees are indexed by attribute-set key once, so the scan is
+// O(sets + trees·members) rather than the quadratic
+// O(sets·trees·members) of a per-set linear search.
 func (p *Planner) gainContext(sys *model.System, d *task.Demand, res Result) partition.GainContext {
+	byKey := make(map[string]*plan.Tree, len(res.Forest.Trees))
+	for _, t := range res.Forest.Trees {
+		byKey[t.Attrs.Key()] = t
+	}
 	missed := make([]int, len(res.Partition))
 	for i, set := range res.Partition {
 		demanded := d.PairCountIn(set)
 		collected := 0
-		for _, t := range res.Forest.Trees {
-			if t.Attrs.Equal(set) {
-				for _, n := range t.Members() {
-					collected += len(d.LocalAttrs(n, set))
-				}
-				break
+		if t := byKey[set.Key()]; t != nil {
+			for _, n := range t.Members() {
+				collected += len(d.LocalAttrs(n, set))
 			}
 		}
 		missed[i] = demanded - collected

@@ -1,0 +1,44 @@
+package core
+
+import "sync"
+
+// runIndexed is the planner's bounded worker pool: it executes fn(i)
+// for every i in [0, n) on at most `workers` goroutines and returns
+// once all calls have completed. Each index runs exactly once; with
+// workers <= 1 (or a single item) it degenerates to an inline loop,
+// which is the planner's sequential mode.
+//
+// The pool is deliberately structureless — indices are handed out
+// through a channel, so slow evaluations do not stall the queue behind
+// them — and writes are raced-free by construction: every worker
+// touches only the slots its indices own.
+func runIndexed(workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

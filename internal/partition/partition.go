@@ -125,6 +125,12 @@ type Candidate struct {
 	// Gain estimates the total capacity-usage reduction (in cost units)
 	// of applying the move; larger is more promising.
 	Gain float64
+	// Index is the candidate's stable rank position (0 = most
+	// promising), assigned by Rank after sorting. It survives later
+	// filtering (e.g. constraint checks), so concurrent evaluators can
+	// report results against a stable identity and the planner can
+	// adopt the best-ranked acceptable candidate deterministically.
+	Index int
 }
 
 // GainContext supplies the state the estimator needs: the demand, the
@@ -199,6 +205,9 @@ func Rank(sets []model.AttrSet, ctx GainContext) []Candidate {
 	sort.SliceStable(cands, func(i, j int) bool {
 		return cands[i].Gain > cands[j].Gain
 	})
+	for i := range cands {
+		cands[i].Index = i
+	}
 	return cands
 }
 

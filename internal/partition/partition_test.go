@@ -191,3 +191,42 @@ func TestUniverse(t *testing.T) {
 		t.Fatalf("Universe = %v", got)
 	}
 }
+
+func TestRankAssignsStableIndices(t *testing.T) {
+	d := task.NewDemand()
+	for n := 1; n <= 6; n++ {
+		d.Set(model.NodeID(n), 1, 1)
+		if n%2 == 0 {
+			d.Set(model.NodeID(n), 2, 1)
+		}
+		if n%3 == 0 {
+			d.Set(model.NodeID(n), 3, 1)
+		}
+	}
+	sets := Singleton(d.Universe())
+	cands := Rank(sets, GainContext{Demand: d, PerMessage: 5, PerValue: 1})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for i, c := range cands {
+		if c.Index != i {
+			t.Fatalf("candidate %d has Index %d", i, c.Index)
+		}
+	}
+	// Indices survive filtering: dropping candidates keeps the
+	// survivors' rank identity intact (the planner filters by
+	// constraints before evaluating).
+	var merges []Candidate
+	for _, c := range cands {
+		if c.Op.Kind == MergeOp {
+			merges = append(merges, c)
+		}
+	}
+	last := -1
+	for _, c := range merges {
+		if c.Index <= last {
+			t.Fatalf("filtered indices out of order: %d after %d", c.Index, last)
+		}
+		last = c.Index
+	}
+}

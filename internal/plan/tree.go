@@ -244,17 +244,56 @@ func (t *Tree) Edges() []Edge {
 	return edges
 }
 
-// Clone returns a deep copy of the tree.
+// Clone returns a deep copy of the tree. Maps are sized up front and
+// child slices copied exactly, so cloning is a cheap O(members)
+// operation — cheap enough that the planner's tree-build memo clones on
+// every insert and hit rather than rebuilding trees.
 func (t *Tree) Clone() *Tree {
-	c := NewTree(t.Attrs)
-	c.root = t.root
+	c := &Tree{
+		Attrs:    t.Attrs,
+		root:     t.root,
+		parent:   make(map[model.NodeID]model.NodeID, len(t.parent)),
+		children: make(map[model.NodeID][]model.NodeID, len(t.children)),
+	}
 	for n, p := range t.parent {
 		c.parent[n] = p
 	}
 	for n, ch := range t.children {
-		c.children[n] = append([]model.NodeID(nil), ch...)
+		cp := make([]model.NodeID, len(ch))
+		copy(cp, ch)
+		c.children[n] = cp
 	}
 	return c
+}
+
+// Fingerprint returns a 64-bit FNV-1a digest of the tree's identity:
+// its attribute set and every parent link in deterministic (BFS)
+// member order. Two trees with equal fingerprints are, up to hash
+// collision, structurally identical — clones share their original's
+// fingerprint, which lets tests and the planner's tree-build memo
+// compare trees without walking both.
+func (t *Tree) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, a := range t.Attrs.Attrs() {
+		mix(uint64(a))
+	}
+	mix(uint64(len(t.parent)))
+	for _, n := range t.Members() {
+		mix(uint64(n))
+		mix(uint64(t.parent[n]))
+	}
+	return h
 }
 
 // Validate checks the structural integrity of the tree: a single root

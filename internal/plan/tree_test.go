@@ -183,3 +183,45 @@ func TestTreeValidate(t *testing.T) {
 		t.Fatalf("empty tree invalid: %v", err)
 	}
 }
+
+func TestTreeFingerprint(t *testing.T) {
+	mk := func() *Tree {
+		tr := NewTree(model.NewAttrSet(1, 2))
+		mustAddNodes(t, tr, [][2]model.NodeID{
+			{1, model.Central}, {2, 1}, {3, 1}, {4, 2},
+		})
+		return tr
+	}
+	a, b := mk(), mk()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical trees fingerprint differently")
+	}
+	if got := a.Clone().Fingerprint(); got != a.Fingerprint() {
+		t.Fatal("clone fingerprint differs from original")
+	}
+	// Different structure (4 under 3 instead of 2) must differ.
+	c := NewTree(model.NewAttrSet(1, 2))
+	mustAddNodes(t, c, [][2]model.NodeID{
+		{1, model.Central}, {2, 1}, {3, 1}, {4, 3},
+	})
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different structures share a fingerprint")
+	}
+	// Different attribute set must differ.
+	e := NewTree(model.NewAttrSet(1, 3))
+	mustAddNodes(t, e, [][2]model.NodeID{
+		{1, model.Central}, {2, 1}, {3, 1}, {4, 2},
+	})
+	if e.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different attr sets share a fingerprint")
+	}
+}
+
+func mustAddNodes(t *testing.T, tr *Tree, edges [][2]model.NodeID) {
+	t.Helper()
+	for _, e := range edges {
+		if err := tr.AddNode(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

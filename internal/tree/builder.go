@@ -20,6 +20,8 @@
 package tree
 
 import (
+	"math"
+
 	"remo/internal/agg"
 	"remo/internal/model"
 	"remo/internal/plan"
@@ -72,6 +74,42 @@ type Result struct {
 	// Excluded are participants that could not be placed without
 	// violating a capacity constraint.
 	Excluded []model.NodeID
+}
+
+// Fingerprint returns a 64-bit digest of the whole build outcome: the
+// constructed tree's structure plus every capacity charge (per-node
+// usage quantized to 1e-9 cost units, the central charge, and the
+// excluded set). Two builds with equal fingerprints are
+// interchangeable, which is what the planner's cross-evaluation
+// tree-build memo relies on and what determinism tests assert without
+// comparing trees edge by edge.
+func (r Result) Fingerprint() uint64 {
+	const prime64 = 1099511628211
+	var h uint64 = 14695981039346656037
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	if r.Tree != nil {
+		mix(r.Tree.Fingerprint())
+	}
+	ids := make([]model.NodeID, 0, len(r.Used))
+	for n := range r.Used {
+		ids = append(ids, n)
+	}
+	model.SortNodes(ids)
+	for _, n := range ids {
+		mix(uint64(n))
+		mix(uint64(int64(math.Round(r.Used[n] * 1e9))))
+	}
+	mix(uint64(int64(math.Round(r.CentralUsed * 1e9))))
+	for _, n := range r.Excluded {
+		mix(uint64(n))
+	}
+	return h
 }
 
 // Builder constructs one collection tree.

@@ -274,3 +274,25 @@ func TestRandomizedInvariants(t *testing.T) {
 		}
 	}
 }
+
+// TestResultFingerprint pins the build-result digest the planner's
+// tree memo and the determinism tests rely on: identical builds agree,
+// and any change to structure or charges disagrees.
+func TestResultFingerprint(t *testing.T) {
+	for _, s := range Schemes() {
+		ctx1, _, _ := env(t, 12, 45, 1e6)
+		ctx2, _, _ := env(t, 12, 45, 1e6)
+		r1 := New(s).Build(ctx1)
+		r2 := New(s).Build(ctx2)
+		if r1.Fingerprint() != r2.Fingerprint() {
+			t.Fatalf("%s: identical builds fingerprint differently", s)
+		}
+		// A tighter capacity produces a different build outcome (fewer
+		// placed nodes or different charges) and must not collide.
+		ctx3, _, _ := env(t, 12, 25, 1e6)
+		r3 := New(s).Build(ctx3)
+		if r3.Fingerprint() == r1.Fingerprint() {
+			t.Fatalf("%s: different builds share a fingerprint", s)
+		}
+	}
+}

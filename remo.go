@@ -153,6 +153,15 @@ func WithEvalBudget(k int) PlannerOption {
 	return func(p *Planner) { p.opts = append(p.opts, core.WithEvalBudget(k)) }
 }
 
+// WithPlannerWorkers pins the planner's evaluation worker count: 0 (the
+// default) sizes the pool to GOMAXPROCS, 1 forces the fully sequential
+// search. The planned topology is identical at any setting — workers
+// change wall-clock only — so this knob exists for benchmarking and for
+// capping planner CPU next to latency-sensitive workloads.
+func WithPlannerWorkers(n int) PlannerOption {
+	return func(p *Planner) { p.opts = append(p.opts, core.WithWorkers(n)) }
+}
+
 // Baseline selects a fixed partition scheme instead of REMO's search,
 // for comparisons like the paper's Figs. 5-8.
 type Baseline int

@@ -352,3 +352,23 @@ func TestNodeUsageIsACopy(t *testing.T) {
 		}
 	}
 }
+
+func TestPlannerWorkersOption(t *testing.T) {
+	sys := testSystem(t)
+	plans := make([]*remo.Plan, 0, 3)
+	for _, workers := range []int{0, 1, 4} {
+		p := remo.NewPlanner(sys, remo.WithPlannerWorkers(workers))
+		p.MustAddTask(remo.Task{Name: "t", Attrs: []remo.AttrID{1, 2}, Nodes: allNodes(sys)})
+		pl, err := p.Plan()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		plans = append(plans, pl)
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].PercentCollected() != plans[0].PercentCollected() {
+			t.Fatalf("worker counts disagree: %v vs %v",
+				plans[i].PercentCollected(), plans[0].PercentCollected())
+		}
+	}
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1+ gate for the repo: vet, build, race-enabled tests, and a
+# one-shot run of the planner benchmarks so perf regressions that break
+# the benchmark harness are caught before merge.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> planner benchmarks (1 iteration)"
+go test -run '^$' -bench 'BenchmarkPlanner' -benchtime 1x .
+
+echo "OK"
