@@ -9,6 +9,12 @@
 //	remo-sim -nodes 100 -tasks 50 -rounds 60
 //	remo-sim -scheme singleton -tcp
 //	remo-sim -spec problem.json -rounds 30
+//	remo-sim -nodes 60 -chaos 0.2 -rounds 45
+//
+// With -chaos the deployment runs as a self-healing live session: the
+// given fraction of nodes crashes a third of the way in, the failure
+// detector declares them dead after -suspicion silent rounds, and the
+// topology is repaired automatically.
 package main
 
 import (
@@ -40,6 +46,11 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		useTCP   = fs.Bool("tcp", false, "run the overlay over loopback TCP")
 		traceN   = fs.Int("trace", 0, "dump up to N emulation events (0 = off)")
+
+		chaosFrac  = fs.Float64("chaos", 0, "self-healing demo: crash this fraction of nodes mid-run")
+		chaosDrop  = fs.Float64("chaos-drop", 0, "drop each message with this probability")
+		chaosDelay = fs.Float64("chaos-delay", 0, "delay each message one round with this probability")
+		suspicion  = fs.Int("suspicion", 3, "failure-detector suspicion window in rounds")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,12 +72,26 @@ func run(args []string, stdout io.Writer) error {
 	if *traceN > 0 {
 		rec = remo.NewTraceRecorder(*traceN)
 	}
-	rep, err := plan.Deploy(remo.DeployConfig{
-		Rounds: *rounds,
-		UseTCP: *useTCP,
-		Seed:   uint64(*seed),
-		Trace:  rec,
-	})
+	var rep remo.DeployReport
+	if *chaosFrac > 0 || *chaosDrop > 0 || *chaosDelay > 0 {
+		rep, err = runChaos(planner, chaosOpts{
+			rounds:    *rounds,
+			useTCP:    *useTCP,
+			seed:      uint64(*seed),
+			frac:      *chaosFrac,
+			dropProb:  *chaosDrop,
+			delayProb: *chaosDelay,
+			suspicion: *suspicion,
+			trace:     rec,
+		})
+	} else {
+		rep, err = plan.Deploy(remo.DeployConfig{
+			Rounds: *rounds,
+			UseTCP: *useTCP,
+			Seed:   uint64(*seed),
+			Trace:  rec,
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -77,6 +102,20 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  avg staleness:   %.2f rounds\n", rep.AvgStaleness)
 	fmt.Fprintf(stdout, "  traffic:         %d messages sent, %d dropped, %d values delivered\n",
 		rep.MessagesSent, rep.MessagesDropped, rep.ValuesDelivered)
+	if rep.FailuresDetected > 0 || rep.NodesRecovered > 0 {
+		fmt.Fprintf(stdout, "self-healing: %d failures detected, %d nodes recovered, %d repair actions\n",
+			rep.FailuresDetected, rep.NodesRecovered, len(rep.Repairs))
+		for _, ev := range rep.Repairs {
+			if len(ev.Failed) > 0 {
+				fmt.Fprintf(stdout, "  r%03d repair: failed=%v detection=%d rounds, %d trees rebuilt, %d edges changed, coverage %.1f%%\n",
+					ev.Round, ev.Failed, ev.DetectionRounds, ev.TreesRebuilt, ev.EdgesChanged, ev.CoverageAfter)
+			}
+			if len(ev.Recovered) > 0 {
+				fmt.Fprintf(stdout, "  r%03d reintegrate: recovered=%v coverage %.1f%%\n",
+					ev.Round, ev.Recovered, ev.CoverageAfter)
+			}
+		}
+	}
 	if rec != nil {
 		fmt.Fprintln(stdout, "trace:")
 		if err := rec.Dump(stdout); err != nil {
@@ -84,6 +123,65 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// chaosOpts parameterizes the self-healing demo session.
+type chaosOpts struct {
+	rounds    int
+	useTCP    bool
+	seed      uint64
+	frac      float64
+	dropProb  float64
+	delayProb float64
+	suspicion int
+	trace     *remo.TraceRecorder
+}
+
+// runChaos runs a self-healing live session: a fraction of nodes
+// crashes a third of the way through the run and the Monitor detects
+// and repairs around them.
+func runChaos(planner *remo.Planner, o chaosOpts) (remo.DeployReport, error) {
+	crashRound := o.rounds / 3
+	if crashRound < 1 {
+		crashRound = 1
+	}
+	cc := &remo.ChaosConfig{
+		DropProb:       o.dropProb,
+		MaxDelayRounds: 1,
+		DelayProb:      o.delayProb,
+		Seed:           o.seed,
+	}
+	if o.frac > 0 {
+		ids := planner.System().NodeIDs()
+		kill := int(o.frac * float64(len(ids)))
+		if kill < 1 {
+			kill = 1
+		}
+		if kill > len(ids) {
+			kill = len(ids)
+		}
+		cc.CrashAt = make(map[remo.NodeID]int, kill)
+		// Kill every len/kill-th node for an even spread across trees.
+		stride := len(ids) / kill
+		for i := 0; i < kill; i++ {
+			cc.CrashAt[ids[i*stride]] = crashRound
+		}
+	}
+	mon, err := planner.StartMonitor(remo.MonitorConfig{
+		UseTCP:  o.useTCP,
+		Seed:    o.seed,
+		Chaos:   cc,
+		Failure: &remo.FailurePolicy{SuspicionRounds: o.suspicion},
+		Trace:   o.trace,
+	})
+	if err != nil {
+		return remo.DeployReport{}, err
+	}
+	defer func() { _ = mon.Close() }()
+	if err := mon.Run(o.rounds); err != nil {
+		return remo.DeployReport{}, err
+	}
+	return mon.Report(), nil
 }
 
 func transportName(tcp bool) string {

@@ -63,3 +63,34 @@ func TestRunWithTrace(t *testing.T) {
 		t.Errorf("trace output missing:\n%s", out.String())
 	}
 }
+
+func TestChaosFlagRunsSelfHealingSession(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "24", "-attrs", "6", "-tasks", "8", "-rounds", "18",
+		"-chaos", "0.2", "-suspicion", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"self-healing:", "failures detected", "repair:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestChaosDropFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "12", "-attrs", "4", "-tasks", "5", "-rounds", "10",
+		"-chaos-drop", "0.2", "-chaos-delay", "0.1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "emulation: 10 rounds") {
+		t.Errorf("emulation summary missing:\n%s", out.String())
+	}
+}

@@ -3,6 +3,7 @@ package remo
 import (
 	"fmt"
 
+	"remo/internal/chaos"
 	"remo/internal/cluster"
 	"remo/internal/trace"
 	"remo/internal/transport"
@@ -20,11 +21,26 @@ type (
 
 // Trace event kinds.
 const (
-	TraceSend     = trace.Send
-	TraceRecvDrop = trace.RecvDrop
-	TraceSendDrop = trace.SendDrop
-	TraceDeliver  = trace.Deliver
-	TraceNodeDead = trace.NodeDead
+	TraceSend        = trace.Send
+	TraceRecvDrop    = trace.RecvDrop
+	TraceSendDrop    = trace.SendDrop
+	TraceDeliver     = trace.Deliver
+	TraceNodeDead    = trace.NodeDead
+	TraceDetect      = trace.Detect
+	TraceRepair      = trace.Repair
+	TraceNodeRecover = trace.NodeRecover
+	TraceDelayed     = trace.Delayed
+)
+
+// Fault injection, re-exported for DeployConfig.Chaos and
+// MonitorConfig.Chaos. One schedule drives both the memory and TCP
+// overlays; all probabilistic decisions are deterministic in the seed,
+// so chaos runs are replayable.
+type (
+	// ChaosConfig schedules crashes, recoveries, message loss and delay.
+	ChaosConfig = chaos.Config
+	// ChaosLink identifies a directed overlay link for per-link loss.
+	ChaosLink = chaos.Link
 )
 
 // NewTraceRecorder returns a recorder retaining up to max events (a
@@ -53,10 +69,15 @@ type DeployConfig struct {
 	// via Deploy; set DisableCapacity to lift them).
 	DisableCapacity bool
 	// FailAt kills node n at the start of round FailAt[n] (failure
-	// injection).
+	// injection). Legacy knob: equivalent to Chaos.CrashAt.
 	FailAt map[NodeID]int
 	// DropEvery drops every k-th message on the wire (0 disables).
+	// Legacy knob: equivalent to Chaos.DropEvery.
 	DropEvery int
+	// Chaos schedules richer fault injection: crash/recover schedules,
+	// probabilistic and per-link message loss, and message delay. It
+	// merges with (and supersedes) the legacy knobs above.
+	Chaos *ChaosConfig
 	// Seed decorrelates the default value generator.
 	Seed uint64
 	// OnValue, when set, receives every value the collector accepts
@@ -97,6 +118,36 @@ type DeployReport struct {
 	// ErrorSeries is the average percentage error per round — the
 	// warm-up/convergence curve.
 	ErrorSeries []float64
+	// FailuresDetected counts death declarations by the failure detector
+	// (self-healing sessions only).
+	FailuresDetected int
+	// NodesRecovered counts resurrections noticed by the detector.
+	NodesRecovered int
+	// Repairs records every automatic topology repair, in order.
+	Repairs []RepairEvent
+}
+
+// RepairEvent records one automatic self-healing action of a live
+// Monitor: a topology repair after detected failures, or a
+// reintegration after detected recoveries.
+type RepairEvent struct {
+	// Round is the collection round the runtime acted in.
+	Round int
+	// Failed lists the nodes declared dead that triggered the repair.
+	Failed []NodeID
+	// Recovered lists resurrected nodes reintegrated into the topology.
+	Recovered []NodeID
+	// DetectionRounds is the worst detection latency among Failed: rounds
+	// between a node's last evidence of life and its declaration.
+	DetectionRounds int
+	// TreesRebuilt and EdgesChanged measure the repair's topology churn.
+	TreesRebuilt int
+	EdgesChanged int
+	// PairsLost counts pairs observable only at the failed nodes.
+	PairsLost int
+	// CoverageAfter is the planned coverage of surviving demanded pairs
+	// after the repair, in percent.
+	CoverageAfter float64
 }
 
 // Deploy emulates the plan: one goroutine per node, periodic update
@@ -123,6 +174,7 @@ func (p *Plan) Deploy(cfg DeployConfig) (DeployReport, error) {
 		EnforceCapacity: !cfg.DisableCapacity,
 		FailAt:          cfg.FailAt,
 		DropEvery:       cfg.DropEvery,
+		Chaos:           cfg.Chaos,
 		Observer:        cfg.OnValue,
 		Trace:           cfg.Trace,
 	}

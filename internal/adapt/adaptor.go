@@ -166,6 +166,15 @@ func (a *Adaptor) Apply(newDemand *task.Demand) Report {
 	return rep
 }
 
+// Rewire commits an externally built topology (e.g. a failure repair)
+// as a new adaptation epoch. Unlike Apply it does not replan: the given
+// forest is installed as-is, so the adaptor's incremental bookkeeping
+// stays consistent with what the runtime actually deployed.
+func (a *Adaptor) Rewire(d *task.Demand, forest *plan.Forest) {
+	a.epoch++
+	a.install(d, forest, forest.Partition(), nil)
+}
+
 // install commits a new topology. touched lists tree keys whose
 // adjustment timestamps should advance; nil advances every tree (full
 // replans).

@@ -1,0 +1,134 @@
+// Package chaos unifies fault injection for the emulated deployment:
+// crash/recover schedules, deterministic and probabilistic message loss,
+// and message delay. One Config drives every transport because injection
+// happens in the emulation layer, before messages reach the wire — the
+// same schedule reproduces identically over the memory and TCP overlays.
+//
+// All probabilistic decisions are pure functions of (Seed, link, round,
+// sequence), so chaos runs are replayable: the same configuration always
+// kills the same messages in the same rounds.
+package chaos
+
+import "remo/internal/model"
+
+// Link identifies a directed overlay link.
+type Link struct {
+	From, To model.NodeID
+}
+
+// Config schedules fault injection for one emulated session. The zero
+// value (and a nil *Config) injects nothing; every method is nil-safe.
+type Config struct {
+	// CrashAt kills node n at the start of round CrashAt[n]: it stops
+	// sending (data and heartbeats), discards received messages, and
+	// loses its relay state.
+	CrashAt map[model.NodeID]int
+	// RecoverAt revives node n at the start of round RecoverAt[n]
+	// (ignored unless it is after the node's crash round). Without an
+	// entry, a crashed node stays down forever.
+	RecoverAt map[model.NodeID]int
+	// DropEvery drops every k-th message per sender (0 disables) — the
+	// legacy deterministic loss model, kept for reproducibility of older
+	// experiments.
+	DropEvery int
+	// DropProb drops each message with this probability in [0,1).
+	DropProb float64
+	// LinkDropProb overrides DropProb on specific directed links,
+	// modeling individually lossy paths.
+	LinkDropProb map[Link]float64
+	// DelayProb delays each surviving message with this probability in
+	// [0,1); delayed messages arrive DelayRounds (default 1) collection
+	// rounds late instead of being lost.
+	DelayProb float64
+	// MaxDelayRounds bounds the injected delay; delays are uniform in
+	// [1, MaxDelayRounds] (default 1, i.e. always one round).
+	MaxDelayRounds int
+	// Seed decorrelates the probabilistic decisions between runs.
+	Seed uint64
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c *Config) Enabled() bool {
+	if c == nil {
+		return false
+	}
+	return len(c.CrashAt) > 0 || c.DropEvery > 0 || c.DropProb > 0 ||
+		len(c.LinkDropProb) > 0 || c.DelayProb > 0
+}
+
+// Crashed reports whether node n is down during the given round per the
+// crash/recover schedule.
+func (c *Config) Crashed(n model.NodeID, round int) bool {
+	if c == nil || len(c.CrashAt) == 0 {
+		return false
+	}
+	at, ok := c.CrashAt[n]
+	if !ok || round < at {
+		return false
+	}
+	if rec, ok := c.RecoverAt[n]; ok && rec > at && round >= rec {
+		return false
+	}
+	return true
+}
+
+// JustCrashed reports whether round is the first round node n is down —
+// the edge the emulation traces as a NodeDead event.
+func (c *Config) JustCrashed(n model.NodeID, round int) bool {
+	return c.Crashed(n, round) && !c.Crashed(n, round-1)
+}
+
+// Drop decides whether the seq-th message from 'from' in the given round
+// is lost on the wire. seq is the sender's running message counter; the
+// legacy DropEvery rule is (seq+round) % DropEvery == 0, preserved
+// bit-for-bit from the pre-chaos emulation.
+func (c *Config) Drop(from, to model.NodeID, round, seq int) bool {
+	if c == nil {
+		return false
+	}
+	if c.DropEvery > 0 && (seq+round)%c.DropEvery == 0 {
+		return true
+	}
+	p := c.DropProb
+	if lp, ok := c.LinkDropProb[Link{From: from, To: to}]; ok {
+		p = lp
+	}
+	if p <= 0 {
+		return false
+	}
+	return unit(c.Seed, 0xD709, uint64(from), uint64(to), uint64(round), uint64(seq)) < p
+}
+
+// Delay returns how many rounds late the seq-th message from 'from'
+// should arrive (0 = on time).
+func (c *Config) Delay(from, to model.NodeID, round, seq int) int {
+	if c == nil || c.DelayProb <= 0 {
+		return 0
+	}
+	if unit(c.Seed, 0xDE1A, uint64(from), uint64(to), uint64(round), uint64(seq)) >= c.DelayProb {
+		return 0
+	}
+	max := c.MaxDelayRounds
+	if max <= 1 {
+		return 1
+	}
+	return 1 + int(mix(c.Seed, 0xDE1B, uint64(from), uint64(to), uint64(round), uint64(seq))%uint64(max))
+}
+
+// unit hashes the inputs to a float in [0, 1).
+func unit(vals ...uint64) float64 {
+	return float64(mix(vals...)>>11) / float64(1<<53)
+}
+
+// mix is a splitmix64-style hash combining the inputs.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+	}
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}

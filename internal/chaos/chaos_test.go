@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"testing"
+
+	"remo/internal/model"
+)
+
+func TestChaosNilConfigIsInert(t *testing.T) {
+	var c *Config
+	if c.Enabled() {
+		t.Fatal("nil config enabled")
+	}
+	if c.Crashed(1, 5) || c.JustCrashed(1, 5) {
+		t.Fatal("nil config crashed a node")
+	}
+	if c.Drop(1, 2, 3, 4) {
+		t.Fatal("nil config dropped a message")
+	}
+	if c.Delay(1, 2, 3, 4) != 0 {
+		t.Fatal("nil config delayed a message")
+	}
+}
+
+func TestChaosCrashRecoverSchedule(t *testing.T) {
+	c := &Config{
+		CrashAt:   map[model.NodeID]int{1: 5, 2: 3},
+		RecoverAt: map[model.NodeID]int{1: 8, 2: 2}, // node 2's recovery precedes its crash: ignored
+	}
+	if c.Crashed(1, 4) {
+		t.Fatal("node 1 down before its crash round")
+	}
+	for r := 5; r < 8; r++ {
+		if !c.Crashed(1, r) {
+			t.Fatalf("node 1 up at round %d", r)
+		}
+	}
+	if c.Crashed(1, 8) {
+		t.Fatal("node 1 down after recovery")
+	}
+	if !c.JustCrashed(1, 5) || c.JustCrashed(1, 6) {
+		t.Fatal("JustCrashed edge wrong")
+	}
+	if !c.Crashed(2, 10) {
+		t.Fatal("node 2's bogus recovery (before crash) honored")
+	}
+	if c.Crashed(3, 0) {
+		t.Fatal("unscheduled node crashed")
+	}
+}
+
+func TestChaosDropEveryLegacyParity(t *testing.T) {
+	// The legacy emulation dropped when (sent+round) % DropEvery == 0.
+	c := &Config{DropEvery: 3}
+	for round := 0; round < 6; round++ {
+		for seq := 1; seq < 7; seq++ {
+			want := (seq+round)%3 == 0
+			if got := c.Drop(1, 2, round, seq); got != want {
+				t.Fatalf("Drop(round=%d, seq=%d) = %v, want %v", round, seq, got, want)
+			}
+		}
+	}
+}
+
+func TestChaosDropProbDeterministicAndCalibrated(t *testing.T) {
+	c := &Config{DropProb: 0.2, Seed: 7}
+	dropped := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		first := c.Drop(1, 2, i, 1)
+		if second := c.Drop(1, 2, i, 1); second != first {
+			t.Fatal("drop decision not deterministic")
+		}
+		if first {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / trials
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("empirical drop rate %.3f, want ~0.2", rate)
+	}
+}
+
+func TestChaosLinkDropOverride(t *testing.T) {
+	c := &Config{
+		DropProb:     0,
+		LinkDropProb: map[Link]float64{{From: 1, To: 2}: 1},
+	}
+	if !c.Drop(1, 2, 0, 1) {
+		t.Fatal("fully lossy link delivered")
+	}
+	if c.Drop(2, 1, 0, 1) {
+		t.Fatal("reverse link inherited the override")
+	}
+}
+
+func TestChaosDelayBounds(t *testing.T) {
+	c := &Config{DelayProb: 1, MaxDelayRounds: 3, Seed: 11}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		d := c.Delay(1, 2, i, 1)
+		if d < 1 || d > 3 {
+			t.Fatalf("delay %d out of [1,3]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("delay never varied: %v", seen)
+	}
+	one := &Config{DelayProb: 1}
+	if d := one.Delay(1, 2, 0, 1); d != 1 {
+		t.Fatalf("default delay = %d, want 1", d)
+	}
+}

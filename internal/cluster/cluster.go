@@ -19,6 +19,8 @@ import (
 	"sort"
 
 	"remo/internal/agg"
+	"remo/internal/chaos"
+	"remo/internal/detect"
 	"remo/internal/model"
 	"remo/internal/plan"
 	"remo/internal/task"
@@ -51,16 +53,30 @@ type Config struct {
 	EnforceCapacity bool
 	// FailAt kills node n at the start of round FailAt[n]: it stops
 	// sending and silently discards received messages from then on.
+	// Legacy knob — folded into Chaos.CrashAt by NewMachine.
 	FailAt map[model.NodeID]int
 	// DropEvery drops every k-th message on the wire (0 disables),
-	// modeling lossy links deterministically.
+	// modeling lossy links deterministically. Legacy knob — folded into
+	// Chaos.DropEvery by NewMachine.
 	DropEvery int
+	// Chaos schedules fault injection (crashes, recoveries, message loss
+	// and delay). Nil injects nothing beyond the legacy knobs above.
+	Chaos *chaos.Config
+	// Detect, when set, arms the collector-side failure detector: nodes
+	// emit cost-exempt per-round heartbeats and the machine declares
+	// silent nodes dead after the suspicion window.
+	Detect *detect.Config
 	// Observer, when set, receives every value the collector accepts
 	// (alias-resolved), in canonical per-round order. It is called from
 	// the coordinator goroutine only.
 	Observer func(pair model.Pair, round int, value float64)
 	// Trace, when set, records structured emulation events.
 	Trace *trace.Recorder
+
+	// delaySink receives chaos-delayed messages with their due round; set
+	// by the machine so sendPhase can hand messages back for later
+	// injection.
+	delaySink func(due int, msg transport.Message)
 }
 
 // Result aggregates what the collector observed.
@@ -200,10 +216,11 @@ func weightPeriod(w float64) int {
 	return p
 }
 
-// dead reports whether the node has failed by the given round.
+// dead reports whether the node has failed by the given round per the
+// chaos crash/recover schedule (the legacy FailAt map is folded into it
+// by NewMachine).
 func (st *nodeState) dead(cfg Config, round int) bool {
-	deadAt, failed := cfg.FailAt[st.id]
-	return failed && round >= deadAt
+	return cfg.Chaos.Crashed(st.id, round)
 }
 
 // receivePhase drains the node's inbox (messages sent last round),
@@ -212,9 +229,13 @@ func (st *nodeState) dead(cfg Config, round int) bool {
 func (st *nodeState) receivePhase(cfg Config, tr transport.Transport, round int) {
 	st.budget = st.capacity
 	if st.dead(cfg, round) {
-		// Dead nodes silently discard input.
+		// Dead nodes silently discard input and lose their buffered relay
+		// state — a recovered node restarts cold.
 		_ = tr.Drain(st.id)
-		if cfg.Trace != nil && cfg.FailAt[st.id] == round {
+		for k := range st.relay {
+			st.relay[k] = nil
+		}
+		if cfg.Trace != nil && cfg.Chaos.JustCrashed(st.id, round) {
 			cfg.Trace.Record(trace.Event{Round: round, Kind: trace.NodeDead, Node: st.id})
 		}
 		return
@@ -253,17 +274,28 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 		}
 		st.budget -= c
 		st.sent++
-		if cfg.DropEvery > 0 && (st.sent+round)%cfg.DropEvery == 0 {
+		if cfg.Chaos.Drop(st.id, m.parent, round, st.sent) {
 			st.drops++
 			st.traceDrop(cfg, m, round, len(values))
 			continue
 		}
-		err := tr.Send(transport.Message{
+		msg := transport.Message{
 			TreeKey: m.key,
 			From:    st.id,
 			To:      m.parent,
 			Values:  values,
-		})
+		}
+		if d := cfg.Chaos.Delay(st.id, m.parent, round, st.sent); d > 0 && cfg.delaySink != nil {
+			cfg.delaySink(round+d, msg)
+			if cfg.Trace != nil {
+				cfg.Trace.Record(trace.Event{
+					Round: round, Kind: trace.Delayed, Node: st.id,
+					Peer: m.parent, TreeKey: m.key, Values: len(values),
+				})
+			}
+			continue
+		}
+		err := tr.Send(msg)
 		if err != nil {
 			st.drops++
 			st.traceDrop(cfg, m, round, len(values))

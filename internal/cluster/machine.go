@@ -4,11 +4,20 @@ import (
 	"fmt"
 	"sync"
 
+	"remo/internal/chaos"
+	"remo/internal/detect"
 	"remo/internal/model"
 	"remo/internal/plan"
 	"remo/internal/task"
+	"remo/internal/trace"
 	"remo/internal/transport"
 )
+
+// delayedMsg is a chaos-delayed message waiting for its due round.
+type delayedMsg struct {
+	due int
+	msg transport.Message
+}
 
 // Machine is a steppable emulated deployment: the paper's system in
 // motion. Unlike Run, which executes a fixed number of rounds against a
@@ -16,6 +25,12 @@ import (
 // swaps between rounds — the runtime half of REMO's adaptive planning
 // (§4): the planner produces new forests as tasks change, and the
 // machine rewires the overlay while values keep flowing.
+//
+// When cfg.Detect is set the machine also runs the failure-detection
+// half of the self-healing loop: every live node emits a cost-exempt
+// heartbeat per round, the collector feeds all evidence of life to a
+// detect.Detector, and verdicts (deaths and recoveries) accumulate for
+// the monitor to consume via TakeVerdicts.
 type Machine struct {
 	cfg    Config
 	tr     transport.Transport
@@ -25,8 +40,21 @@ type Machine struct {
 	round  int
 	closed bool
 	// extraSent/extraDrops preserve traffic counters of nodes dropped by
-	// a topology swap.
+	// a topology swap (and count delayed messages lost at injection).
 	extraSent, extraDrops int
+
+	// det is the failure detector (nil when detection is off).
+	det *detect.Detector
+	// beatNodes is every system node, cached for heartbeat emission —
+	// including nodes pruned out of the forest, so recoveries are seen.
+	beatNodes []model.NodeID
+	// verdicts accumulates detector output between TakeVerdicts calls.
+	verdicts []detect.Verdict
+
+	// delayMu guards delayed, which node goroutines append to via the
+	// config's delaySink during the send phase.
+	delayMu sync.Mutex
+	delayed []delayedMsg
 }
 
 // NewMachine validates the configuration and prepares a deployment at
@@ -45,14 +73,73 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Resolve == nil {
 		cfg.Resolve = func(a model.AttrID) model.AttrID { return a }
 	}
+	cfg.Chaos = normalizeChaos(cfg)
 	m := &Machine{cfg: cfg, tr: cfg.Transport}
+	m.cfg.delaySink = func(due int, msg transport.Message) {
+		m.delayMu.Lock()
+		m.delayed = append(m.delayed, delayedMsg{due: due, msg: msg})
+		m.delayMu.Unlock()
+	}
 	if m.tr == nil {
 		m.tr = transport.NewMemory(cfg.Sys.NodeIDs())
 		m.ownTr = true
 	}
 	m.states = buildStates(m.cfg)
 	m.coll = newCollector(m.cfg)
+	if cfg.Detect != nil {
+		m.det = detect.New(*cfg.Detect)
+		m.beatNodes = cfg.Sys.NodeIDs()
+		m.det.Watch(m.watchSet(), 0)
+	}
 	return m, nil
+}
+
+// normalizeChaos folds the legacy FailAt/DropEvery knobs into one chaos
+// config so the emulation phases consult a single fault schedule.
+func normalizeChaos(cfg Config) *chaos.Config {
+	c := cfg.Chaos
+	if len(cfg.FailAt) == 0 && cfg.DropEvery == 0 {
+		return c
+	}
+	merged := chaos.Config{}
+	if c != nil {
+		merged = *c
+	}
+	if cfg.DropEvery > 0 && merged.DropEvery == 0 {
+		merged.DropEvery = cfg.DropEvery
+	}
+	if len(cfg.FailAt) > 0 {
+		crash := make(map[model.NodeID]int, len(cfg.FailAt)+len(merged.CrashAt))
+		for n, r := range merged.CrashAt {
+			crash[n] = r
+		}
+		for n, r := range cfg.FailAt {
+			if _, dup := crash[n]; !dup {
+				crash[n] = r
+			}
+		}
+		merged.CrashAt = crash
+	}
+	return &merged
+}
+
+// watchSet is the failure detector's subject list: every node with
+// demanded pairs or a place in the forest.
+func (m *Machine) watchSet() []model.NodeID {
+	seen := make(map[model.NodeID]struct{})
+	for _, p := range m.cfg.Demand.Pairs() {
+		seen[p.Node] = struct{}{}
+	}
+	for _, t := range m.cfg.Forest.Trees {
+		for _, n := range t.Members() {
+			seen[n] = struct{}{}
+		}
+	}
+	out := make([]model.NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	return out
 }
 
 // Round returns the next round to execute.
@@ -83,13 +170,128 @@ func (m *Machine) Step() error {
 		}(st)
 	}
 	wg.Wait()
+	m.injectDelayed(round)
+	m.emitBeats(round)
 	if err := m.tr.Flush(); err != nil {
 		return fmt.Errorf("cluster: round %d: %w", round, err)
 	}
-	m.coll.absorb(m.tr.Drain(model.Central), round)
+	msgs := m.tr.Drain(model.Central)
+	if m.det != nil {
+		msgs = m.feedDetector(msgs, round)
+	}
+	m.coll.absorb(msgs, round)
 	m.coll.score(round)
+	if m.det != nil {
+		m.advanceDetector(round)
+	}
 	return nil
 }
+
+// injectDelayed releases chaos-delayed messages whose due round arrived.
+// Injection happens after the send phase and before Flush, so a message
+// delayed d rounds arrives exactly d rounds late on both node-to-node
+// links (drained next round) and root-to-central links (drained this
+// round).
+func (m *Machine) injectDelayed(round int) {
+	m.delayMu.Lock()
+	var due []transport.Message
+	keep := m.delayed[:0]
+	for _, d := range m.delayed {
+		if d.due <= round {
+			due = append(due, d.msg)
+		} else {
+			keep = append(keep, d)
+		}
+	}
+	m.delayed = keep
+	m.delayMu.Unlock()
+	for _, msg := range due {
+		if err := m.tr.Send(msg); err != nil {
+			m.extraDrops++
+		}
+	}
+}
+
+// emitBeats sends one cost-exempt heartbeat per live system node
+// straight to the collector. Beats bypass the trees, so an interior-node
+// crash cannot silence a live subtree; they also come from nodes pruned
+// out of the forest, so a recovered node is noticed. Chaos link loss
+// applies: a beat can be dropped like any message, which the suspicion
+// window absorbs.
+func (m *Machine) emitBeats(round int) {
+	if m.det == nil {
+		return
+	}
+	for _, n := range m.beatNodes {
+		if m.cfg.Chaos.Crashed(n, round) {
+			continue
+		}
+		if m.cfg.Chaos.Drop(n, model.Central, round, int(n)) {
+			continue
+		}
+		err := m.tr.Send(transport.Message{
+			From:  n,
+			To:    model.Central,
+			Beats: []transport.Beat{{Node: n, Round: round}},
+		})
+		if err != nil {
+			m.extraDrops++
+		}
+	}
+}
+
+// feedDetector routes evidence of life to the failure detector and
+// filters heartbeat-only messages out of the collector's inbox so they
+// stay exempt from the capacity cost model.
+func (m *Machine) feedDetector(msgs []transport.Message, round int) []transport.Message {
+	kept := msgs[:0]
+	for _, msg := range msgs {
+		for _, b := range msg.Beats {
+			m.det.Beat(b.Node, b.Round)
+		}
+		for _, v := range msg.Values {
+			m.det.Beat(v.Node, v.Round)
+		}
+		if len(msg.Values) > 0 || len(msg.Beats) == 0 {
+			kept = append(kept, msg)
+		}
+	}
+	_ = round
+	return kept
+}
+
+// advanceDetector collects the round's verdicts, traces them and queues
+// them for TakeVerdicts.
+func (m *Machine) advanceDetector(round int) {
+	vs := m.det.Advance(round)
+	if len(vs) == 0 {
+		return
+	}
+	m.verdicts = append(m.verdicts, vs...)
+	if m.cfg.Trace == nil {
+		return
+	}
+	for _, v := range vs {
+		kind := trace.Detect
+		if v.Recovered {
+			kind = trace.NodeRecover
+		}
+		m.cfg.Trace.Record(trace.Event{Round: round, Kind: kind, Node: v.Node})
+	}
+}
+
+// TakeVerdicts returns the failure-detector verdicts accumulated since
+// the last call, oldest first, and clears the queue. It returns nil when
+// detection is off or nothing happened.
+func (m *Machine) TakeVerdicts() []detect.Verdict {
+	out := m.verdicts
+	m.verdicts = nil
+	return out
+}
+
+// Detector exposes the failure detector (nil when detection is off) for
+// callers that need liveness reads, e.g. Alive checks during repair.
+func (m *Machine) Detector() *detect.Detector { return m.det }
 
 // StepN executes n rounds.
 func (m *Machine) StepN(n int) error {
@@ -138,6 +340,9 @@ func (m *Machine) Install(forest *plan.Forest, d *task.Demand) {
 	}
 
 	m.coll.retarget(m.cfg)
+	if m.det != nil {
+		m.det.Watch(m.watchSet(), m.round)
+	}
 }
 
 // Result summarizes everything observed so far.

@@ -1,0 +1,162 @@
+// Package detect implements the collector-side failure detector of the
+// self-healing runtime: per-node liveness is tracked from every piece of
+// evidence the collector sees — attribute values carried up the trees
+// and lightweight per-round heartbeats — and a node silent for more than
+// a configurable suspicion window is declared dead. Declared-dead nodes
+// that speak again are resurrected, so crash/recover schedules close the
+// loop end to end.
+//
+// The detector is deliberately conservative: it never declares a node
+// dead while any evidence from the suspicion window exists, so transient
+// message loss within the window produces no false positives.
+package detect
+
+import (
+	"sort"
+
+	"remo/internal/model"
+)
+
+// DefaultSuspicionRounds is the suspicion window used when Config leaves
+// it zero: a node must miss this many consecutive rounds to be declared
+// dead.
+const DefaultSuspicionRounds = 3
+
+// Config parameterizes a Detector.
+type Config struct {
+	// SuspicionRounds is how many consecutive rounds a watched node may
+	// stay silent before it is declared dead (default
+	// DefaultSuspicionRounds). Larger windows tolerate lossier links at
+	// the price of detection latency.
+	SuspicionRounds int
+}
+
+// Verdict is one liveness decision.
+type Verdict struct {
+	// Node is the subject of the verdict.
+	Node model.NodeID
+	// LastHeard is the newest round the node was provably alive, or -1
+	// if it was never heard from.
+	LastHeard int
+	// DeclaredAt is the round the verdict was reached.
+	DeclaredAt int
+	// Recovered marks a resurrection: a declared-dead node produced
+	// fresh evidence of life.
+	Recovered bool
+}
+
+// Detector tracks per-node liveness. It is not safe for concurrent use;
+// the emulation machine feeds it from its coordinator goroutine only.
+type Detector struct {
+	suspicion int
+	// lastBeat is the newest round each node was provably alive.
+	lastBeat map[model.NodeID]int
+	// watchFrom grants newly watched nodes a grace window anchored at
+	// the round they entered the watch set.
+	watchFrom map[model.NodeID]int
+	watched   map[model.NodeID]struct{}
+	watchList []model.NodeID
+	// dead maps declared-dead nodes to their declaration round.
+	dead map[model.NodeID]int
+	// resurrected queues recovery verdicts until the next Advance.
+	resurrected []Verdict
+}
+
+// New returns a detector with an empty watch set.
+func New(cfg Config) *Detector {
+	s := cfg.SuspicionRounds
+	if s <= 0 {
+		s = DefaultSuspicionRounds
+	}
+	return &Detector{
+		suspicion: s,
+		lastBeat:  make(map[model.NodeID]int),
+		watchFrom: make(map[model.NodeID]int),
+		watched:   make(map[model.NodeID]struct{}),
+		dead:      make(map[model.NodeID]int),
+	}
+}
+
+// Suspicion returns the configured suspicion window in rounds.
+func (d *Detector) Suspicion() int { return d.suspicion }
+
+// Watch replaces the watch set. Nodes entering the set for the first
+// time get a grace window anchored at the given round; nodes already
+// known keep their history, so re-targeting after a topology swap does
+// not reset suspicion clocks.
+func (d *Detector) Watch(nodes []model.NodeID, round int) {
+	d.watched = make(map[model.NodeID]struct{}, len(nodes))
+	d.watchList = append(d.watchList[:0], nodes...)
+	sort.Slice(d.watchList, func(i, j int) bool { return d.watchList[i] < d.watchList[j] })
+	for _, n := range d.watchList {
+		d.watched[n] = struct{}{}
+		if _, known := d.watchFrom[n]; !known {
+			d.watchFrom[n] = round
+		}
+	}
+}
+
+// Beat records evidence that node n was alive at the given round. Fresh
+// evidence from a declared-dead node (newer than its declaration)
+// queues a recovery verdict for the next Advance.
+func (d *Detector) Beat(n model.NodeID, round int) {
+	if last, ok := d.lastBeat[n]; !ok || round > last {
+		d.lastBeat[n] = round
+	}
+	if declaredAt, isDead := d.dead[n]; isDead && round > declaredAt {
+		delete(d.dead, n)
+		d.resurrected = append(d.resurrected, Verdict{
+			Node: n, LastHeard: d.lastBeat[n], Recovered: true,
+		})
+	}
+}
+
+// Advance evaluates the watch set at the end of the given round and
+// returns the verdicts reached: recoveries queued since the last call,
+// then nodes newly declared dead, both in NodeID order.
+func (d *Detector) Advance(round int) []Verdict {
+	var out []Verdict
+	if len(d.resurrected) > 0 {
+		out = append(out, d.resurrected...)
+		d.resurrected = nil
+		sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+		for i := range out {
+			out[i].DeclaredAt = round
+		}
+	}
+	for _, n := range d.watchList {
+		if _, isDead := d.dead[n]; isDead {
+			continue
+		}
+		lastHeard, heard := d.lastBeat[n]
+		effective := d.watchFrom[n] - 1
+		if heard && lastHeard > effective {
+			effective = lastHeard
+		}
+		if round-effective < d.suspicion {
+			continue
+		}
+		d.dead[n] = round
+		if !heard {
+			lastHeard = -1
+		}
+		out = append(out, Verdict{Node: n, LastHeard: lastHeard, DeclaredAt: round})
+	}
+	return out
+}
+
+// Dead lists the currently declared-dead nodes in NodeID order.
+func (d *Detector) Dead() []model.NodeID {
+	out := make([]model.NodeID, 0, len(d.dead))
+	for n := range d.dead {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Alive reports whether node n is not currently declared dead.
+func (d *Detector) Alive(n model.NodeID) bool {
+	_, isDead := d.dead[n]
+	return !isDead
+}

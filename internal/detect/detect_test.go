@@ -1,0 +1,145 @@
+package detect
+
+import (
+	"testing"
+
+	"remo/internal/model"
+)
+
+func beatAll(d *Detector, nodes []model.NodeID, round int) {
+	for _, n := range nodes {
+		d.Beat(n, round)
+	}
+}
+
+func TestChaosDetectorDeclaresSilentNode(t *testing.T) {
+	nodes := []model.NodeID{1, 2, 3}
+	d := New(Config{SuspicionRounds: 3})
+	d.Watch(nodes, 0)
+
+	// Everyone beats for five rounds, then node 2 goes silent.
+	for r := 0; r < 5; r++ {
+		beatAll(d, nodes, r)
+		if v := d.Advance(r); len(v) != 0 {
+			t.Fatalf("round %d: spurious verdicts %+v", r, v)
+		}
+	}
+	for r := 5; r < 20; r++ {
+		d.Beat(1, r)
+		d.Beat(3, r)
+		verdicts := d.Advance(r)
+		// Last beat at round 4, suspicion 3: declared when r-4 >= 3.
+		if r < 7 {
+			if len(verdicts) != 0 {
+				t.Fatalf("round %d: premature verdicts %+v", r, verdicts)
+			}
+			continue
+		}
+		if r == 7 {
+			if len(verdicts) != 1 || verdicts[0].Node != 2 || verdicts[0].Recovered {
+				t.Fatalf("round 7 verdicts = %+v", verdicts)
+			}
+			if verdicts[0].LastHeard != 4 || verdicts[0].DeclaredAt != 7 {
+				t.Fatalf("verdict detail = %+v", verdicts[0])
+			}
+		} else if len(verdicts) != 0 {
+			t.Fatalf("round %d: node redeclared: %+v", r, verdicts)
+		}
+	}
+	if d.Alive(2) || !d.Alive(1) {
+		t.Fatal("liveness view wrong after declaration")
+	}
+	if dead := d.Dead(); len(dead) != 1 || dead[0] != 2 {
+		t.Fatalf("Dead() = %v", dead)
+	}
+}
+
+func TestChaosDetectorGraceWindow(t *testing.T) {
+	d := New(Config{SuspicionRounds: 2})
+	d.Watch([]model.NodeID{1}, 0)
+	// Never heard from: watchFrom 0 means declaration at round 1 (rounds
+	// 0 and 1 missed).
+	if v := d.Advance(0); len(v) != 0 {
+		t.Fatalf("declared during grace: %+v", v)
+	}
+	v := d.Advance(1)
+	if len(v) != 1 || v[0].Node != 1 || v[0].LastHeard != -1 {
+		t.Fatalf("verdicts = %+v", v)
+	}
+
+	// A node added mid-session gets the same grace from its entry round.
+	d2 := New(Config{SuspicionRounds: 2})
+	d2.Watch([]model.NodeID{1}, 0)
+	for r := 0; r < 5; r++ {
+		d2.Beat(1, r)
+		_ = d2.Advance(r)
+	}
+	d2.Watch([]model.NodeID{1, 9}, 5)
+	d2.Beat(1, 5)
+	if v := d2.Advance(5); len(v) != 0 {
+		t.Fatalf("new node declared immediately: %+v", v)
+	}
+}
+
+func TestChaosDetectorStaleEvidenceDoesNotResurrect(t *testing.T) {
+	d := New(Config{SuspicionRounds: 2})
+	d.Watch([]model.NodeID{1}, 0)
+	d.Beat(1, 3)
+	if v := d.Advance(6); len(v) != 1 {
+		t.Fatalf("verdicts = %+v", v)
+	}
+	// Relayed values from before the crash must not resurrect the node.
+	d.Beat(1, 4)
+	if v := d.Advance(7); len(v) != 0 {
+		t.Fatalf("stale beat resurrected: %+v", v)
+	}
+	if d.Alive(1) {
+		t.Fatal("node alive after stale beat")
+	}
+}
+
+func TestChaosDetectorRecovery(t *testing.T) {
+	d := New(Config{SuspicionRounds: 2})
+	d.Watch([]model.NodeID{1}, 0)
+	d.Beat(1, 0)
+	if v := d.Advance(3); len(v) != 1 || v[0].Recovered {
+		t.Fatalf("verdicts = %+v", v)
+	}
+	// Fresh evidence (newer than the declaration round) resurrects.
+	d.Beat(1, 4)
+	v := d.Advance(4)
+	if len(v) != 1 || !v[0].Recovered || v[0].Node != 1 || v[0].DeclaredAt != 4 {
+		t.Fatalf("recovery verdicts = %+v", v)
+	}
+	if !d.Alive(1) {
+		t.Fatal("node still dead after recovery")
+	}
+	// And the clock restarts: silent again → re-declared.
+	if v := d.Advance(6); len(v) != 1 || v[0].Recovered {
+		t.Fatalf("re-declaration verdicts = %+v", v)
+	}
+}
+
+func TestChaosDetectorWatchRetargetKeepsHistory(t *testing.T) {
+	d := New(Config{SuspicionRounds: 3})
+	d.Watch([]model.NodeID{1, 2}, 0)
+	d.Beat(1, 0)
+	d.Beat(2, 0)
+	_ = d.Advance(0)
+	// Retargeting (topology swap) must not reset node 2's silence clock.
+	d.Watch([]model.NodeID{1, 2}, 2)
+	d.Beat(1, 1)
+	d.Beat(1, 2)
+	d.Beat(1, 3)
+	v := d.Advance(3)
+	if len(v) != 1 || v[0].Node != 2 {
+		t.Fatalf("verdicts after retarget = %+v", v)
+	}
+}
+
+func TestChaosDetectorDefaultWindow(t *testing.T) {
+	d := New(Config{})
+	if d.Suspicion() != DefaultSuspicionRounds {
+		t.Fatalf("default suspicion = %d", d.Suspicion())
+	}
+}

@@ -63,13 +63,8 @@ func Repair(cfg Config, forest *plan.Forest, failed map[model.NodeID]struct{}) (
 	rep.TreesRebuilt = len(affected)
 
 	// The demand seen by repairs: failed nodes observe nothing anymore.
-	d := cfg.Demand.Clone()
-	for n := range failed {
-		for _, a := range d.AttrsOf(n).Attrs() {
-			d.Remove(n, a)
-			rep.PairsLost++
-		}
-	}
+	d, lost := Prune(cfg.Demand, failed)
+	rep.PairsLost = lost
 
 	// Charge fixed trees' usage before allocating to rebuilt ones.
 	used := make(map[model.NodeID]float64)
@@ -122,4 +117,19 @@ func Repair(cfg Config, forest *plan.Forest, failed map[model.NodeID]struct{}) (
 
 	rep.EdgesChanged = plan.DiffEdges(forest, out)
 	return out, rep
+}
+
+// Prune returns a clone of the demand with every pair observed at a
+// failed node removed, plus how many pairs were lost. The input demand
+// is not modified.
+func Prune(d *task.Demand, failed map[model.NodeID]struct{}) (*task.Demand, int) {
+	out := d.Clone()
+	lost := 0
+	for n := range failed {
+		for _, a := range out.AttrsOf(n).Attrs() {
+			out.Remove(n, a)
+			lost++
+		}
+	}
+	return out, lost
 }

@@ -27,6 +27,14 @@ const (
 	Deliver
 	// NodeDead: a node entered its failed state.
 	NodeDead
+	// Detect: the failure detector declared a node dead.
+	Detect
+	// Repair: the runtime rebuilt the topology around failed nodes.
+	Repair
+	// NodeRecover: a declared-dead node produced fresh evidence of life.
+	NodeRecover
+	// Delayed: chaos injection held a message back for later rounds.
+	Delayed
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +50,14 @@ func (k Kind) String() string {
 		return "deliver"
 	case NodeDead:
 		return "node-dead"
+	case Detect:
+		return "detect"
+	case Repair:
+		return "repair"
+	case NodeRecover:
+		return "node-recover"
+	case Delayed:
+		return "delayed"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

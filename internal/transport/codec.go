@@ -13,8 +13,10 @@ import (
 // Wire format (all integers big-endian):
 //
 //	frame   := length(uint32) payload
-//	payload := keyLen(uint16) key from(int32) to(int32) count(uint32) value*
+//	payload := keyLen(uint16) key from(int32) to(int32)
+//	           count(uint32) beatCount(uint32) value* beat*
 //	value   := node(int32) attr(int32) round(int32) bits(uint64)
+//	beat    := node(int32) round(int32)
 //
 // A TCP/IP monitoring message carries at least ~78 bytes of protocol
 // headers (§2.3); this compact application framing keeps the per-message
@@ -31,7 +33,7 @@ var ErrFrameTooLarge = errors.New("transport: frame too large")
 
 // EncodedSize returns the payload size of msg in bytes.
 func EncodedSize(msg Message) int {
-	return 2 + len(msg.TreeKey) + 4 + 4 + 4 + len(msg.Values)*20
+	return 2 + len(msg.TreeKey) + 4 + 4 + 4 + 4 + len(msg.Values)*20 + len(msg.Beats)*8
 }
 
 // Encode serializes msg into a self-delimiting frame.
@@ -56,6 +58,8 @@ func Encode(msg Message) ([]byte, error) {
 	off += 4
 	binary.BigEndian.PutUint32(buf[off:], uint32(len(msg.Values)))
 	off += 4
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(msg.Beats)))
+	off += 4
 	for _, v := range msg.Values {
 		binary.BigEndian.PutUint32(buf[off:], uint32(int32(v.Node)))
 		off += 4
@@ -65,6 +69,12 @@ func Encode(msg Message) ([]byte, error) {
 		off += 4
 		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(v.Value))
 		off += 8
+	}
+	for _, b := range msg.Beats {
+		binary.BigEndian.PutUint32(buf[off:], uint32(int32(b.Node)))
+		off += 4
+		binary.BigEndian.PutUint32(buf[off:], uint32(int32(b.Round)))
+		off += 4
 	}
 	return buf, nil
 }
@@ -93,7 +103,7 @@ func decodePayload(p []byte) (Message, error) {
 	}
 	keyLen := int(binary.BigEndian.Uint16(p))
 	p = p[2:]
-	if len(p) < keyLen+12 {
+	if len(p) < keyLen+16 {
 		return msg, errors.New("transport: truncated header")
 	}
 	msg.TreeKey = string(p[:keyLen])
@@ -101,9 +111,11 @@ func decodePayload(p []byte) (Message, error) {
 	msg.From = model.NodeID(int32(binary.BigEndian.Uint32(p)))
 	msg.To = model.NodeID(int32(binary.BigEndian.Uint32(p[4:])))
 	count := int(binary.BigEndian.Uint32(p[8:]))
-	p = p[12:]
-	if len(p) != count*20 {
-		return msg, fmt.Errorf("transport: value section is %d bytes, want %d", len(p), count*20)
+	beatCount := int(binary.BigEndian.Uint32(p[12:]))
+	p = p[16:]
+	if len(p) != count*20+beatCount*8 {
+		return msg, fmt.Errorf("transport: body is %d bytes, want %d",
+			len(p), count*20+beatCount*8)
 	}
 	if count > 0 {
 		msg.Values = make([]Value, count)
@@ -114,6 +126,17 @@ func decodePayload(p []byte) (Message, error) {
 				Attr:  model.AttrID(int32(binary.BigEndian.Uint32(p[off+4:]))),
 				Round: int(int32(binary.BigEndian.Uint32(p[off+8:]))),
 				Value: math.Float64frombits(binary.BigEndian.Uint64(p[off+12:])),
+			}
+		}
+		p = p[count*20:]
+	}
+	if beatCount > 0 {
+		msg.Beats = make([]Beat, beatCount)
+		for i := 0; i < beatCount; i++ {
+			off := i * 8
+			msg.Beats[i] = Beat{
+				Node:  model.NodeID(int32(binary.BigEndian.Uint32(p[off:]))),
+				Round: int(int32(binary.BigEndian.Uint32(p[off+4:]))),
 			}
 		}
 	}

@@ -12,11 +12,58 @@ import (
 	"remo/internal/model"
 )
 
+// TCPOptions tunes the TCP transport's failure handling. The zero value
+// selects the defaults noted on each field.
+type TCPOptions struct {
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 2s).
+	WriteTimeout time.Duration
+	// MaxRetries is how many additional attempts Send makes after the
+	// first failure — re-dialing evicted connections between attempts —
+	// before declaring the destination unreachable (default 3).
+	MaxRetries int
+	// BackoffBase is the backoff before the first retry (default 2ms);
+	// it doubles per attempt with jitter, capped at BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the per-attempt backoff (default 100ms).
+	BackoffMax time.Duration
+}
+
+// withDefaults fills in the zero fields.
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 2 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 100 * time.Millisecond
+	}
+	return o
+}
+
 // TCP is a loopback transport: every node (including the central
 // collector) owns a TCP listener, senders keep one connection per
 // destination, and frames use the binary codec. It exists to validate
 // the emulation against a real network stack; experiments default to the
 // memory transport.
+//
+// Send is hardened against peer failures: dials and writes carry
+// deadlines, a connection that fails a write is evicted and re-dialed
+// (a broken conn never poisons later sends), and failures are retried
+// with capped exponential backoff plus jitter. When every attempt fails
+// the returned error wraps ErrUnreachable so callers can distinguish a
+// dead peer from a transient hiccup.
 type TCP struct {
 	mu        sync.Mutex
 	addrs     map[model.NodeID]string
@@ -26,22 +73,31 @@ type TCP struct {
 	boxes     map[model.NodeID][]Message
 	closed    bool
 	wg        sync.WaitGroup
+	opts      TCPOptions
 
 	sentCount      atomic.Int64
 	deliveredCount atomic.Int64
+	// jitterState seeds the deterministic backoff jitter.
+	jitterState atomic.Uint64
 }
 
 var _ Transport = (*TCP)(nil)
 
 // NewTCP starts one loopback listener per node (plus the central
-// collector) on ephemeral ports.
+// collector) on ephemeral ports, with default failure-handling options.
 func NewTCP(nodes []model.NodeID) (*TCP, error) {
+	return NewTCPWithOptions(nodes, TCPOptions{})
+}
+
+// NewTCPWithOptions is NewTCP with explicit failure-handling options.
+func NewTCPWithOptions(nodes []model.NodeID, opts TCPOptions) (*TCP, error) {
 	t := &TCP{
 		addrs:     make(map[model.NodeID]string, len(nodes)+1),
 		listeners: make(map[model.NodeID]net.Listener, len(nodes)+1),
 		conns:     make(map[model.NodeID]net.Conn, len(nodes)+1),
 		writeMu:   make(map[model.NodeID]*sync.Mutex, len(nodes)+1),
 		boxes:     make(map[model.NodeID][]Message, len(nodes)+1),
+		opts:      opts.withDefaults(),
 	}
 	all := append([]model.NodeID{model.Central}, nodes...)
 	for _, n := range all {
@@ -97,8 +153,15 @@ func (t *TCP) read(n model.NodeID, conn net.Conn) {
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport. Failures are retried MaxRetries times with
+// backoff; the broken connection is evicted before each retry so every
+// attempt re-dials a fresh socket. Exhaustion returns an error wrapping
+// ErrUnreachable.
 func (t *TCP) Send(msg Message) error {
+	frame, err := Encode(msg)
+	if err != nil {
+		return err
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -109,40 +172,111 @@ func (t *TCP) Send(msg Message) error {
 		t.mu.Unlock()
 		return fmt.Errorf("%w: %v", ErrUnknownDestination, msg.To)
 	}
-	conn := t.conns[msg.To]
 	t.mu.Unlock()
 
-	if conn == nil {
-		c, err := net.Dial("tcp", addr)
-		if err != nil {
-			return fmt.Errorf("dial %v: %w", msg.To, err)
+	var lastErr error
+	for attempt := 0; attempt <= t.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(t.backoff(attempt))
 		}
 		t.mu.Lock()
-		if t.conns[msg.To] == nil {
-			t.conns[msg.To] = c
-			conn = c
-		} else {
-			// Another sender won the race; use theirs.
-			conn = t.conns[msg.To]
-			_ = c.Close()
-		}
+		closed := t.closed
 		t.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		conn, err := t.connTo(msg.To, addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := t.writeFrame(msg.To, conn, frame); err != nil {
+			lastErr = err
+			t.evict(msg.To, conn)
+			continue
+		}
+		t.sentCount.Add(1)
+		return nil
 	}
+	return fmt.Errorf("send to %v failed after %d attempts: %w (last: %v)",
+		msg.To, t.opts.MaxRetries+1, ErrUnreachable, lastErr)
+}
 
-	frame, err := Encode(msg)
-	if err != nil {
-		return err
+// connTo returns the cached connection to the destination, dialing one
+// (with the configured timeout) when none is cached.
+func (t *TCP) connTo(to model.NodeID, addr string) (net.Conn, error) {
+	t.mu.Lock()
+	conn := t.conns[to]
+	t.mu.Unlock()
+	if conn != nil {
+		return conn, nil
 	}
-	// Serialize writers per destination without holding the transport
-	// lock: a stalled TCP write must never block Drain.
-	wmu := t.writeMu[msg.To]
+	c, err := net.DialTimeout("tcp", addr, t.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %v: %w", to, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	if cached := t.conns[to]; cached != nil {
+		// Another sender won the race; use theirs.
+		_ = c.Close()
+		return cached, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+// writeFrame writes one frame under the destination's write lock and
+// deadline. Writers are serialized per destination without holding the
+// transport lock: a stalled TCP write must never block Drain.
+func (t *TCP) writeFrame(to model.NodeID, conn net.Conn, frame []byte) error {
+	wmu := t.writeMu[to]
 	wmu.Lock()
 	defer wmu.Unlock()
-	if _, err := conn.Write(frame); err != nil {
-		return fmt.Errorf("write to %v: %w", msg.To, err)
+	if err := conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout)); err != nil {
+		return fmt.Errorf("write deadline for %v: %w", to, err)
 	}
-	t.sentCount.Add(1)
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("write to %v: %w", to, err)
+	}
 	return nil
+}
+
+// evict drops a broken connection from the cache (only if it is still
+// the cached one — a concurrent sender may have replaced it already) so
+// the next attempt re-dials instead of failing forever against a closed
+// socket.
+func (t *TCP) evict(to model.NodeID, conn net.Conn) {
+	t.mu.Lock()
+	if t.conns[to] == conn {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	_ = conn.Close()
+}
+
+// backoff computes the sleep before the given retry attempt (1-based):
+// exponential from BackoffBase, capped at BackoffMax, plus up to 50%
+// deterministic jitter to de-synchronize concurrent senders.
+func (t *TCP) backoff(attempt int) time.Duration {
+	d := t.opts.BackoffBase
+	for i := 1; i < attempt && d < t.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > t.opts.BackoffMax {
+		d = t.opts.BackoffMax
+	}
+	// splitmix64 step over a shared counter: cheap, lock-free jitter.
+	s := t.jitterState.Add(0x9E3779B97F4A7C15)
+	s ^= s >> 30
+	s *= 0xBF58476D1CE4E5B9
+	s ^= s >> 27
+	jitter := time.Duration(s % uint64(d/2+1))
+	return d + jitter
 }
 
 // Flush implements Transport: it waits until every successfully written

@@ -22,14 +22,24 @@ type Value struct {
 	Value float64
 }
 
+// Beat is a liveness heartbeat: node Node was provably alive at round
+// Round. Heartbeats ride their own messages (no Values) straight to the
+// collector and are exempt from the capacity cost model — they exist so
+// the failure detector can tell "silent" from "dead".
+type Beat struct {
+	Node  model.NodeID
+	Round int
+}
+
 // Message is one periodic update: node From forwards Values to its
 // parent To within the tree identified by TreeKey (the tree's
-// attribute-set key).
+// attribute-set key). Heartbeat messages carry Beats and no Values.
 type Message struct {
 	TreeKey string
 	From    model.NodeID
 	To      model.NodeID
 	Values  []Value
+	Beats   []Beat
 }
 
 // Transport delivers messages to per-node mailboxes.
@@ -56,6 +66,17 @@ var ErrClosed = errors.New("transport: closed")
 // ErrUnknownDestination is returned when sending to a node the transport
 // was not configured with.
 var ErrUnknownDestination = errors.New("transport: unknown destination")
+
+// ErrUnreachable is the permanent branch of the Send error taxonomy: the
+// destination stayed unreachable after the transport's bounded retries.
+// Callers should treat the message as lost and degrade gracefully (drop
+// and keep the round going) rather than abort. Any other Send error is
+// transient — retrying next round may succeed.
+var ErrUnreachable = errors.New("transport: destination unreachable")
+
+// IsUnreachable reports whether err marks a permanently unreachable
+// destination (after retries), as opposed to a transient failure.
+func IsUnreachable(err error) bool { return errors.Is(err, ErrUnreachable) }
 
 // sortMessages puts drained messages into canonical order so runs are
 // deterministic regardless of goroutine scheduling.

@@ -3,11 +3,18 @@ package remo
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"remo/internal/adapt"
 	"remo/internal/cluster"
+	"remo/internal/detect"
+	"remo/internal/model"
+	"remo/internal/plan"
+	"remo/internal/repair"
 	"remo/internal/task"
+	"remo/internal/trace"
 	"remo/internal/transport"
+	"remo/internal/tree"
 )
 
 // Monitor is a live monitoring session: an emulated deployment that
@@ -17,6 +24,14 @@ import (
 // flowing, stale views persist across the swap, and the adaptation cost
 // is reported per change.
 //
+// With fault injection (Chaos) or an explicit FailurePolicy the session
+// is self-healing: a collector-side failure detector watches per-round
+// heartbeats and delivered values, silent nodes are declared dead after
+// the suspicion window, the topology is repaired around them (reusing
+// the failure-repair planner), and the healed forest is hot-swapped into
+// the running overlay. Nodes that come back are detected the same way
+// and reintegrated. Every action is recorded in Report().Repairs.
+//
 // Typical use:
 //
 //	mon, _ := p.StartMonitor(remo.MonitorConfig{Scheme: remo.AdaptAdaptive})
@@ -25,11 +40,40 @@ import (
 //	mon.SetTasks(newTasks)            // adapt the topology in place
 //	mon.Run(20)
 //	fmt.Println(mon.Report().AvgPercentError)
+//
+// Monitor is safe for concurrent use: Run, SetTasks, Report, Plan and
+// Close may be called from different goroutines. Rounds are serialized;
+// a SetTasks lands between rounds of a concurrent Run.
 type Monitor struct {
+	mu      sync.Mutex
 	planner *Planner
 	adaptor *adapt.Adaptor
 	machine *cluster.Machine
 	closed  bool
+
+	// heal enables automatic repair (false = detect and report only).
+	heal    bool
+	builder tree.Builder
+	trace   *TraceRecorder
+	// baseDemand is the demand of the current task set before failure
+	// pruning — the target to restore when nodes recover.
+	baseDemand *task.Demand
+	// dead tracks declared-dead nodes already pruned from the topology.
+	dead map[model.NodeID]struct{}
+
+	failures   int
+	recoveries int
+	repairs    []RepairEvent
+}
+
+// FailurePolicy configures the self-healing behavior of a Monitor.
+type FailurePolicy struct {
+	// SuspicionRounds is how many consecutive silent rounds the failure
+	// detector tolerates before declaring a node dead (default 3).
+	SuspicionRounds int
+	// DisableRepair keeps the detector on but leaves the topology alone:
+	// failures are detected and reported, not repaired.
+	DisableRepair bool
 }
 
 // MonitorConfig parameterizes a live session.
@@ -46,10 +90,22 @@ type MonitorConfig struct {
 	OnValue func(pair Pair, round int, value float64)
 	// Trace records structured emulation events.
 	Trace *TraceRecorder
+	// Chaos schedules fault injection (crashes, recoveries, loss, delay)
+	// over the session. Setting it arms the failure detector and the
+	// self-healing loop.
+	Chaos *ChaosConfig
+	// Failure tunes the detector and repair behavior; setting it (even
+	// zero-valued) arms detection without requiring chaos injection.
+	Failure *FailurePolicy
 }
 
 // ErrMonitorClosed is returned by operations on a closed Monitor.
 var ErrMonitorClosed = errors.New("remo: monitor closed")
+
+// ErrUnreachable marks the permanent branch of the transport's Send
+// error taxonomy: the destination stayed unreachable after bounded
+// retries. Test with errors.Is.
+var ErrUnreachable = transport.ErrUnreachable
 
 // StartMonitor plans the current task set and boots the live session.
 func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
@@ -57,12 +113,20 @@ func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if scheme == "" {
 		scheme = AdaptAdaptive
 	}
-	ad := adapt.New(scheme, p.corePlanner(), p.sys)
+	core := p.corePlanner()
+	ad := adapt.New(scheme, core, p.sys)
 	ad.Init(p.currentDemand())
 
 	var source ValueSource = cfg.Source
 	if source == nil {
 		source = cluster.BurstyWalk{Seed: cfg.Seed}
+	}
+	var det *detect.Config
+	if cfg.Chaos != nil || cfg.Failure != nil {
+		det = &detect.Config{}
+		if cfg.Failure != nil {
+			det.SuspicionRounds = cfg.Failure.SuspicionRounds
+		}
 	}
 	ccfg := cluster.Config{
 		Sys:             p.sys,
@@ -72,6 +136,8 @@ func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
 		Source:          source,
 		Resolve:         p.resolveAttr,
 		EnforceCapacity: true,
+		Chaos:           cfg.Chaos,
+		Detect:          det,
 		Observer:        cfg.OnValue,
 		Trace:           cfg.Trace,
 	}
@@ -86,7 +152,16 @@ func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remo: start monitor: %w", err)
 	}
-	return &Monitor{planner: p, adaptor: ad, machine: machine}, nil
+	return &Monitor{
+		planner:    p,
+		adaptor:    ad,
+		machine:    machine,
+		heal:       det != nil && (cfg.Failure == nil || !cfg.Failure.DisableRepair),
+		builder:    core.Builder(),
+		trace:      cfg.Trace,
+		baseDemand: ad.Demand().Clone(),
+		dead:       make(map[model.NodeID]struct{}),
+	}, nil
 }
 
 // currentDemand computes the planner's demand including frequency
@@ -99,20 +174,155 @@ func (p *Planner) currentDemand() *task.Demand {
 	return d
 }
 
-// Run executes n collection rounds.
+// Run executes n collection rounds, applying self-healing between
+// rounds: failure-detector verdicts reached during a round trigger an
+// automatic topology repair (or reintegration) before the next one.
 func (m *Monitor) Run(n int) error {
-	if m.closed {
-		return ErrMonitorClosed
+	for i := 0; i < n; i++ {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return ErrMonitorClosed
+		}
+		err := m.machine.Step()
+		if err == nil {
+			m.selfHeal()
+		}
+		m.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
-	return m.machine.StepN(n)
+	return nil
 }
 
 // Round returns the next round to execute.
-func (m *Monitor) Round() int { return m.machine.Round() }
+func (m *Monitor) Round() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.machine.Round()
+}
+
+// selfHeal consumes the failure detector's verdicts and closes the
+// detect→repair→resume loop. Called with m.mu held, between rounds.
+func (m *Monitor) selfHeal() {
+	verdicts := m.machine.TakeVerdicts()
+	if len(verdicts) == 0 {
+		return
+	}
+	var failed, recovered []NodeID
+	detection := 0
+	for _, v := range verdicts {
+		if v.Recovered {
+			recovered = append(recovered, v.Node)
+			continue
+		}
+		failed = append(failed, v.Node)
+		if lag := v.DeclaredAt - v.LastHeard; lag > detection {
+			detection = lag
+		}
+	}
+	m.failures += len(failed)
+	m.recoveries += len(recovered)
+	if !m.heal {
+		// Detection-only mode still tracks the dead set for reporting.
+		for _, n := range failed {
+			m.dead[n] = struct{}{}
+		}
+		for _, n := range recovered {
+			delete(m.dead, n)
+		}
+		return
+	}
+	if len(failed) > 0 {
+		m.repairFailed(failed, detection)
+	}
+	if len(recovered) > 0 {
+		m.reintegrate(recovered)
+	}
+}
+
+// repairFailed rebuilds the topology around newly declared-dead nodes
+// and hot-swaps the healed forest into the running machine.
+func (m *Monitor) repairFailed(failed []NodeID, detection int) {
+	newlyDead := make(map[model.NodeID]struct{}, len(failed))
+	for _, n := range failed {
+		newlyDead[n] = struct{}{}
+		m.dead[n] = struct{}{}
+	}
+	// The adaptor's demand is already pruned of earlier failures, so
+	// repairing against the newly-dead set alone keeps the accounting
+	// incremental.
+	healed, rep := repair.Repair(repair.Config{
+		Sys:     m.planner.sys,
+		Demand:  m.adaptor.Demand(),
+		Spec:    m.planner.aggSpec,
+		Builder: m.builder,
+	}, m.adaptor.Forest(), newlyDead)
+	pruned, _ := repair.Prune(m.adaptor.Demand(), newlyDead)
+	m.adaptor.Rewire(pruned, healed)
+	m.machine.Install(healed, pruned)
+
+	ev := RepairEvent{
+		Round:           m.machine.Round(),
+		Failed:          failed,
+		DetectionRounds: detection,
+		TreesRebuilt:    rep.TreesRebuilt,
+		EdgesChanged:    rep.EdgesChanged,
+		PairsLost:       rep.PairsLost,
+		CoverageAfter:   plannedCoverage(healed, pruned, m.planner),
+	}
+	m.repairs = append(m.repairs, ev)
+	if m.trace != nil {
+		m.trace.Record(trace.Event{
+			Round: ev.Round, Kind: trace.Repair,
+			Node: model.Central, Values: len(failed),
+		})
+	}
+}
+
+// reintegrate restores recovered nodes' demanded pairs (from the task
+// set's base demand) and replans through the adaptor.
+func (m *Monitor) reintegrate(recovered []NodeID) {
+	for _, n := range recovered {
+		delete(m.dead, n)
+	}
+	restored, _ := repair.Prune(m.baseDemand, m.dead)
+	rep := m.adaptor.Apply(restored)
+	m.machine.Install(m.adaptor.Forest(), m.adaptor.Demand())
+
+	ev := RepairEvent{
+		Round:         m.machine.Round(),
+		Recovered:     recovered,
+		EdgesChanged:  rep.AdaptMessages,
+		CoverageAfter: plannedCoverage(m.adaptor.Forest(), m.adaptor.Demand(), m.planner),
+	}
+	m.repairs = append(m.repairs, ev)
+	if m.trace != nil {
+		m.trace.Record(trace.Event{
+			Round: ev.Round, Kind: trace.Repair,
+			Node: model.Central, Values: len(recovered),
+		})
+	}
+}
+
+// plannedCoverage is the percentage of demanded pairs the forest
+// collects, per the planner's static stats.
+func plannedCoverage(f *plan.Forest, d *task.Demand, p *Planner) float64 {
+	total := len(d.Pairs())
+	if total == 0 {
+		return 100
+	}
+	st := f.ComputeStats(d, p.sys, p.aggSpec)
+	return 100 * float64(st.Collected) / float64(total)
+}
 
 // SetTasks replaces the task set, adapts the topology per the session's
-// scheme, and rewires the running overlay.
+// scheme, and rewires the running overlay. Nodes currently declared
+// dead stay excluded until the detector sees them recover.
 func (m *Monitor) SetTasks(tasks []Task) (AdaptReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.closed {
 		return AdaptReport{}, ErrMonitorClosed
 	}
@@ -129,6 +339,10 @@ func (m *Monitor) SetTasks(tasks []Task) (AdaptReport, error) {
 	if m.planner.freqSpec != nil {
 		d = m.planner.freqSpec.Apply(d)
 	}
+	m.baseDemand = d.Clone()
+	if len(m.dead) > 0 {
+		d, _ = repair.Prune(d, m.dead)
+	}
 	rep := m.adaptor.Apply(d)
 	m.machine.Install(m.adaptor.Forest(), m.adaptor.Demand())
 	return AdaptReport{
@@ -141,11 +355,28 @@ func (m *Monitor) SetTasks(tasks []Task) (AdaptReport, error) {
 
 // Plan exposes the topology currently in force.
 func (m *Monitor) Plan() *Plan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return planFromForest(m.planner, m.adaptor.Forest(), m.adaptor.Demand())
 }
 
-// Report summarizes everything the collector observed so far.
+// Failed lists the nodes currently declared dead, in ID order.
+func (m *Monitor) Failed() []NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeID, 0, len(m.dead))
+	for n := range m.dead {
+		out = append(out, n)
+	}
+	model.SortNodes(out)
+	return out
+}
+
+// Report summarizes everything the collector observed so far, including
+// the session's self-healing history.
 func (m *Monitor) Report() DeployReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	res := m.machine.Result()
 	return DeployReport{
 		Rounds:           res.Rounds,
@@ -158,11 +389,16 @@ func (m *Monitor) Report() DeployReport {
 		MessagesDropped:  res.MessagesDropped,
 		ValuesDelivered:  res.ValuesDelivered,
 		ErrorSeries:      res.ErrorSeries,
+		FailuresDetected: m.failures,
+		NodesRecovered:   m.recoveries,
+		Repairs:          append([]RepairEvent(nil), m.repairs...),
 	}
 }
 
 // Close stops the session and releases its transport.
 func (m *Monitor) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.closed {
 		return nil
 	}

@@ -19,6 +19,12 @@
 //	fmt.Println(plan.PercentCollected())
 //	report, _ := plan.Deploy(remo.DeployConfig{Rounds: 60})
 //
+// Live sessions started with Planner.StartMonitor are self-healing:
+// under fault injection (MonitorConfig.Chaos) or an explicit
+// FailurePolicy, a collector-side failure detector declares silent nodes
+// dead, the topology is automatically repaired around them, and
+// recovered nodes are reintegrated — see Monitor and RepairEvent.
+//
 // The package is a facade over the internal packages; the experiment
 // harness reproducing the paper's figures lives in cmd/remo-bench.
 package remo

@@ -37,14 +37,13 @@ func (p *Plan) Repair(failed []NodeID) (*Plan, RepairReport, error) {
 	}, p.res.Forest, dead)
 
 	// The repaired plan's demand excludes the failed nodes' pairs.
-	d := p.demand.Clone()
-	for n := range dead {
-		for _, a := range d.AttrsOf(n).Attrs() {
-			d.Remove(n, a)
-		}
+	d, _ := repair.Prune(p.demand, dead)
+	sys, err := survivorSystem(p.sys, dead)
+	if err != nil {
+		return nil, RepairReport{}, fmt.Errorf("remo: survivor system: %w", err)
 	}
 	repaired := &Plan{
-		sys:     survivorSystem(p.sys, dead),
+		sys:     sys,
 		demand:  d,
 		aggSpec: p.aggSpec,
 		resolve: p.resolve,
@@ -65,9 +64,9 @@ func (p *Plan) Repair(failed []NodeID) (*Plan, RepairReport, error) {
 }
 
 // survivorSystem removes failed nodes from the system description.
-func survivorSystem(sys *System, dead map[model.NodeID]struct{}) *System {
+func survivorSystem(sys *System, dead map[model.NodeID]struct{}) (*System, error) {
 	if len(dead) == 0 {
-		return sys
+		return sys, nil
 	}
 	survivors := make([]Node, 0, len(sys.Nodes))
 	for _, n := range sys.Nodes {
@@ -75,10 +74,5 @@ func survivorSystem(sys *System, dead map[model.NodeID]struct{}) *System {
 			survivors = append(survivors, n.Clone())
 		}
 	}
-	out, err := model.NewSystem(sys.CentralCapacity, sys.Cost, survivors)
-	if err != nil {
-		// The source system was valid; removal cannot invalidate it.
-		return sys
-	}
-	return out
+	return model.NewSystem(sys.CentralCapacity, sys.Cost, survivors)
 }

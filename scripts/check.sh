@@ -17,4 +17,7 @@ go test -race ./...
 echo "==> planner benchmarks (1 iteration)"
 go test -run '^$' -bench 'BenchmarkPlanner' -benchtime 1x .
 
+echo "==> chaos smoke (self-healing under -race, short mode)"
+go test -race -short -run 'Chaos' . ./internal/cluster ./internal/detect ./internal/chaos ./internal/transport
+
 echo "OK"
