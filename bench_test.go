@@ -205,6 +205,66 @@ func BenchmarkDeployRound(b *testing.B) {
 	}
 }
 
+// runtimeBenchCfg plans a Fig. 6a-shaped deployment (200 nodes, 150
+// small tasks) for the runtime data-path benchmarks.
+func runtimeBenchCfg(b *testing.B, nodes, rounds int) (*remo.Plan, remo.DeployConfig) {
+	b.Helper()
+	sys, err := workload.System(workload.SystemConfig{
+		Nodes: nodes, Attrs: 100, CapacityLo: 150, CapacityHi: 400,
+		CentralCapacity: float64(nodes) * 12,
+		Cost:            cost.Model{PerMessage: 10, PerValue: 1},
+		Seed:            9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	taskList := workload.Tasks(sys, workload.TaskConfig{
+		Count: 150, AttrsPerTask: 3, NodesPerTask: nodes / 10, Seed: 16,
+	})
+	p := remo.NewPlanner(sys)
+	for _, t := range taskList {
+		if err := p.AddTask(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	plan, err := p.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan, remo.DeployConfig{Rounds: rounds}
+}
+
+// BenchmarkRuntimeMemory measures the worker-pool round engine over the
+// memory transport at the Fig. 6a anchor scale (200 nodes); the
+// before/after trajectory lives in BENCH_runtime.json and the README
+// Performance table.
+func BenchmarkRuntimeMemory(b *testing.B) {
+	plan, dcfg := runtimeBenchCfg(b, 200, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := plan.Deploy(dcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.ValuesDelivered)/float64(dcfg.Rounds), "values/round")
+		}
+	}
+}
+
+// BenchmarkRuntimeTCP is BenchmarkRuntimeMemory over loopback TCP with
+// the batched write path (the transport default).
+func BenchmarkRuntimeTCP(b *testing.B) {
+	plan, dcfg := runtimeBenchCfg(b, 50, 30)
+	dcfg.UseTCP = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Deploy(dcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCodecEncode measures wire-format encoding.
 func BenchmarkCodecEncode(b *testing.B) {
 	msg := benchMessage(64)

@@ -20,6 +20,7 @@ import (
 
 	"remo/internal/bench"
 	"remo/internal/metrics"
+	"remo/internal/profiling"
 )
 
 func main() {
@@ -40,10 +41,22 @@ func run(args []string) error {
 		rounds = fs.Int("rounds", 0, "emulation rounds for deployment figures (0 = default)")
 		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		asJSON = fs.Bool("json", false, "emit one JSON document instead of aligned tables")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "remo-bench:", err)
+		}
+	}()
 
 	if *list {
 		for _, e := range bench.Registry() {

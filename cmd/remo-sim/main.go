@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"remo"
+	"remo/internal/profiling"
 	"remo/internal/workload"
 )
 
@@ -51,10 +52,22 @@ func run(args []string, stdout io.Writer) error {
 		chaosDrop  = fs.Float64("chaos-drop", 0, "drop each message with this probability")
 		chaosDelay = fs.Float64("chaos-delay", 0, "delay each message one round with this probability")
 		suspicion  = fs.Int("suspicion", 3, "failure-detector suspicion window in rounds")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "remo-sim:", err)
+		}
+	}()
 
 	planner, err := buildPlanner(*specPath, *nodes, *attrs, *tasks, *seed, *scheme)
 	if err != nil {

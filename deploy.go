@@ -170,6 +170,7 @@ func (p *Plan) Deploy(cfg DeployConfig) (DeployReport, error) {
 		Spec:            p.aggSpec,
 		Source:          source,
 		Rounds:          rounds,
+		Workers:         p.runtimeWorkers,
 		Resolve:         p.resolve,
 		EnforceCapacity: !cfg.DisableCapacity,
 		FailAt:          cfg.FailAt,

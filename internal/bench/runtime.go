@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"remo/internal/chaos"
+	"remo/internal/cluster"
+	"remo/internal/core"
+	"remo/internal/metrics"
+	"remo/internal/model"
+	"remo/internal/transport"
+)
+
+// runtimeColumns are the series of the runtime data-path experiment:
+// wall-clock per run for the legacy goroutine-per-node engine (BASE)
+// and the worker-pool fast path (FAST), the resulting speedup, the fast
+// path's delivery throughput, and its heap allocation rate.
+var runtimeColumns = []string{
+	"BASE_MS", "FAST_MS", "SPEEDUP", "ROUNDS_PER_S", "VALUES_PER_S", "MALLOCS_PER_ROUND",
+}
+
+// runtimeEnv prepares a planned Fig. 6a-style deployment for the
+// runtime experiment.
+func runtimeEnv(o Options, nodes int, seed int64) (cluster.Config, error) {
+	e, err := buildEnv(o, envConfig{
+		nodes:        nodes,
+		tasks:        o.scaleInt(150, 10),
+		attrsPerTask: 3,
+		nodesPerTask: maxInt(2, nodes/10),
+		seed:         seed,
+	})
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	res := core.NewPlanner().Plan(e.sys, e.d)
+	return cluster.Config{
+		Sys:             e.sys,
+		Forest:          res.Forest,
+		Demand:          e.d,
+		Rounds:          maxInt(o.rounds(), 50),
+		EnforceCapacity: true,
+	}, nil
+}
+
+// runtimeChaos is the fault schedule for the chaos rows: probabilistic
+// loss and delay plus one mid-run crash, enough to exercise the delay
+// sink and the failure paths without drowning the signal.
+func runtimeChaos() *chaos.Config {
+	return &chaos.Config{
+		CrashAt:   map[model.NodeID]int{3: 10},
+		DropProb:  0.02,
+		DelayProb: 0.05, MaxDelayRounds: 2,
+		Seed: 77,
+	}
+}
+
+// timedRun executes one emulation and reports wall-clock, the result,
+// and the heap allocation count attributable to the run.
+func timedRun(cfg cluster.Config) (ms float64, mallocs uint64, res cluster.Result, err error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	res, err = cluster.Run(cfg)
+	ms = float64(time.Since(t0).Microseconds()) / 1000
+	runtime.ReadMemStats(&after)
+	mallocs = after.Mallocs - before.Mallocs
+	return ms, mallocs, res, err
+}
+
+// runtimePoint times the legacy and fast engines on one configuration
+// and cross-checks they produced bit-identical results, panicking
+// loudly on divergence — the equivalence guarantee is part of what this
+// experiment measures.
+func runtimePoint(cfg cluster.Config) []float64 {
+	base := cfg
+	base.Workers = -1
+	baseMS, _, baseRes, err := timedRun(base)
+	if err != nil {
+		panic(fmt.Sprintf("bench: runtime base run: %v", err))
+	}
+
+	fast := cfg
+	fast.Workers = 0
+	fastMS, mallocs, fastRes, err := timedRun(fast)
+	if err != nil {
+		panic(fmt.Sprintf("bench: runtime fast run: %v", err))
+	}
+
+	if baseRes.ValuesDelivered != fastRes.ValuesDelivered ||
+		baseRes.MessagesSent != fastRes.MessagesSent ||
+		baseRes.MessagesDropped != fastRes.MessagesDropped ||
+		baseRes.CoveredPairs != fastRes.CoveredPairs ||
+		baseRes.AvgPercentError != fastRes.AvgPercentError {
+		panic(fmt.Sprintf("bench: fast engine diverged from base:\nbase %+v\nfast %+v",
+			baseRes, fastRes))
+	}
+
+	speedup := 0.0
+	if fastMS > 0 {
+		speedup = baseMS / fastMS
+	}
+	roundsPerS := 0.0
+	valuesPerS := 0.0
+	mallocsPerRound := 0.0
+	if fastMS > 0 && cfg.Rounds > 0 {
+		roundsPerS = float64(cfg.Rounds) / (fastMS / 1000)
+		valuesPerS = float64(fastRes.ValuesDelivered) / (fastMS / 1000)
+		mallocsPerRound = float64(mallocs) / float64(cfg.Rounds)
+	}
+	return []float64{baseMS, fastMS, speedup, roundsPerS, valuesPerS, mallocsPerRound}
+}
+
+// runtimeTCPPoint compares the direct (unbatched) and batched TCP write
+// paths on one configuration, cross-checking bit-identical delivery.
+func runtimeTCPPoint(cfg cluster.Config) []float64 {
+	run := func(batch int) (float64, cluster.Result) {
+		tr, err := transport.NewTCPWithOptions(cfg.Sys.NodeIDs(), transport.TCPOptions{BatchBytes: batch})
+		if err != nil {
+			panic(fmt.Sprintf("bench: runtime TCP transport: %v", err))
+		}
+		defer func() { _ = tr.Close() }()
+		c := cfg
+		c.Transport = tr
+		t0 := time.Now()
+		res, err := cluster.Run(c)
+		if err != nil {
+			panic(fmt.Sprintf("bench: runtime TCP run: %v", err))
+		}
+		return float64(time.Since(t0).Microseconds()) / 1000, res
+	}
+
+	directMS, directRes := run(-1)
+	batchMS, batchRes := run(0)
+	if directRes.ValuesDelivered != batchRes.ValuesDelivered ||
+		directRes.MessagesSent != batchRes.MessagesSent ||
+		directRes.MessagesDropped != batchRes.MessagesDropped {
+		panic(fmt.Sprintf("bench: batched TCP diverged from direct:\ndirect %+v\nbatched %+v",
+			directRes, batchRes))
+	}
+
+	speedup := 0.0
+	if batchMS > 0 {
+		speedup = directMS / batchMS
+	}
+	roundsPerS := 0.0
+	valuesPerS := 0.0
+	if batchMS > 0 && cfg.Rounds > 0 {
+		roundsPerS = float64(cfg.Rounds) / (batchMS / 1000)
+		valuesPerS = float64(batchRes.ValuesDelivered) / (batchMS / 1000)
+	}
+	return []float64{directMS, batchMS, speedup, roundsPerS, valuesPerS}
+}
+
+// RuntimePerf measures the emulation runtime's data path: the
+// worker-pool round engine against the legacy goroutine-per-node
+// engine over the memory transport (Fig. 6a node sweep, with and
+// without chaos), and the batched against the direct TCP write path at
+// a socket-friendly scale. Every point cross-checks that the fast
+// paths deliver bit-identical results — the speedups are free of
+// semantic drift by construction (BENCH_runtime.json records a run).
+func RuntimePerf(o Options) []*metrics.Table {
+	memCols := append([]string(nil), runtimeColumns...)
+	a := metrics.NewTable("Runtime data path — memory transport (Fig 6a shape)", "nodes", memCols...)
+	for _, n := range sweepInts(o, []int{50, 100, 200}, 10) {
+		cfg, err := runtimeEnv(o, n, o.Seed+70)
+		if err != nil {
+			panic(err)
+		}
+		mustAdd(a, float64(n), runtimePoint(cfg)...)
+	}
+
+	b := metrics.NewTable("Runtime data path — memory transport under chaos", "nodes", memCols...)
+	for _, n := range sweepInts(o, []int{50, 100}, 10) {
+		cfg, err := runtimeEnv(o, n, o.Seed+80)
+		if err != nil {
+			panic(err)
+		}
+		cfg.Chaos = runtimeChaos()
+		mustAdd(b, float64(n), runtimePoint(cfg)...)
+	}
+
+	c := metrics.NewTable("Runtime data path — TCP loopback, direct vs batched writes", "nodes",
+		"DIRECT_MS", "BATCH_MS", "SPEEDUP", "ROUNDS_PER_S", "VALUES_PER_S")
+	for _, n := range sweepInts(o, []int{25, 50}, 10) {
+		cfg, err := runtimeEnv(o, n, o.Seed+90)
+		if err != nil {
+			panic(err)
+		}
+		cfg.Rounds = minInt(cfg.Rounds, 30)
+		mustAdd(c, float64(n), runtimeTCPPoint(cfg)...)
+	}
+	return []*metrics.Table{a, b, c}
+}

@@ -15,8 +15,10 @@
 package cluster
 
 import (
+	"cmp"
 	"errors"
-	"sort"
+	"slices"
+	"strings"
 
 	"remo/internal/agg"
 	"remo/internal/chaos"
@@ -45,6 +47,11 @@ type Config struct {
 	Transport transport.Transport
 	// Rounds is the number of collection rounds to run (must be > 0).
 	Rounds int
+	// Workers sizes the round engine's worker pool: 0 uses one worker
+	// per available CPU, positive values are used as given, and -1
+	// selects the legacy goroutine-per-node engine (useful as an
+	// equivalence baseline; it allocates 2n goroutines per round).
+	Workers int
 	// Resolve maps alias attributes (reliability replicas) to their
 	// originals; nil means identity.
 	Resolve func(model.AttrID) model.AttrID
@@ -124,6 +131,12 @@ type membership struct {
 	parent model.NodeID
 	local  []model.AttrID // attrs this node contributes to the tree
 	period map[model.AttrID]int
+	// compose is the reused backing array for this membership's outgoing
+	// message. The round barrier makes reuse safe: a message composed in
+	// round r is consumed (relayed or absorbed) before round r+1's send
+	// phase rewrites the buffer. Chaos-delayed messages outlive the
+	// round, so the machine's delay sink clones them.
+	compose []transport.Value
 }
 
 // nodeState is the per-node runtime state, owned by its goroutine.
@@ -194,12 +207,12 @@ func buildStates(cfg Config) []*nodeState {
 	}
 	states := make([]*nodeState, 0, len(byID))
 	for _, st := range byID {
-		sort.Slice(st.memberships, func(i, j int) bool {
-			return st.memberships[i].key < st.memberships[j].key
+		slices.SortFunc(st.memberships, func(a, b membership) int {
+			return strings.Compare(a.key, b.key)
 		})
 		states = append(states, st)
 	}
-	sort.Slice(states, func(i, j int) bool { return states[i].id < states[j].id })
+	slices.SortFunc(states, func(a, b *nodeState) int { return cmp.Compare(a.id, b.id) })
 	return states
 }
 
@@ -263,9 +276,12 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 	if st.dead(cfg, round) {
 		return
 	}
-	for _, m := range st.memberships {
+	for i := range st.memberships {
+		m := &st.memberships[i]
 		values := st.composeMessage(cfg, m, round)
-		st.relay[m.key] = nil
+		if buf, ok := st.relay[m.key]; ok {
+			st.relay[m.key] = buf[:0]
+		}
 		c := cfg.Sys.Cost.Message(len(values))
 		if cfg.EnforceCapacity && c > st.budget {
 			st.drops++
@@ -311,7 +327,7 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 }
 
 // traceDrop records a failed send when tracing is on.
-func (st *nodeState) traceDrop(cfg Config, m membership, round, values int) {
+func (st *nodeState) traceDrop(cfg Config, m *membership, round, values int) {
 	if cfg.Trace == nil {
 		return
 	}
@@ -322,9 +338,11 @@ func (st *nodeState) traceDrop(cfg Config, m membership, round, values int) {
 }
 
 // composeMessage assembles the values a node forwards for one tree this
-// round, applying in-network aggregation funnels.
-func (st *nodeState) composeMessage(cfg Config, m membership, round int) []transport.Value {
-	values := append([]transport.Value(nil), st.relay[m.key]...)
+// round, applying in-network aggregation funnels. The returned slice is
+// the membership's reused compose buffer (see membership.compose); it
+// stays valid until this node's next send phase.
+func (st *nodeState) composeMessage(cfg Config, m *membership, round int) []transport.Value {
+	values := append(m.compose[:0], st.relay[m.key]...)
 	for _, a := range m.local {
 		if round%m.period[a] != 0 {
 			continue // piggybacked metric not due this round
@@ -336,6 +354,7 @@ func (st *nodeState) composeMessage(cfg Config, m membership, round int) []trans
 			Value: cfg.Source.Value(st.id, cfg.Resolve(a), round),
 		})
 	}
+	m.compose = values
 	if cfg.Spec == nil {
 		return values
 	}

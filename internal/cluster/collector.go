@@ -12,27 +12,41 @@ import (
 // collector implements the central data collector: it absorbs root
 // messages, maintains the freshest known view of every demanded pair,
 // and scores coverage, staleness and percentage error each round.
+//
+// Demanded holistic pairs live in dense parallel arrays indexed by
+// slot, so the per-round scoring loop and the per-value absorb path
+// touch at most one map (the pair-to-slot index) instead of three.
+// Pairs outside the current demand — stale views kept across a
+// retarget, and deliveries for pairs the demand no longer names — spill
+// into overflow maps so adaptation semantics are unchanged.
 type collector struct {
 	cfg Config
 
-	// view holds the freshest delivered value per (alias-folded) pair.
-	view map[model.Pair]transport.Value
+	// holisticPairs are the demanded pairs collected holistically, in
+	// canonical order; periods, views, viewSet and bits are parallel to
+	// it. views[i] is meaningful only when viewSet[i]; bits[i] is the
+	// lazily allocated delivered-round bitmap.
+	holisticPairs []model.Pair
+	periods       []int
+	views         []transport.Value
+	viewSet       []bool
+	bits          [][]uint64
+	slotOf        map[model.Pair]int
+
+	// Overflow state for pairs without a slot.
+	extraView map[model.Pair]transport.Value
+	extraBits map[model.Pair][]uint64
+
 	// aggView holds the freshest delivered aggregate per aggregated
 	// attribute.
 	aggView map[model.AttrID]transport.Value
-
-	// holisticPairs are the demanded pairs collected holistically.
-	holisticPairs []model.Pair
-	pairPeriod    map[model.Pair]int
 	// aggAttrs are attributes collected via in-network aggregation; each
 	// counts as one logical observation target.
 	aggAttrs        []model.AttrID
 	aggParticipants map[model.AttrID][]model.NodeID
 
-	// deliveredBits marks which (pair, round) observations arrived.
-	deliveredBits map[model.Pair][]uint64
-	delivered     int
-	expected      int
+	delivered int
+	expected  int
 
 	errSum     float64
 	errCount   int
@@ -47,9 +61,9 @@ type collector struct {
 
 func newCollector(cfg Config) *collector {
 	c := &collector{
-		view:          make(map[model.Pair]transport.Value),
-		aggView:       make(map[model.AttrID]transport.Value),
-		deliveredBits: make(map[model.Pair][]uint64),
+		aggView:   make(map[model.AttrID]transport.Value),
+		extraView: make(map[model.Pair]transport.Value),
+		extraBits: make(map[model.Pair][]uint64),
 	}
 	c.retarget(cfg)
 	return c
@@ -57,15 +71,24 @@ func newCollector(cfg Config) *collector {
 
 // retarget rebuilds the collector's demanded-pair accounting for a new
 // configuration (topology adaptation), keeping its views and error
-// accumulators.
+// accumulators. Views and delivery bitmaps of pairs leaving the demand
+// are parked in the overflow maps; pairs rejoining pick them back up —
+// exactly what a real collector's retained state would do.
 func (c *collector) retarget(cfg Config) {
+	for i, p := range c.holisticPairs {
+		if c.viewSet[i] {
+			c.extraView[p] = c.views[i]
+		}
+		if c.bits[i] != nil {
+			c.extraBits[p] = c.bits[i]
+		}
+	}
 	c.cfg = cfg
-	c.holisticPairs = nil
 	c.aggAttrs = nil
-	c.pairPeriod = make(map[model.Pair]int)
 	c.aggParticipants = make(map[model.AttrID][]model.NodeID)
 
-	seenPair := make(map[model.Pair]struct{})
+	periodOf := make(map[model.Pair]int)
+	pairs := c.holisticPairs[:0]
 	seenAgg := make(map[model.AttrID]struct{})
 	for _, p := range cfg.Demand.Pairs() {
 		orig := cfg.Resolve(p.Attr)
@@ -79,19 +102,49 @@ func (c *collector) retarget(cfg Config) {
 		}
 		fold := model.Pair{Node: p.Node, Attr: orig}
 		period := weightPeriod(cfg.Demand.Weight(p.Node, p.Attr))
-		if _, dup := seenPair[fold]; dup {
+		if prev, dup := periodOf[fold]; dup {
 			// Replicated pair: keep the fastest period.
-			if period < c.pairPeriod[fold] {
-				c.pairPeriod[fold] = period
+			if period < prev {
+				periodOf[fold] = period
 			}
 			continue
 		}
-		seenPair[fold] = struct{}{}
-		c.holisticPairs = append(c.holisticPairs, fold)
-		c.pairPeriod[fold] = period
+		periodOf[fold] = period
+		pairs = append(pairs, fold)
 	}
-	model.SortPairs(c.holisticPairs)
+	model.SortPairs(pairs)
 	model.SortAttrs(c.aggAttrs)
+
+	n := len(pairs)
+	c.holisticPairs = pairs
+	c.periods = make([]int, n)
+	c.views = make([]transport.Value, n)
+	c.viewSet = make([]bool, n)
+	c.bits = make([][]uint64, n)
+	c.slotOf = make(map[model.Pair]int, n)
+	for i, p := range pairs {
+		c.slotOf[p] = i
+		c.periods[i] = periodOf[p]
+		if v, ok := c.extraView[p]; ok {
+			c.views[i] = v
+			c.viewSet[i] = true
+			delete(c.extraView, p)
+		}
+		if b, ok := c.extraBits[p]; ok {
+			c.bits[i] = b
+			delete(c.extraBits, p)
+		}
+	}
+}
+
+// lookupView returns the freshest delivered view of a pair, demanded or
+// not.
+func (c *collector) lookupView(p model.Pair) (transport.Value, bool) {
+	if slot, ok := c.slotOf[p]; ok {
+		return c.views[slot], c.viewSet[slot]
+	}
+	v, ok := c.extraView[p]
+	return v, ok
 }
 
 // absorb ingests the central mailbox for one round.
@@ -123,23 +176,50 @@ func (c *collector) absorb(msgs []transport.Message, round int) {
 				continue
 			}
 			pair := model.Pair{Node: v.Node, Attr: orig}
-			if cur, ok := c.view[pair]; !ok || v.Round >= cur.Round {
-				c.view[pair] = v
+			if slot, ok := c.slotOf[pair]; ok {
+				if !c.viewSet[slot] || v.Round >= c.views[slot].Round {
+					c.views[slot] = v
+					c.viewSet[slot] = true
+				}
+				c.markSlot(slot, v.Round)
+			} else {
+				if cur, ok := c.extraView[pair]; !ok || v.Round >= cur.Round {
+					c.extraView[pair] = v
+				}
+				c.markExtra(pair, v.Round)
 			}
-			c.markDelivered(pair, v.Round)
 		}
 	}
 	_ = round
 }
 
-func (c *collector) markDelivered(p model.Pair, round int) {
+// markSlot records delivery of a demanded (pair, round) observation.
+func (c *collector) markSlot(slot, round int) {
 	if round < 0 || round >= c.cfg.Rounds {
 		return
 	}
-	bits := c.deliveredBits[p]
+	bits := c.bits[slot]
 	if bits == nil {
 		bits = make([]uint64, (c.cfg.Rounds+63)/64)
-		c.deliveredBits[p] = bits
+		c.bits[slot] = bits
+	}
+	word, bit := round/64, uint(round%64)
+	if bits[word]&(1<<bit) == 0 {
+		bits[word] |= 1 << bit
+		c.delivered++
+	}
+}
+
+// markExtra records delivery for a pair outside the current demand (it
+// may have been demanded before a retarget, or become demanded later).
+func (c *collector) markExtra(p model.Pair, round int) {
+	if round < 0 || round >= c.cfg.Rounds {
+		return
+	}
+	bits := c.extraBits[p]
+	if bits == nil {
+		bits = make([]uint64, (c.cfg.Rounds+63)/64)
+		c.extraBits[p] = bits
 	}
 	word, bit := round/64, uint(round%64)
 	if bits[word]&(1<<bit) == 0 {
@@ -152,17 +232,17 @@ func (c *collector) markDelivered(p model.Pair, round int) {
 // round's messages were absorbed.
 func (c *collector) score(round int) {
 	roundErrBase, roundCountBase := c.errSum, c.errCount
-	for _, p := range c.holisticPairs {
-		if round%c.pairPeriod[p] == 0 {
+	for i, p := range c.holisticPairs {
+		if round%c.periods[i] == 0 {
 			c.expected++
 		}
 		truth := c.cfg.Source.Value(p.Node, p.Attr, round)
-		v, ok := c.view[p]
 		c.errCount++
-		if !ok {
+		if !c.viewSet[i] {
 			c.errSum += 1
 			continue
 		}
+		v := c.views[i]
 		c.errSum += relErr(v.Value, truth)
 		c.staleSum += float64(round - v.Round)
 		c.staleCount++
@@ -223,8 +303,8 @@ func (c *collector) result() Result {
 		ValuesDelivered: c.valuesDelivered,
 		MessagesDropped: c.centralDrops,
 	}
-	for _, p := range c.holisticPairs {
-		if _, ok := c.view[p]; ok {
+	for _, set := range c.viewSet {
+		if set {
 			res.CoveredPairs++
 		}
 	}

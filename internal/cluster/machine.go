@@ -37,6 +37,9 @@ type Machine struct {
 	ownTr  bool
 	states []*nodeState
 	coll   *collector
+	// eng is the persistent worker pool driving the round phases; nil
+	// selects the legacy goroutine-per-node engine (cfg.Workers < 0).
+	eng    *engine
 	round  int
 	closed bool
 	// extraSent/extraDrops preserve traffic counters of nodes dropped by
@@ -48,6 +51,10 @@ type Machine struct {
 	// beatNodes is every system node, cached for heartbeat emission —
 	// including nodes pruned out of the forest, so recoveries are seen.
 	beatNodes []model.NodeID
+	// beatBuf backs each round's heartbeat payloads, one slot per node,
+	// rewritten every round: beats are absorbed at the round barrier, so
+	// the next round's overwrite never races a live message.
+	beatBuf []transport.Beat
 	// verdicts accumulates detector output between TakeVerdicts calls.
 	verdicts []detect.Verdict
 
@@ -76,9 +83,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 	cfg.Chaos = normalizeChaos(cfg)
 	m := &Machine{cfg: cfg, tr: cfg.Transport}
 	m.cfg.delaySink = func(due int, msg transport.Message) {
+		// Delayed messages outlive the round barrier, so they cannot
+		// borrow the sender's reused compose buffer — clone the payload.
+		msg.Values = append([]transport.Value(nil), msg.Values...)
 		m.delayMu.Lock()
 		m.delayed = append(m.delayed, delayedMsg{due: due, msg: msg})
 		m.delayMu.Unlock()
+	}
+	if cfg.Workers >= 0 {
+		m.eng = newEngine(resolveWorkers(cfg.Workers))
 	}
 	if m.tr == nil {
 		m.tr = transport.NewMemory(cfg.Sys.NodeIDs())
@@ -153,23 +166,29 @@ func (m *Machine) Step() error {
 	round := m.round
 	m.round++
 
-	var wg sync.WaitGroup
-	for _, st := range m.states {
-		wg.Add(1)
-		go func(st *nodeState) {
-			defer wg.Done()
-			st.receivePhase(m.cfg, m.tr, round)
-		}(st)
+	if m.eng != nil {
+		m.eng.forEach(m.states, func(st *nodeState) { st.receivePhase(m.cfg, m.tr, round) })
+		m.eng.forEach(m.states, func(st *nodeState) { st.sendPhase(m.cfg, m.tr, round) })
+	} else {
+		// Legacy engine: one goroutine per node per phase.
+		var wg sync.WaitGroup
+		for _, st := range m.states {
+			wg.Add(1)
+			go func(st *nodeState) {
+				defer wg.Done()
+				st.receivePhase(m.cfg, m.tr, round)
+			}(st)
+		}
+		wg.Wait()
+		for _, st := range m.states {
+			wg.Add(1)
+			go func(st *nodeState) {
+				defer wg.Done()
+				st.sendPhase(m.cfg, m.tr, round)
+			}(st)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	for _, st := range m.states {
-		wg.Add(1)
-		go func(st *nodeState) {
-			defer wg.Done()
-			st.sendPhase(m.cfg, m.tr, round)
-		}(st)
-	}
-	wg.Wait()
 	m.injectDelayed(round)
 	m.emitBeats(round)
 	if err := m.tr.Flush(); err != nil {
@@ -222,17 +241,21 @@ func (m *Machine) emitBeats(round int) {
 	if m.det == nil {
 		return
 	}
-	for _, n := range m.beatNodes {
+	if len(m.beatBuf) < len(m.beatNodes) {
+		m.beatBuf = make([]transport.Beat, len(m.beatNodes))
+	}
+	for i, n := range m.beatNodes {
 		if m.cfg.Chaos.Crashed(n, round) {
 			continue
 		}
 		if m.cfg.Chaos.Drop(n, model.Central, round, int(n)) {
 			continue
 		}
+		m.beatBuf[i] = transport.Beat{Node: n, Round: round}
 		err := m.tr.Send(transport.Message{
 			From:  n,
 			To:    model.Central,
-			Beats: []transport.Beat{{Node: n, Round: round}},
+			Beats: m.beatBuf[i : i+1 : i+1],
 		})
 		if err != nil {
 			m.extraDrops++
@@ -364,6 +387,9 @@ func (m *Machine) Close() error {
 		return nil
 	}
 	m.closed = true
+	if m.eng != nil {
+		m.eng.close()
+	}
 	if m.ownTr {
 		return m.tr.Close()
 	}

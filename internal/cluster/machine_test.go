@@ -98,7 +98,7 @@ func TestMachineInstallRewiresAndPreservesCounters(t *testing.T) {
 
 // findView peeks into the machine's collector views for tests.
 func findView(m *Machine, p model.Pair) (float64, bool) {
-	v, ok := m.coll.view[p]
+	v, ok := m.coll.lookupView(p)
 	return v.Value, ok
 }
 

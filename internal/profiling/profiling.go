@@ -1,0 +1,50 @@
+// Package profiling wires the standard runtime/pprof profilers into
+// the command-line tools: a CPU profile collected over the process
+// lifetime and a heap profile snapshot taken at shutdown. Both are
+// plain pprof files, viewable with `go tool pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the given output paths (empty = disabled)
+// and returns a stop function that finalizes the profiles. The stop
+// function must run before the process exits for the profiles to be
+// complete.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("create mem profile: %w", err)
+			}
+			defer func() { _ = f.Close() }()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,82 @@
+//go:build !race
+
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"remo/internal/model"
+)
+
+// The codec's zero-alloc guarantees are the foundation of the runtime
+// fast path; these regression tests pin them. The file is excluded from
+// race builds because the race runtime instruments allocations.
+
+func TestAllocsAppendEncodeZero(t *testing.T) {
+	msg := sampleMessage()
+	buf := make([]byte, 0, framePrefixSize+EncodedSize(msg))
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendEncode(buf[:0], msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode into reused buffer allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestAllocsDecodeIntoZero(t *testing.T) {
+	frame, err := Encode(sampleMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(frame)
+	dec := NewDecoder(r)
+	var msg Message
+	// Warm up: first decode sizes the payload buffer, interns the key and
+	// allocates msg's slices.
+	if err := dec.DecodeInto(&msg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		if err := dec.DecodeInto(&msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeInto allocates %.1f/op, want 0", allocs)
+	}
+	if len(msg.Values) != 2 || msg.TreeKey != "1,2,3" {
+		t.Fatalf("decoded message corrupted: %+v", msg)
+	}
+}
+
+func TestAllocsMemorySendSteadyState(t *testing.T) {
+	m := NewMemory([]model.NodeID{1})
+	defer func() { _ = m.Close() }()
+	msg := Message{TreeKey: "k", From: 2, To: 1}
+	// Warm up both ping-pong mailbox buffers.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 8; j++ {
+			if err := m.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Drain(1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 8; j++ {
+			if err := m.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Drain(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Memory send/drain allocates %.1f/op, want 0", allocs)
+	}
+}

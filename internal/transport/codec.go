@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"remo/internal/model"
 )
@@ -21,6 +22,19 @@ import (
 // A TCP/IP monitoring message carries at least ~78 bytes of protocol
 // headers (§2.3); this compact application framing keeps the per-message
 // overhead visible but small.
+//
+// The layout constants below are the single source of truth for the
+// format: EncodedSize, AppendEncode and decodePayloadInto are all
+// written against them, so a format change is a one-place edit.
+
+// Wire-layout sizes in bytes.
+const (
+	framePrefixSize = 4             // length prefix
+	keyLenSize      = 2             // keyLen field
+	fixedHeaderSize = 4 + 4 + 4 + 4 // from, to, count, beatCount
+	valueSize       = 4 + 4 + 4 + 8 // node, attr, round, bits
+	beatSize        = 4 + 4         // node, round
+)
 
 // Codec limits, protecting against corrupt frames.
 const (
@@ -33,55 +47,134 @@ var ErrFrameTooLarge = errors.New("transport: frame too large")
 
 // EncodedSize returns the payload size of msg in bytes.
 func EncodedSize(msg Message) int {
-	return 2 + len(msg.TreeKey) + 4 + 4 + 4 + 4 + len(msg.Values)*20 + len(msg.Beats)*8
+	return keyLenSize + len(msg.TreeKey) + fixedHeaderSize +
+		len(msg.Values)*valueSize + len(msg.Beats)*beatSize
 }
 
-// Encode serializes msg into a self-delimiting frame.
-func Encode(msg Message) ([]byte, error) {
+// AppendEncode serializes msg into a self-delimiting frame appended to
+// dst and returns the extended slice. It allocates only when dst lacks
+// capacity, so callers reusing a buffer encode with zero steady-state
+// allocations.
+func AppendEncode(dst []byte, msg Message) ([]byte, error) {
 	if len(msg.TreeKey) > maxKeyLen {
-		return nil, fmt.Errorf("transport: tree key too long (%d)", len(msg.TreeKey))
+		return dst, fmt.Errorf("transport: tree key too long (%d)", len(msg.TreeKey))
 	}
 	size := EncodedSize(msg)
 	if size > maxFrameSize {
-		return nil, ErrFrameTooLarge
+		return dst, ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+size)
-	binary.BigEndian.PutUint32(buf, uint32(size))
-	off := 4
-	binary.BigEndian.PutUint16(buf[off:], uint16(len(msg.TreeKey)))
-	off += 2
-	copy(buf[off:], msg.TreeKey)
-	off += len(msg.TreeKey)
-	binary.BigEndian.PutUint32(buf[off:], uint32(int32(msg.From)))
-	off += 4
-	binary.BigEndian.PutUint32(buf[off:], uint32(int32(msg.To)))
-	off += 4
-	binary.BigEndian.PutUint32(buf[off:], uint32(len(msg.Values)))
-	off += 4
-	binary.BigEndian.PutUint32(buf[off:], uint32(len(msg.Beats)))
-	off += 4
+	dst = binary.BigEndian.AppendUint32(dst, uint32(size))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg.TreeKey)))
+	dst = append(dst, msg.TreeKey...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(msg.From)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(msg.To)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(msg.Values)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(msg.Beats)))
 	for _, v := range msg.Values {
-		binary.BigEndian.PutUint32(buf[off:], uint32(int32(v.Node)))
-		off += 4
-		binary.BigEndian.PutUint32(buf[off:], uint32(int32(v.Attr)))
-		off += 4
-		binary.BigEndian.PutUint32(buf[off:], uint32(int32(v.Round)))
-		off += 4
-		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(v.Value))
-		off += 8
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(v.Node)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(v.Attr)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(v.Round)))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.Value))
 	}
 	for _, b := range msg.Beats {
-		binary.BigEndian.PutUint32(buf[off:], uint32(int32(b.Node)))
-		off += 4
-		binary.BigEndian.PutUint32(buf[off:], uint32(int32(b.Round)))
-		off += 4
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.Node)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.Round)))
+	}
+	return dst, nil
+}
+
+// Encode serializes msg into a freshly allocated self-delimiting frame.
+// Hot paths should prefer AppendEncode into a reused buffer.
+func Encode(msg Message) ([]byte, error) {
+	buf, err := AppendEncode(make([]byte, 0, framePrefixSize+EncodedSize(msg)), msg)
+	if err != nil {
+		return nil, err
 	}
 	return buf, nil
 }
 
-// Decode reads one frame from r and deserializes it.
+// framePool recycles encode buffers for transports that need a frame
+// only for the duration of one write.
+var framePool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+func getFrameBuf() []byte  { return framePool.Get().([]byte)[:0] }
+func putFrameBuf(b []byte) { framePool.Put(b) } //nolint:staticcheck // slice header boxing is amortized
+
+// Decoder reads frames from one stream, reusing its payload buffer
+// across messages and interning tree keys, so the per-message
+// allocations are limited to the decoded Values/Beats slices — and
+// DecodeInto eliminates those too by reusing the caller's Message.
+type Decoder struct {
+	r       io.Reader
+	lenBuf  [framePrefixSize]byte
+	payload []byte
+	keys    map[string]string
+}
+
+// NewDecoder returns a Decoder reading frames from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r, keys: make(map[string]string, 8)}
+}
+
+// Decode reads the next frame and returns the message with
+// freshly allocated Values/Beats slices, safe to retain indefinitely.
+func (d *Decoder) Decode() (Message, error) {
+	var msg Message
+	if err := d.decode(&msg, false); err != nil {
+		return Message{}, err
+	}
+	return msg, nil
+}
+
+// DecodeInto reads the next frame into msg, reusing msg's Values/Beats
+// capacity. The decoded slices are owned by msg until the next
+// DecodeInto call with the same message; retain a copy if needed
+// longer.
+func (d *Decoder) DecodeInto(msg *Message) error {
+	return d.decode(msg, true)
+}
+
+func (d *Decoder) decode(msg *Message, reuse bool) error {
+	if _, err := io.ReadFull(d.r, d.lenBuf[:]); err != nil {
+		return err
+	}
+	size := int(binary.BigEndian.Uint32(d.lenBuf[:]))
+	if size > maxFrameSize {
+		return ErrFrameTooLarge
+	}
+	if cap(d.payload) < size {
+		d.payload = make([]byte, size)
+	}
+	p := d.payload[:size]
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		return fmt.Errorf("transport: short frame: %w", err)
+	}
+	return decodePayloadInto(p, msg, d, reuse)
+}
+
+// internKey returns a string for the key bytes, reusing a previously
+// decoded instance when possible: tree keys repeat every round, so the
+// steady state allocates no strings. The table is capped to stay
+// bounded against adversarial streams.
+func (d *Decoder) internKey(k []byte) string {
+	if len(k) == 0 {
+		return ""
+	}
+	if s, ok := d.keys[string(k)]; ok { // no alloc: map lookup by []byte
+		return s
+	}
+	if len(d.keys) >= 1024 {
+		d.keys = make(map[string]string, 8)
+	}
+	s := string(k)
+	d.keys[s] = s
+	return s
+}
+
+// Decode reads one frame from r and deserializes it, allocating fresh
+// backing storage. Streaming readers should hold a Decoder instead.
 func Decode(r io.Reader) (Message, error) {
-	var lenBuf [4]byte
+	var lenBuf [framePrefixSize]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return Message{}, err
 	}
@@ -96,31 +189,48 @@ func Decode(r io.Reader) (Message, error) {
 	return decodePayload(payload)
 }
 
+// decodePayload deserializes one frame payload into a fresh Message.
 func decodePayload(p []byte) (Message, error) {
 	var msg Message
-	if len(p) < 2 {
-		return msg, errors.New("transport: truncated key length")
+	if err := decodePayloadInto(p, &msg, nil, false); err != nil {
+		return Message{}, err
+	}
+	return msg, nil
+}
+
+// decodePayloadInto deserializes one frame payload. When d is non-nil
+// tree keys are interned through it; when reuse is set the message's
+// existing Values/Beats capacity is reused instead of allocating.
+func decodePayloadInto(p []byte, msg *Message, d *Decoder, reuse bool) error {
+	if len(p) < keyLenSize {
+		return errors.New("transport: truncated key length")
 	}
 	keyLen := int(binary.BigEndian.Uint16(p))
-	p = p[2:]
-	if len(p) < keyLen+16 {
-		return msg, errors.New("transport: truncated header")
+	p = p[keyLenSize:]
+	if len(p) < keyLen+fixedHeaderSize {
+		return errors.New("transport: truncated header")
 	}
-	msg.TreeKey = string(p[:keyLen])
+	if d != nil {
+		msg.TreeKey = d.internKey(p[:keyLen])
+	} else {
+		msg.TreeKey = string(p[:keyLen])
+	}
 	p = p[keyLen:]
 	msg.From = model.NodeID(int32(binary.BigEndian.Uint32(p)))
 	msg.To = model.NodeID(int32(binary.BigEndian.Uint32(p[4:])))
 	count := int(binary.BigEndian.Uint32(p[8:]))
 	beatCount := int(binary.BigEndian.Uint32(p[12:]))
-	p = p[16:]
-	if len(p) != count*20+beatCount*8 {
-		return msg, fmt.Errorf("transport: body is %d bytes, want %d",
-			len(p), count*20+beatCount*8)
+	p = p[fixedHeaderSize:]
+	if count < 0 || beatCount < 0 || len(p) != count*valueSize+beatCount*beatSize {
+		return fmt.Errorf("transport: body is %d bytes, want %d values and %d beats",
+			len(p), count, beatCount)
 	}
+	prevValues, prevBeats := msg.Values, msg.Beats
+	msg.Values, msg.Beats = nil, nil
 	if count > 0 {
-		msg.Values = make([]Value, count)
+		msg.Values = sliceFor(prevValues, count, reuse)
 		for i := 0; i < count; i++ {
-			off := i * 20
+			off := i * valueSize
 			msg.Values[i] = Value{
 				Node:  model.NodeID(int32(binary.BigEndian.Uint32(p[off:]))),
 				Attr:  model.AttrID(int32(binary.BigEndian.Uint32(p[off+4:]))),
@@ -128,17 +238,26 @@ func decodePayload(p []byte) (Message, error) {
 				Value: math.Float64frombits(binary.BigEndian.Uint64(p[off+12:])),
 			}
 		}
-		p = p[count*20:]
+		p = p[count*valueSize:]
 	}
 	if beatCount > 0 {
-		msg.Beats = make([]Beat, beatCount)
+		msg.Beats = sliceFor(prevBeats, beatCount, reuse)
 		for i := 0; i < beatCount; i++ {
-			off := i * 8
+			off := i * beatSize
 			msg.Beats[i] = Beat{
 				Node:  model.NodeID(int32(binary.BigEndian.Uint32(p[off:]))),
 				Round: int(int32(binary.BigEndian.Uint32(p[off+4:]))),
 			}
 		}
 	}
-	return msg, nil
+	return nil
+}
+
+// sliceFor returns a slice of length n, reusing prev's capacity when
+// reuse is set and it suffices.
+func sliceFor[T any](prev []T, n int, reuse bool) []T {
+	if reuse && cap(prev) >= n {
+		return prev[:n]
+	}
+	return make([]T, n)
 }

@@ -1,0 +1,57 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"remo/internal/model"
+)
+
+// FuzzDecode throws arbitrary byte streams at the frame decoder. The
+// invariants: never panic, reject anything that is not a well-formed
+// frame with an error, and for every accepted frame the decoded message
+// re-encodes to exactly the bytes consumed (the wire format is
+// canonical, so decode∘encode is the identity on valid frames — this
+// catches offset-table drift between the encode and decode paths).
+func FuzzDecode(f *testing.F) {
+	seed := func(msg Message) {
+		frame, err := Encode(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		// Truncations exercise every short-read branch.
+		f.Add(frame[:len(frame)-3])
+		f.Add(frame[:2])
+	}
+	seed(Message{TreeKey: "1,2,3", From: 4, To: model.Central,
+		Values: []Value{{Node: 4, Attr: 1, Round: 7, Value: 3.25}}})
+	seed(Message{TreeKey: "", From: 1, To: 2})
+	seed(Message{From: 7, To: model.Central, Beats: []Beat{{Node: 7, Round: 42}}})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // oversized length prefix
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00}) // empty payload (short header)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		frame, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %+v: %v", msg, err)
+		}
+		if len(frame) > len(data) || !bytes.Equal(frame, data[:len(frame)]) {
+			t.Fatalf("re-encode mismatch:\ndecoded %+v\nconsumed %x\nre-encoded %x",
+				msg, data[:min(len(data), len(frame))], frame)
+		}
+		// The streaming decoder must agree with the one-shot path.
+		msg2, err := NewDecoder(bytes.NewReader(data)).Decode()
+		if err != nil {
+			t.Fatalf("Decoder rejected a frame Decode accepted: %v", err)
+		}
+		frame2, err := Encode(msg2)
+		if err != nil || !bytes.Equal(frame2, frame) {
+			t.Fatalf("Decoder diverged from Decode: %+v vs %+v (err %v)", msg2, msg, err)
+		}
+	})
+}

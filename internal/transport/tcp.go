@@ -12,14 +12,14 @@ import (
 	"remo/internal/model"
 )
 
-// TCPOptions tunes the TCP transport's failure handling. The zero value
-// selects the defaults noted on each field.
+// TCPOptions tunes the TCP transport's failure handling and write
+// batching. The zero value selects the defaults noted on each field.
 type TCPOptions struct {
 	// DialTimeout bounds each connection attempt (default 2s).
 	DialTimeout time.Duration
 	// WriteTimeout bounds each frame write (default 2s).
 	WriteTimeout time.Duration
-	// MaxRetries is how many additional attempts Send makes after the
+	// MaxRetries is how many additional attempts a write makes after the
 	// first failure — re-dialing evicted connections between attempts —
 	// before declaring the destination unreachable (default 3).
 	MaxRetries int
@@ -28,6 +28,15 @@ type TCPOptions struct {
 	BackoffBase time.Duration
 	// BackoffMax caps the per-attempt backoff (default 100ms).
 	BackoffMax time.Duration
+	// BatchBytes is the per-destination write-coalescing watermark:
+	// frames accepted by Send accumulate in one buffer per destination
+	// and are written in a single syscall when the buffer reaches
+	// BatchBytes or when Flush runs, cutting syscalls and lock
+	// acquisitions from one per message to one per destination per
+	// round. 0 selects the default (32 KiB); negative disables batching,
+	// restoring the synchronous write-per-Send path (and its synchronous
+	// unreachable-destination errors).
+	BatchBytes int
 }
 
 // withDefaults fills in the zero fields.
@@ -49,7 +58,27 @@ func (o TCPOptions) withDefaults() TCPOptions {
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = 100 * time.Millisecond
 	}
+	if o.BatchBytes == 0 {
+		o.BatchBytes = 32 << 10
+	}
 	return o
+}
+
+// batching reports whether write coalescing is enabled.
+func (o TCPOptions) batching() bool { return o.BatchBytes > 0 }
+
+// destQueue is the per-destination write state: the coalescing buffer,
+// and the write lock serializing senders to one peer without holding
+// the transport lock (a stalled TCP write must never block Drain).
+type destQueue struct {
+	mu     sync.Mutex
+	buf    []byte
+	frames int
+	// failed latches a flush failure so the next Send to this
+	// destination reports the dead peer instead of silently buffering
+	// forever. It clears on read, giving the link a fresh chance — a
+	// recovered peer starts delivering again after one reported drop.
+	failed bool
 }
 
 // TCP is a loopback transport: every node (including the central
@@ -58,25 +87,30 @@ func (o TCPOptions) withDefaults() TCPOptions {
 // the emulation against a real network stack; experiments default to the
 // memory transport.
 //
-// Send is hardened against peer failures: dials and writes carry
-// deadlines, a connection that fails a write is evicted and re-dialed
-// (a broken conn never poisons later sends), and failures are retried
-// with capped exponential backoff plus jitter. When every attempt fails
-// the returned error wraps ErrUnreachable so callers can distinguish a
-// dead peer from a transient hiccup.
+// Writes are batched per destination (see TCPOptions.BatchBytes):
+// frames accepted by Send accumulate in one buffer per peer and go out
+// in a single syscall at the size watermark or on Flush — the round
+// barrier the emulation already runs. Failures are retried with capped
+// jittered backoff; the backoff wait observes Close, so closing the
+// transport unblocks in-flight retries promptly. When every attempt
+// fails the frames are dropped (counted in LostFrames), the error wraps
+// ErrUnreachable, and the destination's failed latch makes the next
+// Send report the dead peer.
 type TCP struct {
 	mu        sync.Mutex
 	addrs     map[model.NodeID]string
 	listeners map[model.NodeID]net.Listener
 	conns     map[model.NodeID]net.Conn
-	writeMu   map[model.NodeID]*sync.Mutex
+	queues    map[model.NodeID]*destQueue
 	boxes     map[model.NodeID][]Message
 	closed    bool
+	closedCh  chan struct{}
 	wg        sync.WaitGroup
 	opts      TCPOptions
 
 	sentCount      atomic.Int64
 	deliveredCount atomic.Int64
+	lostFrames     atomic.Int64
 	// jitterState seeds the deterministic backoff jitter.
 	jitterState atomic.Uint64
 }
@@ -84,19 +118,21 @@ type TCP struct {
 var _ Transport = (*TCP)(nil)
 
 // NewTCP starts one loopback listener per node (plus the central
-// collector) on ephemeral ports, with default failure-handling options.
+// collector) on ephemeral ports, with default failure-handling and
+// batching options.
 func NewTCP(nodes []model.NodeID) (*TCP, error) {
 	return NewTCPWithOptions(nodes, TCPOptions{})
 }
 
-// NewTCPWithOptions is NewTCP with explicit failure-handling options.
+// NewTCPWithOptions is NewTCP with explicit options.
 func NewTCPWithOptions(nodes []model.NodeID, opts TCPOptions) (*TCP, error) {
 	t := &TCP{
 		addrs:     make(map[model.NodeID]string, len(nodes)+1),
 		listeners: make(map[model.NodeID]net.Listener, len(nodes)+1),
 		conns:     make(map[model.NodeID]net.Conn, len(nodes)+1),
-		writeMu:   make(map[model.NodeID]*sync.Mutex, len(nodes)+1),
+		queues:    make(map[model.NodeID]*destQueue, len(nodes)+1),
 		boxes:     make(map[model.NodeID][]Message, len(nodes)+1),
+		closedCh:  make(chan struct{}),
 		opts:      opts.withDefaults(),
 	}
 	all := append([]model.NodeID{model.Central}, nodes...)
@@ -109,7 +145,7 @@ func NewTCPWithOptions(nodes []model.NodeID, opts TCPOptions) (*TCP, error) {
 		t.listeners[n] = ln
 		t.addrs[n] = ln.Addr().String()
 		t.boxes[n] = nil
-		t.writeMu[n] = &sync.Mutex{}
+		t.queues[n] = &destQueue{}
 		t.wg.Add(1)
 		go t.accept(n, ln)
 	}
@@ -130,12 +166,16 @@ func (t *TCP) accept(n model.NodeID, ln net.Listener) {
 	}
 }
 
-// read decodes frames from one connection into the node's mailbox.
+// read decodes frames from one connection into the node's mailbox. The
+// per-connection Decoder reuses its payload buffer and interns tree
+// keys, so steady-state decoding allocates only the messages' value
+// slices.
 func (t *TCP) read(n model.NodeID, conn net.Conn) {
 	defer t.wg.Done()
 	defer func() { _ = conn.Close() }()
+	dec := NewDecoder(conn)
 	for {
-		msg, err := Decode(conn)
+		msg, err := dec.Decode()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				// Connection torn down mid-frame during shutdown:
@@ -153,15 +193,13 @@ func (t *TCP) read(n model.NodeID, conn net.Conn) {
 	}
 }
 
-// Send implements Transport. Failures are retried MaxRetries times with
-// backoff; the broken connection is evicted before each retry so every
-// attempt re-dials a fresh socket. Exhaustion returns an error wrapping
-// ErrUnreachable.
+// Send implements Transport. With batching enabled (the default) the
+// frame is appended to the destination's coalescing buffer and written
+// out at the size watermark or on Flush; a destination whose last batch
+// was lost reports ErrUnreachable once before accepting new frames.
+// With batching disabled every Send writes synchronously, retrying
+// failures with backoff before declaring the peer unreachable.
 func (t *TCP) Send(msg Message) error {
-	frame, err := Encode(msg)
-	if err != nil {
-		return err
-	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -172,17 +210,59 @@ func (t *TCP) Send(msg Message) error {
 		t.mu.Unlock()
 		return fmt.Errorf("%w: %v", ErrUnknownDestination, msg.To)
 	}
+	q := t.queues[msg.To]
 	t.mu.Unlock()
 
+	if t.opts.batching() {
+		return t.sendBatched(msg, addr, q)
+	}
+	return t.sendDirect(msg, addr, q)
+}
+
+// sendBatched appends the frame to the destination's buffer, flushing
+// at the watermark.
+func (t *TCP) sendBatched(msg Message, addr string, q *destQueue) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.failed {
+		q.failed = false
+		return fmt.Errorf("send to %v: previous batch lost: %w", msg.To, ErrUnreachable)
+	}
+	buf, err := AppendEncode(q.buf, msg)
+	if err != nil {
+		return err
+	}
+	q.buf = buf
+	q.frames++
+	if len(q.buf) < t.opts.BatchBytes {
+		return nil
+	}
+	if err := t.flushQueueLocked(msg.To, addr, q); err != nil {
+		if IsUnreachable(err) {
+			// The error is surfaced to this caller, who accounts for
+			// this message; only the other coalesced frames count as
+			// lost here.
+			t.lostFrames.Add(-1)
+		}
+		return err
+	}
+	return nil
+}
+
+// sendDirect is the unbatched path: encode into a pooled frame buffer
+// and write synchronously with retries.
+func (t *TCP) sendDirect(msg Message, addr string, q *destQueue) error {
+	frame, err := AppendEncode(getFrameBuf(), msg)
+	defer putFrameBuf(frame)
+	if err != nil {
+		return err
+	}
 	var lastErr error
 	for attempt := 0; attempt <= t.opts.MaxRetries; attempt++ {
-		if attempt > 0 {
-			time.Sleep(t.backoff(attempt))
+		if attempt > 0 && !t.waitBackoff(attempt) {
+			return ErrClosed
 		}
-		t.mu.Lock()
-		closed := t.closed
-		t.mu.Unlock()
-		if closed {
+		if t.isClosed() {
 			return ErrClosed
 		}
 		conn, err := t.connTo(msg.To, addr)
@@ -190,7 +270,10 @@ func (t *TCP) Send(msg Message) error {
 			lastErr = err
 			continue
 		}
-		if err := t.writeFrame(msg.To, conn, frame); err != nil {
+		q.mu.Lock()
+		err = t.writeConn(msg.To, conn, frame)
+		q.mu.Unlock()
+		if err != nil {
 			lastErr = err
 			t.evict(msg.To, conn)
 			continue
@@ -200,6 +283,42 @@ func (t *TCP) Send(msg Message) error {
 	}
 	return fmt.Errorf("send to %v failed after %d attempts: %w (last: %v)",
 		msg.To, t.opts.MaxRetries+1, ErrUnreachable, lastErr)
+}
+
+// flushQueueLocked writes the destination's coalesced buffer in one
+// syscall, retrying with backoff. Exhaustion drops the buffered frames
+// (counted in LostFrames) and returns an error wrapping ErrUnreachable.
+// The caller holds q.mu.
+func (t *TCP) flushQueueLocked(to model.NodeID, addr string, q *destQueue) error {
+	if q.frames == 0 {
+		return nil
+	}
+	var lastErr error
+	for attempt := 0; attempt <= t.opts.MaxRetries; attempt++ {
+		if attempt > 0 && !t.waitBackoff(attempt) {
+			return ErrClosed
+		}
+		if t.isClosed() {
+			return ErrClosed
+		}
+		conn, err := t.connTo(to, addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := t.writeConn(to, conn, q.buf); err != nil {
+			lastErr = err
+			t.evict(to, conn)
+			continue
+		}
+		t.sentCount.Add(int64(q.frames))
+		q.buf, q.frames = q.buf[:0], 0
+		return nil
+	}
+	t.lostFrames.Add(int64(q.frames))
+	q.buf, q.frames = q.buf[:0], 0
+	return fmt.Errorf("flush to %v failed after %d attempts: %w (last: %v)",
+		to, t.opts.MaxRetries+1, ErrUnreachable, lastErr)
 }
 
 // connTo returns the cached connection to the destination, dialing one
@@ -230,17 +349,13 @@ func (t *TCP) connTo(to model.NodeID, addr string) (net.Conn, error) {
 	return c, nil
 }
 
-// writeFrame writes one frame under the destination's write lock and
-// deadline. Writers are serialized per destination without holding the
-// transport lock: a stalled TCP write must never block Drain.
-func (t *TCP) writeFrame(to model.NodeID, conn net.Conn, frame []byte) error {
-	wmu := t.writeMu[to]
-	wmu.Lock()
-	defer wmu.Unlock()
+// writeConn writes one buffer under the configured deadline. Callers
+// serialize per destination via the destination queue's lock.
+func (t *TCP) writeConn(to model.NodeID, conn net.Conn, buf []byte) error {
 	if err := conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout)); err != nil {
 		return fmt.Errorf("write deadline for %v: %w", to, err)
 	}
-	if _, err := conn.Write(frame); err != nil {
+	if _, err := conn.Write(buf); err != nil {
 		return fmt.Errorf("write to %v: %w", to, err)
 	}
 	return nil
@@ -257,6 +372,30 @@ func (t *TCP) evict(to model.NodeID, conn net.Conn) {
 	}
 	t.mu.Unlock()
 	_ = conn.Close()
+}
+
+// isClosed reports whether Close has begun.
+func (t *TCP) isClosed() bool {
+	select {
+	case <-t.closedCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// waitBackoff sleeps the backoff before the given retry attempt,
+// returning early (false) when the transport closes — Close must not
+// wait out in-flight retry backoffs.
+func (t *TCP) waitBackoff(attempt int) bool {
+	timer := time.NewTimer(t.backoff(attempt))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-t.closedCh:
+		return false
+	}
 }
 
 // backoff computes the sleep before the given retry attempt (1-based):
@@ -279,16 +418,42 @@ func (t *TCP) backoff(attempt int) time.Duration {
 	return d + jitter
 }
 
-// Flush implements Transport: it waits until every successfully written
-// frame has been decoded into a mailbox. Loopback delivery is fast, so
-// the poll interval is tight; a generous deadline guards shutdown races.
+// Flush implements Transport: it writes out every destination's
+// coalesced buffer, then waits until every written frame has been
+// decoded into a mailbox. A destination that stays unreachable loses
+// its buffered frames (LostFrames) and latches an error for the next
+// Send, but does not fail the barrier — the emulation degrades
+// gracefully around dead peers instead of aborting the round.
 func (t *TCP) Flush() error {
+	if t.isClosed() {
+		return ErrClosed
+	}
+	if t.opts.batching() {
+		t.mu.Lock()
+		dests := make([]model.NodeID, 0, len(t.queues))
+		for n := range t.queues {
+			dests = append(dests, n)
+		}
+		t.mu.Unlock()
+		for _, n := range dests {
+			t.mu.Lock()
+			addr, q := t.addrs[n], t.queues[n]
+			t.mu.Unlock()
+			q.mu.Lock()
+			err := t.flushQueueLocked(n, addr, q)
+			if err != nil && IsUnreachable(err) {
+				q.failed = true
+				err = nil
+			}
+			q.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
 	deadline := time.Now().Add(10 * time.Second)
 	for t.deliveredCount.Load() < t.sentCount.Load() {
-		t.mu.Lock()
-		closed := t.closed
-		t.mu.Unlock()
-		if closed {
+		if t.isClosed() {
 			return ErrClosed
 		}
 		if time.Now().After(deadline) {
@@ -318,8 +483,16 @@ func (t *TCP) Pending(n model.NodeID) int {
 	return len(t.boxes[n])
 }
 
-// Close implements Transport: it stops listeners, closes connections and
-// waits for reader goroutines to exit.
+// LostFrames counts frames accepted by Send but dropped because their
+// destination stayed unreachable through a batched flush. The emulation
+// folds them into its dropped-message accounting.
+func (t *TCP) LostFrames() int {
+	return int(t.lostFrames.Load())
+}
+
+// Close implements Transport: it stops listeners, closes connections,
+// unblocks in-flight retry backoffs and waits for reader goroutines to
+// exit.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -327,6 +500,7 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
+	close(t.closedCh)
 	for _, ln := range t.listeners {
 		_ = ln.Close()
 	}

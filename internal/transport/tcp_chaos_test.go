@@ -9,7 +9,8 @@ import (
 	"remo/internal/model"
 )
 
-// fastOpts keeps retry loops snappy in tests.
+// fastOpts keeps retry loops snappy in tests (batching on, the
+// default).
 func fastOpts() TCPOptions {
 	return TCPOptions{
 		DialTimeout:  200 * time.Millisecond,
@@ -20,21 +21,33 @@ func fastOpts() TCPOptions {
 	}
 }
 
-func TestChaosTCPUnreachableDestination(t *testing.T) {
-	tr, err := NewTCPWithOptions([]model.NodeID{1, 2}, fastOpts())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() { _ = tr.Close() }()
+// fastOptsDirect is fastOpts with write batching disabled: every Send
+// writes synchronously.
+func fastOptsDirect() TCPOptions {
+	o := fastOpts()
+	o.BatchBytes = -1
+	return o
+}
 
-	// Kill node 2's listener out from under the transport: the peer is
-	// now a never-answering address.
+// killListener closes a node's listener out from under the transport:
+// the peer is now a never-answering address.
+func killListener(t *testing.T, tr *TCP, n model.NodeID) {
+	t.Helper()
 	tr.mu.Lock()
-	ln := tr.listeners[2]
+	ln := tr.listeners[n]
 	tr.mu.Unlock()
 	_ = ln.Close()
 	// Wait for the accept loop to notice so no connection sneaks in.
 	time.Sleep(10 * time.Millisecond)
+}
+
+func TestChaosTCPUnreachableDestinationDirect(t *testing.T) {
+	tr, err := NewTCPWithOptions([]model.NodeID{1, 2}, fastOptsDirect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	killListener(t, tr, 2)
 
 	msg := sampleMessage()
 	msg.To = 2
@@ -51,6 +64,40 @@ func TestChaosTCPUnreachableDestination(t *testing.T) {
 	}
 }
 
+func TestChaosTCPUnreachableDestinationBatched(t *testing.T) {
+	tr, err := NewTCPWithOptions([]model.NodeID{1, 2}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	killListener(t, tr, 2)
+
+	msg := sampleMessage()
+	msg.To = 2
+	// Batched: the frame is accepted, the loss is discovered at the
+	// round barrier, and the next Send reports the dead peer.
+	if err := tr.Send(msg); err != nil {
+		t.Fatalf("batched Send buffered frame: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush must degrade gracefully around a dead peer, got %v", err)
+	}
+	if lost := tr.LostFrames(); lost != 1 {
+		t.Fatalf("LostFrames = %d, want 1", lost)
+	}
+	err = tr.Send(msg)
+	if !IsUnreachable(err) {
+		t.Fatalf("Send after lost batch: want ErrUnreachable, got %v", err)
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrUnknownDestination) {
+		t.Fatalf("error taxonomy confused: %v", err)
+	}
+	// The latch clears on read: the following Send buffers again.
+	if err := tr.Send(msg); err != nil {
+		t.Fatalf("Send after latched error: %v", err)
+	}
+}
+
 func TestChaosTCPEvictAndReconnect(t *testing.T) {
 	tr, err := NewTCPWithOptions([]model.NodeID{1, 2}, fastOpts())
 	if err != nil {
@@ -62,6 +109,9 @@ func TestChaosTCPEvictAndReconnect(t *testing.T) {
 	msg.To = 2
 	if err := tr.Send(msg); err != nil {
 		t.Fatalf("first send: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
 	}
 	waitDrain(t, tr, 2, 1)
 
@@ -75,10 +125,13 @@ func TestChaosTCPEvictAndReconnect(t *testing.T) {
 	}
 	_ = conn.Close()
 
-	// The next send hits the dead socket, evicts it, re-dials, and
+	// The next flush hits the dead socket, evicts it, re-dials, and
 	// succeeds — possibly needing a retry attempt.
 	if err := tr.Send(msg); err != nil {
 		t.Fatalf("send after severed connection: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush after severed connection: %v", err)
 	}
 	waitDrain(t, tr, 2, 1)
 
@@ -101,6 +154,9 @@ func TestChaosTCPPeerClosesMidStream(t *testing.T) {
 	msg.To = 2
 	if err := tr.Send(msg); err != nil {
 		t.Fatalf("first send: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
 	}
 	waitDrain(t, tr, 2, 1)
 
@@ -125,6 +181,9 @@ func TestChaosTCPPeerClosesMidStream(t *testing.T) {
 
 	if err := tr.Send(msg); err != nil {
 		t.Fatalf("send after listener restart: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush after listener restart: %v", err)
 	}
 	got := waitDrain(t, tr, 2, 1)
 	if len(got) != 1 || got[0].From != msg.From {
@@ -178,7 +237,12 @@ func TestChaosTCPSendAfterClose(t *testing.T) {
 }
 
 func TestChaosTCPConcurrentSendsWithEviction(t *testing.T) {
-	tr, err := NewTCPWithOptions([]model.NodeID{1, 2}, fastOpts())
+	// A tiny watermark forces a batched write on nearly every Send, so
+	// concurrent senders exercise the coalescing path's eviction and
+	// retry logic mid-burst.
+	opts := fastOpts()
+	opts.BatchBytes = 64
+	tr, err := NewTCPWithOptions([]model.NodeID{1, 2}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

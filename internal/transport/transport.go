@@ -7,8 +7,10 @@ package transport
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"remo/internal/model"
 )
@@ -34,6 +36,16 @@ type Beat struct {
 // Message is one periodic update: node From forwards Values to its
 // parent To within the tree identified by TreeKey (the tree's
 // attribute-set key). Heartbeat messages carry Beats and no Values.
+//
+// Buffer ownership: Send borrows the message's Values/Beats slices only
+// for the duration of the call — the transport either retains the
+// Message struct as-is (memory transport, where the receiver consumes it
+// before the sender's next compose) or serializes it before returning
+// (TCP), so senders may reuse their backing arrays for the next round
+// once the message has been drained by its receiver. Messages returned
+// by Drain, and their slices, are owned by the caller only until the
+// next Drain call for the same node; callers that retain messages
+// longer must copy them.
 type Message struct {
 	TreeKey string
 	From    model.NodeID
@@ -47,10 +59,12 @@ type Message struct {
 // Implementations must allow concurrent Send calls and concurrent Drain
 // calls for distinct nodes.
 type Transport interface {
-	// Send enqueues the message for its destination.
+	// Send enqueues the message for its destination. See Message for the
+	// buffer-ownership rules.
 	Send(msg Message) error
 	// Drain atomically removes and returns everything queued for node n,
-	// in canonical order (tree key, then sender).
+	// in canonical order (tree key, then sender). The returned slice is
+	// valid until the next Drain call for the same node.
 	Drain(n model.NodeID) []Message
 	// Flush blocks until every accepted Send has reached its mailbox —
 	// the round barrier for asynchronous transports. Synchronous
@@ -81,19 +95,32 @@ func IsUnreachable(err error) bool { return errors.Is(err, ErrUnreachable) }
 // sortMessages puts drained messages into canonical order so runs are
 // deterministic regardless of goroutine scheduling.
 func sortMessages(msgs []Message) {
-	sort.Slice(msgs, func(i, j int) bool {
-		if msgs[i].TreeKey != msgs[j].TreeKey {
-			return msgs[i].TreeKey < msgs[j].TreeKey
+	slices.SortFunc(msgs, func(a, b Message) int {
+		if c := strings.Compare(a.TreeKey, b.TreeKey); c != 0 {
+			return c
 		}
-		return msgs[i].From < msgs[j].From
+		return int(a.From) - int(b.From)
 	})
 }
 
-// Memory is an in-process transport backed by per-node mailboxes.
+// mailbox is one destination's queue. Each mailbox has its own lock, so
+// concurrent senders to distinct destinations never contend, and the
+// central fan-in serializes only senders targeting the collector.
+// Two buffers alternate between rounds: Drain hands out one and arms
+// the other, implementing the Drain ownership rule without per-round
+// slice allocations.
+type mailbox struct {
+	mu    sync.Mutex
+	msgs  []Message
+	spare []Message
+}
+
+// Memory is an in-process transport backed by per-destination
+// mailboxes. The destination map is immutable after construction, so
+// Send and Drain touch only the destination's own lock.
 type Memory struct {
-	mu     sync.Mutex
-	boxes  map[model.NodeID][]Message
-	closed bool
+	boxes  map[model.NodeID]*mailbox
+	closed atomic.Bool
 }
 
 var _ Transport = (*Memory)(nil)
@@ -101,34 +128,48 @@ var _ Transport = (*Memory)(nil)
 // NewMemory returns a memory transport with mailboxes for the given
 // nodes (the central collector is always included).
 func NewMemory(nodes []model.NodeID) *Memory {
-	m := &Memory{boxes: make(map[model.NodeID][]Message, len(nodes)+1)}
-	m.boxes[model.Central] = nil
+	m := &Memory{boxes: make(map[model.NodeID]*mailbox, len(nodes)+1)}
+	m.boxes[model.Central] = &mailbox{}
 	for _, n := range nodes {
-		m.boxes[n] = nil
+		if _, dup := m.boxes[n]; !dup {
+			m.boxes[n] = &mailbox{}
+		}
 	}
 	return m
 }
 
 // Send implements Transport.
 func (m *Memory) Send(msg Message) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed.Load() {
 		return ErrClosed
 	}
-	if _, ok := m.boxes[msg.To]; !ok {
+	box, ok := m.boxes[msg.To]
+	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownDestination, msg.To)
 	}
-	m.boxes[msg.To] = append(m.boxes[msg.To], msg)
+	box.mu.Lock()
+	if m.closed.Load() {
+		box.mu.Unlock()
+		return ErrClosed
+	}
+	box.msgs = append(box.msgs, msg)
+	box.mu.Unlock()
 	return nil
 }
 
-// Drain implements Transport.
+// Drain implements Transport. The returned slice is reused by the
+// next-but-one Drain of the same node; callers own it only until their
+// next Drain call.
 func (m *Memory) Drain(n model.NodeID) []Message {
-	m.mu.Lock()
-	msgs := m.boxes[n]
-	m.boxes[n] = nil
-	m.mu.Unlock()
+	box, ok := m.boxes[n]
+	if !ok {
+		return nil
+	}
+	box.mu.Lock()
+	msgs := box.msgs
+	box.msgs = box.spare[:0]
+	box.spare = msgs
+	box.mu.Unlock()
 	sortMessages(msgs)
 	return msgs
 }
@@ -139,8 +180,6 @@ func (m *Memory) Flush() error { return nil }
 
 // Close implements Transport.
 func (m *Memory) Close() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.closed = true
+	m.closed.Store(true)
 	return nil
 }

@@ -192,6 +192,9 @@ func TestTCPTransportDelivers(t *testing.T) {
 	if err := tr.Send(msg); err != nil {
 		t.Fatal(err)
 	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	got := waitDrain(t, tr, 2, 1)
 	if !reflect.DeepEqual(got[0], msg) {
 		t.Fatalf("delivered %+v, want %+v", got[0], msg)
@@ -209,6 +212,9 @@ func TestTCPMultipleMessagesOneConnection(t *testing.T) {
 		if err := tr.Send(Message{TreeKey: "k", From: model.NodeID(i + 10), To: 1}); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
 	}
 	got := waitDrain(t, tr, 1, n)
 	if len(got) != n {

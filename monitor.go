@@ -134,6 +134,7 @@ func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
 		Demand:          ad.Demand(),
 		Spec:            p.aggSpec,
 		Source:          source,
+		Workers:         p.runtimeWorkers,
 		Resolve:         p.resolveAttr,
 		EnforceCapacity: true,
 		Chaos:           cfg.Chaos,

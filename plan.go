@@ -19,16 +19,20 @@ type Plan struct {
 	aggSpec *agg.Spec
 	resolve func(AttrID) AttrID
 	res     core.Result
+	// runtimeWorkers sizes Deploy's round engine pool (see
+	// WithRuntimeWorkers).
+	runtimeWorkers int
 }
 
 // planFromForest wraps an externally maintained forest (the adaptor's)
 // in a Plan.
 func planFromForest(p *Planner, forest *plan.Forest, d *task.Demand) *Plan {
 	return &Plan{
-		sys:     p.sys,
-		demand:  d,
-		aggSpec: p.aggSpec,
-		resolve: p.resolveAttr,
+		sys:            p.sys,
+		demand:         d,
+		aggSpec:        p.aggSpec,
+		resolve:        p.resolveAttr,
+		runtimeWorkers: p.runtimeWorkers,
 		res: core.Result{
 			Forest:    forest,
 			Stats:     forest.ComputeStats(d, p.sys, p.aggSpec),

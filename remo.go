@@ -123,6 +123,9 @@ type Planner struct {
 
 	// baseline, when set, bypasses the search with a fixed partition.
 	baseline Baseline
+
+	// runtimeWorkers sizes the emulation round engine's worker pool.
+	runtimeWorkers int
 }
 
 // PlannerOption configures a Planner.
@@ -166,6 +169,15 @@ func WithEvalBudget(k int) PlannerOption {
 // capping planner CPU next to latency-sensitive workloads.
 func WithPlannerWorkers(n int) PlannerOption {
 	return func(p *Planner) { p.opts = append(p.opts, core.WithWorkers(n)) }
+}
+
+// WithRuntimeWorkers sizes the emulation round engine's worker pool,
+// used by Plan.Deploy and live monitors: 0 (the default) sizes the pool
+// to GOMAXPROCS, positive values are used as given, and -1 selects the
+// legacy goroutine-per-node engine. Results are identical at any
+// setting — workers change wall-clock only.
+func WithRuntimeWorkers(n int) PlannerOption {
+	return func(p *Planner) { p.runtimeWorkers = n }
 }
 
 // Baseline selects a fixed partition scheme instead of REMO's search,
@@ -254,11 +266,12 @@ func (p *Planner) Plan() (*Plan, error) {
 		res = planner.Plan(p.sys, d)
 	}
 	pl := &Plan{
-		sys:     p.sys,
-		demand:  d,
-		aggSpec: p.aggSpec,
-		resolve: p.resolveAttr,
-		res:     res,
+		sys:            p.sys,
+		demand:         d,
+		aggSpec:        p.aggSpec,
+		resolve:        p.resolveAttr,
+		res:            res,
+		runtimeWorkers: p.runtimeWorkers,
 	}
 	if err := pl.Validate(); err != nil {
 		return nil, fmt.Errorf("remo: planned topology failed validation: %w", err)

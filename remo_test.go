@@ -1,6 +1,7 @@
 package remo_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -117,6 +118,31 @@ func TestDeploy(t *testing.T) {
 	}
 	if rep.MessagesSent == 0 {
 		t.Fatal("no traffic")
+	}
+}
+
+func TestDeployRuntimeWorkersEquivalent(t *testing.T) {
+	deploy := func(workers int) remo.DeployReport {
+		sys := testSystem(t)
+		p := remo.NewPlanner(sys, remo.WithRuntimeWorkers(workers))
+		p.MustAddTask(remo.Task{Name: "all", Attrs: []remo.AttrID{1, 2, 3}, Nodes: allNodes(sys)})
+		plan, err := p.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := plan.Deploy(remo.DeployConfig{Rounds: 20, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	want := deploy(-1) // legacy goroutine-per-node engine
+	for _, workers := range []int{0, 2} {
+		got := deploy(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("WithRuntimeWorkers(%d) changed the report:\ngot  %+v\nwant %+v",
+				workers, got, want)
+		}
 	}
 }
 

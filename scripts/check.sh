@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1+ gate for the repo: vet, build, race-enabled tests, and a
-# one-shot run of the planner benchmarks so perf regressions that break
-# the benchmark harness are caught before merge.
+# Tier-1+ gate for the repo: formatting, vet, build, race-enabled
+# tests, and one-shot runs of the planner and runtime benchmarks so
+# perf regressions that break the benchmark harness are caught before
+# merge.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "==> go vet"
 go vet ./...
@@ -16,6 +25,9 @@ go test -race ./...
 
 echo "==> planner benchmarks (1 iteration)"
 go test -run '^$' -bench 'BenchmarkPlanner' -benchtime 1x .
+
+echo "==> runtime benchmarks (1 iteration, with allocation stats)"
+go test -run '^$' -bench 'BenchmarkRuntime' -benchtime 1x -benchmem .
 
 echo "==> chaos smoke (self-healing under -race, short mode)"
 go test -race -short -run 'Chaos' . ./internal/cluster ./internal/detect ./internal/chaos ./internal/transport
