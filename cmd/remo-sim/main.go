@@ -47,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		useTCP   = fs.Bool("tcp", false, "run the overlay over loopback TCP")
 		traceN   = fs.Int("trace", 0, "dump up to N emulation events (0 = off)")
+		verifyOn = fs.Bool("verify", false, "arm the verification harness: cross-check the plan, every repair, and the emulation results")
 
 		chaosFrac  = fs.Float64("chaos", 0, "self-healing demo: crash this fraction of nodes mid-run")
 		chaosDrop  = fs.Float64("chaos-drop", 0, "drop each message with this probability")
@@ -69,7 +70,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}()
 
-	planner, err := buildPlanner(*specPath, *nodes, *attrs, *tasks, *seed, *scheme)
+	planner, err := buildPlanner(*specPath, *nodes, *attrs, *tasks, *seed, *scheme, *verifyOn)
 	if err != nil {
 		return err
 	}
@@ -96,6 +97,7 @@ func run(args []string, stdout io.Writer) error {
 			delayProb: *chaosDelay,
 			suspicion: *suspicion,
 			trace:     rec,
+			verify:    *verifyOn,
 		})
 	} else {
 		rep, err = plan.Deploy(remo.DeployConfig{
@@ -107,6 +109,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *verifyOn {
+		fmt.Fprintln(stdout, "verification: plan invariants, repairs and results cross-checked OK")
 	}
 	fmt.Fprintf(stdout, "emulation: %d rounds over %s\n", rep.Rounds, transportName(*useTCP))
 	fmt.Fprintf(stdout, "  coverage:        %d/%d pairs (%.1f%% of observations)\n",
@@ -148,6 +153,7 @@ type chaosOpts struct {
 	delayProb float64
 	suspicion int
 	trace     *remo.TraceRecorder
+	verify    bool
 }
 
 // runChaos runs a self-healing live session: a fraction of nodes
@@ -194,6 +200,11 @@ func runChaos(planner *remo.Planner, o chaosOpts) (remo.DeployReport, error) {
 	if err := mon.Run(o.rounds); err != nil {
 		return remo.DeployReport{}, err
 	}
+	if o.verify {
+		if err := mon.Verify(); err != nil {
+			return remo.DeployReport{}, err
+		}
+	}
 	return mon.Report(), nil
 }
 
@@ -206,10 +217,14 @@ func transportName(tcp bool) string {
 
 // buildPlanner assembles the planning problem from a spec file or the
 // synthetic generator.
-func buildPlanner(specPath string, nodes, attrs, tasks int, seed int64, scheme string) (*remo.Planner, error) {
+func buildPlanner(specPath string, nodes, attrs, tasks int, seed int64, scheme string, verifyOn bool) (*remo.Planner, error) {
 	opt, err := schemeOption(scheme)
 	if err != nil {
 		return nil, err
+	}
+	opts := []remo.PlannerOption{opt}
+	if verifyOn {
+		opts = append(opts, remo.WithVerification())
 	}
 
 	if specPath != "" {
@@ -222,7 +237,7 @@ func buildPlanner(specPath string, nodes, attrs, tasks int, seed int64, scheme s
 		if err != nil {
 			return nil, err
 		}
-		return spec.Build(opt)
+		return spec.Build(opts...)
 	}
 
 	sys, err := workload.System(workload.SystemConfig{
@@ -235,7 +250,7 @@ func buildPlanner(specPath string, nodes, attrs, tasks int, seed int64, scheme s
 	if err != nil {
 		return nil, err
 	}
-	planner := remo.NewPlanner(sys, opt)
+	planner := remo.NewPlanner(sys, opts...)
 	for _, t := range workload.Tasks(sys, workload.TaskConfig{
 		Count:        tasks,
 		AttrsPerTask: 8,

@@ -94,3 +94,32 @@ func TestChaosDropFlag(t *testing.T) {
 		t.Errorf("emulation summary missing:\n%s", out.String())
 	}
 }
+
+func TestVerifyFlag(t *testing.T) {
+	// Plain deploy with verification armed.
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "15", "-attrs", "6", "-tasks", "8", "-rounds", "8", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verification:") {
+		t.Errorf("output lacks the verification line:\n%s", out.String())
+	}
+
+	// Self-healing chaos session with verification armed: the plan, the
+	// repaired hot-swaps, and the live results are all cross-checked.
+	out.Reset()
+	err = run([]string{
+		"-nodes", "20", "-attrs", "6", "-tasks", "10", "-rounds", "12",
+		"-chaos", "0.2", "-suspicion", "2", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "verification:") || !strings.Contains(got, "self-healing:") {
+		t.Errorf("output lacks verification or self-healing lines:\n%s", got)
+	}
+}

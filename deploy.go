@@ -7,6 +7,7 @@ import (
 	"remo/internal/cluster"
 	"remo/internal/trace"
 	"remo/internal/transport"
+	"remo/internal/verify"
 )
 
 // Emulation tracing, re-exported for DeployConfig.Trace.
@@ -191,6 +192,11 @@ func (p *Plan) Deploy(cfg DeployConfig) (DeployReport, error) {
 	res, err := cluster.Run(ccfg)
 	if err != nil {
 		return DeployReport{}, fmt.Errorf("remo: deploy: %w", err)
+	}
+	if p.verifyOn {
+		if err := verify.Result(p.verifyContext(), res); err != nil {
+			return DeployReport{}, fmt.Errorf("remo: deploy result failed verification: %w", err)
+		}
 	}
 	return DeployReport{
 		Rounds:           res.Rounds,

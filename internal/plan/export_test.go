@@ -1,0 +1,27 @@
+package plan
+
+import "remo/internal/model"
+
+// Test-only corruption hooks: the public Tree API cannot construct an
+// inconsistent tree (AddNode/RemoveNode/Reparent keep parent and child
+// links in sync), so mutation tests that prove the verifier rejects
+// corrupted structures reach around it here.
+
+// CorruptParentForTest redirects member n's parent link without
+// touching the children index, producing an orphaned edge.
+func (t *Tree) CorruptParentForTest(n, fakeParent model.NodeID) {
+	t.parent[n] = fakeParent
+}
+
+// CorruptDetachForTest removes n from its parent's child list without
+// touching the parent link, disconnecting n's subtree from the root.
+func (t *Tree) CorruptDetachForTest(n model.NodeID) {
+	p := t.parent[n]
+	kids := t.children[p]
+	for i, c := range kids {
+		if c == n {
+			t.children[p] = append(kids[:i], kids[i+1:]...)
+			return
+		}
+	}
+}

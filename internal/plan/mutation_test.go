@@ -1,0 +1,92 @@
+package plan_test
+
+import (
+	"errors"
+	"testing"
+
+	"remo/internal/cost"
+	"remo/internal/model"
+	"remo/internal/plan"
+	"remo/internal/task"
+	"remo/internal/verify"
+)
+
+// buildChain builds a three-node chain tree 1 → 2 → 3 (root 1) over a
+// matching system and demand.
+func buildChain(t *testing.T) (verify.Context, *plan.Tree) {
+	t.Helper()
+	sys, err := model.NewSystem(1000, cost.Default(), []model.Node{
+		{ID: 1, Capacity: 500, Attrs: []model.AttrID{1}},
+		{ID: 2, Capacity: 500, Attrs: []model.AttrID{1}},
+		{ID: 3, Capacity: 500, Attrs: []model.AttrID{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := task.NewDemand()
+	d.Set(1, 1, 1)
+	d.Set(2, 1, 1)
+	d.Set(3, 1, 1)
+	tr := plan.NewTree(model.NewAttrSet(1))
+	for _, e := range [][2]model.NodeID{{1, model.Central}, {2, 1}, {3, 2}} {
+		if err := tr.AddNode(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return verify.Context{Sys: sys, Demand: d}, tr
+}
+
+func wrap(tr *plan.Tree) *plan.Forest {
+	f := plan.NewForest()
+	f.Add(tr)
+	return f
+}
+
+// TestMutationOrphanedParentLink proves both the tree's own Validate
+// and the independent verifier notice a parent link pointing at a
+// non-member — the public API cannot construct this, so the corruption
+// goes through a test-only hook.
+func TestMutationOrphanedParentLink(t *testing.T) {
+	ctx, tr := buildChain(t)
+	tr.CorruptParentForTest(3, 99) // 99 is not a member
+	if err := tr.Validate(); err == nil {
+		t.Fatal("orphaned parent link not flagged by Tree.Validate")
+	}
+	if err := verify.Plan(ctx, wrap(tr)); !errors.Is(err, verify.ErrStructure) {
+		t.Fatalf("orphaned parent link: got %v, want ErrStructure", err)
+	}
+}
+
+// TestMutationDetachedSubtree proves a child-index corruption (subtree
+// unreachable from the root) trips the verifier's Members/Size check.
+func TestMutationDetachedSubtree(t *testing.T) {
+	ctx, tr := buildChain(t)
+	tr.CorruptDetachForTest(2) // 2 (and 3 below it) no longer reachable
+	if got, want := len(tr.Members()), tr.Size(); got == want {
+		t.Fatalf("detached subtree invisible: %d reachable of %d members", got, want)
+	}
+	if err := verify.Plan(ctx, wrap(tr)); !errors.Is(err, verify.ErrStructure) {
+		t.Fatalf("detached subtree: got %v, want ErrStructure", err)
+	}
+}
+
+// TestMutationCycle proves a parent-link cycle below the root is caught
+// by the verifier's bounded parent-chain climb.
+func TestMutationCycle(t *testing.T) {
+	ctx, tr := buildChain(t)
+	tr.CorruptParentForTest(2, 3) // 2 → 3 → 2
+	if err := verify.Plan(ctx, wrap(tr)); !errors.Is(err, verify.ErrStructure) {
+		t.Fatalf("parent cycle: got %v, want ErrStructure", err)
+	}
+}
+
+// TestMutationChainAccepted pins the happy path for the same fixture.
+func TestMutationChainAccepted(t *testing.T) {
+	ctx, tr := buildChain(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid chain rejected by Tree.Validate: %v", err)
+	}
+	if err := verify.Plan(ctx, wrap(tr)); err != nil {
+		t.Fatalf("valid chain rejected by verifier: %v", err)
+	}
+}

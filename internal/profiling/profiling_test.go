@@ -1,0 +1,76 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatalf("disabled profiling errored: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("disabled stop errored: %v", err)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	sum := 0
+	for i := 0; i < 1_000_000; i++ {
+		sum += i * i
+	}
+	_ = sum
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestStartMemOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+}
+
+func TestStartBadCPUPath(t *testing.T) {
+	_, err := Start(filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof"), "")
+	if err == nil {
+		t.Fatal("unwritable cpu path did not error")
+	}
+}
+
+func TestStopBadMemPath(t *testing.T) {
+	stop, err := Start("", filepath.Join(t.TempDir(), "no-such-dir", "mem.pprof"))
+	if err != nil {
+		t.Fatalf("start should defer mem-path errors to stop: %v", err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("unwritable mem path did not error at stop")
+	}
+}

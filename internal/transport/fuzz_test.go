@@ -28,6 +28,14 @@ func FuzzDecode(f *testing.F) {
 		Values: []Value{{Node: 4, Attr: 1, Round: 7, Value: 3.25}}})
 	seed(Message{TreeKey: "", From: 1, To: 2})
 	seed(Message{From: 7, To: model.Central, Beats: []Beat{{Node: 7, Round: 42}}})
+	seed(Message{TreeKey: "2,9", From: 3, To: 8,
+		Values: []Value{
+			{Node: 3, Attr: 2, Round: 5, Value: -1.5},
+			{Node: 6, Attr: 9, Round: 4, Value: 1e300},
+		},
+		Beats: []Beat{{Node: 3, Round: 5}, {Node: 6, Round: 4}}})
+	seed(Message{TreeKey: "1", From: 2, To: model.Central,
+		Beats: []Beat{{Node: 2, Round: 0}, {Node: 5, Round: 1}, {Node: 9, Round: 2}}})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // oversized length prefix
 	f.Add([]byte{0x00, 0x00, 0x00, 0x00}) // empty payload (short header)
 

@@ -1,0 +1,69 @@
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"remo/internal/core"
+	"remo/internal/verify"
+	"remo/internal/workload"
+)
+
+// TestOracleGuidedSearchMatchesBruteForce differentially tests the
+// guided partition search against exhaustive enumeration on tiny
+// instances: every set partition of the demanded universe is evaluated
+// with the planner's own per-partition procedure, and the guided result
+// must collect exactly as many pairs as the best enumerated partition.
+// (Cost may differ within the same pair count: the search's
+// plan-comparison epsilon deliberately ignores sub-nano cost noise.)
+func TestOracleGuidedSearchMatchesBruteForce(t *testing.T) {
+	const instances = 40
+	checked := 0
+	for seed := int64(1000); seed < 1000+instances; seed++ {
+		in, err := workload.Generate(workload.TinyBounds(), seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d, err := in.Demand()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p := core.NewPlanner()
+		guided := p.Plan(in.Sys, d)
+		best, parts, err := verify.Optimum(p, in.Sys, d)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		checked++
+		if guided.Stats.Collected != best.Stats.Collected {
+			t.Errorf("%v: guided search collected %d pairs, optimum over %d partitions collects %d",
+				in, guided.Stats.Collected, parts, best.Stats.Collected)
+		}
+	}
+	if checked < instances {
+		t.Fatalf("only %d/%d instances were enumerable", checked, instances)
+	}
+}
+
+// TestOracleRefusesLargeUniverse pins the safety bound.
+func TestOracleRefusesLargeUniverse(t *testing.T) {
+	in, err := workload.Generate(workload.GenBounds{
+		MinNodes: 12, MaxNodes: 12,
+		MaxAttrs: 14, MaxTasks: 20,
+		CapacityLo: 200, CapacityHi: 400,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := in.Demand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Universe().Len() <= verify.MaxBruteAttrs {
+		t.Skipf("instance universe %d too small to trigger the bound", d.Universe().Len())
+	}
+	_, _, err = verify.Optimum(core.NewPlanner(), in.Sys, d)
+	if !errors.Is(err, verify.ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}

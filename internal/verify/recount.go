@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"remo/internal/model"
+	"remo/internal/plan"
+)
+
+// RecountStats is the independently recomputed resource profile of a
+// forest. It mirrors the shape of plan.Stats but is derived by a
+// separate traversal (top-down recursion over child links, per-tree)
+// rather than the planner's iterative post-order accumulation, so the
+// two act as cross-checking implementations of the same cost semantics.
+type RecountStats struct {
+	// Usage is each placed node's summed send + receive cost per round
+	// across all trees.
+	Usage map[model.NodeID]float64
+	// CentralUsage is the collector's receive cost (root messages).
+	CentralUsage float64
+	// Collected is the number of demanded node-attribute pairs the
+	// forest delivers.
+	Collected int
+	// TotalCost is Usage summed over all nodes plus CentralUsage.
+	TotalCost float64
+}
+
+// Recount rederives the forest's resource profile from first
+// principles: for every tree, each member's outgoing value count is its
+// locally demanded weights plus everything its descendants forward
+// (with aggregation funnels applied per hop), its send cost is
+// (C + a·y) scaled by the distance factor to its parent, and the
+// endpoint cost is charged to the parent (or the central collector for
+// roots) as receive cost.
+func Recount(ctx Context, f *plan.Forest) RecountStats {
+	rc := RecountStats{Usage: make(map[model.NodeID]float64)}
+	for _, t := range f.Trees {
+		recountTree(ctx, t, &rc)
+	}
+	for _, u := range rc.Usage {
+		rc.TotalCost += u
+	}
+	rc.TotalCost += rc.CentralUsage
+	return rc
+}
+
+// recountTree accumulates one tree's costs into rc via recursion from
+// the root: the recursion returns each subtree's per-attribute outgoing
+// counts so the parent can fold them into its own message.
+func recountTree(ctx Context, t *plan.Tree, rc *RecountStats) {
+	if t.Size() == 0 {
+		return
+	}
+	attrs := t.Attrs.Attrs()
+	var descend func(n model.NodeID) []float64
+	descend = func(n model.NodeID) []float64 {
+		counts := make([]float64, len(attrs))
+		for _, c := range t.Children(n) {
+			childOut := descend(c)
+			// Receiving the child's message costs the unscaled endpoint
+			// cost; its payload joins this node's next message.
+			var y float64
+			for k, v := range childOut {
+				counts[k] += v
+				y += v
+			}
+			rc.Usage[n] += ctx.Sys.Cost.PerMessage + ctx.Sys.Cost.PerValue*y
+		}
+		for k, a := range attrs {
+			if ctx.Demand.Has(n, a) {
+				counts[k] += ctx.Demand.Weight(n, a)
+				rc.Collected++
+			}
+		}
+		out := make([]float64, len(attrs))
+		var y float64
+		for k, a := range attrs {
+			out[k] = ctx.Spec.Out(a, counts[k])
+			y += out[k]
+		}
+		endpoint := ctx.Sys.Cost.PerMessage + ctx.Sys.Cost.PerValue*y
+		parent, _ := t.Parent(n)
+		rc.Usage[n] += endpoint * ctx.Sys.Dist(n, parent)
+		return out
+	}
+
+	root := t.Root()
+	rootOut := descend(root)
+	var y float64
+	for _, v := range rootOut {
+		y += v
+	}
+	// The root's message is received by the central collector at the
+	// unscaled endpoint cost. The root's own send cost was already
+	// charged inside descend (distance factor to central applies there).
+	rc.CentralUsage += ctx.Sys.Cost.PerMessage + ctx.Sys.Cost.PerValue*y
+}

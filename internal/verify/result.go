@@ -1,0 +1,98 @@
+package verify
+
+import (
+	"fmt"
+
+	"remo/internal/agg"
+	"remo/internal/cluster"
+	"remo/internal/model"
+)
+
+// Result cross-checks a live collection result against the demand that
+// produced it. The invariants hold for every run — chaos, failures,
+// topology hot-swaps and all — because they restate what the collector
+// is defined to measure rather than predicting any particular outcome:
+//
+//   - DemandedPairs matches an independent recount of the demand
+//     (holistic pairs folded through the alias resolver, plus one
+//     logical target per aggregated attribute);
+//   - 0 ≤ CoveredPairs ≤ DemandedPairs, and covering anything requires
+//     having received at least one value;
+//   - rates and errors are percentages in [0, 100], staleness is
+//     non-negative and below the round count (a view cannot predate
+//     round 0);
+//   - ErrorSeries carries exactly one entry per executed round, each in
+//     [0, 100];
+//   - traffic counters are non-negative.
+//
+// ctx.Demand must be the demand currently installed in the machine
+// (after any repair pruning or adaptation), since the collector
+// retargets its accounting on every Install.
+func Result(ctx Context, res cluster.Result) error {
+	if ctx.Sys == nil || ctx.Demand == nil {
+		return fmt.Errorf("%w: nil system or demand", ErrResult)
+	}
+	if want := recountDemanded(ctx); res.DemandedPairs != want {
+		return fmt.Errorf("%w: reports %d demanded pairs, demand recounts to %d",
+			ErrResult, res.DemandedPairs, want)
+	}
+	if res.CoveredPairs < 0 || res.CoveredPairs > res.DemandedPairs {
+		return fmt.Errorf("%w: covered %d of %d demanded pairs",
+			ErrResult, res.CoveredPairs, res.DemandedPairs)
+	}
+	if res.CoveredPairs > 0 && res.ValuesDelivered <= 0 {
+		return fmt.Errorf("%w: %d pairs covered with no values delivered",
+			ErrResult, res.CoveredPairs)
+	}
+	if res.PercentCollected < 0 || res.PercentCollected > 100 {
+		return fmt.Errorf("%w: PercentCollected %.3f outside [0, 100]",
+			ErrResult, res.PercentCollected)
+	}
+	if res.AvgPercentError < 0 || res.AvgPercentError > 100 {
+		return fmt.Errorf("%w: AvgPercentError %.3f outside [0, 100]",
+			ErrResult, res.AvgPercentError)
+	}
+	if res.AvgStaleness < 0 || (res.Rounds > 0 && res.AvgStaleness >= float64(res.Rounds)) {
+		return fmt.Errorf("%w: AvgStaleness %.3f outside [0, %d)",
+			ErrResult, res.AvgStaleness, res.Rounds)
+	}
+	if res.MessagesSent < 0 || res.MessagesDropped < 0 || res.ValuesDelivered < 0 {
+		return fmt.Errorf("%w: negative traffic counters (sent %d, dropped %d, values %d)",
+			ErrResult, res.MessagesSent, res.MessagesDropped, res.ValuesDelivered)
+	}
+	if res.Rounds < 0 || len(res.ErrorSeries) != res.Rounds {
+		return fmt.Errorf("%w: %d rounds but %d error-series entries",
+			ErrResult, res.Rounds, len(res.ErrorSeries))
+	}
+	for i, e := range res.ErrorSeries {
+		if e < 0 || e > 100 {
+			return fmt.Errorf("%w: ErrorSeries[%d] = %.3f outside [0, 100]",
+				ErrResult, i, e)
+		}
+	}
+	return nil
+}
+
+// DemandedPairs is the context's independent recount of the logical
+// pair targets the collector should report: alias-folded holistic pairs
+// plus one target per aggregated attribute.
+func (ctx Context) DemandedPairs() int {
+	return recountDemanded(ctx)
+}
+
+// recountDemanded independently reproduces the collector's
+// demanded-pair accounting: holistic pairs fold aliases onto originals
+// and deduplicate, aggregated attributes count once each.
+func recountDemanded(ctx Context) int {
+	holistic := make(map[model.Pair]struct{})
+	aggAttrs := make(map[model.AttrID]struct{})
+	for _, p := range ctx.Demand.Pairs() {
+		orig := ctx.resolve(p.Attr)
+		if ctx.Spec.KindOf(orig) != agg.Holistic {
+			aggAttrs[orig] = struct{}{}
+			continue
+		}
+		holistic[model.Pair{Node: p.Node, Attr: orig}] = struct{}{}
+	}
+	return len(holistic) + len(aggAttrs)
+}

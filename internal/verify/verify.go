@@ -1,0 +1,286 @@
+// Package verify is the repository's verification harness: exact,
+// mechanically checked invariants over monitoring plans and live
+// collection results.
+//
+// The paper's claims are checkable propositions, not statistics: every
+// monitoring tree must be a forest rooted at the central collector,
+// every node's message cost must fit its capacity budget b_i under the
+// cost model C + a·x, and the pair accounting the planner reports must
+// match what the trees actually deliver. Plan asserts these on any
+// forest; Claims additionally cross-checks a planner's reported Stats
+// against an independent recount; Result checks the live collector's
+// output for internal consistency. None of the checks reuse the
+// planner's own accounting code (plan.ComputeStats et al.) — the
+// recount walks the trees itself, so a bug in the production path
+// cannot hide from its own mirror image.
+//
+// The package also hosts the differential oracles: Optimum enumerates
+// every attribute-set partition of a small instance (Bell-number many)
+// and evaluates each with the planner's own per-partition procedure,
+// yielding the best achievable score the guided search is measured
+// against.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"remo/internal/agg"
+	"remo/internal/model"
+	"remo/internal/plan"
+	"remo/internal/task"
+)
+
+// Error taxonomy. Every failed check wraps exactly one of these, so
+// callers (and the mutation smoke tests) can assert which invariant
+// tripped with errors.Is.
+var (
+	// ErrStructure marks malformed topology: a tree that is not a
+	// single-rooted, acyclic, connected arborescence of system nodes.
+	ErrStructure = errors.New("verify: malformed tree structure")
+	// ErrOwnership marks a node placed in a tree whose attributes it
+	// neither observes nor demands.
+	ErrOwnership = errors.New("verify: node carries attribute it does not own")
+	// ErrCapacity marks a per-node (or central) budget b_i exceeded
+	// under the cost model C + a·x.
+	ErrCapacity = errors.New("verify: capacity budget exceeded")
+	// ErrAccounting marks claimed statistics that disagree with the
+	// independent recount.
+	ErrAccounting = errors.New("verify: claimed stats disagree with recount")
+	// ErrResult marks an internally inconsistent collection result.
+	ErrResult = errors.New("verify: inconsistent collection result")
+)
+
+// Context carries the system the checks run against. Spec and Resolve
+// are optional (nil means holistic collection and identity resolution,
+// matching the runtime's defaults).
+type Context struct {
+	Sys    *model.System
+	Demand *task.Demand
+	Spec   *agg.Spec
+	// Resolve maps alias attributes (reliability replicas) to their
+	// originals; nil means identity.
+	Resolve func(model.AttrID) model.AttrID
+}
+
+// resolve applies the alias resolver, defaulting to identity.
+func (ctx Context) resolve(a model.AttrID) model.AttrID {
+	if ctx.Resolve == nil {
+		return a
+	}
+	return ctx.Resolve(a)
+}
+
+// capacityEps absorbs float summation noise in budget comparisons; it
+// matches the tolerance plan.Forest.Validate applies.
+const capacityEps = 1e-6
+
+// Plan asserts every plan invariant on forest f:
+//
+//   - structure: each tree is a connected, acyclic arborescence with
+//     exactly one root attached to the central collector, with
+//     consistent parent and child links, members drawn from the system,
+//     and pairwise-disjoint attribute sets across trees;
+//   - ownership: every member demands at least one of its tree's
+//     attributes, and every demanded attribute it carries is observable
+//     at that node;
+//   - capacity: under the cost model C + a·x (with aggregation funnels
+//     and distance factors applied), no node's summed send and receive
+//     cost exceeds its budget b_i, and the central collector's receive
+//     cost fits its budget.
+//
+// All checks recount from the tree links; nothing is taken from
+// planner-side statistics.
+func Plan(ctx Context, f *plan.Forest) error {
+	if ctx.Sys == nil || ctx.Demand == nil || f == nil {
+		return fmt.Errorf("%w: nil system, demand or forest", ErrStructure)
+	}
+	for i, t := range f.Trees {
+		if err := checkTreeStructure(ctx, t); err != nil {
+			return fmt.Errorf("tree %d %v: %w", i, t.Attrs, err)
+		}
+		for j := i + 1; j < len(f.Trees); j++ {
+			if t.Attrs.IntersectsAny(f.Trees[j].Attrs) {
+				return fmt.Errorf("%w: trees %d and %d share attributes (%v ∩ %v)",
+					ErrStructure, i, j, t.Attrs, f.Trees[j].Attrs)
+			}
+		}
+		if err := checkOwnership(ctx, t); err != nil {
+			return fmt.Errorf("tree %d %v: %w", i, t.Attrs, err)
+		}
+	}
+	return checkCapacity(ctx, f)
+}
+
+// Claims runs Plan and additionally cross-checks the planner's claimed
+// statistics st against the independent recount: collected pair count,
+// per-node usage, central usage and total cost must all agree.
+func Claims(ctx Context, f *plan.Forest, st plan.Stats) error {
+	if err := Plan(ctx, f); err != nil {
+		return err
+	}
+	rc := Recount(ctx, f)
+	if st.Collected != rc.Collected {
+		return fmt.Errorf("%w: claimed %d collected pairs, recounted %d",
+			ErrAccounting, st.Collected, rc.Collected)
+	}
+	// The forest's own pair listing must agree with the recount too —
+	// the two walk different code paths.
+	if got := len(f.CollectedPairs(ctx.Demand)); got != rc.Collected {
+		return fmt.Errorf("%w: CollectedPairs lists %d pairs, recounted %d",
+			ErrAccounting, got, rc.Collected)
+	}
+	if missed := len(f.MissedPairs(ctx.Demand)); rc.Collected+missed != ctx.Demand.PairCount() {
+		return fmt.Errorf("%w: collected %d + missed %d ≠ demanded %d",
+			ErrAccounting, rc.Collected, missed, ctx.Demand.PairCount())
+	}
+	for n, u := range rc.Usage {
+		if !closeEnough(st.Usage[n], u) {
+			return fmt.Errorf("%w: node %v claimed usage %.6f, recounted %.6f",
+				ErrAccounting, n, st.Usage[n], u)
+		}
+	}
+	for n, u := range st.Usage {
+		if _, ok := rc.Usage[n]; !ok && u > capacityEps {
+			return fmt.Errorf("%w: node %v claims usage %.6f but is placed in no tree",
+				ErrAccounting, n, u)
+		}
+	}
+	if !closeEnough(st.CentralUsage, rc.CentralUsage) {
+		return fmt.Errorf("%w: claimed central usage %.6f, recounted %.6f",
+			ErrAccounting, st.CentralUsage, rc.CentralUsage)
+	}
+	if !closeEnough(st.TotalCost, rc.TotalCost) {
+		return fmt.Errorf("%w: claimed total cost %.6f, recounted %.6f",
+			ErrAccounting, st.TotalCost, rc.TotalCost)
+	}
+	return nil
+}
+
+// closeEnough compares float accumulations that may differ in summation
+// order between the production path and the recount.
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	return d <= capacityEps+1e-9*scale
+}
+
+// checkTreeStructure asserts that t is a well-formed arborescence using
+// only the tree's link accessors: exactly one root whose parent is the
+// central collector, every member's parent chain reaching the collector
+// within member-count hops (acyclicity), parent and child links
+// mutually consistent, and every member a system node.
+func checkTreeStructure(ctx Context, t *plan.Tree) error {
+	if t.Attrs.Empty() {
+		return fmt.Errorf("%w: empty attribute set", ErrStructure)
+	}
+	if t.Size() == 0 {
+		return fmt.Errorf("%w: tree has no members", ErrStructure)
+	}
+	members := t.Members()
+	if len(members) != t.Size() {
+		// BFS from the root missed members: the children links do not
+		// span the parent map (disconnection or an orphaned edge).
+		return fmt.Errorf("%w: reachable members %d of %d (disconnected)",
+			ErrStructure, len(members), t.Size())
+	}
+	inTree := make(map[model.NodeID]struct{}, len(members))
+	for _, n := range members {
+		inTree[n] = struct{}{}
+	}
+	roots := 0
+	for _, n := range members {
+		if n.IsCentral() {
+			return fmt.Errorf("%w: central collector is a tree member", ErrStructure)
+		}
+		if _, ok := ctx.Sys.Node(n); !ok {
+			return fmt.Errorf("%w: member %v not in system", ErrStructure, n)
+		}
+		p, ok := t.Parent(n)
+		if !ok {
+			return fmt.Errorf("%w: member %v has no parent link", ErrStructure, n)
+		}
+		if p.IsCentral() {
+			roots++
+			if n != t.Root() {
+				return fmt.Errorf("%w: %v attaches to central but root is %v",
+					ErrStructure, n, t.Root())
+			}
+		} else if _, member := inTree[p]; !member {
+			return fmt.Errorf("%w: member %v has non-member parent %v (orphaned edge)",
+				ErrStructure, n, p)
+		}
+		// The parent must list n as a child — parent and child maps are
+		// redundant representations and must agree.
+		listed := false
+		for _, c := range t.Children(p) {
+			if c == n {
+				listed = true
+				break
+			}
+		}
+		if !listed {
+			return fmt.Errorf("%w: %v not listed among children of its parent %v",
+				ErrStructure, n, p)
+		}
+		// Climb to the collector with a hop bound: a cycle would loop
+		// forever, so exceeding the member count proves one.
+		hops := 0
+		for q := n; !q.IsCentral(); {
+			q, ok = t.Parent(q)
+			if !ok {
+				return fmt.Errorf("%w: parent chain of %v leaves the tree", ErrStructure, n)
+			}
+			if hops++; hops > t.Size() {
+				return fmt.Errorf("%w: parent chain of %v cycles", ErrStructure, n)
+			}
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("%w: %d roots attached to central, want 1", ErrStructure, roots)
+	}
+	return nil
+}
+
+// checkOwnership asserts every member contributes to its tree and only
+// carries attributes observable at that node (after alias resolution).
+func checkOwnership(ctx Context, t *plan.Tree) error {
+	for _, n := range t.Members() {
+		local := ctx.Demand.LocalAttrs(n, t.Attrs)
+		if len(local) == 0 {
+			return fmt.Errorf("%w: member %v demands none of the tree's attributes",
+				ErrOwnership, n)
+		}
+		node, _ := ctx.Sys.Node(n)
+		for _, a := range local {
+			if !node.HasAttr(ctx.resolve(a)) {
+				return fmt.Errorf("%w: %v carries %v which it does not observe",
+					ErrOwnership, n, a)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCapacity recounts every node's message cost across the forest
+// and compares it against the capacity budgets.
+func checkCapacity(ctx Context, f *plan.Forest) error {
+	rc := Recount(ctx, f)
+	for n, u := range rc.Usage {
+		if b := ctx.Sys.Capacity(n); u > b+capacityEps {
+			return fmt.Errorf("%w: node %v uses %.6f of budget %.6f",
+				ErrCapacity, n, u, b)
+		}
+	}
+	if rc.CentralUsage > ctx.Sys.CentralCapacity+capacityEps {
+		return fmt.Errorf("%w: central collector uses %.6f of budget %.6f",
+			ErrCapacity, rc.CentralUsage, ctx.Sys.CentralCapacity)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"remo/internal/core"
+	"remo/internal/cost"
+	"remo/internal/model"
+	"remo/internal/plan"
+	"remo/internal/task"
+	"remo/internal/verify"
+	"remo/internal/workload"
+)
+
+// planned builds a generated instance, plans it, and returns everything
+// a check needs.
+func planned(t *testing.T, seed int64) (verify.Context, *plan.Forest, plan.Stats) {
+	t.Helper()
+	in, err := workload.Generate(workload.DefaultBounds(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := in.Demand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.NewPlanner().Plan(in.Sys, d)
+	return verify.Context{Sys: in.Sys, Demand: d}, res.Forest, res.Stats
+}
+
+func TestPlannerOutputPassesAllChecks(t *testing.T) {
+	ctx, f, st := planned(t, 7)
+	if err := verify.Claims(ctx, f, st); err != nil {
+		t.Fatalf("planner output failed verification: %v", err)
+	}
+}
+
+func TestRecountAgreesWithComputeStats(t *testing.T) {
+	ctx, f, st := planned(t, 11)
+	rc := verify.Recount(ctx, f)
+	if rc.Collected != st.Collected {
+		t.Fatalf("recount collected %d, ComputeStats %d", rc.Collected, st.Collected)
+	}
+	if diff := rc.TotalCost - st.TotalCost; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("recount total cost %.9f, ComputeStats %.9f", rc.TotalCost, st.TotalCost)
+	}
+}
+
+// TestMutationOverfilledBudget proves the capacity check is non-vacuous:
+// shrinking one placed node's budget below its recounted usage must trip
+// ErrCapacity.
+func TestMutationOverfilledBudget(t *testing.T) {
+	ctx, f, _ := planned(t, 3)
+	if err := verify.Plan(ctx, f); err != nil {
+		t.Fatalf("pre-mutation plan invalid: %v", err)
+	}
+	rc := verify.Recount(ctx, f)
+	var victim model.NodeID
+	for n, u := range rc.Usage {
+		if u > 1 {
+			victim = n
+			break
+		}
+	}
+	if victim == 0 {
+		t.Fatal("no placed node with usage to overfill")
+	}
+	mutated := ctx.Sys.Clone()
+	for i := range mutated.Nodes {
+		if mutated.Nodes[i].ID == victim {
+			mutated.Nodes[i].Capacity = rc.Usage[victim] / 2
+		}
+	}
+	err := verify.Plan(verify.Context{Sys: mutated, Demand: ctx.Demand}, f)
+	if !errors.Is(err, verify.ErrCapacity) {
+		t.Fatalf("overfilled budget not flagged: got %v, want ErrCapacity", err)
+	}
+}
+
+// TestMutationOverlappingTrees proves the partition-disjointness check
+// fires when two trees deliver the same attribute.
+func TestMutationOverlappingTrees(t *testing.T) {
+	ctx, f, _ := planned(t, 5)
+	if len(f.Trees) < 2 {
+		t.Skip("plan has a single tree; overlap needs two")
+	}
+	mutated := f.Clone()
+	// Graft the second tree's attribute set to include one of the first's.
+	a := mutated.Trees[0].Attrs.Attrs()[0]
+	mutated.Trees[1].Attrs = mutated.Trees[1].Attrs.Union(model.NewAttrSet(a))
+	err := verify.Plan(ctx, mutated)
+	if !errors.Is(err, verify.ErrStructure) && !errors.Is(err, verify.ErrOwnership) {
+		t.Fatalf("overlapping trees not flagged: got %v", err)
+	}
+}
+
+// TestMutationNonParticipantMember proves the ownership check fires for
+// a member that demands none of its tree's attributes.
+func TestMutationNonParticipantMember(t *testing.T) {
+	sys, err := model.NewSystem(1000, cost.Default(), []model.Node{
+		{ID: 1, Capacity: 500, Attrs: []model.AttrID{1}},
+		{ID: 2, Capacity: 500, Attrs: []model.AttrID{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := task.NewDemand()
+	d.Set(1, 1, 1) // node 2 demands nothing
+	tr := plan.NewTree(model.NewAttrSet(1))
+	if err := tr.AddNode(1, model.Central); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddNode(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	f := plan.NewForest()
+	f.Add(tr)
+	err = verify.Plan(verify.Context{Sys: sys, Demand: d}, f)
+	if !errors.Is(err, verify.ErrOwnership) {
+		t.Fatalf("non-participant member not flagged: got %v, want ErrOwnership", err)
+	}
+}
+
+// TestMutationForeignAttribute proves the ownership check fires when a
+// member's demanded attribute is not observable at that node.
+func TestMutationForeignAttribute(t *testing.T) {
+	sys, err := model.NewSystem(1000, cost.Default(), []model.Node{
+		{ID: 1, Capacity: 500, Attrs: []model.AttrID{1}}, // does NOT observe attr 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := task.NewDemand()
+	d.Set(1, 2, 1) // demands an attribute the node cannot observe
+	tr := plan.NewTree(model.NewAttrSet(2))
+	if err := tr.AddNode(1, model.Central); err != nil {
+		t.Fatal(err)
+	}
+	f := plan.NewForest()
+	f.Add(tr)
+	err = verify.Plan(verify.Context{Sys: sys, Demand: d}, f)
+	if !errors.Is(err, verify.ErrOwnership) {
+		t.Fatalf("foreign attribute not flagged: got %v, want ErrOwnership", err)
+	}
+}
+
+// TestMutationTamperedClaims proves the accounting cross-check rejects
+// doctored planner statistics.
+func TestMutationTamperedClaims(t *testing.T) {
+	ctx, f, st := planned(t, 9)
+	cases := []struct {
+		name   string
+		mutate func(*plan.Stats)
+	}{
+		{"inflated collected", func(s *plan.Stats) { s.Collected++ }},
+		{"deflated collected", func(s *plan.Stats) { s.Collected-- }},
+		{"central usage", func(s *plan.Stats) { s.CentralUsage += 1 }},
+		{"total cost", func(s *plan.Stats) { s.TotalCost -= 5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tampered := st
+			tampered.Usage = make(map[model.NodeID]float64, len(st.Usage))
+			for n, u := range st.Usage {
+				tampered.Usage[n] = u
+			}
+			tc.mutate(&tampered)
+			if err := verify.Claims(ctx, f, tampered); !errors.Is(err, verify.ErrAccounting) {
+				t.Fatalf("tampered stats not flagged: got %v, want ErrAccounting", err)
+			}
+		})
+	}
+	t.Run("node usage", func(t *testing.T) {
+		tampered := st
+		tampered.Usage = make(map[model.NodeID]float64, len(st.Usage))
+		for n, u := range st.Usage {
+			tampered.Usage[n] = u
+		}
+		for n := range tampered.Usage {
+			tampered.Usage[n] *= 1.5
+			break
+		}
+		if err := verify.Claims(ctx, f, tampered); !errors.Is(err, verify.ErrAccounting) {
+			t.Fatalf("tampered usage not flagged: got %v, want ErrAccounting", err)
+		}
+	})
+}
+
+// TestNilAndEmptyInputs pins the degenerate paths.
+func TestNilAndEmptyInputs(t *testing.T) {
+	if err := verify.Plan(verify.Context{}, nil); !errors.Is(err, verify.ErrStructure) {
+		t.Fatalf("nil forest: got %v", err)
+	}
+	sys, err := model.NewSystem(100, cost.Default(), []model.Node{
+		{ID: 1, Capacity: 100, Attrs: []model.AttrID{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := verify.Context{Sys: sys, Demand: task.NewDemand()}
+	if err := verify.Plan(ctx, plan.NewForest()); err != nil {
+		t.Fatalf("empty forest should verify: %v", err)
+	}
+	if err := verify.Claims(ctx, plan.NewForest(), plan.Stats{}); err != nil {
+		t.Fatalf("empty claims should verify: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"remo/internal/cost"
+	"remo/internal/model"
+	"remo/internal/task"
+)
+
+// GenBounds bounds the random instance generator. The zero value is
+// replaced by DefaultBounds; any individual zero field inherits the
+// default for that field.
+type GenBounds struct {
+	// MinNodes and MaxNodes bound the node count (inclusive).
+	MinNodes, MaxNodes int
+	// MaxAttrs bounds the attribute pool (at least 1 is drawn).
+	MaxAttrs int
+	// MaxTasks bounds the task count (at least 1 is drawn).
+	MaxTasks int
+	// CapacityLo and CapacityHi bound the per-node capacity range the
+	// instance draws its own sub-range from. Spanning tight to ample
+	// budgets is what makes generated instances exercise both the
+	// everything-fits and the must-drop-pairs regimes.
+	CapacityLo, CapacityHi float64
+}
+
+// DefaultBounds generates small-to-medium instances: large enough to
+// form multi-level trees and partition structure, small enough that a
+// single property test can afford dozens of planner runs.
+func DefaultBounds() GenBounds {
+	return GenBounds{
+		MinNodes: 4, MaxNodes: 48,
+		MaxAttrs:   16,
+		MaxTasks:   24,
+		CapacityLo: 20, CapacityHi: 600,
+	}
+}
+
+// TinyBounds generates instances small enough for exhaustive-partition
+// differential testing: at most 6 nodes and 6 attributes, so the brute
+// force oracle enumerates at most B(6) = 203 partitions.
+func TinyBounds() GenBounds {
+	return GenBounds{
+		MinNodes: 2, MaxNodes: 6,
+		MaxAttrs:   6,
+		MaxTasks:   6,
+		CapacityLo: 15, CapacityHi: 300,
+	}
+}
+
+// normalize fills zero fields from DefaultBounds.
+func (b GenBounds) normalize() GenBounds {
+	def := DefaultBounds()
+	if b.MinNodes <= 0 {
+		b.MinNodes = def.MinNodes
+	}
+	if b.MaxNodes <= 0 {
+		b.MaxNodes = def.MaxNodes
+	}
+	if b.MaxNodes < b.MinNodes {
+		b.MaxNodes = b.MinNodes
+	}
+	if b.MaxAttrs <= 0 {
+		b.MaxAttrs = def.MaxAttrs
+	}
+	if b.MaxTasks <= 0 {
+		b.MaxTasks = def.MaxTasks
+	}
+	if b.CapacityLo <= 0 {
+		b.CapacityLo = def.CapacityLo
+	}
+	if b.CapacityHi < b.CapacityLo {
+		b.CapacityHi = def.CapacityHi
+	}
+	return b
+}
+
+// Instance is one generated planning problem: the sized configuration
+// (kept so the instance can shrink) plus the materialized system and
+// task set.
+type Instance struct {
+	// Seed is the instance's generator seed: Generate(bounds, seed) with
+	// the recorded bounds reproduces it exactly.
+	Seed int64
+	// Bounds are the generator bounds the instance was drawn from.
+	Bounds GenBounds
+	// Nodes, Attrs and TaskCount are the drawn sizes.
+	Nodes, Attrs, TaskCount int
+	// CapLo and CapHi are the drawn capacity sub-range.
+	CapLo, CapHi float64
+	// Sys and Tasks are the materialized problem.
+	Sys   *model.System
+	Tasks []model.Task
+}
+
+// String identifies the instance in failure messages.
+func (in Instance) String() string {
+	return fmt.Sprintf("instance(seed=%d nodes=%d attrs=%d tasks=%d cap=[%.0f,%.0f])",
+		in.Seed, in.Nodes, in.Attrs, in.TaskCount, in.CapLo, in.CapHi)
+}
+
+// Demand expands the instance's tasks into a deduplicated demand.
+func (in Instance) Demand() (*task.Demand, error) {
+	return Demand(in.Sys, in.Tasks)
+}
+
+// Generate draws one random planning instance. All randomness derives
+// from seed, so a failing instance replays from its Seed alone.
+func Generate(bounds GenBounds, seed int64) (Instance, error) {
+	b := bounds.normalize()
+	rng := rand.New(rand.NewSource(seed))
+
+	in := Instance{
+		Seed:      seed,
+		Bounds:    b,
+		Nodes:     b.MinNodes + rng.Intn(b.MaxNodes-b.MinNodes+1),
+		Attrs:     1 + rng.Intn(b.MaxAttrs),
+		TaskCount: 1 + rng.Intn(b.MaxTasks),
+	}
+	// Draw a capacity sub-range so some instances are uniformly tight,
+	// some uniformly ample, and some mixed.
+	lo := b.CapacityLo + rng.Float64()*(b.CapacityHi-b.CapacityLo)
+	hi := b.CapacityLo + rng.Float64()*(b.CapacityHi-b.CapacityLo)
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	in.CapLo, in.CapHi = lo, hi
+	return in.materialize()
+}
+
+// materialize builds the system and tasks from the instance's sizes.
+func (in Instance) materialize() (Instance, error) {
+	rng := rand.New(rand.NewSource(in.Seed))
+	sys, err := System(SystemConfig{
+		Nodes:      in.Nodes,
+		Attrs:      in.Attrs,
+		CapacityLo: in.CapLo,
+		CapacityHi: in.CapHi,
+		// Vary the collector budget too: a fraction of a per-node root
+		// message per node keeps the central constraint occasionally
+		// binding.
+		CentralCapacity: float64(in.Nodes) * (6 + 10*rng.Float64()),
+		Cost:            cost.Default(),
+		Seed:            in.Seed,
+	})
+	if err != nil {
+		return in, err
+	}
+	in.Sys = sys
+
+	attrsPer := 1 + rng.Intn(maxInt(1, in.Attrs))
+	nodesPer := 1 + rng.Intn(maxInt(1, in.Nodes))
+	in.Tasks = Tasks(sys, TaskConfig{
+		Count:        in.TaskCount,
+		AttrsPerTask: attrsPer,
+		NodesPerTask: nodesPer,
+		Seed:         in.Seed + 1,
+		Prefix:       "gen",
+	})
+	return in, nil
+}
+
+// Shrink returns strictly smaller variants of the instance, largest
+// reduction first: halved node count, halved task count, halved
+// attribute pool. Each variant re-materializes from the same seed so it
+// stays deterministic.
+func (in Instance) Shrink() []Instance {
+	var out []Instance
+	try := func(mut func(*Instance)) {
+		v := in
+		mut(&v)
+		if v.Nodes < 1 || v.Attrs < 1 || v.TaskCount < 1 {
+			return
+		}
+		if v.Nodes == in.Nodes && v.Attrs == in.Attrs && v.TaskCount == in.TaskCount {
+			return
+		}
+		m, err := v.materialize()
+		if err != nil {
+			return
+		}
+		out = append(out, m)
+	}
+	try(func(v *Instance) { v.Nodes /= 2 })
+	try(func(v *Instance) { v.TaskCount /= 2 })
+	try(func(v *Instance) { v.Attrs /= 2 })
+	try(func(v *Instance) { v.Nodes-- })
+	try(func(v *Instance) { v.TaskCount-- })
+	try(func(v *Instance) { v.Attrs-- })
+	return out
+}
+
+// Minimize greedily shrinks a failing instance while fails keeps
+// reporting failure, returning the smallest failing instance found.
+// Property tests report the minimized instance so a reproduction is a
+// few nodes, not fifty.
+func Minimize(in Instance, fails func(Instance) bool) Instance {
+	for {
+		shrunk := false
+		for _, v := range in.Shrink() {
+			if fails(v) {
+				in = v
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return in
+		}
+	}
+}

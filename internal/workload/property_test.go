@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a, err := Generate(DefaultBounds(), seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(DefaultBounds(), seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Nodes != b.Nodes || a.Attrs != b.Attrs || a.TaskCount != b.TaskCount {
+			t.Fatalf("seed %d: sizes differ between runs: %v vs %v", seed, a, b)
+		}
+		if !reflect.DeepEqual(a.Sys, b.Sys) {
+			t.Fatalf("seed %d: systems differ between runs", seed)
+		}
+		if !reflect.DeepEqual(a.Tasks, b.Tasks) {
+			t.Fatalf("seed %d: tasks differ between runs", seed)
+		}
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	bounds := GenBounds{
+		MinNodes: 3, MaxNodes: 9,
+		MaxAttrs: 5, MaxTasks: 4,
+		CapacityLo: 50, CapacityHi: 80,
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		in, err := Generate(bounds, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if in.Nodes < bounds.MinNodes || in.Nodes > bounds.MaxNodes {
+			t.Fatalf("%v: node count outside [%d, %d]", in, bounds.MinNodes, bounds.MaxNodes)
+		}
+		if in.Attrs < 1 || in.Attrs > bounds.MaxAttrs {
+			t.Fatalf("%v: attr count outside [1, %d]", in, bounds.MaxAttrs)
+		}
+		if in.TaskCount < 1 || in.TaskCount > bounds.MaxTasks {
+			t.Fatalf("%v: task count outside [1, %d]", in, bounds.MaxTasks)
+		}
+		if len(in.Sys.Nodes) != in.Nodes {
+			t.Fatalf("%v: materialized %d nodes", in, len(in.Sys.Nodes))
+		}
+		for _, n := range in.Sys.Nodes {
+			if n.Capacity < bounds.CapacityLo-1e-9 || n.Capacity > bounds.CapacityHi+1e-9 {
+				t.Fatalf("%v: node %d capacity %.2f outside [%.0f, %.0f]",
+					in, n.ID, n.Capacity, bounds.CapacityLo, bounds.CapacityHi)
+			}
+		}
+	}
+}
+
+func TestShrinkStrictlySmaller(t *testing.T) {
+	in, err := Generate(DefaultBounds(), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := func(v Instance) int { return v.Nodes + v.Attrs + v.TaskCount }
+	for _, v := range in.Shrink() {
+		if size(v) >= size(in) {
+			t.Fatalf("shrink %v is not smaller than %v", v, in)
+		}
+		if v.Nodes < 1 || v.Attrs < 1 || v.TaskCount < 1 {
+			t.Fatalf("shrink %v degenerated below the minimum sizes", v)
+		}
+		if v.Sys == nil || len(v.Sys.Nodes) != v.Nodes {
+			t.Fatalf("shrink %v was not re-materialized", v)
+		}
+	}
+}
+
+func TestMinimizeConverges(t *testing.T) {
+	in, err := Generate(DefaultBounds(), 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A property that fails whenever the instance has ≥ 3 nodes: Minimize
+	// must land on the smallest still-failing instance.
+	fails := func(v Instance) bool { return v.Nodes >= 3 }
+	if !fails(in) {
+		t.Skipf("%v already below the failure threshold", in)
+	}
+	min := Minimize(in, fails)
+	if !fails(min) {
+		t.Fatalf("minimized instance %v no longer fails", min)
+	}
+	if min.Nodes != 3 {
+		t.Fatalf("minimize stopped at %d nodes, want 3: %v", min.Nodes, min)
+	}
+	if min.TaskCount != 1 || min.Attrs != 1 {
+		t.Fatalf("minimize left shrinkable dimensions: %v", min)
+	}
+}
+
+func TestMinimizeKeepsPassingInstance(t *testing.T) {
+	in, err := Generate(DefaultBounds(), 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := Minimize(in, func(Instance) bool { return false })
+	if min.String() != in.String() {
+		t.Fatalf("minimize moved off a non-failing instance: %v → %v", in, min)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"remo/internal/trace"
 	"remo/internal/transport"
 	"remo/internal/tree"
+	"remo/internal/verify"
 )
 
 // Monitor is a live monitoring session: an emulated deployment that
@@ -64,6 +65,14 @@ type Monitor struct {
 	failures   int
 	recoveries int
 	repairs    []RepairEvent
+
+	// verifyOn mirrors the planner's WithVerification setting: every
+	// topology hot-swapped in by the self-healing loop is cross-checked
+	// by the invariant checker, and Verify covers live results too.
+	verifyOn bool
+	// verifyErr is the first verification failure observed by the
+	// self-healing loop (surfaced by Verify and Run).
+	verifyErr error
 }
 
 // FailurePolicy configures the self-healing behavior of a Monitor.
@@ -162,6 +171,7 @@ func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
 		trace:      cfg.Trace,
 		baseDemand: ad.Demand().Clone(),
 		dead:       make(map[model.NodeID]struct{}),
+		verifyOn:   p.verifyOn,
 	}, nil
 }
 
@@ -188,6 +198,7 @@ func (m *Monitor) Run(n int) error {
 		err := m.machine.Step()
 		if err == nil {
 			m.selfHeal()
+			err = m.verifyErr
 		}
 		m.mu.Unlock()
 		if err != nil {
@@ -241,6 +252,53 @@ func (m *Monitor) selfHeal() {
 	if len(recovered) > 0 {
 		m.reintegrate(recovered)
 	}
+	m.verifySwap()
+}
+
+// verifySwap cross-checks the topology the self-healing loop just
+// installed. Called with m.mu held; the first failure is retained and
+// surfaced by Run and Verify.
+func (m *Monitor) verifySwap() {
+	if !m.verifyOn || m.verifyErr != nil {
+		return
+	}
+	ctx := verify.Context{
+		Sys:     m.planner.sys,
+		Demand:  m.adaptor.Demand(),
+		Spec:    m.planner.aggSpec,
+		Resolve: m.planner.resolveAttr,
+	}
+	if err := verify.Plan(ctx, m.adaptor.Forest()); err != nil {
+		m.verifyErr = fmt.Errorf("remo: repaired topology failed verification: %w", err)
+	}
+}
+
+// Verify cross-checks the session's current state against the
+// verification harness: the topology in force (structure, ownership,
+// capacity against the currently installed demand) and the collector's
+// cumulative result. It also surfaces the first verification failure
+// recorded by the self-healing loop. Verification must be armed via
+// WithVerification on the planner; otherwise Verify runs the same
+// checks on demand.
+func (m *Monitor) Verify() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.verifyErr != nil {
+		return m.verifyErr
+	}
+	ctx := verify.Context{
+		Sys:     m.planner.sys,
+		Demand:  m.adaptor.Demand(),
+		Spec:    m.planner.aggSpec,
+		Resolve: m.planner.resolveAttr,
+	}
+	if err := verify.Plan(ctx, m.adaptor.Forest()); err != nil {
+		return fmt.Errorf("remo: live topology failed verification: %w", err)
+	}
+	if err := verify.Result(ctx, m.machine.Result()); err != nil {
+		return fmt.Errorf("remo: live result failed verification: %w", err)
+	}
+	return nil
 }
 
 // repairFailed rebuilds the topology around newly declared-dead nodes

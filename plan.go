@@ -9,6 +9,7 @@ import (
 	"remo/internal/core"
 	"remo/internal/plan"
 	"remo/internal/task"
+	"remo/internal/verify"
 )
 
 // Plan is a finished monitoring topology: a forest of collection trees
@@ -22,6 +23,9 @@ type Plan struct {
 	// runtimeWorkers sizes Deploy's round engine pool (see
 	// WithRuntimeWorkers).
 	runtimeWorkers int
+	// verifyOn carries the planner's WithVerification setting into
+	// Deploy, which then cross-checks emulation results.
+	verifyOn bool
 }
 
 // planFromForest wraps an externally maintained forest (the adaptor's)
@@ -122,6 +126,26 @@ func (p *Plan) ParentOf(n NodeID, a AttrID) (parent NodeID, ok bool) {
 // Validate re-checks the plan against the system and demand.
 func (p *Plan) Validate() error {
 	return p.res.Forest.Validate(p.demand, p.sys, p.aggSpec)
+}
+
+// Verify runs the independent verification harness over the plan:
+// structural validity (a forest of well-formed trees partitioning the
+// demanded attributes), ownership (nodes only carry attributes they
+// observe), capacity feasibility under the C + a·x cost model, and a
+// from-scratch recount of the plan's claimed statistics. Unlike
+// Validate, none of the checks reuse the planner's own accounting.
+func (p *Plan) Verify() error {
+	return verify.Claims(p.verifyContext(), p.res.Forest, p.res.Stats)
+}
+
+// verifyContext assembles the plan's verification inputs.
+func (p *Plan) verifyContext() verify.Context {
+	return verify.Context{
+		Sys:     p.sys,
+		Demand:  p.demand,
+		Spec:    p.aggSpec,
+		Resolve: p.resolve,
+	}
 }
 
 // Describe writes a human-readable summary of the plan.

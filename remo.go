@@ -126,6 +126,11 @@ type Planner struct {
 
 	// runtimeWorkers sizes the emulation round engine's worker pool.
 	runtimeWorkers int
+
+	// verifyOn arms the verification harness: planned topologies are
+	// cross-checked by the independent invariant checker, and plans,
+	// deployments and live monitors expose/enforce Verify.
+	verifyOn bool
 }
 
 // PlannerOption configures a Planner.
@@ -178,6 +183,18 @@ func WithPlannerWorkers(n int) PlannerOption {
 // setting — workers change wall-clock only.
 func WithRuntimeWorkers(n int) PlannerOption {
 	return func(p *Planner) { p.runtimeWorkers = n }
+}
+
+// WithVerification arms the verification harness for everything the
+// planner produces: Plan cross-checks each planned topology against an
+// independent invariant checker (structure, ownership, capacity, and a
+// from-scratch recount of the claimed statistics), Plan.Deploy
+// cross-checks the emulation's reported results, and live Monitors
+// verify every repaired topology they hot-swap in. Verification
+// failures surface as errors rather than silently wrong numbers; the
+// cost is one extra forest traversal per plan or deploy.
+func WithVerification() PlannerOption {
+	return func(p *Planner) { p.verifyOn = true }
 }
 
 // Baseline selects a fixed partition scheme instead of REMO's search,
@@ -272,9 +289,15 @@ func (p *Planner) Plan() (*Plan, error) {
 		resolve:        p.resolveAttr,
 		res:            res,
 		runtimeWorkers: p.runtimeWorkers,
+		verifyOn:       p.verifyOn,
 	}
 	if err := pl.Validate(); err != nil {
 		return nil, fmt.Errorf("remo: planned topology failed validation: %w", err)
+	}
+	if p.verifyOn {
+		if err := pl.Verify(); err != nil {
+			return nil, fmt.Errorf("remo: planned topology failed verification: %w", err)
+		}
 	}
 	return pl, nil
 }

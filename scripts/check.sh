@@ -32,4 +32,23 @@ go test -run '^$' -bench 'BenchmarkRuntime' -benchtime 1x -benchmem .
 echo "==> chaos smoke (self-healing under -race, short mode)"
 go test -race -short -run 'Chaos' . ./internal/cluster ./internal/detect ./internal/chaos ./internal/transport
 
+echo "==> verification harness (plan + repairs + results cross-checked)"
+go run ./cmd/remo-sim -nodes 40 -tasks 20 -rounds 12 -chaos 0.15 -suspicion 2 -verify > /dev/null
+go run ./cmd/remo-sim -nodes 30 -tasks 15 -rounds 10 -verify > /dev/null
+
+echo "==> fuzz smoke (FuzzDecode, 10s)"
+go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/transport
+
+echo "==> coverage gate"
+# Floor set 2 points under the total measured when the gate was added
+# (86.1%); raise it as coverage grows, never lower it to pass.
+COVER_FLOOR=84.0
+go test -count=1 -coverprofile=/tmp/remo-cover.out ./... > /dev/null
+total=$(go tool cover -func=/tmp/remo-cover.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "    total coverage: ${total}% (floor ${COVER_FLOOR}%)"
+awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
+    echo "coverage ${total}% fell below the ${COVER_FLOOR}% floor" >&2
+    exit 1
+}
+
 echo "OK"
