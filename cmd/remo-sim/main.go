@@ -10,11 +10,18 @@
 //	remo-sim -scheme singleton -tcp
 //	remo-sim -spec problem.json -rounds 30
 //	remo-sim -nodes 60 -chaos 0.2 -rounds 45
+//	remo-sim -rounds 60 -journal /tmp/j -chaos-collector 20 -verify
 //
 // With -chaos the deployment runs as a self-healing live session: the
 // given fraction of nodes crashes a third of the way in, the failure
 // detector declares them dead after -suspicion silent rounds, and the
 // topology is repaired automatically.
+//
+// With -journal the session is durable: collector state is checkpointed
+// and write-ahead logged under the given directory. -chaos-collector N
+// crashes the central collector at round N; the session rides out a
+// short outage (leaves buffer their values), resumes from the journal,
+// and finishes the run on the recovered state.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 
 	"remo"
 	"remo/internal/profiling"
@@ -54,10 +62,16 @@ func run(args []string, stdout io.Writer) error {
 		chaosDelay = fs.Float64("chaos-delay", 0, "delay each message one round with this probability")
 		suspicion  = fs.Int("suspicion", 3, "failure-detector suspicion window in rounds")
 
+		journalDir = fs.String("journal", "", "journal directory: checkpoint and WAL the session for crash recovery")
+		collCrash  = fs.Int("chaos-collector", 0, "crash the central collector at this round and resume it from -journal (0 = off)")
+
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateFlags(fs, *rounds, *suspicion, *journalDir, *collCrash); err != nil {
 		return err
 	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -87,7 +101,7 @@ func run(args []string, stdout io.Writer) error {
 		rec = remo.NewTraceRecorder(*traceN)
 	}
 	var rep remo.DeployReport
-	if *chaosFrac > 0 || *chaosDrop > 0 || *chaosDelay > 0 {
+	if *chaosFrac > 0 || *chaosDrop > 0 || *chaosDelay > 0 || *journalDir != "" {
 		rep, err = runChaos(planner, chaosOpts{
 			rounds:    *rounds,
 			useTCP:    *useTCP,
@@ -96,9 +110,11 @@ func run(args []string, stdout io.Writer) error {
 			dropProb:  *chaosDrop,
 			delayProb: *chaosDelay,
 			suspicion: *suspicion,
+			journal:   *journalDir,
+			collCrash: *collCrash,
 			trace:     rec,
 			verify:    *verifyOn,
-		})
+		}, stdout)
 	} else {
 		rep, err = plan.Deploy(remo.DeployConfig{
 			Rounds: *rounds,
@@ -120,6 +136,10 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  avg staleness:   %.2f rounds\n", rep.AvgStaleness)
 	fmt.Fprintf(stdout, "  traffic:         %d messages sent, %d dropped, %d values delivered\n",
 		rep.MessagesSent, rep.MessagesDropped, rep.ValuesDelivered)
+	if rep.CollectorRestarts > 0 || rep.FramesBuffered > 0 || rep.StaleEpochFrames > 0 {
+		fmt.Fprintf(stdout, "durability: %d collector restart(s); %d frames buffered (%d redelivered, %d shed); %d stale-epoch frames fenced\n",
+			rep.CollectorRestarts, rep.FramesBuffered, rep.FramesRedelivered, rep.FramesShed, rep.StaleEpochFrames)
+	}
 	if rep.FailuresDetected > 0 || rep.NodesRecovered > 0 {
 		fmt.Fprintf(stdout, "self-healing: %d failures detected, %d nodes recovered, %d repair actions\n",
 			rep.FailuresDetected, rep.NodesRecovered, len(rep.Repairs))
@@ -143,6 +163,44 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// validateFlags rejects flag combinations that would silently do
+// nothing (explicitly-zero chaos rates), cannot work (a suspicion
+// window shorter than one round), or contradict each other (a collector
+// crash with no journal to resume from).
+func validateFlags(fs *flag.FlagSet, rounds, suspicion int, journalDir string, collCrash int) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if rounds < 1 {
+		return fmt.Errorf("-rounds must be at least 1 (got %d)", rounds)
+	}
+	if suspicion < 1 {
+		return fmt.Errorf("-suspicion must be at least 1 round (got %d): the failure detector needs a positive silence window", suspicion)
+	}
+	for _, name := range []string{"chaos", "chaos-drop", "chaos-delay"} {
+		if !set[name] {
+			continue
+		}
+		f := fs.Lookup(name)
+		v, err := strconv.ParseFloat(f.Value.String(), 64)
+		if err != nil || v <= 0 || v > 1 {
+			return fmt.Errorf("-%s must be a rate in (0, 1] (got %s): pass a positive fraction or omit the flag", name, f.Value.String())
+		}
+	}
+	if set["chaos-collector"] {
+		if collCrash < 1 {
+			return fmt.Errorf("-chaos-collector must name a round of at least 1 (got %d)", collCrash)
+		}
+		if collCrash >= rounds {
+			return fmt.Errorf("-chaos-collector round %d must fall inside the %d-round run", collCrash, rounds)
+		}
+		if journalDir == "" {
+			return fmt.Errorf("-chaos-collector requires -journal: a crashed collector can only resume from its journal")
+		}
+	}
+	return nil
+}
+
 // chaosOpts parameterizes the self-healing demo session.
 type chaosOpts struct {
 	rounds    int
@@ -152,14 +210,18 @@ type chaosOpts struct {
 	dropProb  float64
 	delayProb float64
 	suspicion int
+	journal   string
+	collCrash int
 	trace     *remo.TraceRecorder
 	verify    bool
 }
 
 // runChaos runs a self-healing live session: a fraction of nodes
 // crashes a third of the way through the run and the Monitor detects
-// and repairs around them.
-func runChaos(planner *remo.Planner, o chaosOpts) (remo.DeployReport, error) {
+// and repairs around them. With a journal the session is durable, and
+// with collCrash set the central collector itself crashes mid-run and
+// is resumed from that journal.
+func runChaos(planner *remo.Planner, o chaosOpts, stdout io.Writer) (remo.DeployReport, error) {
 	crashRound := o.rounds / 3
 	if crashRound < 1 {
 		crashRound = 1
@@ -186,18 +248,43 @@ func runChaos(planner *remo.Planner, o chaosOpts) (remo.DeployReport, error) {
 			cc.CrashAt[ids[i*stride]] = crashRound
 		}
 	}
+	if o.collCrash > 0 {
+		cc.CollectorCrashAt = o.collCrash
+	}
 	mon, err := planner.StartMonitor(remo.MonitorConfig{
 		UseTCP:  o.useTCP,
 		Seed:    o.seed,
 		Chaos:   cc,
 		Failure: &remo.FailurePolicy{SuspicionRounds: o.suspicion},
 		Trace:   o.trace,
+		Journal: o.journal,
 	})
 	if err != nil {
 		return remo.DeployReport{}, err
 	}
 	defer func() { _ = mon.Close() }()
-	if err := mon.Run(o.rounds); err != nil {
+
+	if o.collCrash > 0 {
+		// Ride out a short outage past the crash (leaves buffer their
+		// values meanwhile), then resume the collector from the journal
+		// and finish the run on the recovered state.
+		outage := o.collCrash + 2
+		if outage > o.rounds {
+			outage = o.rounds
+		}
+		if err := mon.Run(outage); err != nil {
+			return remo.DeployReport{}, err
+		}
+		rr, err := mon.Resume(o.journal)
+		if err != nil {
+			return remo.DeployReport{}, err
+		}
+		fmt.Fprintf(stdout, "collector crashed at round %d; resumed from journal: epoch %d, %d samples through round %d, %d WAL records replayed, plan matched: %v\n",
+			o.collCrash, rr.Epoch, rr.RecoveredSamples, rr.RecoveredRound, rr.ReplayedRecords, rr.PlanMatched)
+		if err := mon.Run(o.rounds - outage); err != nil {
+			return remo.DeployReport{}, err
+		}
+	} else if err := mon.Run(o.rounds); err != nil {
 		return remo.DeployReport{}, err
 	}
 	if o.verify {

@@ -123,3 +123,74 @@ func TestVerifyFlag(t *testing.T) {
 		t.Errorf("output lacks verification or self-healing lines:\n%s", got)
 	}
 }
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero suspicion", []string{"-suspicion", "0"}, "-suspicion must be at least 1"},
+		{"negative suspicion", []string{"-suspicion", "-2"}, "-suspicion must be at least 1"},
+		{"zero chaos", []string{"-chaos", "0"}, "rate in (0, 1]"},
+		{"negative chaos", []string{"-chaos", "-0.5"}, "rate in (0, 1]"},
+		{"overshooting drop", []string{"-chaos-drop", "1.5"}, "rate in (0, 1]"},
+		{"zero delay", []string{"-chaos-delay", "0"}, "rate in (0, 1]"},
+		{"zero rounds", []string{"-rounds", "0"}, "-rounds must be at least 1"},
+		{"collector crash without journal", []string{"-chaos-collector", "5"}, "requires -journal"},
+		{"collector crash past the run", []string{"-rounds", "10", "-journal", t.TempDir(), "-chaos-collector", "10"}, "must fall inside"},
+		{"zero collector crash round", []string{"-journal", t.TempDir(), "-chaos-collector", "0"}, "at least 1"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		err := run(tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	// Valid rates at the boundary are accepted.
+	var out strings.Builder
+	if err := run([]string{
+		"-nodes", "10", "-attrs", "3", "-tasks", "4", "-rounds", "6",
+		"-chaos-drop", "1", "-suspicion", "1",
+	}, &out); err != nil {
+		t.Errorf("boundary rates rejected: %v", err)
+	}
+}
+
+func TestCollectorCrashResumeRun(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "20", "-attrs", "5", "-tasks", "8", "-rounds", "30",
+		"-journal", t.TempDir(), "-chaos-collector", "8", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"collector crashed at round 8",
+		"resumed from journal",
+		"durability: 1 collector restart(s)",
+		"verification:",
+		"emulation: 30 rounds",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestJournalFlagAlone(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "10", "-attrs", "3", "-tasks", "4", "-rounds", "8",
+		"-journal", t.TempDir(), "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "emulation: 8 rounds") {
+		t.Errorf("emulation summary missing:\n%s", out.String())
+	}
+}

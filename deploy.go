@@ -42,6 +42,9 @@ type (
 	ChaosConfig = chaos.Config
 	// ChaosLink identifies a directed overlay link for per-link loss.
 	ChaosLink = chaos.Link
+	// ChaosWindow is one [From, To) round interval a node is down, for
+	// ChaosConfig.CrashWindows flapping schedules.
+	ChaosWindow = chaos.Window
 )
 
 // NewTraceRecorder returns a recorder retaining up to max events (a
@@ -126,6 +129,20 @@ type DeployReport struct {
 	NodesRecovered int
 	// Repairs records every automatic topology repair, in order.
 	Repairs []RepairEvent
+	// StaleEpochFrames counts frames rejected by epoch fencing
+	// (journaled sessions only): values composed under a plan epoch
+	// older than the receiver's — pre-crash or pre-swap traffic.
+	StaleEpochFrames int
+	// FramesBuffered, FramesShed and FramesRedelivered account the
+	// leaf-side outgoing buffers of a journaled session: frames parked
+	// during collector outages, frames dropped oldest-first on
+	// overflow, and parked frames delivered after the fact.
+	FramesBuffered    int
+	FramesShed        int
+	FramesRedelivered int
+	// CollectorRestarts counts successful collector resumes
+	// (Monitor.Resume and cold ResumeMonitor starts).
+	CollectorRestarts int
 }
 
 // RepairEvent records one automatic self-healing action of a live

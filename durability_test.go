@@ -1,0 +1,235 @@
+package remo_test
+
+import (
+	"strings"
+	"testing"
+
+	"remo"
+)
+
+// TestCollectorCrashRecoveryEndToEnd is the durability acceptance run:
+// a seeded chaos schedule crashes the central collector mid-session,
+// the session rides out the outage (leaves buffer their values), the
+// collector resumes from the journal onto a fenced epoch, and the run
+// continues for 50+ rounds with the verification harness passing
+// against the recovered state.
+func TestCollectorCrashRecoveryEndToEnd(t *testing.T) {
+	const (
+		crashRnd = 10
+		outage   = 3
+		after    = 50
+	)
+	dir := t.TempDir()
+	sys := bigSystem(t, 20)
+	p := remo.NewPlanner(sys, remo.WithVerification())
+	p.MustAddTask(remo.Task{Name: "cpu", Attrs: []remo.AttrID{1}, Nodes: sys.NodeIDs()})
+	p.MustAddTask(remo.Task{Name: "mem", Attrs: []remo.AttrID{2}, Nodes: sys.NodeIDs()})
+
+	mon, err := p.StartMonitor(remo.MonitorConfig{
+		Seed:    7,
+		Chaos:   &remo.ChaosConfig{CollectorCrashAt: crashRnd, Seed: 7},
+		Failure: &remo.FailurePolicy{SuspicionRounds: 3},
+		Journal: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon.Close() }()
+
+	if err := mon.Run(crashRnd + outage); err != nil {
+		t.Fatal(err)
+	}
+	pre := mon.Report()
+	if pre.FramesBuffered == 0 {
+		t.Fatal("no frames buffered during the collector outage")
+	}
+	if pre.CollectorRestarts != 0 {
+		t.Fatalf("restarts = %d before resume", pre.CollectorRestarts)
+	}
+
+	rr, err := mon.Resume(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Epoch < 2 {
+		t.Fatalf("resumed epoch = %d, want a post-crash bump", rr.Epoch)
+	}
+	if !rr.PlanMatched {
+		t.Fatal("resumed session does not match the journaled plan fingerprint")
+	}
+	if rr.RecoveredSamples == 0 {
+		t.Fatal("no samples recovered from the journal")
+	}
+	// The journal stops at the crash: nothing from the outage window.
+	if rr.RecoveredRound >= crashRnd {
+		t.Fatalf("recovered round %d, want < crash round %d", rr.RecoveredRound, crashRnd)
+	}
+
+	if err := mon.Run(after); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Verify(); err != nil {
+		t.Fatalf("recovered session failed verification: %v", err)
+	}
+	rep := mon.Report()
+	if rep.Rounds != crashRnd+outage+after {
+		t.Fatalf("rounds = %d, want %d", rep.Rounds, crashRnd+outage+after)
+	}
+	if rep.CollectorRestarts != 1 {
+		t.Fatalf("restarts = %d, want 1", rep.CollectorRestarts)
+	}
+	if rep.ValuesDelivered <= pre.ValuesDelivered {
+		t.Fatal("no values delivered after the resume")
+	}
+	// Buffered leaf values were delivered or accounted as shed; nothing
+	// vanished (remaining parked frames keep the inequality strict).
+	if rep.FramesRedelivered == 0 {
+		t.Fatal("no buffered frames redelivered after the resume")
+	}
+	if rep.FramesRedelivered+rep.FramesShed > rep.FramesBuffered {
+		t.Fatalf("frame conservation violated: %d redelivered + %d shed > %d buffered",
+			rep.FramesRedelivered, rep.FramesShed, rep.FramesBuffered)
+	}
+	if rep.StaleEpochFrames < 0 {
+		t.Fatalf("negative stale-epoch counter %d", rep.StaleEpochFrames)
+	}
+	// The repository kept every post-resume value too.
+	if mon.Store() == nil || mon.Store().Len() <= rr.RecoveredSamples {
+		t.Fatal("repository did not grow past the recovered snapshot")
+	}
+}
+
+// TestColdResumeMonitor restarts a whole process's worth of state: the
+// first session journals and dies, and ResumeMonitor boots a fresh
+// session from the journal alone — recovered demand, store and history.
+func TestColdResumeMonitor(t *testing.T) {
+	dir := t.TempDir()
+	sys := bigSystem(t, 12)
+	p := remo.NewPlanner(sys, remo.WithVerification(), remo.WithJournal(dir))
+	p.MustAddTask(remo.Task{Name: "cpu", Attrs: []remo.AttrID{1}, Nodes: sys.NodeIDs()})
+
+	mon, err := p.StartMonitor(remo.MonitorConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	firstLen := mon.Store().Len()
+	if firstLen == 0 {
+		t.Fatal("journaled session stored nothing")
+	}
+	if err := mon.Close(); err != nil { // seals a final checkpoint
+		t.Fatal(err)
+	}
+
+	mon2, rr, err := p.ResumeMonitor(dir, remo.MonitorConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon2.Close() }()
+	if rr.RecoveredSamples == 0 || rr.RecoveredRound < 0 {
+		t.Fatalf("cold resume recovered %d samples through round %d",
+			rr.RecoveredSamples, rr.RecoveredRound)
+	}
+	if !rr.PlanMatched {
+		t.Fatal("replanned topology does not match the journaled fingerprint")
+	}
+	if mon2.Store().Len() != rr.RecoveredSamples {
+		t.Fatalf("store has %d samples, resume reported %d",
+			mon2.Store().Len(), rr.RecoveredSamples)
+	}
+	if err := mon2.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon2.Verify(); err != nil {
+		t.Fatalf("cold-resumed session failed verification: %v", err)
+	}
+	rep := mon2.Report()
+	if rep.CollectorRestarts != 1 {
+		t.Fatalf("restarts = %d, want 1", rep.CollectorRestarts)
+	}
+	if mon2.Store().Len() <= rr.RecoveredSamples {
+		t.Fatal("cold-resumed session collected nothing new")
+	}
+}
+
+// TestResumeRequiresJournal pins the error contract: resuming a session
+// that never journaled is refused with a clear message.
+func TestResumeRequiresJournal(t *testing.T) {
+	sys := bigSystem(t, 6)
+	p := remo.NewPlanner(sys)
+	p.MustAddTask(remo.Task{Name: "cpu", Attrs: []remo.AttrID{1}, Nodes: sys.NodeIDs()})
+	mon, err := p.StartMonitor(remo.MonitorConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon.Close() }()
+	if _, err := mon.Resume(t.TempDir()); err == nil ||
+		!strings.Contains(err.Error(), "without journaling") {
+		t.Fatalf("err = %v, want journaling-required error", err)
+	}
+	// And resuming from an empty directory fails even on a journaled
+	// session: no checkpoint, no resume.
+	p2 := remo.NewPlanner(sys)
+	p2.MustAddTask(remo.Task{Name: "cpu", Attrs: []remo.AttrID{1}, Nodes: sys.NodeIDs()})
+	mon2, err := p2.StartMonitor(remo.MonitorConfig{Seed: 1, Journal: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon2.Close() }()
+	if _, err := mon2.Resume(t.TempDir()); err == nil {
+		t.Fatal("resume from an empty journal dir succeeded")
+	}
+}
+
+// TestJournaledTriggersResumeCooldowns closes the processor loop: a
+// trigger that fired before the restart stays in cooldown after a cold
+// resume instead of re-alerting immediately.
+func TestJournaledTriggersResumeCooldowns(t *testing.T) {
+	dir := t.TempDir()
+	sys := bigSystem(t, 8)
+	p := remo.NewPlanner(sys, remo.WithJournal(dir))
+	p.MustAddTask(remo.Task{Name: "cpu", Attrs: []remo.AttrID{1}, Nodes: sys.NodeIDs()})
+
+	proc := remo.NewProcessor(0)
+	// Always-firing trigger with a long cooldown: exactly one alert per
+	// pair over the horizon.
+	if err := proc.AddTrigger(remo.Trigger{
+		Name: "any", Attr: 1, Cond: remo.TriggerAbove, Threshold: -1e18, Cooldown: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := p.StartMonitor(remo.MonitorConfig{Seed: 5, Processor: proc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	fired := proc.AlertCount()
+	if fired == 0 {
+		t.Fatal("trigger never fired")
+	}
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	proc2 := remo.NewProcessor(0)
+	if err := proc2.AddTrigger(remo.Trigger{
+		Name: "any", Attr: 1, Cond: remo.TriggerAbove, Threshold: -1e18, Cooldown: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mon2, _, err := p.ResumeMonitor(dir, remo.MonitorConfig{Seed: 5, Processor: proc2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon2.Close() }()
+	if err := mon2.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := proc2.AlertCount(); got != 0 {
+		t.Fatalf("restored triggers re-fired %d times inside their cooldowns", got)
+	}
+}

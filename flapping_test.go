@@ -1,0 +1,104 @@
+package remo_test
+
+import (
+	"sync"
+	"testing"
+
+	"remo"
+)
+
+// TestRepeatedFlappingRecovery crashes and recovers the same node N
+// times (chaos crash windows) and requires the self-healing loop to
+// track every cycle: one death declaration and one reintegration per
+// window, the topology verified after every rewire, and the node ends
+// the run reintegrated — present in the plan, absent from the dead set.
+func TestRepeatedFlappingRecovery(t *testing.T) {
+	const (
+		flaps     = 3
+		suspicion = 2
+		rounds    = 60
+	)
+	flappy := remo.NodeID(5)
+	windows := make([]remo.ChaosWindow, flaps)
+	for i := range windows {
+		// Down [10,16), [26,32), [42,48): six-round outages, ten-round
+		// recoveries — both comfortably wider than the suspicion window.
+		windows[i] = remo.ChaosWindow{From: 10 + 16*i, To: 16 + 16*i}
+	}
+
+	sys := bigSystem(t, 16)
+	// WithVerification makes the monitor cross-check every hot-swapped
+	// topology (verify.Plan after each rewire); a failure surfaces in Run.
+	p := remo.NewPlanner(sys, remo.WithVerification())
+	p.MustAddTask(remo.Task{Name: "cpu", Attrs: []remo.AttrID{1}, Nodes: sys.NodeIDs()})
+
+	// Record which rounds deliver the flappy node's values, to check
+	// collection behaviorally resumes after the final reintegration.
+	var obsMu sync.Mutex
+	lastSeen := -1
+	mon, err := p.StartMonitor(remo.MonitorConfig{
+		Seed: 11,
+		Chaos: &remo.ChaosConfig{
+			CrashWindows: map[remo.NodeID][]remo.ChaosWindow{flappy: windows},
+		},
+		Failure: &remo.FailurePolicy{SuspicionRounds: suspicion},
+		OnValue: func(pair remo.Pair, round int, value float64) {
+			if pair.Node == flappy {
+				obsMu.Lock()
+				if round > lastSeen {
+					lastSeen = round
+				}
+				obsMu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon.Close() }()
+	if err := mon.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := mon.Report()
+	if rep.FailuresDetected != flaps {
+		t.Fatalf("failures = %d, want one per flap (%d): %+v",
+			rep.FailuresDetected, flaps, rep.Repairs)
+	}
+	if rep.NodesRecovered != flaps {
+		t.Fatalf("recoveries = %d, want one per flap (%d): %+v",
+			rep.NodesRecovered, flaps, rep.Repairs)
+	}
+	// Exactly one reintegration per cycle — a flapping node must not be
+	// reintegrated twice for the same recovery.
+	reint := 0
+	for _, ev := range rep.Repairs {
+		for _, n := range ev.Recovered {
+			if n == flappy {
+				reint++
+			}
+		}
+		for _, n := range ev.Failed {
+			if n != flappy {
+				t.Fatalf("unrelated node %v declared dead: %+v", n, ev)
+			}
+		}
+	}
+	if reint != flaps {
+		t.Fatalf("node reintegrated %d times, want %d", reint, flaps)
+	}
+	// The run ends with the node alive and reintegrated: the dead set is
+	// empty and its values flowed again after the final recovery window.
+	if failed := mon.Failed(); len(failed) != 0 {
+		t.Fatalf("dead set not empty at end of run: %v", failed)
+	}
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	if lastSeen <= windows[flaps-1].To {
+		t.Fatalf("flappy node last collected at round %d, want after its final window (ends %d)",
+			lastSeen, windows[flaps-1].To)
+	}
+}

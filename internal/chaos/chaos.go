@@ -16,6 +16,13 @@ type Link struct {
 	From, To model.NodeID
 }
 
+// Window is one half-open round interval [From, To) during which a node
+// is down. Windows model repeated crash/recover cycles (flapping) that
+// the single CrashAt/RecoverAt pair cannot express.
+type Window struct {
+	From, To int
+}
+
 // Config schedules fault injection for one emulated session. The zero
 // value (and a nil *Config) injects nothing; every method is nil-safe.
 type Config struct {
@@ -27,6 +34,20 @@ type Config struct {
 	// (ignored unless it is after the node's crash round). Without an
 	// entry, a crashed node stays down forever.
 	RecoverAt map[model.NodeID]int
+	// CrashWindows schedules repeated crash/recover cycles: node n is
+	// down during every listed [From, To) window. Windows compose with
+	// CrashAt/RecoverAt (a node is down when either schedule says so).
+	CrashWindows map[model.NodeID][]Window
+	// CollectorCrashAt kills the central collector at the start of the
+	// given round (0 = never). The collector stays down until the
+	// session restarts it (Monitor.Resume); leaves keep running and
+	// buffer or shed their outgoing values in the meantime.
+	CollectorCrashAt int
+	// CollectorCrashProb crashes the collector in any given round with
+	// this probability in [0,1), decided by the same splitmix64 hash as
+	// message loss — deterministic in Seed. The first round whose hash
+	// fires is the crash round.
+	CollectorCrashProb float64
 	// DropEvery drops every k-th message per sender (0 disables) — the
 	// legacy deterministic loss model, kept for reproducibility of older
 	// experiments.
@@ -52,14 +73,41 @@ func (c *Config) Enabled() bool {
 	if c == nil {
 		return false
 	}
-	return len(c.CrashAt) > 0 || c.DropEvery > 0 || c.DropProb > 0 ||
-		len(c.LinkDropProb) > 0 || c.DelayProb > 0
+	return len(c.CrashAt) > 0 || len(c.CrashWindows) > 0 || c.DropEvery > 0 ||
+		c.DropProb > 0 || len(c.LinkDropProb) > 0 || c.DelayProb > 0 ||
+		c.CollectorCrashAt > 0 || c.CollectorCrashProb > 0
+}
+
+// CollectorCrash reports whether the collector crashes at the start of
+// the given round: either the deterministic CollectorCrashAt round, or
+// the first round whose seeded hash clears CollectorCrashProb. The
+// emulation machine latches the first firing; a restarted collector is
+// only re-crashed by the probabilistic schedule.
+func (c *Config) CollectorCrash(round int) bool {
+	if c == nil {
+		return false
+	}
+	if c.CollectorCrashAt > 0 && round == c.CollectorCrashAt {
+		return true
+	}
+	if c.CollectorCrashProb <= 0 {
+		return false
+	}
+	return unit(c.Seed, 0xC011, uint64(round)) < c.CollectorCrashProb
 }
 
 // Crashed reports whether node n is down during the given round per the
-// crash/recover schedule.
+// crash/recover schedule (CrashAt/RecoverAt or any crash window).
 func (c *Config) Crashed(n model.NodeID, round int) bool {
-	if c == nil || len(c.CrashAt) == 0 {
+	if c == nil {
+		return false
+	}
+	for _, w := range c.CrashWindows[n] {
+		if round >= w.From && round < w.To {
+			return true
+		}
+	}
+	if len(c.CrashAt) == 0 {
 		return false
 	}
 	at, ok := c.CrashAt[n]

@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"testing"
+
+	"remo/internal/model"
+)
+
+func TestCollectorCrashAtFiresOnEdge(t *testing.T) {
+	c := &Config{CollectorCrashAt: 7}
+	for round := 0; round < 20; round++ {
+		want := round == 7
+		if got := c.CollectorCrash(round); got != want {
+			t.Fatalf("round %d: crash = %v, want %v", round, got, want)
+		}
+	}
+	var nilCfg *Config
+	if nilCfg.CollectorCrash(7) {
+		t.Fatal("nil config crashed the collector")
+	}
+	if (&Config{}).CollectorCrash(0) {
+		t.Fatal("zero config crashed the collector at round 0")
+	}
+}
+
+func TestCollectorCrashProbDeterministic(t *testing.T) {
+	a := &Config{CollectorCrashProb: 0.2, Seed: 42}
+	b := &Config{CollectorCrashProb: 0.2, Seed: 42}
+	other := &Config{CollectorCrashProb: 0.2, Seed: 43}
+
+	fired, differs := 0, false
+	for round := 0; round < 200; round++ {
+		av, bv := a.CollectorCrash(round), b.CollectorCrash(round)
+		if av != bv {
+			t.Fatalf("round %d: same seed disagrees (%v vs %v)", round, av, bv)
+		}
+		if av {
+			fired++
+		}
+		if av != other.CollectorCrash(round) {
+			differs = true
+		}
+	}
+	// ~20% of 200 rounds should fire; accept a generous band.
+	if fired < 10 || fired > 90 {
+		t.Fatalf("prob 0.2 fired %d/200 rounds", fired)
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical crash schedules")
+	}
+}
+
+func TestCrashWindowsFlapSchedule(t *testing.T) {
+	n := model.NodeID(3)
+	c := &Config{CrashWindows: map[model.NodeID][]Window{
+		n: {{From: 5, To: 8}, {From: 12, To: 14}},
+	}}
+	downs := map[int]bool{5: true, 6: true, 7: true, 12: true, 13: true}
+	for round := 0; round < 20; round++ {
+		if got := c.Crashed(n, round); got != downs[round] {
+			t.Fatalf("round %d: crashed = %v, want %v", round, got, downs[round])
+		}
+	}
+	if c.Crashed(model.NodeID(4), 6) {
+		t.Fatal("window crashed an unscheduled node")
+	}
+	if !c.Enabled() {
+		t.Fatal("windows alone do not enable the config")
+	}
+}
+
+func TestCrashWindowsComposeWithCrashAt(t *testing.T) {
+	n := model.NodeID(1)
+	c := &Config{
+		CrashAt:      map[model.NodeID]int{n: 10},
+		RecoverAt:    map[model.NodeID]int{n: 12},
+		CrashWindows: map[model.NodeID][]Window{n: {{From: 2, To: 4}}},
+	}
+	// Down when either schedule says so: window [2,4) and CrashAt 10
+	// until RecoverAt 12.
+	for round, want := range map[int]bool{
+		1: false, 2: true, 3: true, 4: false,
+		9: false, 10: true, 11: true, 12: false,
+	} {
+		if got := c.Crashed(n, round); got != want {
+			t.Fatalf("round %d: crashed = %v, want %v", round, got, want)
+		}
+	}
+}

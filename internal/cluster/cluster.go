@@ -79,11 +79,31 @@ type Config struct {
 	Observer func(pair model.Pair, round int, value float64)
 	// Trace, when set, records structured emulation events.
 	Trace *trace.Recorder
+	// FenceEpochs arms epoch fencing: every frame carries the epoch of
+	// the plan it was composed under, and frames from older epochs are
+	// rejected (counted in Result.StaleEpochFrames). A collector
+	// restarted after a crash bumps the epoch, so pre-crash in-flight
+	// frames cannot corrupt its recovered views. Off by default because
+	// fencing also discards the one-round in-flight tail of every
+	// topology swap, changing legacy session results.
+	FenceEpochs bool
+	// LeafBuffer bounds the per-node outgoing frame buffer (0 disables
+	// buffering). When the collector is down — or a transport send fails
+	// — nodes park up to this many frames instead of dropping them, shed
+	// the oldest frame on overflow, and redeliver oldest-first once the
+	// destination is reachable again.
+	LeafBuffer int
 
 	// delaySink receives chaos-delayed messages with their due round; set
 	// by the machine so sendPhase can hand messages back for later
 	// injection.
 	delaySink func(due int, msg transport.Message)
+	// epoch is the running plan epoch, stamped on every frame; bumped by
+	// the machine on every Install and on collector resume.
+	epoch uint32
+	// collectorDown is latched by the machine while the central collector
+	// is crashed, steering root nodes into their outgoing buffers.
+	collectorDown bool
 }
 
 // Result aggregates what the collector observed.
@@ -116,6 +136,19 @@ type Result struct {
 	// ErrorSeries is the average percentage error per round (warm-up
 	// curves, convergence analysis).
 	ErrorSeries []float64
+	// StaleEpochFrames counts frames rejected by epoch fencing — values
+	// composed under a plan epoch older than the receiver's.
+	StaleEpochFrames int
+	// FramesBuffered counts frames parked in node outgoing buffers
+	// (collector outages and transport failures).
+	FramesBuffered int
+	// FramesShed counts buffered frames dropped oldest-first on buffer
+	// overflow, plus buffers lost to node crashes and topology swaps.
+	FramesShed int
+	// FramesRedelivered counts buffered frames delivered after the fact.
+	// FramesBuffered = FramesRedelivered + FramesShed + frames still
+	// buffered when the session ended.
+	FramesRedelivered int
 }
 
 // Errors returned by Run.
@@ -139,6 +172,16 @@ type membership struct {
 	compose []transport.Value
 }
 
+// pendingFrame is one outgoing message parked in a node's buffer while
+// its destination is unreachable. The payload is cloned off the
+// membership's reused compose buffer because it outlives the round.
+type pendingFrame struct {
+	to     model.NodeID
+	key    string
+	round  int
+	values []transport.Value
+}
+
 // nodeState is the per-node runtime state, owned by its goroutine.
 type nodeState struct {
 	id          model.NodeID
@@ -151,6 +194,15 @@ type nodeState struct {
 	budget float64
 	sent   int
 	drops  int
+	// outbox holds frames awaiting redelivery, oldest first (see
+	// Config.LeafBuffer).
+	outbox []pendingFrame
+	// stale counts inbound frames rejected by epoch fencing; buffered,
+	// shed and redelivered account the outbox (see Result).
+	stale       int
+	buffered    int
+	shed        int
+	redelivered int
 }
 
 // Run executes a fixed-length emulation and returns the collector's
@@ -243,10 +295,15 @@ func (st *nodeState) receivePhase(cfg Config, tr transport.Transport, round int)
 	st.budget = st.capacity
 	if st.dead(cfg, round) {
 		// Dead nodes silently discard input and lose their buffered relay
-		// state — a recovered node restarts cold.
+		// state — a recovered node restarts cold. Their outgoing buffer is
+		// lost with them.
 		_ = tr.Drain(st.id)
 		for k := range st.relay {
 			st.relay[k] = nil
+		}
+		if len(st.outbox) > 0 {
+			st.shed += len(st.outbox)
+			st.outbox = nil
 		}
 		if cfg.Trace != nil && cfg.Chaos.JustCrashed(st.id, round) {
 			cfg.Trace.Record(trace.Event{Round: round, Kind: trace.NodeDead, Node: st.id})
@@ -254,6 +311,13 @@ func (st *nodeState) receivePhase(cfg Config, tr transport.Transport, round int)
 		return
 	}
 	for _, msg := range tr.Drain(st.id) {
+		if cfg.FenceEpochs && msg.Epoch < cfg.epoch {
+			// Frame composed under an older plan epoch: reject it so values
+			// routed for a pre-swap (or pre-crash) topology cannot leak into
+			// the current one.
+			st.stale++
+			continue
+		}
 		c := cfg.Sys.Cost.Message(len(msg.Values))
 		if cfg.EnforceCapacity && c > st.budget {
 			st.drops++
@@ -272,15 +336,26 @@ func (st *nodeState) receivePhase(cfg Config, tr transport.Transport, round int)
 
 // sendPhase emits one message per tree membership carrying fresh local
 // values plus last round's relayed values, within the remaining budget.
+// Buffered frames from earlier rounds are redelivered first, so an
+// outage's backlog drains in order ahead of fresh data.
 func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 	if st.dead(cfg, round) {
 		return
 	}
+	st.drainOutbox(cfg, tr)
 	for i := range st.memberships {
 		m := &st.memberships[i]
 		values := st.composeMessage(cfg, m, round)
 		if buf, ok := st.relay[m.key]; ok {
 			st.relay[m.key] = buf[:0]
+		}
+		if cfg.LeafBuffer > 0 && cfg.collectorDown && m.parent == model.Central {
+			// The collector is down: park the frame instead of feeding the
+			// void. Empty frames carry nothing worth preserving.
+			if len(values) > 0 {
+				st.bufferFrame(cfg, m.parent, m.key, round, values)
+			}
+			continue
 		}
 		c := cfg.Sys.Cost.Message(len(values))
 		if cfg.EnforceCapacity && c > st.budget {
@@ -299,6 +374,7 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 			TreeKey: m.key,
 			From:    st.id,
 			To:      m.parent,
+			Epoch:   cfg.epoch,
 			Values:  values,
 		}
 		if d := cfg.Chaos.Delay(st.id, m.parent, round, st.sent); d > 0 && cfg.delaySink != nil {
@@ -313,6 +389,14 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 		}
 		err := tr.Send(msg)
 		if err != nil {
+			if cfg.LeafBuffer > 0 && len(values) > 0 {
+				// Transport failure: keep the frame for redelivery. The send
+				// attempt already consumed capacity, but it was never on the
+				// wire, so it does not count as sent.
+				st.sent--
+				st.bufferFrame(cfg, m.parent, m.key, round, values)
+				continue
+			}
 			st.drops++
 			st.traceDrop(cfg, m, round, len(values))
 			continue
@@ -324,6 +408,78 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 			})
 		}
 	}
+}
+
+// bufferFrame parks one composed frame in the node's outgoing buffer,
+// shedding the oldest frame when full. Payloads are cloned off the
+// membership's reused compose buffer because they outlive the round.
+func (st *nodeState) bufferFrame(cfg Config, to model.NodeID, key string, round int, values []transport.Value) {
+	st.buffered++
+	if len(st.outbox) >= cfg.LeafBuffer {
+		st.shed++
+		if cfg.Trace != nil {
+			old := &st.outbox[0]
+			cfg.Trace.Record(trace.Event{
+				Round: round, Kind: trace.Shed, Node: st.id,
+				Peer: old.to, TreeKey: old.key, Values: len(old.values),
+			})
+		}
+		copy(st.outbox, st.outbox[1:])
+		st.outbox = st.outbox[:len(st.outbox)-1]
+	}
+	st.outbox = append(st.outbox, pendingFrame{
+		to:     to,
+		key:    key,
+		round:  round,
+		values: append([]transport.Value(nil), values...),
+	})
+}
+
+// drainOutbox redelivers buffered frames oldest-first within this
+// round's remaining budget. Frames are re-stamped with the current plan
+// epoch: their values are genuine (if stale) observations, so they must
+// pass the fence a restarted collector raises against pre-crash
+// in-flight traffic. Delivery stops at the first frame that cannot go
+// out (destination down, budget exhausted, or send failure); order is
+// preserved.
+func (st *nodeState) drainOutbox(cfg Config, tr transport.Transport) {
+	if len(st.outbox) == 0 {
+		return
+	}
+	n := 0
+	for i := range st.outbox {
+		f := &st.outbox[i]
+		if cfg.collectorDown && f.to == model.Central {
+			break
+		}
+		c := cfg.Sys.Cost.Message(len(f.values))
+		if cfg.EnforceCapacity && c > st.budget {
+			break
+		}
+		err := tr.Send(transport.Message{
+			TreeKey: f.key,
+			From:    st.id,
+			To:      f.to,
+			Epoch:   cfg.epoch,
+			Values:  f.values,
+		})
+		if err != nil {
+			break
+		}
+		st.budget -= c
+		st.sent++
+		st.redelivered++
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	rest := len(st.outbox) - n
+	copy(st.outbox, st.outbox[n:])
+	for i := rest; i < len(st.outbox); i++ {
+		st.outbox[i] = pendingFrame{} // release payload references
+	}
+	st.outbox = st.outbox[:rest]
 }
 
 // traceDrop records a failed send when tracing is on.

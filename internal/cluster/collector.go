@@ -5,6 +5,7 @@ import (
 
 	"remo/internal/agg"
 	"remo/internal/model"
+	"remo/internal/store"
 	"remo/internal/trace"
 	"remo/internal/transport"
 )
@@ -57,6 +58,10 @@ type collector struct {
 
 	valuesDelivered int
 	centralDrops    int
+	// staleFrames counts frames rejected by epoch fencing at the
+	// collector — pre-crash or pre-swap traffic a resumed session must
+	// not absorb.
+	staleFrames int
 }
 
 func newCollector(cfg Config) *collector {
@@ -137,6 +142,42 @@ func (c *collector) retarget(cfg Config) {
 	}
 }
 
+// recover rebuilds the collector after a crash: every in-memory view is
+// wiped — a restarted collector knows only what its journal preserved —
+// and the demanded slots are re-seeded from the recovered repository's
+// newest samples. The scoring accumulators survive: they are the
+// session's measurement harness, not collector state, and keeping them
+// preserves the one-entry-per-round error series the verifier checks.
+// Aggregate views are not re-seeded (the repository stores them under
+// the aggregating node's identity); they refresh on the next delivery.
+func (c *collector) recover(cfg Config, repo *store.Store, round int) {
+	c.holisticPairs = nil
+	c.periods, c.views, c.viewSet, c.bits = nil, nil, nil, nil
+	c.slotOf = nil
+	c.extraView = make(map[model.Pair]transport.Value)
+	c.extraBits = make(map[model.Pair][]uint64)
+	c.aggView = make(map[model.AttrID]transport.Value)
+	c.retarget(cfg)
+	if repo == nil {
+		return
+	}
+	for i, p := range c.holisticPairs {
+		smp, ok := repo.Latest(p)
+		if !ok {
+			continue
+		}
+		// Clamp the seeded view's round below the current one so the
+		// staleness accounting never sees a view from the future (cold
+		// resumes restart the round clock at zero).
+		r := smp.Round
+		if r >= round {
+			r = round - 1
+		}
+		c.views[i] = transport.Value{Node: p.Node, Attr: p.Attr, Round: r, Value: smp.Value}
+		c.viewSet[i] = true
+	}
+}
+
 // lookupView returns the freshest delivered view of a pair, demanded or
 // not.
 func (c *collector) lookupView(p model.Pair) (transport.Value, bool) {
@@ -151,6 +192,10 @@ func (c *collector) lookupView(p model.Pair) (transport.Value, bool) {
 func (c *collector) absorb(msgs []transport.Message, round int) {
 	budget := c.cfg.Sys.CentralCapacity
 	for _, msg := range msgs {
+		if c.cfg.FenceEpochs && msg.Epoch < c.cfg.epoch {
+			c.staleFrames++
+			continue
+		}
 		cost := c.cfg.Sys.Cost.Message(len(msg.Values))
 		if c.cfg.EnforceCapacity && cost > budget {
 			c.centralDrops++

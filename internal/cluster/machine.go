@@ -8,6 +8,7 @@ import (
 	"remo/internal/detect"
 	"remo/internal/model"
 	"remo/internal/plan"
+	"remo/internal/store"
 	"remo/internal/task"
 	"remo/internal/trace"
 	"remo/internal/transport"
@@ -43,8 +44,15 @@ type Machine struct {
 	round  int
 	closed bool
 	// extraSent/extraDrops preserve traffic counters of nodes dropped by
-	// a topology swap (and count delayed messages lost at injection).
-	extraSent, extraDrops int
+	// a topology swap (and count delayed messages lost at injection);
+	// the remaining extras preserve the fencing and buffering counters
+	// of such nodes the same way.
+	extraSent, extraDrops                            int
+	extraStale, extraBuffered, extraShed, extraRedel int
+
+	// collectorDown is latched when the chaos schedule crashes the
+	// central collector; cleared by ResumeCollector.
+	collectorDown bool
 
 	// det is the failure detector (nil when detection is off).
 	det *detect.Detector
@@ -81,6 +89,9 @@ func NewMachine(cfg Config) (*Machine, error) {
 		cfg.Resolve = func(a model.AttrID) model.AttrID { return a }
 	}
 	cfg.Chaos = normalizeChaos(cfg)
+	// The session starts at epoch 1 so a zero-valued frame (or one from
+	// a pre-epoch wire peer) is always older than any installed plan.
+	cfg.epoch = 1
 	m := &Machine{cfg: cfg, tr: cfg.Transport}
 	m.cfg.delaySink = func(due int, msg transport.Message) {
 		// Delayed messages outlive the round barrier, so they cannot
@@ -166,6 +177,16 @@ func (m *Machine) Step() error {
 	round := m.round
 	m.round++
 
+	if !m.collectorDown && m.cfg.Chaos.CollectorCrash(round) {
+		// Latch the outage: the collector stays down until the session
+		// restarts it via ResumeCollector (Monitor.Resume).
+		m.collectorDown = true
+		m.cfg.collectorDown = true
+		if m.cfg.Trace != nil {
+			m.cfg.Trace.Record(trace.Event{Round: round, Kind: trace.CollectorDead, Node: model.Central})
+		}
+	}
+
 	if m.eng != nil {
 		m.eng.forEach(m.states, func(st *nodeState) { st.receivePhase(m.cfg, m.tr, round) })
 		m.eng.forEach(m.states, func(st *nodeState) { st.sendPhase(m.cfg, m.tr, round) })
@@ -195,6 +216,17 @@ func (m *Machine) Step() error {
 		return fmt.Errorf("cluster: round %d: %w", round, err)
 	}
 	msgs := m.tr.Drain(model.Central)
+	if m.collectorDown {
+		// The dead collector hears nothing: whatever reached its mailbox
+		// (delayed injections, unbuffered root sends) is lost, and the
+		// failure detector — a collector-side component — is frozen with
+		// it. Scoring still runs: ground truth keeps moving while the
+		// views stand still, which is exactly the error a crashed
+		// collector accrues.
+		m.extraDrops += len(msgs)
+		m.coll.score(round)
+		return nil
+	}
 	if m.det != nil {
 		msgs = m.feedDetector(msgs, round)
 	}
@@ -238,7 +270,7 @@ func (m *Machine) injectDelayed(round int) {
 // applies: a beat can be dropped like any message, which the suspicion
 // window absorbs.
 func (m *Machine) emitBeats(round int) {
-	if m.det == nil {
+	if m.det == nil || m.collectorDown {
 		return
 	}
 	if len(m.beatBuf) < len(m.beatNodes) {
@@ -255,6 +287,7 @@ func (m *Machine) emitBeats(round int) {
 		err := m.tr.Send(transport.Message{
 			From:  n,
 			To:    model.Central,
+			Epoch: m.cfg.epoch,
 			Beats: m.beatBuf[i : i+1 : i+1],
 		})
 		if err != nil {
@@ -334,12 +367,26 @@ func (m *Machine) StepN(n int) error {
 // views — exactly what a real collector would do — but re-targets its
 // coverage accounting to the new demand.
 func (m *Machine) Install(forest *plan.Forest, d *task.Demand) {
+	m.cfg.Forest = forest
+	m.cfg.Demand = d
+	// Every install opens a new plan epoch; with FenceEpochs on, frames
+	// still in flight for the previous topology are rejected on arrival.
+	m.cfg.epoch++
+	m.rebuildStates()
+	m.coll.retarget(m.cfg)
+	if m.det != nil {
+		m.det.Watch(m.watchSet(), m.round)
+	}
+}
+
+// rebuildStates re-derives per-node state from the current config,
+// carrying counters, surviving relay buffers and outgoing buffers over
+// from the previous topology.
+func (m *Machine) rebuildStates() {
 	old := make(map[model.NodeID]*nodeState, len(m.states))
 	for _, st := range m.states {
 		old[st.id] = st
 	}
-	m.cfg.Forest = forest
-	m.cfg.Demand = d
 	m.states = buildStates(m.cfg)
 
 	// Preserve traffic counters and surviving relay buffers.
@@ -350,6 +397,11 @@ func (m *Machine) Install(forest *plan.Forest, d *task.Demand) {
 		}
 		st.sent = prev.sent
 		st.drops = prev.drops
+		st.stale = prev.stale
+		st.buffered = prev.buffered
+		st.shed = prev.shed
+		st.redelivered = prev.redelivered
+		st.outbox = prev.outbox
 		for _, mb := range st.memberships {
 			if buf, has := prev.relay[mb.key]; has {
 				st.relay[mb.key] = buf
@@ -360,11 +412,11 @@ func (m *Machine) Install(forest *plan.Forest, d *task.Demand) {
 	for _, gone := range old {
 		m.extraSent += gone.sent
 		m.extraDrops += gone.drops
-	}
-
-	m.coll.retarget(m.cfg)
-	if m.det != nil {
-		m.det.Watch(m.watchSet(), m.round)
+		m.extraStale += gone.stale
+		m.extraBuffered += gone.buffered
+		m.extraRedel += gone.redelivered
+		// A node pruned from the plan takes its parked frames with it.
+		m.extraShed += gone.shed + len(gone.outbox)
 	}
 }
 
@@ -374,11 +426,84 @@ func (m *Machine) Result() Result {
 	res.Rounds = m.round
 	res.MessagesSent += m.extraSent
 	res.MessagesDropped += m.extraDrops
+	res.StaleEpochFrames = m.coll.staleFrames + m.extraStale
+	res.FramesBuffered = m.extraBuffered
+	res.FramesShed = m.extraShed
+	res.FramesRedelivered = m.extraRedel
 	for _, st := range m.states {
 		res.MessagesSent += st.sent
 		res.MessagesDropped += st.drops
+		res.StaleEpochFrames += st.stale
+		res.FramesBuffered += st.buffered
+		res.FramesShed += st.shed
+		res.FramesRedelivered += st.redelivered
 	}
 	return res
+}
+
+// Epoch returns the current plan epoch (1 at session start, bumped on
+// every Install and on collector resume).
+func (m *Machine) Epoch() uint32 { return m.cfg.epoch }
+
+// CollectorDown reports whether the central collector is currently
+// crashed per the chaos schedule.
+func (m *Machine) CollectorDown() bool { return m.collectorDown }
+
+// BufferedFrames returns the number of frames currently parked in node
+// outgoing buffers across the deployment.
+func (m *Machine) BufferedFrames() int {
+	n := 0
+	for _, st := range m.states {
+		n += len(st.outbox)
+	}
+	return n
+}
+
+// ResumeState carries the durable collector state recovered from a
+// journal into a running (or freshly built) machine.
+type ResumeState struct {
+	// Epoch is the recovered session's last installed plan epoch. The
+	// machine adopts max(current, Epoch)+1, so every frame composed
+	// before the crash — whatever epoch it carried — is older than the
+	// resumed session's and gets fenced.
+	Epoch uint32
+	// Repo seeds the recovered collector's views with the newest
+	// journaled sample of every demanded pair (nil skips seeding).
+	Repo *store.Store
+	// Dead restores the failure detector's declared-dead set as
+	// node → declaration round. Use -1 for declaration rounds when the
+	// resumed session restarts its round clock at zero.
+	Dead map[model.NodeID]int
+}
+
+// ResumeCollector restarts a crashed central collector from journaled
+// state: the in-memory views are wiped and re-seeded from the recovered
+// repository (a restarted process knows only what it persisted), the
+// plan epoch advances past everything the dead collector could have
+// been sent, and the failure detector restarts with the recovered
+// dead set and a fresh grace window. Node-side state — relay buffers,
+// outgoing buffers, traffic counters — is untouched: the leaves never
+// died.
+func (m *Machine) ResumeCollector(rs ResumeState) {
+	if rs.Epoch > m.cfg.epoch {
+		m.cfg.epoch = rs.Epoch
+	}
+	m.cfg.epoch++
+	m.collectorDown = false
+	m.cfg.collectorDown = false
+	m.coll.recover(m.cfg, rs.Repo, m.round)
+	if m.cfg.Detect != nil {
+		m.det = detect.New(*m.cfg.Detect)
+		for n, at := range rs.Dead {
+			m.det.MarkDead(n, at)
+		}
+		m.beatNodes = m.cfg.Sys.NodeIDs()
+		m.det.Watch(m.watchSet(), m.round)
+		m.verdicts = nil
+	}
+	if m.cfg.Trace != nil {
+		m.cfg.Trace.Record(trace.Event{Round: m.round, Kind: trace.CollectorResume, Node: model.Central})
+	}
 }
 
 // Close releases the machine's transport (when it owns it).

@@ -145,6 +145,24 @@ func (d *Detector) Advance(round int) []Verdict {
 	return out
 }
 
+// DeadAt snapshots the declared-dead set with each node's declaration
+// round — the detector state a durable session journals and restores.
+func (d *Detector) DeadAt() map[model.NodeID]int {
+	out := make(map[model.NodeID]int, len(d.dead))
+	for n, at := range d.dead {
+		out[n] = at
+	}
+	return out
+}
+
+// MarkDead restores a declared-dead node (crash recovery): the node
+// stays excluded until evidence of life newer than declaredAt arrives.
+// Restoring with declaredAt = -1 lets any fresh beat resurrect it —
+// the right anchor when the recovered session restarts its round clock.
+func (d *Detector) MarkDead(n model.NodeID, declaredAt int) {
+	d.dead[n] = declaredAt
+}
+
 // Dead lists the currently declared-dead nodes in NodeID order.
 func (d *Detector) Dead() []model.NodeID {
 	out := make([]model.NodeID, 0, len(d.dead))

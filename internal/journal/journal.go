@@ -1,0 +1,407 @@
+// Package journal makes a monitoring session durable: it persists the
+// collector-side state a crashed session needs to resume — the
+// installed plan's epoch and fingerprint, the monitoring demand, the
+// failure detector's dead set, repair history, trigger re-arm state and
+// the repository's recent samples — as periodic checkpoints plus a
+// write-ahead log of per-round deltas.
+//
+// The on-disk discipline mirrors the wire codec's: big-endian,
+// length-prefixed records with the layout constants below as the single
+// source of truth. Every record is CRC-guarded, so recovery can detect
+// a torn tail (a crash mid-append) and truncate it instead of reading
+// garbage. Files live in one directory as numbered segments:
+//
+//	ckpt-N  full state snapshot opening segment N
+//	wal-N   the deltas appended since ckpt-N
+//
+// Recovery loads the newest intact checkpoint and replays its WAL on
+// top; older segments are pruned on rotation, bounding disk use.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"remo/internal/model"
+	"remo/internal/store"
+	"remo/internal/task"
+)
+
+// File headers: 8 magic bytes identifying role and format version.
+var (
+	ckptMagic = []byte("REMOCKP1")
+	walMagic  = []byte("REMOWAL1")
+)
+
+// Record framing layout — the single source of truth, like the wire
+// codec's header constants. A record is:
+//
+//	length(uint32) kind(uint8) payload crc32(uint32)
+//
+// where length covers kind+payload and the CRC is computed over
+// kind+payload (IEEE polynomial).
+const (
+	recLenSize  = 4
+	recKindSize = 1
+	recCRCSize  = 4
+	// maxRecordSize bounds a single record; anything larger is treated
+	// as corruption.
+	maxRecordSize = 1 << 26
+)
+
+// Record kinds.
+const (
+	// recCheckpoint is a full State snapshot (only record in ckpt files).
+	recCheckpoint = 1
+	// recEpoch logs a plan install: epoch, fingerprint, installed demand.
+	recEpoch = 2
+	// recTasks logs a change to the base (user-submitted) demand.
+	recTasks = 3
+	// recVerdict logs a failure-detector verdict (death or recovery).
+	recVerdict = 4
+	// recRepair logs one topology repair.
+	recRepair = 5
+	// recSamples logs the values the collector accepted in one round.
+	recSamples = 6
+)
+
+// State is the durable session state: everything a restarted collector
+// needs that it cannot re-derive from configuration.
+type State struct {
+	// Epoch is the last installed plan epoch.
+	Epoch uint32
+	// Fingerprint identifies the installed forest (plan.Forest
+	// Fingerprint), letting a resumed session tell whether a replanned
+	// topology matches the pre-crash one.
+	Fingerprint uint64
+	// Round is the last round whose samples were journaled.
+	Round int
+	// Failures, Recoveries and Repairs are the self-healing history
+	// counters.
+	Failures, Recoveries, Repairs int
+	// Demand is the installed (possibly repair-pruned) demand.
+	Demand *task.Demand
+	// BaseDemand is the user-submitted demand before pruning.
+	BaseDemand *task.Demand
+	// Dead is the failure detector's declared-dead set (node →
+	// declaration round).
+	Dead map[model.NodeID]int
+	// Store holds the journaled samples.
+	Store *store.Store
+	// Cooldowns is the trigger re-arm state (checkpoint-granular).
+	Cooldowns map[string]map[model.Pair]int
+}
+
+// SampleRec is one collected value as journaled by recSamples records.
+type SampleRec struct {
+	Pair  model.Pair
+	Round int
+	Value float64
+}
+
+// Errors.
+var (
+	ErrNoJournal = errors.New("journal: no checkpoint found")
+	ErrCorrupt   = errors.New("journal: corrupt record")
+)
+
+var crcTable = crc32.IEEETable
+
+// appendRecord frames kind+payload into dst.
+func appendRecord(dst []byte, kind uint8, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(recKindSize+len(payload)))
+	body := len(dst)
+	dst = append(dst, kind)
+	dst = append(dst, payload...)
+	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(dst[body:], crcTable))
+}
+
+// splitRecord consumes one record from p, verifying length and CRC.
+// It returns the kind, payload and remaining bytes; ok is false when p
+// holds no intact record (a torn or corrupt tail).
+func splitRecord(p []byte) (kind uint8, payload, rest []byte, ok bool) {
+	if len(p) < recLenSize {
+		return 0, nil, p, false
+	}
+	n := int(binary.BigEndian.Uint32(p))
+	if n < recKindSize || n > maxRecordSize || len(p) < recLenSize+n+recCRCSize {
+		return 0, nil, p, false
+	}
+	body := p[recLenSize : recLenSize+n]
+	want := binary.BigEndian.Uint32(p[recLenSize+n:])
+	if crc32.Checksum(body, crcTable) != want {
+		return 0, nil, p, false
+	}
+	return body[0], body[1:], p[recLenSize+n+recCRCSize:], true
+}
+
+// reader is a cursor over a record payload; the first short read or
+// malformed field latches err and zero-values every later read.
+type reader struct {
+	p   []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.p) < n {
+		r.err = fmt.Errorf("%w: short payload", ErrCorrupt)
+		return nil
+	}
+	b := r.p[:n]
+	r.p = r.p[n:]
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) i32() int { return int(int32(r.u32())) }
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n > maxRecordSize {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: oversized string", ErrCorrupt)
+		}
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// --- field group encodings -------------------------------------------
+
+// appendDemand encodes a demand as count + (node, attr, weight) triples
+// in canonical pair order.
+func appendDemand(dst []byte, d *task.Demand) []byte {
+	if d == nil {
+		return binary.BigEndian.AppendUint32(dst, 0)
+	}
+	pairs := d.Pairs()
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(pairs)))
+	for _, p := range pairs {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(p.Node)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(p.Attr)))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(d.Weight(p.Node, p.Attr)))
+	}
+	return dst
+}
+
+func (r *reader) demand() *task.Demand {
+	n := int(r.u32())
+	d := task.NewDemand()
+	for i := 0; i < n && r.err == nil; i++ {
+		node := model.NodeID(r.i32())
+		attr := model.AttrID(r.i32())
+		w := r.f64()
+		if r.err == nil {
+			d.Set(node, attr, w)
+		}
+	}
+	return d
+}
+
+// appendEpoch encodes a recEpoch payload.
+func appendEpoch(dst []byte, epoch uint32, fingerprint uint64, installed *task.Demand) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, epoch)
+	dst = binary.BigEndian.AppendUint64(dst, fingerprint)
+	return appendDemand(dst, installed)
+}
+
+// appendVerdict encodes a recVerdict payload.
+func appendVerdict(dst []byte, node model.NodeID, declaredAt int, recovered bool) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(node)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(declaredAt)))
+	if recovered {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// appendSamples encodes a recSamples payload: the round plus every
+// value the collector accepted in it.
+func appendSamples(dst []byte, round int, recs []SampleRec) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(round)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(recs)))
+	for _, s := range recs {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(s.Pair.Node)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(s.Pair.Attr)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(s.Round)))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(s.Value))
+	}
+	return dst
+}
+
+// appendCheckpoint encodes a full State snapshot.
+func appendCheckpoint(dst []byte, s State) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, s.Epoch)
+	dst = binary.BigEndian.AppendUint64(dst, s.Fingerprint)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(s.Round)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(s.Failures)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(s.Recoveries)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(s.Repairs)))
+	dst = appendDemand(dst, s.Demand)
+	dst = appendDemand(dst, s.BaseDemand)
+
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Dead)))
+	for _, n := range sortedNodes(s.Dead) {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(n)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(s.Dead[n])))
+	}
+
+	capacity := 0
+	var dump []store.SeriesDump
+	if s.Store != nil {
+		capacity = s.Store.Capacity()
+		dump = s.Store.Dump()
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(capacity))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(dump)))
+	for _, sd := range dump {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(sd.Pair.Node)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(sd.Pair.Attr)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(sd.Samples)))
+		for _, smp := range sd.Samples {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(smp.Round)))
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(smp.Value))
+		}
+	}
+
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Cooldowns)))
+	for _, name := range sortedKeys(s.Cooldowns) {
+		pairs := s.Cooldowns[name]
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(name)))
+		dst = append(dst, name...)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(pairs)))
+		for _, p := range sortedPairs(pairs) {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(p.Node)))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(p.Attr)))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(pairs[p])))
+		}
+	}
+	return dst
+}
+
+// decodeCheckpoint parses a recCheckpoint payload.
+func decodeCheckpoint(payload []byte) (State, error) {
+	r := &reader{p: payload}
+	s := State{
+		Epoch:       r.u32(),
+		Fingerprint: r.u64(),
+		Round:       r.i32(),
+		Failures:    r.i32(),
+		Recoveries:  r.i32(),
+		Repairs:     r.i32(),
+	}
+	s.Demand = r.demand()
+	s.BaseDemand = r.demand()
+
+	nDead := int(r.u32())
+	s.Dead = make(map[model.NodeID]int, nDead)
+	for i := 0; i < nDead && r.err == nil; i++ {
+		n := model.NodeID(r.i32())
+		at := r.i32()
+		if r.err == nil {
+			s.Dead[n] = at
+		}
+	}
+
+	capacity := int(r.u32())
+	nSeries := int(r.u32())
+	if r.err == nil {
+		s.Store = store.New(capacity)
+	}
+	for i := 0; i < nSeries && r.err == nil; i++ {
+		node := model.NodeID(r.i32())
+		attr := model.AttrID(r.i32())
+		nSamp := int(r.u32())
+		for j := 0; j < nSamp && r.err == nil; j++ {
+			round := r.i32()
+			v := r.f64()
+			if r.err == nil {
+				s.Store.Observe(model.Pair{Node: node, Attr: attr}, round, v)
+			}
+		}
+	}
+
+	nCool := int(r.u32())
+	s.Cooldowns = make(map[string]map[model.Pair]int, nCool)
+	for i := 0; i < nCool && r.err == nil; i++ {
+		name := r.str()
+		nPairs := int(r.u32())
+		m := make(map[model.Pair]int, nPairs)
+		for j := 0; j < nPairs && r.err == nil; j++ {
+			node := model.NodeID(r.i32())
+			attr := model.AttrID(r.i32())
+			at := r.i32()
+			if r.err == nil {
+				m[model.Pair{Node: node, Attr: attr}] = at
+			}
+		}
+		if r.err == nil {
+			s.Cooldowns[name] = m
+		}
+	}
+	if r.err != nil {
+		return State{}, r.err
+	}
+	return s, nil
+}
+
+// Deterministic iteration orders keep checkpoint bytes reproducible.
+
+func sortedNodes(m map[model.NodeID]int) []model.NodeID {
+	out := make([]model.NodeID, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedKeys(m map[string]map[model.Pair]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedPairs(m map[model.Pair]int) []model.Pair {
+	out := make([]model.Pair, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	model.SortPairs(out)
+	return out
+}

@@ -1,0 +1,338 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"remo/internal/model"
+	"remo/internal/store"
+	"remo/internal/task"
+)
+
+// testState builds a representative session state: demand, a pruned
+// base demand, a dead set, stored samples and trigger cooldowns.
+func testState() State {
+	d := task.NewDemand()
+	d.Set(1, 1, 1)
+	d.Set(2, 1, 2)
+	d.Set(2, 3, 0.5)
+	base := d.Clone()
+	base.Set(4, 1, 1)
+
+	st := store.New(8)
+	st.Observe(model.Pair{Node: 1, Attr: 1}, 3, 1.5)
+	st.Observe(model.Pair{Node: 1, Attr: 1}, 4, 2.5)
+	st.Observe(model.Pair{Node: 2, Attr: 3}, 4, -7)
+
+	return State{
+		Epoch:       3,
+		Fingerprint: 0xDEADBEEFCAFE,
+		Round:       4,
+		Failures:    2,
+		Recoveries:  1,
+		Repairs:     3,
+		Demand:      d,
+		BaseDemand:  base,
+		Dead:        map[model.NodeID]int{4: 2},
+		Store:       st,
+		Cooldowns: map[string]map[model.Pair]int{
+			"hot": {{Node: 1, Attr: 1}: 4},
+		},
+	}
+}
+
+// sameDemand compares two demands pair by pair, weights included.
+func sameDemand(t *testing.T, what string, got, want *task.Demand) {
+	t.Helper()
+	gp, wp := got.Pairs(), want.Pairs()
+	if !reflect.DeepEqual(gp, wp) {
+		t.Fatalf("%s pairs = %v, want %v", what, gp, wp)
+	}
+	for _, p := range wp {
+		if g, w := got.Weight(p.Node, p.Attr), want.Weight(p.Node, p.Attr); g != w {
+			t.Fatalf("%s weight(%v) = %v, want %v", what, p, g, w)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testState()
+	w, err := Create(dir, Options{NoSync: true}, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rec.State
+	if got.Epoch != want.Epoch || got.Fingerprint != want.Fingerprint ||
+		got.Round != want.Round || got.Failures != want.Failures ||
+		got.Recoveries != want.Recoveries || got.Repairs != want.Repairs {
+		t.Fatalf("scalars = %+v, want %+v", got, want)
+	}
+	sameDemand(t, "demand", got.Demand, want.Demand)
+	sameDemand(t, "base demand", got.BaseDemand, want.BaseDemand)
+	if !reflect.DeepEqual(got.Dead, want.Dead) {
+		t.Fatalf("dead = %v, want %v", got.Dead, want.Dead)
+	}
+	if !reflect.DeepEqual(got.Store.Dump(), want.Store.Dump()) {
+		t.Fatalf("store = %v, want %v", got.Store.Dump(), want.Store.Dump())
+	}
+	if got.Store.Capacity() != want.Store.Capacity() {
+		t.Fatalf("capacity = %d, want %d", got.Store.Capacity(), want.Store.Capacity())
+	}
+	if !reflect.DeepEqual(got.Cooldowns, want.Cooldowns) {
+		t.Fatalf("cooldowns = %v, want %v", got.Cooldowns, want.Cooldowns)
+	}
+	if rec.Torn || rec.Replayed != 0 {
+		t.Fatalf("clean journal recovered torn=%v replayed=%d", rec.Torn, rec.Replayed)
+	}
+}
+
+func TestWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	initial := testState()
+	w, err := Create(dir, Options{NoSync: true}, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newDemand := task.NewDemand()
+	newDemand.Set(7, 2, 1)
+	if err := w.AppendEpoch(9, 0xF00D, newDemand); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendVerdict(7, 6, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendVerdict(4, 8, true); err != nil { // node 4 recovers
+		t.Fatal(err)
+	}
+	if err := w.AppendRepair(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendTasks(newDemand); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendSamples(9, []SampleRec{
+		{Pair: model.Pair{Node: 7, Attr: 2}, Round: 9, Value: 42},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rec.State
+	if st.Epoch != 9 || st.Fingerprint != 0xF00D {
+		t.Fatalf("epoch/fingerprint = %d/%#x, want 9/0xF00D", st.Epoch, st.Fingerprint)
+	}
+	sameDemand(t, "installed demand", st.Demand, newDemand)
+	sameDemand(t, "base demand", st.BaseDemand, newDemand)
+	if st.Failures != initial.Failures+1 || st.Recoveries != initial.Recoveries+1 {
+		t.Fatalf("failures/recoveries = %d/%d, want %d/%d",
+			st.Failures, st.Recoveries, initial.Failures+1, initial.Recoveries+1)
+	}
+	if st.Repairs != initial.Repairs+1 {
+		t.Fatalf("repairs = %d, want %d", st.Repairs, initial.Repairs+1)
+	}
+	if _, dead := st.Dead[4]; dead {
+		t.Fatal("recovered node 4 still in dead set")
+	}
+	if at, dead := st.Dead[7]; !dead || at != 6 {
+		t.Fatalf("dead[7] = %d,%v, want 6,true", at, dead)
+	}
+	if s, ok := st.Store.Latest(model.Pair{Node: 7, Attr: 2}); !ok || s.Value != 42 || s.Round != 9 {
+		t.Fatalf("replayed sample = %+v,%v", s, ok)
+	}
+	if rec.LastRound != 9 || st.Round != 9 {
+		t.Fatalf("last round = %d/%d, want 9", rec.LastRound, st.Round)
+	}
+	if rec.Replayed != 6 || rec.Torn {
+		t.Fatalf("replayed=%d torn=%v, want 6,false", rec.Replayed, rec.Torn)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{NoSync: true}, testState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendSamples(5, []SampleRec{
+		{Pair: model.Pair{Node: 1, Attr: 1}, Round: 5, Value: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendSamples(6, []SampleRec{
+		{Pair: model.Pair{Node: 1, Attr: 1}, Round: 6, Value: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seg := w.Segment()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record: chop bytes off the WAL tail, simulating a
+	// crash mid-append.
+	wal := walName(dir, seg)
+	raw, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Torn {
+		t.Fatal("torn tail not reported")
+	}
+	if rec.Replayed != 1 || rec.LastRound != 5 {
+		t.Fatalf("replayed=%d last=%d, want 1,5 (intact prefix only)", rec.Replayed, rec.LastRound)
+	}
+	// The torn round-6 record must not have half-applied.
+	if s, ok := rec.State.Store.Latest(model.Pair{Node: 1, Attr: 1}); !ok || s.Round != 5 {
+		t.Fatalf("latest after torn tail = %+v,%v, want round 5", s, ok)
+	}
+}
+
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{NoSync: true}, testState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	older := w.Segment()
+	newer := testState()
+	newer.Epoch = 20
+	if err := w.Checkpoint(newer); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the newest checkpoint: its CRC no longer
+	// matches, so recovery must fall back to the previous segment.
+	name := ckptName(dir, w.Segment())
+	raw, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(ckptMagic)+recLenSize+10] ^= 0xFF
+	if err := os.WriteFile(name, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Segment != older {
+		t.Fatalf("recovered segment %d, want fallback to %d", rec.Segment, older)
+	}
+	if rec.State.Epoch != 3 {
+		t.Fatalf("fallback epoch = %d, want 3", rec.State.Epoch)
+	}
+}
+
+func TestCreateSupersedesExistingJournal(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{NoSync: true}, testState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSeg := w.Segment()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second Create in the same directory (a resumed session) must
+	// continue segment numbering so its checkpoint wins recovery.
+	fresh := testState()
+	fresh.Epoch = 99
+	w2, err := Create(dir, Options{NoSync: true}, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Segment() <= firstSeg {
+		t.Fatalf("second journal at segment %d, want > %d", w2.Segment(), firstSeg)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State.Epoch != 99 {
+		t.Fatalf("recovered epoch %d, want the superseding journal's 99", rec.State.Epoch)
+	}
+}
+
+func TestRotationPrunesOldSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{NoSync: true, KeepSegments: 1, CheckpointEvery: 1}, testState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 5; round < 15; round++ {
+		due, err := w.AppendSamples(round, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !due {
+			t.Fatalf("round %d: checkpoint not due at cadence 1", round)
+		}
+		if err := w.Checkpoint(testState()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 2 {
+		t.Fatalf("%d segments retained (%v), want <= live + 1 kept", len(segs), segs)
+	}
+	// Pruned segments are gone from disk, WALs included.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) > 4 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("%d files retained: %v", len(entries), names)
+	}
+}
+
+func TestRecoverEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Recover(dir); !errors.Is(err, ErrNoJournal) {
+		t.Fatalf("err = %v, want ErrNoJournal", err)
+	}
+	if _, err := Recover(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

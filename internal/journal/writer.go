@@ -1,0 +1,215 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"remo/internal/model"
+	"remo/internal/task"
+)
+
+// Options tunes the journal writer. The zero value selects the
+// defaults.
+type Options struct {
+	// CheckpointEvery is how many AppendSamples calls (rounds) elapse
+	// between automatic checkpoints (default 16; negative disables
+	// automatic checkpointing).
+	CheckpointEvery int
+	// SegmentBytes rotates the WAL into a fresh checkpointed segment
+	// once it grows past this size (default 1 MiB; checkpoint cadence
+	// usually rotates first).
+	SegmentBytes int
+	// KeepSegments is how many sealed segments to retain besides the
+	// live one (default 2).
+	KeepSegments int
+	// NoSync skips the per-append fsync. Faster, but a host crash (as
+	// opposed to a process crash) can lose the unsynced tail.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 16
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.KeepSegments <= 0 {
+		o.KeepSegments = 2
+	}
+	return o
+}
+
+// Writer appends durable session state to a journal directory. It is
+// not safe for concurrent use; the monitor calls it from its
+// coordinator goroutine only.
+type Writer struct {
+	dir  string
+	opts Options
+
+	seg     int
+	wal     *os.File
+	walSize int
+	// rounds counts AppendSamples calls since the last checkpoint.
+	rounds int
+	// latest mirrors the last checkpointed state so rotation can
+	// re-snapshot without asking the caller (the caller refreshes it via
+	// Checkpoint).
+	buf []byte
+}
+
+func ckptName(dir string, seg int) string { return filepath.Join(dir, fmt.Sprintf("ckpt-%d", seg)) }
+func walName(dir string, seg int) string  { return filepath.Join(dir, fmt.Sprintf("wal-%d", seg)) }
+
+// Create opens a journal in dir (created if missing) and seals the
+// initial state as a fresh checkpoint. An existing journal in dir is
+// superseded, not clobbered: numbering continues after its newest
+// segment (so the new checkpoint is always the one recovery finds) and
+// the old segments are pruned as rotation proceeds.
+func Create(dir string, opts Options, initial State) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	start := -1
+	if segs, err := listSegments(dir); err == nil && len(segs) > 0 {
+		start = segs[len(segs)-1]
+	}
+	w := &Writer{dir: dir, opts: opts.withDefaults(), seg: start}
+	if err := w.rotate(initial); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// writeCheckpoint writes ckpt-seg atomically (temp file + rename).
+func (w *Writer) writeCheckpoint(seg int, s State) error {
+	w.buf = append(w.buf[:0], ckptMagic...)
+	w.buf = appendRecord(w.buf, recCheckpoint, appendCheckpoint(nil, s))
+	tmp := ckptName(w.dir, seg) + ".tmp"
+	if err := os.WriteFile(tmp, w.buf, 0o644); err != nil {
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	if !w.opts.NoSync {
+		if f, err := os.Open(tmp); err == nil {
+			_ = f.Sync()
+			_ = f.Close()
+		}
+	}
+	if err := os.Rename(tmp, ckptName(w.dir, seg)); err != nil {
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// rotate seals a new segment: checkpoint, fresh WAL, pruned history.
+func (w *Writer) rotate(s State) error {
+	next := w.seg + 1
+	if err := w.writeCheckpoint(next, s); err != nil {
+		return err
+	}
+	wal, err := os.Create(walName(w.dir, next))
+	if err != nil {
+		return fmt.Errorf("journal: wal: %w", err)
+	}
+	if _, err := wal.Write(walMagic); err != nil {
+		_ = wal.Close()
+		return fmt.Errorf("journal: wal: %w", err)
+	}
+	if w.wal != nil {
+		_ = w.wal.Close()
+	}
+	w.wal = wal
+	w.walSize = len(walMagic)
+	w.seg = next
+	w.rounds = 0
+
+	for old := next - w.opts.KeepSegments - 1; old >= 0; old-- {
+		e1 := os.Remove(ckptName(w.dir, old))
+		e2 := os.Remove(walName(w.dir, old))
+		if e1 != nil && e2 != nil {
+			break // history already pruned below this point
+		}
+	}
+	return nil
+}
+
+// append frames and writes one WAL record.
+func (w *Writer) append(kind uint8, payload []byte) error {
+	if w.wal == nil {
+		return fmt.Errorf("journal: writer closed")
+	}
+	w.buf = appendRecord(w.buf[:0], kind, payload)
+	n, err := w.wal.Write(w.buf)
+	w.walSize += n
+	if err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if !w.opts.NoSync {
+		if err := w.wal.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// AppendEpoch logs a plan install: the new epoch, the installed
+// forest's fingerprint, and the installed demand.
+func (w *Writer) AppendEpoch(epoch uint32, fingerprint uint64, installed *task.Demand) error {
+	return w.append(recEpoch, appendEpoch(nil, epoch, fingerprint, installed))
+}
+
+// AppendTasks logs a change to the base (user-submitted) demand.
+func (w *Writer) AppendTasks(base *task.Demand) error {
+	return w.append(recTasks, appendDemand(nil, base))
+}
+
+// AppendVerdict logs a failure-detector verdict.
+func (w *Writer) AppendVerdict(node model.NodeID, declaredAt int, recovered bool) error {
+	return w.append(recVerdict, appendVerdict(nil, node, declaredAt, recovered))
+}
+
+// AppendRepair logs one topology repair at the given round.
+func (w *Writer) AppendRepair(round int) error {
+	return w.append(recRepair, binary.BigEndian.AppendUint32(nil, uint32(int32(round))))
+}
+
+// AppendSamples logs the values the collector accepted in one round
+// and, at the configured cadence or WAL size, asks for nothing more:
+// the caller drives checkpoints via Checkpoint, which this method
+// signals by returning true.
+func (w *Writer) AppendSamples(round int, recs []SampleRec) (checkpointDue bool, err error) {
+	if err := w.append(recSamples, appendSamples(nil, round, recs)); err != nil {
+		return false, err
+	}
+	w.rounds++
+	due := (w.opts.CheckpointEvery > 0 && w.rounds >= w.opts.CheckpointEvery) ||
+		w.walSize >= w.opts.SegmentBytes
+	return due, nil
+}
+
+// Checkpoint seals the current state into a fresh segment and prunes
+// old ones.
+func (w *Writer) Checkpoint(s State) error {
+	if w.wal == nil {
+		return fmt.Errorf("journal: writer closed")
+	}
+	return w.rotate(s)
+}
+
+// Segment returns the live segment number.
+func (w *Writer) Segment() int { return w.seg }
+
+// Close syncs and closes the live WAL. The journal stays recoverable.
+func (w *Writer) Close() error {
+	if w.wal == nil {
+		return nil
+	}
+	err := w.wal.Sync()
+	if cerr := w.wal.Close(); err == nil {
+		err = cerr
+	}
+	w.wal = nil
+	return err
+}

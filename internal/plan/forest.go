@@ -32,6 +32,32 @@ func (f *Forest) Clone() *Forest {
 	return c
 }
 
+// Fingerprint returns a 64-bit digest of the whole plan: the sorted
+// tree fingerprints folded through FNV-1a. It is independent of tree
+// order, so two forests holding the same trees compare equal — the
+// identity a durable session journals to tell whether a replanned
+// topology matches the one installed before a crash.
+func (f *Forest) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	fps := make([]uint64, 0, len(f.Trees))
+	for _, t := range f.Trees {
+		fps = append(fps, t.Fingerprint())
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	h := uint64(offset64)
+	for _, fp := range fps {
+		for i := 0; i < 8; i++ {
+			h ^= fp & 0xff
+			h *= prime64
+			fp >>= 8
+		}
+	}
+	return h
+}
+
 // TreeFor returns the tree delivering attribute a, or nil if none does.
 func (f *Forest) TreeFor(a model.AttrID) *Tree {
 	for _, t := range f.Trees {

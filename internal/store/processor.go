@@ -105,7 +105,11 @@ func (p *Processor) AddTrigger(t Trigger) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateTrigger, t.Name)
 	}
 	p.triggers[t.Name] = t
-	p.lastFire[t.Name] = make(map[model.Pair]int)
+	if _, restored := p.lastFire[t.Name]; !restored {
+		// Keep any re-arm state restored before the trigger was re-added
+		// (crash recovery re-registers triggers after RestoreCooldowns).
+		p.lastFire[t.Name] = make(map[model.Pair]int)
+	}
 	return nil
 }
 
@@ -146,6 +150,42 @@ func (p *Processor) Observe(pair model.Pair, round int, value float64) {
 		}
 		if p.onAlert != nil {
 			p.onAlert(alert)
+		}
+	}
+}
+
+// Cooldowns snapshots the trigger re-arm state: for every trigger, the
+// last round each pair fired at. The snapshot is deep-copied, so it
+// stays valid as the processor keeps observing.
+func (p *Processor) Cooldowns() map[string]map[model.Pair]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]map[model.Pair]int, len(p.lastFire))
+	for name, pairs := range p.lastFire {
+		cp := make(map[model.Pair]int, len(pairs))
+		for pr, r := range pairs {
+			cp[pr] = r
+		}
+		out[name] = cp
+	}
+	return out
+}
+
+// RestoreCooldowns reinstates a trigger re-arm snapshot (crash
+// recovery): triggers resume suppressing repeat alerts exactly where
+// the snapshot left off. Entries for unregistered triggers are kept and
+// become live when the trigger is re-added.
+func (p *Processor) RestoreCooldowns(state map[string]map[model.Pair]int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for name, pairs := range state {
+		m, ok := p.lastFire[name]
+		if !ok {
+			m = make(map[model.Pair]int, len(pairs))
+			p.lastFire[name] = m
+		}
+		for pr, r := range pairs {
+			m[pr] = r
 		}
 	}
 }

@@ -112,6 +112,37 @@ func (s *Store) Len() int {
 	return n
 }
 
+// Capacity returns the per-series retention bound.
+func (s *Store) Capacity() int { return s.capacity }
+
+// SeriesDump is one pair's retained samples, oldest first — the unit of
+// the store's durable snapshot.
+type SeriesDump struct {
+	Pair    model.Pair
+	Samples []Sample
+}
+
+// Dump snapshots every retained series in canonical pair order, oldest
+// sample first. Replaying a dump through Observe on a store of the same
+// capacity reproduces the retained state bit-identically (in-order
+// appends land on the ring's fast path and eviction order matches).
+func (s *Store) Dump() []SeriesDump {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pairs := make([]model.Pair, 0, len(s.series))
+	for p, r := range s.series {
+		if r.len() > 0 {
+			pairs = append(pairs, p)
+		}
+	}
+	model.SortPairs(pairs)
+	out := make([]SeriesDump, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, SeriesDump{Pair: p, Samples: s.series[p].ascending()})
+	}
+	return out
+}
+
 // Summary aggregates a pair's retained samples.
 type Summary struct {
 	Count    int

@@ -35,6 +35,13 @@ const (
 	NodeRecover
 	// Delayed: chaos injection held a message back for later rounds.
 	Delayed
+	// CollectorDead: the central collector crashed.
+	CollectorDead
+	// CollectorResume: a restarted collector rejoined the session.
+	CollectorResume
+	// Shed: a leaf's outgoing buffer overflowed and dropped its oldest
+	// frame.
+	Shed
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +65,12 @@ func (k Kind) String() string {
 		return "node-recover"
 	case Delayed:
 		return "delayed"
+	case CollectorDead:
+		return "coll-dead"
+	case CollectorResume:
+		return "coll-up"
+	case Shed:
+		return "shed"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -14,7 +14,7 @@ import (
 // Wire format (all integers big-endian):
 //
 //	frame   := length(uint32) payload
-//	payload := keyLen(uint16) key from(int32) to(int32)
+//	payload := keyLen(uint16) key from(int32) to(int32) epoch(uint32)
 //	           count(uint32) beatCount(uint32) value* beat*
 //	value   := node(int32) attr(int32) round(int32) bits(uint64)
 //	beat    := node(int32) round(int32)
@@ -29,11 +29,11 @@ import (
 
 // Wire-layout sizes in bytes.
 const (
-	framePrefixSize = 4             // length prefix
-	keyLenSize      = 2             // keyLen field
-	fixedHeaderSize = 4 + 4 + 4 + 4 // from, to, count, beatCount
-	valueSize       = 4 + 4 + 4 + 8 // node, attr, round, bits
-	beatSize        = 4 + 4         // node, round
+	framePrefixSize = 4                 // length prefix
+	keyLenSize      = 2                 // keyLen field
+	fixedHeaderSize = 4 + 4 + 4 + 4 + 4 // from, to, epoch, count, beatCount
+	valueSize       = 4 + 4 + 4 + 8     // node, attr, round, bits
+	beatSize        = 4 + 4             // node, round
 )
 
 // Codec limits, protecting against corrupt frames.
@@ -68,6 +68,7 @@ func AppendEncode(dst []byte, msg Message) ([]byte, error) {
 	dst = append(dst, msg.TreeKey...)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(msg.From)))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(msg.To)))
+	dst = binary.BigEndian.AppendUint32(dst, msg.Epoch)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(msg.Values)))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(msg.Beats)))
 	for _, v := range msg.Values {
@@ -218,8 +219,9 @@ func decodePayloadInto(p []byte, msg *Message, d *Decoder, reuse bool) error {
 	p = p[keyLen:]
 	msg.From = model.NodeID(int32(binary.BigEndian.Uint32(p)))
 	msg.To = model.NodeID(int32(binary.BigEndian.Uint32(p[4:])))
-	count := int(binary.BigEndian.Uint32(p[8:]))
-	beatCount := int(binary.BigEndian.Uint32(p[12:]))
+	msg.Epoch = binary.BigEndian.Uint32(p[8:])
+	count := int(binary.BigEndian.Uint32(p[12:]))
+	beatCount := int(binary.BigEndian.Uint32(p[16:]))
 	p = p[fixedHeaderSize:]
 	if count < 0 || beatCount < 0 || len(p) != count*valueSize+beatCount*beatSize {
 		return fmt.Errorf("transport: body is %d bytes, want %d values and %d beats",

@@ -79,6 +79,23 @@ type destQueue struct {
 	// forever. It clears on read, giving the link a fresh chance — a
 	// recovered peer starts delivering again after one reported drop.
 	failed bool
+	// streak counts consecutive failed write attempts to this
+	// destination across Sends and Flushes: it escalates the starting
+	// backoff while the peer stays unreachable, and resets to zero the
+	// moment a write succeeds, so a peer recovering from a long outage
+	// pays base backoff — not max — on its next transient error.
+	streak int
+}
+
+// maxStreak caps the backoff-escalation exponent contributed by a
+// destination's failure streak.
+const maxStreak = 16
+
+// bumpStreak records one failed write attempt.
+func (q *destQueue) bumpStreak() {
+	if q.streak < maxStreak {
+		q.streak++
+	}
 }
 
 // TCP is a loopback transport: every node (including the central
@@ -259,7 +276,7 @@ func (t *TCP) sendDirect(msg Message, addr string, q *destQueue) error {
 	}
 	var lastErr error
 	for attempt := 0; attempt <= t.opts.MaxRetries; attempt++ {
-		if attempt > 0 && !t.waitBackoff(attempt) {
+		if attempt > 0 && !t.waitBackoff(attempt+t.streakOf(q)) {
 			return ErrClosed
 		}
 		if t.isClosed() {
@@ -268,10 +285,18 @@ func (t *TCP) sendDirect(msg Message, addr string, q *destQueue) error {
 		conn, err := t.connTo(msg.To, addr)
 		if err != nil {
 			lastErr = err
+			q.mu.Lock()
+			q.bumpStreak()
+			q.mu.Unlock()
 			continue
 		}
 		q.mu.Lock()
 		err = t.writeConn(msg.To, conn, frame)
+		if err != nil {
+			q.bumpStreak()
+		} else {
+			q.streak = 0
+		}
 		q.mu.Unlock()
 		if err != nil {
 			lastErr = err
@@ -295,7 +320,7 @@ func (t *TCP) flushQueueLocked(to model.NodeID, addr string, q *destQueue) error
 	}
 	var lastErr error
 	for attempt := 0; attempt <= t.opts.MaxRetries; attempt++ {
-		if attempt > 0 && !t.waitBackoff(attempt) {
+		if attempt > 0 && !t.waitBackoff(attempt+q.streak) {
 			return ErrClosed
 		}
 		if t.isClosed() {
@@ -304,13 +329,16 @@ func (t *TCP) flushQueueLocked(to model.NodeID, addr string, q *destQueue) error
 		conn, err := t.connTo(to, addr)
 		if err != nil {
 			lastErr = err
+			q.bumpStreak()
 			continue
 		}
 		if err := t.writeConn(to, conn, q.buf); err != nil {
 			lastErr = err
+			q.bumpStreak()
 			t.evict(to, conn)
 			continue
 		}
+		q.streak = 0
 		t.sentCount.Add(int64(q.frames))
 		q.buf, q.frames = q.buf[:0], 0
 		return nil
@@ -372,6 +400,14 @@ func (t *TCP) evict(to model.NodeID, conn net.Conn) {
 	}
 	t.mu.Unlock()
 	_ = conn.Close()
+}
+
+// streakOf reads a destination's failure streak under its lock (for the
+// unbatched path, which computes backoff before taking the write lock).
+func (t *TCP) streakOf(q *destQueue) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.streak
 }
 
 // isClosed reports whether Close has begun.

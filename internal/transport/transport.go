@@ -37,6 +37,11 @@ type Beat struct {
 // parent To within the tree identified by TreeKey (the tree's
 // attribute-set key). Heartbeat messages carry Beats and no Values.
 //
+// Epoch is the plan epoch the sender composed the message under. Every
+// topology install bumps the epoch, and receivers running with epoch
+// fencing reject frames from superseded epochs — the mechanism that
+// keeps pre-crash frames out of a restarted collector's accounting.
+//
 // Buffer ownership: Send borrows the message's Values/Beats slices only
 // for the duration of the call — the transport either retains the
 // Message struct as-is (memory transport, where the receiver consumes it
@@ -50,6 +55,7 @@ type Message struct {
 	TreeKey string
 	From    model.NodeID
 	To      model.NodeID
+	Epoch   uint32
 	Values  []Value
 	Beats   []Beat
 }

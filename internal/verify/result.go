@@ -23,7 +23,9 @@ import (
 //     round 0);
 //   - ErrorSeries carries exactly one entry per executed round, each in
 //     [0, 100];
-//   - traffic counters are non-negative.
+//   - traffic counters are non-negative;
+//   - durability counters are non-negative, and buffered frames are
+//     conserved (redelivered + shed never exceeds buffered).
 //
 // ctx.Demand must be the demand currently installed in the machine
 // (after any repair pruning or adaptation), since the collector
@@ -59,6 +61,15 @@ func Result(ctx Context, res cluster.Result) error {
 	if res.MessagesSent < 0 || res.MessagesDropped < 0 || res.ValuesDelivered < 0 {
 		return fmt.Errorf("%w: negative traffic counters (sent %d, dropped %d, values %d)",
 			ErrResult, res.MessagesSent, res.MessagesDropped, res.ValuesDelivered)
+	}
+	if res.StaleEpochFrames < 0 || res.FramesBuffered < 0 || res.FramesShed < 0 ||
+		res.FramesRedelivered < 0 {
+		return fmt.Errorf("%w: negative durability counters (stale %d, buffered %d, shed %d, redelivered %d)",
+			ErrResult, res.StaleEpochFrames, res.FramesBuffered, res.FramesShed, res.FramesRedelivered)
+	}
+	if res.FramesRedelivered+res.FramesShed > res.FramesBuffered {
+		return fmt.Errorf("%w: %d redelivered + %d shed exceed %d buffered frames",
+			ErrResult, res.FramesRedelivered, res.FramesShed, res.FramesBuffered)
 	}
 	if res.Rounds < 0 || len(res.ErrorSeries) != res.Rounds {
 		return fmt.Errorf("%w: %d rounds but %d error-series entries",

@@ -8,9 +8,11 @@ import (
 	"remo/internal/adapt"
 	"remo/internal/cluster"
 	"remo/internal/detect"
+	"remo/internal/journal"
 	"remo/internal/model"
 	"remo/internal/plan"
 	"remo/internal/repair"
+	"remo/internal/store"
 	"remo/internal/task"
 	"remo/internal/trace"
 	"remo/internal/transport"
@@ -73,6 +75,24 @@ type Monitor struct {
 	// verifyErr is the first verification failure observed by the
 	// self-healing loop (surfaced by Verify and Run).
 	verifyErr error
+
+	// Durability state (nil/zero unless the session journals).
+	journal    *journal.Writer
+	journalDir string
+	jopts      journal.Options
+	// repo retains every collected value; it is both the queryable
+	// repository and the state checkpointed to the journal.
+	repo *store.Store
+	// proc, when provided, has its trigger re-arm state checkpointed.
+	proc *store.Processor
+	// pending buffers the current round's accepted values between the
+	// machine's absorb and the journal append (coordinator goroutine
+	// only, under mu).
+	pending []journal.SampleRec
+	// journalErr is the first journal write failure (surfaced by Run).
+	journalErr error
+	// restarts counts successful collector resumes.
+	restarts int
 }
 
 // FailurePolicy configures the self-healing behavior of a Monitor.
@@ -106,6 +126,22 @@ type MonitorConfig struct {
 	// Failure tunes the detector and repair behavior; setting it (even
 	// zero-valued) arms detection without requiring chaos injection.
 	Failure *FailurePolicy
+	// Journal, when set, makes the session durable: collector state is
+	// checkpointed and write-ahead logged under this directory, epoch
+	// fencing is armed, and leaves buffer outgoing values across
+	// collector outages (see Monitor.Resume). Defaults to the planner's
+	// WithJournal directory.
+	Journal string
+	// LeafBufferFrames bounds each node's outgoing buffer when
+	// journaling (default 64 frames; ignored without Journal).
+	LeafBufferFrames int
+	// JournalCheckpointEvery is the checkpoint cadence in rounds
+	// (default 16; ignored without Journal).
+	JournalCheckpointEvery int
+	// Processor, when set alongside Journal, is fed every collected
+	// value and has its trigger re-arm state checkpointed, so triggers
+	// resume with their cooldowns intact.
+	Processor *Processor
 }
 
 // ErrMonitorClosed is returned by operations on a closed Monitor.
@@ -118,13 +154,19 @@ var ErrUnreachable = transport.ErrUnreachable
 
 // StartMonitor plans the current task set and boots the live session.
 func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
+	return p.startMonitor(cfg, p.currentDemand())
+}
+
+// startMonitor boots a session over the given demand (the planner's
+// current demand normally, a journal-recovered one on cold resume).
+func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand) (*Monitor, error) {
 	scheme := cfg.Scheme
 	if scheme == "" {
 		scheme = AdaptAdaptive
 	}
 	core := p.corePlanner()
 	ad := adapt.New(scheme, core, p.sys)
-	ad.Init(p.currentDemand())
+	ad.Init(demand)
 
 	var source ValueSource = cfg.Source
 	if source == nil {
@@ -135,6 +177,30 @@ func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
 		det = &detect.Config{}
 		if cfg.Failure != nil {
 			det.SuspicionRounds = cfg.Failure.SuspicionRounds
+		}
+	}
+	if cfg.Journal == "" {
+		cfg.Journal = p.journalDir
+	}
+	// mon is allocated up front so the journaling observer can close
+	// over it; its fields are filled in below, before any round runs.
+	mon := &Monitor{}
+	observer := cfg.OnValue
+	if cfg.Journal != "" {
+		mon.repo = store.New(0)
+		mon.proc = cfg.Processor
+		user := cfg.OnValue
+		observer = func(pair Pair, round int, value float64) {
+			mon.repo.Observe(pair, round, value)
+			if mon.proc != nil {
+				mon.proc.Observe(pair, round, value)
+			}
+			mon.pending = append(mon.pending, journal.SampleRec{
+				Pair: pair, Round: round, Value: value,
+			})
+			if user != nil {
+				user(pair, round, value)
+			}
 		}
 	}
 	ccfg := cluster.Config{
@@ -148,8 +214,17 @@ func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
 		EnforceCapacity: true,
 		Chaos:           cfg.Chaos,
 		Detect:          det,
-		Observer:        cfg.OnValue,
+		Observer:        observer,
 		Trace:           cfg.Trace,
+	}
+	if cfg.Journal != "" {
+		// A durable session fences plan epochs and buffers leaf output, so
+		// the recovery path has clean semantics to restore into.
+		ccfg.FenceEpochs = true
+		ccfg.LeafBuffer = cfg.LeafBufferFrames
+		if ccfg.LeafBuffer <= 0 {
+			ccfg.LeafBuffer = 64
+		}
 	}
 	if cfg.UseTCP {
 		tr, err := transport.NewTCP(p.sys.NodeIDs())
@@ -162,17 +237,26 @@ func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remo: start monitor: %w", err)
 	}
-	return &Monitor{
-		planner:    p,
-		adaptor:    ad,
-		machine:    machine,
-		heal:       det != nil && (cfg.Failure == nil || !cfg.Failure.DisableRepair),
-		builder:    core.Builder(),
-		trace:      cfg.Trace,
-		baseDemand: ad.Demand().Clone(),
-		dead:       make(map[model.NodeID]struct{}),
-		verifyOn:   p.verifyOn,
-	}, nil
+	mon.planner = p
+	mon.adaptor = ad
+	mon.machine = machine
+	mon.heal = det != nil && (cfg.Failure == nil || !cfg.Failure.DisableRepair)
+	mon.builder = core.Builder()
+	mon.trace = cfg.Trace
+	mon.baseDemand = ad.Demand().Clone()
+	mon.dead = make(map[model.NodeID]struct{})
+	mon.verifyOn = p.verifyOn
+	if cfg.Journal != "" {
+		mon.journalDir = cfg.Journal
+		mon.jopts = journal.Options{CheckpointEvery: cfg.JournalCheckpointEvery}
+		w, err := journal.Create(cfg.Journal, mon.jopts, mon.journalState())
+		if err != nil {
+			_ = machine.Close()
+			return nil, fmt.Errorf("remo: start journal: %w", err)
+		}
+		mon.journal = w
+	}
+	return mon, nil
 }
 
 // currentDemand computes the planner's demand including frequency
@@ -198,7 +282,11 @@ func (m *Monitor) Run(n int) error {
 		err := m.machine.Step()
 		if err == nil {
 			m.selfHeal()
+			m.journalRound()
 			err = m.verifyErr
+			if err == nil {
+				err = m.journalErr
+			}
 		}
 		m.mu.Unlock()
 		if err != nil {
@@ -206,6 +294,69 @@ func (m *Monitor) Run(n int) error {
 		}
 	}
 	return nil
+}
+
+// journalRound appends the executed round's accepted values to the WAL
+// and checkpoints at the configured cadence. While the collector is
+// down nothing is written — a dead collector cannot persist anything,
+// which is precisely the window recovery must cover. Called with m.mu
+// held.
+func (m *Monitor) journalRound() {
+	if m.journal == nil {
+		return
+	}
+	if m.machine.CollectorDown() {
+		m.pending = m.pending[:0]
+		return
+	}
+	recs := m.pending
+	m.pending = m.pending[:0]
+	due, err := m.journal.AppendSamples(m.machine.Round()-1, recs)
+	if err == nil && due {
+		err = m.journal.Checkpoint(m.journalState())
+	}
+	m.setJournalErr(err)
+}
+
+// setJournalErr retains the first journal write failure.
+func (m *Monitor) setJournalErr(err error) {
+	if err != nil && m.journalErr == nil {
+		m.journalErr = fmt.Errorf("remo: journal: %w", err)
+	}
+}
+
+// journalState snapshots the durable session state. Called with m.mu
+// held (or before the monitor is live).
+func (m *Monitor) journalState() journal.State {
+	s := journal.State{
+		Epoch:       m.machine.Epoch(),
+		Fingerprint: m.adaptor.Forest().Fingerprint(),
+		Round:       m.machine.Round() - 1,
+		Failures:    m.failures,
+		Recoveries:  m.recoveries,
+		Repairs:     len(m.repairs),
+		Demand:      m.adaptor.Demand(),
+		BaseDemand:  m.baseDemand,
+		Store:       m.repo,
+		Dead:        make(map[model.NodeID]int),
+	}
+	if det := m.machine.Detector(); det != nil {
+		s.Dead = det.DeadAt()
+	}
+	if m.proc != nil {
+		s.Cooldowns = m.proc.Cooldowns()
+	}
+	return s
+}
+
+// journalInstall logs a plan install (epoch bump) to the WAL. Called
+// with m.mu held.
+func (m *Monitor) journalInstall() {
+	if m.journal == nil {
+		return
+	}
+	m.setJournalErr(m.journal.AppendEpoch(
+		m.machine.Epoch(), m.adaptor.Forest().Fingerprint(), m.adaptor.Demand()))
 }
 
 // Round returns the next round to execute.
@@ -221,6 +372,11 @@ func (m *Monitor) selfHeal() {
 	verdicts := m.machine.TakeVerdicts()
 	if len(verdicts) == 0 {
 		return
+	}
+	if m.journal != nil {
+		for _, v := range verdicts {
+			m.setJournalErr(m.journal.AppendVerdict(v.Node, v.DeclaredAt, v.Recovered))
+		}
 	}
 	var failed, recovered []NodeID
 	detection := 0
@@ -321,6 +477,7 @@ func (m *Monitor) repairFailed(failed []NodeID, detection int) {
 	pruned, _ := repair.Prune(m.adaptor.Demand(), newlyDead)
 	m.adaptor.Rewire(pruned, healed)
 	m.machine.Install(healed, pruned)
+	m.journalInstall()
 
 	ev := RepairEvent{
 		Round:           m.machine.Round(),
@@ -332,6 +489,9 @@ func (m *Monitor) repairFailed(failed []NodeID, detection int) {
 		CoverageAfter:   plannedCoverage(healed, pruned, m.planner),
 	}
 	m.repairs = append(m.repairs, ev)
+	if m.journal != nil {
+		m.setJournalErr(m.journal.AppendRepair(ev.Round))
+	}
 	if m.trace != nil {
 		m.trace.Record(trace.Event{
 			Round: ev.Round, Kind: trace.Repair,
@@ -349,6 +509,7 @@ func (m *Monitor) reintegrate(recovered []NodeID) {
 	restored, _ := repair.Prune(m.baseDemand, m.dead)
 	rep := m.adaptor.Apply(restored)
 	m.machine.Install(m.adaptor.Forest(), m.adaptor.Demand())
+	m.journalInstall()
 
 	ev := RepairEvent{
 		Round:         m.machine.Round(),
@@ -357,6 +518,9 @@ func (m *Monitor) reintegrate(recovered []NodeID) {
 		CoverageAfter: plannedCoverage(m.adaptor.Forest(), m.adaptor.Demand(), m.planner),
 	}
 	m.repairs = append(m.repairs, ev)
+	if m.journal != nil {
+		m.setJournalErr(m.journal.AppendRepair(ev.Round))
+	}
 	if m.trace != nil {
 		m.trace.Record(trace.Event{
 			Round: ev.Round, Kind: trace.Repair,
@@ -404,12 +568,171 @@ func (m *Monitor) SetTasks(tasks []Task) (AdaptReport, error) {
 	}
 	rep := m.adaptor.Apply(d)
 	m.machine.Install(m.adaptor.Forest(), m.adaptor.Demand())
+	if m.journal != nil {
+		m.setJournalErr(m.journal.AppendTasks(m.baseDemand))
+		m.journalInstall()
+	}
 	return AdaptReport{
 		AdaptMessages:  rep.AdaptMessages,
 		PlanTime:       rep.PlanTime,
 		CollectedPairs: rep.Stats.Collected,
 		Operations:     rep.Operations,
 	}, nil
+}
+
+// ResumeReport summarizes what a resume recovered from the journal.
+type ResumeReport struct {
+	// Epoch is the plan epoch after the resume — strictly newer than
+	// anything the crashed collector could have been sent, so pre-crash
+	// frames are fenced.
+	Epoch uint32
+	// RecoveredRound is the newest round with journaled samples.
+	RecoveredRound int
+	// RecoveredSamples is the number of samples restored from the
+	// journal into the repository.
+	RecoveredSamples int
+	// ReplayedRecords counts WAL records applied on top of the latest
+	// checkpoint.
+	ReplayedRecords int
+	// TornTail reports that a torn or corrupt WAL tail was truncated —
+	// the signature of a crash mid-write.
+	TornTail bool
+	// PlanMatched reports that the live topology's fingerprint equals
+	// the journaled one: the session resumed onto the exact plan that
+	// was installed before the crash.
+	PlanMatched bool
+}
+
+// Resume restarts this session's crashed central collector from the
+// journal in journalDir: views are rebuilt strictly from recovered
+// state (never from the dead collector's memory), the failure
+// detector restarts with the recovered dead set, the plan epoch
+// advances so stale pre-crash frames are fenced, and the leaves' — who
+// never died — buffered values drain into the recovered collector on
+// the next round. Journaling re-arms into the same directory.
+//
+// The session must have been started with journaling (MonitorConfig.
+// Journal or WithJournal).
+func (m *Monitor) Resume(journalDir string) (ResumeReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ResumeReport{}, ErrMonitorClosed
+	}
+	if m.repo == nil {
+		return ResumeReport{}, errors.New("remo: resume: session was started without journaling")
+	}
+	rec, err := journal.Recover(journalDir)
+	if err != nil {
+		return ResumeReport{}, fmt.Errorf("remo: resume: %w", err)
+	}
+	st := rec.State
+	m.machine.ResumeCollector(cluster.ResumeState{
+		Epoch: st.Epoch,
+		Repo:  st.Store,
+		Dead:  st.Dead,
+	})
+	m.failures = st.Failures
+	m.recoveries = st.Recoveries
+	m.dead = make(map[model.NodeID]struct{}, len(st.Dead))
+	for n := range st.Dead {
+		m.dead[n] = struct{}{}
+	}
+	if st.BaseDemand != nil && len(st.BaseDemand.Pairs()) > 0 {
+		m.baseDemand = st.BaseDemand
+	}
+	m.repo = st.Store
+	if m.proc != nil && st.Cooldowns != nil {
+		m.proc.RestoreCooldowns(st.Cooldowns)
+	}
+	m.pending = m.pending[:0]
+	m.restarts++
+
+	if m.journal != nil {
+		_ = m.journal.Close()
+	}
+	m.journalDir = journalDir
+	w, err := journal.Create(journalDir, m.jopts, m.journalState())
+	if err != nil {
+		return ResumeReport{}, fmt.Errorf("remo: resume: %w", err)
+	}
+	m.journal = w
+	m.journalErr = nil
+	return ResumeReport{
+		Epoch:            m.machine.Epoch(),
+		RecoveredRound:   rec.LastRound,
+		RecoveredSamples: st.Store.Len(),
+		ReplayedRecords:  rec.Replayed,
+		TornTail:         rec.Torn,
+		PlanMatched:      m.adaptor.Forest().Fingerprint() == st.Fingerprint,
+	}, nil
+}
+
+// ResumeMonitor cold-starts a monitoring session from a journal: the
+// recovered installed demand is replanned, a fresh machine boots at
+// round zero, and the collector is seeded with the journal's store,
+// dead set and epoch. Use it when the whole process died; the
+// round clock restarts, so recovered dead declarations are anchored at
+// -1 (any fresh evidence of life resurrects) and recovered views are
+// clamped below round zero.
+func (p *Planner) ResumeMonitor(journalDir string, cfg MonitorConfig) (*Monitor, ResumeReport, error) {
+	rec, err := journal.Recover(journalDir)
+	if err != nil {
+		return nil, ResumeReport{}, fmt.Errorf("remo: resume: %w", err)
+	}
+	st := rec.State
+	cfg.Journal = journalDir
+	demand := st.Demand
+	if demand == nil || len(demand.Pairs()) == 0 {
+		demand = p.currentDemand()
+	}
+	mon, err := p.startMonitor(cfg, demand)
+	if err != nil {
+		return nil, ResumeReport{}, err
+	}
+	if st.BaseDemand != nil && len(st.BaseDemand.Pairs()) > 0 {
+		mon.baseDemand = st.BaseDemand
+	}
+	mon.failures = st.Failures
+	mon.recoveries = st.Recoveries
+	mon.dead = make(map[model.NodeID]struct{}, len(st.Dead))
+	coldDead := make(map[model.NodeID]int, len(st.Dead))
+	for n := range st.Dead {
+		mon.dead[n] = struct{}{}
+		coldDead[n] = -1
+	}
+	mon.repo = st.Store
+	if mon.proc != nil && st.Cooldowns != nil {
+		mon.proc.RestoreCooldowns(st.Cooldowns)
+	}
+	mon.restarts = 1
+	mon.machine.ResumeCollector(cluster.ResumeState{
+		Epoch: st.Epoch,
+		Repo:  st.Store,
+		Dead:  coldDead,
+	})
+	// Re-seal the journal with the recovered (not empty) state.
+	if err := mon.journal.Checkpoint(mon.journalState()); err != nil {
+		_ = mon.Close()
+		return nil, ResumeReport{}, fmt.Errorf("remo: resume: %w", err)
+	}
+	return mon, ResumeReport{
+		Epoch:            mon.machine.Epoch(),
+		RecoveredRound:   rec.LastRound,
+		RecoveredSamples: st.Store.Len(),
+		ReplayedRecords:  rec.Replayed,
+		TornTail:         rec.Torn,
+		PlanMatched:      mon.adaptor.Forest().Fingerprint() == st.Fingerprint,
+	}, nil
+}
+
+// Store exposes the session's value repository (nil unless the session
+// journals). It retains every collected value and is the state
+// checkpointed for crash recovery.
+func (m *Monitor) Store() *Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.repo
 }
 
 // Plan exposes the topology currently in force.
@@ -438,19 +761,24 @@ func (m *Monitor) Report() DeployReport {
 	defer m.mu.Unlock()
 	res := m.machine.Result()
 	return DeployReport{
-		Rounds:           res.Rounds,
-		DemandedPairs:    res.DemandedPairs,
-		CoveredPairs:     res.CoveredPairs,
-		PercentCollected: res.PercentCollected,
-		AvgPercentError:  res.AvgPercentError,
-		AvgStaleness:     res.AvgStaleness,
-		MessagesSent:     res.MessagesSent,
-		MessagesDropped:  res.MessagesDropped,
-		ValuesDelivered:  res.ValuesDelivered,
-		ErrorSeries:      res.ErrorSeries,
-		FailuresDetected: m.failures,
-		NodesRecovered:   m.recoveries,
-		Repairs:          append([]RepairEvent(nil), m.repairs...),
+		Rounds:            res.Rounds,
+		DemandedPairs:     res.DemandedPairs,
+		CoveredPairs:      res.CoveredPairs,
+		PercentCollected:  res.PercentCollected,
+		AvgPercentError:   res.AvgPercentError,
+		AvgStaleness:      res.AvgStaleness,
+		MessagesSent:      res.MessagesSent,
+		MessagesDropped:   res.MessagesDropped,
+		ValuesDelivered:   res.ValuesDelivered,
+		ErrorSeries:       res.ErrorSeries,
+		FailuresDetected:  m.failures,
+		NodesRecovered:    m.recoveries,
+		Repairs:           append([]RepairEvent(nil), m.repairs...),
+		StaleEpochFrames:  res.StaleEpochFrames,
+		FramesBuffered:    res.FramesBuffered,
+		FramesShed:        res.FramesShed,
+		FramesRedelivered: res.FramesRedelivered,
+		CollectorRestarts: m.restarts,
 	}
 }
 
@@ -462,5 +790,11 @@ func (m *Monitor) Close() error {
 		return nil
 	}
 	m.closed = true
+	if m.journal != nil {
+		// Seal a final checkpoint so a clean shutdown resumes exactly.
+		_ = m.journal.Checkpoint(m.journalState())
+		_ = m.journal.Close()
+		m.journal = nil
+	}
 	return m.machine.Close()
 }

@@ -131,6 +131,10 @@ type Planner struct {
 	// cross-checked by the independent invariant checker, and plans,
 	// deployments and live monitors expose/enforce Verify.
 	verifyOn bool
+
+	// journalDir, when set, makes every StartMonitor session durable by
+	// default (see WithJournal / MonitorConfig.Journal).
+	journalDir string
 }
 
 // PlannerOption configures a Planner.
@@ -195,6 +199,18 @@ func WithRuntimeWorkers(n int) PlannerOption {
 // cost is one extra forest traversal per plan or deploy.
 func WithVerification() PlannerOption {
 	return func(p *Planner) { p.verifyOn = true }
+}
+
+// WithJournal makes every monitoring session this planner starts
+// durable: collector-side state (installed plan epoch and fingerprint,
+// demand, detector verdicts, repair history, collected samples) is
+// checkpointed and write-ahead logged under dir, epoch fencing is
+// armed, and leaves buffer their outgoing values across collector
+// outages. A crashed session resumes via Monitor.Resume (in-process)
+// or Planner.ResumeMonitor (cold start). MonitorConfig.Journal
+// overrides the directory per session.
+func WithJournal(dir string) PlannerOption {
+	return func(p *Planner) { p.journalDir = dir }
 }
 
 // Baseline selects a fixed partition scheme instead of REMO's search,

@@ -36,6 +36,13 @@ echo "==> verification harness (plan + repairs + results cross-checked)"
 go run ./cmd/remo-sim -nodes 40 -tasks 20 -rounds 12 -chaos 0.15 -suspicion 2 -verify > /dev/null
 go run ./cmd/remo-sim -nodes 30 -tasks 15 -rounds 10 -verify > /dev/null
 
+echo "==> durability smoke (collector crash + journal resume, verified, under -race)"
+go test -race -count=1 -run 'TestCollectorCrashRecoveryEndToEnd|TestColdResumeMonitor' .
+journal_dir=$(mktemp -d)
+go run ./cmd/remo-sim -nodes 30 -tasks 15 -rounds 24 \
+    -journal "$journal_dir" -chaos-collector 8 -verify > /dev/null
+rm -rf "$journal_dir"
+
 echo "==> fuzz smoke (FuzzDecode, 10s)"
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/transport
 
