@@ -24,6 +24,12 @@ const (
 	// AdaptAdaptive is REMO's scheme: the bounded search plus
 	// cost-benefit throttling.
 	AdaptAdaptive = adapt.Adaptive
+	// AdaptIncremental replans with the guided search scoped to the
+	// change's dirty attribute neighborhood, seeded from the current
+	// partition, falling back to the full search on quality regression.
+	// This is the default for Monitor task mutations (see
+	// WithIncrementalReplan).
+	AdaptIncremental = adapt.Incremental
 )
 
 // AdaptReport summarizes one adaptation round.
@@ -36,6 +42,21 @@ type AdaptReport struct {
 	CollectedPairs int
 	// Operations counts merge/split operations applied.
 	Operations int
+	// TreesKept, TreesRebuilt and TreesDropped are the round's
+	// tree-level plan diff: kept trees survive with identical
+	// fingerprints and need no re-announcement.
+	TreesKept int
+	// TreesRebuilt counts new or restructured trees (see TreesKept).
+	TreesRebuilt int
+	// TreesDropped counts retired attribute sets (see TreesKept).
+	TreesDropped int
+	// TreeReusePct is TreesKept over the new forest's trees, percent.
+	TreeReusePct float64
+	// Incremental reports the scoped replanner produced the plan;
+	// FellBack that a scoped attempt was discarded for a full replan.
+	Incremental bool
+	// FellBack reports a discarded scoped attempt (see Incremental).
+	FellBack bool
 }
 
 // Adaptor maintains a monitoring topology across task-set changes.
@@ -79,6 +100,12 @@ func (a *Adaptor) SetTasks(tasks []Task) (AdaptReport, error) {
 		PlanTime:       rep.PlanTime,
 		CollectedPairs: rep.Stats.Collected,
 		Operations:     rep.Operations,
+		TreesKept:      len(rep.Diff.Kept),
+		TreesRebuilt:   len(rep.Diff.Rebuilt),
+		TreesDropped:   len(rep.Diff.Dropped),
+		TreeReusePct:   rep.Diff.ReusePct(),
+		Incremental:    rep.Replan.Incremental,
+		FellBack:       rep.Replan.FellBack,
 	}, nil
 }
 

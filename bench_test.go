@@ -103,6 +103,11 @@ func BenchmarkFig12Extensions(b *testing.B) { benchFigure(b, "fig12") }
 // BenchmarkAblations regenerates the search-design ablation tables.
 func BenchmarkAblations(b *testing.B) { benchFigure(b, "ablations") }
 
+// BenchmarkPlannerChurn regenerates the incremental-replanning churn
+// experiment (plan-update latency vs task arrival rate); the name keeps
+// it inside scripts/check.sh's 'BenchmarkPlanner' one-iteration smoke.
+func BenchmarkPlannerChurn(b *testing.B) { benchFigure(b, "churn") }
+
 // --- Micro-benchmarks -------------------------------------------------
 
 // benchEnv builds a reusable planning environment.

@@ -2,6 +2,7 @@ package remo
 
 import (
 	"fmt"
+	"time"
 
 	"remo/internal/chaos"
 	"remo/internal/cluster"
@@ -31,6 +32,10 @@ const (
 	TraceRepair      = trace.Repair
 	TraceNodeRecover = trace.NodeRecover
 	TraceDelayed     = trace.Delayed
+	TraceReplan      = trace.Replan
+	TraceTreeKept    = trace.TreeKept
+	TraceTreeRebuilt = trace.TreeRebuilt
+	TraceTreeDropped = trace.TreeDropped
 )
 
 // Fault injection, re-exported for DeployConfig.Chaos and
@@ -143,6 +148,37 @@ type DeployReport struct {
 	// CollectorRestarts counts successful collector resumes
 	// (Monitor.Resume and cold ResumeMonitor starts).
 	CollectorRestarts int
+	// Replans records every SetTasks-driven plan swap's tree-level diff,
+	// in order (live Monitor sessions only).
+	Replans []ReplanEvent
+}
+
+// ReplanEvent records one task-mutation replan of a live Monitor: how
+// the installed forest relates to the one it replaced, and which
+// planning path produced it.
+type ReplanEvent struct {
+	// Round is the collection round the swap landed before.
+	Round int
+	// TreesKept counts trees reused byte-for-byte (identical
+	// fingerprint) — their members see no reconfiguration at all.
+	TreesKept int
+	// TreesRebuilt counts new or restructured trees, TreesDropped
+	// attribute sets retired by the swap.
+	TreesRebuilt int
+	// TreesDropped counts retired attribute sets (see TreesRebuilt).
+	TreesDropped int
+	// ReusePct is TreesKept over the new forest's tree count, percent.
+	ReusePct float64
+	// Incremental reports that the scoped incremental search produced
+	// the plan; FellBack that a scoped attempt was discarded for a full
+	// replan.
+	Incremental bool
+	// FellBack reports a discarded scoped attempt (see Incremental).
+	FellBack bool
+	// PlanTime is the replan's wall-clock planning cost.
+	PlanTime time.Duration
+	// AdaptMessages counts overlay reconfiguration messages of the swap.
+	AdaptMessages int
 }
 
 // RepairEvent records one automatic self-healing action of a live

@@ -154,6 +154,78 @@ func TestColdResumeMonitor(t *testing.T) {
 	}
 }
 
+// TestColdResumeAfterChurn crashes a session mid-churn: tasks mutate
+// several times (journaled as recTasks records with the partition and
+// plan diff), the process dies without sealing a final checkpoint, and
+// the cold resume must rebuild the exact pre-crash forest — fingerprint
+// match included — from the journaled partition alone.
+func TestColdResumeAfterChurn(t *testing.T) {
+	dir := t.TempDir()
+	sys := bigSystem(t, 12)
+	p := remo.NewPlanner(sys, remo.WithVerification(), remo.WithJournal(dir))
+	p.MustAddTask(remo.Task{Name: "cpu", Attrs: []remo.AttrID{1}, Nodes: sys.NodeIDs()})
+
+	mon, err := p.StartMonitor(remo.MonitorConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	// Three churn batches: grow, rewire, shrink.
+	batches := [][]remo.Task{
+		{
+			{Name: "cpu", Attrs: []remo.AttrID{1}, Nodes: sys.NodeIDs()},
+			{Name: "mem", Attrs: []remo.AttrID{2}, Nodes: sys.NodeIDs()[:8]},
+		},
+		{
+			{Name: "cpu", Attrs: []remo.AttrID{1, 3}, Nodes: sys.NodeIDs()},
+			{Name: "mem", Attrs: []remo.AttrID{2}, Nodes: sys.NodeIDs()[:8]},
+		},
+		{
+			{Name: "cpu", Attrs: []remo.AttrID{1, 3}, Nodes: sys.NodeIDs()[:10]},
+		},
+	}
+	for i, tasks := range batches {
+		rep, err := mon.SetTasks(tasks)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if rep.TreesKept+rep.TreesRebuilt == 0 {
+			t.Fatalf("batch %d: replan produced no trees", i)
+		}
+		if err := mon.Run(3); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	events := mon.Report().Replans
+	if len(events) != len(batches) {
+		t.Fatalf("recorded %d replan events, want %d", len(events), len(batches))
+	}
+	fp := mon.Fingerprint()
+	// Crash: the session is abandoned without Close, so recovery replays
+	// the churn from WAL records instead of reading a sealed checkpoint.
+
+	mon2, rr, err := p.ResumeMonitor(dir, remo.MonitorConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon2.Close() }()
+	if !rr.PlanMatched {
+		t.Fatalf("cold resume rebuilt fingerprint %#x, want the pre-crash %#x", mon2.Fingerprint(), fp)
+	}
+	if mon2.Fingerprint() != fp {
+		t.Fatalf("resumed fingerprint %#x differs from pre-crash %#x", mon2.Fingerprint(), fp)
+	}
+	if err := mon2.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon2.Verify(); err != nil {
+		t.Fatalf("resumed session failed verification: %v", err)
+	}
+	_ = mon.Close()
+}
+
 // TestResumeRequiresJournal pins the error contract: resuming a session
 // that never journaled is refused with a clear message.
 func TestResumeRequiresJournal(t *testing.T) {

@@ -14,6 +14,12 @@
 //   - ADAPTIVE: NO-THROTTLE plus cost-benefit throttling — an operation
 //     is applied only when its reconfiguration cost is justified by the
 //     topology-efficiency gain and the trees' update history.
+//
+// A fifth scheme, INCREMENTAL, goes beyond the paper: it keeps the full
+// guided search's plan quality by re-running the search on every
+// change, but scoped to the dirty attribute neighborhood and seeded
+// from the current partition (core.Replanner), falling back to the full
+// search when the scoped result regresses.
 package adapt
 
 import (
@@ -34,9 +40,14 @@ const (
 	Rebuild     Scheme = "REBUILD"
 	NoThrottle  Scheme = "NO-THROTTLE"
 	Adaptive    Scheme = "ADAPTIVE"
+	// Incremental replans with the guided search scoped to the change's
+	// dirty neighborhood, seeded from the current partition.
+	Incremental Scheme = "INCREMENTAL"
 )
 
-// Schemes lists the policies in the paper's presentation order.
+// Schemes lists the paper's policies in its presentation order
+// (INCREMENTAL is an extension and deliberately not part of the Fig. 9
+// comparison set).
 func Schemes() []Scheme {
 	return []Scheme{DirectApply, Rebuild, NoThrottle, Adaptive}
 }
@@ -53,6 +64,12 @@ type Report struct {
 	// Operations counts merge/split operations applied by the searching
 	// schemes.
 	Operations int
+	// Diff relates the round's forest to the previous one tree-by-tree
+	// (kept trees survive the swap byte-for-byte).
+	Diff plan.Diff
+	// Replan carries the incremental replanner's telemetry; zero for
+	// the other schemes.
+	Replan core.ReplanStats
 }
 
 // Adaptor maintains a monitoring topology across task-set changes.
@@ -76,6 +93,11 @@ type Adaptor struct {
 	// maxOps bounds search operations per round for the searching
 	// schemes.
 	maxOps int
+
+	// replan is the INCREMENTAL scheme's stateful replanner, created on
+	// Init; replanOpts tune it.
+	replan     *core.Replanner
+	replanOpts []core.ReplanOption
 }
 
 // New returns an adaptor using the given policy. The planner supplies
@@ -96,6 +118,10 @@ func New(scheme Scheme, planner *core.Planner, sys *model.System) *Adaptor {
 // Scheme returns the adaptor's policy.
 func (a *Adaptor) Scheme() Scheme { return a.scheme }
 
+// SetReplanOptions tunes the INCREMENTAL scheme's replanner; call
+// before Init.
+func (a *Adaptor) SetReplanOptions(opts ...core.ReplanOption) { a.replanOpts = opts }
+
 // Forest returns the topology currently in force.
 func (a *Adaptor) Forest() *plan.Forest { return a.forest }
 
@@ -110,9 +136,35 @@ func (a *Adaptor) Demand() *task.Demand { return a.demand }
 // Init plans the initial topology with the full REMO algorithm;
 // subsequent changes go through Apply.
 func (a *Adaptor) Init(d *task.Demand) Report {
+	return a.initWith(d, func() core.Result {
+		if a.scheme == Incremental {
+			a.replan = core.NewReplanner(a.planner, a.sys, d, a.replanOpts...)
+			return a.replan.Current()
+		}
+		return a.planner.Plan(a.sys, d)
+	})
+}
+
+// InitPartition installs the deterministic evaluation of a known
+// partition instead of searching — cold resume uses this to rebuild the
+// journaled topology's exact forest (the evaluation is deterministic in
+// system, demand and partition).
+func (a *Adaptor) InitPartition(d *task.Demand, sets []model.AttrSet) Report {
+	return a.initWith(d, func() core.Result {
+		res := a.planner.PlanPartition(a.sys, d, sets)
+		if a.scheme == Incremental {
+			a.replan = core.NewReplannerFrom(a.planner, a.sys, d, res, a.replanOpts...)
+		}
+		return res
+	})
+}
+
+// initWith commits the initial plan produced by build.
+func (a *Adaptor) initWith(d *task.Demand, build func() core.Result) Report {
 	start := time.Now()
-	res := a.planner.Plan(a.sys, d)
-	msgs := plan.DiffEdges(a.forest, res.Forest)
+	base := a.forest
+	res := build()
+	msgs := plan.DiffEdges(base, res.Forest)
 	a.demand = d.Clone()
 	a.forest = res.Forest
 	a.partition = res.Partition
@@ -124,6 +176,7 @@ func (a *Adaptor) Init(d *task.Demand) Report {
 		AdaptMessages: msgs,
 		PlanTime:      time.Since(start),
 		Stats:         res.Stats,
+		Diff:          plan.DiffForests(base, res.Forest),
 	}
 }
 
@@ -131,9 +184,27 @@ func (a *Adaptor) Init(d *task.Demand) Report {
 func (a *Adaptor) Apply(newDemand *task.Demand) Report {
 	start := time.Now()
 	a.epoch++
+	base := a.forest
 
 	var rep Report
 	switch a.scheme {
+	case Incremental:
+		if a.replan == nil {
+			a.replan = core.NewReplannerFrom(a.planner, a.sys, a.demand, core.Result{
+				Forest:    a.forest,
+				Stats:     a.forest.ComputeStats(a.demand, a.sys, a.planner.Spec()),
+				Partition: a.Partition(),
+			}, a.replanOpts...)
+		}
+		res, rstats := a.replan.Update(newDemand)
+		rep.AdaptMessages = plan.DiffEdges(a.forest, res.Forest)
+		rep.Replan = rstats
+		touched := make(map[string]struct{}, len(rstats.Diff.Rebuilt))
+		for _, k := range rstats.Diff.Rebuilt {
+			touched[k] = struct{}{}
+		}
+		a.install(newDemand, res.Forest, res.Partition, touched)
+		rep.Stats = res.Stats
 	case Rebuild:
 		res := a.planner.Plan(a.sys, newDemand)
 		rep.AdaptMessages = plan.DiffEdges(a.forest, res.Forest)
@@ -162,6 +233,7 @@ func (a *Adaptor) Apply(newDemand *task.Demand) Report {
 		a.install(newDemand, res.Forest, res.Partition, nil)
 		rep.Stats = res.Stats
 	}
+	rep.Diff = plan.DiffForests(base, a.forest)
 	rep.PlanTime = time.Since(start)
 	return rep
 }
@@ -169,10 +241,15 @@ func (a *Adaptor) Apply(newDemand *task.Demand) Report {
 // Rewire commits an externally built topology (e.g. a failure repair)
 // as a new adaptation epoch. Unlike Apply it does not replan: the given
 // forest is installed as-is, so the adaptor's incremental bookkeeping
-// stays consistent with what the runtime actually deployed.
+// stays consistent with what the runtime actually deployed. The
+// incremental replanner is reseeded from the installed forest — its
+// memo describes trees the repair may have rewired.
 func (a *Adaptor) Rewire(d *task.Demand, forest *plan.Forest) {
 	a.epoch++
 	a.install(d, forest, forest.Partition(), nil)
+	if a.replan != nil {
+		a.replan.Reset(a.demand, forest)
+	}
 }
 
 // install commits a new topology. touched lists tree keys whose

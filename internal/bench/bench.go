@@ -83,6 +83,7 @@ func Registry() []Experiment {
 		{Name: "fig12", Description: "extensions: aggregation/frequency awareness and replication", Run: Fig12},
 		{Name: "ablations", Description: "ablations of the planner's search design choices", Run: Ablations},
 		{Name: "planner", Description: "planner wall-clock: sequential vs parallel search (Fig 5a/6a sweeps)", Run: PlannerPerf},
+		{Name: "churn", Description: "plan-update latency under task churn: incremental vs full replan", Run: Churn},
 		{Name: "runtime", Description: "emulation runtime data path: worker-pool engine and batched TCP writes vs legacy", Run: RuntimePerf},
 	}
 }

@@ -20,7 +20,7 @@ func colMean(t *testing.T, tbl *metrics.Table, name string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner", "runtime"}
+	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner", "churn", "runtime"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -250,6 +250,45 @@ func TestPlannerPerfShape(t *testing.T) {
 		reuse, _ := tbl.Column("TREE_REUSE_PCT")
 		if metrics.Mean(reuse) <= 0 {
 			t.Errorf("%s: tree memo never hit", tbl.Title)
+		}
+	}
+}
+
+func TestChurnShape(t *testing.T) {
+	// Churn's own smoke scale (0.12, seed 3) matches BenchmarkPlannerChurn;
+	// 0.15 would roughly double the runtime for no extra coverage.
+	tables := Churn(Options{Scale: 0.12, Seed: 3})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tbl := tables[0]
+	for _, c := range churnColumns {
+		if _, ok := tbl.Column(c); !ok {
+			t.Fatalf("churn table lacks column %q", c)
+		}
+	}
+	full, _ := tbl.Column("FULL_MS_MED")
+	inc, _ := tbl.Column("INC_MS_MED")
+	if len(full) != 3 {
+		t.Fatalf("rows = %d, want k=1,2,4", len(full))
+	}
+	for i := range full {
+		if full[i] <= 0 || inc[i] <= 0 {
+			t.Fatalf("row %d: non-positive medians full=%v inc=%v", i, full[i], inc[i])
+		}
+	}
+	// Single-task churn is the headline: observed ≥5x at this scale; 1.5
+	// tolerates a contended CI box without letting a real regression by.
+	speedup, _ := tbl.Column("SPEEDUP")
+	if speedup[0] < 1.5 {
+		t.Errorf("k=1 speedup = %.2fx, want > 1.5x", speedup[0])
+	}
+	for _, col := range []string{"REUSE_PCT", "FALLBACK_PCT", "PARITY_PCT"} {
+		vals, _ := tbl.Column(col)
+		for i, v := range vals {
+			if v < 0 || v > 100 {
+				t.Fatalf("%s row %d = %v out of [0,100]", col, i, v)
+			}
 		}
 	}
 }

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"remo/internal/core"
+	"remo/internal/cost"
+	"remo/internal/metrics"
+	"remo/internal/model"
+	"remo/internal/workload"
+)
+
+// churnColumns are the series of the incremental-replanning experiment:
+// median full-replan and incremental plan-update latencies, the
+// resulting speedup, the tree-reuse share of each swap, the fraction of
+// updates that escalated to a full search, and the fraction whose
+// incremental result collected exactly as many pairs as a from-scratch
+// replan.
+var churnColumns = []string{"FULL_MS_MED", "INC_MS_MED", "SPEEDUP", "REUSE_PCT", "FALLBACK_PCT", "PARITY_PCT"}
+
+// churnUpdates is how many task-mutation events each point measures.
+const churnUpdates = 8
+
+// Churn measures plan-update latency under task churn at the Fig. 6a
+// acceptance scale (400 nodes, 150 small tasks): a Replanner absorbing
+// alternating task arrivals and removals against a from-scratch replan
+// of the same mutated demand. The sweep varies how many tasks each
+// update batch adds or removes — the batch-size axis is the task
+// arrival rate per plan update.
+func Churn(o Options) []*metrics.Table {
+	t := metrics.NewTable(
+		"Churn — plan-update latency, incremental vs full replan (Fig 6a scale)",
+		"tasks_per_update", churnColumns...)
+	for _, k := range []int{1, 2, 4} {
+		mustAdd(t, float64(k), churnPoint(o, k)...)
+	}
+	return []*metrics.Table{t}
+}
+
+// churnEnv builds the Fig. 6a-shaped system, the initial task set, and a
+// pool of pre-generated arrival tasks so every batch size sees the same
+// mutation stream.
+func churnEnv(o Options) (*model.System, []model.Task, []model.Task) {
+	nodes := o.scaleInt(400, 20)
+	sys, err := workload.System(workload.SystemConfig{
+		Nodes:           nodes,
+		Attrs:           o.scaleInt(100, 10),
+		CapacityLo:      150,
+		CapacityHi:      400,
+		CentralCapacity: float64(nodes) * 12,
+		Cost:            cost.Model{PerMessage: 10, PerValue: 1},
+		Seed:            o.Seed + 70,
+	})
+	if err != nil {
+		panic(err)
+	}
+	mk := func(count int, seed int64) []model.Task {
+		return workload.Tasks(sys, workload.TaskConfig{
+			Count:        count,
+			AttrsPerTask: 3,
+			NodesPerTask: maxInt(2, nodes/10),
+			Seed:         seed,
+		})
+	}
+	base := mk(o.scaleInt(150, 10), o.Seed+71)
+	pool := mk(churnUpdates*4, o.Seed+72)
+	for i := range pool {
+		pool[i].Name = "arrival-" + pool[i].Name
+	}
+	return sys, base, pool
+}
+
+// churnPoint runs one batch size through churnUpdates mutation events:
+// even events add k tasks from the pool, odd events remove the k oldest
+// tasks. Each event is planned twice — incrementally by the maintained
+// Replanner and from scratch by an independent planner — and the two
+// results are compared for pair-count parity.
+func churnPoint(o Options, k int) []float64 {
+	sys, cur, pool := churnEnv(o)
+	d, err := workload.Demand(sys, cur)
+	if err != nil {
+		panic(err)
+	}
+	r := core.NewReplanner(core.NewPlanner(), sys, d)
+	full := core.NewPlanner()
+
+	var fullMS, incMS []float64
+	var reuseSum float64
+	fallbacks, parity := 0, 0
+	for u := 0; u < churnUpdates; u++ {
+		if u%2 == 0 {
+			cur = append(cur, pool[u*k/2:u*k/2+k]...)
+		} else {
+			cur = append([]model.Task(nil), cur[k:]...)
+		}
+		nd, err := workload.Demand(sys, cur)
+		if err != nil {
+			panic(err)
+		}
+
+		t0 := time.Now()
+		fres := full.Plan(sys, nd)
+		fullMS = append(fullMS, float64(time.Since(t0).Microseconds())/1000)
+
+		t0 = time.Now()
+		ires, st := r.Update(nd)
+		incMS = append(incMS, float64(time.Since(t0).Microseconds())/1000)
+
+		reuseSum += st.Diff.ReusePct()
+		if !st.Incremental {
+			fallbacks++
+		}
+		if ires.Stats.Collected == fres.Stats.Collected {
+			parity++
+		}
+	}
+
+	fm, im := median(fullMS), median(incMS)
+	speedup := 0.0
+	if im > 0 {
+		speedup = fm / im
+	}
+	n := float64(churnUpdates)
+	return []float64{fm, im, speedup, reuseSum / n, 100 * float64(fallbacks) / n, 100 * float64(parity) / n}
+}
+
+// median returns the middle of a sample (mean of the central pair for
+// even lengths).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"remo/internal/core"
+	"remo/internal/model"
+	"remo/internal/workload"
+)
+
+func TestChurnDiag(t *testing.T) {
+	if os.Getenv("CHURN_DIAG") == "" {
+		t.Skip("set CHURN_DIAG=1 to run the full-scale churn diagnostic")
+	}
+	o := Options{Scale: 1, Seed: 1}
+	sys, base, pool := churnEnv(o)
+	d, err := workload.Demand(sys, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	r := core.NewReplanner(core.NewPlanner(), sys, d)
+	fmt.Printf("seed plan: %v\n", time.Since(start))
+	cur := base
+	k := 1
+	for u := 0; u < churnUpdates; u++ {
+		if u%2 == 0 {
+			cur = append(cur, pool[u*k/2:u*k/2+k]...)
+		} else {
+			cur = append([]model.Task(nil), cur[k:]...)
+		}
+		nd, err := workload.Demand(sys, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := time.Now()
+		_, st := r.Update(nd)
+		fmt.Printf("u=%d inc=%v fell=%v dirty=%d/%d evals=%d builds=%d reuses=%d t=%v\n",
+			u, st.Incremental, st.FellBack, st.DirtySets, st.TotalSets,
+			st.Evaluations, st.TreeBuilds, st.TreeReuses, time.Since(t0))
+	}
+}

@@ -367,6 +367,16 @@ func (m *Machine) StepN(n int) error {
 // views — exactly what a real collector would do — but re-targets its
 // coverage accounting to the new demand.
 func (m *Machine) Install(forest *plan.Forest, d *task.Demand) {
+	m.InstallDiff(forest, d)
+}
+
+// InstallDiff is Install returning the tree-level plan diff against the
+// outgoing topology. Trees kept byte-for-byte (identical fingerprint)
+// keep their members' relay state across the swap and need no
+// re-announcement; only rebuilt trees cost reconfiguration. Per-tree
+// outcomes are recorded on the trace when one is attached.
+func (m *Machine) InstallDiff(forest *plan.Forest, d *task.Demand) plan.Diff {
+	diff := plan.DiffForests(m.cfg.Forest, forest)
 	m.cfg.Forest = forest
 	m.cfg.Demand = d
 	// Every install opens a new plan epoch; with FenceEpochs on, frames
@@ -377,6 +387,18 @@ func (m *Machine) Install(forest *plan.Forest, d *task.Demand) {
 	if m.det != nil {
 		m.det.Watch(m.watchSet(), m.round)
 	}
+	if m.cfg.Trace != nil {
+		for _, k := range diff.Kept {
+			m.cfg.Trace.Record(trace.Event{Round: m.round, Kind: trace.TreeKept, Node: model.Central, TreeKey: k})
+		}
+		for _, k := range diff.Rebuilt {
+			m.cfg.Trace.Record(trace.Event{Round: m.round, Kind: trace.TreeRebuilt, Node: model.Central, TreeKey: k})
+		}
+		for _, k := range diff.Dropped {
+			m.cfg.Trace.Record(trace.Event{Round: m.round, Kind: trace.TreeDropped, Node: model.Central, TreeKey: k})
+		}
+	}
+	return diff
 }
 
 // rebuildStates re-derives per-node state from the current config,

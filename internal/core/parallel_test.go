@@ -125,7 +125,7 @@ func TestParallelEvaluationsCountBatches(t *testing.T) {
 // the concurrent evaluators (the scripts/check.sh gate runs it so).
 func TestEvalCacheConcurrentHammer(t *testing.T) {
 	sys, d := planEnv(t, 7, false)
-	cache := newEvalCache(d)
+	cache := newEvalCache(d, 0)
 	universe := d.Universe().Attrs()
 	builder := tree.New(tree.Star)
 
@@ -171,7 +171,7 @@ func TestEvalCacheConcurrentHammer(t *testing.T) {
 					CentralAvail: sys.CentralCapacity,
 					LocalWeights: weights,
 				})
-				cache.storeTree(key, r)
+				cache.storeTree(key, set, r)
 			}
 		}(g)
 	}

@@ -60,6 +60,12 @@ type Config struct {
 	// NoTreeCache disables the cross-evaluation tree-build memo
 	// (ablation knob; also the pre-memo baseline for benchmarks).
 	NoTreeCache bool
+	// TreeMemoCap bounds the tree-build memo's entry count; 0 uses the
+	// default cap, negative values disable the bound. Entries beyond the
+	// cap are evicted clock-wise (second chance), which matters for
+	// long-lived incremental replanners that keep one cache across many
+	// replans.
+	TreeMemoCap int
 	// SingleStart disables the one-set-seeded second search (ablation).
 	SingleStart bool
 	// NoSideways disables score-neutral merge moves (ablation).
@@ -96,6 +102,10 @@ func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 // WithoutTreeCache disables the cross-evaluation tree-build memo
 // (ablation knob).
 func WithoutTreeCache() Option { return func(c *Config) { c.NoTreeCache = true } }
+
+// WithTreeMemoCap bounds the tree-build memo (0 = default cap,
+// negative = unbounded).
+func WithTreeMemoCap(n int) Option { return func(c *Config) { c.TreeMemoCap = n } }
 
 // WithSingleStart disables the multi-start search (ablation knob).
 func WithSingleStart() Option { return func(c *Config) { c.SingleStart = true } }
@@ -237,7 +247,48 @@ type candEval struct {
 // adopted move, and therefore the final plan, is identical to the
 // sequential search's.
 func (p *Planner) PlanFrom(sys *model.System, d *task.Demand, sets []model.AttrSet) Result {
-	cache := newEvalCache(d)
+	return p.search(sys, d, sets, p.newCache(d), nil)
+}
+
+// newCache builds an evaluation cache honoring the configured memo cap.
+func (p *Planner) newCache(d *task.Demand) *evalCache {
+	return newEvalCache(d, p.cfg.TreeMemoCap)
+}
+
+// searchScope restricts the guided search to a dirty neighborhood: only
+// moves touching a dirty set are ranked, and the sets an adopted move
+// produces become dirty in turn, so improvements can propagate outward
+// from the original neighborhood without reopening the whole partition.
+type searchScope struct {
+	dirty map[string]struct{}
+}
+
+// dirtyAt adapts the scope to RankScoped's index-based predicate.
+func (s *searchScope) dirtyAt(sets []model.AttrSet) func(int) bool {
+	return func(i int) bool {
+		_, ok := s.dirty[sets[i].Key()]
+		return ok
+	}
+}
+
+// absorb marks the sets an adopted move created as dirty.
+func (s *searchScope) absorb(before, after []model.AttrSet) {
+	prev := make(map[string]struct{}, len(before))
+	for _, set := range before {
+		prev[set.Key()] = struct{}{}
+	}
+	for _, set := range after {
+		if _, old := prev[set.Key()]; !old {
+			s.dirty[set.Key()] = struct{}{}
+		}
+	}
+}
+
+// search runs the guided local search from the given partition using
+// the given (possibly pre-warmed) cache. A nil scope searches the full
+// neighborhood (PlanFrom); a non-nil scope restricts candidate
+// generation to the dirty sets (incremental replanning).
+func (p *Planner) search(sys *model.System, d *task.Demand, sets []model.AttrSet, cache *evalCache, scope *searchScope) Result {
 	res := Result{Partition: sets}
 	res.Forest, res.Stats = p.evaluate(sys, d, sets, cache)
 	res.Evaluations = 1
@@ -245,15 +296,28 @@ func (p *Planner) PlanFrom(sys *model.System, d *task.Demand, sets []model.AttrS
 	cur := res
 	best := res.Stats.Score()
 	sidewaysLeft := len(sets)
+	if scope != nil {
+		sidewaysLeft = len(scope.dirty)
+	}
 	if p.cfg.NoSideways {
 		sidewaysLeft = 0
 	}
 	workers := p.workers()
 
 	for iter := 0; iter < p.cfg.MaxIters; iter++ {
-		gctx := p.gainContext(sys, d, cur)
+		var gctx partition.GainContext
+		if scope != nil {
+			gctx = p.lazyGainContext(sys, d, cur)
+		} else {
+			gctx = p.gainContext(sys, d, cur)
+		}
 		gctx.Parts = cache.participantsOf
-		cands := partition.Rank(cur.Partition, gctx)
+		var cands []partition.Candidate
+		if scope != nil {
+			cands = partition.RankScoped(cur.Partition, gctx, scope.dirtyAt(cur.Partition))
+		} else {
+			cands = partition.Rank(cur.Partition, gctx)
+		}
 		if p.cfg.Constraints != nil {
 			allowed := cands[:0]
 			for _, c := range cands {
@@ -274,6 +338,9 @@ func (p *Planner) PlanFrom(sys *model.System, d *task.Demand, sets []model.AttrS
 		adopt := func(c partition.Candidate, e candEval) (accepted bool) {
 			sc := e.stats.Score()
 			if sc.Better(curScore) {
+				if scope != nil {
+					scope.absorb(cur.Partition, e.sets)
+				}
 				cur = Result{Partition: e.sets, Forest: e.forest, Stats: e.stats}
 				res.Iterations++
 				improved = true
@@ -281,6 +348,9 @@ func (p *Planner) PlanFrom(sys *model.System, d *task.Demand, sets []model.AttrS
 			}
 			if !sidewaysTaken && sidewaysLeft > 0 &&
 				c.Op.Kind == partition.MergeOp && !curScore.Better(sc) {
+				if scope != nil {
+					scope.absorb(cur.Partition, e.sets)
+				}
 				cur = Result{Partition: e.sets, Forest: e.forest, Stats: e.stats}
 				sidewaysTaken = true
 				sidewaysLeft--
@@ -345,7 +415,7 @@ func (p *Planner) PlanPartition(sys *model.System, d *task.Demand, sets []model.
 // the trees per the allocation policy, construct each under its capacity
 // budget, and compute the resulting forest's profile.
 func (p *Planner) Evaluate(sys *model.System, d *task.Demand, sets []model.AttrSet) (*plan.Forest, plan.Stats) {
-	return p.evaluate(sys, d, sets, newEvalCache(d))
+	return p.evaluate(sys, d, sets, p.newCache(d))
 }
 
 func (p *Planner) evaluate(sys *model.System, d *task.Demand, sets []model.AttrSet, cache *evalCache) (*plan.Forest, plan.Stats) {
@@ -391,7 +461,7 @@ func (p *Planner) evaluate(sys *model.System, d *task.Demand, sets []model.AttrS
 		}
 		centralUsed += r.CentralUsed
 		if memo {
-			cache.storeTree(key, r)
+			cache.storeTree(key, sets[k], r)
 		} else {
 			cache.builds.Add(1)
 		}
@@ -431,6 +501,38 @@ func (p *Planner) gainContext(sys *model.System, d *task.Demand, res Result) par
 		PerMessage: sys.Cost.PerMessage,
 		PerValue:   sys.Cost.PerValue,
 		Missed:     missed,
+	}
+}
+
+// lazyGainContext defers the per-set miss counts to first use. The
+// scoped search ranks only moves touching the dirty neighborhood, and
+// miss counts feed split gains alone, so under a small neighborhood
+// almost none of the partition's PairCountIn sweeps ever run.
+func (p *Planner) lazyGainContext(sys *model.System, d *task.Demand, res Result) partition.GainContext {
+	byKey := make(map[string]*plan.Tree, len(res.Forest.Trees))
+	for _, t := range res.Forest.Trees {
+		byKey[t.Attrs.Key()] = t
+	}
+	memo := make(map[int]int)
+	return partition.GainContext{
+		Demand:     d,
+		PerMessage: sys.Cost.PerMessage,
+		PerValue:   sys.Cost.PerValue,
+		MissedAt: func(i int) int {
+			if v, ok := memo[i]; ok {
+				return v
+			}
+			set := res.Partition[i]
+			collected := 0
+			if t := byKey[set.Key()]; t != nil {
+				for _, n := range t.Members() {
+					collected += len(d.LocalAttrs(n, set))
+				}
+			}
+			v := d.PairCountIn(set) - collected
+			memo[i] = v
+			return v
+		},
 	}
 }
 

@@ -59,7 +59,9 @@ const (
 	recCheckpoint = 1
 	// recEpoch logs a plan install: epoch, fingerprint, installed demand.
 	recEpoch = 2
-	// recTasks logs a change to the base (user-submitted) demand.
+	// recTasks logs a change to the base (user-submitted) demand, the
+	// partition behind the replanned topology, its forest fingerprint
+	// and the swap's tree-level diff counts.
 	recTasks = 3
 	// recVerdict logs a failure-detector verdict (death or recovery).
 	recVerdict = 4
@@ -87,6 +89,11 @@ type State struct {
 	Demand *task.Demand
 	// BaseDemand is the user-submitted demand before pruning.
 	BaseDemand *task.Demand
+	// Partition is the attribute partition behind the installed plan.
+	// The planner's evaluation is deterministic in (system, demand,
+	// partition), so a cold resume can rebuild the exact pre-crash
+	// forest from it instead of searching anew.
+	Partition []model.AttrSet
 	// Dead is the failure detector's declared-dead set (node →
 	// declaration round).
 	Dead map[model.NodeID]int
@@ -230,6 +237,64 @@ func (r *reader) demand() *task.Demand {
 	return d
 }
 
+// appendPartition encodes an attribute partition as count + per-set
+// attribute lists in the partition's (stable) order.
+func appendPartition(dst []byte, sets []model.AttrSet) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(sets)))
+	for _, s := range sets {
+		attrs := s.Attrs()
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(attrs)))
+		for _, a := range attrs {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(a)))
+		}
+	}
+	return dst
+}
+
+func (r *reader) partition() []model.AttrSet {
+	n := int(r.u32())
+	if r.err != nil || n > maxRecordSize {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: oversized partition", ErrCorrupt)
+		}
+		return nil
+	}
+	sets := make([]model.AttrSet, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := int(r.u32())
+		if r.err != nil || k > maxRecordSize {
+			if r.err == nil {
+				r.err = fmt.Errorf("%w: oversized attr set", ErrCorrupt)
+			}
+			return nil
+		}
+		attrs := make([]model.AttrID, 0, k)
+		for j := 0; j < k && r.err == nil; j++ {
+			attrs = append(attrs, model.AttrID(r.i32()))
+		}
+		if r.err == nil {
+			sets = append(sets, model.NewAttrSet(attrs...))
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return sets
+}
+
+// appendTasks encodes a recTasks payload: the base demand, the
+// partition now in force, the installed forest's fingerprint and the
+// swap's kept/rebuilt/dropped tree counts.
+func appendTasks(dst []byte, base *task.Demand, sets []model.AttrSet, fingerprint uint64, kept, rebuilt, dropped int) []byte {
+	dst = appendDemand(dst, base)
+	dst = appendPartition(dst, sets)
+	dst = binary.BigEndian.AppendUint64(dst, fingerprint)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(kept)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(rebuilt)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(dropped)))
+	return dst
+}
+
 // appendEpoch encodes a recEpoch payload.
 func appendEpoch(dst []byte, epoch uint32, fingerprint uint64, installed *task.Demand) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, epoch)
@@ -271,6 +336,7 @@ func appendCheckpoint(dst []byte, s State) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(s.Repairs)))
 	dst = appendDemand(dst, s.Demand)
 	dst = appendDemand(dst, s.BaseDemand)
+	dst = appendPartition(dst, s.Partition)
 
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Dead)))
 	for _, n := range sortedNodes(s.Dead) {
@@ -324,6 +390,7 @@ func decodeCheckpoint(payload []byte) (State, error) {
 	}
 	s.Demand = r.demand()
 	s.BaseDemand = r.demand()
+	s.Partition = r.partition()
 
 	nDead := int(r.u32())
 	s.Dead = make(map[model.NodeID]int, nDead)

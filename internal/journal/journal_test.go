@@ -120,7 +120,8 @@ func TestWALReplay(t *testing.T) {
 	if err := w.AppendRepair(8); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.AppendTasks(newDemand); err != nil {
+	newSets := []model.AttrSet{model.NewAttrSet(2)}
+	if err := w.AppendTasks(newDemand, newSets, 0xF00D, 1, 2, 3); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := w.AppendSamples(9, []SampleRec{
@@ -157,6 +158,9 @@ func TestWALReplay(t *testing.T) {
 	}
 	if s, ok := st.Store.Latest(model.Pair{Node: 7, Attr: 2}); !ok || s.Value != 42 || s.Round != 9 {
 		t.Fatalf("replayed sample = %+v,%v", s, ok)
+	}
+	if len(st.Partition) != 1 || !st.Partition[0].Equal(newSets[0]) {
+		t.Fatalf("replayed partition = %v, want %v", st.Partition, newSets)
 	}
 	if rec.LastRound != 9 || st.Round != 9 {
 		t.Fatalf("last round = %d/%d, want 9", rec.LastRound, st.Round)

@@ -139,10 +139,16 @@ func (rec *Recovered) apply(kind uint8, payload []byte) error {
 		s.Epoch, s.Fingerprint, s.Demand = epoch, fp, d
 	case recTasks:
 		d := r.demand()
+		sets := r.partition()
+		r.u64() // fingerprint: recEpoch is authoritative for State.Fingerprint
+		r.u32() // kept
+		r.u32() // rebuilt
+		r.u32() // dropped
 		if r.err != nil {
 			return r.err
 		}
 		s.BaseDemand = d
+		s.Partition = sets
 	case recVerdict:
 		node := model.NodeID(r.i32())
 		declaredAt := r.i32()

@@ -160,9 +160,13 @@ func (w *Writer) AppendEpoch(epoch uint32, fingerprint uint64, installed *task.D
 	return w.append(recEpoch, appendEpoch(nil, epoch, fingerprint, installed))
 }
 
-// AppendTasks logs a change to the base (user-submitted) demand.
-func (w *Writer) AppendTasks(base *task.Demand) error {
-	return w.append(recTasks, appendDemand(nil, base))
+// AppendTasks logs a task mutation: the new base (user-submitted)
+// demand, the partition behind the replanned topology, the installed
+// forest's fingerprint, and the swap's tree-level diff counts. The
+// partition is what lets a cold resume rebuild the exact pre-crash
+// forest; the fingerprint and diff document the swap for audits.
+func (w *Writer) AppendTasks(base *task.Demand, sets []model.AttrSet, fingerprint uint64, kept, rebuilt, dropped int) error {
+	return w.append(recTasks, appendTasks(nil, base, sets, fingerprint, kept, rebuilt, dropped))
 }
 
 // AppendVerdict logs a failure-detector verdict.

@@ -102,14 +102,26 @@ func Apply(sets []model.AttrSet, op Op) []model.AttrSet {
 // Neighbors enumerates every one-step move from the partition: all set
 // pair merges and all single-attribute splits of non-singleton sets.
 func Neighbors(sets []model.AttrSet) []Op {
+	return NeighborsScoped(sets, func(int) bool { return true })
+}
+
+// NeighborsScoped enumerates the one-step moves that touch a dirty
+// neighborhood: merges where at least one side is dirty, and splits of
+// dirty non-singleton sets. dirty reports whether set i belongs to the
+// neighborhood. With d dirty sets out of k this is O(d·k) moves instead
+// of Neighbors' O(k²) — the structural basis of incremental replanning.
+func NeighborsScoped(sets []model.AttrSet, dirty func(int) bool) []Op {
 	var ops []Op
 	for i := 0; i < len(sets); i++ {
+		di := dirty(i)
 		for j := i + 1; j < len(sets); j++ {
-			ops = append(ops, Op{Kind: MergeOp, I: i, J: j})
+			if di || dirty(j) {
+				ops = append(ops, Op{Kind: MergeOp, I: i, J: j})
+			}
 		}
 	}
 	for i, s := range sets {
-		if s.Len() < 2 {
+		if s.Len() < 2 || !dirty(i) {
 			continue
 		}
 		for _, a := range s.Attrs() {
@@ -144,6 +156,9 @@ type GainContext struct {
 	// Missed[i] is the number of demanded pairs tree i could not collect
 	// in the current plan (nil when unknown).
 	Missed []int
+	// MissedAt overrides Missed with a lazy lookup — the scoped search
+	// uses it so only the dirty sets' miss counts are ever computed.
+	MissedAt func(i int) int
 	// Parts optionally overrides participant lookup (a planner-level
 	// cache); nil falls back to Demand.Participants.
 	Parts func(model.AttrSet) []model.NodeID
@@ -172,18 +187,31 @@ func (ctx GainContext) participants(set model.AttrSet) []model.NodeID {
 // resource-aware evaluation decides acceptance; the estimate only orders
 // candidates.
 func Rank(sets []model.AttrSet, ctx GainContext) []Candidate {
+	return rankOps(sets, ctx, Neighbors(sets))
+}
+
+// RankScoped ranks only the moves touching the dirty neighborhood (see
+// NeighborsScoped), with the same estimator and ordering as Rank.
+func RankScoped(sets []model.AttrSet, ctx GainContext, dirty func(int) bool) []Candidate {
+	return rankOps(sets, ctx, NeighborsScoped(sets, dirty))
+}
+
+// rankOps estimates gains for the given moves and sorts them.
+func rankOps(sets []model.AttrSet, ctx GainContext, ops []Op) []Candidate {
 	parts := make([][]model.NodeID, len(sets))
 	for i, s := range sets {
 		parts[i] = ctx.participants(s)
 	}
 	missed := func(i int) float64 {
+		if ctx.MissedAt != nil {
+			return float64(ctx.MissedAt(i))
+		}
 		if ctx.Missed == nil || i >= len(ctx.Missed) {
 			return 0
 		}
 		return float64(ctx.Missed[i])
 	}
 
-	ops := Neighbors(sets)
 	cands := make([]Candidate, 0, len(ops))
 	for _, op := range ops {
 		var gain float64

@@ -1,0 +1,61 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"remo/internal/model"
+)
+
+func TestNeighborsScopedRestrictsToDirty(t *testing.T) {
+	sets := []model.AttrSet{
+		model.NewAttrSet(1, 2),
+		model.NewAttrSet(3),
+		model.NewAttrSet(4, 5),
+	}
+	dirty := func(i int) bool { return i == 0 }
+	ops := NeighborsScoped(sets, dirty)
+	for _, op := range ops {
+		switch op.Kind {
+		case MergeOp:
+			if !dirty(op.I) && !dirty(op.J) {
+				t.Fatalf("merge %v has no dirty side", op)
+			}
+		case SplitOp:
+			if !dirty(op.I) {
+				t.Fatalf("split %v of a clean set", op)
+			}
+		}
+	}
+	// Exactly: merges (0,1) and (0,2), splits of set 0's two attrs. The
+	// clean pair (1,2) and the clean non-singleton split of set 2 are
+	// excluded.
+	var merges, splits int
+	for _, op := range ops {
+		if op.Kind == MergeOp {
+			merges++
+		} else {
+			splits++
+		}
+	}
+	if merges != 2 || splits != 2 {
+		t.Fatalf("scoped ops = %d merges %d splits, want 2 and 2 (%v)", merges, splits, ops)
+	}
+}
+
+// TestNeighborsScopedAllDirtyMatchesUnscoped pins the scoping contract:
+// with every set dirty, the scoped generator is exactly the full one.
+func TestNeighborsScopedAllDirtyMatchesUnscoped(t *testing.T) {
+	sets := []model.AttrSet{
+		model.NewAttrSet(1, 2),
+		model.NewAttrSet(3),
+		model.NewAttrSet(4, 5, 6),
+	}
+	all := NeighborsScoped(sets, func(int) bool { return true })
+	if !reflect.DeepEqual(all, Neighbors(sets)) {
+		t.Fatalf("all-dirty scoped ops diverge from Neighbors:\n%v\nvs\n%v", all, Neighbors(sets))
+	}
+	if got := NeighborsScoped(sets, func(int) bool { return false }); len(got) != 0 {
+		t.Fatalf("no-dirty scoped ops = %v, want none", got)
+	}
+}

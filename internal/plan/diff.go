@@ -1,0 +1,72 @@
+package plan
+
+import "sort"
+
+// Diff relates a replanned forest to the plan it replaces, matched
+// tree-by-tree via the FNV-1a tree fingerprints. A tree whose
+// fingerprint appears in both forests was kept byte-for-byte: its
+// members' overlay state survives the swap and nothing needs to be
+// re-announced to them. The three slices hold the trees' attribute-set
+// keys, sorted, so callers can trace or display per-tree outcomes.
+type Diff struct {
+	// Kept lists trees present in both forests (identical fingerprint).
+	Kept []string
+	// Rebuilt lists new-forest trees with no identical counterpart —
+	// reshaped, restructured, or brand new.
+	Rebuilt []string
+	// Dropped lists old-forest attribute sets that no longer have any
+	// tree in the new forest.
+	Dropped []string
+}
+
+// ReusePct is the fraction of the new forest's trees reused
+// byte-for-byte, in percent (0 for an empty new forest).
+func (d Diff) ReusePct() float64 {
+	total := len(d.Kept) + len(d.Rebuilt)
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(len(d.Kept)) / float64(total)
+}
+
+// DiffForests computes the tree-level diff from forest a to forest b.
+// Trees match when their fingerprints are equal (attribute set plus
+// full parent structure); among the rest, an old attribute set still
+// present in b counts as rebuilt there, while one absent from b
+// entirely is dropped. A nil forest diffs as an empty one, so the
+// first install of a session reports every tree as rebuilt.
+func DiffForests(a, b *Forest) Diff {
+	if a == nil {
+		a = NewForest()
+	}
+	if b == nil {
+		b = NewForest()
+	}
+	oldFPs := make(map[uint64]int, len(a.Trees))
+	oldKeys := make(map[string]struct{}, len(a.Trees))
+	for _, t := range a.Trees {
+		oldFPs[t.Fingerprint()]++
+		oldKeys[t.Attrs.Key()] = struct{}{}
+	}
+	var d Diff
+	newKeys := make(map[string]struct{}, len(b.Trees))
+	for _, t := range b.Trees {
+		k := t.Attrs.Key()
+		newKeys[k] = struct{}{}
+		if fp := t.Fingerprint(); oldFPs[fp] > 0 {
+			oldFPs[fp]--
+			d.Kept = append(d.Kept, k)
+		} else {
+			d.Rebuilt = append(d.Rebuilt, k)
+		}
+	}
+	for k := range oldKeys {
+		if _, still := newKeys[k]; !still {
+			d.Dropped = append(d.Dropped, k)
+		}
+	}
+	sort.Strings(d.Kept)
+	sort.Strings(d.Rebuilt)
+	sort.Strings(d.Dropped)
+	return d
+}

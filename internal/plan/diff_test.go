@@ -1,0 +1,82 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+
+	"remo/internal/model"
+)
+
+// diffForest builds a forest from chain trees keyed (attrs, members).
+func diffForest(t *testing.T, trees ...*Tree) *Forest {
+	t.Helper()
+	f := NewForest()
+	for _, tr := range trees {
+		f.Add(tr)
+	}
+	return f
+}
+
+func TestDiffForestsKeptRebuiltDropped(t *testing.T) {
+	a1 := buildChain(t, model.NewAttrSet(1), 1, 2)
+	a2 := buildChain(t, model.NewAttrSet(2), 3)
+	a3 := buildChain(t, model.NewAttrSet(3), 4, 5)
+	old := diffForest(t, a1, a2, a3)
+
+	// New forest: tree {1} identical (kept), tree {2} restructured under
+	// the same key (rebuilt, not dropped), tree {3} gone (dropped), tree
+	// {4} brand new (rebuilt).
+	b1 := buildChain(t, model.NewAttrSet(1), 1, 2)
+	b2 := buildChain(t, model.NewAttrSet(2), 3, 6)
+	b4 := buildChain(t, model.NewAttrSet(4), 7)
+	next := diffForest(t, b1, b2, b4)
+
+	d := DiffForests(old, next)
+	if !reflect.DeepEqual(d.Kept, []string{"1"}) {
+		t.Fatalf("Kept = %v, want [1]", d.Kept)
+	}
+	if !reflect.DeepEqual(d.Rebuilt, []string{"2", "4"}) {
+		t.Fatalf("Rebuilt = %v, want [2 4]", d.Rebuilt)
+	}
+	if !reflect.DeepEqual(d.Dropped, []string{"3"}) {
+		t.Fatalf("Dropped = %v, want [3]", d.Dropped)
+	}
+	if got, want := d.ReusePct(), 100.0/3; got != want {
+		t.Fatalf("ReusePct = %v, want %v", got, want)
+	}
+}
+
+// TestDiffForestsFingerprintMultiset pins the multiset matching: two
+// identically shaped trees in the old forest can each be claimed at
+// most once by the new forest.
+func TestDiffForestsFingerprintMultiset(t *testing.T) {
+	// Same structure, different attr sets → different fingerprints; use
+	// genuinely identical duplicates via Clone on a fresh forest.
+	a := buildChain(t, model.NewAttrSet(1), 1, 2)
+	old := diffForest(t, a, a.Clone())
+	next := diffForest(t, a.Clone(), a.Clone(), a.Clone())
+
+	d := DiffForests(old, next)
+	if len(d.Kept) != 2 || len(d.Rebuilt) != 1 {
+		t.Fatalf("kept %d rebuilt %d, want 2 kept and 1 rebuilt", len(d.Kept), len(d.Rebuilt))
+	}
+}
+
+func TestDiffForestsEmptyAndNil(t *testing.T) {
+	d := DiffForests(NewForest(), NewForest())
+	if len(d.Kept)+len(d.Rebuilt)+len(d.Dropped) != 0 {
+		t.Fatalf("empty diff = %+v", d)
+	}
+	if d.ReusePct() != 0 {
+		t.Fatalf("empty ReusePct = %v, want 0", d.ReusePct())
+	}
+	tr := buildChain(t, model.NewAttrSet(5), 8)
+	d = DiffForests(nil, diffForest(t, tr))
+	if len(d.Rebuilt) != 1 || len(d.Kept) != 0 {
+		t.Fatalf("nil-old diff = %+v", d)
+	}
+	d = DiffForests(diffForest(t, tr), nil)
+	if len(d.Dropped) != 1 {
+		t.Fatalf("nil-new diff = %+v", d)
+	}
+}

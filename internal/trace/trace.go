@@ -42,6 +42,16 @@ const (
 	// Shed: a leaf's outgoing buffer overflowed and dropped its oldest
 	// frame.
 	Shed
+	// Replan: a task mutation replanned the topology (Values carries
+	// the number of rebuilt trees).
+	Replan
+	// TreeKept: a plan swap reused this tree byte-for-byte (no
+	// re-announcement to its members).
+	TreeKept
+	// TreeRebuilt: a plan swap installed a new or restructured tree.
+	TreeRebuilt
+	// TreeDropped: a plan swap retired this tree's attribute set.
+	TreeDropped
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +81,14 @@ func (k Kind) String() string {
 		return "coll-up"
 	case Shed:
 		return "shed"
+	case Replan:
+		return "replan"
+	case TreeKept:
+		return "tree-kept"
+	case TreeRebuilt:
+		return "tree-rebuilt"
+	case TreeDropped:
+		return "tree-dropped"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -1,0 +1,176 @@
+package verify_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"remo/internal/core"
+	"remo/internal/cost"
+	"remo/internal/model"
+	"remo/internal/verify"
+	"remo/internal/workload"
+)
+
+// churnSeeds is how many generated churn sequences the parity property
+// runs; the issue bar is ≥ 50.
+const churnSeeds = 50
+
+// churnSteps is how many task mutations each sequence applies.
+const churnSteps = 6
+
+// richEnv draws a capacity-generous instance: budgets comfortably above
+// what full collection needs, so both the incremental and the
+// from-scratch planner saturate coverage and the parity assertion is an
+// equality, not a tolerance. Tight-capacity regimes are the property
+// tests' territory; here the point is that scoping the search loses
+// nothing.
+func richEnv(t *testing.T, seed int64) (*model.System, []model.Task) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nodes := 10 + rng.Intn(20)
+	attrs := 6 + rng.Intn(6)
+	sys, err := workload.System(workload.SystemConfig{
+		Nodes:           nodes,
+		Attrs:           attrs,
+		CapacityLo:      800,
+		CapacityHi:      1200,
+		CentralCapacity: float64(nodes) * 200,
+		Cost:            cost.Default(),
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	tasks := workload.Tasks(sys, workload.TaskConfig{
+		Count:        6 + rng.Intn(8),
+		AttrsPerTask: 1 + rng.Intn(3),
+		NodesPerTask: 2 + rng.Intn(nodes/2),
+		Seed:         seed + 1,
+	})
+	return sys, tasks
+}
+
+// mutate applies one churn step to the task list: arrivals, removals
+// and attribute rewrites cycle so every sequence exercises all three
+// mutation kinds.
+func mutate(sys *model.System, tasks []model.Task, seed int64, step int) []model.Task {
+	switch step % 3 {
+	case 0: // arrival
+		extra := workload.Tasks(sys, workload.TaskConfig{
+			Count:        1 + step%2,
+			AttrsPerTask: 1 + int(seed+int64(step))%3,
+			NodesPerTask: 2 + int(seed)%4,
+			Seed:         seed*131 + int64(step),
+			Prefix:       fmt.Sprintf("extra%d", step),
+		})
+		return append(append([]model.Task(nil), tasks...), extra...)
+	case 1: // removal
+		if len(tasks) <= 1 {
+			return tasks
+		}
+		drop := int(seed+int64(step)) % len(tasks)
+		out := append([]model.Task(nil), tasks[:drop]...)
+		return append(out, tasks[drop+1:]...)
+	default: // attribute rewrite
+		return workload.Churn(sys, tasks, workload.ChurnConfig{
+			TaskFraction: 0.2,
+			AttrFraction: 0.5,
+			Seed:         seed*977 + int64(step),
+		})
+	}
+}
+
+// TestPropertyIncrementalReplanParity is the incremental-replanning
+// parity property: over generated churn sequences on capacity-rich
+// systems, every incremental update must collect exactly as many pairs
+// as a from-scratch replan of the same mutated demand, and every
+// adopted forest must pass the full invariant checker.
+func TestPropertyIncrementalReplanParity(t *testing.T) {
+	for seed := int64(500); seed < 500+churnSeeds; seed++ {
+		sys, tasks := richEnv(t, seed)
+		d, err := workload.Demand(sys, tasks)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r := core.NewReplanner(core.NewPlanner(), sys, d)
+		fresh := core.NewPlanner()
+
+		for step := 0; step < churnSteps; step++ {
+			tasks = mutate(sys, tasks, seed, step)
+			nd, err := workload.Demand(sys, tasks)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			inc, st := r.Update(nd)
+			scratch := fresh.Plan(sys, nd)
+			if inc.Stats.Collected != scratch.Stats.Collected {
+				t.Fatalf("seed %d step %d: incremental collected %d pairs (incremental=%v fellback=%v dirty=%d/%d), from-scratch replan collects %d",
+					seed, step, inc.Stats.Collected, st.Incremental, st.FellBack,
+					st.DirtySets, st.TotalSets, scratch.Stats.Collected)
+			}
+			if err := verify.Claims(verify.Context{Sys: sys, Demand: nd}, inc.Forest, inc.Stats); err != nil {
+				t.Fatalf("seed %d step %d: incremental plan fails verification: %v", seed, step, err)
+			}
+		}
+	}
+}
+
+// TestIncrementalReplanMatchesOptimum differentially tests incremental
+// updates against exhaustive partition enumeration: on tiny
+// capacity-rich instances, the plan a Replanner maintains through a
+// churn step must collect exactly what the best enumerable partition
+// collects.
+func TestIncrementalReplanMatchesOptimum(t *testing.T) {
+	const instances = 30
+	checked := 0
+	for seed := int64(700); seed < 700+instances; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 3 + rng.Intn(4)
+		sys, err := workload.System(workload.SystemConfig{
+			Nodes:           nodes,
+			Attrs:           3 + rng.Intn(3),
+			CapacityLo:      600,
+			CapacityHi:      900,
+			CentralCapacity: float64(nodes) * 150,
+			Cost:            cost.Default(),
+			Seed:            seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tasks := workload.Tasks(sys, workload.TaskConfig{
+			Count:        2 + rng.Intn(4),
+			AttrsPerTask: 1 + rng.Intn(2),
+			NodesPerTask: 1 + rng.Intn(nodes),
+			Seed:         seed + 1,
+		})
+		d, err := workload.Demand(sys, tasks)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p := core.NewPlanner()
+		r := core.NewReplanner(p, sys, d)
+
+		for step := 0; step < 3; step++ {
+			tasks = mutate(sys, tasks, seed, step)
+			nd, err := workload.Demand(sys, tasks)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			inc, _ := r.Update(nd)
+			best, parts, err := verify.Optimum(p, sys, nd)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			checked++
+			if inc.Stats.Collected != best.Stats.Collected {
+				t.Errorf("seed %d step %d: incremental collected %d pairs, optimum over %d partitions collects %d",
+					seed, step, inc.Stats.Collected, parts, best.Stats.Collected)
+			}
+		}
+	}
+	if checked < instances {
+		t.Fatalf("only %d instances were enumerable", checked)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"remo/internal/detect"
 	"remo/internal/journal"
 	"remo/internal/model"
+	"remo/internal/partition"
 	"remo/internal/plan"
 	"remo/internal/repair"
 	"remo/internal/store"
@@ -67,6 +68,8 @@ type Monitor struct {
 	failures   int
 	recoveries int
 	repairs    []RepairEvent
+	// replans records every SetTasks-driven plan swap's diff.
+	replans []ReplanEvent
 
 	// verifyOn mirrors the planner's WithVerification setting: every
 	// topology hot-swapped in by the self-healing loop is cross-checked
@@ -107,7 +110,10 @@ type FailurePolicy struct {
 
 // MonitorConfig parameterizes a live session.
 type MonitorConfig struct {
-	// Scheme selects the adaptation policy (default AdaptAdaptive).
+	// Scheme selects the adaptation policy. The default is
+	// AdaptIncremental — scoped replanning seeded from the live
+	// partition — unless the planner disabled it via
+	// WithIncrementalReplan(false), which falls back to AdaptAdaptive.
 	Scheme AdaptScheme
 	// Source overrides the ground-truth value generator.
 	Source ValueSource
@@ -154,19 +160,34 @@ var ErrUnreachable = transport.ErrUnreachable
 
 // StartMonitor plans the current task set and boots the live session.
 func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
-	return p.startMonitor(cfg, p.currentDemand())
+	return p.startMonitor(cfg, p.currentDemand(), nil)
 }
 
 // startMonitor boots a session over the given demand (the planner's
 // current demand normally, a journal-recovered one on cold resume).
-func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand) (*Monitor, error) {
+// seedSets, when it forms a valid partition of the demand's universe,
+// seeds the initial topology deterministically from a journaled
+// partition instead of searching, so a cold resume rebuilds the exact
+// pre-crash forest.
+func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets []model.AttrSet) (*Monitor, error) {
 	scheme := cfg.Scheme
 	if scheme == "" {
-		scheme = AdaptAdaptive
+		if p.incReplan {
+			scheme = AdaptIncremental
+		} else {
+			scheme = AdaptAdaptive
+		}
 	}
 	core := p.corePlanner()
 	ad := adapt.New(scheme, core, p.sys)
-	ad.Init(demand)
+	if len(p.replanOpts) > 0 {
+		ad.SetReplanOptions(p.replanOpts...)
+	}
+	if len(seedSets) > 0 && partition.Validate(seedSets, demand.Universe()) == nil {
+		ad.InitPartition(demand, seedSets)
+	} else {
+		ad.Init(demand)
+	}
 
 	var source ValueSource = cfg.Source
 	if source == nil {
@@ -337,6 +358,7 @@ func (m *Monitor) journalState() journal.State {
 		Repairs:     len(m.repairs),
 		Demand:      m.adaptor.Demand(),
 		BaseDemand:  m.baseDemand,
+		Partition:   m.adaptor.Partition(),
 		Store:       m.repo,
 		Dead:        make(map[model.NodeID]int),
 	}
@@ -357,6 +379,15 @@ func (m *Monitor) journalInstall() {
 	}
 	m.setJournalErr(m.journal.AppendEpoch(
 		m.machine.Epoch(), m.adaptor.Forest().Fingerprint(), m.adaptor.Demand()))
+}
+
+// Fingerprint returns the installed forest's structural fingerprint —
+// the identity a resumed session is matched against (ResumeReport.
+// PlanMatched).
+func (m *Monitor) Fingerprint() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.adaptor.Forest().Fingerprint()
 }
 
 // Round returns the next round to execute.
@@ -567,9 +598,28 @@ func (m *Monitor) SetTasks(tasks []Task) (AdaptReport, error) {
 		d, _ = repair.Prune(d, m.dead)
 	}
 	rep := m.adaptor.Apply(d)
-	m.machine.Install(m.adaptor.Forest(), m.adaptor.Demand())
+	diff := m.machine.InstallDiff(m.adaptor.Forest(), m.adaptor.Demand())
+	ev := ReplanEvent{
+		Round:         m.machine.Round(),
+		TreesKept:     len(diff.Kept),
+		TreesRebuilt:  len(diff.Rebuilt),
+		TreesDropped:  len(diff.Dropped),
+		ReusePct:      diff.ReusePct(),
+		Incremental:   rep.Replan.Incremental,
+		FellBack:      rep.Replan.FellBack,
+		PlanTime:      rep.PlanTime,
+		AdaptMessages: rep.AdaptMessages,
+	}
+	m.replans = append(m.replans, ev)
+	if m.trace != nil {
+		m.trace.Record(trace.Event{
+			Round: ev.Round, Kind: trace.Replan,
+			Node: model.Central, Values: ev.TreesRebuilt,
+		})
+	}
 	if m.journal != nil {
-		m.setJournalErr(m.journal.AppendTasks(m.baseDemand))
+		m.setJournalErr(m.journal.AppendTasks(m.baseDemand, m.adaptor.Partition(),
+			m.adaptor.Forest().Fingerprint(), len(diff.Kept), len(diff.Rebuilt), len(diff.Dropped)))
 		m.journalInstall()
 	}
 	return AdaptReport{
@@ -577,6 +627,12 @@ func (m *Monitor) SetTasks(tasks []Task) (AdaptReport, error) {
 		PlanTime:       rep.PlanTime,
 		CollectedPairs: rep.Stats.Collected,
 		Operations:     rep.Operations,
+		TreesKept:      ev.TreesKept,
+		TreesRebuilt:   ev.TreesRebuilt,
+		TreesDropped:   ev.TreesDropped,
+		TreeReusePct:   ev.ReusePct,
+		Incremental:    ev.Incremental,
+		FellBack:       ev.FellBack,
 	}, nil
 }
 
@@ -686,7 +742,7 @@ func (p *Planner) ResumeMonitor(journalDir string, cfg MonitorConfig) (*Monitor,
 	if demand == nil || len(demand.Pairs()) == 0 {
 		demand = p.currentDemand()
 	}
-	mon, err := p.startMonitor(cfg, demand)
+	mon, err := p.startMonitor(cfg, demand, st.Partition)
 	if err != nil {
 		return nil, ResumeReport{}, err
 	}
@@ -774,6 +830,7 @@ func (m *Monitor) Report() DeployReport {
 		FailuresDetected:  m.failures,
 		NodesRecovered:    m.recoveries,
 		Repairs:           append([]RepairEvent(nil), m.repairs...),
+		Replans:           append([]ReplanEvent(nil), m.replans...),
 		StaleEpochFrames:  res.StaleEpochFrames,
 		FramesBuffered:    res.FramesBuffered,
 		FramesShed:        res.FramesShed,

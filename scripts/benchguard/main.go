@@ -1,0 +1,134 @@
+// Command benchguard is scripts/check.sh's planner-speedup regression
+// gate. It reads the output of the one-iteration planner benchmark run
+// (BenchmarkPlannerSequential and BenchmarkPlannerParallel on the
+// Fig. 6a acceptance workload), computes the live sequential/parallel
+// speedup, and fails when it falls below 80% of the headline recorded
+// in the checked-in BENCH_planner.json (the largest-node Fig. 6a row's
+// SPEEDUP column). The recorded headline was measured at a reduced
+// sweep scale, so the floor is conservative: the full-scale smoke's
+// memo savings grow with instance size, and dropping under the floor
+// means the fast path genuinely broke, not that the machine was slow.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// runDoc mirrors cmd/remo-bench's -json document.
+type runDoc struct {
+	Name   string `json:"name"`
+	Tables []struct {
+		Title   string   `json:"Title"`
+		Columns []string `json:"Columns"`
+		Rows    []struct {
+			X     float64   `json:"X"`
+			Cells []float64 `json:"Cells"`
+		} `json:"Rows"`
+	} `json:"tables"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: benchguard <bench-output-file> <BENCH_planner.json>")
+	}
+	seqNS, parNS, err := parseBench(args[0])
+	if err != nil {
+		return err
+	}
+	headline, err := recordedHeadline(args[1])
+	if err != nil {
+		return err
+	}
+	live := seqNS / parNS
+	floor := 0.8 * headline
+	fmt.Printf("    planner speedup: live %.2fx, recorded headline %.2fx (floor %.2fx)\n",
+		live, headline, floor)
+	if live < floor {
+		return fmt.Errorf("live planner speedup %.2fx regressed below 80%% of the recorded %.2fx headline",
+			live, headline)
+	}
+	return nil
+}
+
+// benchLine matches one `go test -bench` result line.
+var benchLine = regexp.MustCompile(`^(BenchmarkPlanner(?:Sequential|Parallel))\S*\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// parseBench extracts the sequential and parallel ns/op from a bench
+// run's captured output.
+func parseBench(path string) (seqNS, parNS float64, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || v <= 0 {
+			return 0, 0, fmt.Errorf("unparseable ns/op in %q", line)
+		}
+		if m[1] == "BenchmarkPlannerSequential" {
+			seqNS = v
+		} else {
+			parNS = v
+		}
+	}
+	if seqNS == 0 || parNS == 0 {
+		return 0, 0, fmt.Errorf("bench output %s lacks BenchmarkPlannerSequential/Parallel results", path)
+	}
+	return seqNS, parNS, nil
+}
+
+// recordedHeadline returns the SPEEDUP cell of the largest-node Fig. 6a
+// row in the checked-in planner benchmark document.
+func recordedHeadline(path string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var docs []runDoc
+	if err := json.Unmarshal(raw, &docs); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, doc := range docs {
+		for _, t := range doc.Tables {
+			if !strings.Contains(t.Title, "Fig 6a") {
+				continue
+			}
+			col := -1
+			for i, c := range t.Columns {
+				if c == "SPEEDUP" {
+					col = i
+				}
+			}
+			if col < 0 || len(t.Rows) == 0 {
+				continue
+			}
+			best := t.Rows[0]
+			for _, r := range t.Rows[1:] {
+				if r.X > best.X {
+					best = r
+				}
+			}
+			if col >= len(best.Cells) {
+				return 0, fmt.Errorf("%s: Fig 6a row missing SPEEDUP cell", path)
+			}
+			return best.Cells[col], nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no Fig 6a table with a SPEEDUP column", path)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+BenchmarkPlannerSequential-1   	       1	155000000000 ns/op
+BenchmarkPlannerParallel-1     	       1	5700000000 ns/op
+PASS
+`
+
+const plannerJSON = `[
+  {
+    "name": "planner",
+    "tables": [
+      {
+        "Title": "Planner wall-clock — Fig 6a sweep",
+        "Columns": ["SEQ_MS", "PAR_MS", "SPEEDUP"],
+        "Rows": [
+          {"X": 100, "Cells": [1000, 500, 2.0]},
+          {"X": 400, "Cells": [9000, 3000, 3.0]}
+        ]
+      }
+    ]
+  }
+]`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunPassesAboveFloor(t *testing.T) {
+	bench := write(t, "bench.out", benchOut)
+	doc := write(t, "BENCH_planner.json", plannerJSON)
+	// live 155/5.7 ≈ 27x vs floor 0.8×3.0 = 2.4x.
+	if err := run([]string{bench, doc}); err != nil {
+		t.Fatalf("run failed above the floor: %v", err)
+	}
+}
+
+func TestRunFailsBelowFloor(t *testing.T) {
+	flat := strings.ReplaceAll(benchOut, "155000000000", "5700000000") // live 1.0x
+	bench := write(t, "bench.out", flat)
+	doc := write(t, "BENCH_planner.json", plannerJSON)
+	err := run([]string{bench, doc})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("run below the floor returned %v, want regression error", err)
+	}
+}
+
+func TestRunArgValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("run with no args succeeded")
+	}
+	if err := run([]string{"a"}); err == nil {
+		t.Fatal("run with one arg succeeded")
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	if _, _, err := parseBench(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("parseBench on a missing file succeeded")
+	}
+	empty := write(t, "empty.out", "PASS\n")
+	if _, _, err := parseBench(empty); err == nil {
+		t.Fatal("parseBench without planner lines succeeded")
+	}
+	// Only one of the two benchmarks present is still incomplete.
+	half := write(t, "half.out", "BenchmarkPlannerSequential-1 1 100 ns/op\n")
+	if _, _, err := parseBench(half); err == nil {
+		t.Fatal("parseBench with only the sequential line succeeded")
+	}
+}
+
+func TestRecordedHeadlinePicksLargestRow(t *testing.T) {
+	doc := write(t, "BENCH_planner.json", plannerJSON)
+	got, err := recordedHeadline(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.0 {
+		t.Fatalf("headline = %v, want the n=400 row's 3.0", got)
+	}
+}
+
+func TestRecordedHeadlineErrors(t *testing.T) {
+	if _, err := recordedHeadline(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("recordedHeadline on a missing file succeeded")
+	}
+	bad := write(t, "bad.json", "{not json")
+	if _, err := recordedHeadline(bad); err == nil {
+		t.Fatal("recordedHeadline on malformed JSON succeeded")
+	}
+	noFig := write(t, "nofig.json", `[{"name":"planner","tables":[{"Title":"other","Columns":["SPEEDUP"],"Rows":[{"X":1,"Cells":[2.0]}]}]}]`)
+	if _, err := recordedHeadline(noFig); err == nil {
+		t.Fatal("recordedHeadline without a Fig 6a table succeeded")
+	}
+}

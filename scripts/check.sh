@@ -24,7 +24,12 @@ echo "==> go test -race"
 go test -race ./...
 
 echo "==> planner benchmarks (1 iteration)"
-go test -run '^$' -bench 'BenchmarkPlanner' -benchtime 1x .
+bench_out=$(mktemp)
+go test -run '^$' -bench 'BenchmarkPlanner' -benchtime 1x . | tee "$bench_out"
+
+echo "==> planner speedup regression guard (vs BENCH_planner.json headline)"
+go run ./scripts/benchguard "$bench_out" BENCH_planner.json
+rm -f "$bench_out"
 
 echo "==> runtime benchmarks (1 iteration, with allocation stats)"
 go test -run '^$' -bench 'BenchmarkRuntime' -benchtime 1x -benchmem .
