@@ -22,6 +22,15 @@
 // crashes the central collector at round N; the session rides out a
 // short outage (leaves buffer their values), resumes from the journal,
 // and finishes the run on the recovered state.
+//
+// With -shards N the collection tier runs as N collector shards behind
+// a leader-elected dispatcher; each shard journals its own state under
+// -journal/shard-<i>. -chaos-shard S crashes shard S a third of the way
+// in: its orphaned trees are re-dispatched onto the survivors within
+// the suspicion window, and the shard later resumes from its own
+// journal:
+//
+//	remo-sim -rounds 40 -shards 4 -journal /tmp/j -chaos-shard 1 -verify
 package main
 
 import (
@@ -64,6 +73,8 @@ func run(args []string, stdout io.Writer) error {
 
 		journalDir = fs.String("journal", "", "journal directory: checkpoint and WAL the session for crash recovery")
 		collCrash  = fs.Int("chaos-collector", 0, "crash the central collector at this round and resume it from -journal (0 = off)")
+		shards     = fs.Int("shards", 1, "run the collection tier as this many collector shards behind a leader-elected dispatcher")
+		shardCrash = fs.Int("chaos-shard", -1, "crash this collector shard a third of the way in and resume it from its journal (-1 = off)")
 
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -71,7 +82,7 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := validateFlags(fs, *rounds, *suspicion, *journalDir, *collCrash); err != nil {
+	if err := validateFlags(fs, *rounds, *suspicion, *journalDir, *collCrash, *shards, *shardCrash); err != nil {
 		return err
 	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -101,19 +112,21 @@ func run(args []string, stdout io.Writer) error {
 		rec = remo.NewTraceRecorder(*traceN)
 	}
 	var rep remo.DeployReport
-	if *chaosFrac > 0 || *chaosDrop > 0 || *chaosDelay > 0 || *journalDir != "" {
+	if *chaosFrac > 0 || *chaosDrop > 0 || *chaosDelay > 0 || *journalDir != "" || *shards > 1 {
 		rep, err = runChaos(planner, chaosOpts{
-			rounds:    *rounds,
-			useTCP:    *useTCP,
-			seed:      uint64(*seed),
-			frac:      *chaosFrac,
-			dropProb:  *chaosDrop,
-			delayProb: *chaosDelay,
-			suspicion: *suspicion,
-			journal:   *journalDir,
-			collCrash: *collCrash,
-			trace:     rec,
-			verify:    *verifyOn,
+			rounds:     *rounds,
+			useTCP:     *useTCP,
+			seed:       uint64(*seed),
+			frac:       *chaosFrac,
+			dropProb:   *chaosDrop,
+			delayProb:  *chaosDelay,
+			suspicion:  *suspicion,
+			journal:    *journalDir,
+			collCrash:  *collCrash,
+			shards:     *shards,
+			shardCrash: *shardCrash,
+			trace:      rec,
+			verify:     *verifyOn,
 		}, stdout)
 	} else {
 		rep, err = plan.Deploy(remo.DeployConfig{
@@ -139,6 +152,14 @@ func run(args []string, stdout io.Writer) error {
 	if rep.CollectorRestarts > 0 || rep.FramesBuffered > 0 || rep.StaleEpochFrames > 0 {
 		fmt.Fprintf(stdout, "durability: %d collector restart(s); %d frames buffered (%d redelivered, %d shed); %d stale-epoch frames fenced\n",
 			rep.CollectorRestarts, rep.FramesBuffered, rep.FramesRedelivered, rep.FramesShed, rep.StaleEpochFrames)
+	}
+	if rep.Shards > 0 {
+		fmt.Fprintf(stdout, "sharding: %d shards (%d down), leader elections: %d, trees orphaned: %d, re-dispatched: %d\n",
+			rep.Shards, rep.ShardsDown, rep.LeaderElections, rep.OrphanedTrees, rep.TreesRedispatched)
+		for _, ev := range rep.Redispatches {
+			fmt.Fprintf(stdout, "  r%03d re-home: tree %s shard %d -> %d\n",
+				ev.Round, clipKey(ev.TreeKey), ev.FromShard, ev.ToShard)
+		}
 	}
 	if rep.FailuresDetected > 0 || rep.NodesRecovered > 0 {
 		fmt.Fprintf(stdout, "self-healing: %d failures detected, %d nodes recovered, %d repair actions\n",
@@ -167,7 +188,7 @@ func run(args []string, stdout io.Writer) error {
 // nothing (explicitly-zero chaos rates), cannot work (a suspicion
 // window shorter than one round), or contradict each other (a collector
 // crash with no journal to resume from).
-func validateFlags(fs *flag.FlagSet, rounds, suspicion int, journalDir string, collCrash int) error {
+func validateFlags(fs *flag.FlagSet, rounds, suspicion int, journalDir string, collCrash, shards, shardCrash int) error {
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
@@ -197,23 +218,42 @@ func validateFlags(fs *flag.FlagSet, rounds, suspicion int, journalDir string, c
 		if journalDir == "" {
 			return fmt.Errorf("-chaos-collector requires -journal: a crashed collector can only resume from its journal")
 		}
+		if shards > 1 {
+			return fmt.Errorf("-chaos-collector targets the single central collector; a sharded tier's root never dies (use -chaos-shard)")
+		}
+	}
+	if set["shards"] && shards < 1 {
+		return fmt.Errorf("-shards must be at least 1 (got %d)", shards)
+	}
+	if set["chaos-shard"] {
+		if shards < 2 {
+			return fmt.Errorf("-chaos-shard requires -shards of at least 2: a single-collector session has no shard to crash")
+		}
+		if shardCrash < 0 || shardCrash >= shards {
+			return fmt.Errorf("-chaos-shard %d must name a shard in [0, %d)", shardCrash, shards)
+		}
+		if journalDir == "" {
+			return fmt.Errorf("-chaos-shard requires -journal: a crashed shard can only resume from its journal")
+		}
 	}
 	return nil
 }
 
 // chaosOpts parameterizes the self-healing demo session.
 type chaosOpts struct {
-	rounds    int
-	useTCP    bool
-	seed      uint64
-	frac      float64
-	dropProb  float64
-	delayProb float64
-	suspicion int
-	journal   string
-	collCrash int
-	trace     *remo.TraceRecorder
-	verify    bool
+	rounds     int
+	useTCP     bool
+	seed       uint64
+	frac       float64
+	dropProb   float64
+	delayProb  float64
+	suspicion  int
+	journal    string
+	collCrash  int
+	shards     int
+	shardCrash int
+	trace      *remo.TraceRecorder
+	verify     bool
 }
 
 // runChaos runs a self-healing live session: a fraction of nodes
@@ -251,6 +291,9 @@ func runChaos(planner *remo.Planner, o chaosOpts, stdout io.Writer) (remo.Deploy
 	if o.collCrash > 0 {
 		cc.CollectorCrashAt = o.collCrash
 	}
+	if o.shardCrash >= 0 {
+		cc.ShardCrashAt = map[int]int{o.shardCrash: crashRound}
+	}
 	mon, err := planner.StartMonitor(remo.MonitorConfig{
 		UseTCP:  o.useTCP,
 		Seed:    o.seed,
@@ -258,13 +301,35 @@ func runChaos(planner *remo.Planner, o chaosOpts, stdout io.Writer) (remo.Deploy
 		Failure: &remo.FailurePolicy{SuspicionRounds: o.suspicion},
 		Trace:   o.trace,
 		Journal: o.journal,
+		Shards:  o.shards,
 	})
 	if err != nil {
 		return remo.DeployReport{}, err
 	}
 	defer func() { _ = mon.Close() }()
 
-	if o.collCrash > 0 {
+	if o.shardCrash >= 0 {
+		// Ride out the shard outage past the suspicion window, so the
+		// death is declared and the orphaned trees re-dispatched onto the
+		// survivors, then resume the shard from its own journal and finish
+		// the run.
+		rideOut := crashRound + o.suspicion + 3
+		if rideOut > o.rounds {
+			rideOut = o.rounds
+		}
+		if err := mon.Run(rideOut); err != nil {
+			return remo.DeployReport{}, err
+		}
+		rr, err := mon.ResumeShard(o.shardCrash)
+		if err != nil {
+			return remo.DeployReport{}, err
+		}
+		fmt.Fprintf(stdout, "shard %d crashed at round %d; resumed from its journal: epoch %d, %d samples through round %d, plan matched: %v\n",
+			o.shardCrash, crashRound, rr.Epoch, rr.RecoveredSamples, rr.RecoveredRound, rr.PlanMatched)
+		if err := mon.Run(o.rounds - rideOut); err != nil {
+			return remo.DeployReport{}, err
+		}
+	} else if o.collCrash > 0 {
 		// Ride out a short outage past the crash (leaves buffer their
 		// values meanwhile), then resume the collector from the journal
 		// and finish the run on the recovered state.
@@ -300,6 +365,16 @@ func transportName(tcp bool) string {
 		return "loopback TCP"
 	}
 	return "in-process transport"
+}
+
+// clipKey shortens a long tree key (a comma-joined attribute set) for
+// one-line event output.
+func clipKey(k string) string {
+	const max = 24
+	if len(k) <= max {
+		return k
+	}
+	return k[:max] + "…"
 }
 
 // buildPlanner assembles the planning problem from a spec file or the

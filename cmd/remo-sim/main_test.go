@@ -194,3 +194,68 @@ func TestJournalFlagAlone(t *testing.T) {
 		t.Errorf("emulation summary missing:\n%s", out.String())
 	}
 }
+
+func TestShardCrashResumeRun(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "20", "-attrs", "5", "-tasks", "8", "-rounds", "30",
+		"-shards", "4", "-journal", t.TempDir(), "-chaos-shard", "0", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"shard 0 crashed at round 10",
+		"resumed from its journal",
+		"sharding: 4 shards (0 down)",
+		"re-home:",
+		"verification:",
+		"emulation: 30 rounds",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestShardsFlagAlone(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "12", "-attrs", "4", "-tasks", "5", "-rounds", "10",
+		"-shards", "3", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "sharding: 3 shards (0 down)") {
+		t.Errorf("sharding summary missing:\n%s", got)
+	}
+	if !strings.Contains(got, "emulation: 10 rounds") {
+		t.Errorf("emulation summary missing:\n%s", got)
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero shards", []string{"-shards", "0"}, "-shards must be at least 1"},
+		{"negative shards", []string{"-shards", "-2"}, "-shards must be at least 1"},
+		{"shard crash without shards", []string{"-journal", t.TempDir(), "-chaos-shard", "0"}, "requires -shards"},
+		{"shard crash out of range", []string{"-shards", "4", "-journal", t.TempDir(), "-chaos-shard", "4"}, "in [0, 4)"},
+		{"negative shard crash", []string{"-shards", "4", "-journal", t.TempDir(), "-chaos-shard", "-1"}, "in [0, 4)"},
+		{"shard crash without journal", []string{"-shards", "4", "-chaos-shard", "1"}, "requires -journal"},
+		{"collector crash on sharded tier", []string{"-shards", "4", "-journal", t.TempDir(), "-chaos-collector", "5"}, "root never dies"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		err := run(tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -151,6 +151,38 @@ type DeployReport struct {
 	// Replans records every SetTasks-driven plan swap's tree-level diff,
 	// in order (live Monitor sessions only).
 	Replans []ReplanEvent
+	// Shards is the collector shard count (0 for single-collector
+	// sessions); the fields below are populated for sharded sessions
+	// only.
+	Shards int
+	// ShardsDown counts shards currently declared dead.
+	ShardsDown int
+	// OrphanedTrees counts trees that lost their owning shard to a
+	// death, cumulatively; TreesRedispatched counts how many of those
+	// re-homings landed on a surviving shard.
+	OrphanedTrees     int
+	TreesRedispatched int
+	// LeaderElections counts dispatcher leadership changes.
+	LeaderElections int
+	// ShardWatermarks is the last round each shard was live (-1 = never)
+	// — a lagging shard degrades these instead of blocking the round.
+	ShardWatermarks []int
+	// Redispatches records every tree re-homing the dispatcher decided
+	// (orphan re-dispatches after a shard death plus rebalances onto
+	// recovered shards), in apply order.
+	Redispatches []RedispatchEvent
+}
+
+// RedispatchEvent records one tree re-homing decided by the shard
+// dispatcher.
+type RedispatchEvent struct {
+	// Round is the collection round the move was decided in.
+	Round int
+	// TreeKey identifies the moved collection tree.
+	TreeKey string
+	// FromShard is the shard the tree left (dead for an orphan
+	// re-dispatch, a donor for a rebalance); ToShard is its new owner.
+	FromShard, ToShard int
 }
 
 // ReplanEvent records one task-mutation replan of a live Monitor: how

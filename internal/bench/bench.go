@@ -85,6 +85,7 @@ func Registry() []Experiment {
 		{Name: "planner", Description: "planner wall-clock: sequential vs parallel search (Fig 5a/6a sweeps)", Run: PlannerPerf},
 		{Name: "churn", Description: "plan-update latency under task churn: incremental vs full replan", Run: Churn},
 		{Name: "runtime", Description: "emulation runtime data path: worker-pool engine and batched TCP writes vs legacy", Run: RuntimePerf},
+		{Name: "shard", Description: "sharded collector tier: dispatcher overhead vs single collector, orphan re-dispatch latency", Run: Shard},
 	}
 }
 

@@ -20,7 +20,7 @@ func colMean(t *testing.T, tbl *metrics.Table, name string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner", "churn", "runtime"}
+	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner", "churn", "runtime", "shard"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -250,6 +250,53 @@ func TestPlannerPerfShape(t *testing.T) {
 		reuse, _ := tbl.Column("TREE_REUSE_PCT")
 		if metrics.Mean(reuse) <= 0 {
 			t.Errorf("%s: tree memo never hit", tbl.Title)
+		}
+	}
+}
+
+func TestShardShape(t *testing.T) {
+	tables := Shard(Options{Scale: 0.2, Seed: 5, Rounds: 18})
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	overhead, crash := tables[0], tables[1]
+	for _, c := range shardColumns {
+		if _, ok := overhead.Column(c); !ok {
+			t.Fatalf("overhead table lacks column %q", c)
+		}
+	}
+	single, _ := overhead.Column("SINGLE_MS")
+	sharded, _ := overhead.Column("SHARD_MS")
+	if len(single) != 3 {
+		t.Fatalf("rows = %d, want shards=2,4,8", len(single))
+	}
+	for i := range single {
+		if single[i] <= 0 || sharded[i] <= 0 {
+			t.Fatalf("row %d: non-positive wall-clock single=%v sharded=%v", i, single[i], sharded[i])
+		}
+	}
+	// Coverage parity is asserted inside shardOverheadPoint (it panics on
+	// divergence); here just pin the recorded columns to each other.
+	covS, _ := overhead.Column("COV_SINGLE")
+	covH, _ := overhead.Column("COV_SHARD")
+	for i := range covS {
+		if covS[i] != covH[i] {
+			t.Errorf("row %d: coverage drifted, single %.3f vs sharded %.3f", i, covS[i], covH[i])
+		}
+	}
+
+	orphaned, _ := crash.Column("ORPHANED")
+	redispatched, _ := crash.Column("REDISPATCHED")
+	latency, _ := crash.Column("LATENCY_ROUNDS")
+	for i := range orphaned {
+		if orphaned[i] <= 0 {
+			t.Errorf("row %d: crash orphaned no trees", i)
+		}
+		if redispatched[i] != orphaned[i] {
+			t.Errorf("row %d: %v orphaned but %v re-dispatched", i, orphaned[i], redispatched[i])
+		}
+		if latency[i] <= 0 || latency[i] > 10 {
+			t.Errorf("row %d: re-dispatch latency %v rounds out of (0, 10]", i, latency[i])
 		}
 	}
 }

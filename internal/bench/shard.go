@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"remo/internal/chaos"
+	"remo/internal/cluster"
+	"remo/internal/metrics"
+)
+
+// shardColumns are the series of the dispatcher-overhead table: median
+// wall-clock per run for the single-collector baseline and the sharded
+// tier on the identical plan, the sharded tier's relative per-round
+// overhead, and the two coverage figures (which must agree — sharding
+// partitions collection, it does not change what gets collected).
+var shardColumns = []string{
+	"SINGLE_MS", "SHARD_MS", "OVERHEAD_PCT", "COV_SINGLE", "COV_SHARD",
+}
+
+// shardCrashColumns are the series of the orphan re-dispatch table:
+// trees orphaned by the crash, trees the dispatcher re-homed, and the
+// worst-case latency in rounds from the crash to the last re-dispatch
+// decision (suspicion window included).
+var shardCrashColumns = []string{"ORPHANED", "REDISPATCHED", "LATENCY_ROUNDS"}
+
+// shardRuns is how many timed repetitions each overhead point medians
+// over; the emulation is deterministic, so the spread is scheduler
+// noise only.
+const shardRuns = 3
+
+// Shard measures the sharded collection tier against the
+// single-collector baseline on the Fig. 6a-shaped deployment: the
+// dispatcher-overhead sweep varies the shard count on a healthy tier,
+// and the re-dispatch table crashes one shard mid-run and reports how
+// fast its orphaned trees were re-homed. The headline OVERHEAD_PCT at
+// x=4 gates in scripts/check.sh via benchguard -shard
+// (BENCH_shard.json records a run).
+func Shard(o Options) []*metrics.Table {
+	a := metrics.NewTable(
+		"Sharded tier — dispatcher overhead vs single collector (Fig 6a shape)",
+		"shards", shardColumns...)
+	for _, n := range []int{2, 4, 8} {
+		mustAdd(a, float64(n), shardOverheadPoint(o, n)...)
+	}
+
+	b := metrics.NewTable(
+		"Sharded tier — orphan re-dispatch latency after one shard crash",
+		"shards", shardCrashColumns...)
+	for _, n := range []int{2, 4, 8} {
+		mustAdd(b, float64(n), shardCrashPoint(o, n)...)
+	}
+	return []*metrics.Table{a, b}
+}
+
+// timedSteps constructs the machine outside the timed region and
+// clocks the round loop only: the gate is on per-round dispatcher
+// overhead, and tier setup is a one-time charge a long-lived session
+// amortizes away.
+func timedSteps(cfg cluster.Config) (ms float64, res cluster.Result) {
+	m, err := cluster.NewMachine(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: shard machine: %v", err))
+	}
+	t0 := time.Now()
+	if err := m.StepN(cfg.Rounds); err != nil {
+		panic(fmt.Sprintf("bench: shard run: %v", err))
+	}
+	ms = float64(time.Since(t0).Microseconds()) / 1000
+	return ms, m.Result()
+}
+
+// shardOverheadPoint times the same planned deployment with a single
+// collector and with n shards, cross-checking that coverage is
+// identical: the dispatcher and the per-shard partial merge are pure
+// overhead, so any coverage drift is a correctness bug, not a
+// measurement.
+func shardOverheadPoint(o Options, n int) []float64 {
+	cfg, err := runtimeEnv(o, o.scaleInt(100, 20), o.Seed+110)
+	if err != nil {
+		panic(err)
+	}
+
+	var singleMS, shardMS []float64
+	var singleRes, shardRes cluster.Result
+	for i := 0; i < shardRuns; i++ {
+		ms, res := timedSteps(cfg)
+		singleMS = append(singleMS, ms)
+		singleRes = res
+
+		sharded := cfg
+		sharded.Shards = n
+		ms, res = timedSteps(sharded)
+		shardMS = append(shardMS, ms)
+		shardRes = res
+	}
+
+	if singleRes.CoveredPairs != shardRes.CoveredPairs ||
+		singleRes.ValuesDelivered != shardRes.ValuesDelivered {
+		panic(fmt.Sprintf("bench: %d-shard tier diverged from single collector:\nsingle %+v\nsharded %+v",
+			n, singleRes, shardRes))
+	}
+
+	sm, hm := median(singleMS), median(shardMS)
+	overhead := 0.0
+	if sm > 0 {
+		overhead = 100 * (hm - sm) / sm
+	}
+	return []float64{sm, hm, overhead,
+		singleRes.PercentCollected, shardRes.PercentCollected}
+}
+
+// shardCrashPoint crashes shard 0 (always populated: the LPT balance
+// books the heaviest tree there) a third of the way through an n-shard
+// run and reports the orphan ledger plus the rounds from the crash to
+// the last re-dispatch decision.
+func shardCrashPoint(o Options, n int) []float64 {
+	cfg, err := runtimeEnv(o, o.scaleInt(100, 20), o.Seed+120)
+	if err != nil {
+		panic(err)
+	}
+	crashAt := cfg.Rounds / 3
+	cfg.Shards = n
+	cfg.Chaos = &chaos.Config{ShardCrashAt: map[int]int{0: crashAt}, Seed: 7}
+
+	m, err := cluster.NewMachine(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: shard crash machine: %v", err))
+	}
+	if err := m.StepN(cfg.Rounds); err != nil {
+		panic(fmt.Sprintf("bench: shard crash run: %v", err))
+	}
+
+	res := m.Result()
+	latency := 0.0
+	for _, mv := range m.ShardMoves() {
+		if d := float64(mv.Round - crashAt); d > latency {
+			latency = d
+		}
+	}
+	if res.OrphanedTrees == 0 {
+		panic(fmt.Sprintf("bench: crashing shard 0 of %d orphaned no trees", n))
+	}
+	return []float64{float64(res.OrphanedTrees), float64(res.TreesRedispatched), latency}
+}

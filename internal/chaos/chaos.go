@@ -48,6 +48,18 @@ type Config struct {
 	// message loss — deterministic in Seed. The first round whose hash
 	// fires is the crash round.
 	CollectorCrashProb float64
+	// ShardCrashAt kills collector shard s at the start of round
+	// ShardCrashAt[s] (sharded sessions only). Like CollectorCrashAt the
+	// crash latches: the shard stays down until the session explicitly
+	// resumes it from its journal, so shard-crash schedules require a
+	// durable session. Ignored when the session runs a single collector.
+	ShardCrashAt map[int]int
+	// ShardWindows schedules repeated shard crash/recover cycles: shard
+	// s is down during every listed [From, To) window and cold-resumes
+	// (views wiped, journal not consulted) when a window closes — the
+	// flapping schedule that exercises re-dispatch and rebalance without
+	// requiring per-shard journals.
+	ShardWindows map[int][]Window
 	// DropEvery drops every k-th message per sender (0 disables) — the
 	// legacy deterministic loss model, kept for reproducibility of older
 	// experiments.
@@ -75,7 +87,8 @@ func (c *Config) Enabled() bool {
 	}
 	return len(c.CrashAt) > 0 || len(c.CrashWindows) > 0 || c.DropEvery > 0 ||
 		c.DropProb > 0 || len(c.LinkDropProb) > 0 || c.DelayProb > 0 ||
-		c.CollectorCrashAt > 0 || c.CollectorCrashProb > 0
+		c.CollectorCrashAt > 0 || c.CollectorCrashProb > 0 ||
+		len(c.ShardCrashAt) > 0 || len(c.ShardWindows) > 0
 }
 
 // CollectorCrash reports whether the collector crashes at the start of
@@ -94,6 +107,32 @@ func (c *Config) CollectorCrash(round int) bool {
 		return false
 	}
 	return unit(c.Seed, 0xC011, uint64(round)) < c.CollectorCrashProb
+}
+
+// ShardCrash reports whether collector shard s crashes at the start of
+// the given round per the latched ShardCrashAt schedule. The emulation
+// machine latches the firing; only an explicit per-shard resume brings
+// the shard back.
+func (c *Config) ShardCrash(s, round int) bool {
+	if c == nil {
+		return false
+	}
+	at, ok := c.ShardCrashAt[s]
+	return ok && at > 0 && round == at
+}
+
+// ShardWindowDown reports whether shard s is inside one of its flap
+// windows during the given round.
+func (c *Config) ShardWindowDown(s, round int) bool {
+	if c == nil {
+		return false
+	}
+	for _, w := range c.ShardWindows[s] {
+		if round >= w.From && round < w.To {
+			return true
+		}
+	}
+	return false
 }
 
 // Crashed reports whether node n is down during the given round per the

@@ -87,3 +87,45 @@ func TestCrashWindowsComposeWithCrashAt(t *testing.T) {
 		}
 	}
 }
+
+func TestShardCrashAtFiresOnEdge(t *testing.T) {
+	cfg := &Config{ShardCrashAt: map[int]int{1: 5, 3: 9}}
+	if !cfg.Enabled() {
+		t.Fatal("shard schedule should enable chaos")
+	}
+	for r := 0; r < 12; r++ {
+		want1 := r == 5
+		want3 := r == 9
+		if got := cfg.ShardCrash(1, r); got != want1 {
+			t.Fatalf("ShardCrash(1, %d) = %v, want %v", r, got, want1)
+		}
+		if got := cfg.ShardCrash(3, r); got != want3 {
+			t.Fatalf("ShardCrash(3, %d) = %v, want %v", r, got, want3)
+		}
+		if cfg.ShardCrash(0, r) || cfg.ShardCrash(2, r) {
+			t.Fatalf("unscheduled shard crashed at round %d", r)
+		}
+	}
+	var nilCfg *Config
+	if nilCfg.ShardCrash(1, 5) || nilCfg.ShardWindowDown(1, 5) {
+		t.Fatal("nil config must inject nothing")
+	}
+}
+
+func TestShardWindowsFlapSchedule(t *testing.T) {
+	cfg := &Config{ShardWindows: map[int][]Window{
+		2: {{From: 4, To: 6}, {From: 10, To: 11}},
+	}}
+	if !cfg.Enabled() {
+		t.Fatal("shard windows should enable chaos")
+	}
+	down := map[int]bool{4: true, 5: true, 10: true}
+	for r := 0; r < 14; r++ {
+		if got := cfg.ShardWindowDown(2, r); got != down[r] {
+			t.Fatalf("ShardWindowDown(2, %d) = %v, want %v", r, got, down[r])
+		}
+		if cfg.ShardWindowDown(0, r) {
+			t.Fatalf("unscheduled shard down at round %d", r)
+		}
+	}
+}

@@ -93,6 +93,22 @@ type Config struct {
 	// the oldest frame on overflow, and redeliver oldest-first once the
 	// destination is reachable again.
 	LeafBuffer int
+	// Shards splits the collection tier across this many collector
+	// shards (<= 1 keeps the single central collector). Each tree is
+	// owned by exactly one shard, placed by the internal/shard
+	// dispatcher; a root aggregation tier merges the per-shard partials
+	// into the single Result. Sharded sessions ignore the
+	// CollectorCrashAt/CollectorCrashProb chaos schedules — shard-level
+	// outages use ShardCrashAt/ShardWindows instead.
+	Shards int
+	// ShardLease is the dispatcher's leadership lease length in rounds
+	// (0 uses the shard package default).
+	ShardLease int
+	// SeedAssignment, when it names a valid shard for every tree in the
+	// forest, is adopted verbatim as the initial tree→shard map — the
+	// journal-recovery path that must rebuild the identical pre-crash
+	// assignment. Otherwise the dispatcher places from scratch.
+	SeedAssignment map[string]int
 
 	// delaySink receives chaos-delayed messages with their due round; set
 	// by the machine so sendPhase can hand messages back for later
@@ -101,9 +117,40 @@ type Config struct {
 	// epoch is the running plan epoch, stamped on every frame; bumped by
 	// the machine on every Install and on collector resume.
 	epoch uint32
+	// keyEpochs, set only in sharded sessions, carries the per-tree plan
+	// epoch: a shard resume or an orphan re-dispatch advances only the
+	// affected trees' epochs, so fencing is scoped to the trees that
+	// actually moved. Nil falls back to the session-wide epoch.
+	keyEpochs map[string]uint32
 	// collectorDown is latched by the machine while the central collector
 	// is crashed, steering root nodes into their outgoing buffers.
 	collectorDown bool
+	// downKeys, set only in sharded sessions, marks the trees whose
+	// owning shard is currently down (or which await re-dispatch), so
+	// their root nodes buffer instead of feeding a dead shard. Nil falls
+	// back to collectorDown.
+	downKeys map[string]bool
+}
+
+// epochFor returns the plan epoch frames of the given tree must carry:
+// the tree's own epoch in sharded sessions, the session-wide epoch
+// otherwise.
+func (c *Config) epochFor(key string) uint32 {
+	if c.keyEpochs != nil {
+		if e, ok := c.keyEpochs[key]; ok {
+			return e
+		}
+	}
+	return c.epoch
+}
+
+// keyDown reports whether frames for the given tree currently have no
+// live collector behind them.
+func (c *Config) keyDown(key string) bool {
+	if c.downKeys != nil {
+		return c.downKeys[key]
+	}
+	return c.collectorDown
 }
 
 // Result aggregates what the collector observed.
@@ -149,6 +196,26 @@ type Result struct {
 	// FramesBuffered = FramesRedelivered + FramesShed + frames still
 	// buffered when the session ended.
 	FramesRedelivered int
+	// Shards is the number of collector shards the session ran (0 or 1
+	// for the classic single-collector tier). The fields below are zero
+	// for single-collector sessions.
+	Shards int
+	// ShardsDown counts shards down when the session ended.
+	ShardsDown int
+	// OrphanedTrees counts trees that lost their owning shard to a shard
+	// death, cumulatively across the session.
+	OrphanedTrees int
+	// TreesRedispatched counts orphaned trees re-homed onto surviving
+	// shards. It trails OrphanedTrees only while orphans await a live
+	// leaseholder.
+	TreesRedispatched int
+	// LeaderElections counts dispatcher leader changes.
+	LeaderElections int
+	// ShardWatermarks records, per shard, the last round the shard was
+	// live and processed its trees (-1 = never). A lagging watermark is
+	// how a dead shard degrades coverage accounting instead of blocking
+	// the round.
+	ShardWatermarks []int
 }
 
 // Errors returned by Run.
@@ -311,7 +378,7 @@ func (st *nodeState) receivePhase(cfg Config, tr transport.Transport, round int)
 		return
 	}
 	for _, msg := range tr.Drain(st.id) {
-		if cfg.FenceEpochs && msg.Epoch < cfg.epoch {
+		if cfg.FenceEpochs && msg.Epoch < cfg.epochFor(msg.TreeKey) {
 			// Frame composed under an older plan epoch: reject it so values
 			// routed for a pre-swap (or pre-crash) topology cannot leak into
 			// the current one.
@@ -349,9 +416,10 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 		if buf, ok := st.relay[m.key]; ok {
 			st.relay[m.key] = buf[:0]
 		}
-		if cfg.LeafBuffer > 0 && cfg.collectorDown && m.parent == model.Central {
-			// The collector is down: park the frame instead of feeding the
-			// void. Empty frames carry nothing worth preserving.
+		if cfg.LeafBuffer > 0 && cfg.keyDown(m.key) && m.parent == model.Central {
+			// This tree's collector (the central one, or its owning shard)
+			// is down: park the frame instead of feeding the void. Empty
+			// frames carry nothing worth preserving.
 			if len(values) > 0 {
 				st.bufferFrame(cfg, m.parent, m.key, round, values)
 			}
@@ -374,7 +442,7 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 			TreeKey: m.key,
 			From:    st.id,
 			To:      m.parent,
-			Epoch:   cfg.epoch,
+			Epoch:   cfg.epochFor(m.key),
 			Values:  values,
 		}
 		if d := cfg.Chaos.Delay(st.id, m.parent, round, st.sent); d > 0 && cfg.delaySink != nil {
@@ -449,7 +517,7 @@ func (st *nodeState) drainOutbox(cfg Config, tr transport.Transport) {
 	n := 0
 	for i := range st.outbox {
 		f := &st.outbox[i]
-		if cfg.collectorDown && f.to == model.Central {
+		if f.to == model.Central && cfg.keyDown(f.key) {
 			break
 		}
 		c := cfg.Sys.Cost.Message(len(f.values))
@@ -460,7 +528,7 @@ func (st *nodeState) drainOutbox(cfg Config, tr transport.Transport) {
 			TreeKey: f.key,
 			From:    st.id,
 			To:      f.to,
-			Epoch:   cfg.epoch,
+			Epoch:   cfg.epochFor(f.key),
 			Values:  f.values,
 		})
 		if err != nil {

@@ -192,7 +192,7 @@ func (c *collector) lookupView(p model.Pair) (transport.Value, bool) {
 func (c *collector) absorb(msgs []transport.Message, round int) {
 	budget := c.cfg.Sys.CentralCapacity
 	for _, msg := range msgs {
-		if c.cfg.FenceEpochs && msg.Epoch < c.cfg.epoch {
+		if c.cfg.FenceEpochs && msg.Epoch < c.cfg.epochFor(msg.TreeKey) {
 			c.staleFrames++
 			continue
 		}
@@ -274,8 +274,10 @@ func (c *collector) markExtra(p model.Pair, round int) {
 }
 
 // score accumulates the per-round error and staleness metrics after
-// round's messages were absorbed.
-func (c *collector) score(round int) {
+// round's messages were absorbed. It returns this round's error-sum and
+// pair-count deltas so a sharded session can merge per-shard rounds into
+// one session-wide error series.
+func (c *collector) score(round int) (dErr float64, dCnt int) {
 	roundErrBase, roundCountBase := c.errSum, c.errCount
 	for i, p := range c.holisticPairs {
 		if round%c.periods[i] == 0 {
@@ -305,11 +307,13 @@ func (c *collector) score(round int) {
 		c.staleSum += float64(round - v.Round)
 		c.staleCount++
 	}
-	if dc := c.errCount - roundCountBase; dc > 0 {
-		c.errSeries = append(c.errSeries, 100*(c.errSum-roundErrBase)/float64(dc))
+	dErr, dCnt = c.errSum-roundErrBase, c.errCount-roundCountBase
+	if dCnt > 0 {
+		c.errSeries = append(c.errSeries, 100*dErr/float64(dCnt))
 	} else {
 		c.errSeries = append(c.errSeries, 0)
 	}
+	return dErr, dCnt
 }
 
 // aggTruth computes the ground-truth aggregate of attribute a over its
@@ -340,6 +344,38 @@ func relErr(observed, truth float64) float64 {
 	return e
 }
 
+// deliveredEffective is the delivered-observation count used for the
+// collection-rate metric. Aggregated attributes count one delivery per
+// refreshed round; folding them into the delivered counter via their
+// views' ages is overkill — coverage and error already capture them, so
+// an aggregate view refreshed to round r approximates r+1 observations.
+func (c *collector) deliveredEffective() int {
+	d := c.delivered
+	for _, a := range c.aggAttrs {
+		if v, ok := c.aggView[a]; ok {
+			d += v.Round + 1
+		}
+	}
+	return d
+}
+
+// covered counts demanded pairs (and aggregated attributes) with at
+// least one delivered view.
+func (c *collector) covered() int {
+	n := 0
+	for _, set := range c.viewSet {
+		if set {
+			n++
+		}
+	}
+	for _, a := range c.aggAttrs {
+		if _, ok := c.aggView[a]; ok {
+			n++
+		}
+	}
+	return n
+}
+
 // result finalizes the measurements.
 func (c *collector) result() Result {
 	res := Result{
@@ -348,28 +384,8 @@ func (c *collector) result() Result {
 		ValuesDelivered: c.valuesDelivered,
 		MessagesDropped: c.centralDrops,
 	}
-	for _, set := range c.viewSet {
-		if set {
-			res.CoveredPairs++
-		}
-	}
-	for _, a := range c.aggAttrs {
-		if _, ok := c.aggView[a]; ok {
-			res.CoveredPairs++
-		}
-	}
-	// Aggregated attributes count one delivery per refreshed round; fold
-	// them into the delivered counter via their views' ages is overkill —
-	// coverage and error already capture them, so the delivery rate is
-	// computed over holistic expectations plus aggregate rounds.
-	delivered := c.delivered
-	for _, a := range c.aggAttrs {
-		if v, ok := c.aggView[a]; ok {
-			// Approximate: an aggregate view refreshed to round r has
-			// delivered r+1 observations.
-			delivered += v.Round + 1
-		}
-	}
+	res.CoveredPairs = c.covered()
+	delivered := c.deliveredEffective()
 	if c.expected > 0 {
 		res.PercentCollected = 100 * float64(delivered) / float64(c.expected)
 		if res.PercentCollected > 100 {

@@ -37,7 +37,12 @@ type Machine struct {
 	tr     transport.Transport
 	ownTr  bool
 	states []*nodeState
-	coll   *collector
+	// coll is the single central collector; nil when the session runs a
+	// sharded collection tier instead.
+	coll *collector
+	// tier is the sharded collection tier (cfg.Shards > 1); nil for the
+	// classic single-collector deployment.
+	tier *shardTier
 	// eng is the persistent worker pool driving the round phases; nil
 	// selects the legacy goroutine-per-node engine (cfg.Workers < 0).
 	eng    *engine
@@ -109,7 +114,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.ownTr = true
 	}
 	m.states = buildStates(m.cfg)
-	m.coll = newCollector(m.cfg)
+	if cfg.Shards > 1 {
+		m.initShardTier()
+	} else {
+		m.coll = newCollector(m.cfg)
+	}
 	if cfg.Detect != nil {
 		m.det = detect.New(*cfg.Detect)
 		m.beatNodes = cfg.Sys.NodeIDs()
@@ -177,7 +186,12 @@ func (m *Machine) Step() error {
 	round := m.round
 	m.round++
 
-	if !m.collectorDown && m.cfg.Chaos.CollectorCrash(round) {
+	if m.tier != nil {
+		// Sharded tier: shard-level crash/flap schedules replace the
+		// whole-collector ones (CollectorCrashAt/Prob are ignored — the
+		// root aggregation tier itself never dies in this model).
+		m.stepShardChaos(round)
+	} else if !m.collectorDown && m.cfg.Chaos.CollectorCrash(round) {
 		// Latch the outage: the collector stays down until the session
 		// restarts it via ResumeCollector (Monitor.Resume).
 		m.collectorDown = true
@@ -216,6 +230,21 @@ func (m *Machine) Step() error {
 		return fmt.Errorf("cluster: round %d: %w", round, err)
 	}
 	msgs := m.tr.Drain(model.Central)
+	if m.tier != nil {
+		// Root aggregation tier: node-level failure detection is hosted
+		// here (it never dies with a shard), frames route to their owning
+		// shard's collector, and the dispatcher closes the round.
+		if m.det != nil {
+			msgs = m.feedDetector(msgs, round)
+		}
+		m.shardAbsorb(msgs, round)
+		m.shardScore(round)
+		if m.det != nil {
+			m.advanceDetector(round)
+		}
+		m.shardDispatch(round)
+		return nil
+	}
 	if m.collectorDown {
 		// The dead collector hears nothing: whatever reached its mailbox
 		// (delayed injections, unbuffered root sends) is lost, and the
@@ -383,7 +412,27 @@ func (m *Machine) InstallDiff(forest *plan.Forest, d *task.Demand) plan.Diff {
 	// still in flight for the previous topology are rejected on arrival.
 	m.cfg.epoch++
 	m.rebuildStates()
-	m.coll.retarget(m.cfg)
+	if m.tier != nil {
+		// Re-place the new forest: persisting trees stick to their live
+		// owners, fresh trees spread onto the least-loaded shards, retired
+		// trees leave the map. Install semantics match the single path:
+		// every tree opens the new epoch, so the whole in-flight tail of
+		// the swap is fenced.
+		m.tier.disp.Retarget(shardLoads(m.cfg), m.round)
+		m.tier.owner = m.tier.ownerMap()
+		for k := range m.cfg.keyEpochs {
+			if _, ok := m.tier.owner[k]; !ok {
+				delete(m.cfg.keyEpochs, k)
+			}
+		}
+		for k := range m.tier.owner {
+			m.cfg.keyEpochs[k] = m.cfg.epoch
+		}
+		m.recomputeDownKeys()
+		m.rebuildShardDemands()
+	} else {
+		m.coll.retarget(m.cfg)
+	}
 	if m.det != nil {
 		m.det.Watch(m.watchSet(), m.round)
 	}
@@ -444,11 +493,17 @@ func (m *Machine) rebuildStates() {
 
 // Result summarizes everything observed so far.
 func (m *Machine) Result() Result {
-	res := m.coll.result()
+	var res Result
+	if m.tier != nil {
+		res = m.tier.merged()
+	} else {
+		res = m.coll.result()
+		res.StaleEpochFrames = m.coll.staleFrames
+	}
 	res.Rounds = m.round
 	res.MessagesSent += m.extraSent
 	res.MessagesDropped += m.extraDrops
-	res.StaleEpochFrames = m.coll.staleFrames + m.extraStale
+	res.StaleEpochFrames += m.extraStale
 	res.FramesBuffered = m.extraBuffered
 	res.FramesShed = m.extraShed
 	res.FramesRedelivered = m.extraRedel
@@ -507,6 +562,11 @@ type ResumeState struct {
 // outgoing buffers, traffic counters — is untouched: the leaves never
 // died.
 func (m *Machine) ResumeCollector(rs ResumeState) {
+	if m.tier != nil {
+		// Sharded sessions resume shard by shard (ResumeShard); the root
+		// aggregation tier never dies.
+		return
+	}
 	if rs.Epoch > m.cfg.epoch {
 		m.cfg.epoch = rs.Epoch
 	}

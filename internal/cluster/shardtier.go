@@ -1,0 +1,529 @@
+package cluster
+
+import (
+	"fmt"
+
+	"remo/internal/agg"
+	"remo/internal/model"
+	"remo/internal/shard"
+	"remo/internal/task"
+	"remo/internal/trace"
+	"remo/internal/transport"
+)
+
+// shardTier is the sharded collection tier: cfg.Shards collector shards
+// each own a disjoint subset of the forest's trees (placed and re-homed
+// by the shard dispatcher), plus one residual collector — root-owned,
+// never crashed — for demanded pairs whose attribute no tree collects.
+// The tier merges the per-shard partial results into the single Result
+// the store and triggers consume, with a per-shard staleness watermark
+// so a dead shard degrades coverage accounting instead of blocking the
+// round.
+type shardTier struct {
+	n    int
+	disp *shard.Dispatcher
+
+	// colls[s] is shard s's collector; cfgs[s] its scoped config (the
+	// machine config with Demand narrowed to the shard's trees).
+	colls []*collector
+	cfgs  []Config
+	resid *collector
+
+	// owner maps every forest tree to the shard accountable for it:
+	// the dispatcher's assignment, plus orphans still booked to the dead
+	// shard they came from until a leaseholder re-homes them.
+	owner map[string]int
+	// pairOwner routes alias-folded demanded pairs to their collector
+	// (-1 = residual); it is how the machine and monitor decide which
+	// shard a delivered value (and its journal entry) belongs to.
+	pairOwner map[model.Pair]int
+
+	down      []bool
+	latched   []bool
+	watermark []int
+
+	// errSeries is the merged per-round error series across all shards
+	// and the residual collector.
+	errSeries []float64
+	// batches reuses per-shard routing buffers across rounds.
+	batches [][]transport.Message
+	// redispatched counts orphan re-homings (rebalance moves excluded).
+	redispatched int
+}
+
+// initShardTier builds the sharded collection tier during NewMachine.
+// Must run after cfg defaults are resolved and before any collector is
+// created: the scoped configs share the machine's per-key epoch and
+// down-key maps by reference.
+func (m *Machine) initShardTier() {
+	n := m.cfg.Shards
+	suspicion := 0
+	if m.cfg.Detect != nil {
+		suspicion = m.cfg.Detect.SuspicionRounds
+	}
+	t := &shardTier{
+		n:         n,
+		disp:      shard.New(shard.Config{Shards: n, Suspicion: suspicion, LeaseRounds: m.cfg.ShardLease}),
+		down:      make([]bool, n),
+		latched:   make([]bool, n),
+		watermark: make([]int, n),
+		batches:   make([][]transport.Message, n),
+	}
+	for s := range t.watermark {
+		t.watermark[s] = -1
+	}
+	m.cfg.keyEpochs = make(map[string]uint32)
+	m.cfg.downKeys = make(map[string]bool)
+	m.tier = t
+
+	t.disp.Init(shardLoads(m.cfg), m.cfg.SeedAssignment)
+	t.owner = t.ownerMap()
+	for k := range t.owner {
+		m.cfg.keyEpochs[k] = m.cfg.epoch
+		m.cfg.downKeys[k] = false
+	}
+	m.rebuildShardDemands()
+}
+
+// shardLoads computes each tree's placement weight from the cost
+// ledger's model: the per-round cost of the tree's root message,
+// carrying one value per demanded pair in the tree's attribute set.
+func shardLoads(cfg Config) []shard.Load {
+	out := make([]shard.Load, 0, len(cfg.Forest.Trees))
+	for _, t := range cfg.Forest.Trees {
+		pairs := cfg.Demand.PairCountIn(t.Attrs)
+		out = append(out, shard.Load{Key: t.Attrs.Key(), Cost: cfg.Sys.Cost.Message(pairs)})
+	}
+	return out
+}
+
+// ownerMap folds the dispatcher's assignment and its orphan queue into
+// one total tree→shard accountability map.
+func (t *shardTier) ownerMap() map[string]int {
+	out := t.disp.Assignment()
+	for k, s := range t.disp.Orphans() {
+		out[k] = s
+	}
+	return out
+}
+
+// rebuildShardDemands re-derives every shard's scoped demand from the
+// installed demand and the current tree→shard map, then retargets the
+// collectors. Each alias-folded pair is demanded by exactly one
+// collector (first-owner-wins across alias replicas; aggregated
+// attributes pin all their participants to one shard), which keeps the
+// merged DemandedPairs equal to the single-collector count.
+func (m *Machine) rebuildShardDemands() {
+	t := m.tier
+	demands := make([]*task.Demand, t.n)
+	for s := range demands {
+		demands[s] = task.NewDemand()
+	}
+	resid := task.NewDemand()
+	t.pairOwner = make(map[model.Pair]int)
+	attrOwner := make(map[model.AttrID]int)
+	// treeShard caches the raw attribute → owning-shard resolution:
+	// TreeFor scans the forest, and every node demanding the same
+	// attribute resolves to the same tree.
+	treeShard := make(map[model.AttrID]int)
+	for _, p := range m.cfg.Demand.Pairs() {
+		orig := m.cfg.Resolve(p.Attr)
+		fold := model.Pair{Node: p.Node, Attr: orig}
+		owner, decided := t.pairOwner[fold]
+		if !decided {
+			if ao, pinned := attrOwner[orig]; pinned {
+				owner = ao
+			} else {
+				owner, decided = treeShard[p.Attr]
+				if !decided {
+					owner = -1
+					if tr := m.cfg.Forest.TreeFor(p.Attr); tr != nil {
+						if s, ok := t.owner[tr.Attrs.Key()]; ok {
+							owner = s
+						}
+					}
+					treeShard[p.Attr] = owner
+				}
+				if m.cfg.Spec.KindOf(orig) != agg.Holistic {
+					// Aggregated attribute: every participant pair must land
+					// in the same collector so the aggregate is demanded (and
+					// scored against ground truth) exactly once.
+					attrOwner[orig] = owner
+				}
+			}
+			t.pairOwner[fold] = owner
+		}
+		w := m.cfg.Demand.Weight(p.Node, p.Attr)
+		if owner < 0 {
+			resid.Set(p.Node, p.Attr, w)
+		} else {
+			demands[owner].Set(p.Node, p.Attr, w)
+		}
+	}
+
+	if t.cfgs == nil {
+		t.cfgs = make([]Config, t.n)
+	}
+	for s := 0; s < t.n; s++ {
+		cfg := m.cfg
+		cfg.Demand = demands[s]
+		t.cfgs[s] = cfg
+		if s < len(t.colls) {
+			t.colls[s].retarget(cfg)
+		} else {
+			t.colls = append(t.colls, newCollector(cfg))
+		}
+	}
+	residCfg := m.cfg
+	residCfg.Demand = resid
+	if t.resid == nil {
+		t.resid = newCollector(residCfg)
+	} else {
+		t.resid.retarget(residCfg)
+	}
+}
+
+// recomputeDownKeys refreshes the tree→down map leaves consult when
+// deciding to buffer: a tree is down while its accountable shard is
+// down (including orphans still booked to a dead shard).
+func (m *Machine) recomputeDownKeys() {
+	t := m.tier
+	for k := range m.cfg.downKeys {
+		if _, ok := t.owner[k]; !ok {
+			delete(m.cfg.downKeys, k)
+		}
+	}
+	for k, s := range t.owner {
+		m.cfg.downKeys[k] = t.down[s]
+	}
+}
+
+// stepShardChaos applies the shard crash/flap schedules at the start of
+// a round: ShardCrashAt latches an outage that only an explicit
+// ResumeShard clears, ShardWindows flap shards down for their windows
+// and cold-resume them (views wiped, journal not consulted) when a
+// window closes.
+func (m *Machine) stepShardChaos(round int) {
+	t := m.tier
+	for s := 0; s < t.n; s++ {
+		windowDown := m.cfg.Chaos.ShardWindowDown(s, round)
+		if !t.down[s] && (m.cfg.Chaos.ShardCrash(s, round) || windowDown) {
+			t.down[s] = true
+			if m.cfg.Chaos.ShardCrash(s, round) {
+				t.latched[s] = true
+			}
+			m.recomputeDownKeys()
+			if m.cfg.Trace != nil {
+				m.cfg.Trace.Record(trace.Event{Round: round, Kind: trace.ShardDead, Node: model.NodeID(s)})
+			}
+			continue
+		}
+		if t.down[s] && !t.latched[s] && !windowDown {
+			m.resumeShardAt(s, ResumeState{}, round)
+		}
+	}
+}
+
+// shardAbsorb routes the round's central mailbox to the owning shard
+// collectors. Frames for a down shard's trees are lost (leaves with a
+// LeafBuffer park them instead of sending); frames for trees no shard
+// owns fall through to the residual collector.
+func (m *Machine) shardAbsorb(msgs []transport.Message, round int) {
+	t := m.tier
+	for s := range t.batches {
+		t.batches[s] = t.batches[s][:0]
+	}
+	var residBatch []transport.Message
+	for _, msg := range msgs {
+		if s, ok := t.owner[msg.TreeKey]; ok {
+			if t.down[s] {
+				m.extraDrops++
+				continue
+			}
+			t.batches[s] = append(t.batches[s], msg)
+			continue
+		}
+		residBatch = append(residBatch, msg)
+	}
+	for s, c := range t.colls {
+		if !t.down[s] && len(t.batches[s]) > 0 {
+			c.absorb(t.batches[s], round)
+		}
+	}
+	t.resid.absorb(residBatch, round)
+}
+
+// shardScore scores every collector for the round — down shards score
+// too, accruing the frozen-view error a crashed collector earns — and
+// appends the merged entry to the session-wide error series. Live
+// shards advance their staleness watermark.
+func (m *Machine) shardScore(round int) {
+	t := m.tier
+	var errSum float64
+	var cnt int
+	for s, c := range t.colls {
+		e, n := c.score(round)
+		errSum += e
+		cnt += n
+		if !t.down[s] {
+			t.watermark[s] = round
+		}
+	}
+	e, n := t.resid.score(round)
+	errSum += e
+	cnt += n
+	if cnt > 0 {
+		t.errSeries = append(t.errSeries, 100*errSum/float64(cnt))
+	} else {
+		t.errSeries = append(t.errSeries, 0)
+	}
+}
+
+// shardDispatch runs the dispatcher's round: live shards heartbeat,
+// deaths orphan their trees, and a live leaseholder re-homes orphans
+// and rebalances onto recovered shards. Assignment changes re-scope the
+// shard demands and open a new epoch for every moved tree, fencing
+// frames composed for the old owner.
+func (m *Machine) shardDispatch(round int) {
+	t := m.tier
+	for s := 0; s < t.n; s++ {
+		if !t.down[s] {
+			t.disp.Beat(s, round)
+		}
+	}
+	acts := t.disp.Advance(round)
+	if m.cfg.Trace != nil {
+		movedFrom := make(map[string]int, len(acts.Moves))
+		for _, mv := range acts.Moves {
+			movedFrom[mv.Key] = mv.From
+		}
+		orphanSrc := t.disp.Orphans()
+		for _, k := range acts.Orphaned {
+			src, ok := orphanSrc[k]
+			if !ok {
+				src = movedFrom[k]
+			}
+			m.cfg.Trace.Record(trace.Event{Round: round, Kind: trace.Orphan, Node: model.NodeID(src), TreeKey: k})
+		}
+		if acts.LeaderChanged {
+			m.cfg.Trace.Record(trace.Event{Round: round, Kind: trace.Leader, Node: model.NodeID(acts.Leader)})
+		}
+	}
+	if len(acts.Orphaned) == 0 && len(acts.Moves) == 0 && len(acts.Dead) == 0 && len(acts.Recovered) == 0 {
+		return
+	}
+	for _, mv := range acts.Moves {
+		if !t.disp.Alive(mv.From) {
+			// Moves out of a dead shard are orphan re-dispatches; moves
+			// between live shards are rebalances.
+			t.redispatched++
+		}
+		if m.cfg.Trace != nil {
+			m.cfg.Trace.Record(trace.Event{
+				Round: round, Kind: trace.Redispatch,
+				Node: model.NodeID(mv.From), Peer: model.NodeID(mv.To), TreeKey: mv.Key,
+			})
+		}
+	}
+	t.owner = t.ownerMap()
+	if len(acts.Moves) > 0 {
+		// Every moved tree opens a new epoch: frames composed for the old
+		// owner (or buffered during the outage and not yet re-stamped)
+		// cannot leak into the new owner's views.
+		m.cfg.epoch++
+		for _, mv := range acts.Moves {
+			m.cfg.keyEpochs[mv.Key] = m.cfg.epoch
+		}
+	}
+	m.recomputeDownKeys()
+	m.rebuildShardDemands()
+}
+
+// resumeShardAt is the shared resume path: the shard rejoins with wiped
+// views (re-seeded from rs.Repo when a journal recovery supplies one),
+// its trees open a fresh epoch so pre-outage frames fence, and the
+// dispatcher sees its next heartbeat.
+func (m *Machine) resumeShardAt(s int, rs ResumeState, round int) {
+	t := m.tier
+	if rs.Epoch > m.cfg.epoch {
+		m.cfg.epoch = rs.Epoch
+	}
+	m.cfg.epoch++
+	t.down[s] = false
+	t.latched[s] = false
+	for k, o := range t.owner {
+		if o == s {
+			m.cfg.keyEpochs[k] = m.cfg.epoch
+		}
+	}
+	m.recomputeDownKeys()
+	t.cfgs[s].epoch = m.cfg.epoch
+	t.colls[s].recover(t.cfgs[s], rs.Repo, round)
+	if m.cfg.Trace != nil {
+		m.cfg.Trace.Record(trace.Event{Round: round, Kind: trace.ShardResume, Node: model.NodeID(s)})
+	}
+}
+
+// ResumeShard restarts a crashed collector shard from journaled state,
+// the per-shard analogue of ResumeCollector: views are wiped and
+// re-seeded from the recovered repository, and the shard's trees open
+// an epoch past everything the dead shard could have been sent. The
+// dispatcher notices the shard's heartbeat next round and rebalances
+// trees back onto it. Before the first round has run the shard need not
+// be down — a cold process restart seeds every shard's views from its
+// journal this way.
+func (m *Machine) ResumeShard(s int, rs ResumeState) error {
+	if m.tier == nil {
+		return fmt.Errorf("cluster: ResumeShard on a single-collector session")
+	}
+	if s < 0 || s >= m.tier.n {
+		return fmt.Errorf("cluster: ResumeShard: shard %d out of [0,%d)", s, m.tier.n)
+	}
+	if !m.tier.down[s] && m.round > 0 {
+		return fmt.Errorf("cluster: ResumeShard: shard %d is not down", s)
+	}
+	m.resumeShardAt(s, rs, m.round)
+	return nil
+}
+
+// merged folds the per-shard partials (and the residual collector) into
+// the single session Result.
+func (t *shardTier) merged() Result {
+	all := make([]*collector, 0, t.n+1)
+	all = append(all, t.colls...)
+	all = append(all, t.resid)
+	var res Result
+	var errSum, staleSum float64
+	var errCount, staleCount, delivered, expected int
+	for _, c := range all {
+		res.DemandedPairs += len(c.holisticPairs) + len(c.aggAttrs)
+		res.CoveredPairs += c.covered()
+		res.ValuesDelivered += c.valuesDelivered
+		res.MessagesDropped += c.centralDrops
+		res.StaleEpochFrames += c.staleFrames
+		delivered += c.deliveredEffective()
+		expected += c.expected
+		errSum += c.errSum
+		errCount += c.errCount
+		staleSum += c.staleSum
+		staleCount += c.staleCount
+	}
+	if expected > 0 {
+		res.PercentCollected = 100 * float64(delivered) / float64(expected)
+		if res.PercentCollected > 100 {
+			res.PercentCollected = 100
+		}
+	}
+	if errCount > 0 {
+		res.AvgPercentError = 100 * errSum / float64(errCount)
+	}
+	if staleCount > 0 {
+		res.AvgStaleness = staleSum / float64(staleCount)
+	}
+	res.ErrorSeries = append([]float64(nil), t.errSeries...)
+	res.Shards = t.n
+	for _, d := range t.down {
+		if d {
+			res.ShardsDown++
+		}
+	}
+	res.OrphanedTrees = t.disp.Orphaned()
+	res.TreesRedispatched = t.redispatched
+	res.LeaderElections = t.disp.Elections()
+	res.ShardWatermarks = append([]int(nil), t.watermark...)
+	return res
+}
+
+// ShardCount returns the number of collector shards (0 for a
+// single-collector session).
+func (m *Machine) ShardCount() int {
+	if m.tier == nil {
+		return 0
+	}
+	return m.tier.n
+}
+
+// ShardAssignment snapshots the tree→shard accountability map (orphans
+// included, booked to the dead shard they came from). Nil for
+// single-collector sessions.
+func (m *Machine) ShardAssignment() map[string]int {
+	if m.tier == nil {
+		return nil
+	}
+	out := make(map[string]int, len(m.tier.owner))
+	for k, s := range m.tier.owner {
+		out[k] = s
+	}
+	return out
+}
+
+// ShardDown reports whether shard s is currently down.
+func (m *Machine) ShardDown(s int) bool {
+	return m.tier != nil && s >= 0 && s < m.tier.n && m.tier.down[s]
+}
+
+// ShardsDownList lists the currently down shards, ascending.
+func (m *Machine) ShardsDownList() []int {
+	if m.tier == nil {
+		return nil
+	}
+	var out []int
+	for s, d := range m.tier.down {
+		if d {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PendingOrphans lists tree keys awaiting re-dispatch, sorted.
+func (m *Machine) PendingOrphans() []string {
+	if m.tier == nil {
+		return nil
+	}
+	return m.tier.disp.Pending()
+}
+
+// ShardMoves returns every re-homing the dispatcher decided so far.
+func (m *Machine) ShardMoves() []shard.Move {
+	if m.tier == nil {
+		return nil
+	}
+	return m.tier.disp.Moves()
+}
+
+// ShardLeader returns the dispatcher's current leaseholder (-1 for
+// single-collector sessions).
+func (m *Machine) ShardLeader() int {
+	if m.tier == nil {
+		return -1
+	}
+	return m.tier.disp.Leader()
+}
+
+// ShardOf returns the shard collecting the given alias-folded pair
+// (-1 = the residual collector, or a single-collector session).
+func (m *Machine) ShardOf(p model.Pair) int {
+	if m.tier == nil {
+		return -1
+	}
+	if s, ok := m.tier.pairOwner[p]; ok {
+		return s
+	}
+	return -1
+}
+
+// ShardResults returns the per-shard partial results, one per shard
+// plus the residual collector's partial last — the union verify checks
+// against the merged Result. Nil for single-collector sessions.
+func (m *Machine) ShardResults() []Result {
+	if m.tier == nil {
+		return nil
+	}
+	out := make([]Result, 0, m.tier.n+1)
+	for _, c := range m.tier.colls {
+		out = append(out, c.result())
+	}
+	out = append(out, m.tier.resid.result())
+	return out
+}

@@ -69,6 +69,10 @@ const (
 	recRepair = 5
 	// recSamples logs the values the collector accepted in one round.
 	recSamples = 6
+	// recAssign logs the dispatcher's tree→shard assignment after a
+	// placement decision (initial placement, re-dispatch, rebalance or
+	// retarget), so a cold resume rebuilds the identical map.
+	recAssign = 7
 )
 
 // State is the durable session state: everything a restarted collector
@@ -101,6 +105,11 @@ type State struct {
 	Store *store.Store
 	// Cooldowns is the trigger re-arm state (checkpoint-granular).
 	Cooldowns map[string]map[model.Pair]int
+	// Assignment is the dispatcher's tree→shard map for sharded
+	// sessions (nil for single-collector sessions). Encoded as an
+	// optional trailing checkpoint field so pre-sharding journals stay
+	// readable.
+	Assignment map[string]int
 }
 
 // SampleRec is one collected value as journaled by recSamples records.
@@ -326,6 +335,40 @@ func appendSamples(dst []byte, round int, recs []SampleRec) []byte {
 	return dst
 }
 
+// appendAssignment encodes a tree→shard map as count + (key, shard)
+// pairs in sorted key order.
+func appendAssignment(dst []byte, assign map[string]int) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(assign)))
+	for _, k := range sortedAssignKeys(assign) {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(k)))
+		dst = append(dst, k...)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(assign[k])))
+	}
+	return dst
+}
+
+func (r *reader) assignment() map[string]int {
+	n := int(r.u32())
+	if r.err != nil || n > maxRecordSize {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: oversized assignment", ErrCorrupt)
+		}
+		return nil
+	}
+	m := make(map[string]int, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.str()
+		s := r.i32()
+		if r.err == nil {
+			m[k] = s
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
+}
+
 // appendCheckpoint encodes a full State snapshot.
 func appendCheckpoint(dst []byte, s State) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, s.Epoch)
@@ -373,6 +416,14 @@ func appendCheckpoint(dst []byte, s State) []byte {
 			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(p.Attr)))
 			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(pairs[p])))
 		}
+	}
+
+	// Trailing optional field: the shard assignment. Readers that
+	// predate it stop before these bytes; readers that postdate it treat
+	// an exhausted payload as "no assignment" — both directions of skew
+	// stay readable.
+	if len(s.Assignment) > 0 {
+		dst = appendAssignment(dst, s.Assignment)
 	}
 	return dst
 }
@@ -438,6 +489,11 @@ func decodeCheckpoint(payload []byte) (State, error) {
 			s.Cooldowns[name] = m
 		}
 	}
+
+	// Optional trailing assignment: absent in pre-sharding checkpoints.
+	if r.err == nil && len(r.p) > 0 {
+		s.Assignment = r.assignment()
+	}
 	if r.err != nil {
 		return State{}, r.err
 	}
@@ -456,6 +512,15 @@ func sortedNodes(m map[model.NodeID]int) []model.NodeID {
 }
 
 func sortedKeys(m map[string]map[model.Pair]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedAssignKeys(m map[string]int) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -340,3 +340,73 @@ func TestRecoverEmptyDir(t *testing.T) {
 		t.Fatal("missing dir accepted")
 	}
 }
+
+func TestAssignmentCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testState()
+	want.Assignment = map[string]int{"a1": 0, "a2": 3, "a9": 1}
+	w, err := Create(dir, Options{NoSync: true}, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.State.Assignment, want.Assignment) {
+		t.Fatalf("assignment = %v, want %v", rec.State.Assignment, want.Assignment)
+	}
+}
+
+func TestAssignmentAbsentStaysNil(t *testing.T) {
+	// A checkpoint without an assignment encodes exactly the pre-sharding
+	// layout; recovery must read it and leave Assignment nil.
+	dir := t.TempDir()
+	w, err := Create(dir, Options{NoSync: true}, testState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State.Assignment != nil {
+		t.Fatalf("assignment = %v, want nil", rec.State.Assignment)
+	}
+}
+
+func TestAssignmentWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{NoSync: true}, testState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last logged assignment wins wholesale: each record is the full
+	// map, not a delta.
+	if err := w.AppendAssignment(map[string]int{"a1": 0, "a2": 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"a1": 2, "a2": 1, "a3": 0}
+	if err := w.AppendAssignment(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.State.Assignment, want) {
+		t.Fatalf("assignment = %v, want %v", rec.State.Assignment, want)
+	}
+	if rec.Replayed != 2 || rec.Torn {
+		t.Fatalf("replayed=%d torn=%v, want 2,false", rec.Replayed, rec.Torn)
+	}
+}

@@ -163,6 +163,12 @@ func (rec *Recovered) apply(kind uint8, payload []byte) error {
 			s.Dead[node] = declaredAt
 			s.Failures++
 		}
+	case recAssign:
+		m := r.assignment()
+		if r.err != nil {
+			return r.err
+		}
+		s.Assignment = m
 	case recRepair:
 		if _ = r.i32(); r.err != nil {
 			return r.err

@@ -174,6 +174,14 @@ func (w *Writer) AppendVerdict(node model.NodeID, declaredAt int, recovered bool
 	return w.append(recVerdict, appendVerdict(nil, node, declaredAt, recovered))
 }
 
+// AppendAssignment logs the dispatcher's tree→shard map after a
+// placement decision. The full map is logged, not a delta: placement
+// decisions are rare (installs, shard deaths, recoveries) and a
+// self-contained record lets recovery adopt the last one wholesale.
+func (w *Writer) AppendAssignment(assign map[string]int) error {
+	return w.append(recAssign, appendAssignment(nil, assign))
+}
+
 // AppendRepair logs one topology repair at the given round.
 func (w *Writer) AppendRepair(round int) error {
 	return w.append(recRepair, binary.BigEndian.AppendUint32(nil, uint32(int32(round))))

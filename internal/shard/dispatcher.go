@@ -1,0 +1,393 @@
+package shard
+
+import (
+	"sort"
+
+	"remo/internal/detect"
+	"remo/internal/model"
+)
+
+// DefaultLeaseRounds is the dispatcher lease length when Config leaves
+// it zero: a leaseholder's placement authority survives this many
+// rounds past its last renewal, so a new leader cannot be elected (and
+// no conflicting re-dispatch issued) until the old lease has provably
+// expired.
+const DefaultLeaseRounds = 4
+
+// Config parameterizes a Dispatcher.
+type Config struct {
+	// Shards is the number of collector shards (must be >= 1).
+	Shards int
+	// Suspicion is how many consecutive silent rounds a shard tolerates
+	// before it is declared dead (default detect.DefaultSuspicionRounds).
+	Suspicion int
+	// LeaseRounds is the leadership lease length in rounds (default
+	// DefaultLeaseRounds).
+	LeaseRounds int
+}
+
+// Actions is what one dispatch round decided: shards newly declared
+// dead or recovered, trees newly orphaned, and the moves (orphan
+// re-dispatches plus rebalances) applied this round.
+type Actions struct {
+	// Dead and Recovered list the shards whose liveness verdict flipped
+	// this round, ascending.
+	Dead, Recovered []int
+	// Orphaned lists tree keys that lost their owner this round, sorted.
+	Orphaned []string
+	// Moves lists the re-homings decided this round, in apply order.
+	Moves []Move
+	// Leader is the leaseholder after this round's election step.
+	Leader int
+	// LeaderChanged reports that a new leader was elected this round.
+	LeaderChanged bool
+}
+
+// Dispatcher owns the tree→shard map. It detects shard death through
+// the same suspicion machinery that watches monitoring nodes (shards
+// heartbeat once per round they are up), runs a deterministic
+// lease-based leader election among the shard candidates, and re-homes
+// orphaned trees onto the surviving shards. It is not safe for
+// concurrent use; the emulation machine drives it from its coordinator
+// goroutine only.
+type Dispatcher struct {
+	cfg Config
+	det *detect.Detector
+
+	// assign maps each placed tree key to its owning shard.
+	assign map[string]int
+	// load is each tree's placement cost, for balance decisions.
+	load map[string]float64
+	// pending maps orphaned keys to the dead shard they came from,
+	// awaiting a leaseholder to re-dispatch them.
+	pending map[string]int
+
+	leader     int
+	leaseUntil int
+	// leaderBeat is the last round the current leaseholder itself
+	// heartbeat — a lease renews only on evidence, not on the absence of
+	// a death verdict, so a silent leader's authority expires on
+	// schedule even before the suspicion window declares it dead.
+	leaderBeat int
+	elections  int
+	moves      []Move
+	orphaned   int
+}
+
+// New returns a dispatcher over cfg.Shards candidates, all initially
+// live, with shard 0 holding the initial lease.
+func New(cfg Config) *Dispatcher {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.LeaseRounds <= 0 {
+		cfg.LeaseRounds = DefaultLeaseRounds
+	}
+	d := &Dispatcher{
+		cfg:     cfg,
+		det:     detect.New(detect.Config{SuspicionRounds: cfg.Suspicion}),
+		assign:  make(map[string]int),
+		load:    make(map[string]float64),
+		pending: make(map[string]int),
+		leader:  0,
+	}
+	watch := make([]model.NodeID, cfg.Shards)
+	for s := range watch {
+		watch[s] = model.NodeID(s)
+	}
+	d.det.Watch(watch, 0)
+	d.leaseUntil = cfg.LeaseRounds
+	d.leaderBeat = -1
+	return d
+}
+
+// Init places the initial forest. When seed names a live shard for
+// every key it is adopted verbatim — the journal-recovery path, where
+// the dispatcher must rebuild the identical pre-crash tree→shard map —
+// otherwise the balance heuristic places from scratch. Returns the
+// assignment (shared map; callers must not mutate it).
+func (d *Dispatcher) Init(loads []Load, seed map[string]int) map[string]int {
+	d.load = make(map[string]float64, len(loads))
+	for _, l := range loads {
+		d.load[l.Key] = l.Cost
+	}
+	if d.seedValid(loads, seed) {
+		d.assign = make(map[string]int, len(seed))
+		for k, s := range seed {
+			if _, placed := d.load[k]; placed {
+				d.assign[k] = s
+			}
+		}
+		return d.assign
+	}
+	d.assign = Balance(loads, d.liveShards())
+	return d.assign
+}
+
+// seedValid reports whether seed covers every tree with an in-range
+// shard.
+func (d *Dispatcher) seedValid(loads []Load, seed map[string]int) bool {
+	if len(seed) == 0 {
+		return false
+	}
+	for _, l := range loads {
+		s, ok := seed[l.Key]
+		if !ok || s < 0 || s >= d.cfg.Shards {
+			return false
+		}
+	}
+	return true
+}
+
+// Beat records that shard s was up during the given round.
+func (d *Dispatcher) Beat(s, round int) {
+	if s < 0 || s >= d.cfg.Shards {
+		return
+	}
+	if s == d.leader && round > d.leaderBeat {
+		d.leaderBeat = round
+	}
+	d.det.Beat(model.NodeID(s), round)
+}
+
+// Alive reports whether shard s is not currently declared dead.
+func (d *Dispatcher) Alive(s int) bool {
+	return d.det.Alive(model.NodeID(s))
+}
+
+// Leader returns the current leaseholder.
+func (d *Dispatcher) Leader() int { return d.leader }
+
+// Elections counts leader changes since construction.
+func (d *Dispatcher) Elections() int { return d.elections }
+
+// Orphaned counts trees that lost their owner to a shard death,
+// cumulatively (a tree orphaned twice by a flapping sequence counts
+// twice).
+func (d *Dispatcher) Orphaned() int { return d.orphaned }
+
+// Moves returns every re-homing decided so far, in apply order.
+func (d *Dispatcher) Moves() []Move { return append([]Move(nil), d.moves...) }
+
+// Assignment snapshots the current tree→shard map.
+func (d *Dispatcher) Assignment() map[string]int {
+	out := make(map[string]int, len(d.assign))
+	for k, s := range d.assign {
+		out[k] = s
+	}
+	return out
+}
+
+// Pending lists the orphaned keys awaiting re-dispatch, sorted.
+func (d *Dispatcher) Pending() []string { return sortedKeys(d.pending) }
+
+// Orphans snapshots the orphaned keys awaiting re-dispatch with the
+// dead shard each came from.
+func (d *Dispatcher) Orphans() map[string]int {
+	out := make(map[string]int, len(d.pending))
+	for k, s := range d.pending {
+		out[k] = s
+	}
+	return out
+}
+
+// liveShards lists the shards not declared dead, ascending.
+func (d *Dispatcher) liveShards() []int {
+	out := make([]int, 0, d.cfg.Shards)
+	for s := 0; s < d.cfg.Shards; s++ {
+		if d.det.Alive(model.NodeID(s)) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// totals sums the placement cost currently assigned to each shard.
+func (d *Dispatcher) totals() map[int]float64 {
+	out := make(map[int]float64, d.cfg.Shards)
+	for k, s := range d.assign {
+		out[s] += d.load[k]
+	}
+	return out
+}
+
+// Retarget re-places the map after a plan install: keys that persist
+// keep their owner when it is live (sticky placement — a replan must
+// not shuffle healthy shards), new keys go to the least-loaded live
+// shards, dropped keys leave the map and the orphan queue.
+func (d *Dispatcher) Retarget(loads []Load, round int) map[string]int {
+	newLoad := make(map[string]float64, len(loads))
+	for _, l := range loads {
+		newLoad[l.Key] = l.Cost
+	}
+	for k := range d.assign {
+		if _, still := newLoad[k]; !still {
+			delete(d.assign, k)
+		}
+	}
+	for k := range d.pending {
+		if _, still := newLoad[k]; !still {
+			delete(d.pending, k)
+		}
+	}
+	d.load = newLoad
+
+	live := d.liveShards()
+	if len(live) == 0 {
+		return d.assign
+	}
+	totals := d.totals()
+	var fresh []Load
+	for _, l := range loads {
+		if _, placed := d.assign[l.Key]; placed {
+			continue
+		}
+		if _, orphan := d.pending[l.Key]; orphan {
+			continue
+		}
+		fresh = append(fresh, l)
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		if fresh[i].Cost != fresh[j].Cost {
+			return fresh[i].Cost > fresh[j].Cost
+		}
+		return fresh[i].Key < fresh[j].Key
+	})
+	for _, l := range fresh {
+		best := live[0]
+		for _, s := range live[1:] {
+			if totals[s] < totals[best] {
+				best = s
+			}
+		}
+		d.assign[l.Key] = best
+		totals[best] += l.Cost
+	}
+	return d.assign
+}
+
+// Advance runs one dispatch round: liveness verdicts first (deaths
+// orphan their trees, recoveries rejoin the candidate set), then the
+// election step (a dead leader is replaced only once its lease has
+// expired), then — when a live leaseholder holds authority — orphan
+// re-dispatch and rebalancing onto recovered shards.
+func (d *Dispatcher) Advance(round int) Actions {
+	var acts Actions
+	for _, v := range d.det.Advance(round) {
+		s := int(v.Node)
+		if v.Recovered {
+			acts.Recovered = append(acts.Recovered, s)
+			continue
+		}
+		acts.Dead = append(acts.Dead, s)
+		for _, k := range sortedKeys(d.assign) {
+			if d.assign[k] != s {
+				continue
+			}
+			delete(d.assign, k)
+			d.pending[k] = s
+			d.orphaned++
+			acts.Orphaned = append(acts.Orphaned, k)
+		}
+	}
+	sort.Ints(acts.Dead)
+	sort.Ints(acts.Recovered)
+	sort.Strings(acts.Orphaned)
+
+	if d.det.Alive(model.NodeID(d.leader)) && d.leaderBeat == round {
+		d.leaseUntil = round + d.cfg.LeaseRounds
+	} else if !d.det.Alive(model.NodeID(d.leader)) && round >= d.leaseUntil {
+		if live := d.liveShards(); len(live) > 0 {
+			d.leader = live[0]
+			d.leaseUntil = round + d.cfg.LeaseRounds
+			d.leaderBeat = round
+			d.elections++
+			acts.LeaderChanged = true
+		}
+	}
+	acts.Leader = d.leader
+
+	if d.det.Alive(model.NodeID(d.leader)) {
+		acts.Moves = append(acts.Moves, d.redispatch(round)...)
+		acts.Moves = append(acts.Moves, d.rebalance(round, acts.Recovered)...)
+		d.moves = append(d.moves, acts.Moves...)
+	}
+	return acts
+}
+
+// redispatch re-homes every pending orphan onto the least-loaded live
+// shard, heaviest orphan first.
+func (d *Dispatcher) redispatch(round int) []Move {
+	if len(d.pending) == 0 {
+		return nil
+	}
+	live := d.liveShards()
+	if len(live) == 0 {
+		return nil
+	}
+	keys := sortedKeys(d.pending)
+	sort.SliceStable(keys, func(i, j int) bool {
+		return d.load[keys[i]] > d.load[keys[j]]
+	})
+	totals := d.totals()
+	moves := make([]Move, 0, len(keys))
+	for _, k := range keys {
+		best := live[0]
+		for _, s := range live[1:] {
+			if totals[s] < totals[best] {
+				best = s
+			}
+		}
+		moves = append(moves, Move{Key: k, From: d.pending[k], To: best, Round: round})
+		d.assign[k] = best
+		totals[best] += d.load[k]
+		delete(d.pending, k)
+	}
+	return moves
+}
+
+// rebalance shifts trees from the most-loaded shards onto newly
+// recovered ones while each move strictly improves the spread — the
+// deterministic greedy that reconverges a flapped shard back to a
+// balanced share of the forest.
+func (d *Dispatcher) rebalance(round int, recovered []int) []Move {
+	var moves []Move
+	for _, s := range recovered {
+		if !d.det.Alive(model.NodeID(s)) {
+			continue
+		}
+		totals := d.totals()
+		for {
+			donor, donorLoad := -1, 0.0
+			for c, l := range totals {
+				if c == s || !d.det.Alive(model.NodeID(c)) {
+					continue
+				}
+				if donor < 0 || l > donorLoad || (l == donorLoad && c < donor) {
+					donor, donorLoad = c, l
+				}
+			}
+			if donor < 0 {
+				break
+			}
+			// Heaviest donor key, ties to the first key.
+			key, keyCost := "", 0.0
+			for _, k := range sortedKeys(d.assign) {
+				if d.assign[k] != donor {
+					continue
+				}
+				if key == "" || d.load[k] > keyCost {
+					key, keyCost = k, d.load[k]
+				}
+			}
+			if key == "" || totals[s]+keyCost >= donorLoad {
+				break // no move improves the balance
+			}
+			moves = append(moves, Move{Key: key, From: donor, To: s, Round: round})
+			d.assign[key] = s
+			totals[s] += keyCost
+			totals[donor] -= keyCost
+		}
+	}
+	return moves
+}

@@ -1,0 +1,80 @@
+// Package shard implements the collector-tier dispatcher: trees are
+// assigned to collector shards by attribute-set key, spread with a
+// balance heuristic weighted by per-tree pair load, and re-homed when a
+// shard dies. The shape follows the production pattern of a
+// leader-elected dispatcher over sharded runners (a cluster agent
+// dispatching check configs): one deterministic leaseholder makes all
+// placement decisions, shard death is detected through the same
+// suspicion machinery that watches monitoring nodes, and orphaned trees
+// are re-dispatched to the surviving shards.
+//
+// Everything in this package is deterministic: balance ties break on
+// the lowest shard index and the lexicographically first tree key, so
+// the same inputs always produce the same tree→shard map — which is
+// what lets a cold resume rebuild the identical assignment from a
+// journal.
+package shard
+
+import "sort"
+
+// Load is one tree's placement weight: the attribute-set key that
+// identifies the tree and the per-round cost its root message charges
+// the owning shard (from the cost ledger's C + a·x model over the
+// tree's demanded pairs).
+type Load struct {
+	Key  string
+	Cost float64
+}
+
+// Move records one tree re-homed from one shard to another — an orphan
+// re-dispatch after a shard death, or a rebalance onto a recovered
+// shard.
+type Move struct {
+	Key      string
+	From, To int
+	// Round is the dispatch round the move was decided in.
+	Round int
+}
+
+// Balance spreads trees over the live shards with a longest-processing-
+// time greedy: heaviest tree first onto the currently least-loaded
+// shard. Ties break deterministically — equal costs by key, equal shard
+// loads by lowest shard index — so the assignment is a pure function of
+// its inputs. Returns nil when no shard is live.
+func Balance(loads []Load, live []int) map[string]int {
+	if len(live) == 0 {
+		return nil
+	}
+	order := append([]Load(nil), loads...)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Cost != order[j].Cost {
+			return order[i].Cost > order[j].Cost
+		}
+		return order[i].Key < order[j].Key
+	})
+	shards := append([]int(nil), live...)
+	sort.Ints(shards)
+	totals := make(map[int]float64, len(shards))
+	assign := make(map[string]int, len(order))
+	for _, l := range order {
+		best := shards[0]
+		for _, s := range shards[1:] {
+			if totals[s] < totals[best] {
+				best = s
+			}
+		}
+		assign[l.Key] = best
+		totals[best] += l.Cost
+	}
+	return assign
+}
+
+// sortedKeys returns the map's keys in lexicographic order.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,280 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func loadsN(n int) []Load {
+	out := make([]Load, n)
+	for i := range out {
+		out[i] = Load{Key: fmt.Sprintf("t%02d", i), Cost: float64(1 + i%5)}
+	}
+	return out
+}
+
+func TestBalanceDeterministicAndComplete(t *testing.T) {
+	loads := loadsN(12)
+	live := []int{0, 1, 2, 3}
+	a := Balance(loads, live)
+	b := Balance(loads, live)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("balance not deterministic: %v vs %v", a, b)
+	}
+	if len(a) != len(loads) {
+		t.Fatalf("balance placed %d of %d keys", len(a), len(loads))
+	}
+	perShard := map[int]int{}
+	for k, s := range a {
+		if s < 0 || s > 3 {
+			t.Fatalf("key %q placed on invalid shard %d", k, s)
+		}
+		perShard[s]++
+	}
+	for _, s := range live {
+		if perShard[s] == 0 {
+			t.Fatalf("shard %d got no trees: %v", s, a)
+		}
+	}
+}
+
+func TestBalanceSpreadsLoad(t *testing.T) {
+	loads := loadsN(20)
+	assign := Balance(loads, []int{0, 1})
+	cost := map[string]float64{}
+	total := 0.0
+	for _, l := range loads {
+		cost[l.Key] = l.Cost
+		total += l.Cost
+	}
+	perShard := map[int]float64{}
+	for k, s := range assign {
+		perShard[s] += cost[k]
+	}
+	// LPT on items of cost <= 5 and total 60 must land well within
+	// 2x of the perfect split.
+	for s, l := range perShard {
+		if l > total/2+5 {
+			t.Fatalf("shard %d overloaded: %.1f of %.1f", s, l, total)
+		}
+	}
+}
+
+func TestBalanceNoLiveShards(t *testing.T) {
+	if got := Balance(loadsN(3), nil); got != nil {
+		t.Fatalf("expected nil assignment with no live shards, got %v", got)
+	}
+}
+
+// run drives the dispatcher through rounds [from, to), beating every
+// shard in up each round before Advance, and returns the last Actions.
+func run(d *Dispatcher, from, to int, up ...int) Actions {
+	var last Actions
+	for r := from; r < to; r++ {
+		for _, s := range up {
+			d.Beat(s, r)
+		}
+		last = d.Advance(r)
+	}
+	return last
+}
+
+func TestDispatcherDeathOrphansAndRedispatches(t *testing.T) {
+	d := New(Config{Shards: 3, Suspicion: 3})
+	loads := loadsN(9)
+	init := d.Init(loads, nil)
+	victimKeys := 0
+	for _, s := range init {
+		if s == 2 {
+			victimKeys++
+		}
+	}
+	if victimKeys == 0 {
+		t.Fatalf("workload too small: shard 2 owns nothing (%v)", init)
+	}
+
+	run(d, 0, 5, 0, 1, 2)
+	// Shard 2 goes silent from round 5; suspicion 3 declares it at
+	// round 7 (rounds 5,6,7 silent).
+	var death Actions
+	for r := 5; r <= 7; r++ {
+		d.Beat(0, r)
+		d.Beat(1, r)
+		death = d.Advance(r)
+		if len(death.Dead) > 0 {
+			if r != 7 {
+				t.Fatalf("shard declared dead at round %d, want 7", r)
+			}
+			break
+		}
+	}
+	if !reflect.DeepEqual(death.Dead, []int{2}) {
+		t.Fatalf("dead = %v, want [2]", death.Dead)
+	}
+	if len(death.Orphaned) != victimKeys {
+		t.Fatalf("orphaned %d keys, want %d", len(death.Orphaned), victimKeys)
+	}
+	// Leader 0 is alive, so every orphan re-homes the same round.
+	if len(death.Moves) != victimKeys {
+		t.Fatalf("moves = %v, want %d re-dispatches", death.Moves, victimKeys)
+	}
+	for _, m := range death.Moves {
+		if m.From != 2 {
+			t.Fatalf("move %v does not come from the dead shard", m)
+		}
+		if m.To != 0 && m.To != 1 {
+			t.Fatalf("move %v targets a dead shard", m)
+		}
+	}
+	if got := d.Pending(); len(got) != 0 {
+		t.Fatalf("pending after re-dispatch = %v, want empty", got)
+	}
+	if d.Orphaned() != victimKeys {
+		t.Fatalf("Orphaned() = %d, want %d", d.Orphaned(), victimKeys)
+	}
+	assign := d.Assignment()
+	if len(assign) != len(loads) {
+		t.Fatalf("assignment lost keys: %v", assign)
+	}
+	for k, s := range assign {
+		if s == 2 {
+			t.Fatalf("key %q still on dead shard", k)
+		}
+	}
+}
+
+func TestDispatcherLeaderDeathStallsUntilLeaseExpiry(t *testing.T) {
+	d := New(Config{Shards: 3, Suspicion: 3, LeaseRounds: 4})
+	d.Init(loadsN(9), nil)
+	run(d, 0, 5, 0, 1, 2)
+	// Leader (shard 0) goes silent from round 5. Its last renewal was
+	// round 4, so the lease holds through round 7; declaration lands at
+	// round 7 but election must wait for round 8.
+	sawElection := -1
+	for r := 5; r <= 10; r++ {
+		d.Beat(1, r)
+		d.Beat(2, r)
+		acts := d.Advance(r)
+		if len(acts.Dead) > 0 && !reflect.DeepEqual(acts.Dead, []int{0}) {
+			t.Fatalf("round %d dead = %v, want [0]", r, acts.Dead)
+		}
+		if len(acts.Orphaned) > 0 && len(acts.Moves) > 0 {
+			t.Fatalf("round %d re-dispatched while leaderless: %v", r, acts.Moves)
+		}
+		if acts.LeaderChanged {
+			sawElection = r
+			if acts.Leader != 1 {
+				t.Fatalf("elected shard %d, want lowest live shard 1", acts.Leader)
+			}
+			if len(acts.Moves) == 0 {
+				t.Fatalf("new leader issued no re-dispatch at round %d", r)
+			}
+			break
+		}
+	}
+	if sawElection != 8 {
+		t.Fatalf("election at round %d, want 8 (lease expiry)", sawElection)
+	}
+	if d.Elections() != 1 {
+		t.Fatalf("Elections() = %d, want 1", d.Elections())
+	}
+	if len(d.Pending()) != 0 {
+		t.Fatalf("pending after election = %v, want empty", d.Pending())
+	}
+}
+
+func TestDispatcherFlapRebalances(t *testing.T) {
+	d := New(Config{Shards: 3, Suspicion: 2})
+	loads := loadsN(12)
+	d.Init(loads, nil)
+	run(d, 0, 4, 0, 1, 2)
+	// Kill shard 1, wait for re-dispatch, then bring it back.
+	for r := 4; r < 8; r++ {
+		d.Beat(0, r)
+		d.Beat(2, r)
+		d.Advance(r)
+	}
+	for k, s := range d.Assignment() {
+		if s == 1 {
+			t.Fatalf("key %q still on dead shard 1", k)
+		}
+	}
+	var back Actions
+	for r := 8; r < 12; r++ {
+		back = run(d, r, r+1, 0, 1, 2)
+		if len(back.Recovered) > 0 {
+			break
+		}
+	}
+	if !reflect.DeepEqual(back.Recovered, []int{1}) {
+		t.Fatalf("recovered = %v, want [1]", back.Recovered)
+	}
+	if len(back.Moves) == 0 {
+		t.Fatal("recovery produced no rebalance moves")
+	}
+	perShard := map[int]int{}
+	for _, s := range d.Assignment() {
+		perShard[s]++
+	}
+	if perShard[1] == 0 {
+		t.Fatalf("recovered shard got no trees back: %v", perShard)
+	}
+	if len(d.Assignment()) != len(loads) {
+		t.Fatalf("assignment lost keys after flap: %v", d.Assignment())
+	}
+}
+
+func TestDispatcherRetargetSticky(t *testing.T) {
+	d := New(Config{Shards: 3})
+	loads := loadsN(9)
+	before := map[string]int{}
+	for k, s := range d.Init(loads, nil) {
+		before[k] = s
+	}
+	next := append(append([]Load(nil), loads[:8]...), Load{Key: "zz-new", Cost: 2})
+	after := d.Retarget(next, 1)
+	for _, l := range next[:8] {
+		if after[l.Key] != before[l.Key] {
+			t.Fatalf("persisting key %q moved %d -> %d", l.Key, before[l.Key], after[l.Key])
+		}
+	}
+	if _, dropped := after[loads[8].Key]; dropped {
+		t.Fatalf("dropped key %q still assigned", loads[8].Key)
+	}
+	if s, ok := after["zz-new"]; !ok || s < 0 || s > 2 {
+		t.Fatalf("new key placed on %d, ok=%v", s, ok)
+	}
+}
+
+func TestDispatcherSeedAdoption(t *testing.T) {
+	loads := loadsN(6)
+	seed := map[string]int{}
+	for i, l := range loads {
+		seed[l.Key] = (i + 1) % 3 // deliberately not what Balance picks
+	}
+	d := New(Config{Shards: 3})
+	if got := d.Init(loads, seed); !reflect.DeepEqual(got, seed) {
+		t.Fatalf("valid seed not adopted: got %v want %v", got, seed)
+	}
+
+	// A seed missing a key, or naming an out-of-range shard, is rejected.
+	missing := map[string]int{loads[0].Key: 0}
+	d2 := New(Config{Shards: 3})
+	if got := d2.Init(loads, missing); reflect.DeepEqual(got, missing) {
+		t.Fatal("partial seed adopted")
+	} else if len(got) != len(loads) {
+		t.Fatalf("fallback balance incomplete: %v", got)
+	}
+	bad := map[string]int{}
+	for _, l := range loads {
+		bad[l.Key] = 7
+	}
+	d3 := New(Config{Shards: 3})
+	got := d3.Init(loads, bad)
+	for k, s := range got {
+		if s < 0 || s > 2 {
+			t.Fatalf("out-of-range seed leaked: %q -> %d", k, s)
+		}
+	}
+}

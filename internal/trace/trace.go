@@ -52,6 +52,21 @@ const (
 	TreeRebuilt
 	// TreeDropped: a plan swap retired this tree's attribute set.
 	TreeDropped
+	// ShardDead: the dispatcher declared a collector shard dead (Node
+	// carries the shard index).
+	ShardDead
+	// ShardResume: a collector shard rejoined the session (Node carries
+	// the shard index).
+	ShardResume
+	// Orphan: a tree lost its owning shard (Node carries the dead shard
+	// index, TreeKey the tree).
+	Orphan
+	// Redispatch: the dispatcher re-homed an orphaned tree (Node the
+	// old shard, Peer the new one).
+	Redispatch
+	// Leader: the dispatcher elected a new leaseholder (Node carries the
+	// shard index).
+	Leader
 )
 
 // String implements fmt.Stringer.
@@ -89,6 +104,16 @@ func (k Kind) String() string {
 		return "tree-rebuilt"
 	case TreeDropped:
 		return "tree-dropped"
+	case ShardDead:
+		return "shard-dead"
+	case ShardResume:
+		return "shard-up"
+	case Orphan:
+		return "orphan"
+	case Redispatch:
+		return "redispatch"
+	case Leader:
+		return "leader"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -81,6 +81,48 @@ func Result(ctx Context, res cluster.Result) error {
 				ErrResult, i, e)
 		}
 	}
+	return ResultShardCounters(res)
+}
+
+// ResultShardCounters checks the sharded-tier fields of a result (also
+// run by Result): all zero on a single-collector result, internally
+// consistent on a sharded one (shards down within bounds, no more
+// re-dispatches than orphanings, exactly one watermark per shard, each
+// a round the session ran or the never-live sentinel -1).
+func ResultShardCounters(res cluster.Result) error {
+	if res.Shards == 0 {
+		if res.ShardsDown != 0 || res.OrphanedTrees != 0 || res.TreesRedispatched != 0 ||
+			res.LeaderElections != 0 || len(res.ShardWatermarks) != 0 {
+			return fmt.Errorf("%w: single-collector result carries shard counters (down %d, orphaned %d, redispatched %d, elections %d, %d watermarks)",
+				ErrResult, res.ShardsDown, res.OrphanedTrees, res.TreesRedispatched,
+				res.LeaderElections, len(res.ShardWatermarks))
+		}
+		return nil
+	}
+	if res.Shards < 0 {
+		return fmt.Errorf("%w: %d shards", ErrResult, res.Shards)
+	}
+	if res.ShardsDown < 0 || res.ShardsDown > res.Shards {
+		return fmt.Errorf("%w: %d of %d shards down", ErrResult, res.ShardsDown, res.Shards)
+	}
+	if res.OrphanedTrees < 0 || res.TreesRedispatched < 0 ||
+		res.TreesRedispatched > res.OrphanedTrees {
+		return fmt.Errorf("%w: %d trees redispatched of %d orphaned",
+			ErrResult, res.TreesRedispatched, res.OrphanedTrees)
+	}
+	if res.LeaderElections < 0 {
+		return fmt.Errorf("%w: %d leader elections", ErrResult, res.LeaderElections)
+	}
+	if len(res.ShardWatermarks) != res.Shards {
+		return fmt.Errorf("%w: %d watermarks for %d shards",
+			ErrResult, len(res.ShardWatermarks), res.Shards)
+	}
+	for s, w := range res.ShardWatermarks {
+		if w < -1 || w >= res.Rounds {
+			return fmt.Errorf("%w: shard %d watermark %d outside [-1, %d)",
+				ErrResult, s, w, res.Rounds)
+		}
+	}
 	return nil
 }
 

@@ -3,6 +3,7 @@ package remo
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"remo/internal/adapt"
@@ -96,6 +97,17 @@ type Monitor struct {
 	journalErr error
 	// restarts counts successful collector resumes.
 	restarts int
+
+	// Sharded durability (nil unless the session shards and journals).
+	// Each shard owns a journal directory under the session's, a scoped
+	// repository of the values it collected, and its own pending buffer,
+	// so a shard crash loses only that shard's unjournaled tail.
+	shardRepos    []*store.Store
+	shardPending  [][]journal.SampleRec
+	shardJournals []*journal.Writer
+	// movesSeen is how many dispatcher moves the main journal has
+	// already captured as assignment records.
+	movesSeen int
 }
 
 // FailurePolicy configures the self-healing behavior of a Monitor.
@@ -148,6 +160,17 @@ type MonitorConfig struct {
 	// value and has its trigger re-arm state checkpointed, so triggers
 	// resume with their cooldowns intact.
 	Processor *Processor
+	// Shards > 1 runs the collection tier as that many collector shards
+	// behind a leader-elected dispatcher: the forest is spread across
+	// them by placement cost, a shard death orphans only its trees (the
+	// dispatcher re-homes them onto survivors), and with Journal set
+	// each shard checkpoints its own state under Journal/shard-<i> (see
+	// Monitor.ResumeShard).
+	Shards int
+	// ShardLease overrides the dispatcher's leadership lease length in
+	// rounds (default shard.DefaultLeaseRounds; ignored unless
+	// Shards > 1).
+	ShardLease int
 }
 
 // ErrMonitorClosed is returned by operations on a closed Monitor.
@@ -160,7 +183,7 @@ var ErrUnreachable = transport.ErrUnreachable
 
 // StartMonitor plans the current task set and boots the live session.
 func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
-	return p.startMonitor(cfg, p.currentDemand(), nil)
+	return p.startMonitor(cfg, p.currentDemand(), nil, nil)
 }
 
 // startMonitor boots a session over the given demand (the planner's
@@ -168,8 +191,9 @@ func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
 // seedSets, when it forms a valid partition of the demand's universe,
 // seeds the initial topology deterministically from a journaled
 // partition instead of searching, so a cold resume rebuilds the exact
-// pre-crash forest.
-func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets []model.AttrSet) (*Monitor, error) {
+// pre-crash forest. seedAssign likewise seeds the shard dispatcher's
+// tree→shard map from a journaled assignment.
+func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets []model.AttrSet, seedAssign map[string]int) (*Monitor, error) {
 	scheme := cfg.Scheme
 	if scheme == "" {
 		if p.incReplan {
@@ -210,6 +234,13 @@ func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets 
 	if cfg.Journal != "" {
 		mon.repo = store.New(0)
 		mon.proc = cfg.Processor
+		if cfg.Shards > 1 {
+			mon.shardRepos = make([]*store.Store, cfg.Shards)
+			mon.shardPending = make([][]journal.SampleRec, cfg.Shards)
+			for s := range mon.shardRepos {
+				mon.shardRepos[s] = store.New(0)
+			}
+		}
 		user := cfg.OnValue
 		observer = func(pair Pair, round int, value float64) {
 			mon.repo.Observe(pair, round, value)
@@ -219,6 +250,17 @@ func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets 
 			mon.pending = append(mon.pending, journal.SampleRec{
 				Pair: pair, Round: round, Value: value,
 			})
+			// Route the value to its owning shard's repository and
+			// pending buffer; residual (shardless) values live only in
+			// the session-wide journal.
+			if mon.shardRepos != nil {
+				if s := mon.machine.ShardOf(pair); s >= 0 && s < len(mon.shardRepos) {
+					mon.shardRepos[s].Observe(pair, round, value)
+					mon.shardPending[s] = append(mon.shardPending[s], journal.SampleRec{
+						Pair: pair, Round: round, Value: value,
+					})
+				}
+			}
 			if user != nil {
 				user(pair, round, value)
 			}
@@ -237,6 +279,9 @@ func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets 
 		Detect:          det,
 		Observer:        observer,
 		Trace:           cfg.Trace,
+		Shards:          cfg.Shards,
+		ShardLease:      cfg.ShardLease,
+		SeedAssignment:  seedAssign,
 	}
 	if cfg.Journal != "" {
 		// A durable session fences plan epochs and buffers leaf output, so
@@ -276,8 +321,24 @@ func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets 
 			return nil, fmt.Errorf("remo: start journal: %w", err)
 		}
 		mon.journal = w
+		if cfg.Shards > 1 {
+			mon.shardJournals = make([]*journal.Writer, cfg.Shards)
+			for s := range mon.shardJournals {
+				sw, err := journal.Create(mon.shardDir(s), mon.jopts, mon.shardJournalState(s))
+				if err != nil {
+					_ = mon.Close()
+					return nil, fmt.Errorf("remo: start shard journal %d: %w", s, err)
+				}
+				mon.shardJournals[s] = sw
+			}
+		}
 	}
 	return mon, nil
+}
+
+// shardDir is the journal directory of shard s, under the session's.
+func (m *Monitor) shardDir(s int) string {
+	return filepath.Join(m.journalDir, fmt.Sprintf("shard-%d", s))
 }
 
 // currentDemand computes the planner's demand including frequency
@@ -330,6 +391,15 @@ func (m *Monitor) journalRound() {
 		m.pending = m.pending[:0]
 		return
 	}
+	// New dispatcher decisions (orphan re-dispatches, rebalances) are
+	// captured as full-assignment records before the samples, so a cold
+	// resume rebuilds the identical tree→shard map.
+	if m.machine.ShardCount() > 1 {
+		if moved := len(m.machine.ShardMoves()); moved > m.movesSeen {
+			m.movesSeen = moved
+			m.setJournalErr(m.journal.AppendAssignment(m.machine.ShardAssignment()))
+		}
+	}
 	recs := m.pending
 	m.pending = m.pending[:0]
 	due, err := m.journal.AppendSamples(m.machine.Round()-1, recs)
@@ -337,6 +407,22 @@ func (m *Monitor) journalRound() {
 		err = m.journal.Checkpoint(m.journalState())
 	}
 	m.setJournalErr(err)
+
+	// Per-shard journals: a down shard persists nothing — that outage is
+	// exactly the window its recovery must cover — and its unjournaled
+	// tail is discarded like the single collector's.
+	for s := range m.shardJournals {
+		srecs := m.shardPending[s]
+		m.shardPending[s] = m.shardPending[s][:0]
+		if m.machine.ShardDown(s) {
+			continue
+		}
+		due, err := m.shardJournals[s].AppendSamples(m.machine.Round()-1, srecs)
+		if err == nil && due {
+			err = m.shardJournals[s].Checkpoint(m.shardJournalState(s))
+		}
+		m.setJournalErr(err)
+	}
 }
 
 // setJournalErr retains the first journal write failure.
@@ -368,7 +454,23 @@ func (m *Monitor) journalState() journal.State {
 	if m.proc != nil {
 		s.Cooldowns = m.proc.Cooldowns()
 	}
+	if m.machine.ShardCount() > 1 {
+		s.Assignment = m.machine.ShardAssignment()
+	}
 	return s
+}
+
+// shardJournalState snapshots shard s's durable state: the scoped
+// repository of values it collected, under the session's current epoch
+// and fingerprint. Called with m.mu held (or before the monitor is
+// live).
+func (m *Monitor) shardJournalState(s int) journal.State {
+	return journal.State{
+		Epoch:       m.machine.Epoch(),
+		Fingerprint: m.adaptor.Forest().Fingerprint(),
+		Round:       m.machine.Round() - 1,
+		Store:       m.shardRepos[s],
+	}
 }
 
 // journalInstall logs a plan install (epoch bump) to the WAL. Called
@@ -379,6 +481,12 @@ func (m *Monitor) journalInstall() {
 	}
 	m.setJournalErr(m.journal.AppendEpoch(
 		m.machine.Epoch(), m.adaptor.Forest().Fingerprint(), m.adaptor.Demand()))
+	// An install retargets the dispatcher (fresh trees get placed), so
+	// the assignment in force is re-journaled alongside the epoch.
+	if m.machine.ShardCount() > 1 {
+		m.movesSeen = len(m.machine.ShardMoves())
+		m.setJournalErr(m.journal.AppendAssignment(m.machine.ShardAssignment()))
+	}
 }
 
 // Fingerprint returns the installed forest's structural fingerprint —
@@ -484,6 +592,20 @@ func (m *Monitor) Verify() error {
 	}
 	if err := verify.Result(ctx, m.machine.Result()); err != nil {
 		return fmt.Errorf("remo: live result failed verification: %w", err)
+	}
+	if m.machine.ShardCount() > 1 {
+		st := verify.ShardState{
+			Shards:     m.machine.ShardCount(),
+			Assignment: m.machine.ShardAssignment(),
+			Down:       m.machine.ShardsDownList(),
+			Pending:    m.machine.PendingOrphans(),
+		}
+		if err := verify.Sharding(st, m.adaptor.Forest()); err != nil {
+			return fmt.Errorf("remo: sharded tier failed verification: %w", err)
+		}
+		if err := verify.ShardUnion(m.machine.Result(), m.machine.ShardResults()); err != nil {
+			return fmt.Errorf("remo: sharded tier failed verification: %w", err)
+		}
 	}
 	return nil
 }
@@ -724,6 +846,60 @@ func (m *Monitor) Resume(journalDir string) (ResumeReport, error) {
 	}, nil
 }
 
+// ResumeShard restarts one crashed collector shard from its own
+// journal (Journal/shard-<s>): the shard's views are rebuilt strictly
+// from its recovered repository, its trees open an epoch past anything
+// the dead shard could have been sent, and the dispatcher rebalances
+// trees back onto it as soon as it heartbeats. The other shards are
+// untouched — that is the point of sharding the collection tier.
+//
+// The session must have been started with both Shards > 1 and
+// journaling.
+func (m *Monitor) ResumeShard(s int) (ResumeReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ResumeReport{}, ErrMonitorClosed
+	}
+	if m.shardJournals == nil {
+		return ResumeReport{}, errors.New("remo: resume shard: session is not sharded or not journaled")
+	}
+	if s < 0 || s >= len(m.shardJournals) {
+		return ResumeReport{}, fmt.Errorf("remo: resume shard: shard %d out of [0,%d)", s, len(m.shardJournals))
+	}
+	rec, err := journal.Recover(m.shardDir(s))
+	if err != nil {
+		return ResumeReport{}, fmt.Errorf("remo: resume shard %d: %w", s, err)
+	}
+	st := rec.State
+	if err := m.machine.ResumeShard(s, cluster.ResumeState{
+		Epoch: st.Epoch,
+		Repo:  st.Store,
+	}); err != nil {
+		return ResumeReport{}, fmt.Errorf("remo: resume shard %d: %w", s, err)
+	}
+	m.shardRepos[s] = st.Store
+	m.shardPending[s] = m.shardPending[s][:0]
+	m.restarts++
+
+	if m.shardJournals[s] != nil {
+		_ = m.shardJournals[s].Close()
+	}
+	w, err := journal.Create(m.shardDir(s), m.jopts, m.shardJournalState(s))
+	if err != nil {
+		return ResumeReport{}, fmt.Errorf("remo: resume shard %d: %w", s, err)
+	}
+	m.shardJournals[s] = w
+	return ResumeReport{
+		Epoch:            m.machine.Epoch(),
+		RecoveredRound:   rec.LastRound,
+		RecoveredSamples: st.Store.Len(),
+		ReplayedRecords:  rec.Replayed,
+		TornTail:         rec.Torn,
+		PlanMatched:      m.adaptor.Forest().Fingerprint() == st.Fingerprint,
+	}, nil
+}
+
 // ResumeMonitor cold-starts a monitoring session from a journal: the
 // recovered installed demand is replanned, a fresh machine boots at
 // round zero, and the collector is seeded with the journal's store,
@@ -742,7 +918,20 @@ func (p *Planner) ResumeMonitor(journalDir string, cfg MonitorConfig) (*Monitor,
 	if demand == nil || len(demand.Pairs()) == 0 {
 		demand = p.currentDemand()
 	}
-	mon, err := p.startMonitor(cfg, demand, st.Partition)
+	// Per-shard journals must be read before startMonitor re-seals them
+	// with fresh (empty) checkpoints. A missing or unreadable shard
+	// journal degrades to a cold shard, not a failed resume.
+	var shardRecs []*journal.Recovered
+	if cfg.Shards > 1 {
+		shardRecs = make([]*journal.Recovered, cfg.Shards)
+		for s := range shardRecs {
+			dir := filepath.Join(journalDir, fmt.Sprintf("shard-%d", s))
+			if sr, err := journal.Recover(dir); err == nil {
+				shardRecs[s] = sr
+			}
+		}
+	}
+	mon, err := p.startMonitor(cfg, demand, st.Partition, st.Assignment)
 	if err != nil {
 		return nil, ResumeReport{}, err
 	}
@@ -762,15 +951,46 @@ func (p *Planner) ResumeMonitor(journalDir string, cfg MonitorConfig) (*Monitor,
 		mon.proc.RestoreCooldowns(st.Cooldowns)
 	}
 	mon.restarts = 1
-	mon.machine.ResumeCollector(cluster.ResumeState{
-		Epoch: st.Epoch,
-		Repo:  st.Store,
-		Dead:  coldDead,
-	})
-	// Re-seal the journal with the recovered (not empty) state.
+	if mon.machine.ShardCount() > 1 {
+		// Sharded cold resume: each shard's views are seeded from its own
+		// journal (the main journal's assignment already rebuilt the
+		// tree→shard map via SeedAssignment), fenced past both the
+		// session epoch and the shard's journaled one.
+		for s, sr := range shardRecs {
+			if sr == nil {
+				continue
+			}
+			sst := sr.State
+			epoch := st.Epoch
+			if sst.Epoch > epoch {
+				epoch = sst.Epoch
+			}
+			if err := mon.machine.ResumeShard(s, cluster.ResumeState{
+				Epoch: epoch,
+				Repo:  sst.Store,
+			}); err != nil {
+				_ = mon.Close()
+				return nil, ResumeReport{}, fmt.Errorf("remo: resume shard %d: %w", s, err)
+			}
+			mon.shardRepos[s] = sst.Store
+		}
+	} else {
+		mon.machine.ResumeCollector(cluster.ResumeState{
+			Epoch: st.Epoch,
+			Repo:  st.Store,
+			Dead:  coldDead,
+		})
+	}
+	// Re-seal the journals with the recovered (not empty) state.
 	if err := mon.journal.Checkpoint(mon.journalState()); err != nil {
 		_ = mon.Close()
 		return nil, ResumeReport{}, fmt.Errorf("remo: resume: %w", err)
+	}
+	for s := range mon.shardJournals {
+		if err := mon.shardJournals[s].Checkpoint(mon.shardJournalState(s)); err != nil {
+			_ = mon.Close()
+			return nil, ResumeReport{}, fmt.Errorf("remo: resume shard %d: %w", s, err)
+		}
 	}
 	return mon, ResumeReport{
 		Epoch:            mon.machine.Epoch(),
@@ -836,7 +1056,58 @@ func (m *Monitor) Report() DeployReport {
 		FramesShed:        res.FramesShed,
 		FramesRedelivered: res.FramesRedelivered,
 		CollectorRestarts: m.restarts,
+		Shards:            res.Shards,
+		ShardsDown:        res.ShardsDown,
+		OrphanedTrees:     res.OrphanedTrees,
+		TreesRedispatched: res.TreesRedispatched,
+		LeaderElections:   res.LeaderElections,
+		ShardWatermarks:   res.ShardWatermarks,
+		Redispatches:      m.redispatchEvents(),
 	}
+}
+
+// redispatchEvents converts the dispatcher's move log for reporting.
+// Called with m.mu held.
+func (m *Monitor) redispatchEvents() []RedispatchEvent {
+	moves := m.machine.ShardMoves()
+	if len(moves) == 0 {
+		return nil
+	}
+	out := make([]RedispatchEvent, len(moves))
+	for i, mv := range moves {
+		out[i] = RedispatchEvent{
+			Round:     mv.Round,
+			TreeKey:   mv.Key,
+			FromShard: mv.From,
+			ToShard:   mv.To,
+		}
+	}
+	return out
+}
+
+// ShardCount returns the number of collector shards (0 for a
+// single-collector session).
+func (m *Monitor) ShardCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.machine.ShardCount()
+}
+
+// ShardAssignment snapshots the dispatcher's tree→shard map (nil for
+// single-collector sessions). Orphans awaiting re-dispatch are included,
+// booked to the dead shard they came from.
+func (m *Monitor) ShardAssignment() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.machine.ShardAssignment()
+}
+
+// ShardLeader returns the dispatcher's current leaseholder (-1 for
+// single-collector sessions).
+func (m *Monitor) ShardLeader() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.machine.ShardLeader()
 }
 
 // Close stops the session and releases its transport.
@@ -853,5 +1124,15 @@ func (m *Monitor) Close() error {
 		_ = m.journal.Close()
 		m.journal = nil
 	}
+	for s, w := range m.shardJournals {
+		if w == nil {
+			continue
+		}
+		if !m.machine.ShardDown(s) {
+			_ = w.Checkpoint(m.shardJournalState(s))
+		}
+		_ = w.Close()
+	}
+	m.shardJournals = nil
 	return m.machine.Close()
 }

@@ -40,8 +40,11 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) == 2 && args[0] == "-shard" {
+		return runShard(args[1])
+	}
 	if len(args) != 2 {
-		return fmt.Errorf("usage: benchguard <bench-output-file> <BENCH_planner.json>")
+		return fmt.Errorf("usage: benchguard <bench-output-file> <BENCH_planner.json> | benchguard -shard <BENCH_shard.json>")
 	}
 	seqNS, parNS, err := parseBench(args[0])
 	if err != nil {
@@ -60,6 +63,69 @@ func run(args []string) error {
 			live, headline)
 	}
 	return nil
+}
+
+// shardOverheadCeiling is the acceptance bound on the sharded tier's
+// per-round cost relative to the single collector: the 4-shard row of
+// the recorded dispatcher-overhead sweep must stay at or below +15%.
+const shardOverheadCeiling = 15.0
+
+// runShard gates the recorded sharded-tier headline: the OVERHEAD_PCT
+// cell of the 4-shard row in BENCH_shard.json's dispatcher-overhead
+// table. Unlike the planner gate this checks the checked-in document
+// itself — the sharding smoke in check.sh regenerates it at a reduced
+// scale, so the recorded full-scale number is the contract.
+func runShard(path string) error {
+	overhead, err := recordedShardOverhead(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    4-shard dispatcher overhead: %+.2f%% (ceiling %+.2f%%)\n",
+		overhead, shardOverheadCeiling)
+	if overhead > shardOverheadCeiling {
+		return fmt.Errorf("recorded 4-shard dispatcher overhead %+.2f%% exceeds the %+.2f%% ceiling",
+			overhead, shardOverheadCeiling)
+	}
+	return nil
+}
+
+// recordedShardOverhead returns the OVERHEAD_PCT cell of the x=4 row in
+// the recorded dispatcher-overhead table.
+func recordedShardOverhead(path string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var docs []runDoc
+	if err := json.Unmarshal(raw, &docs); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, doc := range docs {
+		for _, t := range doc.Tables {
+			if !strings.Contains(t.Title, "dispatcher overhead") {
+				continue
+			}
+			col := -1
+			for i, c := range t.Columns {
+				if c == "OVERHEAD_PCT" {
+					col = i
+				}
+			}
+			if col < 0 {
+				continue
+			}
+			for _, r := range t.Rows {
+				if r.X == 4 {
+					if col >= len(r.Cells) {
+						return 0, fmt.Errorf("%s: 4-shard row missing OVERHEAD_PCT cell", path)
+					}
+					return r.Cells[col], nil
+				}
+			}
+			return 0, fmt.Errorf("%s: dispatcher-overhead table lacks a 4-shard row", path)
+		}
+	}
+	return 0, fmt.Errorf("%s: no dispatcher-overhead table with an OVERHEAD_PCT column", path)
 }
 
 // benchLine matches one `go test -bench` result line.

@@ -106,3 +106,61 @@ func TestRecordedHeadlineErrors(t *testing.T) {
 		t.Fatal("recordedHeadline without a Fig 6a table succeeded")
 	}
 }
+
+const shardJSON = `[
+  {
+    "name": "shard",
+    "tables": [
+      {
+        "Title": "Sharded tier — dispatcher overhead vs single collector (Fig 6a shape)",
+        "Columns": ["SINGLE_MS", "SHARD_MS", "OVERHEAD_PCT"],
+        "Rows": [
+          {"X": 2, "Cells": [30, 36, 20.0]},
+          {"X": 4, "Cells": [30, 33, 9.5]},
+          {"X": 8, "Cells": [30, 40, 33.0]}
+        ]
+      }
+    ]
+  }
+]`
+
+func TestShardGatePassesBelowCeiling(t *testing.T) {
+	doc := write(t, "BENCH_shard.json", shardJSON)
+	if err := run([]string{"-shard", doc}); err != nil {
+		t.Fatalf("run failed below the ceiling: %v", err)
+	}
+}
+
+func TestShardGateFailsAboveCeiling(t *testing.T) {
+	hot := strings.ReplaceAll(shardJSON, "9.5", "15.1")
+	doc := write(t, "BENCH_shard.json", hot)
+	err := run([]string{"-shard", doc})
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("run above the ceiling returned %v, want ceiling error", err)
+	}
+}
+
+func TestShardGateInputErrors(t *testing.T) {
+	if err := run([]string{"-shard", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("missing document accepted")
+	}
+	noRow := strings.ReplaceAll(shardJSON, `"X": 4`, `"X": 5`)
+	if err := run([]string{"-shard", write(t, "norow.json", noRow)}); err == nil {
+		t.Fatal("document without a 4-shard row accepted")
+	}
+	noCol := strings.ReplaceAll(shardJSON, "OVERHEAD_PCT", "OVERHEAD")
+	if err := run([]string{"-shard", write(t, "nocol.json", noCol)}); err == nil {
+		t.Fatal("document without an OVERHEAD_PCT column accepted")
+	}
+	if err := run([]string{"-shard", write(t, "garbage.json", "{")}); err == nil {
+		t.Fatal("unparseable document accepted")
+	}
+}
+
+func TestShardGateAgainstCheckedInDocument(t *testing.T) {
+	// The real gate in check.sh runs against the repo's BENCH_shard.json;
+	// keep the checked-in document passing.
+	if err := run([]string{"-shard", "../../BENCH_shard.json"}); err != nil {
+		t.Fatalf("checked-in BENCH_shard.json fails the gate: %v", err)
+	}
+}

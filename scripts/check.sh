@@ -48,6 +48,16 @@ go run ./cmd/remo-sim -nodes 30 -tasks 15 -rounds 24 \
     -journal "$journal_dir" -chaos-collector 8 -verify > /dev/null
 rm -rf "$journal_dir"
 
+echo "==> sharding chaos smoke (shard crash + orphan re-dispatch, verified, under -race)"
+go test -race -count=1 -run 'TestShard' . ./internal/cluster ./internal/shard ./internal/verify
+journal_dir=$(mktemp -d)
+go run ./cmd/remo-sim -nodes 30 -tasks 15 -rounds 24 -seed 7 -shards 4 \
+    -journal "$journal_dir" -chaos-shard 0 -verify > /dev/null
+rm -rf "$journal_dir"
+
+echo "==> sharded-tier overhead gate (BENCH_shard.json headline)"
+go run ./scripts/benchguard -shard BENCH_shard.json
+
 echo "==> fuzz smoke (FuzzDecode, 10s)"
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/transport
 
