@@ -108,6 +108,12 @@ func BenchmarkAblations(b *testing.B) { benchFigure(b, "ablations") }
 // it inside scripts/check.sh's 'BenchmarkPlanner' one-iteration smoke.
 func BenchmarkPlannerChurn(b *testing.B) { benchFigure(b, "churn") }
 
+// BenchmarkSuppress regenerates the forecast-suppression experiment
+// (wire bytes at accuracy, plus fault robustness); scripts/check.sh
+// runs it one-shot as the suppression smoke and gates the recorded
+// headline in BENCH_suppress.json via benchguard -suppress.
+func BenchmarkSuppress(b *testing.B) { benchFigure(b, "suppress") }
+
 // --- Micro-benchmarks -------------------------------------------------
 
 // benchEnv builds a reusable planning environment.

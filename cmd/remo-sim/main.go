@@ -31,6 +31,15 @@
 // journal:
 //
 //	remo-sim -rounds 40 -shards 4 -journal /tmp/j -chaos-shard 1 -verify
+//
+// With -predict the session runs forecast-driven dead-band traffic
+// suppression: leaves and the collector keep bit-identical forecasting
+// replicas, values within -predict-eps of the shared prediction travel
+// as compact markers instead of payloads, and the collector imputes
+// them within the band. The ground truth switches to a utilization-
+// style plateau workload, the dynamics suppression exploits:
+//
+//	remo-sim -rounds 80 -predict -predict-eps 0.01 -verify
 package main
 
 import (
@@ -71,6 +80,10 @@ func run(args []string, stdout io.Writer) error {
 		chaosDelay = fs.Float64("chaos-delay", 0, "delay each message one round with this probability")
 		suspicion  = fs.Int("suspicion", 3, "failure-detector suspicion window in rounds")
 
+		predictOn   = fs.Bool("predict", false, "arm forecast-driven dead-band traffic suppression (switches ground truth to a plateau workload)")
+		predictEps  = fs.Float64("predict-eps", 0.01, "suppression error bound as a relative fraction (requires -predict)")
+		predictSync = fs.Int("predict-sync", 0, "periodic model re-sync cadence in rounds, 0 = library default (requires -predict)")
+
 		journalDir = fs.String("journal", "", "journal directory: checkpoint and WAL the session for crash recovery")
 		collCrash  = fs.Int("chaos-collector", 0, "crash the central collector at this round and resume it from -journal (0 = off)")
 		shards     = fs.Int("shards", 1, "run the collection tier as this many collector shards behind a leader-elected dispatcher")
@@ -82,7 +95,7 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := validateFlags(fs, *rounds, *suspicion, *journalDir, *collCrash, *shards, *shardCrash); err != nil {
+	if err := validateFlags(fs, *rounds, *suspicion, *journalDir, *collCrash, *shards, *shardCrash, *predictOn, *predictEps, *predictSync); err != nil {
 		return err
 	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -95,9 +108,24 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}()
 
-	planner, err := buildPlanner(*specPath, *nodes, *attrs, *tasks, *seed, *scheme, *verifyOn)
+	var extraOpts []remo.PlannerOption
+	if *predictOn {
+		extraOpts = append(extraOpts, remo.WithPrediction(*predictEps))
+	}
+	planner, err := buildPlanner(*specPath, *nodes, *attrs, *tasks, *seed, *scheme, *verifyOn, extraOpts...)
 	if err != nil {
 		return err
+	}
+	if *predictOn && *predictSync > 0 {
+		if err := planner.SetPredictionSync(*predictSync); err != nil {
+			return err
+		}
+	}
+	// Suppression thrives on utilization-style plateau dynamics; the
+	// default bursty generator would defeat a tight band.
+	var source remo.ValueSource
+	if *predictOn {
+		source = remo.UtilWalk{Seed: uint64(*seed)}
 	}
 	plan, err := planner.Plan()
 	if err != nil {
@@ -127,6 +155,7 @@ func run(args []string, stdout io.Writer) error {
 			shardCrash: *shardCrash,
 			trace:      rec,
 			verify:     *verifyOn,
+			source:     source,
 		}, stdout)
 	} else {
 		rep, err = plan.Deploy(remo.DeployConfig{
@@ -134,6 +163,7 @@ func run(args []string, stdout io.Writer) error {
 			UseTCP: *useTCP,
 			Seed:   uint64(*seed),
 			Trace:  rec,
+			Source: source,
 		})
 	}
 	if err != nil {
@@ -149,6 +179,15 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  avg staleness:   %.2f rounds\n", rep.AvgStaleness)
 	fmt.Fprintf(stdout, "  traffic:         %d messages sent, %d dropped, %d values delivered\n",
 		rep.MessagesSent, rep.MessagesDropped, rep.ValuesDelivered)
+	if *predictOn {
+		suppPct := 0.0
+		if rep.ValuesObserved > 0 {
+			suppPct = 100 * float64(rep.ValuesSuppressed) / float64(rep.ValuesObserved)
+		}
+		fmt.Fprintf(stdout, "  suppression:     %d/%d values elided (%.1f%%), %d imputed, %d model syncs, %d markers lost, band use %.3f\n",
+			rep.ValuesSuppressed, rep.ValuesObserved, suppPct,
+			rep.ValuesImputed, rep.ModelSyncs, rep.MarkersLost, rep.ImputeBandMax)
+	}
 	if rep.CollectorRestarts > 0 || rep.FramesBuffered > 0 || rep.StaleEpochFrames > 0 {
 		fmt.Fprintf(stdout, "durability: %d collector restart(s); %d frames buffered (%d redelivered, %d shed); %d stale-epoch frames fenced\n",
 			rep.CollectorRestarts, rep.FramesBuffered, rep.FramesRedelivered, rep.FramesShed, rep.StaleEpochFrames)
@@ -188,7 +227,7 @@ func run(args []string, stdout io.Writer) error {
 // nothing (explicitly-zero chaos rates), cannot work (a suspicion
 // window shorter than one round), or contradict each other (a collector
 // crash with no journal to resume from).
-func validateFlags(fs *flag.FlagSet, rounds, suspicion int, journalDir string, collCrash, shards, shardCrash int) error {
+func validateFlags(fs *flag.FlagSet, rounds, suspicion int, journalDir string, collCrash, shards, shardCrash int, predictOn bool, predictEps float64, predictSync int) error {
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
@@ -225,6 +264,18 @@ func validateFlags(fs *flag.FlagSet, rounds, suspicion int, journalDir string, c
 	if set["shards"] && shards < 1 {
 		return fmt.Errorf("-shards must be at least 1 (got %d)", shards)
 	}
+	if set["predict-eps"] && !predictOn {
+		return fmt.Errorf("-predict-eps requires -predict: the bound only applies once suppression is armed")
+	}
+	if set["predict-sync"] && !predictOn {
+		return fmt.Errorf("-predict-sync requires -predict: the re-sync cadence only applies once suppression is armed")
+	}
+	if predictOn && (predictEps <= 0 || predictEps > 1) {
+		return fmt.Errorf("-predict-eps must be a relative fraction in (0, 1] (got %v)", predictEps)
+	}
+	if predictOn && set["predict-sync"] && predictSync < 1 {
+		return fmt.Errorf("-predict-sync must be at least 1 round (got %d)", predictSync)
+	}
 	if set["chaos-shard"] {
 		if shards < 2 {
 			return fmt.Errorf("-chaos-shard requires -shards of at least 2: a single-collector session has no shard to crash")
@@ -254,6 +305,7 @@ type chaosOpts struct {
 	shardCrash int
 	trace      *remo.TraceRecorder
 	verify     bool
+	source     remo.ValueSource
 }
 
 // runChaos runs a self-healing live session: a fraction of nodes
@@ -297,6 +349,7 @@ func runChaos(planner *remo.Planner, o chaosOpts, stdout io.Writer) (remo.Deploy
 	mon, err := planner.StartMonitor(remo.MonitorConfig{
 		UseTCP:  o.useTCP,
 		Seed:    o.seed,
+		Source:  o.source,
 		Chaos:   cc,
 		Failure: &remo.FailurePolicy{SuspicionRounds: o.suspicion},
 		Trace:   o.trace,
@@ -379,7 +432,7 @@ func clipKey(k string) string {
 
 // buildPlanner assembles the planning problem from a spec file or the
 // synthetic generator.
-func buildPlanner(specPath string, nodes, attrs, tasks int, seed int64, scheme string, verifyOn bool) (*remo.Planner, error) {
+func buildPlanner(specPath string, nodes, attrs, tasks int, seed int64, scheme string, verifyOn bool, extra ...remo.PlannerOption) (*remo.Planner, error) {
 	opt, err := schemeOption(scheme)
 	if err != nil {
 		return nil, err
@@ -388,6 +441,7 @@ func buildPlanner(specPath string, nodes, attrs, tasks int, seed int64, scheme s
 	if verifyOn {
 		opts = append(opts, remo.WithVerification())
 	}
+	opts = append(opts, extra...)
 
 	if specPath != "" {
 		f, err := os.Open(specPath)

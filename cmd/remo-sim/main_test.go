@@ -259,3 +259,69 @@ func TestShardFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestPredictFlagRunsSuppression(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "15", "-attrs", "5", "-tasks", "6", "-rounds", "40",
+		"-predict", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"suppression:", "values elided", "imputed", "model syncs", "verification:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPredictFlagWithChaosDropAndSync(t *testing.T) {
+	// Dropped frames kill markers with them; the session must ride it out
+	// (re-syncs re-lock the replicas) and still report the run.
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "15", "-attrs", "5", "-tasks", "6", "-rounds", "30",
+		"-predict", "-predict-eps", "0.05", "-predict-sync", "8",
+		"-chaos-drop", "0.15", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "suppression:") || !strings.Contains(got, "emulation: 30 rounds") {
+		t.Errorf("suppression or emulation summary missing:\n%s", got)
+	}
+}
+
+func TestPredictFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"eps without predict", []string{"-predict-eps", "0.02"}, "requires -predict"},
+		{"sync without predict", []string{"-predict-sync", "8"}, "requires -predict"},
+		{"zero eps", []string{"-predict", "-predict-eps", "0"}, "(0, 1]"},
+		{"negative eps", []string{"-predict", "-predict-eps", "-0.01"}, "(0, 1]"},
+		{"overshooting eps", []string{"-predict", "-predict-eps", "1.5"}, "(0, 1]"},
+		{"zero sync", []string{"-predict", "-predict-sync", "0"}, "at least 1 round"},
+		{"negative sync", []string{"-predict", "-predict-sync", "-4"}, "at least 1 round"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		err := run(tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	// Boundary values are accepted: a 100% band and a 1-round cadence.
+	var out strings.Builder
+	if err := run([]string{
+		"-nodes", "10", "-attrs", "3", "-tasks", "4", "-rounds", "6",
+		"-predict", "-predict-eps", "1", "-predict-sync", "1",
+	}, &out); err != nil {
+		t.Errorf("boundary prediction flags rejected: %v", err)
+	}
+}

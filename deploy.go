@@ -65,6 +65,18 @@ type ValueSource = cluster.ValueSource
 // ValueFunc adapts a function to the ValueSource interface.
 type ValueFunc = cluster.ValueFunc
 
+// Deterministic value generators, re-exported for DeployConfig.Source
+// and MonitorConfig.Source.
+type (
+	// BurstyWalk models bursty stream-processing metrics: baseline,
+	// periodic drift, occasional spikes (the zero-config default).
+	BurstyWalk = cluster.BurstyWalk
+	// UtilWalk models machine-utilization series: long plateaus with a
+	// slight drift, punctuated by level shifts — the dynamics
+	// forecast-driven suppression (WithPrediction) exploits.
+	UtilWalk = cluster.UtilWalk
+)
+
 // DeployConfig parameterizes an emulated deployment of a plan.
 type DeployConfig struct {
 	// Rounds is the number of collection rounds (default 30).
@@ -127,6 +139,23 @@ type DeployReport struct {
 	// ErrorSeries is the average percentage error per round — the
 	// warm-up/convergence curve.
 	ErrorSeries []float64
+	// ValuesObserved, ValuesSuppressed, ValuesImputed, ModelSyncs and
+	// MarkersLost account forecast-driven dead-band suppression
+	// (sessions armed via WithPrediction; all zero otherwise):
+	// suppression-eligible observations, observations elided from the
+	// wire as within-band, markers the collector turned into imputed
+	// values, periodic/forced model re-syncs absorbed, and markers that
+	// died with their frame or were refused as unsafe. Conservation:
+	// ValuesSuppressed ≤ ValuesObserved and
+	// ValuesImputed + MarkersLost ≤ ValuesSuppressed.
+	ValuesObserved   int
+	ValuesSuppressed int
+	ValuesImputed    int
+	ModelSyncs       int
+	MarkersLost      int
+	// ImputeBandMax is the worst observed |imputed − truth| as a
+	// fraction of the allowed band — ≤ 1 by construction.
+	ImputeBandMax float64
 	// FailuresDetected counts death declarations by the failure detector
 	// (self-healing sessions only).
 	FailuresDetected int
@@ -264,6 +293,7 @@ func (p *Plan) Deploy(cfg DeployConfig) (DeployReport, error) {
 		Chaos:           cfg.Chaos,
 		Observer:        cfg.OnValue,
 		Trace:           cfg.Trace,
+		Predict:         p.predSpec,
 	}
 	if cfg.UseTCP {
 		tr, err := transport.NewTCP(p.sys.NodeIDs())
@@ -293,6 +323,12 @@ func (p *Plan) Deploy(cfg DeployConfig) (DeployReport, error) {
 		MessagesSent:     res.MessagesSent,
 		MessagesDropped:  res.MessagesDropped,
 		ValuesDelivered:  res.ValuesDelivered,
+		ValuesObserved:   res.ValuesObserved,
+		ValuesSuppressed: res.ValuesSuppressed,
+		ValuesImputed:    res.ValuesImputed,
+		ModelSyncs:       res.ModelSyncs,
+		MarkersLost:      res.MarkersLost,
+		ImputeBandMax:    res.ImputeBandMax,
 		ErrorSeries:      res.ErrorSeries,
 	}, nil
 }

@@ -1,10 +1,12 @@
 package remo
 
 import (
+	"errors"
 	"fmt"
 
 	"remo/internal/freq"
 	"remo/internal/partition"
+	"remo/internal/predict"
 	"remo/internal/reliability"
 	"remo/internal/workload"
 )
@@ -108,6 +110,76 @@ func (p *Planner) SetFrequency(a AttrID, f float64) error {
 	if err := p.freqSpec.Set(a, f); err != nil {
 		return fmt.Errorf("remo: %w", err)
 	}
+	return nil
+}
+
+// ErrPredictionOff is returned by the SetPrediction* family when the
+// planner was built without WithPrediction.
+var ErrPredictionOff = errors.New("remo: prediction not armed; construct the planner with WithPrediction")
+
+// SetPredictionBound overrides the dead-band suppression error bound
+// for attribute a (relative, e.g. 0.02 = 2%). The planner must have
+// been built with WithPrediction.
+func (p *Planner) SetPredictionBound(a AttrID, eps float64) error {
+	if p.predSpec == nil {
+		return ErrPredictionOff
+	}
+	if err := p.predSpec.Set(a, eps); err != nil {
+		return fmt.Errorf("remo: %w", err)
+	}
+	return nil
+}
+
+// SetPredictionModel overrides the forecasting model kind for
+// attribute a (PredictEWMA or PredictHolt). The planner must have been
+// built with WithPrediction.
+func (p *Planner) SetPredictionModel(a AttrID, k predict.Kind) error {
+	if p.predSpec == nil {
+		return ErrPredictionOff
+	}
+	p.predSpec.SetModel(a, k)
+	return nil
+}
+
+// SetPredictionSync overrides the periodic model re-sync cadence: every
+// cadence rounds (staggered per node) a leaf transmits the true value
+// and both replicas reset onto it, bounding how long a silently lost
+// marker can keep a pair refusing imputation. The planner must have
+// been built with WithPrediction.
+func (p *Planner) SetPredictionSync(cadence int) error {
+	if p.predSpec == nil {
+		return ErrPredictionOff
+	}
+	if cadence < 1 {
+		return fmt.Errorf("remo: prediction sync cadence must be at least 1 round (got %d)", cadence)
+	}
+	p.predSpec.SyncEvery = cadence
+	return nil
+}
+
+// SetPredictionRate records an expected transmit rate for attribute a
+// (fraction of due rounds actually sent, in (0, 1]); Plan then packs
+// against rate-discounted weights and cost estimates scale payload by
+// the rate (cost.Rate composes it with frequency weights). Rates feed
+// planning only — a live session's suppression is driven by the error
+// bounds, never by recorded rates.
+func (p *Planner) SetPredictionRate(a AttrID, rate float64) error {
+	if p.predSpec == nil {
+		return ErrPredictionOff
+	}
+	p.predSpec.SetRate(a, rate)
+	return nil
+}
+
+// ObservePredictionRate feeds a realized transmit rate (for example
+// 1 - suppressed/observed from a session's DeployReport) back into the
+// planner, padded by the spec's safety tolerance so later plans stay
+// conservative.
+func (p *Planner) ObservePredictionRate(a AttrID, realized float64) error {
+	if p.predSpec == nil {
+		return ErrPredictionOff
+	}
+	p.predSpec.ObserveRate(a, realized)
 	return nil
 }
 

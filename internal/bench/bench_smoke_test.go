@@ -20,7 +20,7 @@ func colMean(t *testing.T, tbl *metrics.Table, name string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner", "churn", "runtime", "shard"}
+	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner", "churn", "runtime", "shard", "suppress"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -337,5 +337,73 @@ func TestChurnShape(t *testing.T) {
 				t.Fatalf("%s row %d = %v out of [0,100]", col, i, v)
 			}
 		}
+	}
+}
+
+func TestSuppressShape(t *testing.T) {
+	tables := Suppress(Options{Scale: 0.15, Seed: 4, Rounds: 60})
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	sweep, robust := tables[0], tables[1]
+	for _, c := range suppressColumns {
+		if _, ok := sweep.Column(c); !ok {
+			t.Fatalf("sweep table lacks column %q", c)
+		}
+	}
+	reduction, _ := sweep.Column("REDUCTION_X")
+	if len(reduction) != 5 {
+		t.Fatalf("sweep rows = %d, want 5 bounds", len(reduction))
+	}
+	for i, r := range reduction {
+		if r <= 1 {
+			t.Errorf("row %d: suppression inflated traffic (%.2fx)", i, r)
+		}
+	}
+	// Looser bounds buy more reduction: the series must be non-decreasing
+	// (ties allowed — adjacent bounds can saturate the same plateaus).
+	for i := 1; i < len(reduction); i++ {
+		if reduction[i] < reduction[i-1]-0.05 {
+			t.Errorf("reduction not monotone in eps: %v", reduction)
+		}
+	}
+	band, _ := sweep.Column("BAND_MAX")
+	errPct, _ := sweep.Column("ERR_PCT")
+	for i := range band {
+		if band[i] > 1+1e-6 {
+			t.Errorf("row %d: BAND_MAX %.6f breaks the dead band", i, band[i])
+		}
+		if errPct[i] > 10 {
+			t.Errorf("row %d: avg error %.2f%% too high under suppression", i, errPct[i])
+		}
+	}
+
+	for _, c := range suppressChaosColumns {
+		if _, ok := robust.Column(c); !ok {
+			t.Fatalf("robustness table lacks column %q", c)
+		}
+	}
+	rBand, _ := robust.Column("BAND_MAX")
+	rRed, _ := robust.Column("REDUCTION_X")
+	imputed, _ := robust.Column("IMPUTED")
+	if len(rBand) != 3 {
+		t.Fatalf("robustness rows = %d, want drop/crash/shard", len(rBand))
+	}
+	for i := range rBand {
+		if rBand[i] > 1+1e-6 {
+			t.Errorf("scenario %d: BAND_MAX %.6f breaks the dead band", i+1, rBand[i])
+		}
+		if rRed[i] <= 1 {
+			t.Errorf("scenario %d: no byte reduction (%.2fx)", i+1, rRed[i])
+		}
+		if imputed[i] <= 0 {
+			t.Errorf("scenario %d: nothing imputed", i+1)
+		}
+	}
+	// The lossy scenario must actually lose markers — that is the
+	// refuse-don't-guess path under test.
+	lost, _ := robust.Column("MARKERS_LOST")
+	if lost[0] <= 0 {
+		t.Error("drop scenario lost no markers; chaos not exercised")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"remo/internal/detect"
 	"remo/internal/model"
 	"remo/internal/plan"
+	"remo/internal/predict"
 	"remo/internal/task"
 	"remo/internal/trace"
 	"remo/internal/transport"
@@ -109,6 +110,19 @@ type Config struct {
 	// journal-recovery path that must rebuild the identical pre-crash
 	// assignment. Otherwise the dispatcher places from scratch.
 	SeedAssignment map[string]int
+	// Predict arms forecast-driven traffic suppression: every leaf and
+	// its collector keep bit-identical model replicas per (node,
+	// attribute) pair, values within the spec's dead band are withheld
+	// from the wire (a ~3-byte marker rides instead), and the collector
+	// imputes them from its replica. Aliased and aggregated attributes
+	// are exempt. Nil disables suppression (the default) and leaves the
+	// session's traffic byte-identical to pre-suppression builds.
+	Predict *predict.Spec
+	// SeedModels seeds both ends' model replicas on a cold resume
+	// (Monitor.ResumeMonitor): leaf and collector restart from the same
+	// checkpointed snapshot, so they are in lockstep from round zero and
+	// suppression resumes without waiting for the first periodic sync.
+	SeedModels map[model.Pair]predict.Snapshot
 
 	// delaySink receives chaos-delayed messages with their due round; set
 	// by the machine so sendPhase can hand messages back for later
@@ -180,6 +194,31 @@ type Result struct {
 	MessagesDropped int
 	// ValuesDelivered counts attribute values received by the collector.
 	ValuesDelivered int
+	// ValuesObserved counts leaf observations of suppression-eligible
+	// slots (prediction armed, holistic, unaliased). Zero when
+	// Config.Predict is nil.
+	ValuesObserved int
+	// ValuesSuppressed counts observations withheld from the wire
+	// because the shared forecast was within the attribute's dead band.
+	// ValuesSuppressed <= ValuesObserved.
+	ValuesSuppressed int
+	// ValuesImputed counts suppressed slots the collector reconstructed
+	// from its model replica.
+	ValuesImputed int
+	// ModelSyncs counts forced ground-truth re-syncs the collector
+	// absorbed (both replicas reset and re-seed from the carried value).
+	ModelSyncs int
+	// MarkersLost counts suppression markers that died before
+	// imputation: frames dropped on the wire or by budgets, fencing,
+	// outage buffering (markers are stripped when a frame is parked),
+	// and collector-side refusals when its replica cannot guarantee the
+	// dead band. ValuesImputed + MarkersLost <= ValuesSuppressed.
+	MarkersLost int
+	// ImputeBandMax is the maximum |imputed − truth| / band ratio over
+	// all imputations; <= 1 whenever the replicas stayed in lockstep,
+	// which the sync/gap protocol guarantees. Zero when nothing was
+	// imputed.
+	ImputeBandMax float64
 	// ErrorSeries is the average percentage error per round (warm-up
 	// curves, convergence analysis).
 	ErrorSeries []float64
@@ -237,6 +276,20 @@ type membership struct {
 	// phase rewrites the buffer. Chaos-delayed messages outlive the
 	// round, so the machine's delay sink clones them.
 	compose []transport.Value
+	// composeSupp/composeSync are the reused suppression-marker sections
+	// of the outgoing message (relayed markers plus this node's own),
+	// under the same reuse discipline as compose.
+	composeSupp []transport.Supp
+	composeSync []transport.Supp
+}
+
+// leafPred is one leaf-side model replica. needSync forces the next
+// due transmission to carry the ground truth with a reset marker —
+// set when the replica is created, when the plan swaps, and when a
+// frame carrying this attribute's markers is lost locally.
+type leafPred struct {
+	m        predict.Model
+	needSync bool
 }
 
 // pendingFrame is one outgoing message parked in a node's buffer while
@@ -254,8 +307,12 @@ type nodeState struct {
 	id          model.NodeID
 	capacity    float64
 	memberships []membership
-	// relay buffers child values per tree between rounds.
-	relay map[string][]transport.Value
+	// relay buffers child values per tree between rounds; relaySupp and
+	// relaySync buffer the matching suppression/sync markers (nil maps
+	// until the first marker arrives — suppression off costs nothing).
+	relay     map[string][]transport.Value
+	relaySupp map[string][]transport.Supp
+	relaySync map[string][]transport.Supp
 	// budget is the round's remaining capacity, shared by the receive
 	// and send phases.
 	budget float64
@@ -270,6 +327,59 @@ type nodeState struct {
 	buffered    int
 	shed        int
 	redelivered int
+	// pred holds this node's model replicas by attribute (an attribute
+	// lives in exactly one tree, so the map is membership-agnostic);
+	// observed/suppressed/markersLost feed the Result suppression
+	// counters.
+	pred        map[model.AttrID]*leafPred
+	observed    int
+	suppressed  int
+	markersLost int
+}
+
+// leafModel returns (creating on first use) the node's replica for
+// attribute a. A fresh replica starts needing a sync — unless a cold
+// resume seeded this pair, in which case both ends restart from the
+// same snapshot and are already in lockstep.
+func (st *nodeState) leafModel(cfg Config, a model.AttrID) *leafPred {
+	lp, ok := st.pred[a]
+	if ok {
+		return lp
+	}
+	if st.pred == nil {
+		st.pred = make(map[model.AttrID]*leafPred)
+	}
+	if sn, seeded := cfg.SeedModels[model.Pair{Node: st.id, Attr: a}]; seeded {
+		lp = &leafPred{m: predict.FromSnapshot(sn)}
+	} else {
+		lp = &leafPred{m: cfg.Predict.New(a), needSync: true}
+	}
+	st.pred[a] = lp
+	return lp
+}
+
+// loseMarkers accounts a frame's suppression markers dying with it and
+// forces a re-sync for this node's own affected attributes (relayed
+// markers belong to descendants, whose own periodic sync re-locks
+// them). Sync markers are not counted lost — their carried value died
+// too, so the collector replica simply never re-seeded — but losing
+// one still desynchronizes this node's replica, hence the needSync.
+func (st *nodeState) loseMarkers(supps, syncs []transport.Supp) {
+	st.markersLost += len(supps)
+	for _, e := range supps {
+		if e.Node == st.id {
+			if lp, ok := st.pred[e.Attr]; ok {
+				lp.needSync = true
+			}
+		}
+	}
+	for _, e := range syncs {
+		if e.Node == st.id {
+			if lp, ok := st.pred[e.Attr]; ok {
+				lp.needSync = true
+			}
+		}
+	}
 }
 
 // Run executes a fixed-length emulation and returns the collector's
@@ -363,10 +473,23 @@ func (st *nodeState) receivePhase(cfg Config, tr transport.Transport, round int)
 	if st.dead(cfg, round) {
 		// Dead nodes silently discard input and lose their buffered relay
 		// state — a recovered node restarts cold. Their outgoing buffer is
-		// lost with them.
-		_ = tr.Drain(st.id)
+		// lost with them, as are any relayed suppression markers; the
+		// node's own replicas must re-sync when it comes back.
+		for _, msg := range tr.Drain(st.id) {
+			st.markersLost += len(msg.Suppressed)
+		}
 		for k := range st.relay {
 			st.relay[k] = nil
+		}
+		for k := range st.relaySupp {
+			st.markersLost += len(st.relaySupp[k])
+			st.relaySupp[k] = nil
+		}
+		for k := range st.relaySync {
+			st.relaySync[k] = nil
+		}
+		for _, lp := range st.pred {
+			lp.needSync = true
 		}
 		if len(st.outbox) > 0 {
 			st.shed += len(st.outbox)
@@ -383,11 +506,13 @@ func (st *nodeState) receivePhase(cfg Config, tr transport.Transport, round int)
 			// routed for a pre-swap (or pre-crash) topology cannot leak into
 			// the current one.
 			st.stale++
+			st.markersLost += len(msg.Suppressed)
 			continue
 		}
 		c := cfg.Sys.Cost.Message(len(msg.Values))
 		if cfg.EnforceCapacity && c > st.budget {
 			st.drops++
+			st.markersLost += len(msg.Suppressed)
 			if cfg.Trace != nil {
 				cfg.Trace.Record(trace.Event{
 					Round: round, Kind: trace.RecvDrop, Node: st.id,
@@ -398,6 +523,18 @@ func (st *nodeState) receivePhase(cfg Config, tr transport.Transport, round int)
 		}
 		st.budget -= c
 		st.relay[msg.TreeKey] = append(st.relay[msg.TreeKey], msg.Values...)
+		if len(msg.Suppressed) > 0 {
+			if st.relaySupp == nil {
+				st.relaySupp = make(map[string][]transport.Supp)
+			}
+			st.relaySupp[msg.TreeKey] = append(st.relaySupp[msg.TreeKey], msg.Suppressed...)
+		}
+		if len(msg.Syncs) > 0 {
+			if st.relaySync == nil {
+				st.relaySync = make(map[string][]transport.Supp)
+			}
+			st.relaySync[msg.TreeKey] = append(st.relaySync[msg.TreeKey], msg.Syncs...)
+		}
 	}
 }
 
@@ -413,13 +550,23 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 	for i := range st.memberships {
 		m := &st.memberships[i]
 		values := st.composeMessage(cfg, m, round)
+		supps, syncs := m.composeSupp, m.composeSync
 		if buf, ok := st.relay[m.key]; ok {
 			st.relay[m.key] = buf[:0]
+		}
+		if buf, ok := st.relaySupp[m.key]; ok {
+			st.relaySupp[m.key] = buf[:0]
+		}
+		if buf, ok := st.relaySync[m.key]; ok {
+			st.relaySync[m.key] = buf[:0]
 		}
 		if cfg.LeafBuffer > 0 && cfg.keyDown(m.key) && m.parent == model.Central {
 			// This tree's collector (the central one, or its owning shard)
 			// is down: park the frame instead of feeding the void. Empty
-			// frames carry nothing worth preserving.
+			// frames carry nothing worth preserving. Markers are stripped —
+			// imputation state cannot survive an outage, so the slots count
+			// lost and the node re-syncs after the backlog drains.
+			st.loseMarkers(supps, syncs)
 			if len(values) > 0 {
 				st.bufferFrame(cfg, m.parent, m.key, round, values)
 			}
@@ -428,6 +575,7 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 		c := cfg.Sys.Cost.Message(len(values))
 		if cfg.EnforceCapacity && c > st.budget {
 			st.drops++
+			st.loseMarkers(supps, syncs)
 			st.traceDrop(cfg, m, round, len(values))
 			continue
 		}
@@ -435,15 +583,18 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 		st.sent++
 		if cfg.Chaos.Drop(st.id, m.parent, round, st.sent) {
 			st.drops++
+			st.loseMarkers(supps, syncs)
 			st.traceDrop(cfg, m, round, len(values))
 			continue
 		}
 		msg := transport.Message{
-			TreeKey: m.key,
-			From:    st.id,
-			To:      m.parent,
-			Epoch:   cfg.epochFor(m.key),
-			Values:  values,
+			TreeKey:    m.key,
+			From:       st.id,
+			To:         m.parent,
+			Epoch:      cfg.epochFor(m.key),
+			Values:     values,
+			Suppressed: supps,
+			Syncs:      syncs,
 		}
 		if d := cfg.Chaos.Delay(st.id, m.parent, round, st.sent); d > 0 && cfg.delaySink != nil {
 			cfg.delaySink(round+d, msg)
@@ -460,12 +611,15 @@ func (st *nodeState) sendPhase(cfg Config, tr transport.Transport, round int) {
 			if cfg.LeafBuffer > 0 && len(values) > 0 {
 				// Transport failure: keep the frame for redelivery. The send
 				// attempt already consumed capacity, but it was never on the
-				// wire, so it does not count as sent.
+				// wire, so it does not count as sent. Markers are stripped
+				// like any parked frame's.
 				st.sent--
+				st.loseMarkers(supps, syncs)
 				st.bufferFrame(cfg, m.parent, m.key, round, values)
 				continue
 			}
 			st.drops++
+			st.loseMarkers(supps, syncs)
 			st.traceDrop(cfg, m, round, len(values))
 			continue
 		}
@@ -562,20 +716,64 @@ func (st *nodeState) traceDrop(cfg Config, m *membership, round, values int) {
 }
 
 // composeMessage assembles the values a node forwards for one tree this
-// round, applying in-network aggregation funnels. The returned slice is
-// the membership's reused compose buffer (see membership.compose); it
-// stays valid until this node's next send phase.
+// round, applying the suppression protocol and in-network aggregation
+// funnels. The returned slice is the membership's reused compose buffer
+// (see membership.compose); it stays valid until this node's next send
+// phase. As a side effect m.composeSupp/m.composeSync are rebuilt with
+// the relayed markers plus this node's own.
+//
+// The replica-lockstep rule (predict package doc): on a sync the model
+// resets and re-seeds from the observation, which also rides the wire
+// with a sync marker; on a suppression the model advances with its own
+// prediction — exactly what the collector imputes — and only a marker
+// rides; otherwise the model advances with the observation, which rides
+// plainly. Aliased attributes (the leaf observes the original's series
+// under a different id) and aggregated attributes (values collapse
+// in-network) are exempt.
 func (st *nodeState) composeMessage(cfg Config, m *membership, round int) []transport.Value {
 	values := append(m.compose[:0], st.relay[m.key]...)
+	m.composeSupp = append(m.composeSupp[:0], st.relaySupp[m.key]...)
+	m.composeSync = append(m.composeSync[:0], st.relaySync[m.key]...)
 	for _, a := range m.local {
 		if round%m.period[a] != 0 {
 			continue // piggybacked metric not due this round
+		}
+		v := cfg.Source.Value(st.id, cfg.Resolve(a), round)
+		if cfg.Predict != nil && cfg.Resolve(a) == a && cfg.Spec.KindOf(a) == agg.Holistic {
+			st.observed++
+			lp := st.leafModel(cfg, a)
+			switch {
+			case lp.needSync || cfg.Predict.SyncDue(st.id, round):
+				lp.m.Reset()
+				lp.m.Observe(v)
+				lp.needSync = false
+				m.composeSync = append(m.composeSync,
+					transport.Supp{Node: st.id, Attr: a, Round: round})
+			case lp.m.Ready() && cfg.Predict.Within(a, lp.m.Predict(), v):
+				lp.m.Observe(lp.m.Predict())
+				st.suppressed++
+				m.composeSupp = append(m.composeSupp,
+					transport.Supp{Node: st.id, Attr: a, Round: round})
+				continue // value withheld; only the marker rides
+			case lp.m.Ready():
+				// Out-of-band while locked: the series shifted (a new
+				// plateau). Re-sync both replicas onto the observation
+				// instead of smoothing back in — a reset Holt re-locks from
+				// two points, where smoothed convergence burns ~1/alpha
+				// plain rounds per shift.
+				lp.m.Reset()
+				lp.m.Observe(v)
+				m.composeSync = append(m.composeSync,
+					transport.Supp{Node: st.id, Attr: a, Round: round})
+			default:
+				lp.m.Observe(v) // warm-up: advance in lockstep, value rides plainly
+			}
 		}
 		values = append(values, transport.Value{
 			Node:  st.id,
 			Attr:  a,
 			Round: round,
-			Value: cfg.Source.Value(st.id, cfg.Resolve(a), round),
+			Value: v,
 		})
 	}
 	m.compose = values

@@ -5,6 +5,7 @@ import (
 
 	"remo/internal/agg"
 	"remo/internal/model"
+	"remo/internal/predict"
 	"remo/internal/store"
 	"remo/internal/trace"
 	"remo/internal/transport"
@@ -34,6 +35,16 @@ type collector struct {
 	bits          [][]uint64
 	slotOf        map[model.Pair]int
 
+	// Suppression replica state, parallel to holisticPairs (allocated
+	// only when cfg.Predict is set). preds[i] is created by the slot's
+	// first sync marker (or seeded on a cold resume); predLive[i] gates
+	// imputation — it drops on any detected gap in the slot's update
+	// stream and is revived only by a sync; predLast[i] is the origin
+	// round of the slot's last replica advance.
+	preds    []predict.Model
+	predLive []bool
+	predLast []int
+
 	// Overflow state for pairs without a slot.
 	extraView map[model.Pair]transport.Value
 	extraBits map[model.Pair][]uint64
@@ -62,6 +73,12 @@ type collector struct {
 	// collector — pre-crash or pre-swap traffic a resumed session must
 	// not absorb.
 	staleFrames int
+
+	// Suppression accounting (see the Result fields of the same names).
+	valuesImputed int
+	modelSyncs    int
+	markersLost   int
+	imputeBandMax float64
 }
 
 func newCollector(cfg Config) *collector {
@@ -71,7 +88,62 @@ func newCollector(cfg Config) *collector {
 		extraBits: make(map[model.Pair][]uint64),
 	}
 	c.retarget(cfg)
+	c.seedModels(cfg.SeedModels)
 	return c
+}
+
+// seedModels arms demanded slots with cold-resume replicas: the leaves
+// were seeded from the same snapshots (Config.SeedModels), so both
+// ends are in lockstep from round zero and imputation can start
+// immediately. predLast is backdated one period so the first due round
+// passes the gap check.
+func (c *collector) seedModels(models map[model.Pair]predict.Snapshot) {
+	if c.preds == nil || len(models) == 0 {
+		return
+	}
+	for p, sn := range models {
+		slot, ok := c.slotOf[p]
+		if !ok {
+			continue
+		}
+		c.preds[slot] = predict.FromSnapshot(sn)
+		c.predLive[slot] = true
+		c.predLast[slot] = -c.periods[slot]
+	}
+}
+
+// restoreModels installs checkpointed replicas after an in-process
+// crash recovery — gated, not live: the leaves kept advancing their
+// replicas with predictions while the collector was down, so the
+// checkpoint cannot be assumed current. Imputation stays refused until
+// each slot's next sync re-locks it; the restore is defense in depth
+// (warm state survives for diagnostics and future relaxations).
+func (c *collector) restoreModels(models map[model.Pair]predict.Snapshot) {
+	if c.preds == nil || len(models) == 0 {
+		return
+	}
+	for p, sn := range models {
+		slot, ok := c.slotOf[p]
+		if !ok {
+			continue
+		}
+		c.preds[slot] = predict.FromSnapshot(sn)
+		c.predLive[slot] = false
+	}
+}
+
+// predSnapshots appends every materialized replica's snapshot to the
+// given map (allocating it on first use) for journal checkpoints.
+func (c *collector) predSnapshots(into map[model.Pair]predict.Snapshot) map[model.Pair]predict.Snapshot {
+	for i, p := range c.holisticPairs {
+		if i < len(c.preds) && c.preds[i] != nil {
+			if into == nil {
+				into = make(map[model.Pair]predict.Snapshot)
+			}
+			into[p] = c.preds[i].Snapshot()
+		}
+	}
+	return into
 }
 
 // retarget rebuilds the collector's demanded-pair accounting for a new
@@ -127,6 +199,17 @@ func (c *collector) retarget(cfg Config) {
 	c.viewSet = make([]bool, n)
 	c.bits = make([][]uint64, n)
 	c.slotOf = make(map[model.Pair]int, n)
+	if cfg.Predict != nil {
+		// Replicas do not survive a retarget: slots may have moved and the
+		// leaves force a sync on every plan swap anyway, so the worst case
+		// is one refusal window (≤ SyncEvery rounds) after a shard
+		// re-dispatch, where leaves are not rebuilt.
+		c.preds = make([]predict.Model, n)
+		c.predLive = make([]bool, n)
+		c.predLast = make([]int, n)
+	} else {
+		c.preds, c.predLive, c.predLast = nil, nil, nil
+	}
 	for i, p := range pairs {
 		c.slotOf[p] = i
 		c.periods[i] = periodOf[p]
@@ -194,11 +277,13 @@ func (c *collector) absorb(msgs []transport.Message, round int) {
 	for _, msg := range msgs {
 		if c.cfg.FenceEpochs && msg.Epoch < c.cfg.epochFor(msg.TreeKey) {
 			c.staleFrames++
+			c.markersLost += len(msg.Suppressed)
 			continue
 		}
 		cost := c.cfg.Sys.Cost.Message(len(msg.Values))
 		if c.cfg.EnforceCapacity && cost > budget {
 			c.centralDrops++
+			c.markersLost += len(msg.Suppressed)
 			continue
 		}
 		budget -= cost
@@ -227,6 +312,9 @@ func (c *collector) absorb(msgs []transport.Message, round int) {
 					c.viewSet[slot] = true
 				}
 				c.markSlot(slot, v.Round)
+				if c.preds != nil {
+					c.advanceReplica(slot, v, isSynced(msg.Syncs, v))
+				}
 			} else {
 				if cur, ok := c.extraView[pair]; !ok || v.Round >= cur.Round {
 					c.extraView[pair] = v
@@ -234,7 +322,107 @@ func (c *collector) absorb(msgs []transport.Message, round int) {
 				c.markExtra(pair, v.Round)
 			}
 		}
+		for _, sp := range msg.Suppressed {
+			c.impute(sp, round)
+		}
 	}
+	_ = round
+}
+
+// isSynced reports whether the value carries a sync marker — the leaf
+// reset its replica and re-seeded it from exactly this value. Frames
+// carry at most a handful of sync entries, so a linear scan beats a
+// lookup structure.
+func isSynced(syncs []transport.Supp, v transport.Value) bool {
+	for _, sy := range syncs {
+		if sy.Node == v.Node && sy.Attr == v.Attr && sy.Round == v.Round {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceReplica applies one transmitted value to a slot's replica,
+// mirroring the leaf's bookkeeping. A sync resets and re-seeds the
+// replica (creating it on first contact) and revives imputation; a
+// plain value advances the replica only when it is the next expected
+// update — any gap means frames were lost and the leaf's replica moved
+// without us, so imputation is refused until the next sync.
+func (c *collector) advanceReplica(slot int, v transport.Value, synced bool) {
+	if synced {
+		m := c.preds[slot]
+		if m == nil {
+			m = c.cfg.Predict.New(c.holisticPairs[slot].Attr)
+			c.preds[slot] = m
+		}
+		m.Reset()
+		m.Observe(v.Value)
+		c.predLive[slot] = true
+		c.predLast[slot] = v.Round
+		c.modelSyncs++
+		return
+	}
+	m := c.preds[slot]
+	if m == nil || !c.predLive[slot] {
+		return
+	}
+	switch {
+	case v.Round == c.predLast[slot]+c.periods[slot]:
+		m.Observe(v.Value)
+		c.predLast[slot] = v.Round
+	case v.Round > c.predLast[slot]:
+		c.predLive[slot] = false
+	}
+	// v.Round <= predLast: late duplicate — the replica already moved
+	// past it; ignore.
+}
+
+// impute reconstructs one suppressed slot from the collector's replica
+// and stores it as a delivered view. Refusals (no live lockstep
+// replica, or the marker is not the next expected update) count the
+// marker lost — the protocol never imputes a value it cannot bound.
+func (c *collector) impute(sp transport.Supp, round int) {
+	orig := c.cfg.Resolve(sp.Attr)
+	pair := model.Pair{Node: sp.Node, Attr: orig}
+	slot, ok := c.slotOf[pair]
+	if !ok || c.preds == nil {
+		c.markersLost++
+		return
+	}
+	m := c.preds[slot]
+	if m == nil || !c.predLive[slot] || !m.Ready() {
+		c.markersLost++
+		return
+	}
+	if sp.Round != c.predLast[slot]+c.periods[slot] {
+		if sp.Round > c.predLast[slot] {
+			// Gap: updates between predLast and this marker were lost, so
+			// the leaf's replica advanced without us.
+			c.predLive[slot] = false
+		}
+		c.markersLost++
+		return
+	}
+	imputed := m.Predict()
+	m.Observe(imputed)
+	c.predLast[slot] = sp.Round
+	c.valuesImputed++
+	// Track the realized band ratio against ground truth: bit-identical
+	// replicas make imputed == the leaf's prediction, which the leaf
+	// verified within band, so the ratio stays ≤ 1.
+	truth := c.cfg.Source.Value(pair.Node, pair.Attr, sp.Round)
+	band := c.cfg.Predict.Band(pair.Attr, truth)
+	if ratio := math.Abs(imputed-truth) / band; ratio > c.imputeBandMax {
+		c.imputeBandMax = ratio
+	}
+	if c.cfg.Observer != nil {
+		c.cfg.Observer(pair, sp.Round, imputed)
+	}
+	if !c.viewSet[slot] || sp.Round >= c.views[slot].Round {
+		c.views[slot] = transport.Value{Node: pair.Node, Attr: pair.Attr, Round: sp.Round, Value: imputed}
+		c.viewSet[slot] = true
+	}
+	c.markSlot(slot, sp.Round)
 	_ = round
 }
 
@@ -383,6 +571,10 @@ func (c *collector) result() Result {
 		DemandedPairs:   len(c.holisticPairs) + len(c.aggAttrs),
 		ValuesDelivered: c.valuesDelivered,
 		MessagesDropped: c.centralDrops,
+		ValuesImputed:   c.valuesImputed,
+		ModelSyncs:      c.modelSyncs,
+		MarkersLost:     c.markersLost,
+		ImputeBandMax:   c.imputeBandMax,
 	}
 	res.CoveredPairs = c.covered()
 	delivered := c.deliveredEffective()

@@ -8,6 +8,7 @@ import (
 	"remo/internal/detect"
 	"remo/internal/model"
 	"remo/internal/plan"
+	"remo/internal/predict"
 	"remo/internal/store"
 	"remo/internal/task"
 	"remo/internal/trace"
@@ -54,6 +55,9 @@ type Machine struct {
 	// of such nodes the same way.
 	extraSent, extraDrops                            int
 	extraStale, extraBuffered, extraShed, extraRedel int
+	// Suppression counters of pruned nodes, plus markers lost outside
+	// any node (collector-down discards, failed delayed injections).
+	extraObserved, extraSuppressed, extraMarkersLost int
 
 	// collectorDown is latched when the chaos schedule crashes the
 	// central collector; cleared by ResumeCollector.
@@ -102,6 +106,12 @@ func NewMachine(cfg Config) (*Machine, error) {
 		// Delayed messages outlive the round barrier, so they cannot
 		// borrow the sender's reused compose buffer — clone the payload.
 		msg.Values = append([]transport.Value(nil), msg.Values...)
+		if len(msg.Suppressed) > 0 {
+			msg.Suppressed = append([]transport.Supp(nil), msg.Suppressed...)
+		}
+		if len(msg.Syncs) > 0 {
+			msg.Syncs = append([]transport.Supp(nil), msg.Syncs...)
+		}
 		m.delayMu.Lock()
 		m.delayed = append(m.delayed, delayedMsg{due: due, msg: msg})
 		m.delayMu.Unlock()
@@ -253,6 +263,9 @@ func (m *Machine) Step() error {
 		// views stand still, which is exactly the error a crashed
 		// collector accrues.
 		m.extraDrops += len(msgs)
+		for _, msg := range msgs {
+			m.extraMarkersLost += len(msg.Suppressed)
+		}
 		m.coll.score(round)
 		return nil
 	}
@@ -288,6 +301,7 @@ func (m *Machine) injectDelayed(round int) {
 	for _, msg := range due {
 		if err := m.tr.Send(msg); err != nil {
 			m.extraDrops++
+			m.extraMarkersLost += len(msg.Suppressed)
 		}
 	}
 }
@@ -336,6 +350,11 @@ func (m *Machine) feedDetector(msgs []transport.Message, round int) []transport.
 		}
 		for _, v := range msg.Values {
 			m.det.Beat(v.Node, v.Round)
+		}
+		for _, e := range msg.Suppressed {
+			// A suppression marker is evidence of life: only the origin
+			// node's live leaf could have generated it this round.
+			m.det.Beat(e.Node, e.Round)
 		}
 		if len(msg.Values) > 0 || len(msg.Beats) == 0 {
 			kept = append(kept, msg)
@@ -473,9 +492,38 @@ func (m *Machine) rebuildStates() {
 		st.shed = prev.shed
 		st.redelivered = prev.redelivered
 		st.outbox = prev.outbox
+		st.observed = prev.observed
+		st.suppressed = prev.suppressed
+		st.markersLost = prev.markersLost
+		// Model replicas survive the swap, but every plan install opens a
+		// new epoch at the collector — force a sync so both ends re-lock
+		// under the new plan before any further imputation.
+		st.pred = prev.pred
+		for _, lp := range st.pred {
+			lp.needSync = true
+		}
 		for _, mb := range st.memberships {
 			if buf, has := prev.relay[mb.key]; has {
 				st.relay[mb.key] = buf
+			}
+			if buf, has := prev.relaySupp[mb.key]; has {
+				if st.relaySupp == nil {
+					st.relaySupp = make(map[string][]transport.Supp)
+				}
+				st.relaySupp[mb.key] = buf
+			}
+			if buf, has := prev.relaySync[mb.key]; has {
+				if st.relaySync == nil {
+					st.relaySync = make(map[string][]transport.Supp)
+				}
+				st.relaySync[mb.key] = buf
+			}
+		}
+		// Markers buffered for trees this node no longer relays die with
+		// the swap, like the relay values themselves.
+		for k, buf := range prev.relaySupp {
+			if _, kept := st.relaySupp[k]; !kept {
+				st.markersLost += len(buf)
 			}
 		}
 		delete(old, st.id)
@@ -488,6 +536,12 @@ func (m *Machine) rebuildStates() {
 		m.extraRedel += gone.redelivered
 		// A node pruned from the plan takes its parked frames with it.
 		m.extraShed += gone.shed + len(gone.outbox)
+		m.extraObserved += gone.observed
+		m.extraSuppressed += gone.suppressed
+		m.extraMarkersLost += gone.markersLost
+		for _, buf := range gone.relaySupp {
+			m.extraMarkersLost += len(buf)
+		}
 	}
 }
 
@@ -507,6 +561,9 @@ func (m *Machine) Result() Result {
 	res.FramesBuffered = m.extraBuffered
 	res.FramesShed = m.extraShed
 	res.FramesRedelivered = m.extraRedel
+	res.ValuesObserved += m.extraObserved
+	res.ValuesSuppressed += m.extraSuppressed
+	res.MarkersLost += m.extraMarkersLost
 	for _, st := range m.states {
 		res.MessagesSent += st.sent
 		res.MessagesDropped += st.drops
@@ -514,8 +571,29 @@ func (m *Machine) Result() Result {
 		res.FramesBuffered += st.buffered
 		res.FramesShed += st.shed
 		res.FramesRedelivered += st.redelivered
+		res.ValuesObserved += st.observed
+		res.ValuesSuppressed += st.suppressed
+		res.MarkersLost += st.markersLost
 	}
 	return res
+}
+
+// PredictSnapshots captures every materialized collector-side model
+// replica for journal checkpoints (nil when prediction is off or no
+// replica exists yet). Sharded tiers merge across all shard collectors
+// — pair ownership is disjoint, so the union is well-defined.
+func (m *Machine) PredictSnapshots() map[model.Pair]predict.Snapshot {
+	if m.tier != nil {
+		var out map[model.Pair]predict.Snapshot
+		for _, c := range m.tier.colls {
+			out = c.predSnapshots(out)
+		}
+		return m.tier.resid.predSnapshots(out)
+	}
+	if m.coll == nil {
+		return nil
+	}
+	return m.coll.predSnapshots(nil)
 }
 
 // Epoch returns the current plan epoch (1 at session start, bumped on
@@ -551,6 +629,11 @@ type ResumeState struct {
 	// node → declaration round. Use -1 for declaration rounds when the
 	// resumed session restarts its round clock at zero.
 	Dead map[model.NodeID]int
+	// Models restores the checkpointed model replicas. On an in-process
+	// resume they are installed gated (imputation refused until the next
+	// sync — the leaves advanced their replicas during the outage); a
+	// cold resume instead seeds both ends live via Config.SeedModels.
+	Models map[model.Pair]predict.Snapshot
 }
 
 // ResumeCollector restarts a crashed central collector from journaled
@@ -574,6 +657,13 @@ func (m *Machine) ResumeCollector(rs ResumeState) {
 	m.collectorDown = false
 	m.cfg.collectorDown = false
 	m.coll.recover(m.cfg, rs.Repo, m.round)
+	if m.round == 0 && len(m.cfg.SeedModels) > 0 {
+		// Cold resume: recover wiped the replicas newCollector seeded;
+		// re-arm them live — the leaves restart from the same snapshots.
+		m.coll.seedModels(m.cfg.SeedModels)
+	} else {
+		m.coll.restoreModels(rs.Models)
+	}
 	if m.cfg.Detect != nil {
 		m.det = detect.New(*m.cfg.Detect)
 		for n, at := range rs.Dead {

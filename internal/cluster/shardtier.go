@@ -238,6 +238,7 @@ func (m *Machine) shardAbsorb(msgs []transport.Message, round int) {
 		if s, ok := t.owner[msg.TreeKey]; ok {
 			if t.down[s] {
 				m.extraDrops++
+				m.extraMarkersLost += len(msg.Suppressed)
 				continue
 			}
 			t.batches[s] = append(t.batches[s], msg)
@@ -359,6 +360,7 @@ func (m *Machine) resumeShardAt(s int, rs ResumeState, round int) {
 	m.recomputeDownKeys()
 	t.cfgs[s].epoch = m.cfg.epoch
 	t.colls[s].recover(t.cfgs[s], rs.Repo, round)
+	t.colls[s].restoreModels(rs.Models)
 	if m.cfg.Trace != nil {
 		m.cfg.Trace.Record(trace.Event{Round: round, Kind: trace.ShardResume, Node: model.NodeID(s)})
 	}
@@ -401,6 +403,12 @@ func (t *shardTier) merged() Result {
 		res.ValuesDelivered += c.valuesDelivered
 		res.MessagesDropped += c.centralDrops
 		res.StaleEpochFrames += c.staleFrames
+		res.ValuesImputed += c.valuesImputed
+		res.ModelSyncs += c.modelSyncs
+		res.MarkersLost += c.markersLost
+		if c.imputeBandMax > res.ImputeBandMax {
+			res.ImputeBandMax = c.imputeBandMax
+		}
 		delivered += c.deliveredEffective()
 		expected += c.expected
 		errSum += c.errSum

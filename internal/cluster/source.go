@@ -63,6 +63,42 @@ func (w BurstyWalk) Value(n model.NodeID, a model.AttrID, round int) float64 {
 	return v
 }
 
+// UtilWalk is a deterministic, stateless value generator modeling
+// machine utilization series (CPU, memory, queue depth): long plateaus
+// with a slight linear drift, punctuated by occasional level shifts
+// when the hosted workload changes. Unlike BurstyWalk's fast sinusoids,
+// plateau dynamics are what resource-utilization forecasting exploits
+// (Tuor et al.): a linear-trend model tracks each segment almost
+// exactly, so dead-band suppression elides most transmissions even at
+// tight error bounds. Pure function of (node, attr, round) — trivially
+// concurrent-safe, and the collector can compute ground truth for any
+// round without bookkeeping.
+type UtilWalk struct {
+	// Seed decorrelates experiments.
+	Seed uint64
+	// Drift scales the within-plateau slope relative to the baseline per
+	// round (default 0.001 — a 0.1% creep per round).
+	Drift float64
+}
+
+// Value implements ValueSource. Each pair partitions time into
+// segments of 30–79 rounds; a segment holds a level drawn from the
+// pair's hash plus a small linear drift across the segment.
+func (w UtilWalk) Value(n model.NodeID, a model.AttrID, round int) float64 {
+	drift := w.Drift
+	if drift == 0 {
+		drift = 0.001
+	}
+	// Segment boundaries are laid on a per-pair grid so segment lookup
+	// stays O(1): segment length is fixed per pair in [30, 80).
+	segLen := 30 + int(mix(w.Seed, uint64(n), uint64(a), 0)%50)
+	seg := round / segLen
+	base := 20 + float64(mix(w.Seed, uint64(n), uint64(a), 1)%80)
+	level := base * (0.6 + 0.8*float64(mix(w.Seed, uint64(n), uint64(a), 3+uint64(seg))%1000)/1000)
+	slope := drift * base * (float64(mix(w.Seed, uint64(n), uint64(a), 2)%200)/100 - 1)
+	return level + slope*float64(round-seg*segLen)
+}
+
 // mix is a splitmix64-style hash combining the inputs.
 func mix(vals ...uint64) uint64 {
 	h := uint64(0x9E3779B97F4A7C15)

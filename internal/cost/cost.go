@@ -90,3 +90,35 @@ func (m Model) Ratio() float64 {
 func (m Model) WithRatio(ratio float64) Model {
 	return Model{PerMessage: ratio * m.PerValue, PerValue: m.PerValue}
 }
+
+// Rate composes per-axis effective-rate multipliers — the frequency
+// spec's piggyback weight, the prediction spec's transmit-rate estimate
+// — into one effective payload rate, clamped to [0, 1]. Axes compose
+// multiplicatively: a value reported every other round (0.5) that is
+// additionally suppressed 80% of the time (0.2) loads the wire at rate
+// 0.1. NaN multipliers are ignored (treated as 1).
+func Rate(multipliers ...float64) float64 {
+	r := 1.0
+	for _, m := range multipliers {
+		if m != m { // NaN
+			continue
+		}
+		r *= m
+	}
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// Effective returns the expected per-round cost of a message whose
+// payload of values slots is transmitted at effective rate r: the
+// per-message overhead C is always paid (the frame still flows,
+// carrying markers), while the payload cost scales with the fraction
+// of slots actually on the wire. r is clamped to [0, 1].
+func (m Model) Effective(values int, r float64) float64 {
+	return m.PerMessage + m.Values(values)*Rate(r)
+}

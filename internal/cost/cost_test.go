@@ -165,3 +165,122 @@ func TestTotalUsedAndEntities(t *testing.T) {
 		t.Fatalf("Entities = %v, want [1 3]", ents)
 	}
 }
+
+func TestRate(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{name: "empty is full rate", in: nil, want: 1},
+		{name: "single", in: []float64{0.5}, want: 0.5},
+		{name: "product", in: []float64{0.5, 0.2}, want: 0.1},
+		{name: "NaN ignored", in: []float64{math.NaN(), 0.25}, want: 0.25},
+		{name: "all NaN is full rate", in: []float64{math.NaN(), math.NaN()}, want: 1},
+		{name: "clamped above", in: []float64{3, 0.5}, want: 1},
+		{name: "clamped below", in: []float64{-0.5, 0.5}, want: 0},
+		{name: "zero annihilates", in: []float64{0, 0.9}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Rate(tt.in...); math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("Rate(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRateAlwaysInUnitInterval(t *testing.T) {
+	f := func(ms []float64) bool {
+		r := Rate(ms...)
+		return r >= 0 && r <= 1 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveBounds(t *testing.T) {
+	m := Default()
+	if got := m.Effective(16, 0); got != m.PerMessage {
+		t.Fatalf("Effective at rate 0 = %v, want PerMessage %v", got, m.PerMessage)
+	}
+	if got := m.Effective(16, 1); got != m.Message(16) {
+		t.Fatalf("Effective at rate 1 = %v, want Message %v", got, m.Message(16))
+	}
+	if got := m.Effective(16, 2); got != m.Message(16) {
+		t.Fatalf("Effective clamps rate above 1: got %v, want %v", got, m.Message(16))
+	}
+	lo, hi := m.Effective(16, 0.2), m.Effective(16, 0.7)
+	if !(lo < hi) {
+		t.Fatalf("Effective not monotone in rate: %v !< %v", lo, hi)
+	}
+}
+
+// TestLedgerComposedRateNeverUndercounts is the frequency x prediction
+// composition property. The two traffic-reduction axes are hierarchical:
+// the frequency spec decides which rounds a slot is due, and dead-band
+// suppression then elides a fraction of those due transmissions. The
+// planner's per-slot estimate uses the product of the measured per-axis
+// rates (Rate(w, r) with w = due/rounds, r = sent/due); the property is
+// that a ledger whose budget is set from those estimates admits every
+// realized per-round charge — composing multiplicatively never
+// undercounts the realized traffic.
+func TestLedgerComposedRateNeverUndercounts(t *testing.T) {
+	m := Default()
+	f := func(seed uint32, nSlots8 uint8, rounds8 uint8) bool {
+		nSlots := 1 + int(nSlots8%8)
+		rounds := 1 + int(rounds8%64)
+		rng := seed
+		next := func(mod uint32) uint32 {
+			rng = rng*1664525 + 1013904223
+			return (rng >> 8) % mod
+		}
+		periods := make([]int, nSlots)
+		suppress := make([][]bool, nSlots) // per due occurrence
+		for i := range periods {
+			periods[i] = 1 + int(next(5))
+		}
+		// Realized schedule: slot i is due when round%period == 0, and a
+		// pseudo-random subset of due rounds is suppressed.
+		sent := make([]int, nSlots)
+		due := make([]int, nSlots)
+		perRound := make([]int, rounds) // values on the wire each round
+		for i := 0; i < nSlots; i++ {
+			for r := 0; r < rounds; r++ {
+				if r%periods[i] != 0 {
+					continue
+				}
+				due[i]++
+				if next(4) == 0 { // ~25% suppressed
+					suppress[i] = append(suppress[i], true)
+					continue
+				}
+				sent[i]++
+				perRound[r]++
+			}
+		}
+		// Planner estimate from measured per-axis rates.
+		budget := float64(rounds) * m.PerMessage
+		for i := 0; i < nSlots; i++ {
+			w := float64(due[i]) / float64(rounds)
+			r := 1.0
+			if due[i] > 0 {
+				r = float64(sent[i]) / float64(due[i])
+			}
+			budget += float64(rounds) * m.Values(1) * Rate(w, r)
+		}
+		l := NewLedger()
+		l.SetBudget(0, budget)
+		for r := 0; r < rounds; r++ {
+			if err := l.Charge(0, m.Message(perRound[r])); err != nil {
+				t.Logf("round %d rejected: %v (budget %v used %v)", r, err, budget, l.Used(0))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

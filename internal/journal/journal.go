@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"remo/internal/model"
+	"remo/internal/predict"
 	"remo/internal/store"
 	"remo/internal/task"
 )
@@ -110,6 +111,12 @@ type State struct {
 	// optional trailing checkpoint field so pre-sharding journals stay
 	// readable.
 	Assignment map[string]int
+	// Models holds the collector-side forecasting replica snapshots for
+	// sessions running dead-band suppression (nil otherwise). Like
+	// Assignment it is a trailing optional field; when present it forces
+	// the assignment section to be emitted (possibly empty) so field
+	// positions stay unambiguous.
+	Models map[model.Pair]predict.Snapshot
 }
 
 // SampleRec is one collected value as journaled by recSamples records.
@@ -418,14 +425,63 @@ func appendCheckpoint(dst []byte, s State) []byte {
 		}
 	}
 
-	// Trailing optional field: the shard assignment. Readers that
-	// predate it stop before these bytes; readers that postdate it treat
-	// an exhausted payload as "no assignment" — both directions of skew
-	// stay readable.
-	if len(s.Assignment) > 0 {
+	// Trailing optional fields, in fixed order: the shard assignment,
+	// then the forecasting-model snapshots. Readers that predate a field
+	// stop before its bytes; readers that postdate it treat an exhausted
+	// payload as "absent" — both directions of skew stay readable. A
+	// later field forces every earlier one to be emitted (possibly
+	// empty) so positions stay unambiguous.
+	if len(s.Assignment) > 0 || len(s.Models) > 0 {
 		dst = appendAssignment(dst, s.Assignment)
 	}
+	if len(s.Models) > 0 {
+		dst = appendModels(dst, s.Models)
+	}
 	return dst
+}
+
+// appendModels encodes pair→model snapshots as count + (node, attr,
+// kind, level, trend, seen) tuples in canonical pair order.
+func appendModels(dst []byte, models map[model.Pair]predict.Snapshot) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(models)))
+	for _, p := range sortedModelPairs(models) {
+		sn := models[p]
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(p.Node)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(p.Attr)))
+		dst = append(dst, byte(sn.Kind))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(sn.Level))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(sn.Trend))
+		dst = binary.BigEndian.AppendUint32(dst, sn.Seen)
+	}
+	return dst
+}
+
+func (r *reader) models() map[model.Pair]predict.Snapshot {
+	n := int(r.u32())
+	if r.err != nil || n > maxRecordSize {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: oversized model section", ErrCorrupt)
+		}
+		return nil
+	}
+	m := make(map[model.Pair]predict.Snapshot, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		node := model.NodeID(r.i32())
+		attr := model.AttrID(r.i32())
+		sn := predict.Snapshot{
+			Kind:  predict.Kind(r.u8()),
+			Level: r.f64(),
+			Trend: r.f64(),
+			Seen:  r.u32(),
+		}
+		if r.err == nil {
+			m[model.Pair{Node: node, Attr: attr}] = sn
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
 }
 
 // decodeCheckpoint parses a recCheckpoint payload.
@@ -490,9 +546,15 @@ func decodeCheckpoint(payload []byte) (State, error) {
 		}
 	}
 
-	// Optional trailing assignment: absent in pre-sharding checkpoints.
+	// Optional trailing fields: absent in older checkpoints.
 	if r.err == nil && len(r.p) > 0 {
 		s.Assignment = r.assignment()
+		if len(s.Assignment) == 0 {
+			s.Assignment = nil
+		}
+	}
+	if r.err == nil && len(r.p) > 0 {
+		s.Models = r.models()
 	}
 	if r.err != nil {
 		return State{}, r.err
@@ -526,6 +588,15 @@ func sortedAssignKeys(m map[string]int) []string {
 		out = append(out, k)
 	}
 	sort.Strings(out)
+	return out
+}
+
+func sortedModelPairs(m map[model.Pair]predict.Snapshot) []model.Pair {
+	out := make([]model.Pair, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	model.SortPairs(out)
 	return out
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"remo/internal/model"
+	"remo/internal/predict"
 	"remo/internal/store"
 	"remo/internal/task"
 )
@@ -408,5 +409,78 @@ func TestAssignmentWALReplay(t *testing.T) {
 	}
 	if rec.Replayed != 2 || rec.Torn {
 		t.Fatalf("replayed=%d torn=%v, want 2,false", rec.Replayed, rec.Torn)
+	}
+}
+
+func TestModelsCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testState()
+	want.Models = map[model.Pair]predict.Snapshot{
+		{Node: 1, Attr: 1}: {Kind: predict.Holt, Level: 42.5, Trend: -0.25, Seen: 17},
+		{Node: 2, Attr: 3}: {Kind: predict.EWMA, Level: 7, Seen: 3},
+	}
+	w, err := Create(dir, Options{NoSync: true}, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.State.Models, want.Models) {
+		t.Fatalf("models = %v, want %v", rec.State.Models, want.Models)
+	}
+	if rec.State.Assignment != nil {
+		t.Fatalf("assignment = %v, want nil (forced-empty section decodes to nil)",
+			rec.State.Assignment)
+	}
+}
+
+func TestModelsWithAssignmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testState()
+	want.Assignment = map[string]int{"a1": 0, "a2": 2}
+	want.Models = map[model.Pair]predict.Snapshot{
+		{Node: 4, Attr: 2}: {Kind: predict.Holt, Level: 9.75, Trend: 0.125, Seen: 8},
+	}
+	w, err := Create(dir, Options{NoSync: true}, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.State.Assignment, want.Assignment) {
+		t.Fatalf("assignment = %v, want %v", rec.State.Assignment, want.Assignment)
+	}
+	if !reflect.DeepEqual(rec.State.Models, want.Models) {
+		t.Fatalf("models = %v, want %v", rec.State.Models, want.Models)
+	}
+}
+
+func TestModelsAbsentStaysNil(t *testing.T) {
+	// A checkpoint without models encodes exactly the pre-suppression
+	// layout; recovery must read it and leave Models nil.
+	dir := t.TempDir()
+	w, err := Create(dir, Options{NoSync: true}, testState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State.Models != nil {
+		t.Fatalf("models = %v, want nil", rec.State.Models)
 	}
 }

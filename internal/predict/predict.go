@@ -1,0 +1,378 @@
+// Package predict implements forecast-driven traffic suppression
+// (ROADMAP item 4, after Tuor et al., "Online Collection and
+// Forecasting of Resource Utilization in Large-Scale Distributed
+// Systems"): a leaf and its collector keep bit-identical lightweight
+// model replicas per (node, attribute) pair, and the leaf transmits
+// only when the observed value deviates from the shared prediction
+// beyond a task-specified relative error bound ε. The collector
+// imputes the suppressed values from its replica, so accuracy stays
+// within ε while most samples never touch the wire.
+//
+// The replica protocol (DESIGN.md §13) keeps the two models in
+// lockstep without acknowledgements: when a leaf suppresses, it
+// advances its own model with the *prediction* (exactly what the
+// collector will impute), not the raw observation; when it transmits,
+// both sides advance with the transmitted value. A periodic sync round
+// (every Spec.SyncEvery rounds, staggered per node) and forced syncs
+// on plan swaps re-transmit ground truth with a reset marker, so
+// chaos-induced frame loss bounds — never silently extends —
+// divergence: a collector that detects a gap stops imputing until the
+// next sync re-locks it.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"remo/internal/model"
+	"remo/internal/task"
+)
+
+// Model kinds selectable per attribute.
+const (
+	// EWMA is an exponentially weighted moving average: the forecast is
+	// the smoothed level. Cheapest; best for noisy stationary series.
+	EWMA Kind = iota
+	// Holt is Holt's linear trend (double exponential smoothing): the
+	// forecast is level + trend. Tracks ramps and slow drifts exactly.
+	Holt
+)
+
+// Kind selects a forecasting model.
+type Kind uint8
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case EWMA:
+		return "ewma"
+	case Holt:
+		return "holt"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Smoothing constants. Fixed (not per-task knobs) so leaf and
+// collector replicas are trivially identical; both ends construct
+// models exclusively through Spec.New or FromSnapshot.
+const (
+	alpha = 0.5 // level smoothing (EWMA and Holt)
+	beta  = 0.3 // trend smoothing (Holt)
+)
+
+// Model is one end of a replicated forecaster. Implementations must be
+// deterministic pure float64 arithmetic: two replicas fed the same
+// Observe sequence after the same Reset must produce bit-identical
+// Predict results — that determinism is what makes imputation exact.
+//
+// Observe and Predict must not allocate (guarded by alloc tests).
+type Model interface {
+	// Predict returns the one-step-ahead forecast. Only meaningful
+	// when Ready.
+	Predict() float64
+	// Observe advances the model with the realized value.
+	Observe(v float64)
+	// Ready reports whether the model has seen enough observations to
+	// forecast.
+	Ready() bool
+	// Reset discards all state, as if freshly constructed.
+	Reset()
+	// Snapshot captures the model state for checkpointing.
+	Snapshot() Snapshot
+	// Restore overwrites the model state from a snapshot of the same
+	// kind.
+	Restore(Snapshot)
+}
+
+// Snapshot is a serializable model state, stored in journal
+// checkpoints so a resumed collector replays a warm replica instead of
+// a cold one against a warm peer.
+type Snapshot struct {
+	Kind  Kind
+	Level float64
+	Trend float64 // Holt only; zero for EWMA
+	Seen  uint32
+}
+
+// New constructs a fresh model of the given kind.
+func New(k Kind) Model {
+	switch k {
+	case Holt:
+		return &holt{}
+	default:
+		return &ewma{}
+	}
+}
+
+// FromSnapshot reconstructs a model from a checkpointed snapshot.
+func FromSnapshot(sn Snapshot) Model {
+	m := New(sn.Kind)
+	m.Restore(sn)
+	return m
+}
+
+// ewma is the EWMA model: level' = α·v + (1−α)·level.
+type ewma struct {
+	level float64
+	seen  uint32
+}
+
+func (m *ewma) Predict() float64 { return m.level }
+
+func (m *ewma) Observe(v float64) {
+	if m.seen == 0 {
+		m.level = v
+	} else {
+		m.level = alpha*v + (1-alpha)*m.level
+	}
+	if m.seen < math.MaxUint32 {
+		m.seen++
+	}
+}
+
+func (m *ewma) Ready() bool { return m.seen >= 1 }
+func (m *ewma) Reset()      { *m = ewma{} }
+
+func (m *ewma) Snapshot() Snapshot {
+	return Snapshot{Kind: EWMA, Level: m.level, Seen: m.seen}
+}
+
+func (m *ewma) Restore(sn Snapshot) {
+	m.level, m.seen = sn.Level, sn.Seen
+}
+
+// holt is Holt's linear trend model:
+//
+//	l' = α·v + (1−α)·(l + b)
+//	b' = β·(l' − l) + (1−β)·b
+//
+// with the standard initialization l₀ = v₀, b₀ = v₁ − v₀.
+type holt struct {
+	level float64
+	trend float64
+	seen  uint32
+}
+
+func (m *holt) Predict() float64 { return m.level + m.trend }
+
+func (m *holt) Observe(v float64) {
+	switch m.seen {
+	case 0:
+		m.level = v
+	case 1:
+		m.trend = v - m.level
+		m.level = v
+	default:
+		l := alpha*v + (1-alpha)*(m.level+m.trend)
+		m.trend = beta*(l-m.level) + (1-beta)*m.trend
+		m.level = l
+	}
+	if m.seen < math.MaxUint32 {
+		m.seen++
+	}
+}
+
+func (m *holt) Ready() bool { return m.seen >= 2 }
+func (m *holt) Reset()      { *m = holt{} }
+
+func (m *holt) Snapshot() Snapshot {
+	return Snapshot{Kind: Holt, Level: m.level, Trend: m.trend, Seen: m.seen}
+}
+
+func (m *holt) Restore(sn Snapshot) {
+	m.level, m.trend, m.seen = sn.Level, sn.Trend, sn.Seen
+}
+
+// ErrBadBound is returned for non-positive or non-finite error bounds.
+var ErrBadBound = errors.New("predict: error bound must be positive and finite")
+
+// DefaultSyncEvery is the periodic sync cadence when Spec.SyncEvery is
+// unset: every node re-transmits each suppressible attribute's ground
+// truth (with a reset marker) at least once per this many rounds.
+const DefaultSyncEvery = 16
+
+// DefaultTolerance is the safety margin added to realized transmit
+// rates when estimating planner-side effective rates (Rate), so the
+// cost ledger never undercounts bytes actually sent.
+const DefaultTolerance = 0.05
+
+// Spec assigns suppression error bounds and model kinds to attributes,
+// mirroring freq.Spec. Bounds are *relative*: a value v may be imputed
+// when |predicted − v| ≤ ε·max(|v|, epsFloor). Attributes without an
+// entry use the defaults.
+//
+// The maps are fixed at configuration time; concurrent readers (the
+// cluster round engine's workers) are safe as long as Set/SetModel/
+// SetRate are not called while a session runs.
+type Spec struct {
+	// DefaultEps applies to attributes without an explicit bound.
+	DefaultEps float64
+	// DefaultModel applies to attributes without an explicit kind.
+	DefaultModel Kind
+	// SyncEvery is the periodic ground-truth re-sync cadence in rounds
+	// (default DefaultSyncEvery). Sync rounds are staggered per node so
+	// the collector never absorbs a synchronized burst.
+	SyncEvery int
+	// Tolerance is the safety margin on realized transmit rates used
+	// by Rate (default DefaultTolerance).
+	Tolerance float64
+
+	eps   map[model.AttrID]float64
+	kinds map[model.AttrID]Kind
+	rates map[model.AttrID]float64
+}
+
+// epsFloor keeps relative bands meaningful near zero: the band of a
+// value v is ε·max(|v|, epsFloor).
+const epsFloor = 1e-9
+
+// NewSpec returns a spec with the given default relative error bound,
+// Holt as the default model, and the default sync cadence.
+func NewSpec(eps float64) (*Spec, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadBound, eps)
+	}
+	return &Spec{
+		DefaultEps:   eps,
+		DefaultModel: Holt,
+		SyncEvery:    DefaultSyncEvery,
+		Tolerance:    DefaultTolerance,
+		eps:          make(map[model.AttrID]float64),
+		kinds:        make(map[model.AttrID]Kind),
+		rates:        make(map[model.AttrID]float64),
+	}, nil
+}
+
+// Set assigns error bound eps to attribute a.
+func (s *Spec) Set(a model.AttrID, eps float64) error {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("%w: %v", ErrBadBound, eps)
+	}
+	s.eps[a] = eps
+	return nil
+}
+
+// Of returns the error bound of attribute a.
+func (s *Spec) Of(a model.AttrID) float64 {
+	if e, ok := s.eps[a]; ok {
+		return e
+	}
+	return s.DefaultEps
+}
+
+// SetModel assigns model kind k to attribute a.
+func (s *Spec) SetModel(a model.AttrID, k Kind) {
+	s.kinds[a] = k
+}
+
+// ModelOf returns the model kind of attribute a.
+func (s *Spec) ModelOf(a model.AttrID) Kind {
+	if k, ok := s.kinds[a]; ok {
+		return k
+	}
+	return s.DefaultModel
+}
+
+// New constructs a fresh model replica for attribute a. Both ends of a
+// link must construct through this so the replicas agree on kind.
+func (s *Spec) New(a model.AttrID) Model {
+	return New(s.ModelOf(a))
+}
+
+// Band returns the absolute dead band around observed value v for
+// attribute a.
+func (s *Spec) Band(a model.AttrID, v float64) float64 {
+	return s.Of(a) * math.Max(math.Abs(v), epsFloor)
+}
+
+// Within reports whether predicted is within attribute a's dead band
+// of the observed value: |predicted − observed| ≤ ε·max(|observed|,
+// epsFloor). NaN or infinite predictions are never within band.
+func (s *Spec) Within(a model.AttrID, predicted, observed float64) bool {
+	d := predicted - observed
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return false
+	}
+	return math.Abs(d) <= s.Band(a, observed)
+}
+
+// syncEvery is the effective sync cadence.
+func (s *Spec) syncEvery() int {
+	if s.SyncEvery >= 1 {
+		return s.SyncEvery
+	}
+	return DefaultSyncEvery
+}
+
+// SyncDue reports whether round is a forced ground-truth sync round
+// for node n. Syncs are staggered by node id so at most ~1/SyncEvery
+// of the nodes sync in any one round.
+func (s *Spec) SyncDue(n model.NodeID, round int) bool {
+	k := s.syncEvery()
+	return ((round+int(n))%k+k)%k == 0
+}
+
+// Validate checks the spec's bounds and cadence.
+func (s *Spec) Validate() error {
+	if s.DefaultEps <= 0 || math.IsNaN(s.DefaultEps) || math.IsInf(s.DefaultEps, 0) {
+		return fmt.Errorf("%w: default %v", ErrBadBound, s.DefaultEps)
+	}
+	for a, e := range s.eps {
+		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("%w: attribute %v: %v", ErrBadBound, a, e)
+		}
+	}
+	if s.SyncEvery < 0 {
+		return fmt.Errorf("predict: sync interval must be >= 1, got %d", s.SyncEvery)
+	}
+	return nil
+}
+
+// SetRate records an expected transmit rate (fraction of due rounds
+// actually transmitted, in (0, 1]) for attribute a, used by Apply and
+// Rate for planner-side capacity estimates. Out-of-range rates are
+// clamped.
+func (s *Spec) SetRate(a model.AttrID, rate float64) {
+	if math.IsNaN(rate) {
+		return
+	}
+	s.rates[a] = math.Min(1, math.Max(0, rate))
+}
+
+// ObserveRate feeds a realized transmit rate back into the spec,
+// padded by Tolerance so subsequent estimates stay conservative: the
+// recorded rate is min(1, realized + Tolerance), and never below any
+// previously realized level observed this call.
+func (s *Spec) ObserveRate(a model.AttrID, realized float64) {
+	if math.IsNaN(realized) {
+		return
+	}
+	s.SetRate(a, realized+math.Max(0, s.Tolerance))
+}
+
+// Rate returns the conservative transmit-rate estimate for attribute
+// a: 1 (no discount) unless a rate has been recorded.
+func (s *Spec) Rate(a model.AttrID) float64 {
+	if r, ok := s.rates[a]; ok {
+		return r
+	}
+	return 1
+}
+
+// Apply returns a copy of the demand with each pair's weight scaled by
+// its attribute's transmit-rate estimate. The result is for planner
+// capacity packing and ledger estimates ONLY — it must never be
+// installed as the runtime demand, whose weights drive piggyback
+// periods (see freq.Spec.Apply); suppression happens inside a round,
+// not by skipping rounds.
+func (s *Spec) Apply(d *task.Demand) *task.Demand {
+	out := task.NewDemand()
+	for _, n := range d.Nodes() {
+		for _, a := range d.AttrsOf(n).Attrs() {
+			out.Set(n, a, d.Weight(n, a)*s.Rate(a))
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"remo/internal/model"
+	"remo/internal/task"
+)
+
+func TestEWMAObserve(t *testing.T) {
+	m := New(EWMA)
+	if m.Ready() {
+		t.Fatal("fresh EWMA must not be ready")
+	}
+	m.Observe(10)
+	if !m.Ready() {
+		t.Fatal("EWMA must be ready after one observation")
+	}
+	if got := m.Predict(); got != 10 {
+		t.Fatalf("Predict after first observe = %v, want 10", got)
+	}
+	m.Observe(20)
+	if got, want := m.Predict(), alpha*20+(1-alpha)*10.0; got != want {
+		t.Fatalf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestHoltObserve(t *testing.T) {
+	m := New(Holt)
+	m.Observe(10)
+	if m.Ready() {
+		t.Fatal("Holt must not be ready after one observation")
+	}
+	m.Observe(12)
+	if !m.Ready() {
+		t.Fatal("Holt must be ready after two observations")
+	}
+	// l=12, b=2 → forecast 14.
+	if got := m.Predict(); got != 14 {
+		t.Fatalf("Predict = %v, want 14", got)
+	}
+	// Exact linear ramps are tracked exactly: one more on-trend point
+	// keeps the forecast on the line.
+	m.Observe(14)
+	if got := m.Predict(); math.Abs(got-16) > 1e-12 {
+		t.Fatalf("Predict on linear ramp = %v, want 16", got)
+	}
+}
+
+func TestHoltTracksLinearRamp(t *testing.T) {
+	m := New(Holt)
+	for i := 0; i < 50; i++ {
+		v := 100 + 3*float64(i)
+		if m.Ready() {
+			if err := math.Abs(m.Predict() - v); err > 1e-9 {
+				t.Fatalf("round %d: |forecast−truth| = %v on exact ramp", i, err)
+			}
+		}
+		m.Observe(v)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, k := range []Kind{EWMA, Holt} {
+		m := New(k)
+		for _, v := range []float64{5, 7, 6.5, 8, 9.25} {
+			m.Observe(v)
+		}
+		r := FromSnapshot(m.Snapshot())
+		if r.Predict() != m.Predict() {
+			t.Fatalf("%v: restored Predict %v != %v", k, r.Predict(), m.Predict())
+		}
+		// Replicas must stay in lockstep after restore.
+		m.Observe(11)
+		r.Observe(11)
+		if r.Predict() != m.Predict() {
+			t.Fatalf("%v: replicas diverged after restore", k)
+		}
+		m.Reset()
+		if m.Ready() {
+			t.Fatalf("%v: Reset left model ready", k)
+		}
+	}
+}
+
+// TestReplicaLockstep is the core protocol property: two replicas fed
+// the identical Observe sequence produce bit-identical forecasts at
+// every step, including when the sequence mixes raw values and the
+// replica's own predictions (the suppression path).
+func TestReplicaLockstep(t *testing.T) {
+	for _, k := range []Kind{EWMA, Holt} {
+		leaf, coll := New(k), New(k)
+		x := 42.0
+		for i := 0; i < 200; i++ {
+			x += math.Sin(float64(i) / 7)
+			v := x
+			if leaf.Ready() && i%3 != 0 {
+				v = leaf.Predict() // suppressed: both advance with the forecast
+			}
+			leaf.Observe(v)
+			coll.Observe(v)
+			if leaf.Predict() != coll.Predict() {
+				t.Fatalf("%v: replicas diverged at step %d", k, i)
+			}
+		}
+	}
+}
+
+func TestNewSpecValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewSpec(bad); err == nil {
+			t.Fatalf("NewSpec(%v) accepted", bad)
+		}
+	}
+	s, err := NewSpec(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(3, -0.5); err == nil {
+		t.Fatal("Set(-0.5) accepted")
+	}
+	if err := s.Set(3, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Of(3); got != 0.1 {
+		t.Fatalf("Of(3) = %v", got)
+	}
+	if got := s.Of(4); got != 0.01 {
+		t.Fatalf("Of(4) = %v, want default", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.SyncEvery = -2
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted negative SyncEvery")
+	}
+}
+
+func TestSpecModels(t *testing.T) {
+	s, _ := NewSpec(0.01)
+	if s.ModelOf(1) != Holt {
+		t.Fatal("default model should be Holt")
+	}
+	s.SetModel(1, EWMA)
+	if s.ModelOf(1) != EWMA {
+		t.Fatal("SetModel not honored")
+	}
+	if _, ok := s.New(1).(*ewma); !ok {
+		t.Fatal("New(1) should build an EWMA")
+	}
+	if _, ok := s.New(2).(*holt); !ok {
+		t.Fatal("New(2) should build a Holt")
+	}
+}
+
+func TestWithinBand(t *testing.T) {
+	s, _ := NewSpec(0.01)
+	if !s.Within(1, 100.5, 100) {
+		t.Fatal("0.5% deviation should be within a 1% band")
+	}
+	if s.Within(1, 102, 100) {
+		t.Fatal("2% deviation should exceed a 1% band")
+	}
+	// Relative band is anchored on the observed value, floored near 0.
+	if s.Within(1, 1, 0) {
+		t.Fatal("prediction 1 vs observed 0 cannot be within band")
+	}
+	if !s.Within(1, 0, 0) {
+		t.Fatal("exact zero match must be within band")
+	}
+	if s.Within(1, math.NaN(), 100) || s.Within(1, math.Inf(1), 100) {
+		t.Fatal("non-finite predictions must never be within band")
+	}
+}
+
+func TestSyncDueStagger(t *testing.T) {
+	s, _ := NewSpec(0.01)
+	s.SyncEvery = 8
+	for n := model.NodeID(1); n <= 20; n++ {
+		due := 0
+		for round := 0; round < 64; round++ {
+			if s.SyncDue(n, round) {
+				due++
+			}
+		}
+		if due != 8 {
+			t.Fatalf("node %v: %d syncs in 64 rounds at cadence 8", n, due)
+		}
+	}
+	// Stagger: nodes with different ids mod K sync on different rounds.
+	if !s.SyncDue(1, 7) || s.SyncDue(2, 7) {
+		t.Fatal("adjacent nodes should not sync in the same round")
+	}
+	// Unset cadence falls back to the default.
+	s.SyncEvery = 0
+	if !s.SyncDue(0, 0) || s.SyncDue(0, 1) || !s.SyncDue(0, DefaultSyncEvery) {
+		t.Fatal("default cadence not honored")
+	}
+}
+
+func TestRateConservative(t *testing.T) {
+	s, _ := NewSpec(0.01)
+	if got := s.Rate(1); got != 1 {
+		t.Fatalf("unset rate = %v, want 1 (no discount)", got)
+	}
+	s.ObserveRate(1, 0.10)
+	if got, want := s.Rate(1), 0.10+DefaultTolerance; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Rate = %v, want realized+tolerance %v", got, want)
+	}
+	// Estimates never exceed 1 and never go negative.
+	s.ObserveRate(2, 1.5)
+	if got := s.Rate(2); got != 1 {
+		t.Fatalf("Rate clamped high = %v", got)
+	}
+	s.SetRate(3, -0.2)
+	if got := s.Rate(3); got != 0 {
+		t.Fatalf("Rate clamped low = %v", got)
+	}
+	s.SetRate(4, math.NaN())
+	if got := s.Rate(4); got != 1 {
+		t.Fatalf("NaN rate must be ignored, got %v", got)
+	}
+}
+
+func TestApplyScalesWeights(t *testing.T) {
+	s, _ := NewSpec(0.01)
+	s.SetRate(2, 0.25)
+	d := task.NewDemand()
+	d.Set(1, 1, 1)
+	d.Set(1, 2, 0.5)
+	out := s.Apply(d)
+	if got := out.Weight(1, 1); got != 1 {
+		t.Fatalf("unrated weight scaled: %v", got)
+	}
+	if got := out.Weight(1, 2); got != 0.125 {
+		t.Fatalf("rated weight = %v, want 0.5*0.25", got)
+	}
+	// The input demand is untouched (Apply returns a copy).
+	if got := d.Weight(1, 2); got != 0.5 {
+		t.Fatalf("Apply mutated its input: %v", got)
+	}
+}
+
+// TestModelAllocs is the satellite-1 allocation budget: the hot-path
+// Observe/Predict pair must not allocate.
+func TestModelAllocs(t *testing.T) {
+	for _, k := range []Kind{EWMA, Holt} {
+		m := New(k)
+		m.Observe(1)
+		m.Observe(2)
+		v := 3.0
+		allocs := testing.AllocsPerRun(200, func() {
+			m.Observe(v)
+			v = m.Predict()
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: Observe/Predict allocated %v allocs/op", k, allocs)
+		}
+	}
+}

@@ -55,6 +55,41 @@ func TestAllocsDecodeIntoZero(t *testing.T) {
 	}
 }
 
+func TestAllocsSuppFrameEncodeDecodeZero(t *testing.T) {
+	// Frames carrying suppression/sync sections must preserve the
+	// zero-alloc discipline on both sides of the wire.
+	msg := suppMessage()
+	buf := make([]byte, 0, framePrefixSize+EncodedSize(msg))
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendEncode(buf[:0], msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode with supp sections allocates %.1f/op, want 0", allocs)
+	}
+	r := bytes.NewReader(buf)
+	dec := NewDecoder(r)
+	var out Message
+	if err := dec.DecodeInto(&out); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		r.Reset(buf)
+		if err := dec.DecodeInto(&out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeInto with supp sections allocates %.1f/op, want 0", allocs)
+	}
+	if len(out.Suppressed) != 3 || len(out.Syncs) != 1 {
+		t.Fatalf("decoded supp frame corrupted: %+v", out)
+	}
+}
+
 func TestAllocsMemorySendSteadyState(t *testing.T) {
 	m := NewMemory([]model.NodeID{1})
 	defer func() { _ = m.Close() }()

@@ -6,18 +6,32 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"sync"
 
 	"remo/internal/model"
 )
 
-// Wire format (all integers big-endian):
+// Wire format (all fixed-width integers big-endian):
 //
 //	frame   := length(uint32) payload
 //	payload := keyLen(uint16) key from(int32) to(int32) epoch(uint32)
-//	           count(uint32) beatCount(uint32) value* beat*
+//	           count(uint32) beatCount(uint32)
+//	           suppCount(uint32) syncCount(uint32)
+//	           value* beat* supp-section sync-section
 //	value   := node(int32) attr(int32) round(int32) bits(uint64)
 //	beat    := node(int32) round(int32)
+//
+// A supp-section (and identically a sync-section) is a run of
+// suppCount delta-coded slot identities, sorted by (round, node, attr):
+//
+//	supp    := roundΔ(zigzag-uvarint) nodeΔ(zigzag-uvarint)
+//	           attrΔ(zigzag-uvarint)
+//
+// where each Δ is against the previous entry ((0,0,0) for the first).
+// Canonical ordering makes the deltas small — a suppressed slot
+// typically costs 3 bytes, versus 20 for a full value — and lets the
+// decoder reject out-of-order sections, so decode∘encode is exact.
 //
 // A TCP/IP monitoring message carries at least ~78 bytes of protocol
 // headers (§2.3); this compact application framing keeps the per-message
@@ -29,11 +43,15 @@ import (
 
 // Wire-layout sizes in bytes.
 const (
-	framePrefixSize = 4                 // length prefix
-	keyLenSize      = 2                 // keyLen field
-	fixedHeaderSize = 4 + 4 + 4 + 4 + 4 // from, to, epoch, count, beatCount
-	valueSize       = 4 + 4 + 4 + 8     // node, attr, round, bits
-	beatSize        = 4 + 4             // node, round
+	framePrefixSize = 4 // length prefix
+	keyLenSize      = 2 // keyLen field
+	// from, to, epoch, count, beatCount, suppCount, syncCount
+	fixedHeaderSize = 4 + 4 + 4 + 4 + 4 + 4 + 4
+	valueSize       = 4 + 4 + 4 + 8 // node, attr, round, bits
+	beatSize        = 4 + 4         // node, round
+	// minSuppSize is the smallest possible encoded supp entry (three
+	// one-byte varints); used to bound counts before allocating.
+	minSuppSize = 3
 )
 
 // Codec limits, protecting against corrupt frames.
@@ -45,10 +63,80 @@ const (
 // ErrFrameTooLarge is returned for frames beyond maxFrameSize.
 var ErrFrameTooLarge = errors.New("transport: frame too large")
 
-// EncodedSize returns the payload size of msg in bytes.
+// EncodedSize returns the payload size of msg in bytes. The size of
+// the delta-coded sections depends on their order, so msg.Suppressed
+// and msg.Syncs are canonicalized (sorted in place) first, exactly as
+// AppendEncode would.
 func EncodedSize(msg Message) int {
+	sortSupps(msg.Suppressed)
+	sortSupps(msg.Syncs)
 	return keyLenSize + len(msg.TreeKey) + fixedHeaderSize +
-		len(msg.Values)*valueSize + len(msg.Beats)*beatSize
+		len(msg.Values)*valueSize + len(msg.Beats)*beatSize +
+		suppSectionSize(msg.Suppressed) + suppSectionSize(msg.Syncs)
+}
+
+// FrameSize returns the full on-wire size of msg — length prefix plus
+// payload — without encoding it. Byte-accounting harnesses (the
+// suppression benchmark's counting transport) use it to measure what a
+// message would cost on a real link even over the in-memory transport.
+func FrameSize(msg Message) int {
+	return framePrefixSize + EncodedSize(msg)
+}
+
+// sortSupps puts a supp section into canonical wire order.
+func sortSupps(s []Supp) {
+	slices.SortFunc(s, func(a, b Supp) int {
+		if a.Round != b.Round {
+			return a.Round - b.Round
+		}
+		if a.Node != b.Node {
+			return int(a.Node) - int(b.Node)
+		}
+		return int(a.Attr) - int(b.Attr)
+	})
+}
+
+// suppSectionSize returns the encoded size of an already-canonical
+// supp section.
+func suppSectionSize(s []Supp) int {
+	size := 0
+	pr, pn, pa := 0, 0, 0
+	for _, e := range s {
+		size += uvarintSize(zigzagEnc(int64(e.Round - pr)))
+		size += uvarintSize(zigzagEnc(int64(int(e.Node) - pn)))
+		size += uvarintSize(zigzagEnc(int64(int(e.Attr) - pa)))
+		pr, pn, pa = e.Round, int(e.Node), int(e.Attr)
+	}
+	return size
+}
+
+// uvarintSize is the encoded length of u as a uvarint.
+func uvarintSize(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}
+
+// zigzagEnc maps signed deltas onto uvarints with small magnitudes
+// staying small in either direction.
+func zigzagEnc(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// zigzagDec inverts zigzagEnc.
+func zigzagDec(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendSuppSection serializes an already-canonical supp section.
+func appendSuppSection(dst []byte, s []Supp) []byte {
+	pr, pn, pa := 0, 0, 0
+	for _, e := range s {
+		dst = binary.AppendUvarint(dst, zigzagEnc(int64(e.Round-pr)))
+		dst = binary.AppendUvarint(dst, zigzagEnc(int64(int(e.Node)-pn)))
+		dst = binary.AppendUvarint(dst, zigzagEnc(int64(int(e.Attr)-pa)))
+		pr, pn, pa = e.Round, int(e.Node), int(e.Attr)
+	}
+	return dst
 }
 
 // AppendEncode serializes msg into a self-delimiting frame appended to
@@ -71,6 +159,8 @@ func AppendEncode(dst []byte, msg Message) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint32(dst, msg.Epoch)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(msg.Values)))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(msg.Beats)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(msg.Suppressed)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(msg.Syncs)))
 	for _, v := range msg.Values {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(v.Node)))
 		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(v.Attr)))
@@ -81,6 +171,8 @@ func AppendEncode(dst []byte, msg Message) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.Node)))
 		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.Round)))
 	}
+	dst = appendSuppSection(dst, msg.Suppressed)
+	dst = appendSuppSection(dst, msg.Syncs)
 	return dst, nil
 }
 
@@ -222,13 +314,26 @@ func decodePayloadInto(p []byte, msg *Message, d *Decoder, reuse bool) error {
 	msg.Epoch = binary.BigEndian.Uint32(p[8:])
 	count := int(binary.BigEndian.Uint32(p[12:]))
 	beatCount := int(binary.BigEndian.Uint32(p[16:]))
+	suppCount := int(binary.BigEndian.Uint32(p[20:]))
+	syncCount := int(binary.BigEndian.Uint32(p[24:]))
 	p = p[fixedHeaderSize:]
-	if count < 0 || beatCount < 0 || len(p) != count*valueSize+beatCount*beatSize {
+	if count < 0 || beatCount < 0 ||
+		count > len(p)/valueSize || beatCount > (len(p)-count*valueSize)/beatSize {
 		return fmt.Errorf("transport: body is %d bytes, want %d values and %d beats",
 			len(p), count, beatCount)
 	}
+	// Bound the variable sections by their minimum entry size before
+	// allocating, so a corrupt count cannot balloon memory.
+	varBytes := len(p) - count*valueSize - beatCount*beatSize
+	if suppCount < 0 || syncCount < 0 ||
+		suppCount > varBytes/minSuppSize || syncCount > varBytes/minSuppSize {
+		return fmt.Errorf("transport: %d bytes of sections cannot hold %d supps and %d syncs",
+			varBytes, suppCount, syncCount)
+	}
 	prevValues, prevBeats := msg.Values, msg.Beats
+	prevSupps, prevSyncs := msg.Suppressed, msg.Syncs
 	msg.Values, msg.Beats = nil, nil
+	msg.Suppressed, msg.Syncs = nil, nil
 	if count > 0 {
 		msg.Values = sliceFor(prevValues, count, reuse)
 		for i := 0; i < count; i++ {
@@ -251,8 +356,59 @@ func decodePayloadInto(p []byte, msg *Message, d *Decoder, reuse bool) error {
 				Round: int(int32(binary.BigEndian.Uint32(p[off+4:]))),
 			}
 		}
+		p = p[beatCount*beatSize:]
+	}
+	var err error
+	if msg.Suppressed, p, err = decodeSuppSection(p, suppCount, prevSupps, reuse); err != nil {
+		return fmt.Errorf("transport: supp section: %w", err)
+	}
+	if msg.Syncs, p, err = decodeSuppSection(p, syncCount, prevSyncs, reuse); err != nil {
+		return fmt.Errorf("transport: sync section: %w", err)
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("transport: %d trailing bytes after sections", len(p))
 	}
 	return nil
+}
+
+// decodeSuppSection parses n delta-coded supp entries off the front of
+// p, returning the entries and the remaining bytes. Non-canonical
+// (out-of-order) sections, malformed varints, and deltas accumulating
+// outside int32 are rejected with an error — never a panic — so a
+// corrupt or adversarial section cannot poison the replica protocol.
+func decodeSuppSection(p []byte, n int, prev []Supp, reuse bool) ([]Supp, []byte, error) {
+	if n == 0 {
+		return nil, p, nil
+	}
+	out := sliceFor(prev, n, reuse)
+	pr, pn, pa := 0, 0, 0
+	for i := 0; i < n; i++ {
+		var d [3]int
+		for j := range d {
+			u, k := binary.Uvarint(p)
+			if k <= 0 {
+				return nil, p, fmt.Errorf("malformed varint in entry %d", i)
+			}
+			p = p[k:]
+			v := zigzagDec(u)
+			if v < math.MinInt32 || v > math.MaxInt32 {
+				return nil, p, fmt.Errorf("delta %d out of range in entry %d", v, i)
+			}
+			d[j] = int(v)
+		}
+		r, nd, a := pr+d[0], pn+d[1], pa+d[2]
+		if r < math.MinInt32 || r > math.MaxInt32 ||
+			nd < math.MinInt32 || nd > math.MaxInt32 ||
+			a < math.MinInt32 || a > math.MaxInt32 {
+			return nil, p, fmt.Errorf("entry %d accumulates outside int32", i)
+		}
+		if i > 0 && (r < pr || (r == pr && (nd < pn || (nd == pn && a < pa)))) {
+			return nil, p, fmt.Errorf("entry %d out of canonical order", i)
+		}
+		out[i] = Supp{Node: model.NodeID(nd), Attr: model.AttrID(a), Round: r}
+		pr, pn, pa = r, nd, a
+	}
+	return out, p, nil
 }
 
 // sliceFor returns a slice of length n, reusing prev's capacity when

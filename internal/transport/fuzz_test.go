@@ -36,6 +36,28 @@ func FuzzDecode(f *testing.F) {
 		Beats: []Beat{{Node: 3, Round: 5}, {Node: 6, Round: 4}}})
 	seed(Message{TreeKey: "1", From: 2, To: model.Central,
 		Beats: []Beat{{Node: 2, Round: 0}, {Node: 5, Round: 1}, {Node: 9, Round: 2}}})
+	// Suppression-section seeds: a frame whose values were all
+	// suppressed (empty Values, full Suppressed), a forced-sync frame
+	// (every value marked as a sync), and a mixed frame alternating
+	// suppressed and transmitted slots across rounds and nodes.
+	seed(Message{TreeKey: "1,2", From: 3, To: model.Central,
+		Suppressed: []Supp{
+			{Node: 3, Attr: 1, Round: 9}, {Node: 3, Attr: 2, Round: 9},
+			{Node: 5, Attr: 1, Round: 9},
+		}})
+	seed(Message{TreeKey: "4", From: 6, To: model.Central,
+		Values: []Value{{Node: 6, Attr: 4, Round: 3, Value: 88.5}},
+		Syncs:  []Supp{{Node: 6, Attr: 4, Round: 3}}})
+	seed(Message{TreeKey: "1,2,3", From: 2, To: 1,
+		Values: []Value{
+			{Node: 2, Attr: 1, Round: 10, Value: 1},
+			{Node: 4, Attr: 3, Round: 11, Value: 2},
+		},
+		Suppressed: []Supp{
+			{Node: 2, Attr: 2, Round: 10}, {Node: 4, Attr: 1, Round: 10},
+			{Node: 2, Attr: 3, Round: 11},
+		},
+		Syncs: []Supp{{Node: 2, Attr: 1, Round: 10}}})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // oversized length prefix
 	f.Add([]byte{0x00, 0x00, 0x00, 0x00}) // empty payload (short header)
 

@@ -33,6 +33,21 @@ type Beat struct {
 	Round int
 }
 
+// Supp identifies one suppressed or synced slot: attribute Attr
+// observed at node Node during origin round Round, carried without its
+// value. In Message.Suppressed it marks a value the sender withheld
+// because the shared forecast was within the attribute's dead band (the
+// collector imputes it from its model replica); in Message.Syncs it
+// marks a value in Message.Values that is a forced ground-truth re-sync
+// (both model replicas reset and re-seed from the carried value). On
+// the wire each entry costs ~1–3 bytes (delta-varint coded), versus 20
+// bytes for a full value.
+type Supp struct {
+	Node  model.NodeID
+	Attr  model.AttrID
+	Round int
+}
+
 // Message is one periodic update: node From forwards Values to its
 // parent To within the tree identified by TreeKey (the tree's
 // attribute-set key). Heartbeat messages carry Beats and no Values.
@@ -42,22 +57,28 @@ type Beat struct {
 // fencing reject frames from superseded epochs — the mechanism that
 // keeps pre-crash frames out of a restarted collector's accounting.
 //
-// Buffer ownership: Send borrows the message's Values/Beats slices only
-// for the duration of the call — the transport either retains the
-// Message struct as-is (memory transport, where the receiver consumes it
-// before the sender's next compose) or serializes it before returning
-// (TCP), so senders may reuse their backing arrays for the next round
-// once the message has been drained by its receiver. Messages returned
-// by Drain, and their slices, are owned by the caller only until the
-// next Drain call for the same node; callers that retain messages
-// longer must copy them.
+// Buffer ownership: Send borrows the message's Values/Beats/Suppressed/
+// Syncs slices only for the duration of the call — the transport either
+// retains the Message struct as-is (memory transport, where the receiver
+// consumes it before the sender's next compose) or serializes it before
+// returning (TCP), so senders may reuse their backing arrays for the
+// next round once the message has been drained by its receiver.
+// Messages returned by Drain, and their slices, are owned by the caller
+// only until the next Drain call for the same node; callers that retain
+// messages longer must copy them.
+//
+// Encoding canonicalizes Suppressed and Syncs: AppendEncode and
+// EncodedSize sort both slices in place by (Round, Node, Attr) so the
+// delta-varint wire sections are minimal and decode-order-checked.
 type Message struct {
-	TreeKey string
-	From    model.NodeID
-	To      model.NodeID
-	Epoch   uint32
-	Values  []Value
-	Beats   []Beat
+	TreeKey    string
+	From       model.NodeID
+	To         model.NodeID
+	Epoch      uint32
+	Values     []Value
+	Beats      []Beat
+	Suppressed []Supp
+	Syncs      []Supp
 }
 
 // Transport delivers messages to per-node mailboxes.

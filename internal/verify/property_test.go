@@ -243,6 +243,22 @@ func TestResultMutations(t *testing.T) {
 		{"negative staleness", func(r *cluster.Result) { r.AvgStaleness = -1 }},
 		{"truncated error series", func(r *cluster.Result) { r.ErrorSeries = r.ErrorSeries[:len(r.ErrorSeries)-1] }},
 		{"error series out of range", func(r *cluster.Result) { r.ErrorSeries[0] = 250 }},
+		{"negative suppression counter", func(r *cluster.Result) { r.MarkersLost = -1 }},
+		{"suppressed beyond observed", func(r *cluster.Result) {
+			r.ValuesSuppressed = r.ValuesObserved + 1
+		}},
+		{"imputed beyond suppressed", func(r *cluster.Result) {
+			r.ValuesSuppressed = 2
+			r.ValuesObserved = 4
+			r.ValuesImputed = 2
+			r.MarkersLost = 1
+		}},
+		{"impute outside band", func(r *cluster.Result) {
+			r.ValuesObserved = 4
+			r.ValuesSuppressed = 2
+			r.ValuesImputed = 2
+			r.ImputeBandMax = 1.5
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -25,7 +25,11 @@ import (
 //     [0, 100];
 //   - traffic counters are non-negative;
 //   - durability counters are non-negative, and buffered frames are
-//     conserved (redelivered + shed never exceeds buffered).
+//     conserved (redelivered + shed never exceeds buffered);
+//   - suppression counters are non-negative and conserved: no more
+//     values suppressed than observed, every suppressed value either
+//     imputed or accounted lost, and every imputed value inside the
+//     dead band (ImputeBandMax, a fraction of the band, is ≤ 1).
 //
 // ctx.Demand must be the demand currently installed in the machine
 // (after any repair pruning or adaptation), since the collector
@@ -70,6 +74,24 @@ func Result(ctx Context, res cluster.Result) error {
 	if res.FramesRedelivered+res.FramesShed > res.FramesBuffered {
 		return fmt.Errorf("%w: %d redelivered + %d shed exceed %d buffered frames",
 			ErrResult, res.FramesRedelivered, res.FramesShed, res.FramesBuffered)
+	}
+	if res.ValuesObserved < 0 || res.ValuesSuppressed < 0 || res.ValuesImputed < 0 ||
+		res.ModelSyncs < 0 || res.MarkersLost < 0 {
+		return fmt.Errorf("%w: negative suppression counters (observed %d, suppressed %d, imputed %d, syncs %d, lost %d)",
+			ErrResult, res.ValuesObserved, res.ValuesSuppressed, res.ValuesImputed,
+			res.ModelSyncs, res.MarkersLost)
+	}
+	if res.ValuesSuppressed > res.ValuesObserved {
+		return fmt.Errorf("%w: %d values suppressed of %d observed",
+			ErrResult, res.ValuesSuppressed, res.ValuesObserved)
+	}
+	if res.ValuesImputed+res.MarkersLost > res.ValuesSuppressed {
+		return fmt.Errorf("%w: %d imputed + %d lost markers exceed %d suppressed values",
+			ErrResult, res.ValuesImputed, res.MarkersLost, res.ValuesSuppressed)
+	}
+	if res.ImputeBandMax < 0 || res.ImputeBandMax > 1+1e-9 {
+		return fmt.Errorf("%w: ImputeBandMax %.9f outside [0, 1]",
+			ErrResult, res.ImputeBandMax)
 	}
 	if res.Rounds < 0 || len(res.ErrorSeries) != res.Rounds {
 		return fmt.Errorf("%w: %d rounds but %d error-series entries",

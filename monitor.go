@@ -13,6 +13,7 @@ import (
 	"remo/internal/model"
 	"remo/internal/partition"
 	"remo/internal/plan"
+	"remo/internal/predict"
 	"remo/internal/repair"
 	"remo/internal/store"
 	"remo/internal/task"
@@ -183,7 +184,7 @@ var ErrUnreachable = transport.ErrUnreachable
 
 // StartMonitor plans the current task set and boots the live session.
 func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
-	return p.startMonitor(cfg, p.currentDemand(), nil, nil)
+	return p.startMonitor(cfg, p.currentDemand(), nil, nil, nil)
 }
 
 // startMonitor boots a session over the given demand (the planner's
@@ -192,8 +193,11 @@ func (p *Planner) StartMonitor(cfg MonitorConfig) (*Monitor, error) {
 // seeds the initial topology deterministically from a journaled
 // partition instead of searching, so a cold resume rebuilds the exact
 // pre-crash forest. seedAssign likewise seeds the shard dispatcher's
-// tree→shard map from a journaled assignment.
-func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets []model.AttrSet, seedAssign map[string]int) (*Monitor, error) {
+// tree→shard map from a journaled assignment, and seedModels seeds
+// both ends of the forecasting replicas from journaled snapshots (a
+// cold restart restores leaf and collector from the same snapshot, so
+// lockstep holds from round zero).
+func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets []model.AttrSet, seedAssign map[string]int, seedModels map[model.Pair]predict.Snapshot) (*Monitor, error) {
 	scheme := cfg.Scheme
 	if scheme == "" {
 		if p.incReplan {
@@ -282,6 +286,8 @@ func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets 
 		Shards:          cfg.Shards,
 		ShardLease:      cfg.ShardLease,
 		SeedAssignment:  seedAssign,
+		Predict:         p.predSpec,
+		SeedModels:      seedModels,
 	}
 	if cfg.Journal != "" {
 		// A durable session fences plan epochs and buffers leaf output, so
@@ -457,6 +463,7 @@ func (m *Monitor) journalState() journal.State {
 	if m.machine.ShardCount() > 1 {
 		s.Assignment = m.machine.ShardAssignment()
 	}
+	s.Models = m.machine.PredictSnapshots()
 	return s
 }
 
@@ -806,9 +813,10 @@ func (m *Monitor) Resume(journalDir string) (ResumeReport, error) {
 	}
 	st := rec.State
 	m.machine.ResumeCollector(cluster.ResumeState{
-		Epoch: st.Epoch,
-		Repo:  st.Store,
-		Dead:  st.Dead,
+		Epoch:  st.Epoch,
+		Repo:   st.Store,
+		Dead:   st.Dead,
+		Models: st.Models,
 	})
 	m.failures = st.Failures
 	m.recoveries = st.Recoveries
@@ -873,8 +881,9 @@ func (m *Monitor) ResumeShard(s int) (ResumeReport, error) {
 	}
 	st := rec.State
 	if err := m.machine.ResumeShard(s, cluster.ResumeState{
-		Epoch: st.Epoch,
-		Repo:  st.Store,
+		Epoch:  st.Epoch,
+		Repo:   st.Store,
+		Models: st.Models,
 	}); err != nil {
 		return ResumeReport{}, fmt.Errorf("remo: resume shard %d: %w", s, err)
 	}
@@ -931,7 +940,7 @@ func (p *Planner) ResumeMonitor(journalDir string, cfg MonitorConfig) (*Monitor,
 			}
 		}
 	}
-	mon, err := p.startMonitor(cfg, demand, st.Partition, st.Assignment)
+	mon, err := p.startMonitor(cfg, demand, st.Partition, st.Assignment, st.Models)
 	if err != nil {
 		return nil, ResumeReport{}, err
 	}
@@ -1046,6 +1055,12 @@ func (m *Monitor) Report() DeployReport {
 		MessagesSent:      res.MessagesSent,
 		MessagesDropped:   res.MessagesDropped,
 		ValuesDelivered:   res.ValuesDelivered,
+		ValuesObserved:    res.ValuesObserved,
+		ValuesSuppressed:  res.ValuesSuppressed,
+		ValuesImputed:     res.ValuesImputed,
+		ModelSyncs:        res.ModelSyncs,
+		MarkersLost:       res.MarkersLost,
+		ImputeBandMax:     res.ImputeBandMax,
 		ErrorSeries:       res.ErrorSeries,
 		FailuresDetected:  m.failures,
 		NodesRecovered:    m.recoveries,

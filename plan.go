@@ -8,6 +8,7 @@ import (
 	"remo/internal/agg"
 	"remo/internal/core"
 	"remo/internal/plan"
+	"remo/internal/predict"
 	"remo/internal/task"
 	"remo/internal/verify"
 )
@@ -15,11 +16,18 @@ import (
 // Plan is a finished monitoring topology: a forest of collection trees
 // plus its evaluated resource profile.
 type Plan struct {
-	sys     *System
-	demand  *task.Demand
-	aggSpec *agg.Spec
-	resolve func(AttrID) AttrID
-	res     core.Result
+	sys    *System
+	demand *task.Demand
+	// planDemand is the demand the search packed against — equal to
+	// demand unless prediction transmit rates discounted it. Validation
+	// and verification run against it (it justified the packing); the
+	// runtime installs demand, whose weights drive piggyback periods.
+	planDemand *task.Demand
+	// predSpec arms dead-band suppression in Deploy (nil = off).
+	predSpec *predict.Spec
+	aggSpec  *agg.Spec
+	resolve  func(AttrID) AttrID
+	res      core.Result
 	// runtimeWorkers sizes Deploy's round engine pool (see
 	// WithRuntimeWorkers).
 	runtimeWorkers int
@@ -34,6 +42,7 @@ func planFromForest(p *Planner, forest *plan.Forest, d *task.Demand) *Plan {
 	return &Plan{
 		sys:            p.sys,
 		demand:         d,
+		predSpec:       p.predSpec,
 		aggSpec:        p.aggSpec,
 		resolve:        p.resolveAttr,
 		runtimeWorkers: p.runtimeWorkers,
@@ -125,7 +134,15 @@ func (p *Plan) ParentOf(n NodeID, a AttrID) (parent NodeID, ok bool) {
 
 // Validate re-checks the plan against the system and demand.
 func (p *Plan) Validate() error {
-	return p.res.Forest.Validate(p.demand, p.sys, p.aggSpec)
+	return p.res.Forest.Validate(p.packedDemand(), p.sys, p.aggSpec)
+}
+
+// packedDemand is the demand the plan's packing was justified under.
+func (p *Plan) packedDemand() *task.Demand {
+	if p.planDemand != nil {
+		return p.planDemand
+	}
+	return p.demand
 }
 
 // Verify runs the independent verification harness over the plan:
@@ -142,7 +159,7 @@ func (p *Plan) Verify() error {
 func (p *Plan) verifyContext() verify.Context {
 	return verify.Context{
 		Sys:     p.sys,
-		Demand:  p.demand,
+		Demand:  p.packedDemand(),
 		Spec:    p.aggSpec,
 		Resolve: p.resolve,
 	}

@@ -39,6 +39,7 @@ import (
 	"remo/internal/freq"
 	"remo/internal/model"
 	"remo/internal/partition"
+	"remo/internal/predict"
 	"remo/internal/reliability"
 	"remo/internal/task"
 	"remo/internal/tree"
@@ -115,11 +116,13 @@ type Planner struct {
 	cons    *partition.Constraints
 	opts    []core.Option
 
-	// Extension state: replica aliases (SSDP reliability) and update
-	// frequencies (piggyback weighting).
+	// Extension state: replica aliases (SSDP reliability), update
+	// frequencies (piggyback weighting) and forecast-driven dead-band
+	// suppression.
 	aliases   *reliability.AliasMap
 	aliasNext AttrID
 	freqSpec  *freq.Spec
+	predSpec  *predict.Spec
 
 	// baseline, when set, bypasses the search with a fixed partition.
 	baseline Baseline
@@ -240,6 +243,37 @@ func WithReplanFallback(tol float64) PlannerOption {
 	return func(p *Planner) { p.replanOpts = append(p.replanOpts, core.WithReplanFallback(tol)) }
 }
 
+// Forecasting model kinds for WithPrediction / SetPredictionModel.
+const (
+	// PredictEWMA forecasts with an exponentially weighted moving
+	// average — level only, robust on noisy series.
+	PredictEWMA = predict.EWMA
+	// PredictHolt forecasts with Holt's linear-trend double smoothing —
+	// tracks drifting plateaus, the default.
+	PredictHolt = predict.Holt
+)
+
+// WithPrediction arms forecast-driven dead-band traffic suppression
+// with the given default relative error bound (e.g. 0.01 = 1%): every
+// leaf and the collector run bit-identical per-pair forecasting
+// replicas, a leaf whose observed value is within ε of the shared
+// prediction sends a compact suppression marker instead of the value,
+// and the collector imputes the predicted value — guaranteed within
+// the band of the truth, since the leaf checked exactly that before
+// suppressing. Markers cost no capacity; only holistic, non-aliased
+// attributes are eligible. Panics on a non-positive or non-finite
+// bound (program-initialization style, like MustAddTask); per-attribute
+// overrides go through SetPredictionBound and SetPredictionModel.
+func WithPrediction(eps float64) PlannerOption {
+	return func(p *Planner) {
+		s, err := predict.NewSpec(eps)
+		if err != nil {
+			panic(fmt.Sprintf("remo: %v", err))
+		}
+		p.predSpec = s
+	}
+}
+
 // Baseline selects a fixed partition scheme instead of REMO's search,
 // for comparisons like the paper's Figs. 5-8.
 type Baseline int
@@ -316,19 +350,30 @@ func (p *Planner) Plan() (*Plan, error) {
 	if p.freqSpec != nil {
 		d = p.freqSpec.Apply(d)
 	}
+	// Prediction discounts are planner-side only: the search packs
+	// against rate-scaled weights (identity until transmit rates are
+	// recorded via SetPredictionRate or ObserveRate feedback), while the
+	// runtime demand keeps full weights — suppression elides values
+	// inside a round, it never stretches reporting periods.
+	dPlan := d
+	if p.predSpec != nil {
+		dPlan = p.predSpec.Apply(d)
+	}
 	planner := p.corePlanner()
 	var res core.Result
 	switch p.baseline {
 	case BaselineSingletonSet:
-		res = planner.PlanPartition(p.sys, d, partition.Singleton(d.Universe()))
+		res = planner.PlanPartition(p.sys, dPlan, partition.Singleton(dPlan.Universe()))
 	case BaselineOneSet:
-		res = planner.PlanPartition(p.sys, d, partition.OneSet(d.Universe()))
+		res = planner.PlanPartition(p.sys, dPlan, partition.OneSet(dPlan.Universe()))
 	default:
-		res = planner.Plan(p.sys, d)
+		res = planner.Plan(p.sys, dPlan)
 	}
 	pl := &Plan{
 		sys:            p.sys,
 		demand:         d,
+		planDemand:     dPlan,
+		predSpec:       p.predSpec,
 		aggSpec:        p.aggSpec,
 		resolve:        p.resolveAttr,
 		res:            res,

@@ -43,8 +43,11 @@ func run(args []string) error {
 	if len(args) == 2 && args[0] == "-shard" {
 		return runShard(args[1])
 	}
+	if len(args) == 2 && args[0] == "-suppress" {
+		return runSuppress(args[1])
+	}
 	if len(args) != 2 {
-		return fmt.Errorf("usage: benchguard <bench-output-file> <BENCH_planner.json> | benchguard -shard <BENCH_shard.json>")
+		return fmt.Errorf("usage: benchguard <bench-output-file> <BENCH_planner.json> | benchguard -shard <BENCH_shard.json> | benchguard -suppress <BENCH_suppress.json>")
 	}
 	seqNS, parNS, err := parseBench(args[0])
 	if err != nil {
@@ -126,6 +129,89 @@ func recordedShardOverhead(path string) (float64, error) {
 		}
 	}
 	return 0, fmt.Errorf("%s: no dispatcher-overhead table with an OVERHEAD_PCT column", path)
+}
+
+// suppressReductionFloor is the acceptance bound on forecast-driven
+// traffic suppression: the ε=1% row of the recorded bytes-at-accuracy
+// sweep must reduce wire bytes by at least 3x against the identical
+// suppression-off deployment.
+const suppressReductionFloor = 3.0
+
+// suppressBandCeiling bounds the recorded worst-case imputation error
+// as a fraction of the dead band: imputes come from bit-identical model
+// replicas, so any BAND_MAX above 1 (plus float slack) means the
+// safety invariant broke, on every row of both tables.
+const suppressBandCeiling = 1.000001
+
+// runSuppress gates the recorded suppression headline (the ε=1% row's
+// REDUCTION_X in BENCH_suppress.json's bytes-at-accuracy sweep) and
+// the dead-band invariant on every recorded row, robustness scenarios
+// included. Like the shard gate this checks the checked-in document:
+// check.sh's one-iteration BenchmarkSuppress smoke re-runs the
+// experiment at a reduced scale, and the recorded full-scale number is
+// the contract.
+func runSuppress(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var docs []runDoc
+	if err := json.Unmarshal(raw, &docs); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	reduction := 0.0
+	found := false
+	bandRows := 0
+	for _, doc := range docs {
+		for _, t := range doc.Tables {
+			redCol, bandCol := -1, -1
+			for i, c := range t.Columns {
+				switch c {
+				case "REDUCTION_X":
+					redCol = i
+				case "BAND_MAX":
+					bandCol = i
+				}
+			}
+			if bandCol >= 0 {
+				for _, r := range t.Rows {
+					if bandCol >= len(r.Cells) {
+						return fmt.Errorf("%s: row x=%g missing BAND_MAX cell", path, r.X)
+					}
+					bandRows++
+					if band := r.Cells[bandCol]; band > suppressBandCeiling {
+						return fmt.Errorf("recorded BAND_MAX %.6f at x=%g breaks the dead-band invariant (ceiling %.6f)",
+							band, r.X, suppressBandCeiling)
+					}
+				}
+			}
+			if !strings.Contains(t.Title, "bytes at accuracy") || redCol < 0 {
+				continue
+			}
+			for _, r := range t.Rows {
+				if r.X == 0.01 {
+					if redCol >= len(r.Cells) {
+						return fmt.Errorf("%s: ε=1%% row missing REDUCTION_X cell", path)
+					}
+					reduction = r.Cells[redCol]
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("%s: no bytes-at-accuracy table with an ε=1%% REDUCTION_X row", path)
+	}
+	if bandRows == 0 {
+		return fmt.Errorf("%s: no BAND_MAX cells to check", path)
+	}
+	fmt.Printf("    suppression at ε=1%%: %.2fx byte reduction (floor %.2fx), dead band held on %d rows\n",
+		reduction, suppressReductionFloor, bandRows)
+	if reduction < suppressReductionFloor {
+		return fmt.Errorf("recorded ε=1%% byte reduction %.2fx is below the %.2fx floor",
+			reduction, suppressReductionFloor)
+	}
+	return nil
 }
 
 // benchLine matches one `go test -bench` result line.

@@ -164,3 +164,76 @@ func TestShardGateAgainstCheckedInDocument(t *testing.T) {
 		t.Fatalf("checked-in BENCH_shard.json fails the gate: %v", err)
 	}
 }
+
+const suppressJSON = `[
+  {
+    "name": "suppress",
+    "tables": [
+      {
+        "Title": "Suppression — wire bytes at accuracy, ε sweep (Fig 6a shape, plateau source)",
+        "Columns": ["BASE_KB", "SUPP_KB", "REDUCTION_X", "SUPP_PCT", "ERR_PCT", "BAND_MAX"],
+        "Rows": [
+          {"X": 0.005, "Cells": [50000, 16000, 3.1, 89.0, 1.3, 0.99]},
+          {"X": 0.01, "Cells": [50000, 15500, 3.2, 89.4, 1.3, 1.0]}
+        ]
+      },
+      {
+        "Title": "Suppression — robustness at ε=1%",
+        "Columns": ["REDUCTION_X", "SUPP_PCT", "IMPUTED", "MARKERS_LOST", "BAND_MAX"],
+        "Rows": [
+          {"X": 1, "Cells": [2.6, 81.0, 380000, 580000, 0.99]},
+          {"X": 2, "Cells": [3.2, 89.0, 840000, 210000, 1.0]}
+        ]
+      }
+    ]
+  }
+]`
+
+func TestSuppressGatePasses(t *testing.T) {
+	doc := write(t, "BENCH_suppress.json", suppressJSON)
+	if err := run([]string{"-suppress", doc}); err != nil {
+		t.Fatalf("run failed above the floor: %v", err)
+	}
+}
+
+func TestSuppressGateFailsBelowReductionFloor(t *testing.T) {
+	weak := strings.ReplaceAll(suppressJSON, `"Cells": [50000, 15500, 3.2, 89.4, 1.3, 1.0]`,
+		`"Cells": [50000, 20000, 2.5, 80.0, 1.3, 1.0]`)
+	doc := write(t, "BENCH_suppress.json", weak)
+	err := run([]string{"-suppress", doc})
+	if err == nil || !strings.Contains(err.Error(), "below the") {
+		t.Fatalf("run below the floor returned %v, want floor error", err)
+	}
+}
+
+func TestSuppressGateFailsOnBrokenBand(t *testing.T) {
+	// A band breach anywhere fails — here on a robustness row.
+	broken := strings.ReplaceAll(suppressJSON, `"Cells": [2.6, 81.0, 380000, 580000, 0.99]`,
+		`"Cells": [2.6, 81.0, 380000, 580000, 1.5]`)
+	doc := write(t, "BENCH_suppress.json", broken)
+	err := run([]string{"-suppress", doc})
+	if err == nil || !strings.Contains(err.Error(), "dead-band") {
+		t.Fatalf("run with a broken band returned %v, want invariant error", err)
+	}
+}
+
+func TestSuppressGateInputErrors(t *testing.T) {
+	if err := run([]string{"-suppress", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("missing document accepted")
+	}
+	noRow := strings.ReplaceAll(suppressJSON, `"X": 0.01`, `"X": 0.03`)
+	if err := run([]string{"-suppress", write(t, "norow.json", noRow)}); err == nil {
+		t.Fatal("document without an ε=1% row accepted")
+	}
+	if err := run([]string{"-suppress", write(t, "garbage.json", "{")}); err == nil {
+		t.Fatal("unparseable document accepted")
+	}
+}
+
+func TestSuppressGateAgainstCheckedInDocument(t *testing.T) {
+	// The real gate in check.sh runs against the repo's
+	// BENCH_suppress.json; keep the checked-in document passing.
+	if err := run([]string{"-suppress", "../../BENCH_suppress.json"}); err != nil {
+		t.Fatalf("checked-in BENCH_suppress.json fails the gate: %v", err)
+	}
+}

@@ -58,6 +58,15 @@ rm -rf "$journal_dir"
 echo "==> sharded-tier overhead gate (BENCH_shard.json headline)"
 go run ./scripts/benchguard -shard BENCH_shard.json
 
+echo "==> suppression smoke (forecast suppression under loss, verified, under -race)"
+go test -race -count=1 -run 'TestSuppression|TestPredict' . ./internal/cluster ./internal/predict
+go run -race ./cmd/remo-sim -nodes 30 -tasks 15 -rounds 24 -seed 5 \
+    -predict -chaos-drop 0.1 -verify > /dev/null
+
+echo "==> suppression benchmark (1 iteration) + headline gate (BENCH_suppress.json)"
+go test -run '^$' -bench 'BenchmarkSuppress' -benchtime 1x .
+go run ./scripts/benchguard -suppress BENCH_suppress.json
+
 echo "==> fuzz smoke (FuzzDecode, 10s)"
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/transport
 
