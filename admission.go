@@ -1,0 +1,48 @@
+package remo
+
+// Serve-mode admission support: the service front door (internal/serve)
+// admits task mutations against a hard feasibility bound before they
+// reach the planner, so over-budget requests are rejected with a typed
+// error instead of planning a topology that cannot fit.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible marks an admission rejected because the demanded pairs
+// cannot fit the collector's capacity under the cost model — no
+// topology, however clever, delivers more than AdmissionBudget pairs.
+// Test with errors.Is.
+var ErrInfeasible = errors.New("task set infeasible for collector capacity")
+
+// AdmissionBudget is the hard upper bound on distinct node-attribute
+// pairs any plan can deliver to the collector: receiving N pairs costs
+// at least C + a·N (a single tree; every extra tree adds another C), so
+// the budget is floor((CentralCapacity − C) / a). Zero per-value cost
+// means the bound degenerates to "unlimited" (math.MaxInt). This is an
+// admission-control bound, not a promise — placement constraints can
+// make a within-budget set partially collectable, which shows up as
+// coverage, not rejection.
+func (p *Planner) AdmissionBudget() int {
+	c := p.sys.Cost
+	slack := p.sys.CentralCapacity - c.PerMessage
+	if slack < 0 {
+		return 0
+	}
+	if c.PerValue <= 0 {
+		return math.MaxInt
+	}
+	return int(math.Floor(slack / c.PerValue))
+}
+
+// CheckAdmission rejects a demanded pair count that exceeds the
+// collector's admission budget, wrapping ErrInfeasible with the
+// numbers.
+func (p *Planner) CheckAdmission(pairs int) error {
+	if budget := p.AdmissionBudget(); pairs > budget {
+		return fmt.Errorf("remo: %w: %d pairs demanded, budget %d", ErrInfeasible, pairs, budget)
+	}
+	return nil
+}

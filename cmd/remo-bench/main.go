@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,18 +20,23 @@ import (
 	"time"
 
 	"remo/internal/bench"
+	"remo/internal/lifecycle"
 	"remo/internal/metrics"
 	"remo/internal/profiling"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// One signal finishes the current figure and flushes profiles; a
+	// second signal (or an overlong figure) force-exits.
+	ctx, release := lifecycle.Context(context.Background(), lifecycle.Options{})
+	defer release()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "remo-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("remo-bench", flag.ContinueOnError)
 	var (
 		fig    = fs.String("fig", "", "figure to regenerate (fig2, fig5, ..., fig12)")
@@ -91,6 +97,9 @@ func run(args []string) error {
 		}
 		docs := make([]runDoc, 0, len(selected))
 		for _, e := range selected {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("interrupted after %d of %d figures", len(docs), len(selected))
+			}
 			start := time.Now()
 			tables := e.Run(opts)
 			docs = append(docs, runDoc{
@@ -107,7 +116,10 @@ func run(args []string) error {
 		return enc.Encode(docs)
 	}
 
-	for _, e := range selected {
+	for i, e := range selected {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted after %d of %d figures", i, len(selected))
+		}
 		start := time.Now()
 		fmt.Printf("== %s — %s (scale %.2f)\n", e.Name, e.Description, *scale)
 		for _, tbl := range e.Run(opts) {

@@ -1,33 +1,49 @@
 package main
 
 import (
+	"context"
+	"strings"
 	"testing"
 )
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
-	if err := run([]string{"-fig", "fig99"}); err == nil {
+	if err := run(context.Background(), []string{"-fig", "fig99"}); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
 
 func TestRunRequiresSelection(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("no selection accepted")
 	}
 }
 
 func TestRunSingleFigure(t *testing.T) {
 	// fig2 is the only instant figure; it also exercises table output.
-	if err := run([]string{"-fig", "fig2", "-scale", "0.1"}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "fig2", "-scale", "0.1"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-fig", "fig2", "-csv"}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "fig2", "-csv"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunInterrupted(t *testing.T) {
+	// A cancelled context stops the sweep at the next figure boundary.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-fig", "fig2", "-scale", "0.1"})
+	if err == nil || !strings.Contains(err.Error(), "interrupted after 0 of 1") {
+		t.Fatalf("err = %v, want interruption notice", err)
+	}
+	err = run(ctx, []string{"-fig", "fig2", "-scale", "0.1", "-json"})
+	if err == nil || !strings.Contains(err.Error(), "interrupted after 0 of 1") {
+		t.Fatalf("json path err = %v, want interruption notice", err)
 	}
 }

@@ -1,0 +1,122 @@
+// Command remo-load drives traffic at a remo-serve instance: N
+// simulated clients each perform a connect-time full-state sync and
+// then loop on think-time-paced work — a configurable fraction mutate
+// tasks through the admission API while the rest poll delta reads.
+// The run reports admission/sync/read latency percentiles, an error
+// taxonomy, and the server's achieved rounds/s.
+//
+// Usage:
+//
+//	remo-load -target http://127.0.0.1:7300
+//	remo-load -target http://127.0.0.1:7300 -clients 200 -duration 30s
+//	remo-load -target http://127.0.0.1:7300 -think uniform:50ms-200ms -mutators 0.5
+//	remo-load -target http://127.0.0.1:7300 -json
+//
+// SIGINT/SIGTERM ends the run early; the report covers the traffic
+// sent so far.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"remo/internal/lifecycle"
+	"remo/internal/load"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "remo-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("remo-load", flag.ContinueOnError)
+	var (
+		target   = fs.String("target", "", "remo-serve base URL (required)")
+		clients  = fs.Int("clients", 50, "simulated clients")
+		duration = fs.Duration("duration", 5*time.Second, "run length")
+		ramp     = fs.Duration("ramp", 0, "stagger client starts over this window (default duration/4, capped at 2s)")
+		think    = fs.String("think", "exp:500ms", "think-time distribution: fixed:100ms, uniform:50ms-200ms, or exp:200ms")
+		mutators = fs.Float64("mutators", 0.2, "fraction of clients that mutate tasks (the rest read deltas)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		tAttrs   = fs.Int("task-attrs", 1, "attributes per mutator task")
+		tNodes   = fs.Int("task-nodes", 2, "nodes per mutator task")
+		asJSON   = fs.Bool("json", false, "emit the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required: the base URL of a running remo-serve")
+	}
+	if *clients < 1 {
+		return fmt.Errorf("-clients must be at least 1 (got %d)", *clients)
+	}
+	if *duration <= 0 {
+		return fmt.Errorf("-duration must be positive (got %v)", *duration)
+	}
+	if *mutators < 0 || *mutators > 1 {
+		return fmt.Errorf("-mutators must be a fraction in [0, 1] (got %v)", *mutators)
+	}
+	spec, err := load.ParseThink(*think)
+	if err != nil {
+		return err
+	}
+
+	ctx, release := lifecycle.Context(ctx, lifecycle.Options{DrainDeadline: 5 * time.Second})
+	defer release()
+
+	rep, err := load.Run(ctx, load.Options{
+		BaseURL:     *target,
+		Clients:     *clients,
+		Duration:    *duration,
+		Ramp:        *ramp,
+		Think:       spec,
+		MutatorFrac: *mutators,
+		Seed:        *seed,
+		TaskAttrs:   *tAttrs,
+		TaskNodes:   *tNodes,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(stdout, "remo-load: %d clients for %v against %s (think %s, %.0f%% mutators)\n",
+		rep.Clients, rep.Duration.Round(time.Millisecond), *target, spec, 100**mutators)
+	fmt.Fprintf(stdout, "requests: %d total, %d errors\n", rep.Requests, rep.Errors)
+	printSummary(stdout, "admit", rep.Admit)
+	printSummary(stdout, "sync", rep.Sync)
+	printSummary(stdout, "read", rep.Read)
+	fmt.Fprintf(stdout, "rounds: %d run (%.1f/s)\n", rep.RoundsRun, rep.RoundsPS)
+	fmt.Fprintf(stdout, "operations: %d applied, %d failed, %d rejected; verify failures: %d\n",
+		rep.OpsSucceeded, rep.OpsFailed, rep.OpsRejected, rep.VerifyFails)
+	if len(rep.Taxonomy) > 0 {
+		fmt.Fprintf(stdout, "error taxonomy:\n")
+		for code, n := range rep.Taxonomy {
+			fmt.Fprintf(stdout, "  %-20s %d\n", code, n)
+		}
+	}
+	return nil
+}
+
+// printSummary renders one latency class.
+func printSummary(w io.Writer, label string, s load.Summary) {
+	if s.Count == 0 {
+		fmt.Fprintf(w, "%-6s no samples\n", label)
+		return
+	}
+	fmt.Fprintf(w, "%-6s p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms  (n=%d)\n",
+		label, s.P50, s.P95, s.P99, s.Max, s.Count)
+}

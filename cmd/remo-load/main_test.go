@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"remo"
+	"remo/internal/load"
+	"remo/internal/serve"
+)
+
+// bootServe starts an in-process service instance for the harness to
+// aim at.
+func bootServe(t *testing.T) *httptest.Server {
+	t.Helper()
+	nodes := make([]remo.Node, 12)
+	for i := range nodes {
+		nodes[i] = remo.Node{
+			ID:       remo.NodeID(i + 1),
+			Capacity: 120,
+			Attrs:    []remo.AttrID{1, 2, 3, 4},
+		}
+	}
+	sys, err := remo.NewSystem(remo.SystemSpec{
+		CentralCapacity: 600,
+		Cost:            remo.CostModel{PerMessage: 10, PerValue: 1},
+		Nodes:           nodes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := remo.NewPlanner(sys, remo.WithJournal(t.TempDir()))
+	srv, err := serve.New(serve.Config{
+		Planner:    p,
+		Monitor:    remo.MonitorConfig{Seed: 7},
+		RoundEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Drain()
+	})
+	return ts
+}
+
+// TestRunJSON drives a short run and checks the JSON report shape.
+func TestRunJSON(t *testing.T) {
+	ts := bootServe(t)
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-target", ts.URL,
+		"-clients", "8", "-duration", "400ms", "-ramp", "40ms",
+		"-think", "exp:15ms", "-mutators", "0.25", "-seed", "5",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Clients != 8 || rep.Requests == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("errors = %d, taxonomy %v", rep.Errors, rep.Taxonomy)
+	}
+}
+
+// TestRunHuman checks the aligned human-readable report.
+func TestRunHuman(t *testing.T) {
+	ts := bootServe(t)
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-target", ts.URL,
+		"-clients", "4", "-duration", "300ms",
+		"-think", "fixed:10ms", "-mutators", "0.5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"remo-load: 4 clients", "requests:", "admit", "sync", "read", "rounds:", "operations:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no target", nil, "-target is required"},
+		{"zero clients", []string{"-target", "http://x", "-clients", "0"}, "-clients must be at least 1"},
+		{"zero duration", []string{"-target", "http://x", "-duration", "0s"}, "-duration must be positive"},
+		{"mutators over 1", []string{"-target", "http://x", "-mutators", "1.5"}, "fraction in [0, 1]"},
+		{"bad think", []string{"-target", "http://x", "-think", "pareto:1s"}, "unknown distribution"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		err := run(context.Background(), tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}

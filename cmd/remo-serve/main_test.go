@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter is a race-safe strings.Builder: run() writes from the
+// test goroutine while the test polls for the listening line.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+) `)
+
+// startServe boots run() on a free port and returns the base URL, the
+// cancel that triggers the drain, and the run error channel.
+func startServe(t *testing.T, out *syncWriter, extra ...string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-nodes", "10", "-attrs", "4", "-tasks", "3",
+		"-journal", t.TempDir(),
+		"-round-every", "5ms",
+	}, extra...)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, args, out) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1], cancel, errCh
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("run exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no listening line:\n%s", out.String())
+	return "", nil, nil
+}
+
+// TestServeAndDrain boots the daemon, confirms the API answers, and
+// drains it through context cancellation (the signal path's effect).
+func TestServeAndDrain(t *testing.T) {
+	out := &syncWriter{}
+	base, cancel, errCh := startServe(t, out, "-verify")
+
+	for _, path := range []string{"/healthz", "/v1/system", "/v1/plan", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("drain hung:\n%s", out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"draining:", "drained: session journaled under"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestServeAdmission drives one admission through the running daemon.
+func TestServeAdmission(t *testing.T) {
+	out := &syncWriter{}
+	base, cancel, errCh := startServe(t, out)
+	defer func() { cancel(); <-errCh }()
+
+	resp, err := http.Post(base+"/v1/tasks", "application/json",
+		strings.NewReader(`{"name":"probe","attrs":[1],"nodes":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("admission status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero nodes", []string{"-nodes", "0"}, "-nodes must be at least 1"},
+		{"zero attrs", []string{"-attrs", "0"}, "-attrs must be at least 1"},
+		{"negative tasks", []string{"-tasks", "-1"}, "-tasks must be non-negative"},
+		{"zero pacing", []string{"-round-every", "0s"}, "-round-every must be positive"},
+		{"zero body cap", []string{"-max-body", "0"}, "-max-body must be at least 1"},
+		{"missing spec", []string{"-spec", "/nonexistent/spec.json"}, "no such file"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		err := run(context.Background(), tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}

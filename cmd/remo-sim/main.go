@@ -43,6 +43,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -50,18 +51,23 @@ import (
 	"strconv"
 
 	"remo"
+	"remo/internal/lifecycle"
 	"remo/internal/profiling"
 	"remo/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// One signal stops at the next stage boundary (profiles still
+	// flush); a second signal or the drain deadline force-exits.
+	ctx, release := lifecycle.Context(context.Background(), lifecycle.Options{})
+	defer release()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "remo-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("remo-sim", flag.ContinueOnError)
 	var (
 		specPath = fs.String("spec", "", "JSON problem spec (default: generate synthetically)")
@@ -133,6 +139,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err := plan.Describe(stdout); err != nil {
 		return err
+	}
+
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("interrupted before the emulation started: %w", err)
 	}
 
 	var rec *remo.TraceRecorder

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunSynthetic(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "15", "-attrs", "6", "-tasks", "8", "-rounds", "8",
 	}, &out)
 	if err != nil {
@@ -24,7 +25,7 @@ func TestRunSynthetic(t *testing.T) {
 func TestRunSchemes(t *testing.T) {
 	for _, scheme := range []string{"remo", "star", "chain"} {
 		var out strings.Builder
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-nodes", "12", "-attrs", "4", "-tasks", "5", "-rounds", "5",
 			"-scheme", scheme,
 		}, &out)
@@ -33,14 +34,14 @@ func TestRunSchemes(t *testing.T) {
 		}
 	}
 	var out strings.Builder
-	if err := run([]string{"-scheme", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scheme", "bogus"}, &out); err == nil {
 		t.Fatal("bogus scheme accepted")
 	}
 }
 
 func TestRunOverTCP(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "8", "-attrs", "3", "-tasks", "4", "-rounds", "5", "-tcp",
 	}, &out)
 	if err != nil {
@@ -53,7 +54,7 @@ func TestRunOverTCP(t *testing.T) {
 
 func TestRunWithTrace(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "6", "-attrs", "2", "-tasks", "3", "-rounds", "4", "-trace", "50",
 	}, &out)
 	if err != nil {
@@ -66,7 +67,7 @@ func TestRunWithTrace(t *testing.T) {
 
 func TestChaosFlagRunsSelfHealingSession(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "24", "-attrs", "6", "-tasks", "8", "-rounds", "18",
 		"-chaos", "0.2", "-suspicion", "2",
 	}, &out)
@@ -83,7 +84,7 @@ func TestChaosFlagRunsSelfHealingSession(t *testing.T) {
 
 func TestChaosDropFlag(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "12", "-attrs", "4", "-tasks", "5", "-rounds", "10",
 		"-chaos-drop", "0.2", "-chaos-delay", "0.1",
 	}, &out)
@@ -98,7 +99,7 @@ func TestChaosDropFlag(t *testing.T) {
 func TestVerifyFlag(t *testing.T) {
 	// Plain deploy with verification armed.
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "15", "-attrs", "6", "-tasks", "8", "-rounds", "8", "-verify",
 	}, &out)
 	if err != nil {
@@ -111,7 +112,7 @@ func TestVerifyFlag(t *testing.T) {
 	// Self-healing chaos session with verification armed: the plan, the
 	// repaired hot-swaps, and the live results are all cross-checked.
 	out.Reset()
-	err = run([]string{
+	err = run(context.Background(), []string{
 		"-nodes", "20", "-attrs", "6", "-tasks", "10", "-rounds", "12",
 		"-chaos", "0.2", "-suspicion", "2", "-verify",
 	}, &out)
@@ -143,14 +144,14 @@ func TestFlagValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var out strings.Builder
-		err := run(tc.args, &out)
+		err := run(context.Background(), tc.args, &out)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
 		}
 	}
 	// Valid rates at the boundary are accepted.
 	var out strings.Builder
-	if err := run([]string{
+	if err := run(context.Background(), []string{
 		"-nodes", "10", "-attrs", "3", "-tasks", "4", "-rounds", "6",
 		"-chaos-drop", "1", "-suspicion", "1",
 	}, &out); err != nil {
@@ -160,7 +161,7 @@ func TestFlagValidation(t *testing.T) {
 
 func TestCollectorCrashResumeRun(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "20", "-attrs", "5", "-tasks", "8", "-rounds", "30",
 		"-journal", t.TempDir(), "-chaos-collector", "8", "-verify",
 	}, &out)
@@ -183,7 +184,7 @@ func TestCollectorCrashResumeRun(t *testing.T) {
 
 func TestJournalFlagAlone(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "10", "-attrs", "3", "-tasks", "4", "-rounds", "8",
 		"-journal", t.TempDir(), "-verify",
 	}, &out)
@@ -197,7 +198,7 @@ func TestJournalFlagAlone(t *testing.T) {
 
 func TestShardCrashResumeRun(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "20", "-attrs", "5", "-tasks", "8", "-rounds", "30",
 		"-shards", "4", "-journal", t.TempDir(), "-chaos-shard", "0", "-verify",
 	}, &out)
@@ -221,7 +222,7 @@ func TestShardCrashResumeRun(t *testing.T) {
 
 func TestShardsFlagAlone(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "12", "-attrs", "4", "-tasks", "5", "-rounds", "10",
 		"-shards", "3", "-verify",
 	}, &out)
@@ -253,7 +254,7 @@ func TestShardFlagValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var out strings.Builder
-		err := run(tc.args, &out)
+		err := run(context.Background(), tc.args, &out)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
 		}
@@ -262,7 +263,7 @@ func TestShardFlagValidation(t *testing.T) {
 
 func TestPredictFlagRunsSuppression(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "15", "-attrs", "5", "-tasks", "6", "-rounds", "40",
 		"-predict", "-verify",
 	}, &out)
@@ -281,7 +282,7 @@ func TestPredictFlagWithChaosDropAndSync(t *testing.T) {
 	// Dropped frames kill markers with them; the session must ride it out
 	// (re-syncs re-lock the replicas) and still report the run.
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "15", "-attrs", "5", "-tasks", "6", "-rounds", "30",
 		"-predict", "-predict-eps", "0.05", "-predict-sync", "8",
 		"-chaos-drop", "0.15", "-verify",
@@ -311,17 +312,28 @@ func TestPredictFlagValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var out strings.Builder
-		err := run(tc.args, &out)
+		err := run(context.Background(), tc.args, &out)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
 		}
 	}
 	// Boundary values are accepted: a 100% band and a 1-round cadence.
 	var out strings.Builder
-	if err := run([]string{
+	if err := run(context.Background(), []string{
 		"-nodes", "10", "-attrs", "3", "-tasks", "4", "-rounds", "6",
 		"-predict", "-predict-eps", "1", "-predict-sync", "1",
 	}, &out); err != nil {
 		t.Errorf("boundary prediction flags rejected: %v", err)
+	}
+}
+
+func TestRunInterrupted(t *testing.T) {
+	// A cancelled lifecycle context stops the run before the emulation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, []string{"-nodes", "10", "-attrs", "3", "-tasks", "4", "-rounds", "5"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "interrupted before the emulation") {
+		t.Fatalf("err = %v, want interruption notice", err)
 	}
 }

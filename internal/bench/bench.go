@@ -87,6 +87,7 @@ func Registry() []Experiment {
 		{Name: "runtime", Description: "emulation runtime data path: worker-pool engine and batched TCP writes vs legacy", Run: RuntimePerf},
 		{Name: "shard", Description: "sharded collector tier: dispatcher overhead vs single collector, orphan re-dispatch latency", Run: Shard},
 		{Name: "suppress", Description: "forecast-driven traffic suppression: wire bytes vs accuracy, robustness under faults", Run: Suppress},
+		{Name: "service", Description: "service front door: admission latency percentiles and rounds/s under simulated-client churn", Run: Service},
 	}
 }
 

@@ -20,7 +20,7 @@ func colMean(t *testing.T, tbl *metrics.Table, name string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner", "churn", "runtime", "shard", "suppress"}
+	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner", "churn", "runtime", "shard", "suppress", "service"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -405,5 +405,51 @@ func TestSuppressShape(t *testing.T) {
 	lost, _ := robust.Column("MARKERS_LOST")
 	if lost[0] <= 0 {
 		t.Error("drop scenario lost no markers; chaos not exercised")
+	}
+}
+
+func TestServiceShape(t *testing.T) {
+	// A small sweep: the shape assertions are on the ledgers (zero
+	// errors, zero verification failures) and on sane latency ordering,
+	// not on absolute throughput.
+	tables := Service(Options{Scale: 0.02, Seed: 6})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tbl := tables[0]
+	for _, c := range serviceColumns {
+		if _, ok := tbl.Column(c); !ok {
+			t.Fatalf("service table lacks column %q", c)
+		}
+	}
+	reqs, _ := tbl.Column("REQS")
+	if len(reqs) != 3 {
+		t.Fatalf("sweep rows = %d, want 3 client counts", len(reqs))
+	}
+	p50, _ := tbl.Column("ADMIT_P50_MS")
+	p99, _ := tbl.Column("ADMIT_P99_MS")
+	rounds, _ := tbl.Column("ROUNDS_PER_S")
+	opsOK, _ := tbl.Column("OPS_OK")
+	errs, _ := tbl.Column("ERRORS")
+	vfails, _ := tbl.Column("VERIFY_FAILS")
+	for i := range reqs {
+		if reqs[i] <= 0 {
+			t.Errorf("row %d: no traffic", i)
+		}
+		if opsOK[i] <= 0 {
+			t.Errorf("row %d: no operations applied", i)
+		}
+		if p99[i] < p50[i] {
+			t.Errorf("row %d: p99 %.3fms below p50 %.3fms", i, p99[i], p50[i])
+		}
+		if rounds[i] <= 0 {
+			t.Errorf("row %d: backend rounds stalled", i)
+		}
+		if errs[i] != 0 {
+			t.Errorf("row %d: %v request errors", i, errs[i])
+		}
+		if vfails[i] != 0 {
+			t.Errorf("row %d: %v verification failures", i, vfails[i])
+		}
 	}
 }

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"remo"
+	"remo/internal/load"
+	"remo/internal/metrics"
+	"remo/internal/serve"
+)
+
+// serviceColumns are the series of the service-tier sweep: admission
+// latency percentiles over the front door, the collection-round
+// throughput the backend sustained under that churn, total requests
+// and applied operations, and the two ledgers that must stay at zero —
+// request errors and live verification failures (the session runs with
+// verification armed).
+var serviceColumns = []string{
+	"ADMIT_P50_MS", "ADMIT_P95_MS", "ADMIT_P99_MS",
+	"ROUNDS_PER_S", "REQS", "OPS_OK", "ERRORS", "VERIFY_FAILS",
+}
+
+// servicePointSeconds bounds each sweep point's traffic window at
+// scale 1. Long enough for thousands of clients to ramp, sync, and
+// settle into think-paced churn; short enough that the three-point
+// sweep stays inside a CI budget. Smaller scales shrink the window
+// proportionally with a one-second floor.
+const servicePointSeconds = 6
+
+func (o Options) serviceWindow() time.Duration {
+	secs := servicePointSeconds * o.scale()
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// Service drives the remo-load harness against an in-process
+// serve.Server over the memory transport (direct handler dispatch, no
+// sockets), sweeping the simulated client count to 10k at scale 1.
+// A fiftieth of the clients mutate tasks through the admission API —
+// a steady replan load — while the rest poll delta reads. The headline
+// 10k-client ADMIT_P99_MS and ROUNDS_PER_S gate in scripts/check.sh
+// via benchguard -service (BENCH_service.json records a run).
+func Service(o Options) []*metrics.Table {
+	tbl := metrics.NewTable(
+		"Service front door — admission latency and round throughput under churn (memory transport)",
+		"clients", serviceColumns...)
+	for _, c := range []int{2500, 5000, 10000} {
+		n := o.scaleInt(c, 50)
+		mustAdd(tbl, float64(n), servicePoint(o, n)...)
+	}
+	return []*metrics.Table{tbl}
+}
+
+// servicePoint boots one service stack and runs the harness at the
+// given client count. The system is provisioned so every admission is
+// feasible: the sweep measures the service tier, not planner
+// infeasibility.
+func servicePoint(o Options, clients int) []float64 {
+	nNodes := o.scaleInt(60, 12)
+	nodes := make([]remo.Node, nNodes)
+	for i := range nodes {
+		nodes[i] = remo.Node{
+			ID:       remo.NodeID(i + 1),
+			Capacity: 200,
+			Attrs:    []remo.AttrID{1, 2, 3, 4},
+		}
+	}
+	sys, err := remo.NewSystem(remo.SystemSpec{
+		// Budget: headroom over every observable pair (nodes x 4 attrs).
+		CentralCapacity: 10 + float64(4*nNodes) + 50,
+		Cost:            remo.CostModel{PerMessage: 10, PerValue: 1},
+		Nodes:           nodes,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: service system: %v", err))
+	}
+	journal, err := os.MkdirTemp("", "remo-bench-service-")
+	if err != nil {
+		panic(fmt.Sprintf("bench: service journal: %v", err))
+	}
+	defer os.RemoveAll(journal)
+
+	p := remo.NewPlanner(sys, remo.WithJournal(journal), remo.WithVerification())
+	srv, err := serve.New(serve.Config{
+		Planner:     p,
+		Monitor:     remo.MonitorConfig{Seed: uint64(o.Seed) + 211},
+		RoundEvery:  50 * time.Millisecond,
+		VerifyEvery: 16,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: service boot: %v", err))
+	}
+	defer srv.Drain()
+
+	// The ramp spreads connect-time full syncs over most of the window
+	// and think pacing scales with it, so the point measures steady
+	// think-paced churn rather than a connect stampede.
+	window := o.serviceWindow()
+	rep, err := load.Run(context.Background(), load.Options{
+		Handler:     srv.Handler(),
+		Clients:     clients,
+		Duration:    window,
+		Ramp:        window * 6 / 10,
+		Think:       load.ThinkSpec{Dist: load.ThinkExp, Mean: window / 3},
+		MutatorFrac: 0.02,
+		Seed:        o.Seed + 212,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: service load: %v", err))
+	}
+	return []float64{
+		rep.Admit.P50, rep.Admit.P95, rep.Admit.P99,
+		rep.RoundsPS, float64(rep.Requests), float64(rep.OpsSucceeded),
+		float64(rep.Errors), float64(rep.VerifyFails),
+	}
+}

@@ -1,0 +1,122 @@
+package lifecycle
+
+import (
+	"context"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// wait blocks until ch is closed or the test deadline budget expires.
+func wait(t *testing.T, what string, ch <-chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+	}
+}
+
+// TestFirstSignalCancels pins the graceful path: one signal cancels the
+// context and does not force-exit.
+func TestFirstSignalCancels(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, release := Context(context.Background(), Options{
+		Log:       io.Discard,
+		ForceExit: func(code int) { exited <- code },
+		sigs:      sigs,
+	})
+	defer release()
+
+	sigs <- syscall.SIGTERM
+	wait(t, "context cancellation", ctx.Done())
+	select {
+	case code := <-exited:
+		t.Fatalf("single signal force-exited with code %d", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestDoubleSignalForcesExit pins the escape hatch: a second signal
+// during the drain force-exits with status 1.
+func TestDoubleSignalForcesExit(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, release := Context(context.Background(), Options{
+		Log:           io.Discard,
+		DrainDeadline: -1, // deadline off: only the double signal may fire
+		ForceExit:     func(code int) { exited <- code },
+		sigs:          sigs,
+	})
+	defer release()
+
+	sigs <- syscall.SIGINT
+	wait(t, "context cancellation", ctx.Done())
+	sigs <- syscall.SIGINT
+	select {
+	case code := <-exited:
+		if code != 1 {
+			t.Fatalf("force exit code = %d, want 1", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not force exit")
+	}
+}
+
+// TestDrainDeadlineForcesExit pins the deadline: a drain that outlives
+// DrainDeadline force-exits without a second signal.
+func TestDrainDeadlineForcesExit(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, release := Context(context.Background(), Options{
+		Log:           io.Discard,
+		DrainDeadline: 20 * time.Millisecond,
+		ForceExit:     func(code int) { exited <- code },
+		sigs:          sigs,
+	})
+	defer release()
+
+	sigs <- syscall.SIGTERM
+	wait(t, "context cancellation", ctx.Done())
+	select {
+	case code := <-exited:
+		if code != 1 {
+			t.Fatalf("force exit code = %d, want 1", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain deadline did not force exit")
+	}
+}
+
+// TestReleaseStopsWatcher pins the clean-exit path: after release, a
+// signal neither cancels anything new nor force-exits.
+func TestReleaseStopsWatcher(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, release := Context(context.Background(), Options{
+		Log:       io.Discard,
+		ForceExit: func(code int) { exited <- code },
+		sigs:      sigs,
+	})
+	release()
+	wait(t, "context cancellation on release", ctx.Done())
+	sigs <- syscall.SIGTERM
+	select {
+	case <-exited:
+		t.Fatal("released lifecycle still force-exited")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestParentCancellationPropagates pins that a cancelled parent ends
+// the lifecycle context without signals.
+func TestParentCancellationPropagates(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, release := Context(parent, Options{Log: io.Discard, sigs: make(chan os.Signal)})
+	defer release()
+	cancel()
+	wait(t, "parent cancellation", ctx.Done())
+}

@@ -1,0 +1,485 @@
+// Package load is the traffic harness for the service front door: a Go
+// locust-equivalent that spawns N simulated clients against a
+// remo-serve instance. Each client performs a connect-time full-state
+// sync (GET /v1/state) and then loops on think-time-paced work —
+// mutator clients cycle task add/modify/remove admissions, reader
+// clients poll delta reads (GET /v1/latest) — while the harness
+// records latency percentiles per request class, an error taxonomy,
+// and the server's achieved rounds/s.
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options parameterizes a run.
+type Options struct {
+	// BaseURL is the remo-serve endpoint (ignored when Handler is set).
+	BaseURL string
+	// Handler, when set, dispatches requests in-process without sockets —
+	// the memory transport for very large client counts.
+	Handler http.Handler
+	// Client overrides the shared HTTP client (default: pooled).
+	Client *http.Client
+	// Clients is the number of simulated clients (default 10).
+	Clients int
+	// Duration bounds the run (default 5s).
+	Duration time.Duration
+	// Ramp staggers client start over this window so connect-time syncs
+	// do not stampede (default Duration/4 capped at 2s).
+	Ramp time.Duration
+	// Think is the inter-request think-time distribution (default
+	// exp:500ms).
+	Think ThinkSpec
+	// MutatorFrac is the fraction of clients that mutate tasks; the rest
+	// read deltas (default 0.2).
+	MutatorFrac float64
+	// Seed decorrelates client randomness.
+	Seed int64
+	// TaskAttrs and TaskNodes size each mutator's task (defaults 1 and
+	// 2). The pools come from GET /v1/system.
+	TaskAttrs, TaskNodes int
+}
+
+// Summary is a latency distribution in milliseconds.
+type Summary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50Ms"`
+	P95   float64 `json:"p95Ms"`
+	P99   float64 `json:"p99Ms"`
+	Max   float64 `json:"maxMs"`
+}
+
+// Report is the harness's result.
+type Report struct {
+	Clients   int              `json:"clients"`
+	Duration  time.Duration    `json:"duration"`
+	Requests  int64            `json:"requests"`
+	Errors    int64            `json:"errors"`
+	Taxonomy  map[string]int64 `json:"taxonomy"`
+	Admit     Summary          `json:"admit"`
+	Sync      Summary          `json:"sync"`
+	Read      Summary          `json:"read"`
+	RoundsRun int64            `json:"roundsRun"`
+	RoundsPS  float64          `json:"roundsPerSec"`
+	// Operation outcomes scraped from the server's /metrics at the end.
+	OpsSucceeded int64 `json:"opsSucceeded"`
+	OpsFailed    int64 `json:"opsFailed"`
+	OpsRejected  int64 `json:"opsRejected"`
+	VerifyFails  int64 `json:"verifyFails"`
+}
+
+// clientStats is one client's private tally, merged after the run.
+type clientStats struct {
+	requests int64
+	errors   int64
+	taxonomy map[string]int64
+	admit    []float64
+	sync     []float64
+	read     []float64
+}
+
+// handlerTransport dispatches requests straight into an http.Handler —
+// no sockets, no ports: the harness's memory transport.
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// Run drives the workload until the duration elapses or ctx is
+// cancelled, then merges per-client stats and scrapes final server
+// counters.
+func Run(ctx context.Context, o Options) (Report, error) {
+	if o.Clients <= 0 {
+		o.Clients = 10
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Ramp == 0 {
+		o.Ramp = o.Duration / 4
+		if o.Ramp > 2*time.Second {
+			o.Ramp = 2 * time.Second
+		}
+	}
+	if o.Think.Dist == "" {
+		o.Think = ThinkSpec{Dist: ThinkExp, Mean: 500 * time.Millisecond}
+	}
+	if o.MutatorFrac == 0 {
+		o.MutatorFrac = 0.2
+	}
+	if o.TaskAttrs <= 0 {
+		o.TaskAttrs = 1
+	}
+	if o.TaskNodes <= 0 {
+		o.TaskNodes = 2
+	}
+	client := o.Client
+	if client == nil {
+		if o.Handler != nil {
+			o.BaseURL = "http://remo-serve.local"
+			client = &http.Client{Transport: handlerTransport{o.Handler}}
+		} else {
+			tr := &http.Transport{
+				MaxIdleConns:        512,
+				MaxIdleConnsPerHost: 512,
+				MaxConnsPerHost:     4096,
+			}
+			client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+		}
+	}
+	base := strings.TrimRight(o.BaseURL, "/")
+
+	// The node and attribute pools come from the server itself.
+	pools, err := fetchSystem(ctx, client, base)
+	if err != nil {
+		return Report{}, fmt.Errorf("load: fetch system: %w", err)
+	}
+	startRounds, _ := scrapeCounter(ctx, client, base, "remo_rounds_total")
+
+	runCtx, cancel := context.WithTimeout(ctx, o.Duration)
+	defer cancel()
+	start := time.Now()
+	stats := make([]*clientStats, o.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < o.Clients; i++ {
+		st := &clientStats{taxonomy: make(map[string]int64)}
+		stats[i] = st
+		wg.Add(1)
+		go func(i int, st *clientStats) {
+			defer wg.Done()
+			c := simClient{
+				id:      i,
+				base:    base,
+				client:  client,
+				rng:     rand.New(rand.NewSource(o.Seed + int64(i)*7919)),
+				think:   o.Think,
+				mutator: float64(i) < o.MutatorFrac*float64(o.Clients),
+				pools:   pools,
+				attrs:   o.TaskAttrs,
+				nodes:   o.TaskNodes,
+				st:      st,
+			}
+			c.run(runCtx, time.Duration(float64(o.Ramp)*float64(i)/float64(o.Clients)))
+		}(i, st)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{Clients: o.Clients, Duration: elapsed, Taxonomy: make(map[string]int64)}
+	var admit, syncL, read []float64
+	for _, st := range stats {
+		rep.Requests += st.requests
+		rep.Errors += st.errors
+		for k, v := range st.taxonomy {
+			rep.Taxonomy[k] += v
+		}
+		admit = append(admit, st.admit...)
+		syncL = append(syncL, st.sync...)
+		read = append(read, st.read...)
+	}
+	rep.Admit = summarize(admit)
+	rep.Sync = summarize(syncL)
+	rep.Read = summarize(read)
+
+	endRounds, err := scrapeCounter(ctx, client, base, "remo_rounds_total")
+	if err == nil {
+		rep.RoundsRun = endRounds - startRounds
+		rep.RoundsPS = float64(rep.RoundsRun) / elapsed.Seconds()
+	}
+	rep.OpsSucceeded, _ = scrapeCounter(ctx, client, base, "remo_ops_succeeded_total")
+	rep.OpsFailed, _ = scrapeCounter(ctx, client, base, "remo_ops_failed_total")
+	rep.OpsRejected, _ = scrapeCounter(ctx, client, base, "remo_ops_rejected_total")
+	rep.VerifyFails, _ = scrapeCounter(ctx, client, base, "remo_verify_failures_total")
+	return rep, nil
+}
+
+// pools are the server's node and attribute ID pools.
+type pools struct {
+	nodes []int
+	attrs []int
+}
+
+func fetchSystem(ctx context.Context, c *http.Client, base string) (pools, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/system", nil)
+	if err != nil {
+		return pools{}, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return pools{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return pools{}, fmt.Errorf("GET /v1/system: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Nodes []struct {
+			ID    int   `json:"id"`
+			Attrs []int `json:"attrs"`
+		} `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return pools{}, err
+	}
+	var p pools
+	seen := make(map[int]bool)
+	for _, n := range body.Nodes {
+		p.nodes = append(p.nodes, n.ID)
+		for _, a := range n.Attrs {
+			if !seen[a] {
+				seen[a] = true
+				p.attrs = append(p.attrs, a)
+			}
+		}
+	}
+	if len(p.nodes) == 0 || len(p.attrs) == 0 {
+		return pools{}, errors.New("empty system")
+	}
+	sort.Ints(p.attrs)
+	return p, nil
+}
+
+// scrapeCounter reads one counter from /metrics.
+func scrapeCounter(ctx context.Context, c *http.Client, base, name string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v), nil
+	}
+	return 0, fmt.Errorf("metric %s not exposed", name)
+}
+
+// simClient is one simulated client.
+type simClient struct {
+	id      int
+	base    string
+	client  *http.Client
+	rng     *rand.Rand
+	think   ThinkSpec
+	mutator bool
+	pools   pools
+	attrs   int
+	nodes   int
+	st      *clientStats
+
+	gen     int
+	created bool
+	// since is the last server round this client has seen; delta reads
+	// ask only for values at or after it.
+	since int
+}
+
+// run is the client loop: ramp delay, connect-time full sync, then
+// think-paced work until the context ends.
+func (c *simClient) run(ctx context.Context, rampDelay time.Duration) {
+	if !sleepCtx(ctx, rampDelay) {
+		return
+	}
+	c.fullSync(ctx)
+	for {
+		if !sleepCtx(ctx, c.think.Sample(c.rng)) {
+			return
+		}
+		if c.mutator {
+			c.mutate(ctx)
+		} else {
+			c.readDelta(ctx)
+		}
+	}
+}
+
+// sleepCtx sleeps unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-ctx.Done():
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// taskName is this client's unique task identity for the current
+// generation.
+func (c *simClient) taskName() string { return fmt.Sprintf("load-c%d-g%d", c.id, c.gen) }
+
+// taskBody samples a task payload from the pools.
+func (c *simClient) taskBody(name string) string {
+	attrs := make([]string, 0, c.attrs)
+	for _, idx := range c.rng.Perm(len(c.pools.attrs))[:min(c.attrs, len(c.pools.attrs))] {
+		attrs = append(attrs, strconv.Itoa(c.pools.attrs[idx]))
+	}
+	nodes := make([]string, 0, c.nodes)
+	for _, idx := range c.rng.Perm(len(c.pools.nodes))[:min(c.nodes, len(c.pools.nodes))] {
+		nodes = append(nodes, strconv.Itoa(c.pools.nodes[idx]))
+	}
+	return fmt.Sprintf(`{"name":%q,"attrs":[%s],"nodes":[%s]}`,
+		name, strings.Join(attrs, ","), strings.Join(nodes, ","))
+}
+
+// mutate cycles the admission API: create the generation's task, then
+// modify it, and occasionally retire it to start a new generation.
+func (c *simClient) mutate(ctx context.Context) {
+	name := c.taskName()
+	switch {
+	case !c.created:
+		if _, ok := c.request(ctx, http.MethodPost, "/v1/tasks", c.taskBody(name), &c.st.admit); ok {
+			c.created = true
+		}
+	case c.rng.Float64() < 0.25:
+		if _, ok := c.request(ctx, http.MethodDelete, "/v1/tasks/"+name, "", &c.st.admit); ok {
+			c.created = false
+			c.gen++
+		}
+	default:
+		c.request(ctx, http.MethodPut, "/v1/tasks/"+name, c.taskBody(name), &c.st.admit)
+	}
+}
+
+// readDelta polls values newer than the last round this client saw.
+func (c *simClient) readDelta(ctx context.Context) {
+	path := "/v1/latest?since=" + strconv.Itoa(c.since)
+	if body, ok := c.request(ctx, http.MethodGet, path, "", &c.st.read); ok {
+		c.advance(body)
+	}
+}
+
+// fullSync is the connect-time state download; it seeds the delta
+// cursor from the reported round.
+func (c *simClient) fullSync(ctx context.Context) {
+	if body, ok := c.request(ctx, http.MethodGet, "/v1/state", "", &c.st.sync); ok {
+		c.advance(body)
+	}
+}
+
+// advance moves the delta cursor past the server round a response
+// reported: rounds publish atomically, so everything at that round has
+// been seen.
+func (c *simClient) advance(body []byte) {
+	var rd struct {
+		Round int `json:"round"`
+	}
+	if err := json.Unmarshal(body, &rd); err == nil && rd.Round >= c.since {
+		c.since = rd.Round + 1
+	}
+}
+
+// request issues one HTTP call, records its latency in lat, and files
+// failures in the taxonomy. Returns the response body and true on 2xx.
+func (c *simClient) request(ctx context.Context, method, path, body string, lat *[]float64) ([]byte, bool) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		c.st.errors++
+		c.st.taxonomy["request_build"]++
+		return nil, false
+	}
+	start := time.Now()
+	resp, err := c.client.Do(req)
+	elapsed := time.Since(start)
+	c.st.requests++
+	if err != nil {
+		if ctx.Err() != nil {
+			// Run-end cancellation is not a server error.
+			c.st.requests--
+			return nil, false
+		}
+		c.st.errors++
+		c.st.taxonomy["transport"]++
+		return nil, false
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	*lat = append(*lat, float64(elapsed.Microseconds())/1000)
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return data, true
+	}
+	c.st.errors++
+	c.st.taxonomy[errorClass(resp.StatusCode, data)]++
+	return data, false
+}
+
+// errorClass buckets a failure for the taxonomy: the envelope's code
+// when present, the bare status otherwise.
+func errorClass(status int, body []byte) string {
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		return env.Error.Code
+	}
+	return "status_" + strconv.Itoa(status)
+}
+
+// summarize computes percentiles over latencies in milliseconds.
+func summarize(lat []float64) Summary {
+	if len(lat) == 0 {
+		return Summary{}
+	}
+	sort.Float64s(lat)
+	pick := func(q float64) float64 {
+		idx := int(q*float64(len(lat))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return lat[idx]
+	}
+	return Summary{
+		Count: len(lat),
+		P50:   pick(0.50),
+		P95:   pick(0.95),
+		P99:   pick(0.99),
+		Max:   lat[len(lat)-1],
+	}
+}

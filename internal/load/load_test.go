@@ -1,0 +1,152 @@
+package load
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"remo"
+	"remo/internal/serve"
+)
+
+// TestParseThink pins the flag syntax for all three shapes and the
+// rejection of malformed specs.
+func TestParseThink(t *testing.T) {
+	good := []struct {
+		in   string
+		want ThinkSpec
+	}{
+		{"fixed:100ms", ThinkSpec{Dist: ThinkFixed, Mean: 100 * time.Millisecond}},
+		{"exp:200ms", ThinkSpec{Dist: ThinkExp, Mean: 200 * time.Millisecond}},
+		{"uniform:50ms-200ms", ThinkSpec{Dist: ThinkUniform, Lo: 50 * time.Millisecond, Hi: 200 * time.Millisecond}},
+	}
+	for _, tc := range good {
+		got, err := ParseThink(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseThink(%q) = %+v, %v; want %+v", tc.in, got, err, tc.want)
+		}
+		if got.String() == "" {
+			t.Fatalf("ParseThink(%q).String() empty", tc.in)
+		}
+	}
+	for _, bad := range []string{"", "exp", "exp:xyz", "uniform:50ms", "uniform:200ms-50ms", "pareto:1s", "fixed:-1s"} {
+		if _, err := ParseThink(bad); err == nil {
+			t.Fatalf("ParseThink(%q) accepted", bad)
+		}
+	}
+}
+
+// TestThinkSample pins sampling bounds for each shape.
+func TestThinkSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fixed := ThinkSpec{Dist: ThinkFixed, Mean: 7 * time.Millisecond}
+	for i := 0; i < 10; i++ {
+		if d := fixed.Sample(rng); d != 7*time.Millisecond {
+			t.Fatalf("fixed sample = %v", d)
+		}
+	}
+	uni := ThinkSpec{Dist: ThinkUniform, Lo: 10 * time.Millisecond, Hi: 20 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		if d := uni.Sample(rng); d < uni.Lo || d >= uni.Hi {
+			t.Fatalf("uniform sample %v outside [%v,%v)", d, uni.Lo, uni.Hi)
+		}
+	}
+	exp := ThinkSpec{Dist: ThinkExp, Mean: 5 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		if d := exp.Sample(rng); d < 0 || d > 50*time.Millisecond {
+			t.Fatalf("exp sample %v outside [0, 10×mean]", d)
+		}
+	}
+}
+
+// TestSummarize pins the percentile picker on a known ladder.
+func TestSummarize(t *testing.T) {
+	if s := summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	lat := make([]float64, 100)
+	for i := range lat {
+		lat[i] = float64(i + 1) // 1..100 ms
+	}
+	s := summarize(lat)
+	if s.Count != 100 || s.P50 != 50 || s.P95 != 95 || s.P99 != 99 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+// TestErrorClass pins the taxonomy bucketing.
+func TestErrorClass(t *testing.T) {
+	if got := errorClass(422, []byte(`{"error":{"code":"infeasible","message":"x"}}`)); got != "infeasible" {
+		t.Fatalf("errorClass = %q", got)
+	}
+	if got := errorClass(500, []byte("oops")); got != "status_500" {
+		t.Fatalf("errorClass = %q", got)
+	}
+}
+
+// TestRunAgainstServe drives a short run over the memory transport
+// against a real serve.Server and expects traffic, latencies, and
+// rounds progress with a clean taxonomy.
+func TestRunAgainstServe(t *testing.T) {
+	nodes := make([]remo.Node, 12)
+	for i := range nodes {
+		nodes[i] = remo.Node{
+			ID:       remo.NodeID(i + 1),
+			Capacity: 120,
+			Attrs:    []remo.AttrID{1, 2, 3, 4},
+		}
+	}
+	sys, err := remo.NewSystem(remo.SystemSpec{
+		CentralCapacity: 600,
+		Cost:            remo.CostModel{PerMessage: 10, PerValue: 1},
+		Nodes:           nodes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := remo.NewPlanner(sys, remo.WithJournal(t.TempDir()))
+	srv, err := serve.New(serve.Config{
+		Planner:    p,
+		Monitor:    remo.MonitorConfig{Seed: 3},
+		RoundEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+
+	rep, err := Run(context.Background(), Options{
+		Handler:     srv.Handler(),
+		Clients:     20,
+		Duration:    500 * time.Millisecond,
+		Ramp:        50 * time.Millisecond,
+		Think:       ThinkSpec{Dist: ThinkExp, Mean: 20 * time.Millisecond},
+		MutatorFrac: 0.3,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 50 {
+		t.Fatalf("requests = %d, want a real workload", rep.Requests)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("errors = %d, taxonomy %v", rep.Errors, rep.Taxonomy)
+	}
+	if rep.Sync.Count != 20 {
+		t.Fatalf("sync count = %d, want one per client", rep.Sync.Count)
+	}
+	if rep.Admit.Count == 0 || rep.Read.Count == 0 {
+		t.Fatalf("latency classes empty: %+v", rep)
+	}
+	if rep.RoundsRun <= 0 || rep.RoundsPS <= 0 {
+		t.Fatalf("rounds did not advance: %+v", rep)
+	}
+	if rep.OpsSucceeded == 0 {
+		t.Fatalf("no operations applied: %+v", rep)
+	}
+	if rep.VerifyFails != 0 {
+		t.Fatalf("verification failures: %d", rep.VerifyFails)
+	}
+}

@@ -1,0 +1,88 @@
+package load
+
+// Think-time distributions, locust-style: each simulated client waits
+// a sampled interval between requests. Three shapes — fixed, uniform,
+// exponential — parsed from a compact flag syntax.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Distribution shapes.
+const (
+	ThinkFixed   = "fixed"
+	ThinkUniform = "uniform"
+	ThinkExp     = "exp"
+)
+
+// ThinkSpec is a think-time distribution.
+type ThinkSpec struct {
+	// Dist is the shape: ThinkFixed, ThinkUniform, or ThinkExp.
+	Dist string
+	// Mean is the expectation (fixed and exp).
+	Mean time.Duration
+	// Lo and Hi bound the uniform shape.
+	Lo, Hi time.Duration
+}
+
+// ParseThink parses "fixed:100ms", "uniform:50ms-200ms", or
+// "exp:200ms".
+func ParseThink(s string) (ThinkSpec, error) {
+	dist, arg, ok := strings.Cut(s, ":")
+	if !ok {
+		return ThinkSpec{}, fmt.Errorf("load: think %q: want dist:duration", s)
+	}
+	switch dist {
+	case ThinkFixed, ThinkExp:
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return ThinkSpec{}, fmt.Errorf("load: think %q: bad duration %q", s, arg)
+		}
+		return ThinkSpec{Dist: dist, Mean: d}, nil
+	case ThinkUniform:
+		loStr, hiStr, ok := strings.Cut(arg, "-")
+		if !ok {
+			return ThinkSpec{}, fmt.Errorf("load: think %q: uniform wants lo-hi", s)
+		}
+		lo, err1 := time.ParseDuration(loStr)
+		hi, err2 := time.ParseDuration(hiStr)
+		if err1 != nil || err2 != nil || lo < 0 || hi < lo {
+			return ThinkSpec{}, fmt.Errorf("load: think %q: bad uniform range", s)
+		}
+		return ThinkSpec{Dist: ThinkUniform, Lo: lo, Hi: hi}, nil
+	default:
+		return ThinkSpec{}, fmt.Errorf("load: think %q: unknown distribution %q", s, dist)
+	}
+}
+
+// Sample draws one think interval. Exponential tails are capped at
+// 10× the mean so a single unlucky draw cannot idle a client for the
+// whole run.
+func (ts ThinkSpec) Sample(rng *rand.Rand) time.Duration {
+	switch ts.Dist {
+	case ThinkUniform:
+		if ts.Hi <= ts.Lo {
+			return ts.Lo
+		}
+		return ts.Lo + time.Duration(rng.Int63n(int64(ts.Hi-ts.Lo)))
+	case ThinkExp:
+		d := time.Duration(rng.ExpFloat64() * float64(ts.Mean))
+		if cap := 10 * ts.Mean; d > cap {
+			d = cap
+		}
+		return d
+	default: // fixed
+		return ts.Mean
+	}
+}
+
+// String renders the spec back in the flag syntax.
+func (ts ThinkSpec) String() string {
+	if ts.Dist == ThinkUniform {
+		return fmt.Sprintf("%s:%v-%v", ts.Dist, ts.Lo, ts.Hi)
+	}
+	return fmt.Sprintf("%s:%v", ts.Dist, ts.Mean)
+}

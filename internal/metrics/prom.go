@@ -1,0 +1,273 @@
+package metrics
+
+// Prometheus-style exposition machinery for the service tier: a small
+// registry of counters, gauges and fixed-bucket histograms rendered in
+// the text format scrapers understand. Only the subset the repo needs
+// is implemented — no labels, no push, just atomic instruments and a
+// deterministic Fprint.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative fixed buckets, plus a
+// running sum and count — the Prometheus histogram exposition shape.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// DefaultLatencyBuckets suit request latencies in seconds: 1ms..10s.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0..1) by linear assignment inside
+// the first bucket whose cumulative count covers it. Estimates are
+// bucket-resolution only; use the load harness for exact percentiles.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	prevBound, prevCum := 0.0, int64(0)
+	for i, b := range h.bounds {
+		cum := h.buckets[i].Load()
+		if cum >= rank {
+			inBucket := cum - prevCum
+			if inBucket <= 0 {
+				return b
+			}
+			frac := float64(rank-prevCum) / float64(inBucket)
+			return prevBound + frac*(b-prevBound)
+		}
+		prevBound, prevCum = b, cum
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// kind tags a registered family for exposition.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// family is one registered metric.
+type family struct {
+	name, help string
+	kind       kind
+	counter    *Counter
+	gauge      *Gauge
+	gaugeFn    func() float64
+	hist       *Histogram
+}
+
+// Registry holds named instruments and renders them as Prometheus text.
+// Registration order is exposition order; re-registering a name returns
+// the existing instrument.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help string, k kind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != k {
+			panic(fmt.Sprintf("metrics: %q re-registered as a different kind", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter)
+	if f.counter == nil {
+		f.counter = &Counter{}
+	}
+	return f.counter
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge)
+	if f.gauge == nil {
+		f.gauge = &Gauge{}
+	}
+	return f.gauge
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGaugeFunc)
+	f.gaugeFn = fn
+}
+
+// Histogram registers (or fetches) a histogram with the given upper
+// bounds (DefaultLatencyBuckets when nil).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(name, help, kindHistogram)
+	if f.hist == nil {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets
+		}
+		f.hist = newHistogram(bounds)
+	}
+	return f.hist
+}
+
+// Fprint renders every registered family in Prometheus text format, in
+// registration order.
+func (r *Registry) Fprint(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		var err error
+		switch f.kind {
+		case kindCounter:
+			err = printSimple(w, f.name, f.help, "counter", float64(f.counter.Value()))
+		case kindGauge:
+			err = printSimple(w, f.name, f.help, "gauge", f.gauge.Value())
+		case kindGaugeFunc:
+			err = printSimple(w, f.name, f.help, "gauge", f.gaugeFn())
+		case kindHistogram:
+			err = printHistogram(w, f)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printSimple(w io.Writer, name, help, typ string, v float64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, typ, name, formatProm(v))
+	return err
+}
+
+func printHistogram(w io.Writer, f *family) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+		f.name, f.help, f.name); err != nil {
+		return err
+	}
+	for i, b := range f.hist.bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+			f.name, formatProm(b), f.hist.buckets[i].Load()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, f.hist.Count()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		f.name, formatProm(f.hist.Sum()), f.name, f.hist.Count())
+	return err
+}
+
+// formatProm renders values the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest-round-trip form.
+func formatProm(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterBasics pins counter monotonicity: Inc/Add accumulate and
+// negative deltas are ignored.
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+// TestGaugeSetAdd pins gauge arithmetic including negative adjustments.
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Add(-4)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+}
+
+// TestHistogramObserve pins cumulative bucket counts, sum, count, and
+// the quantile estimator on a known distribution.
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 16.5 {
+		t.Fatalf("sum = %v, want 16.5", got)
+	}
+	wantBuckets := []int64{1, 3, 4} // ≤1, ≤2, ≤4
+	for i, want := range wantBuckets {
+		if got := h.buckets[i].Load(); got != want {
+			t.Fatalf("bucket[%d] = %d, want %d", i, got, want)
+		}
+	}
+	// Median falls in the (1,2] bucket; p99 exceeds every bound.
+	if q := h.Quantile(0.5); q <= 1 || q > 2 {
+		t.Fatalf("p50 = %v, want in (1,2]", q)
+	}
+	if q := h.Quantile(0.99); q != 4 {
+		t.Fatalf("p99 = %v, want 4 (top bound)", q)
+	}
+	var empty Histogram
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestRegistryFprint pins the exposition format: HELP/TYPE lines,
+// integer formatting, histogram buckets with +Inf, gauge funcs.
+func TestRegistryFprint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("remo_ops_total", "total operations").Add(3)
+	r.Gauge("remo_draining", "1 while draining").Set(1)
+	r.GaugeFunc("remo_goroutines", "live goroutines", func() float64 { return 7 })
+	h := r.Histogram("remo_admission_seconds", "admission latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+
+	var b strings.Builder
+	if err := r.Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP remo_ops_total total operations",
+		"# TYPE remo_ops_total counter",
+		"remo_ops_total 3",
+		"# TYPE remo_draining gauge",
+		"remo_draining 1",
+		"remo_goroutines 7",
+		"# TYPE remo_admission_seconds histogram",
+		`remo_admission_seconds_bucket{le="0.01"} 1`,
+		`remo_admission_seconds_bucket{le="0.1"} 2`,
+		`remo_admission_seconds_bucket{le="+Inf"} 2`,
+		"remo_admission_seconds_sum 0.055",
+		"remo_admission_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryReuseAndKindClash pins idempotent registration and the
+// panic on re-registering a name as a different kind.
+func TestRegistryReuseAndKindClash(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "x")
+	c2 := r.Counter("x_total", "x")
+	if c1 != c2 {
+		t.Fatal("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+// TestPromConcurrency exercises instruments from many goroutines so the
+// race detector can vet the atomics.
+func TestPromConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 1600 || g.Value() != 1600 || h.Count() != 1600 {
+		t.Fatalf("after concurrency: c=%d g=%v h=%d, want 1600 each",
+			c.Value(), g.Value(), h.Count())
+	}
+}

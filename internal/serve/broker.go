@@ -1,0 +1,120 @@
+package serve
+
+// The stream broker fans collected values, alerts, and round markers
+// out to SSE subscribers. Publishing never blocks the backend: a slow
+// subscriber's overflow is dropped and counted, not buffered without
+// bound.
+
+import (
+	"encoding/json"
+	"sync"
+
+	"remo/internal/metrics"
+)
+
+// event is one pre-marshaled stream event.
+type event struct {
+	Kind string
+	Data []byte
+}
+
+// subscriber is one stream consumer.
+type subscriber struct {
+	ch    chan event
+	kinds map[string]bool // empty = all kinds
+}
+
+// broker is the publish/subscribe hub.
+type broker struct {
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
+	buffer int
+
+	events  *metrics.Counter
+	dropped *metrics.Counter
+	gauge   *metrics.Gauge
+}
+
+func newBroker(buffer int, events, dropped *metrics.Counter, gauge *metrics.Gauge) *broker {
+	return &broker{
+		subs:    make(map[*subscriber]struct{}),
+		buffer:  buffer,
+		events:  events,
+		dropped: dropped,
+		gauge:   gauge,
+	}
+}
+
+// publish marshals the payload once and offers it to every interested
+// subscriber without blocking.
+func (b *broker) publish(kind string, payload any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || len(b.subs) == 0 {
+		return
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	ev := event{Kind: kind, Data: data}
+	for sub := range b.subs {
+		if len(sub.kinds) > 0 && !sub.kinds[kind] {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+			b.events.Inc()
+		default:
+			b.dropped.Inc()
+		}
+	}
+}
+
+// subscribe registers a consumer for the given kinds (nil = all). It
+// returns nil when the broker is closed.
+func (b *broker) subscribe(kinds []string) *subscriber {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	sub := &subscriber{ch: make(chan event, b.buffer), kinds: make(map[string]bool, len(kinds))}
+	for _, k := range kinds {
+		if k != "" {
+			sub.kinds[k] = true
+		}
+	}
+	b.subs[sub] = struct{}{}
+	b.gauge.Set(float64(len(b.subs)))
+	return sub
+}
+
+// unsubscribe detaches a consumer; its channel is closed so a reader
+// blocked on it wakes.
+func (b *broker) unsubscribe(sub *subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[sub]; !ok {
+		return
+	}
+	delete(b.subs, sub)
+	close(sub.ch)
+	b.gauge.Set(float64(len(b.subs)))
+}
+
+// close disconnects every subscriber and refuses new ones (drain).
+func (b *broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for sub := range b.subs {
+		delete(b.subs, sub)
+		close(sub.ch)
+	}
+	b.gauge.Set(0)
+}

@@ -1125,6 +1125,49 @@ func (m *Monitor) ShardLeader() int {
 	return m.machine.ShardLeader()
 }
 
+// CollectorDown reports whether the central collector is currently in
+// a crash window (chaos-injected or otherwise). A serve-mode backend
+// polls it to decide when to auto-resume from the journal.
+func (m *Monitor) CollectorDown() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.machine.CollectorDown()
+}
+
+// JournalDir returns the session's journal directory ("" for
+// non-durable sessions).
+func (m *Monitor) JournalDir() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.journalDir
+}
+
+// Checkpoint forces a journal checkpoint of the session's durable state
+// now, off the usual cadence — a serve-mode drain seals one before the
+// process exits. It is a no-op error on non-durable sessions.
+func (m *Monitor) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrMonitorClosed
+	}
+	if m.journal == nil {
+		return errors.New("remo: checkpoint: session was started without journaling")
+	}
+	if err := m.journal.Checkpoint(m.journalState()); err != nil {
+		return fmt.Errorf("remo: checkpoint: %w", err)
+	}
+	for s, w := range m.shardJournals {
+		if w == nil || m.machine.ShardDown(s) {
+			continue
+		}
+		if err := w.Checkpoint(m.shardJournalState(s)); err != nil {
+			return fmt.Errorf("remo: checkpoint shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
 // Close stops the session and releases its transport.
 func (m *Monitor) Close() error {
 	m.mu.Lock()

@@ -46,8 +46,11 @@ func run(args []string) error {
 	if len(args) == 2 && args[0] == "-suppress" {
 		return runSuppress(args[1])
 	}
+	if len(args) == 2 && args[0] == "-service" {
+		return runService(args[1])
+	}
 	if len(args) != 2 {
-		return fmt.Errorf("usage: benchguard <bench-output-file> <BENCH_planner.json> | benchguard -shard <BENCH_shard.json> | benchguard -suppress <BENCH_suppress.json>")
+		return fmt.Errorf("usage: benchguard <bench-output-file> <BENCH_planner.json> | benchguard -shard <BENCH_shard.json> | benchguard -suppress <BENCH_suppress.json> | benchguard -service <BENCH_service.json>")
 	}
 	seqNS, parNS, err := parseBench(args[0])
 	if err != nil {
@@ -212,6 +215,93 @@ func runSuppress(path string) error {
 			reduction, suppressReductionFloor)
 	}
 	return nil
+}
+
+// serviceAdmitP99Ceiling bounds the recorded headline-row admission
+// p99 in milliseconds. Admissions are asynchronous 202 enqueues, so
+// the recorded number sits well under a millisecond; approaching the
+// ceiling means the front door started queueing behind backend work.
+const serviceAdmitP99Ceiling = 50.0
+
+// serviceRoundsFloor is the minimum collection-round throughput the
+// backend must sustain under the headline client count (rounds are
+// paced at 50ms, so 20/s is the ideal).
+const serviceRoundsFloor = 2.0
+
+// serviceHeadlineClients is the minimum client count the headline row
+// must record: the service acceptance criterion is 10k simulated
+// clients over the memory transport.
+const serviceHeadlineClients = 10000.0
+
+// runService gates the recorded service-tier sweep in
+// BENCH_service.json: the largest-client row (which must reach 10k
+// clients) keeps admission p99 under the ceiling and rounds/s above
+// the floor, and every row records zero request errors and zero live
+// verification failures. Like the shard and suppression gates this
+// checks the checked-in document — check.sh's smoke re-drives the
+// service at a reduced scale, and the recorded full-scale run is the
+// contract.
+func runService(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var docs []runDoc
+	if err := json.Unmarshal(raw, &docs); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for _, doc := range docs {
+		for _, t := range doc.Tables {
+			if !strings.Contains(t.Title, "Service front door") {
+				continue
+			}
+			col := make(map[string]int)
+			for i, c := range t.Columns {
+				col[c] = i
+			}
+			for _, name := range []string{"ADMIT_P99_MS", "ROUNDS_PER_S", "ERRORS", "VERIFY_FAILS"} {
+				if _, ok := col[name]; !ok {
+					return fmt.Errorf("%s: service table lacks a %s column", path, name)
+				}
+			}
+			if len(t.Rows) == 0 {
+				return fmt.Errorf("%s: service table has no rows", path)
+			}
+			head := t.Rows[0]
+			for _, r := range t.Rows {
+				if len(r.Cells) < len(t.Columns) {
+					return fmt.Errorf("%s: row x=%g is missing cells", path, r.X)
+				}
+				if e := r.Cells[col["ERRORS"]]; e != 0 {
+					return fmt.Errorf("recorded %g request errors at %g clients (must be zero)", e, r.X)
+				}
+				if v := r.Cells[col["VERIFY_FAILS"]]; v != 0 {
+					return fmt.Errorf("recorded %g verification failures at %g clients (must be zero)", v, r.X)
+				}
+				if r.X > head.X {
+					head = r
+				}
+			}
+			if head.X < serviceHeadlineClients {
+				return fmt.Errorf("recorded headline row has %g clients, below the %g-client acceptance bar",
+					head.X, serviceHeadlineClients)
+			}
+			p99 := head.Cells[col["ADMIT_P99_MS"]]
+			rps := head.Cells[col["ROUNDS_PER_S"]]
+			fmt.Printf("    service at %g clients: admit p99 %.3fms (ceiling %.1fms), %.2f rounds/s (floor %.2f), errors and verify failures zero\n",
+				head.X, p99, serviceAdmitP99Ceiling, rps, serviceRoundsFloor)
+			if p99 > serviceAdmitP99Ceiling {
+				return fmt.Errorf("recorded admission p99 %.3fms at %g clients exceeds the %.1fms ceiling",
+					p99, head.X, serviceAdmitP99Ceiling)
+			}
+			if rps < serviceRoundsFloor {
+				return fmt.Errorf("recorded %.2f rounds/s at %g clients is below the %.2f floor",
+					rps, head.X, serviceRoundsFloor)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: no service front door table", path)
 }
 
 // benchLine matches one `go test -bench` result line.

@@ -237,3 +237,88 @@ func TestSuppressGateAgainstCheckedInDocument(t *testing.T) {
 		t.Fatalf("checked-in BENCH_suppress.json fails the gate: %v", err)
 	}
 }
+
+const serviceJSON = `[
+  {
+    "name": "service",
+    "tables": [
+      {
+        "Title": "Service front door — admission latency and round throughput under churn (memory transport)",
+        "Columns": ["ADMIT_P50_MS", "ADMIT_P95_MS", "ADMIT_P99_MS", "ROUNDS_PER_S", "REQS", "OPS_OK", "ERRORS", "VERIFY_FAILS"],
+        "Rows": [
+          {"X": 2500, "Cells": [0.04, 0.09, 0.15, 19.5, 7000, 150, 0, 0]},
+          {"X": 5000, "Cells": [0.04, 0.08, 0.12, 12.5, 12000, 290, 0, 0]},
+          {"X": 10000, "Cells": [0.04, 0.08, 0.11, 11.8, 16500, 510, 0, 0]}
+        ]
+      }
+    ]
+  }
+]`
+
+func TestServiceGatePasses(t *testing.T) {
+	doc := write(t, "BENCH_service.json", serviceJSON)
+	if err := run([]string{"-service", doc}); err != nil {
+		t.Fatalf("run failed inside the bounds: %v", err)
+	}
+}
+
+func TestServiceGateFailsAboveP99Ceiling(t *testing.T) {
+	slow := strings.ReplaceAll(serviceJSON, `[0.04, 0.08, 0.11, 11.8`, `[0.04, 0.08, 75.0, 11.8`)
+	doc := write(t, "BENCH_service.json", slow)
+	err := run([]string{"-service", doc})
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("run above the p99 ceiling returned %v, want ceiling error", err)
+	}
+}
+
+func TestServiceGateFailsBelowRoundsFloor(t *testing.T) {
+	starved := strings.ReplaceAll(serviceJSON, `0.11, 11.8`, `0.11, 1.2`)
+	doc := write(t, "BENCH_service.json", starved)
+	err := run([]string{"-service", doc})
+	if err == nil || !strings.Contains(err.Error(), "rounds/s") {
+		t.Fatalf("run below the rounds floor returned %v, want floor error", err)
+	}
+}
+
+func TestServiceGateFailsOnAnyErrorsOrVerifyFails(t *testing.T) {
+	// Errors on a non-headline row still fail.
+	errs := strings.ReplaceAll(serviceJSON, `12000, 290, 0, 0`, `12000, 290, 3, 0`)
+	if err := run([]string{"-service", write(t, "errs.json", errs)}); err == nil ||
+		!strings.Contains(err.Error(), "request errors") {
+		t.Fatalf("run with request errors returned %v, want error-ledger failure", err)
+	}
+	vf := strings.ReplaceAll(serviceJSON, `16500, 510, 0, 0`, `16500, 510, 0, 1`)
+	if err := run([]string{"-service", write(t, "vf.json", vf)}); err == nil ||
+		!strings.Contains(err.Error(), "verification failures") {
+		t.Fatalf("run with verify failures returned %v, want verification failure", err)
+	}
+}
+
+func TestServiceGateRequiresTenThousandClients(t *testing.T) {
+	small := strings.ReplaceAll(serviceJSON, `"X": 10000`, `"X": 9000`)
+	err := run([]string{"-service", write(t, "small.json", small)})
+	if err == nil || !strings.Contains(err.Error(), "acceptance bar") {
+		t.Fatalf("run without a 10k-client row returned %v, want acceptance-bar error", err)
+	}
+}
+
+func TestServiceGateInputErrors(t *testing.T) {
+	if err := run([]string{"-service", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("missing document accepted")
+	}
+	noCol := strings.ReplaceAll(serviceJSON, "ROUNDS_PER_S", "ROUNDS")
+	if err := run([]string{"-service", write(t, "nocol.json", noCol)}); err == nil {
+		t.Fatal("document without a ROUNDS_PER_S column accepted")
+	}
+	if err := run([]string{"-service", write(t, "garbage.json", "{")}); err == nil {
+		t.Fatal("unparseable document accepted")
+	}
+}
+
+func TestServiceGateAgainstCheckedInDocument(t *testing.T) {
+	// The real gate in check.sh runs against the repo's
+	// BENCH_service.json; keep the checked-in document passing.
+	if err := run([]string{"-service", "../../BENCH_service.json"}); err != nil {
+		t.Fatalf("checked-in BENCH_service.json fails the gate: %v", err)
+	}
+}

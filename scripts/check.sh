@@ -67,6 +67,59 @@ echo "==> suppression benchmark (1 iteration) + headline gate (BENCH_suppress.js
 go test -run '^$' -bench 'BenchmarkSuppress' -benchtime 1x .
 go run ./scripts/benchguard -suppress BENCH_suppress.json
 
+echo "==> service e2e (admit/inspect/stream/modify/remove/drain/resume, under -race)"
+go test -race -count=1 -run 'TestServiceEndToEnd' .
+
+echo "==> service soak (60s churn + streams + collector crash, leak-checked, under -race)"
+REMO_SOAK_SECONDS=60 go test -race -count=1 -run 'TestServiceSoak' .
+
+echo "==> service smoke (remo-serve boot, seeded remo-load run, SIGTERM drain)"
+go build -o /tmp/remo-serve-smoke ./cmd/remo-serve
+go build -o /tmp/remo-load-smoke ./cmd/remo-load
+journal_dir=$(mktemp -d)
+serve_log=$(mktemp)
+/tmp/remo-serve-smoke -addr 127.0.0.1:0 -journal "$journal_dir" -verify > "$serve_log" &
+serve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$serve_log")
+    [[ -n "$base" ]] && break
+    sleep 0.1
+done
+if [[ -z "$base" ]]; then
+    echo "remo-serve did not come up:" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+curl -fsS "$base/healthz" > /dev/null
+load_out=$(/tmp/remo-load-smoke -target "$base" -clients 40 -duration 5s -seed 11 -json)
+if echo "$load_out" | grep -q '"requests": 0,'; then
+    echo "remo-load sent no traffic:" >&2
+    echo "$load_out" >&2
+    exit 1
+fi
+if ! echo "$load_out" | grep -q '"errors": 0,'; then
+    echo "remo-load recorded request errors:" >&2
+    echo "$load_out" >&2
+    exit 1
+fi
+if ! echo "$load_out" | grep -q '"verifyFails": 0'; then
+    echo "live verification failed under load:" >&2
+    echo "$load_out" >&2
+    exit 1
+fi
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+if ! grep -q "drained: session journaled" "$serve_log"; then
+    echo "remo-serve did not drain cleanly:" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+rm -rf "$journal_dir" "$serve_log" /tmp/remo-serve-smoke /tmp/remo-load-smoke
+
+echo "==> service headline gate (BENCH_service.json)"
+go run ./scripts/benchguard -service BENCH_service.json
+
 echo "==> fuzz smoke (FuzzDecode, 10s)"
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/transport
 
