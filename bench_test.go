@@ -114,6 +114,12 @@ func BenchmarkPlannerChurn(b *testing.B) { benchFigure(b, "churn") }
 // headline in BENCH_suppress.json via benchguard -suppress.
 func BenchmarkSuppress(b *testing.B) { benchFigure(b, "suppress") }
 
+// BenchmarkRegion regenerates the WAN-topology experiment (cross-region
+// bytes blind vs aware, coverage floor through a region loss);
+// scripts/check.sh runs it one-shot as the region smoke and gates the
+// recorded headline in BENCH_region.json via benchguard -region.
+func BenchmarkRegion(b *testing.B) { benchFigure(b, "region") }
+
 // --- Micro-benchmarks -------------------------------------------------
 
 // benchEnv builds a reusable planning environment.

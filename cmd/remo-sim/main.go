@@ -40,6 +40,17 @@
 // style plateau workload, the dynamics suppression exploits:
 //
 //	remo-sim -rounds 80 -predict -predict-eps 0.01 -verify
+//
+// With -regions N the synthetic generator cuts the nodes into N WAN
+// regions (the collector lives in r0) and inter-region edges are priced
+// at the WAN default, so the planner prefers intra-region trees. The
+// run reports per-region coverage and enforces -region-floor on every
+// surviving region. -chaos-region R partitions region R from the
+// collector tier a third of the way in, permanently; -chaos-link rA-rB
+// flaps that inter-region link over the middle third:
+//
+//	remo-sim -nodes 30 -tasks 15 -regions 3 -chaos-region 1 -verify
+//	remo-sim -nodes 20 -regions 2 -chaos-link r0-r1 -verify
 package main
 
 import (
@@ -48,6 +59,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 
 	"remo"
@@ -86,6 +98,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		chaosDelay = fs.Float64("chaos-delay", 0, "delay each message one round with this probability")
 		suspicion  = fs.Int("suspicion", 3, "failure-detector suspicion window in rounds")
 
+		regions     = fs.Int("regions", 1, "synthetic: cut the nodes into this many WAN regions (collector in r0, inter-region edges priced at the WAN default)")
+		chaosRegion = fs.Int("chaos-region", -1, "partition this region from the collector tier a third of the way in, permanently (-1 = off; requires -regions >= 2)")
+		chaosLink   = fs.String("chaos-link", "", "flap this inter-region link (e.g. r0-r1) over the middle third of the run (requires -regions >= 2)")
+		regionFloor = fs.Float64("region-floor", 90, "coverage floor every surviving region must hold after the run (machine-checked when -regions > 1; 0 disables)")
+
 		predictOn   = fs.Bool("predict", false, "arm forecast-driven dead-band traffic suppression (switches ground truth to a plateau workload)")
 		predictEps  = fs.Float64("predict-eps", 0.01, "suppression error bound as a relative fraction (requires -predict)")
 		predictSync = fs.Int("predict-sync", 0, "periodic model re-sync cadence in rounds, 0 = library default (requires -predict)")
@@ -104,6 +121,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := validateFlags(fs, *rounds, *suspicion, *journalDir, *collCrash, *shards, *shardCrash, *predictOn, *predictEps, *predictSync); err != nil {
 		return err
 	}
+	if err := validateRegionFlags(fs, *specPath, *regions, *chaosRegion, *chaosLink, *regionFloor); err != nil {
+		return err
+	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
@@ -118,7 +138,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *predictOn {
 		extraOpts = append(extraOpts, remo.WithPrediction(*predictEps))
 	}
-	planner, err := buildPlanner(*specPath, *nodes, *attrs, *tasks, *seed, *scheme, *verifyOn, extraOpts...)
+	planner, err := buildPlanner(*specPath, *nodes, *attrs, *tasks, *regions, *seed, *scheme, *verifyOn, extraOpts...)
 	if err != nil {
 		return err
 	}
@@ -150,22 +170,28 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		rec = remo.NewTraceRecorder(*traceN)
 	}
 	var rep remo.DeployReport
-	if *chaosFrac > 0 || *chaosDrop > 0 || *chaosDelay > 0 || *journalDir != "" || *shards > 1 {
-		rep, err = runChaos(planner, chaosOpts{
-			rounds:     *rounds,
-			useTCP:     *useTCP,
-			seed:       uint64(*seed),
-			frac:       *chaosFrac,
-			dropProb:   *chaosDrop,
-			delayProb:  *chaosDelay,
-			suspicion:  *suspicion,
-			journal:    *journalDir,
-			collCrash:  *collCrash,
-			shards:     *shards,
-			shardCrash: *shardCrash,
-			trace:      rec,
-			verify:     *verifyOn,
-			source:     source,
+	var regionCov map[string]float64
+	if *chaosFrac > 0 || *chaosDrop > 0 || *chaosDelay > 0 || *journalDir != "" || *shards > 1 ||
+		*regions > 1 {
+		rep, regionCov, err = runChaos(planner, chaosOpts{
+			rounds:      *rounds,
+			useTCP:      *useTCP,
+			seed:        uint64(*seed),
+			frac:        *chaosFrac,
+			dropProb:    *chaosDrop,
+			delayProb:   *chaosDelay,
+			suspicion:   *suspicion,
+			journal:     *journalDir,
+			collCrash:   *collCrash,
+			shards:      *shards,
+			shardCrash:  *shardCrash,
+			regions:     *regions,
+			chaosRegion: *chaosRegion,
+			chaosLink:   *chaosLink,
+			regionFloor: *regionFloor,
+			trace:       rec,
+			verify:      *verifyOn,
+			source:      source,
 		}, stdout)
 	} else {
 		rep, err = plan.Deploy(remo.DeployConfig{
@@ -208,6 +234,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		for _, ev := range rep.Redispatches {
 			fmt.Fprintf(stdout, "  r%03d re-home: tree %s shard %d -> %d\n",
 				ev.Round, clipKey(ev.TreeKey), ev.FromShard, ev.ToShard)
+		}
+	}
+	if regionCov != nil {
+		names := make([]string, 0, len(regionCov))
+		for r := range regionCov {
+			names = append(names, r)
+		}
+		sort.Strings(names)
+		if *regionFloor > 0 {
+			fmt.Fprintf(stdout, "regions: %d, coverage floor %.0f%% held on every surviving region\n",
+				len(names), *regionFloor)
+		} else {
+			fmt.Fprintf(stdout, "regions: %d (floor check disabled)\n", len(names))
+		}
+		for _, r := range names {
+			fmt.Fprintf(stdout, "  %-4s %.1f%%\n", r, regionCov[r])
 		}
 	}
 	if rep.FailuresDetected > 0 || rep.NodesRecovered > 0 {
@@ -300,30 +342,95 @@ func validateFlags(fs *flag.FlagSet, rounds, suspicion int, journalDir string, c
 	return nil
 }
 
+// validateRegionFlags rejects WAN-topology flag combinations that
+// cannot work: zero/negative region counts, a partitioned region index
+// outside the labeled range, or a link flap without at least two
+// regions to string a link between.
+func validateRegionFlags(fs *flag.FlagSet, specPath string, regions, chaosRegion int, chaosLink string, regionFloor float64) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if set["regions"] {
+		if regions < 1 {
+			return fmt.Errorf("-regions must be at least 1 (got %d): a WAN has no zero-region cut", regions)
+		}
+		if specPath != "" {
+			return fmt.Errorf("-regions only applies to the synthetic generator: spec files carry their own region labels")
+		}
+	}
+	if set["chaos-region"] {
+		if regions < 2 {
+			return fmt.Errorf("-chaos-region requires -regions of at least 2: a single-region cluster has no region to partition")
+		}
+		if chaosRegion < 0 || chaosRegion >= regions {
+			return fmt.Errorf("-chaos-region %d must name a region in [0, %d)", chaosRegion, regions)
+		}
+	}
+	if set["chaos-link"] {
+		if regions < 2 {
+			return fmt.Errorf("-chaos-link requires -regions of at least 2: an inter-region link needs two regions")
+		}
+		a, b, err := parseRegionLink(chaosLink)
+		if err != nil {
+			return err
+		}
+		if a >= regions || b >= regions {
+			return fmt.Errorf("-chaos-link %q names a region outside [0, %d)", chaosLink, regions)
+		}
+	}
+	if set["region-floor"] {
+		if regions < 2 {
+			return fmt.Errorf("-region-floor requires -regions of at least 2: the floor is checked per region")
+		}
+		if regionFloor < 0 || regionFloor > 100 {
+			return fmt.Errorf("-region-floor must be a percentage in [0, 100] (got %v)", regionFloor)
+		}
+	}
+	return nil
+}
+
+// parseRegionLink parses an inter-region link spelled the way regions
+// are named ("r0-r1") into its two region indices.
+func parseRegionLink(s string) (a, b int, err error) {
+	if n, serr := fmt.Sscanf(s, "r%d-r%d", &a, &b); serr != nil || n != 2 || a < 0 || b < 0 {
+		return 0, 0, fmt.Errorf("-chaos-link %q must name two regions like r0-r1", s)
+	}
+	if a == b {
+		return 0, 0, fmt.Errorf("-chaos-link %q joins a region to itself: name two distinct regions", s)
+	}
+	return a, b, nil
+}
+
 // chaosOpts parameterizes the self-healing demo session.
 type chaosOpts struct {
-	rounds     int
-	useTCP     bool
-	seed       uint64
-	frac       float64
-	dropProb   float64
-	delayProb  float64
-	suspicion  int
-	journal    string
-	collCrash  int
-	shards     int
-	shardCrash int
-	trace      *remo.TraceRecorder
-	verify     bool
-	source     remo.ValueSource
+	rounds      int
+	useTCP      bool
+	seed        uint64
+	frac        float64
+	dropProb    float64
+	delayProb   float64
+	suspicion   int
+	journal     string
+	collCrash   int
+	shards      int
+	shardCrash  int
+	regions     int
+	chaosRegion int
+	chaosLink   string
+	regionFloor float64
+	trace       *remo.TraceRecorder
+	verify      bool
+	source      remo.ValueSource
 }
 
 // runChaos runs a self-healing live session: a fraction of nodes
 // crashes a third of the way through the run and the Monitor detects
 // and repairs around them. With a journal the session is durable, and
 // with collCrash set the central collector itself crashes mid-run and
-// is resumed from that journal.
-func runChaos(planner *remo.Planner, o chaosOpts, stdout io.Writer) (remo.DeployReport, error) {
+// is resumed from that journal. On a region-labeled system it also
+// returns the per-region coverage map sampled after the run and
+// enforces the surviving-region coverage floor.
+func runChaos(planner *remo.Planner, o chaosOpts, stdout io.Writer) (remo.DeployReport, map[string]float64, error) {
 	crashRound := o.rounds / 3
 	if crashRound < 1 {
 		crashRound = 1
@@ -333,6 +440,26 @@ func runChaos(planner *remo.Planner, o chaosOpts, stdout io.Writer) (remo.Deploy
 		MaxDelayRounds: 1,
 		DelayProb:      o.delayProb,
 		Seed:           o.seed,
+	}
+	if o.chaosRegion >= 0 {
+		// A permanent partition: the region stays cut to the end, so the
+		// run finishes on the repaired, re-homed topology.
+		cc.RegionPartitions = map[string][]remo.ChaosWindow{
+			remo.RegionName(o.chaosRegion): {{From: crashRound, To: o.rounds + 1}},
+		}
+	}
+	if o.chaosLink != "" {
+		// A flap over the middle third: the link drops, the far side is
+		// declared dead and repaired around, then reintegrates.
+		a, b, err := parseRegionLink(o.chaosLink)
+		if err != nil {
+			return remo.DeployReport{}, nil, err
+		}
+		cc.LinkFlaps = map[remo.ChaosRegionLink][]remo.ChaosWindow{
+			remo.ChaosNormLink(remo.RegionName(a), remo.RegionName(b)): {
+				{From: crashRound, To: 2 * o.rounds / 3},
+			},
+		}
 	}
 	if o.frac > 0 {
 		ids := planner.System().NodeIDs()
@@ -367,7 +494,7 @@ func runChaos(planner *remo.Planner, o chaosOpts, stdout io.Writer) (remo.Deploy
 		Shards:  o.shards,
 	})
 	if err != nil {
-		return remo.DeployReport{}, err
+		return remo.DeployReport{}, nil, err
 	}
 	defer func() { _ = mon.Close() }()
 
@@ -381,16 +508,16 @@ func runChaos(planner *remo.Planner, o chaosOpts, stdout io.Writer) (remo.Deploy
 			rideOut = o.rounds
 		}
 		if err := mon.Run(rideOut); err != nil {
-			return remo.DeployReport{}, err
+			return remo.DeployReport{}, nil, err
 		}
 		rr, err := mon.ResumeShard(o.shardCrash)
 		if err != nil {
-			return remo.DeployReport{}, err
+			return remo.DeployReport{}, nil, err
 		}
 		fmt.Fprintf(stdout, "shard %d crashed at round %d; resumed from its journal: epoch %d, %d samples through round %d, plan matched: %v\n",
 			o.shardCrash, crashRound, rr.Epoch, rr.RecoveredSamples, rr.RecoveredRound, rr.PlanMatched)
 		if err := mon.Run(o.rounds - rideOut); err != nil {
-			return remo.DeployReport{}, err
+			return remo.DeployReport{}, nil, err
 		}
 	} else if o.collCrash > 0 {
 		// Ride out a short outage past the crash (leaves buffer their
@@ -401,26 +528,35 @@ func runChaos(planner *remo.Planner, o chaosOpts, stdout io.Writer) (remo.Deploy
 			outage = o.rounds
 		}
 		if err := mon.Run(outage); err != nil {
-			return remo.DeployReport{}, err
+			return remo.DeployReport{}, nil, err
 		}
 		rr, err := mon.Resume(o.journal)
 		if err != nil {
-			return remo.DeployReport{}, err
+			return remo.DeployReport{}, nil, err
 		}
 		fmt.Fprintf(stdout, "collector crashed at round %d; resumed from journal: epoch %d, %d samples through round %d, %d WAL records replayed, plan matched: %v\n",
 			o.collCrash, rr.Epoch, rr.RecoveredSamples, rr.RecoveredRound, rr.ReplayedRecords, rr.PlanMatched)
 		if err := mon.Run(o.rounds - outage); err != nil {
-			return remo.DeployReport{}, err
+			return remo.DeployReport{}, nil, err
 		}
 	} else if err := mon.Run(o.rounds); err != nil {
-		return remo.DeployReport{}, err
+		return remo.DeployReport{}, nil, err
 	}
 	if o.verify {
 		if err := mon.Verify(); err != nil {
-			return remo.DeployReport{}, err
+			return remo.DeployReport{}, nil, err
 		}
 	}
-	return mon.Report(), nil
+	var regionCov map[string]float64
+	if o.regions > 1 {
+		regionCov = mon.RegionCoverage()
+		if o.regionFloor > 0 {
+			if err := mon.VerifyRegionCoverage(o.regionFloor); err != nil {
+				return remo.DeployReport{}, nil, err
+			}
+		}
+	}
+	return mon.Report(), regionCov, nil
 }
 
 func transportName(tcp bool) string {
@@ -441,8 +577,11 @@ func clipKey(k string) string {
 }
 
 // buildPlanner assembles the planning problem from a spec file or the
-// synthetic generator.
-func buildPlanner(specPath string, nodes, attrs, tasks int, seed int64, scheme string, verifyOn bool, extra ...remo.PlannerOption) (*remo.Planner, error) {
+// synthetic generator. regions > 1 cuts the synthetic nodes into
+// contiguous WAN regions (collector in r0) and prices inter-region
+// edges at the library default, so planning and verification charge the
+// real WAN price.
+func buildPlanner(specPath string, nodes, attrs, tasks, regions int, seed int64, scheme string, verifyOn bool, extra ...remo.PlannerOption) (*remo.Planner, error) {
 	opt, err := schemeOption(scheme)
 	if err != nil {
 		return nil, err
@@ -471,6 +610,7 @@ func buildPlanner(specPath string, nodes, attrs, tasks int, seed int64, scheme s
 		Attrs:      attrs,
 		CapacityLo: 150,
 		CapacityHi: 400,
+		Regions:    regions,
 		Seed:       seed,
 	})
 	if err != nil {

@@ -327,6 +327,96 @@ func TestPredictFlagValidation(t *testing.T) {
 	}
 }
 
+func TestRegionLossRun(t *testing.T) {
+	// Partition r1 permanently: the detector declares the region dead,
+	// repair re-homes its trees, and the surviving regions hold the
+	// coverage floor (machine-checked by VerifyRegionCoverage).
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-nodes", "30", "-attrs", "6", "-tasks", "15", "-rounds", "24",
+		"-regions", "3", "-chaos-region", "1", "-suspicion", "2", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"regions: 3, coverage floor 90% held",
+		"r0", "r1", "r2",
+		"self-healing:", "repair:",
+		"verification:",
+		"emulation: 24 rounds",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRegionLinkFlapRun(t *testing.T) {
+	// Flap the r0-r1 link over the middle third: the far side dies and
+	// reintegrates, and the floor still holds at the end.
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-nodes", "20", "-attrs", "5", "-tasks", "8", "-rounds", "24",
+		"-regions", "2", "-chaos-link", "r0-r1", "-suspicion", "2", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"regions: 2", "self-healing:", "reintegrate:", "verification:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRegionsFlagAlone(t *testing.T) {
+	// A healthy region-labeled run reports per-region coverage and
+	// passes the default floor.
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-nodes", "18", "-attrs", "5", "-tasks", "8", "-rounds", "8",
+		"-regions", "3", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "regions: 3, coverage floor 90% held") {
+		t.Errorf("region summary missing:\n%s", got)
+	}
+}
+
+func TestRegionFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero regions", []string{"-regions", "0"}, "-regions must be at least 1"},
+		{"negative regions", []string{"-regions", "-3"}, "-regions must be at least 1"},
+		{"regions with spec", []string{"-spec", "problem.json", "-regions", "3"}, "spec files carry their own region labels"},
+		{"partition without regions", []string{"-chaos-region", "1"}, "requires -regions"},
+		{"partition out of range", []string{"-regions", "3", "-chaos-region", "3"}, "in [0, 3)"},
+		{"negative partition", []string{"-regions", "3", "-chaos-region", "-1"}, "in [0, 3)"},
+		{"flap without regions", []string{"-chaos-link", "r0-r1"}, "requires -regions"},
+		{"flap out of range", []string{"-regions", "2", "-chaos-link", "r0-r5"}, "outside [0, 2)"},
+		{"malformed link", []string{"-regions", "3", "-chaos-link", "east/west"}, "like r0-r1"},
+		{"self link", []string{"-regions", "3", "-chaos-link", "r1-r1"}, "two distinct regions"},
+		{"floor without regions", []string{"-region-floor", "80"}, "requires -regions"},
+		{"overshooting floor", []string{"-regions", "3", "-region-floor", "150"}, "in [0, 100]"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		err := run(context.Background(), tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
 func TestRunInterrupted(t *testing.T) {
 	// A cancelled lifecycle context stops the run before the emulation.
 	ctx, cancel := context.WithCancel(context.Background())

@@ -50,7 +50,36 @@ type (
 	// ChaosWindow is one [From, To) round interval a node is down, for
 	// ChaosConfig.CrashWindows flapping schedules.
 	ChaosWindow = chaos.Window
+	// ChaosRegionLink names an undirected inter-region link for
+	// ChaosConfig.LinkFlaps schedules; build keys with ChaosNormLink.
+	ChaosRegionLink = chaos.RegionLink
 )
+
+// ChaosNormLink normalizes an undirected region pair into the
+// ChaosConfig.LinkFlaps key.
+func ChaosNormLink(a, b string) ChaosRegionLink { return chaos.NormLink(a, b) }
+
+// labelRegionChaos copies the system's region labels into a chaos
+// config that uses region-scoped schedules but was not labeled
+// explicitly, so callers only declare the windows.
+func labelRegionChaos(c *ChaosConfig, sys *System) {
+	if c == nil || len(c.Regions) > 0 {
+		return
+	}
+	if len(c.RegionPartitions) == 0 && len(c.LinkFlaps) == 0 {
+		return
+	}
+	c.LabelRegions(sys)
+}
+
+// RollingUpgrade builds a deterministic ChaosConfig.CrashWindows
+// schedule taking the given fraction of members down at a time in
+// consecutive waves of waveRounds rounds starting at round start — the
+// region-scoped rolling-upgrade drill (take one region's node list from
+// System.RegionNodes).
+func RollingUpgrade(members []NodeID, fraction float64, start, waveRounds int) map[NodeID][]ChaosWindow {
+	return chaos.RollingUpgrade(members, fraction, start, waveRounds)
+}
 
 // NewTraceRecorder returns a recorder retaining up to max events (a
 // sensible default when max <= 0).
@@ -277,6 +306,7 @@ func (p *Plan) Deploy(cfg DeployConfig) (DeployReport, error) {
 	if source == nil {
 		source = cluster.BurstyWalk{Seed: cfg.Seed}
 	}
+	labelRegionChaos(cfg.Chaos, p.sys)
 
 	ccfg := cluster.Config{
 		Sys:             p.sys,

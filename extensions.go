@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"remo/internal/cost"
 	"remo/internal/freq"
 	"remo/internal/partition"
 	"remo/internal/predict"
@@ -20,6 +21,26 @@ import (
 func RackDistance(rackSize int, intra, inter float64) func(a, b NodeID) float64 {
 	return workload.RackDistance(rackSize, intra, inter)
 }
+
+// Topology prices overlay edges by the regions of their endpoints (the
+// WAN extension of the §3.3 distance model): label nodes with
+// Node.Region, then call System.ApplyTopology so planning, incremental
+// replanning, capacity validation and verification all charge
+// EdgeCost(srcRegion, dstRegion) times the endpoint cost per send.
+// NewTopology(1, 10) prices cross-region hops at ten rack-local sends;
+// per-link overrides go through Topology.SetLink.
+type Topology = cost.Topology
+
+// NewTopology returns a Topology with intra-region edges at intra and
+// inter-region edges at inter (non-positive selects the defaults: 1 and
+// cost.DefaultInterRegionCost).
+func NewTopology(intra, inter float64) *Topology {
+	return cost.NewTopology(intra, inter)
+}
+
+// RegionName labels region index i the way the synthetic workload
+// generator and remo-sim do ("r0", "r1", ...).
+func RegionName(i int) string { return workload.RegionName(i) }
 
 // ReliabilityAliasBase is where replica alias attribute ids start; real
 // attribute ids must stay below it.
@@ -76,6 +97,40 @@ func (p *Planner) AddSharedValueTask(name string, attr AttrID, observerGroups []
 	}
 	rw, err := reliability.DSDP(name, attr, groups, replicas,
 		p.nextAliasBase(Task{Attrs: []AttrID{attr}}, replicas))
+	if err != nil {
+		return fmt.Errorf("remo: %w", err)
+	}
+	for _, rt := range rw.Tasks {
+		if err := p.mgr.Add(rt); err != nil {
+			return fmt.Errorf("remo: %w", err)
+		}
+	}
+	if p.aliases == nil {
+		p.aliases = reliability.NewAliasMap()
+	}
+	for _, alias := range rw.Aliases.Aliases(attr) {
+		p.aliases.Add(alias, attr)
+	}
+	if p.cons == nil {
+		p.cons = partition.NewConstraints()
+	}
+	p.cons.Merge(rw.Constraints)
+	return nil
+}
+
+// AddRegionSpreadTask registers a DSDP task whose replicas additionally
+// must not be colocated in one region: observer groups are reordered
+// round-robin across the system's region labels before replica
+// selection, so every replicated value keeps at least one live owner
+// when an entire region is lost. Requires a region-labeled system and
+// groups spanning >= 2 regions (reliability.ErrColocated otherwise).
+func (p *Planner) AddRegionSpreadTask(name string, attr AttrID, observerGroups [][]NodeID, replicas int) error {
+	groups := make(reliability.ObserverGroups, len(observerGroups))
+	for i, g := range observerGroups {
+		groups[i] = append([]NodeID(nil), g...)
+	}
+	rw, err := reliability.RegionDSDP(name, attr, groups, replicas,
+		p.nextAliasBase(Task{Attrs: []AttrID{attr}}, replicas), p.sys.RegionOf)
 	if err != nil {
 		return fmt.Errorf("remo: %w", err)
 	}

@@ -88,6 +88,7 @@ func Registry() []Experiment {
 		{Name: "shard", Description: "sharded collector tier: dispatcher overhead vs single collector, orphan re-dispatch latency", Run: Shard},
 		{Name: "suppress", Description: "forecast-driven traffic suppression: wire bytes vs accuracy, robustness under faults", Run: Suppress},
 		{Name: "service", Description: "service front door: admission latency percentiles and rounds/s under simulated-client churn", Run: Service},
+		{Name: "region", Description: "WAN topology: cross-region bytes blind vs aware, coverage floor through a region loss", Run: Region},
 	}
 }
 
@@ -120,7 +121,11 @@ type envConfig struct {
 	tasks        int
 	attrsPerTask int
 	nodesPerTask int
-	seed         int64
+	// regions > 1 cuts the nodes into contiguous WAN regions (collector
+	// in r0) and labels them; interCost prices inter-region edges.
+	regions   int
+	interCost float64
+	seed      int64
 }
 
 func (c envConfig) withDefaults(o Options) envConfig {
@@ -172,6 +177,8 @@ func buildEnv(o Options, c envConfig) (env, error) {
 		CapacityHi:      c.capHi,
 		CentralCapacity: c.central,
 		Cost:            costModel,
+		Regions:         c.regions,
+		InterRegionCost: c.interCost,
 		Seed:            c.seed,
 	})
 	if err != nil {

@@ -20,7 +20,7 @@ func colMean(t *testing.T, tbl *metrics.Table, name string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner", "churn", "runtime", "shard", "suppress", "service"}
+	want := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "planner", "churn", "runtime", "shard", "suppress", "service", "region"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -451,5 +451,56 @@ func TestServiceShape(t *testing.T) {
 		if vfails[i] != 0 {
 			t.Errorf("row %d: %v verification failures", i, vfails[i])
 		}
+	}
+}
+
+func TestRegionShape(t *testing.T) {
+	// Qualitative shape only: at smoke scale the trees are too small for
+	// the headline 2x reduction (irreducible cross-region payload
+	// dominates), so assert awareness never loses — fewer or equal
+	// cross-region bytes at coverage parity — and that the loss timeline
+	// ends above the floor with at least one automatic repair.
+	tables := Region(Options{Scale: 0.2, Seed: 5, Rounds: 24})
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	bytesTbl, lossTbl := tables[0], tables[1]
+	for _, c := range regionBytesColumns {
+		if _, ok := bytesTbl.Column(c); !ok {
+			t.Fatalf("bytes table lacks column %q", c)
+		}
+	}
+	reduction, _ := bytesTbl.Column("REDUCTION_X")
+	if len(reduction) != 3 {
+		t.Fatalf("rows = %d, want regions=2,3,6", len(reduction))
+	}
+	for i, r := range reduction {
+		if r < 1 {
+			t.Errorf("row %d: topology awareness increased cross-region bytes (%.3fx)", i, r)
+		}
+	}
+	covB, _ := bytesTbl.Column("COV_BLIND_PCT")
+	covA, _ := bytesTbl.Column("COV_AWARE_PCT")
+	for i := range covB {
+		if covA[i] < covB[i]-0.5 {
+			t.Errorf("row %d: awareness shed coverage, blind %.2f vs aware %.2f", i, covB[i], covA[i])
+		}
+	}
+
+	surv, _ := lossTbl.Column("MIN_SURV_COV_PCT")
+	lostCov, _ := lossTbl.Column("LOST_COV_PCT")
+	repairs, _ := lossTbl.Column("REPAIRS")
+	if len(surv) != 3 {
+		t.Fatalf("timeline rows = %d, want 3 phase samples", len(surv))
+	}
+	last := len(surv) - 1
+	if surv[last] < regionFloorPct {
+		t.Errorf("final surviving coverage %.1f%% below the %d%% floor", surv[last], regionFloorPct)
+	}
+	if lostCov[last] >= surv[last] {
+		t.Errorf("lost region coverage %.1f%% not written off below survivors %.1f%%", lostCov[last], surv[last])
+	}
+	if repairs[last] < 1 {
+		t.Errorf("no automatic repairs recorded by the end of the timeline")
 	}
 }

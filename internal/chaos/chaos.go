@@ -60,6 +60,25 @@ type Config struct {
 	// flapping schedule that exercises re-dispatch and rebalance without
 	// requiring per-shard journals.
 	ShardWindows map[int][]Window
+	// Regions labels nodes with their WAN region for the region-scoped
+	// schedules (RegionPartitions, LinkFlaps). Populate it from a
+	// labeled system with LabelRegions; unlabeled nodes share the empty
+	// default region.
+	Regions map[model.NodeID]string
+	// CentralRegion is the region hosting the collector tier (central
+	// node and shards). Empty means the default region.
+	CentralRegion string
+	// RegionPartitions cuts an entire region off from the rest of the
+	// overlay during each listed [From, To) window: every message with
+	// exactly one endpoint inside the partitioned region is dropped,
+	// including heartbeats — the failure detector sees the whole region
+	// go dark at once. Intra-region traffic survives.
+	RegionPartitions map[string][]Window
+	// LinkFlaps takes one named inter-region link down during each
+	// listed [From, To) window: messages whose endpoint regions match
+	// the link (in either direction) are dropped. Key links through
+	// NormLink.
+	LinkFlaps map[RegionLink][]Window
 	// DropEvery drops every k-th message per sender (0 disables) — the
 	// legacy deterministic loss model, kept for reproducibility of older
 	// experiments.
@@ -88,7 +107,8 @@ func (c *Config) Enabled() bool {
 	return len(c.CrashAt) > 0 || len(c.CrashWindows) > 0 || c.DropEvery > 0 ||
 		c.DropProb > 0 || len(c.LinkDropProb) > 0 || c.DelayProb > 0 ||
 		c.CollectorCrashAt > 0 || c.CollectorCrashProb > 0 ||
-		len(c.ShardCrashAt) > 0 || len(c.ShardWindows) > 0
+		len(c.ShardCrashAt) > 0 || len(c.ShardWindows) > 0 ||
+		len(c.RegionPartitions) > 0 || len(c.LinkFlaps) > 0
 }
 
 // CollectorCrash reports whether the collector crashes at the start of
@@ -174,6 +194,9 @@ func (c *Config) Drop(from, to model.NodeID, round, seq int) bool {
 		return false
 	}
 	if c.DropEvery > 0 && (seq+round)%c.DropEvery == 0 {
+		return true
+	}
+	if c.regionCut(from, to, round) {
 		return true
 	}
 	p := c.DropProb

@@ -1,0 +1,108 @@
+package cost
+
+import "fmt"
+
+// DefaultInterRegionCost is the WAN edge-cost multiplier applied between
+// distinct regions when a Topology leaves Inter unset. The order of
+// magnitude matches the planner's C/a default: one cross-region hop
+// costs as much as ten rack-local ones, enough that the guided search
+// keeps collection trees region-local whenever capacity allows.
+const DefaultInterRegionCost = 10.0
+
+// Topology prices overlay edges by the regions of their endpoints,
+// extending the per-message model cost(msg) = C + a·x with a per-edge
+// multiplier: sending over edge (src, dst) costs EdgeCost(src, dst)
+// times the endpoint cost. It composes with Model.Message/Effective
+// exactly like the distance factors of §3.3 — callers multiply — so the
+// planner's guided search, the incremental replanner and the verifier
+// all charge the real WAN price through the existing Distance hook.
+//
+// Regions are plain strings because the cost package sits below the
+// model package; model.System.ApplyTopology adapts node ids to region
+// names. A nil *Topology prices every edge at 1; every method is
+// nil-safe.
+type Topology struct {
+	// Intra is the multiplier for edges within one region (default 1).
+	Intra float64
+	// Inter is the multiplier for edges between distinct regions
+	// (default DefaultInterRegionCost).
+	Inter float64
+	// links overrides Inter for specific region pairs, keyed undirected.
+	links map[[2]string]float64
+}
+
+// NewTopology returns a topology with intra-region edges at intra and
+// inter-region edges at inter (non-positive values select the
+// defaults).
+func NewTopology(intra, inter float64) *Topology {
+	return &Topology{Intra: intra, Inter: inter}
+}
+
+// SetLink overrides the multiplier for the undirected region pair
+// (a, b); non-positive multipliers are ignored. Overriding a == b sets
+// a region's internal price, shadowing Intra for that region.
+func (t *Topology) SetLink(a, b string, mult float64) {
+	if t == nil || mult <= 0 {
+		return
+	}
+	if t.links == nil {
+		t.links = make(map[[2]string]float64)
+	}
+	t.links[linkKey(a, b)] = mult
+}
+
+// EdgeCost returns the multiplier for an edge between regions src and
+// dst: the pair's SetLink override when present, Intra for same-region
+// edges, Inter otherwise. A nil topology prices everything at 1.
+func (t *Topology) EdgeCost(src, dst string) float64 {
+	if t == nil {
+		return 1
+	}
+	if m, ok := t.links[linkKey(src, dst)]; ok {
+		return m
+	}
+	if src == dst {
+		if t.Intra > 0 {
+			return t.Intra
+		}
+		return 1
+	}
+	if t.Inter > 0 {
+		return t.Inter
+	}
+	return DefaultInterRegionCost
+}
+
+// Validate rejects negative base multipliers (zero means "default").
+func (t *Topology) Validate() error {
+	if t == nil {
+		return nil
+	}
+	if t.Intra < 0 || t.Inter < 0 {
+		return fmt.Errorf("%w: topology intra=%v inter=%v", ErrInvalidModel, t.Intra, t.Inter)
+	}
+	return nil
+}
+
+// Clone returns a deep copy (nil stays nil).
+func (t *Topology) Clone() *Topology {
+	if t == nil {
+		return nil
+	}
+	c := &Topology{Intra: t.Intra, Inter: t.Inter}
+	if len(t.links) > 0 {
+		c.links = make(map[[2]string]float64, len(t.links))
+		for k, v := range t.links {
+			c.links[k] = v
+		}
+	}
+	return c
+}
+
+// linkKey normalizes an undirected region pair.
+func linkKey(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}

@@ -3,8 +3,9 @@ package metrics
 // Prometheus-style exposition machinery for the service tier: a small
 // registry of counters, gauges and fixed-bucket histograms rendered in
 // the text format scrapers understand. Only the subset the repo needs
-// is implemented — no labels, no push, just atomic instruments and a
-// deterministic Fprint.
+// is implemented — single-label scrape-time gauge families are the only
+// labeled shape, no push, just atomic instruments and a deterministic
+// Fprint.
 
 import (
 	"fmt"
@@ -134,6 +135,7 @@ const (
 	kindCounter kind = iota
 	kindGauge
 	kindGaugeFunc
+	kindLabeledGaugeFunc
 	kindHistogram
 )
 
@@ -144,6 +146,8 @@ type family struct {
 	counter    *Counter
 	gauge      *Gauge
 	gaugeFn    func() float64
+	label      string
+	labeledFn  func() map[string]float64
 	hist       *Histogram
 }
 
@@ -200,6 +204,16 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.gaugeFn = fn
 }
 
+// LabeledGaugeFunc registers a gauge family with one label whose series
+// are computed at scrape time: fn returns label value → gauge value and
+// the series print sorted by label, so the exposition is deterministic
+// even though the set of series may change between scrapes.
+func (r *Registry) LabeledGaugeFunc(name, help, label string, fn func() map[string]float64) {
+	f := r.register(name, help, kindLabeledGaugeFunc)
+	f.label = label
+	f.labeledFn = fn
+}
+
 // Histogram registers (or fetches) a histogram with the given upper
 // bounds (DefaultLatencyBuckets when nil).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -228,6 +242,8 @@ func (r *Registry) Fprint(w io.Writer) error {
 			err = printSimple(w, f.name, f.help, "gauge", f.gauge.Value())
 		case kindGaugeFunc:
 			err = printSimple(w, f.name, f.help, "gauge", f.gaugeFn())
+		case kindLabeledGaugeFunc:
+			err = printLabeled(w, f)
 		case kindHistogram:
 			err = printHistogram(w, f)
 		}
@@ -242,6 +258,26 @@ func printSimple(w io.Writer, name, help, typ string, v float64) error {
 	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
 		name, help, name, typ, name, formatProm(v))
 	return err
+}
+
+func printLabeled(w io.Writer, f *family) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n",
+		f.name, f.help, f.name); err != nil {
+		return err
+	}
+	series := f.labeledFn()
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n",
+			f.name, f.label, k, formatProm(series[k])); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func printHistogram(w io.Writer, f *family) error {

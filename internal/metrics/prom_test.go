@@ -97,6 +97,38 @@ func TestRegistryFprint(t *testing.T) {
 	}
 }
 
+// TestLabeledGaugeFunc pins the single-label family exposition: one
+// HELP/TYPE header, series sorted by label value, scrape-time values.
+func TestLabeledGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	series := map[string]float64{"r2": 87.5, "r0": 100, "r1": 0}
+	r.LabeledGaugeFunc("remo_region_coverage", "per-region coverage percent",
+		"region", func() map[string]float64 { return series })
+
+	var b strings.Builder
+	if err := r.Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP remo_region_coverage per-region coverage percent\n" +
+		"# TYPE remo_region_coverage gauge\n" +
+		`remo_region_coverage{region="r0"} 100` + "\n" +
+		`remo_region_coverage{region="r1"} 0` + "\n" +
+		`remo_region_coverage{region="r2"} 87.5` + "\n"
+	if got := b.String(); got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The next scrape reflects the callback's current view.
+	series["r1"] = 50
+	b.Reset()
+	if err := r.Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `remo_region_coverage{region="r1"} 50`) {
+		t.Fatalf("stale series after mutation:\n%s", b.String())
+	}
+}
+
 // TestRegistryReuseAndKindClash pins idempotent registration and the
 // panic on re-registering a name as a different kind.
 func TestRegistryReuseAndKindClash(t *testing.T) {

@@ -1,0 +1,97 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+
+	"remo/internal/cost"
+)
+
+func regionSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(100, cost.Default(), []Node{
+		{ID: 1, Capacity: 10, Attrs: []AttrID{1}, Region: "r0"},
+		{ID: 2, Capacity: 10, Attrs: []AttrID{1}, Region: "r0"},
+		{ID: 3, Capacity: 10, Attrs: []AttrID{1}, Region: "r1"},
+		{ID: 4, Capacity: 10, Attrs: []AttrID{1}, Region: "r2"},
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	sys.CentralRegion = "r0"
+	return sys
+}
+
+func TestRegionAccessors(t *testing.T) {
+	sys := regionSystem(t)
+	if got := sys.RegionOf(Central); got != "r0" {
+		t.Fatalf("RegionOf(central) = %q, want r0", got)
+	}
+	if got := sys.RegionOf(3); got != "r1" {
+		t.Fatalf("RegionOf(3) = %q, want r1", got)
+	}
+	if got := sys.RegionOf(99); got != "" {
+		t.Fatalf("RegionOf(unknown) = %q, want empty", got)
+	}
+	if got := sys.Regions(); !reflect.DeepEqual(got, []string{"r0", "r1", "r2"}) {
+		t.Fatalf("Regions = %v", got)
+	}
+	want := map[string][]NodeID{"r0": {1, 2}, "r1": {3}, "r2": {4}}
+	if got := sys.RegionNodes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("RegionNodes = %v, want %v", got, want)
+	}
+}
+
+func TestRegionsUnlabeledSystem(t *testing.T) {
+	sys, err := NewSystem(100, cost.Default(), []Node{{ID: 1, Capacity: 10}})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if got := sys.Regions(); !reflect.DeepEqual(got, []string{""}) {
+		t.Fatalf("unlabeled Regions = %v, want [\"\"]", got)
+	}
+}
+
+func TestApplyTopologyDrivesDist(t *testing.T) {
+	sys := regionSystem(t)
+	if got := sys.Dist(1, 3); got != 1 {
+		t.Fatalf("Dist before topology = %v, want 1", got)
+	}
+	topo := cost.NewTopology(1, 8)
+	topo.SetLink("r1", "r2", 3)
+	sys.ApplyTopology(topo)
+	if got := sys.Dist(1, 2); got != 1 {
+		t.Fatalf("intra Dist = %v, want 1", got)
+	}
+	if got := sys.Dist(1, 3); got != 8 {
+		t.Fatalf("inter Dist = %v, want 8", got)
+	}
+	if got := sys.Dist(3, 4); got != 3 {
+		t.Fatalf("link-overridden Dist = %v, want 3", got)
+	}
+	if got := sys.Dist(3, Central); got != 8 {
+		t.Fatalf("to-central Dist = %v, want 8", got)
+	}
+	sys.ApplyTopology(nil)
+	if sys.Distance != nil || sys.Topology != nil {
+		t.Fatal("ApplyTopology(nil) should clear Distance and Topology")
+	}
+}
+
+func TestCloneRebindsTopology(t *testing.T) {
+	sys := regionSystem(t)
+	sys.ApplyTopology(cost.NewTopology(1, 8))
+	c := sys.Clone()
+	if c.Topology == sys.Topology {
+		t.Fatal("Clone should deep-copy the topology")
+	}
+	// Relabel a node on the clone: its Distance must follow the clone's
+	// labels, while the original keeps pricing the old layout.
+	c.Nodes[2].Region = "r0" // node 3 moves next to node 1
+	if got := c.Dist(1, 3); got != 1 {
+		t.Fatalf("clone Dist after relabel = %v, want 1", got)
+	}
+	if got := sys.Dist(1, 3); got != 8 {
+		t.Fatalf("original Dist after clone relabel = %v, want 8", got)
+	}
+}

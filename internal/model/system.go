@@ -3,6 +3,7 @@ package model
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"remo/internal/cost"
 )
@@ -18,6 +19,10 @@ type Node struct {
 	// only request attributes a node actually observes; the task manager
 	// drops pairs for attributes the node does not have.
 	Attrs []AttrID
+	// Region labels the node's failure and pricing domain (a datacenter
+	// or WAN region). Empty means the default region: an unlabeled
+	// system collapses to one region and topology pricing is a no-op.
+	Region string
 }
 
 // HasAttr reports whether attribute a is observable at the node.
@@ -32,7 +37,7 @@ func (n Node) HasAttr(a AttrID) bool {
 
 // Clone returns a deep copy of the node.
 func (n Node) Clone() Node {
-	return Node{ID: n.ID, Capacity: n.Capacity, Attrs: append([]AttrID(nil), n.Attrs...)}
+	return Node{ID: n.ID, Capacity: n.Capacity, Attrs: append([]AttrID(nil), n.Attrs...), Region: n.Region}
 }
 
 // System describes the monitored deployment: the monitoring nodes, the
@@ -55,6 +60,14 @@ type System struct {
 	// Receive cost is always the endpoint cost (forwarding is charged to
 	// the sender's side of the path).
 	Distance func(a, b NodeID) float64
+	// CentralRegion is the region hosting the central collector (and,
+	// in sharded sessions, the whole collector tier). Empty means the
+	// default region.
+	CentralRegion string
+	// Topology, when set via ApplyTopology, records the region-pair edge
+	// prices Distance was derived from, so verifiers can re-price edges
+	// independently of the installed Distance closure.
+	Topology *cost.Topology
 
 	index map[NodeID]int
 }
@@ -145,6 +158,66 @@ func (s *System) Dist(a, b NodeID) float64 {
 	return d
 }
 
+// RegionOf returns the region label of id: the central collector's
+// CentralRegion, a node's Region label, or the empty default region for
+// unknown ids.
+func (s *System) RegionOf(id NodeID) string {
+	if id.IsCentral() {
+		return s.CentralRegion
+	}
+	n, ok := s.Node(id)
+	if !ok {
+		return ""
+	}
+	return n.Region
+}
+
+// Regions returns the distinct region labels in use (nodes plus the
+// collector's), sorted ascending. An unlabeled system yields the single
+// default region "".
+func (s *System) Regions() []string {
+	seen := map[string]struct{}{s.CentralRegion: {}}
+	for _, n := range s.Nodes {
+		seen[n.Region] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegionNodes groups the monitoring node ids by region label, ascending
+// within each region.
+func (s *System) RegionNodes() map[string][]NodeID {
+	out := make(map[string][]NodeID)
+	for _, n := range s.Nodes {
+		out[n.Region] = append(out[n.Region], n.ID)
+	}
+	for _, ids := range out {
+		SortNodes(ids)
+	}
+	return out
+}
+
+// ApplyTopology derives Distance from per-region edge prices: sending
+// from a to b costs t.EdgeCost(RegionOf(a), RegionOf(b)) times the
+// endpoint cost. The planner's guided search, the incremental replanner
+// and the verifier's recount all consume Distance, so one call makes
+// the whole stack charge the WAN price. A nil topology clears Distance
+// back to uniform pricing.
+func (s *System) ApplyTopology(t *cost.Topology) {
+	s.Topology = t
+	if t == nil {
+		s.Distance = nil
+		return
+	}
+	s.Distance = func(a, b NodeID) float64 {
+		return t.EdgeCost(s.RegionOf(a), s.RegionOf(b))
+	}
+}
+
 // NodeIDs returns the monitoring node ids in ascending order.
 func (s *System) NodeIDs() []NodeID {
 	ids := make([]NodeID, 0, len(s.Nodes))
@@ -166,8 +239,14 @@ func (s *System) Clone() *System {
 		Nodes:           nodes,
 		Cost:            s.Cost,
 		Distance:        s.Distance,
+		CentralRegion:   s.CentralRegion,
 	}
 	c.buildIndex()
+	if s.Topology != nil {
+		// Rebind the topology-derived Distance to the clone so later
+		// region relabeling on either copy stays self-consistent.
+		c.ApplyTopology(s.Topology.Clone())
+	}
 	return c
 }
 

@@ -1,0 +1,79 @@
+package reliability
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"remo/internal/model"
+)
+
+// ErrColocated marks an observer group whose members all sit in one
+// region: region-spread replication cannot survive that region's loss.
+var ErrColocated = errors.New("reliability: observer group colocated in a single region")
+
+// SpreadRegions counts the distinct regions the given nodes span.
+func SpreadRegions(nodes []model.NodeID, regionOf func(model.NodeID) string) int {
+	if regionOf == nil {
+		return 1
+	}
+	seen := make(map[string]struct{}, len(nodes))
+	for _, n := range nodes {
+		seen[regionOf(n)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// RegionDSDP is the region-aware form of DSDP: it reorders every
+// observer group round-robin across regions before handing it to DSDP,
+// so the r-th replica's observers — and therefore the replica trees —
+// draw from as many distinct regions as the groups allow. The result is
+// the anti-colocation guarantee for critical attributes: no single
+// region holds every owner of a replicated value, so one region's loss
+// leaves at least one replica path alive. A group whose members all
+// share one region cannot be spread and returns ErrColocated.
+func RegionDSDP(name string, attr model.AttrID, groups ObserverGroups, replicas int, aliasBase model.AttrID, regionOf func(model.NodeID) string) (Rewrite, error) {
+	if regionOf == nil {
+		return Rewrite{}, fmt.Errorf("%w: no region labeling", ErrColocated)
+	}
+	spread := make(ObserverGroups, len(groups))
+	for i, g := range groups {
+		sg, err := regionSpreadOrder(g, regionOf)
+		if err != nil {
+			return Rewrite{}, fmt.Errorf("group %d: %w", i, err)
+		}
+		spread[i] = sg
+	}
+	return DSDP(name, attr, spread, replicas, aliasBase)
+}
+
+// regionSpreadOrder reorders one observer group so that consecutive
+// elements rotate through the group's regions: regions sorted by label,
+// nodes sorted by id within each region, then taken round-robin. The
+// ordering is a pure function of the inputs, keeping rewrites
+// deterministic.
+func regionSpreadOrder(g []model.NodeID, regionOf func(model.NodeID) string) ([]model.NodeID, error) {
+	byRegion := make(map[string][]model.NodeID)
+	for _, n := range g {
+		r := regionOf(n)
+		byRegion[r] = append(byRegion[r], n)
+	}
+	if len(byRegion) < 2 {
+		return nil, fmt.Errorf("%w: %d observers all in one region", ErrColocated, len(g))
+	}
+	regions := make([]string, 0, len(byRegion))
+	for r := range byRegion {
+		regions = append(regions, r)
+		model.SortNodes(byRegion[r])
+	}
+	sort.Strings(regions)
+	out := make([]model.NodeID, 0, len(g))
+	for k := 0; len(out) < len(g); k++ {
+		for _, r := range regions {
+			if k < len(byRegion[r]) {
+				out = append(out, byRegion[r][k])
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package reliability
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"remo/internal/model"
+)
+
+// threeRegions labels nodes 1-3 r0, 4-6 r1, 7-9 r2.
+func threeRegions(n model.NodeID) string {
+	switch {
+	case n <= 3:
+		return "r0"
+	case n <= 6:
+		return "r1"
+	default:
+		return "r2"
+	}
+}
+
+func TestSpreadRegions(t *testing.T) {
+	if got := SpreadRegions([]model.NodeID{1, 2, 4, 7}, threeRegions); got != 3 {
+		t.Fatalf("SpreadRegions = %d, want 3", got)
+	}
+	if got := SpreadRegions([]model.NodeID{1, 2}, threeRegions); got != 1 {
+		t.Fatalf("SpreadRegions = %d, want 1", got)
+	}
+	if got := SpreadRegions([]model.NodeID{1, 7}, nil); got != 1 {
+		t.Fatalf("SpreadRegions with nil labeling = %d, want 1", got)
+	}
+}
+
+func TestRegionDSDPSpreadsReplicas(t *testing.T) {
+	groups := ObserverGroups{
+		{1, 4, 7, 2}, // r0, r1, r2, r0
+		{5, 2, 8, 6}, // r1, r0, r2, r1
+	}
+	rw, err := RegionDSDP("crit", 9, groups, 2, 1000, threeRegions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Tasks) != 2 {
+		t.Fatalf("got %d tasks, want 2", len(rw.Tasks))
+	}
+	// Replica r takes the r-th element of every spread group; the spread
+	// ordering must hand consecutive replicas observers from distinct
+	// regions.
+	for g := range groups {
+		r0 := threeRegions(rw.Tasks[0].Nodes[g])
+		r1 := threeRegions(rw.Tasks[1].Nodes[g])
+		if r0 == r1 {
+			t.Fatalf("group %d: replicas colocated in %q (nodes %v, %v)",
+				g, r0, rw.Tasks[0].Nodes[g], rw.Tasks[1].Nodes[g])
+		}
+	}
+	// Round-robin over sorted regions with sorted nodes is fully
+	// deterministic.
+	again, err := RegionDSDP("crit", 9, groups, 2, 1000, threeRegions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rw.Tasks {
+		if !reflect.DeepEqual(rw.Tasks[i].Nodes, again.Tasks[i].Nodes) {
+			t.Fatalf("nondeterministic rewrite: %v vs %v", rw.Tasks[i].Nodes, again.Tasks[i].Nodes)
+		}
+	}
+	// Replicas still travel distinct trees: the alias constraint carries
+	// over from DSDP.
+	if rw.Aliases.Len() != 1 {
+		t.Fatalf("alias count = %d, want 1", rw.Aliases.Len())
+	}
+}
+
+func TestRegionDSDPColocatedGroup(t *testing.T) {
+	_, err := RegionDSDP("crit", 9, ObserverGroups{{1, 2, 3}}, 2, 1000, threeRegions)
+	if !errors.Is(err, ErrColocated) {
+		t.Fatalf("colocated group accepted: %v", err)
+	}
+	_, err = RegionDSDP("crit", 9, ObserverGroups{{1, 4}}, 2, 1000, nil)
+	if !errors.Is(err, ErrColocated) {
+		t.Fatalf("nil labeling accepted: %v", err)
+	}
+}
+
+func TestRegionDSDPKeepsDSDPValidation(t *testing.T) {
+	_, err := RegionDSDP("crit", 9, ObserverGroups{{1, 4}}, 1, 1000, threeRegions)
+	if !errors.Is(err, ErrBadReplicas) {
+		t.Fatalf("replicas=1 accepted: %v", err)
+	}
+	_, err = RegionDSDP("crit", 9, ObserverGroups{{1, 4}}, 3, 1000, threeRegions)
+	if !errors.Is(err, ErrSmallGroups) {
+		t.Fatalf("undersized group accepted: %v", err)
+	}
+}

@@ -244,10 +244,11 @@ func (s *Server) handleSystem(w http.ResponseWriter, r *http.Request) {
 		ID       int     `json:"id"`
 		Capacity float64 `json:"capacity"`
 		Attrs    []int   `json:"attrs"`
+		Region   string  `json:"region,omitempty"`
 	}
 	nodes := make([]nodeWire, 0, len(sys.Nodes))
 	for _, n := range sys.Nodes {
-		nw := nodeWire{ID: int(n.ID), Capacity: n.Capacity, Attrs: []int{}}
+		nw := nodeWire{ID: int(n.ID), Capacity: n.Capacity, Attrs: []int{}, Region: n.Region}
 		for _, a := range n.Attrs {
 			nw.Attrs = append(nw.Attrs, int(a))
 		}
@@ -555,12 +556,32 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"round":       s.mon.Round(),
 		"fingerprint": s.mon.Fingerprint(),
 		"tasks":       tasks,
 		"values":      values,
-	})
+	}
+	// Region-labeled systems carry the WAN view: each region's label,
+	// monitoring-node count, and live coverage percentage.
+	sys := s.planner.System()
+	if names := sys.Regions(); len(names) > 1 {
+		type regionWire struct {
+			Name     string  `json:"name"`
+			Nodes    int     `json:"nodes"`
+			Coverage float64 `json:"coverage"`
+		}
+		cov := s.mon.RegionCoverage()
+		byRegion := sys.RegionNodes()
+		regions := make([]regionWire, 0, len(names))
+		for _, name := range names {
+			regions = append(regions, regionWire{
+				Name: name, Nodes: len(byRegion[name]), Coverage: cov[name],
+			})
+		}
+		resp["regions"] = regions
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // queryInt parses an integer query parameter with a default.

@@ -244,6 +244,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mon = mon
 
+	// Region-labeled systems expose per-region coverage as a labeled
+	// gauge family, refreshed from the live session at scrape time.
+	if len(cfg.Planner.System().Regions()) > 1 {
+		reg.LabeledGaugeFunc("remo_region_coverage",
+			"per-region coverage percent of demanded pairs", "region",
+			func() map[string]float64 { return mon.RegionCoverage() })
+	}
+
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	go s.backend()
 	return s, nil

@@ -327,6 +327,117 @@ func TestMetricsExposition(t *testing.T) {
 	}
 }
 
+// regionTestServer boots a Server over a 12-node, 3-region system
+// (4 nodes per region, collector in r0, WAN-priced inter-region edges).
+func regionTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	nodes := make([]remo.Node, 12)
+	for i := range nodes {
+		nodes[i] = remo.Node{
+			ID:       remo.NodeID(i + 1),
+			Capacity: 120,
+			Attrs:    []remo.AttrID{1, 2, 3, 4},
+			Region:   remo.RegionName(i / 4),
+		}
+	}
+	sys, err := remo.NewSystem(remo.SystemSpec{
+		CentralCapacity: 600,
+		Cost:            remo.CostModel{PerMessage: 10, PerValue: 1},
+		Nodes:           nodes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.CentralRegion = remo.RegionName(0)
+	sys.ApplyTopology(remo.NewTopology(1, 0))
+	p := remo.NewPlanner(sys, remo.WithJournal(t.TempDir()))
+	s, err := New(Config{
+		Planner:      p,
+		Monitor:      remo.MonitorConfig{Seed: 42},
+		RoundEvery:   2 * time.Millisecond,
+		MaxBodyBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain()
+	})
+	return s, ts
+}
+
+// TestRegionSurface pins the WAN view of the wire contract: /v1/system
+// carries node region labels, /v1/state carries per-region coverage,
+// and /metrics exposes the remo_region_coverage family (pinned by a
+// golden file once every region converges to full coverage).
+func TestRegionSurface(t *testing.T) {
+	_, ts := regionTestServer(t)
+	base := ts.URL
+	// One task per region so every region demands pairs.
+	for r := 0; r < 3; r++ {
+		id := admitTask(t, base, fmt.Sprintf("task-r%d", r), []int{1, 2}, []int{4*r + 1, 4*r + 2})
+		waitOp(t, base, id)
+	}
+
+	_, body := do(t, http.MethodGet, base+"/v1/system", "")
+	var sysOut struct {
+		Nodes []struct {
+			ID     int    `json:"id"`
+			Region string `json:"region"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &sysOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range sysOut.Nodes {
+		if want := remo.RegionName((n.ID - 1) / 4); n.Region != want {
+			t.Fatalf("node %d region = %q, want %q", n.ID, n.Region, want)
+		}
+	}
+
+	// Coverage needs a completed round; poll until every region reads
+	// 100% in /v1/state, then pin the /metrics family with the golden.
+	type regionJSON struct {
+		Name     string  `json:"name"`
+		Nodes    int     `json:"nodes"`
+		Coverage float64 `json:"coverage"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body = do(t, http.MethodGet, base+"/v1/state", "")
+		var state struct {
+			Regions []regionJSON `json:"regions"`
+		}
+		if err := json.Unmarshal(body, &state); err != nil {
+			t.Fatal(err)
+		}
+		full := len(state.Regions) == 3
+		for _, reg := range state.Regions {
+			if reg.Nodes != 4 || reg.Coverage < 100 {
+				full = false
+			}
+		}
+		if full {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("regions never converged to full coverage: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	_, body = do(t, http.MethodGet, base+"/metrics", "")
+	var family []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.Contains(line, "remo_region_coverage") {
+			family = append(family, line)
+		}
+	}
+	checkGolden(t, "region_metrics", []byte(strings.Join(family, "\n")+"\n"))
+}
+
 // TestDrainRejectsAndResumes pins drain semantics: mutations are
 // rejected with the draining envelope, the journal is sealed, and a
 // cold ResumeMonitor accepts it.

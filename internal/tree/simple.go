@@ -6,31 +6,33 @@ import (
 	"remo/internal/model"
 )
 
-// pickFunc orders candidate parents for the next attachment; the first
-// feasible candidate wins.
-type pickFunc func(s *state) []model.NodeID
+// pickFunc orders candidate parents for attaching node n; the first
+// feasible candidate wins. Every scheme defers to byEdgeCost first, so
+// on a distance-priced system (racks, WAN regions) cheap edges beat the
+// scheme's shape preference and trees cluster by locality.
+type pickFunc func(s *state, n model.NodeID) []model.NodeID
 
 // pickLowestHeight prefers parents close to the root (STAR: bushy trees).
-func pickLowestHeight(s *state) []model.NodeID {
-	return s.membersByDepth()
+func pickLowestHeight(s *state, n model.NodeID) []model.NodeID {
+	return s.byEdgeCost(n, s.membersByDepth())
 }
 
 // pickHighestHeight prefers the deepest parents (CHAIN: long trees).
-func pickHighestHeight(s *state) []model.NodeID {
+func pickHighestHeight(s *state, n model.NodeID) []model.NodeID {
 	members := s.membersByDepth()
 	for i, j := 0, len(members)-1; i < j; i, j = i+1, j-1 {
 		members[i], members[j] = members[j], members[i]
 	}
-	return members
+	return s.byEdgeCost(n, members)
 }
 
 // pickMaxAvailable prefers the parent with the most remaining headroom
 // (the TMON MAX_AVB heuristic).
-func pickMaxAvailable(s *state) []model.NodeID {
+func pickMaxAvailable(s *state, n model.NodeID) []model.NodeID {
 	members := s.tree.Members()
 	keys := make([]memberKey, len(members))
-	for i, n := range members {
-		keys[i] = memberKey{n: n, headroom: s.avail(n) - s.usage[n]}
+	for i, m := range members {
+		keys[i] = memberKey{n: m, headroom: s.avail(m) - s.usage[m]}
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		a, b := keys[i], keys[j]
@@ -42,7 +44,7 @@ func pickMaxAvailable(s *state) []model.NodeID {
 	for i, k := range keys {
 		members[i] = k.n
 	}
-	return members
+	return s.byEdgeCost(n, members)
 }
 
 // simpleBuilder adds nodes in order of decreasing available capacity,
@@ -71,7 +73,12 @@ func (b simpleBuilder) Build(ctx Context) Result {
 }
 
 // orderByAvail returns the participants in decreasing order of available
-// capacity (ties by id), the insertion order shared by all schemes.
+// capacity (ties by id), the insertion order shared by all schemes. On a
+// distance-priced system the cheapest-to-collector candidate is promoted
+// to the front: the first insertion becomes the tree root, and the
+// root→collector edge carries the whole tree's aggregate every round, so
+// the root should sit as close to the collector as the candidate set
+// allows.
 func orderByAvail(ctx Context) []model.NodeID {
 	nodes := append([]model.NodeID(nil), ctx.Nodes...)
 	sort.Slice(nodes, func(i, j int) bool {
@@ -81,6 +88,19 @@ func orderByAvail(ctx Context) []model.NodeID {
 		}
 		return nodes[i] < nodes[j]
 	})
+	if ctx.Sys.Distance != nil && len(nodes) > 1 {
+		best := 0
+		for i := 1; i < len(nodes); i++ {
+			if ctx.Sys.Dist(nodes[i], model.Central) < ctx.Sys.Dist(nodes[best], model.Central) {
+				best = i
+			}
+		}
+		if best != 0 {
+			root := nodes[best]
+			copy(nodes[1:best+1], nodes[:best])
+			nodes[0] = root
+		}
+	}
 	return nodes
 }
 
@@ -90,7 +110,7 @@ func attachBest(s *state, n model.NodeID, pick pickFunc) bool {
 	if s.tree.Empty() {
 		return s.attach(n, model.Central)
 	}
-	for _, p := range pick(s) {
+	for _, p := range pick(s, n) {
 		if s.attach(n, p) {
 			return true
 		}

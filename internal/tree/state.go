@@ -516,6 +516,38 @@ func (s *state) membersByDepth() []model.NodeID {
 	return members
 }
 
+// byEdgeCost reorders candidate parents by the distance factor of the
+// would-be edge from n, cheapest first, preserving the scheme's own
+// preference order among equal-cost candidates. On a system without a
+// distance function the order is untouched, so uniform-priced builds are
+// bit-identical to the distance-oblivious algorithm.
+func (s *state) byEdgeCost(n model.NodeID, members []model.NodeID) []model.NodeID {
+	if s.ctx.Sys.Distance == nil || len(members) < 2 {
+		return members
+	}
+	d := make([]float64, len(members))
+	uniform := true
+	for i, p := range members {
+		d[i] = s.ctx.Sys.Dist(n, p)
+		if d[i] != d[0] {
+			uniform = false
+		}
+	}
+	if uniform {
+		return members
+	}
+	idx := make([]int, len(members))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return d[idx[i]] < d[idx[j]] })
+	out := make([]model.NodeID, len(members))
+	for i, k := range idx {
+		out[i] = members[k]
+	}
+	return out
+}
+
 // result converts the final state into a Result.
 func (s *state) result(excluded []model.NodeID) Result {
 	used := make(map[model.NodeID]float64, len(s.usage))

@@ -1,0 +1,128 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"remo/internal/plan"
+)
+
+// Region-aware additions to the error taxonomy (every failed check
+// wraps exactly one of these, like the core set in verify.go).
+var (
+	// ErrRegion marks a surviving region whose coverage fell below the
+	// configured floor during a region loss.
+	ErrRegion = errors.New("verify: region coverage below floor")
+	// ErrTopology marks ledger charges that disagree with an independent
+	// recount priced from the system's region topology.
+	ErrTopology = errors.New("verify: charges disagree with topology prices")
+)
+
+// RegionCoverageMap recounts, per region, the percentage of demanded
+// node-attribute pairs the forest delivers (100 when a region demands
+// nothing). Pairs are attributed to the region of the node observing
+// them, so the map answers "how well is each region's telemetry
+// covered" independent of where the trees route.
+func RegionCoverageMap(ctx Context, f *plan.Forest) map[string]float64 {
+	demanded := make(map[string]int)
+	collected := make(map[string]int)
+	if ctx.Sys == nil || ctx.Demand == nil {
+		return nil
+	}
+	for _, p := range ctx.Demand.Pairs() {
+		demanded[ctx.Sys.RegionOf(p.Node)]++
+	}
+	if f != nil {
+		for _, p := range f.CollectedPairs(ctx.Demand) {
+			collected[ctx.Sys.RegionOf(p.Node)]++
+		}
+	}
+	out := make(map[string]float64, len(demanded))
+	for r, d := range demanded {
+		if d == 0 {
+			out[r] = 100
+			continue
+		}
+		out[r] = 100 * float64(collected[r]) / float64(d)
+	}
+	return out
+}
+
+// RegionCoverage asserts the region-loss survival invariant: with the
+// regions in lost written off entirely, every surviving region's
+// coverage (per RegionCoverageMap) must meet floorPct. A nil lost set
+// checks all regions — the steady-state form of the same floor.
+func RegionCoverage(ctx Context, f *plan.Forest, lost map[string]bool, floorPct float64) error {
+	cov := RegionCoverageMap(ctx, f)
+	if cov == nil {
+		return fmt.Errorf("%w: nil system or demand", ErrRegion)
+	}
+	regions := make([]string, 0, len(cov))
+	for r := range cov {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	for _, r := range regions {
+		if lost[r] {
+			continue
+		}
+		if cov[r] < floorPct-capacityEps {
+			return fmt.Errorf("%w: region %q covers %.1f%% of its demand, floor %.1f%% (lost: %v)",
+				ErrRegion, r, cov[r], floorPct, lostList(lost))
+		}
+	}
+	return nil
+}
+
+// lostList renders the lost set deterministically for error messages.
+func lostList(lost map[string]bool) []string {
+	out := make([]string, 0, len(lost))
+	for r, isLost := range lost {
+		if isLost {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopologyCharge asserts that claimed statistics match a recount priced
+// straight from the system's region topology, independent of the
+// installed Distance closure: the shadow system rebinds Distance from
+// Topology.EdgeCost (via Clone/ApplyTopology), so a tampered or stale
+// closure — charges that drifted from the declared per-edge prices —
+// surfaces as ErrTopology. Systems without a topology have nothing to
+// cross-check and pass vacuously.
+func TopologyCharge(ctx Context, f *plan.Forest, st plan.Stats) error {
+	if ctx.Sys == nil || f == nil {
+		return fmt.Errorf("%w: nil system or forest", ErrTopology)
+	}
+	if ctx.Sys.Topology == nil {
+		return nil
+	}
+	shadow := ctx
+	shadow.Sys = ctx.Sys.Clone()
+	rc := Recount(shadow, f)
+	for n, u := range rc.Usage {
+		if !closeEnough(st.Usage[n], u) {
+			return fmt.Errorf("%w: node %v charged %.6f, topology prices %.6f",
+				ErrTopology, n, st.Usage[n], u)
+		}
+	}
+	for n, u := range st.Usage {
+		if _, ok := rc.Usage[n]; !ok && u > capacityEps {
+			return fmt.Errorf("%w: node %v charged %.6f but is placed in no tree",
+				ErrTopology, n, u)
+		}
+	}
+	if !closeEnough(st.CentralUsage, rc.CentralUsage) {
+		return fmt.Errorf("%w: central charged %.6f, topology prices %.6f",
+			ErrTopology, st.CentralUsage, rc.CentralUsage)
+	}
+	if !closeEnough(st.TotalCost, rc.TotalCost) {
+		return fmt.Errorf("%w: total charged %.6f, topology prices %.6f",
+			ErrTopology, st.TotalCost, rc.TotalCost)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package verify_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"remo/internal/core"
+	"remo/internal/plan"
+	"remo/internal/verify"
+	"remo/internal/workload"
+)
+
+// regionPlanned builds and plans a 3-region topology-priced instance.
+func regionPlanned(t *testing.T, seed int64) (verify.Context, *plan.Forest, plan.Stats) {
+	t.Helper()
+	sys, err := workload.System(workload.SystemConfig{
+		Nodes: 18, Attrs: 6, CapacityLo: 400, CapacityHi: 600,
+		CentralCapacity: 1e6, Regions: 3, InterRegionCost: 5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := workload.Tasks(sys, workload.TaskConfig{
+		Count: 8, AttrsPerTask: 3, NodesPerTask: 9, Seed: seed,
+	})
+	d, err := workload.Demand(sys, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.NewPlanner().Plan(sys, d)
+	return verify.Context{Sys: sys, Demand: d}, res.Forest, res.Stats
+}
+
+func TestRegionCoverageMapPartitionsDemand(t *testing.T) {
+	ctx, f, st := regionPlanned(t, 21)
+	cov := verify.RegionCoverageMap(ctx, f)
+	if len(cov) != 3 {
+		t.Fatalf("coverage map has %d regions, want 3: %v", len(cov), cov)
+	}
+	for r, pct := range cov {
+		if pct < 0 || pct > 100 {
+			t.Fatalf("region %q coverage %v out of range", r, pct)
+		}
+	}
+	// Regional collected counts must sum to the planner's global claim.
+	demanded := make(map[string]int)
+	for _, p := range ctx.Demand.Pairs() {
+		demanded[ctx.Sys.RegionOf(p.Node)]++
+	}
+	var sum float64
+	for r, pct := range cov {
+		sum += pct / 100 * float64(demanded[r])
+	}
+	if got := int(sum + 0.5); got != st.Collected {
+		t.Fatalf("regional coverage sums to %d pairs, planner claims %d", got, st.Collected)
+	}
+}
+
+func TestRegionCoverageFloor(t *testing.T) {
+	ctx, f, _ := regionPlanned(t, 22)
+	if err := verify.RegionCoverage(ctx, f, nil, 0); err != nil {
+		t.Fatalf("floor 0 failed: %v", err)
+	}
+	err := verify.RegionCoverage(ctx, f, nil, 101)
+	if !errors.Is(err, verify.ErrRegion) {
+		t.Fatalf("floor 101 passed: %v", err)
+	}
+	// An empty forest covers nothing: every region trips the floor —
+	// unless it is written off as lost.
+	empty := &plan.Forest{}
+	err = verify.RegionCoverage(ctx, empty, nil, 50)
+	if !errors.Is(err, verify.ErrRegion) {
+		t.Fatalf("empty forest passed the floor: %v", err)
+	}
+	lost := map[string]bool{"r0": true, "r1": true, "r2": true}
+	if err := verify.RegionCoverage(ctx, empty, lost, 50); err != nil {
+		t.Fatalf("all-lost floor check should pass vacuously: %v", err)
+	}
+	// The violation message names the region and the lost set.
+	err = verify.RegionCoverage(ctx, empty, map[string]bool{"r1": true}, 50)
+	if err == nil || !strings.Contains(err.Error(), `"r0"`) || !strings.Contains(err.Error(), "r1") {
+		t.Fatalf("unhelpful violation message: %v", err)
+	}
+}
+
+func TestRegionCoverageNilContext(t *testing.T) {
+	err := verify.RegionCoverage(verify.Context{}, &plan.Forest{}, nil, 50)
+	if !errors.Is(err, verify.ErrRegion) {
+		t.Fatalf("nil context passed: %v", err)
+	}
+	if verify.RegionCoverageMap(verify.Context{}, nil) != nil {
+		t.Fatal("nil context should yield a nil map")
+	}
+}
+
+func TestTopologyChargeAgreesWithPlanner(t *testing.T) {
+	ctx, f, st := regionPlanned(t, 23)
+	if err := verify.TopologyCharge(ctx, f, st); err != nil {
+		t.Fatalf("topology-priced stats failed the charge check: %v", err)
+	}
+}
+
+func TestTopologyChargeCatchesDriftedDistance(t *testing.T) {
+	ctx, f, _ := regionPlanned(t, 24)
+	// Stats priced with a tampered (uniform) Distance disagree with the
+	// declared per-edge prices.
+	uniform := ctx.Sys.Clone()
+	uniform.ApplyTopology(nil)
+	blind := f.ComputeStats(ctx.Demand, uniform, nil)
+	err := verify.TopologyCharge(ctx, f, blind)
+	if !errors.Is(err, verify.ErrTopology) {
+		t.Fatalf("drifted charges passed: %v", err)
+	}
+}
+
+func TestTopologyChargeVacuousWithoutTopology(t *testing.T) {
+	ctx, f, st := planned(t, 7)
+	if ctx.Sys.Topology != nil {
+		t.Fatal("generated instance unexpectedly has a topology")
+	}
+	if err := verify.TopologyCharge(ctx, f, st); err != nil {
+		t.Fatalf("topology-less system should pass vacuously: %v", err)
+	}
+	err := verify.TopologyCharge(verify.Context{}, nil, plan.Stats{})
+	if !errors.Is(err, verify.ErrTopology) {
+		t.Fatalf("nil inputs passed: %v", err)
+	}
+}

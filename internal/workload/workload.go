@@ -28,9 +28,21 @@ type SystemConfig struct {
 	CentralCapacity float64
 	// Cost is the message cost model; zero value uses cost.Default().
 	Cost cost.Model
+	// Regions, when > 1, partitions the nodes into that many contiguous
+	// region blocks labeled r0..r{Regions-1} (the central collector sits
+	// in r0) and applies WAN topology pricing: intra-region edges cost 1,
+	// inter-region edges cost InterRegionCost.
+	Regions int
+	// InterRegionCost is the inter-region edge multiplier (default
+	// cost.DefaultInterRegionCost; ignored unless Regions > 1).
+	InterRegionCost float64
 	// Seed drives the generator.
 	Seed int64
 }
+
+// RegionName labels region index i as the generator does ("r0", "r1",
+// ...), shared with remo-sim's chaos wiring.
+func RegionName(i int) string { return fmt.Sprintf("r%d", i) }
 
 // System builds a synthetic system from the config.
 func System(cfg SystemConfig) (*model.System, error) {
@@ -58,8 +70,18 @@ func System(cfg SystemConfig) (*model.System, error) {
 			Capacity: cfg.CapacityLo + rng.Float64()*(cfg.CapacityHi-cfg.CapacityLo),
 			Attrs:    attrs,
 		}
+		if cfg.Regions > 1 {
+			// Contiguous blocks, remainder spread over the first regions.
+			nodes[i].Region = RegionName(i * cfg.Regions / cfg.Nodes)
+		}
 	}
-	return model.NewSystem(central, cfg.Cost, nodes)
+	sys, err := model.NewSystem(central, cfg.Cost, nodes)
+	if err != nil || cfg.Regions <= 1 {
+		return sys, err
+	}
+	sys.CentralRegion = RegionName(0)
+	sys.ApplyTopology(cost.NewTopology(1, cfg.InterRegionCost))
+	return sys, nil
 }
 
 // TaskConfig parameterizes task generation: Count tasks, each monitoring

@@ -190,3 +190,51 @@ func TestRackDistance(t *testing.T) {
 		t.Fatalf("rackSize 0: %v", got)
 	}
 }
+
+func TestSystemRegions(t *testing.T) {
+	sys, err := System(SystemConfig{
+		Nodes: 10, Attrs: 4, CapacityLo: 10, CapacityHi: 20,
+		Regions: 3, InterRegionCost: 6, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRegion := sys.RegionNodes()
+	if len(byRegion) != 3 {
+		t.Fatalf("got %d regions, want 3", len(byRegion))
+	}
+	// Contiguous blocks: 10 nodes over 3 regions = 4/3/3.
+	if got := len(byRegion[RegionName(0)]); got != 4 {
+		t.Fatalf("r0 has %d nodes, want 4", got)
+	}
+	if sys.CentralRegion != RegionName(0) {
+		t.Fatalf("CentralRegion = %q, want r0", sys.CentralRegion)
+	}
+	if sys.Topology == nil || sys.Distance == nil {
+		t.Fatal("region generation must apply a topology")
+	}
+	r0 := byRegion[RegionName(0)]
+	r1 := byRegion[RegionName(1)]
+	if got := sys.Dist(r0[0], r0[1]); got != 1 {
+		t.Fatalf("intra-region Dist = %v, want 1", got)
+	}
+	if got := sys.Dist(r0[0], r1[0]); got != 6 {
+		t.Fatalf("inter-region Dist = %v, want 6", got)
+	}
+	if got := sys.Dist(r1[0], model.Central); got != 6 {
+		t.Fatalf("r1-to-central Dist = %v, want 6", got)
+	}
+}
+
+func TestSystemNoRegionsByDefault(t *testing.T) {
+	sys, err := System(SystemConfig{Nodes: 5, Attrs: 2, CapacityLo: 10, CapacityHi: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Topology != nil || sys.Distance != nil {
+		t.Fatal("regionless generation must not apply a topology")
+	}
+	if got := len(sys.Regions()); got != 1 {
+		t.Fatalf("regionless system has %d regions, want 1", got)
+	}
+}

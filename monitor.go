@@ -228,6 +228,7 @@ func (p *Planner) startMonitor(cfg MonitorConfig, demand *task.Demand, seedSets 
 			det.SuspicionRounds = cfg.Failure.SuspicionRounds
 		}
 	}
+	labelRegionChaos(cfg.Chaos, p.sys)
 	if cfg.Journal == "" {
 		cfg.Journal = p.journalDir
 	}

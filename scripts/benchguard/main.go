@@ -49,8 +49,11 @@ func run(args []string) error {
 	if len(args) == 2 && args[0] == "-service" {
 		return runService(args[1])
 	}
+	if len(args) == 2 && args[0] == "-region" {
+		return runRegion(args[1])
+	}
 	if len(args) != 2 {
-		return fmt.Errorf("usage: benchguard <bench-output-file> <BENCH_planner.json> | benchguard -shard <BENCH_shard.json> | benchguard -suppress <BENCH_suppress.json> | benchguard -service <BENCH_service.json>")
+		return fmt.Errorf("usage: benchguard <bench-output-file> <BENCH_planner.json> | benchguard -shard <BENCH_shard.json> | benchguard -suppress <BENCH_suppress.json> | benchguard -service <BENCH_service.json> | benchguard -region <BENCH_region.json>")
 	}
 	seqNS, parNS, err := parseBench(args[0])
 	if err != nil {
@@ -213,6 +216,118 @@ func runSuppress(path string) error {
 	if reduction < suppressReductionFloor {
 		return fmt.Errorf("recorded ε=1%% byte reduction %.2fx is below the %.2fx floor",
 			reduction, suppressReductionFloor)
+	}
+	return nil
+}
+
+// regionReductionFloor is the acceptance bound on WAN topology
+// awareness: the headline 3-region row of the recorded cross-region
+// byte sweep must ship at least 2x fewer inter-region bytes than the
+// topology-blind plan of the identical workload.
+const regionReductionFloor = 2.0
+
+// regionParitySlackPct bounds how much collection coverage the
+// topology-aware plan may give up against the blind plan: awareness
+// must reroute bytes, never shed demand.
+const regionParitySlackPct = 0.5
+
+// regionSurvivorFloorPct is the coverage every surviving region must
+// hold on the final row of the recorded region-loss timeline.
+const regionSurvivorFloorPct = 90.0
+
+// runRegion gates the recorded WAN-topology headline in
+// BENCH_region.json: the 3-region row of the cross-region byte sweep
+// keeps REDUCTION_X at or above the floor with blind/aware coverage
+// parity, and the region-loss timeline's final row holds the surviving
+// coverage floor with at least one automatic repair recorded. Like the
+// shard, suppression and service gates this checks the checked-in
+// document — check.sh's region smoke re-drives a seeded region loss at
+// a reduced scale, and the recorded full-scale run is the contract.
+func runRegion(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var docs []runDoc
+	if err := json.Unmarshal(raw, &docs); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	bytesChecked, timelineChecked := false, false
+	for _, doc := range docs {
+		for _, t := range doc.Tables {
+			col := make(map[string]int)
+			for i, c := range t.Columns {
+				col[c] = i
+			}
+			switch {
+			case strings.Contains(t.Title, "cross-region bytes"):
+				for _, name := range []string{"REDUCTION_X", "COV_BLIND_PCT", "COV_AWARE_PCT"} {
+					if _, ok := col[name]; !ok {
+						return fmt.Errorf("%s: cross-region table lacks a %s column", path, name)
+					}
+				}
+				for _, r := range t.Rows {
+					if r.X != 3 {
+						continue
+					}
+					if len(r.Cells) < len(t.Columns) {
+						return fmt.Errorf("%s: 3-region row is missing cells", path)
+					}
+					red := r.Cells[col["REDUCTION_X"]]
+					blind, aware := r.Cells[col["COV_BLIND_PCT"]], r.Cells[col["COV_AWARE_PCT"]]
+					fmt.Printf("    3-region WAN: %.2fx fewer cross-region bytes (floor %.2fx), coverage blind %.1f%% vs aware %.1f%%\n",
+						red, regionReductionFloor, blind, aware)
+					if red < regionReductionFloor {
+						return fmt.Errorf("recorded 3-region byte reduction %.2fx is below the %.2fx floor",
+							red, regionReductionFloor)
+					}
+					if blind-aware > regionParitySlackPct {
+						return fmt.Errorf("topology-aware coverage %.2f%% sheds more than %.2f%% against blind %.2f%%",
+							aware, regionParitySlackPct, blind)
+					}
+					bytesChecked = true
+				}
+				if !bytesChecked {
+					return fmt.Errorf("%s: cross-region table lacks a 3-region row", path)
+				}
+			case strings.Contains(t.Title, "region-loss timeline"):
+				for _, name := range []string{"MIN_SURV_COV_PCT", "REPAIRS"} {
+					if _, ok := col[name]; !ok {
+						return fmt.Errorf("%s: timeline table lacks a %s column", path, name)
+					}
+				}
+				if len(t.Rows) == 0 {
+					return fmt.Errorf("%s: timeline table has no rows", path)
+				}
+				final := t.Rows[0]
+				for _, r := range t.Rows[1:] {
+					if r.X > final.X {
+						final = r
+					}
+				}
+				if len(final.Cells) < len(t.Columns) {
+					return fmt.Errorf("%s: final timeline row is missing cells", path)
+				}
+				surv := final.Cells[col["MIN_SURV_COV_PCT"]]
+				repairs := final.Cells[col["REPAIRS"]]
+				fmt.Printf("    region loss: surviving coverage %.1f%% at round %g (floor %.1f%%), %g repairs\n",
+					surv, final.X, regionSurvivorFloorPct, repairs)
+				if surv < regionSurvivorFloorPct {
+					return fmt.Errorf("recorded surviving coverage %.2f%% after the region loss is below the %.1f%% floor",
+						surv, regionSurvivorFloorPct)
+				}
+				if repairs < 1 {
+					return fmt.Errorf("recorded region-loss timeline shows no automatic repairs")
+				}
+				timelineChecked = true
+			}
+		}
+	}
+	if !bytesChecked {
+		return fmt.Errorf("%s: no cross-region byte table", path)
+	}
+	if !timelineChecked {
+		return fmt.Errorf("%s: no region-loss timeline table", path)
 	}
 	return nil
 }

@@ -315,6 +315,98 @@ func TestServiceGateInputErrors(t *testing.T) {
 	}
 }
 
+const regionJSON = `[
+  {
+    "name": "region",
+    "tables": [
+      {
+        "Title": "WAN topology — cross-region bytes, topology-blind vs topology-aware planning (Fig 6a shape, x = regions)",
+        "Columns": ["CROSS_KB_BLIND", "CROSS_KB_AWARE", "REDUCTION_X", "COV_BLIND_PCT", "COV_AWARE_PCT"],
+        "Rows": [
+          {"X": 2, "Cells": [4600, 1440, 3.2, 100, 100]},
+          {"X": 3, "Cells": [5200, 1900, 2.7, 100, 100]},
+          {"X": 6, "Cells": [5800, 2400, 2.4, 100, 100]}
+        ]
+      },
+      {
+        "Title": "WAN topology — region-loss timeline: surviving coverage through partition, detection and repair",
+        "Columns": ["MIN_SURV_COV_PCT", "LOST_COV_PCT", "REPAIRS"],
+        "Rows": [
+          {"X": 9, "Cells": [100, 100, 0]},
+          {"X": 13, "Cells": [100, 0, 1]},
+          {"X": 30, "Cells": [100, 0, 1]}
+        ]
+      }
+    ]
+  }
+]`
+
+func TestRegionGatePasses(t *testing.T) {
+	doc := write(t, "BENCH_region.json", regionJSON)
+	if err := run([]string{"-region", doc}); err != nil {
+		t.Fatalf("run failed inside the bounds: %v", err)
+	}
+}
+
+func TestRegionGateFailsBelowReductionFloor(t *testing.T) {
+	weak := strings.ReplaceAll(regionJSON, `[5200, 1900, 2.7, 100, 100]`, `[5200, 3000, 1.7, 100, 100]`)
+	err := run([]string{"-region", write(t, "weak.json", weak)})
+	if err == nil || !strings.Contains(err.Error(), "below the") {
+		t.Fatalf("run below the reduction floor returned %v, want floor error", err)
+	}
+}
+
+func TestRegionGateFailsOnCoverageShed(t *testing.T) {
+	shed := strings.ReplaceAll(regionJSON, `[5200, 1900, 2.7, 100, 100]`, `[5200, 1900, 2.7, 100, 97]`)
+	err := run([]string{"-region", write(t, "shed.json", shed)})
+	if err == nil || !strings.Contains(err.Error(), "sheds") {
+		t.Fatalf("run with shed coverage returned %v, want parity error", err)
+	}
+}
+
+func TestRegionGateFailsOnSurvivorFloor(t *testing.T) {
+	// The final timeline row (largest round) decides; earlier dips don't.
+	low := strings.ReplaceAll(regionJSON, `{"X": 30, "Cells": [100, 0, 1]}`, `{"X": 30, "Cells": [70, 0, 1]}`)
+	err := run([]string{"-region", write(t, "low.json", low)})
+	if err == nil || !strings.Contains(err.Error(), "surviving coverage") {
+		t.Fatalf("run below the survivor floor returned %v, want floor error", err)
+	}
+	noRepair := strings.ReplaceAll(regionJSON, `{"X": 30, "Cells": [100, 0, 1]}`, `{"X": 30, "Cells": [100, 0, 0]}`)
+	err = run([]string{"-region", write(t, "norepair.json", noRepair)})
+	if err == nil || !strings.Contains(err.Error(), "repairs") {
+		t.Fatalf("run without repairs returned %v, want repair error", err)
+	}
+}
+
+func TestRegionGateInputErrors(t *testing.T) {
+	if err := run([]string{"-region", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("missing document accepted")
+	}
+	noRow := strings.ReplaceAll(regionJSON, `"X": 3,`, `"X": 4,`)
+	if err := run([]string{"-region", write(t, "norow.json", noRow)}); err == nil {
+		t.Fatal("document without a 3-region row accepted")
+	}
+	noCol := strings.ReplaceAll(regionJSON, "REDUCTION_X", "REDUCTION")
+	if err := run([]string{"-region", write(t, "nocol.json", noCol)}); err == nil {
+		t.Fatal("document without a REDUCTION_X column accepted")
+	}
+	noTimeline := strings.ReplaceAll(regionJSON, "region-loss timeline", "other")
+	if err := run([]string{"-region", write(t, "notimeline.json", noTimeline)}); err == nil {
+		t.Fatal("document without a timeline table accepted")
+	}
+	if err := run([]string{"-region", write(t, "garbage.json", "{")}); err == nil {
+		t.Fatal("unparseable document accepted")
+	}
+}
+
+func TestRegionGateAgainstCheckedInDocument(t *testing.T) {
+	// The real gate in check.sh runs against the repo's
+	// BENCH_region.json; keep the checked-in document passing.
+	if err := run([]string{"-region", "../../BENCH_region.json"}); err != nil {
+		t.Fatalf("checked-in BENCH_region.json fails the gate: %v", err)
+	}
+}
+
 func TestServiceGateAgainstCheckedInDocument(t *testing.T) {
 	// The real gate in check.sh runs against the repo's
 	// BENCH_service.json; keep the checked-in document passing.

@@ -67,6 +67,24 @@ echo "==> suppression benchmark (1 iteration) + headline gate (BENCH_suppress.js
 go test -run '^$' -bench 'BenchmarkSuppress' -benchtime 1x .
 go run ./scripts/benchguard -suppress BENCH_suppress.json
 
+echo "==> region chaos smoke (region partition + re-homing, verified, under -race)"
+go test -race -count=1 -run 'TestRegion' . ./internal/chaos ./internal/verify ./internal/reliability ./internal/cost
+region_out=$(go run -race ./cmd/remo-sim -nodes 30 -attrs 6 -tasks 15 -rounds 24 -seed 7 \
+    -regions 3 -chaos-region 1 -suspicion 2 -verify)
+if ! echo "$region_out" | grep -q "repair:"; then
+    echo "region-loss run produced no repair events:" >&2
+    echo "$region_out" >&2
+    exit 1
+fi
+if ! echo "$region_out" | grep -q "coverage floor 90% held"; then
+    echo "region-loss run did not hold the surviving-region floor:" >&2
+    echo "$region_out" >&2
+    exit 1
+fi
+
+echo "==> WAN topology headline gate (BENCH_region.json)"
+go run ./scripts/benchguard -region BENCH_region.json
+
 echo "==> service e2e (admit/inspect/stream/modify/remove/drain/resume, under -race)"
 go test -race -count=1 -run 'TestServiceEndToEnd' .
 

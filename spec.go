@@ -18,6 +18,24 @@ type Spec struct {
 	Nodes []NodeSpec `json:"nodes"`
 	// Tasks are the monitoring tasks.
 	Tasks []TaskSpec `json:"tasks"`
+	// CentralRegion is the region hosting the central collector
+	// (default: the empty default region).
+	CentralRegion string `json:"centralRegion,omitempty"`
+	// InterRegionCost, when positive, applies WAN topology pricing:
+	// edges between nodes with distinct Region labels cost this multiple
+	// of the endpoint cost (intra-region edges stay at 1). Per-pair
+	// overrides go through RegionLinks.
+	InterRegionCost float64 `json:"interRegionCost,omitempty"`
+	// RegionLinks overrides the inter-region multiplier for specific
+	// region pairs (undirected).
+	RegionLinks []RegionLinkSpec `json:"regionLinks,omitempty"`
+}
+
+// RegionLinkSpec prices one undirected inter-region link.
+type RegionLinkSpec struct {
+	A    string  `json:"a"`
+	B    string  `json:"b"`
+	Cost float64 `json:"cost"`
 }
 
 // NodeSpec declares one monitoring node.
@@ -27,6 +45,9 @@ type NodeSpec struct {
 	// Attrs lists locally observable attribute ids; empty means "all
 	// attributes referenced by tasks".
 	Attrs []int `json:"attrs,omitempty"`
+	// Region labels the node's WAN region for topology pricing and
+	// region-scoped chaos (empty = default region).
+	Region string `json:"region,omitempty"`
 }
 
 // TaskSpec declares one monitoring task.
@@ -68,7 +89,7 @@ func (s Spec) Build(opts ...PlannerOption) (*Planner, error) {
 
 	nodes := make([]Node, 0, len(s.Nodes))
 	for _, ns := range s.Nodes {
-		n := Node{ID: NodeID(ns.ID), Capacity: ns.Capacity}
+		n := Node{ID: NodeID(ns.ID), Capacity: ns.Capacity, Region: ns.Region}
 		if len(ns.Attrs) > 0 {
 			for _, a := range ns.Attrs {
 				n.Attrs = append(n.Attrs, AttrID(a))
@@ -86,6 +107,14 @@ func (s Spec) Build(opts ...PlannerOption) (*Planner, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("remo: spec system: %w", err)
+	}
+	sys.CentralRegion = s.CentralRegion
+	if s.InterRegionCost > 0 || len(s.RegionLinks) > 0 {
+		topo := NewTopology(1, s.InterRegionCost)
+		for _, l := range s.RegionLinks {
+			topo.SetLink(l.A, l.B, l.Cost)
+		}
+		sys.ApplyTopology(topo)
 	}
 
 	p := NewPlanner(sys, opts...)

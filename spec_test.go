@@ -59,6 +59,52 @@ func TestSpecReplicatedTask(t *testing.T) {
 	}
 }
 
+func TestSpecRegionTopology(t *testing.T) {
+	const doc = `{
+		"centralCapacity": 400,
+		"perMessage": 10, "perValue": 1,
+		"centralRegion": "east",
+		"interRegionCost": 6,
+		"regionLinks": [{"a": "east", "b": "west", "cost": 3}],
+		"nodes": [
+			{"id": 1, "capacity": 100, "region": "east"},
+			{"id": 2, "capacity": 100, "region": "west"},
+			{"id": 3, "capacity": 100, "region": "apac"}
+		],
+		"tasks": [{"name": "t", "attrs": [1], "nodes": [1, 2, 3]}]
+	}`
+	spec, err := remo.LoadSpec(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.RegionLinks) != 1 || spec.RegionLinks[0].B != "west" {
+		t.Fatalf("region links decoded as %+v", spec.RegionLinks)
+	}
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := p.System()
+	if sys.CentralRegion != "east" {
+		t.Fatalf("CentralRegion = %q, want east", sys.CentralRegion)
+	}
+	if got := sys.Dist(1, 1); got != 1 {
+		t.Fatalf("intra Dist = %v, want 1", got)
+	}
+	if got := sys.Dist(2, 3); got != 6 {
+		t.Fatalf("inter Dist = %v, want 6", got)
+	}
+	// The east-west link override also prices node 2's path to the
+	// east-homed collector.
+	if got := sys.Dist(2, remo.CentralNode); got != 3 {
+		t.Fatalf("overridden Dist = %v, want 3", got)
+	}
+	// Plans built from the spec verify against the topology prices.
+	if _, err := p.Plan(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSpecBuildErrors(t *testing.T) {
 	cases := []struct {
 		name string
